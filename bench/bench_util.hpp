@@ -1,0 +1,45 @@
+// Shared helpers for the experiment harnesses.
+#pragma once
+
+#include <iostream>
+#include <memory>
+
+#include "chains/coupling.hpp"
+#include "chains/init.hpp"
+#include "chains/local_metropolis.hpp"
+#include "chains/luby_glauber.hpp"
+#include "graph/generators.hpp"
+#include "mrf/models.hpp"
+#include "util/table.hpp"
+
+namespace lsample::bench {
+
+inline chains::ChainFactory local_metropolis_factory(const mrf::Mrf& m) {
+  return [&m](std::uint64_t seed) {
+    return std::unique_ptr<chains::Chain>(
+        new chains::LocalMetropolisChain(m, seed));
+  };
+}
+
+inline chains::ChainFactory luby_glauber_factory(const mrf::Mrf& m) {
+  return [&m](std::uint64_t seed) {
+    return std::unique_ptr<chains::Chain>(
+        new chains::LubyGlauberChain(m, seed));
+  };
+}
+
+/// Grand-coupling coalescence from the standard adversarial pair
+/// (all-zero vs greedy-feasible), mean rounds over `trials`.
+inline chains::CoalescenceResult measure_coalescence(
+    const mrf::Mrf& m, const chains::ChainFactory& factory, int trials,
+    std::int64_t max_rounds, std::uint64_t seed) {
+  const mrf::Config x0 = chains::constant_config(m, 0);
+  const mrf::Config y0 = chains::greedy_feasible_config(m);
+  chains::CoalescenceOptions opt;
+  opt.trials = trials;
+  opt.max_rounds = max_rounds;
+  opt.base_seed = seed;
+  return chains::coalescence_time(factory, x0, y0, opt);
+}
+
+}  // namespace lsample::bench

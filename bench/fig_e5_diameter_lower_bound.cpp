@@ -1,0 +1,161 @@
+// Experiment E5 — Theorems 1.3 / 5.2 / 5.4: sampling independent sets /
+// hardcore configurations in the non-uniqueness regime (Delta >= 6,
+// lambda > lambda_c) requires Omega(diam) rounds.
+//
+// Construction: the random bipartite gadget of §5.1.1 lifted onto an even
+// cycle (§5.1.2).  Under the Gibbs distribution the per-copy phase vector
+// concentrates near the two maximum cuts of the cycle (Theorem 5.4), an
+// m/2-range correlation.  A t-round protocol with t << diam produces
+// independent phases for antipodal copies — its antipodal phase agreement is
+// ~1/2, while the Gibbs agreement is near 1.  Ground truth is parallel
+// tempering (local chains alone are torpid here — that is the point of the
+// theorem).
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "gadget/gadget.hpp"
+#include "gadget/tempering.hpp"
+#include "graph/properties.hpp"
+#include "util/summary.hpp"
+
+namespace {
+
+using namespace lsample;
+
+struct PhaseStats {
+  double max_cut_fraction = 0.0;
+  double plus_start_fraction = 0.0;  // of max-cut samples: copy 0 in phase +
+  double adjacent_disagreement = 0.0;  // Pr[Y_x != Y_{x+1}], both nonzero
+  double antipodal_agreement = 0.0;  // Pr[Y_0 == Y_{m/2}], both nonzero
+  int samples = 0;
+};
+
+PhaseStats accumulate(const gadget::LiftedCycle& lifted,
+                      const std::vector<mrf::Config>& samples) {
+  PhaseStats stats;
+  int max_cut = 0;
+  int plus_start = 0;
+  int agree = 0;
+  int decided = 0;
+  std::int64_t adj_disagree = 0;
+  std::int64_t adj_decided = 0;
+  for (const auto& x : samples) {
+    const auto phases = gadget::phase_vector(lifted, x);
+    const int cut = gadget::cut_value(phases);
+    if (cut == lifted.m) {
+      ++max_cut;
+      if (phases[0] > 0) ++plus_start;
+    }
+    for (int c = 0; c < lifted.m; ++c) {
+      const int pa = phases[static_cast<std::size_t>(c)];
+      const int pb = phases[static_cast<std::size_t>((c + 1) % lifted.m)];
+      if (pa != 0 && pb != 0) {
+        ++adj_decided;
+        if (pa != pb) ++adj_disagree;
+      }
+    }
+    const int a = phases[0];
+    const int b = phases[static_cast<std::size_t>(lifted.m / 2)];
+    if (a != 0 && b != 0) {
+      ++decided;
+      if (a == b) ++agree;
+    }
+  }
+  stats.samples = static_cast<int>(samples.size());
+  stats.max_cut_fraction = static_cast<double>(max_cut) / samples.size();
+  stats.plus_start_fraction =
+      max_cut > 0 ? static_cast<double>(plus_start) / max_cut : 0.0;
+  stats.adjacent_disagreement =
+      adj_decided > 0 ? static_cast<double>(adj_disagree) / adj_decided : 0.0;
+  stats.antipodal_agreement =
+      decided > 0 ? static_cast<double>(agree) / decided : 0.0;
+  return stats;
+}
+
+int main_impl() {
+  std::cout << "Experiment E5 — Omega(diam) lower bound via the max-cut "
+               "gadget (Thms 1.3/5.2/5.4)\n";
+
+  // Build the lifted graph: gadget with 2k terminals per side, Delta = 6,
+  // lifted on an even cycle of length m.  lambda > lambda_c(6) ~ 0.762.
+  util::Rng grng(11);
+  gadget::GadgetParams blueprint;
+  blueprint.n = 32;
+  blueprint.k = 12;  // 2k terminals per side, k = 6 edges per cycle side
+  blueprint.delta = 6;
+  const gadget::Gadget gad = gadget::make_random_gadget(blueprint, grng);
+  const int m_cycle = 8;
+  const gadget::LiftedCycle lifted = gadget::lift_on_cycle(gad, m_cycle);
+  const double lambda = 2.5;
+  const int diam = graph::diameter_lower_bound(*lifted.g);
+  std::cout << "lifted graph: n = " << lifted.g->num_vertices()
+            << ", Delta = " << lifted.g->max_degree() << ", cycle m = "
+            << m_cycle << ", diam >= " << diam
+            << ", lambda = " << lambda
+            << " (lambda_c(6) = " << mrf::hardcore_uniqueness_threshold(6)
+            << ")\n";
+
+  // Ground truth: parallel tempering across a fugacity ladder.
+  gadget::ParallelTempering pt(
+      gadget::hardcore_ladder(lifted.g, 0.1, lambda, 9), 13);
+  pt.run_sweeps(3000);  // burn-in
+  std::vector<mrf::Config> gibbs_samples;
+  const int n_samples = 1500;
+  gibbs_samples.reserve(n_samples);
+  for (int s = 0; s < n_samples; ++s) {
+    pt.run_sweeps(10);
+    gibbs_samples.push_back(pt.target_config());
+  }
+  const PhaseStats gibbs = accumulate(lifted, gibbs_samples);
+  std::cout << "tempering swap acceptance: " << pt.swap_acceptance_rate()
+            << "\n";
+
+  // t-round protocols: LocalMetropolis for t << diam and t ~ diam.
+  const mrf::Mrf model = mrf::make_hardcore(lifted.g, lambda);
+  util::Table t({"sampler", "rounds", "max-cut fraction",
+                 "balance (+ cut | max-cut)", "adjacent disagreement",
+                 "antipodal agreement"});
+  t.begin_row()
+      .cell("Gibbs (tempering)")
+      .cell("-")
+      .cell(gibbs.max_cut_fraction, 3)
+      .cell(gibbs.plus_start_fraction, 3)
+      .cell(gibbs.adjacent_disagreement, 3)
+      .cell(gibbs.antipodal_agreement, 3);
+
+  for (int rounds : {5, 20, 3 * diam}) {
+    std::vector<mrf::Config> proto_samples;
+    proto_samples.reserve(400);
+    for (int r = 0; r < 400; ++r) {
+      chains::LocalMetropolisChain chain(model,
+                                         5000 + static_cast<std::uint64_t>(r));
+      mrf::Config x = chains::constant_config(model, 0);
+      for (int s = 0; s < rounds; ++s) chain.step(x, s);
+      proto_samples.push_back(std::move(x));
+    }
+    const PhaseStats proto = accumulate(lifted, proto_samples);
+    t.begin_row()
+        .cell(std::string("LocalMetropolis"))
+        .cell(rounds)
+        .cell(proto.max_cut_fraction, 3)
+        .cell(proto.plus_start_fraction, 3)
+        .cell(proto.adjacent_disagreement, 3)
+        .cell(proto.antipodal_agreement, 3);
+  }
+  t.print(std::cout);
+  std::cout
+      << "paper's shape: Gibbs phases attain a max cut w.h.p. (Thm 5.4), "
+         "split ~50/50 between the two cuts, and antipodal copies agree "
+         "(m/2 even).  A t-round local sampler with t << diam has antipodal "
+         "agreement ~0.5 (independent phases) — and because the model is in "
+         "the non-uniqueness regime, even t ~ diam rounds of a *local chain* "
+         "stay uncorrelated: no local dynamics can build the long-range "
+         "correlation, which is exactly why the lower bound is Omega(diam) "
+         "for every protocol and unconditional.\n";
+  return 0;
+}
+
+}  // namespace
+
+int main() { return main_impl(); }

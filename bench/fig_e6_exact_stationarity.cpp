@@ -1,0 +1,99 @@
+// Experiment E6 — Proposition 3.1 and Theorem 4.1, verified exactly: for a
+// grid of small models, build the full transition matrix of each chain and
+// report stationarity error ||mu P - mu||_1, detailed-balance error, and the
+// exact mixing time tau(0.01) in rounds.
+#include <functional>
+#include <iostream>
+#include <string>
+
+#include "graph/generators.hpp"
+#include "inference/exact.hpp"
+#include "inference/spectral.hpp"
+#include "inference/transition.hpp"
+#include "mrf/models.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace lsample;
+
+struct Row {
+  std::string model;
+  mrf::Mrf m;
+};
+
+int main_impl() {
+  std::cout << "Experiment E6 — exact reversibility and mixing "
+               "(Prop 3.1, Thm 4.1)\n";
+  std::vector<Row> rows;
+  rows.push_back({"coloring path4 q4",
+                  mrf::make_proper_coloring(graph::make_path(4), 4)});
+  rows.push_back({"coloring cycle4 q5",
+                  mrf::make_proper_coloring(graph::make_cycle(4), 5)});
+  rows.push_back(
+      {"hardcore star3 l=2.5", mrf::make_hardcore(graph::make_star(3), 2.5)});
+  rows.push_back(
+      {"hardcore cycle5 l=1", mrf::make_hardcore(graph::make_cycle(5), 1.0)});
+  rows.push_back({"Ising cycle4 b=0.5", mrf::make_ising(graph::make_cycle(4), 0.5)});
+  rows.push_back(
+      {"Potts path4 q3 b=-0.8", mrf::make_potts(graph::make_path(4), 3, -0.8)});
+
+  util::Table t({"model", "chain", "||muP-mu||_1", "max DB violation",
+                 "tau(0.01) rounds", "spectral gap"});
+  for (const auto& row : rows) {
+    const inference::StateSpace ss(row.m.n(), row.m.q());
+    const auto mu = inference::gibbs_distribution(row.m, ss);
+    struct ChainSpec {
+      std::string name;
+      std::function<inference::DenseMatrix()> make;
+    };
+    const std::vector<ChainSpec> chains = {
+        {"Glauber", [&] { return inference::glauber_transition(row.m, ss); }},
+        {"LubyGlauber",
+         [&] { return inference::luby_glauber_transition(row.m, ss); }},
+        {"LocalMetropolis",
+         [&] { return inference::local_metropolis_transition(row.m, ss); }},
+    };
+    for (const auto& spec : chains) {
+      const auto p = spec.make();
+      t.begin_row()
+          .cell(row.model)
+          .cell(spec.name)
+          .cell(inference::stationarity_error(p, mu), 12)
+          .cell(inference::detailed_balance_error(p, mu), 12)
+          .cell(inference::exact_mixing_time(p, mu, 0.01, 3000))
+          .cell(inference::spectral_summary(p, mu).gap, 4);
+    }
+  }
+  t.print(std::cout);
+  std::cout << "paper: both parallel chains are reversible w.r.t. the Gibbs "
+               "distribution — errors are at floating-point level; "
+               "LocalMetropolis mixes in fewer rounds than LubyGlauber, "
+               "which beats sequential Glauber.\n";
+
+  // Negative control: dropping the third filtering rule breaks Theorem 4.1.
+  util::print_banner(std::cout,
+                     "negative control: LocalMetropolis without rule 3");
+  const mrf::Mrf m = mrf::make_proper_coloring(graph::make_path(3), 3);
+  const inference::StateSpace ss(3, 3);
+  const auto mu = inference::gibbs_distribution(m, ss);
+  const auto p2 = inference::local_metropolis_two_rule_transition(m, ss);
+  const auto p3 = inference::local_metropolis_transition(m, ss);
+  const auto psync = inference::synchronous_glauber_transition(m, ss);
+  util::Table nt({"variant", "||muP-mu||_1"});
+  nt.begin_row().cell("3 rules (Algorithm 2)").cell(
+      inference::stationarity_error(p3, mu), 12);
+  nt.begin_row().cell("2 rules (rule 3 dropped)").cell(
+      inference::stationarity_error(p2, mu), 12);
+  nt.begin_row().cell("synchronous Glauber (no Luby step)").cell(
+      inference::stationarity_error(psync, mu), 12);
+  nt.print(std::cout);
+  std::cout << "the 'seemingly redundant' third rule is load-bearing, and "
+               "parallel heat bath without the independent-set restriction "
+               "is biased — both algorithmic ingredients are necessary.\n";
+  return 0;
+}
+
+}  // namespace
+
+int main() { return main_impl(); }

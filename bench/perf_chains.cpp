@@ -1,0 +1,90 @@
+// Throughput of the chains (google-benchmark): cost of one round across
+// models and sizes, plus per-vertex-update normalization.
+#include <benchmark/benchmark.h>
+
+#include "chains/glauber.hpp"
+#include "chains/init.hpp"
+#include "chains/local_metropolis.hpp"
+#include "chains/luby_glauber.hpp"
+#include "graph/generators.hpp"
+#include "mrf/models.hpp"
+
+namespace {
+
+using namespace lsample;
+
+struct Fixture {
+  mrf::Mrf m;
+  mrf::Config x;
+};
+
+Fixture make_coloring_fixture(int n) {
+  auto g = graph::make_torus(n, n);
+  mrf::Mrf m = mrf::make_proper_coloring(g, 10);
+  mrf::Config x = chains::greedy_feasible_config(m);
+  return {std::move(m), std::move(x)};
+}
+
+void BM_GlauberSweep(benchmark::State& state) {
+  Fixture f = make_coloring_fixture(static_cast<int>(state.range(0)));
+  chains::GlauberChain chain(f.m, 1);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    for (int s = 0; s < f.m.n(); ++s) chain.step(f.x, t++);
+    benchmark::DoNotOptimize(f.x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.m.n());
+}
+BENCHMARK(BM_GlauberSweep)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_LubyGlauberRound(benchmark::State& state) {
+  Fixture f = make_coloring_fixture(static_cast<int>(state.range(0)));
+  chains::LubyGlauberChain chain(f.m, 1);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    chain.step(f.x, t++);
+    benchmark::DoNotOptimize(f.x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.m.n());
+}
+BENCHMARK(BM_LubyGlauberRound)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_LocalMetropolisRound(benchmark::State& state) {
+  Fixture f = make_coloring_fixture(static_cast<int>(state.range(0)));
+  chains::LocalMetropolisChain chain(f.m, 1);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    chain.step(f.x, t++);
+    benchmark::DoNotOptimize(f.x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.m.n());
+}
+BENCHMARK(BM_LocalMetropolisRound)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_LocalMetropolisHardcore(benchmark::State& state) {
+  auto g = graph::make_torus(32, 32);
+  mrf::Mrf m = mrf::make_hardcore(g, 0.5);
+  mrf::Config x = chains::constant_config(m, 0);
+  chains::LocalMetropolisChain chain(m, 1);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    chain.step(x, t++);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m.n());
+}
+BENCHMARK(BM_LocalMetropolisHardcore);
+
+void BM_MarginalComputation(benchmark::State& state) {
+  Fixture f = make_coloring_fixture(32);
+  std::vector<double> w;
+  int v = 0;
+  for (auto _ : state) {
+    f.m.marginal_weights(v, f.x, w);
+    benchmark::DoNotOptimize(w.data());
+    v = (v + 1) % f.m.n();
+  }
+}
+BENCHMARK(BM_MarginalComputation);
+
+}  // namespace

@@ -1,0 +1,45 @@
+// Overhead of the message-passing LOCAL simulator relative to the in-memory
+// reference chains (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "chains/init.hpp"
+#include "chains/local_metropolis.hpp"
+#include "graph/generators.hpp"
+#include "local/node_programs.hpp"
+#include "mrf/models.hpp"
+
+namespace {
+
+using namespace lsample;
+
+void BM_SimulatorRound(benchmark::State& state) {
+  util::Rng grng(1);
+  const int n = static_cast<int>(state.range(0));
+  const auto g = graph::make_random_regular(n, 6, grng);
+  const mrf::Mrf m = mrf::make_proper_coloring(g, 24);
+  const mrf::Config x0 = chains::greedy_feasible_config(m);
+  local::Network net = local::make_local_metropolis_network(m, x0, 3);
+  for (auto _ : state) {
+    net.run_round();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SimulatorRound)->Arg(256)->Arg(1024);
+
+void BM_ReferenceChainRound(benchmark::State& state) {
+  util::Rng grng(1);
+  const int n = static_cast<int>(state.range(0));
+  const auto g = graph::make_random_regular(n, 6, grng);
+  const mrf::Mrf m = mrf::make_proper_coloring(g, 24);
+  mrf::Config x = chains::greedy_feasible_config(m);
+  chains::LocalMetropolisChain chain(m, 3);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    chain.step(x, t++);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ReferenceChainRound)->Arg(256)->Arg(1024);
+
+}  // namespace

@@ -1,0 +1,53 @@
+// Beyond pairwise MRFs: sample weighted dominating sets — a genuinely
+// multi-ary local CSP (one cover constraint per inclusive neighborhood,
+// §2.2) — with the CSP generalizations of both algorithms.
+//
+//   $ ./example_csp_dominating_set
+#include <iostream>
+
+#include "csp/csp_chains.hpp"
+#include "csp/csp_models.hpp"
+#include "graph/generators.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace lsample;
+
+  const auto g = graph::make_grid(8, 8);
+  // lambda < 1 biases toward *small* dominating sets.
+  util::Table t({"lambda", "chain", "mean |S|", "min |S| seen"});
+  for (double lambda : {0.3, 1.0}) {
+    const csp::FactorGraph fg = csp::make_dominating_set(*g, lambda);
+    for (const std::string which : {"LubyGlauber", "LocalMetropolis"}) {
+      double total = 0.0;
+      int best = fg.n();
+      const int runs = 60;
+      for (int r = 0; r < runs; ++r) {
+        csp::Config x(static_cast<std::size_t>(fg.n()), 1);
+        if (which == "LubyGlauber") {
+          csp::CspLubyGlauberChain chain(fg, 7 + static_cast<std::uint64_t>(r));
+          for (int s = 0; s < 500; ++s) chain.step(x, s);
+        } else {
+          csp::CspLocalMetropolisChain chain(fg,
+                                             7 + static_cast<std::uint64_t>(r));
+          for (int s = 0; s < 200; ++s) chain.step(x, s);
+        }
+        int size = 0;
+        for (int s : x) size += s;
+        total += size;
+        best = std::min(best, size);
+      }
+      t.begin_row()
+          .cell(lambda, 1)
+          .cell(which)
+          .cell(total / runs, 1)
+          .cell(best);
+    }
+  }
+  t.print(std::cout);
+  std::cout << "the Luby step runs on the conflict graph (strongly "
+               "independent updates); LocalMetropolis filters each cover "
+               "constraint with 2^k - 1 mixed factors (remarks in Sections 3 "
+               "and 4 of the paper).\n";
+  return 0;
+}

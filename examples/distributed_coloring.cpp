@@ -1,0 +1,60 @@
+// Distributed execution demo: run both sampling protocols as real
+// message-passing programs in the LOCAL-model simulator, and report the
+// communication profile (rounds, messages, bits) alongside the result.
+//
+// This is the paper's actual setting: every vertex of the network is a
+// processor that only sees its neighbors' messages.
+//
+//   $ ./example_distributed_coloring
+#include <iostream>
+
+#include "chains/init.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "local/node_programs.hpp"
+#include "mrf/models.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace lsample;
+
+  util::Rng grng(7);
+  const auto g = graph::make_random_regular(200, 6, grng);
+  const int q = 24;
+  const mrf::Mrf model = mrf::make_proper_coloring(g, q);
+  const mrf::Config x0 = chains::greedy_feasible_config(model);
+
+  util::Table t({"protocol", "rounds", "messages", "total bits",
+                 "bits/message", "proper?"});
+  {
+    local::Network net = local::make_local_metropolis_network(model, x0, 99);
+    net.run_rounds(120);
+    const auto out = net.outputs();
+    t.begin_row()
+        .cell("LocalMetropolis")
+        .cell(net.stats().rounds)
+        .cell(net.stats().messages)
+        .cell(net.stats().bits)
+        .cell(static_cast<std::int64_t>(net.stats().bits /
+                                        net.stats().messages))
+        .cell(graph::is_proper_coloring(*g, out) ? "yes" : "no");
+  }
+  {
+    local::Network net = local::make_luby_glauber_network(model, x0, 99);
+    net.run_rounds(400);
+    const auto out = net.outputs();
+    t.begin_row()
+        .cell("LubyGlauber")
+        .cell(net.stats().rounds)
+        .cell(net.stats().messages)
+        .cell(net.stats().bits)
+        .cell(static_cast<std::int64_t>(net.stats().bits /
+                                        net.stats().messages))
+        .cell(graph::is_proper_coloring(*g, out) ? "yes" : "no");
+  }
+  t.print(std::cout);
+  std::cout << "each message is O(log n) bits (paper, end of Section 1.1); "
+               "every node ran as an isolated program reading only its "
+               "ports.\n";
+  return 0;
+}

@@ -1,0 +1,11 @@
+#include "chains/chain.hpp"
+
+namespace lsample::chains {
+
+std::int64_t run(Chain& chain, Config& x, std::int64_t t0,
+                 std::int64_t steps) {
+  for (std::int64_t t = t0; t < t0 + steps; ++t) chain.step(x, t);
+  return t0 + steps;
+}
+
+}  // namespace lsample::chains

@@ -1,0 +1,40 @@
+// Common interface for the Markov chains in this library.
+//
+// Every chain draws its randomness from a CounterRng, so a chain's whole
+// trajectory is a pure function of (model, seed, initial configuration).
+// Running two chain instances with the same seed from different initial
+// configurations yields the *grand coupling* (identical proposals and coins),
+// which is exactly the coupling analyzed in Lemma 4.4 of the paper and the
+// basis of the coalescence estimators in chains/coupling.hpp.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "mrf/mrf.hpp"
+
+namespace lsample::chains {
+
+using mrf::Config;
+
+class Chain {
+ public:
+  virtual ~Chain() = default;
+
+  /// Advances x by one step of the chain at time index t.  Chains must be
+  /// deterministic functions of (x, t, seed): calling step with the same
+  /// arguments twice gives the same result.
+  virtual void step(Config& x, std::int64_t t) = 0;
+
+  /// Human-readable chain name for reports.
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// How many single-site updates one step performs in expectation — used to
+  /// compare parallel rounds against sequential steps fairly.
+  [[nodiscard]] virtual double updates_per_step() const noexcept = 0;
+};
+
+/// Runs `steps` steps starting at time t0; returns the next unused time index.
+std::int64_t run(Chain& chain, Config& x, std::int64_t t0, std::int64_t steps);
+
+}  // namespace lsample::chains

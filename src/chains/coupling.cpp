@@ -1,0 +1,83 @@
+#include "chains/coupling.hpp"
+
+#include "chains/init.hpp"
+#include "util/require.hpp"
+#include "util/summary.hpp"
+
+namespace lsample::chains {
+
+double CoalescenceResult::mean() const { return util::mean(rounds); }
+
+double CoalescenceResult::quantile(double p) const {
+  return util::quantile(rounds, p);
+}
+
+CoalescenceResult coalescence_time(const ChainFactory& factory,
+                                   const Config& x0, const Config& y0,
+                                   const CoalescenceOptions& opt) {
+  LS_REQUIRE(opt.trials >= 1, "need at least one trial");
+  LS_REQUIRE(opt.max_rounds >= 1, "need a positive round budget");
+  CoalescenceResult result;
+  result.rounds.reserve(static_cast<std::size_t>(opt.trials));
+  for (int trial = 0; trial < opt.trials; ++trial) {
+    const std::uint64_t seed = opt.base_seed + static_cast<std::uint64_t>(trial);
+    auto cx = factory(seed);
+    auto cy = factory(seed);
+    Config x = x0;
+    Config y = y0;
+    std::int64_t t = 0;
+    while (t < opt.max_rounds && x != y) {
+      cx->step(x, t);
+      cy->step(y, t);
+      ++t;
+    }
+    if (x != y) ++result.censored;
+    result.rounds.push_back(static_cast<double>(t));
+  }
+  return result;
+}
+
+std::vector<double> disagreement_curve(const ChainFactory& factory,
+                                       const Config& x0, const Config& y0,
+                                       int trials, std::int64_t rounds,
+                                       std::uint64_t base_seed) {
+  LS_REQUIRE(trials >= 1 && rounds >= 0, "invalid trial/round counts");
+  std::vector<double> curve(static_cast<std::size_t>(rounds) + 1, 0.0);
+  const double n = static_cast<double>(x0.size());
+  for (int trial = 0; trial < trials; ++trial) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(trial);
+    auto cx = factory(seed);
+    auto cy = factory(seed);
+    Config x = x0;
+    Config y = y0;
+    curve[0] += hamming_distance(x, y) / n;
+    for (std::int64_t t = 0; t < rounds; ++t) {
+      cx->step(x, t);
+      cy->step(y, t);
+      curve[static_cast<std::size_t>(t) + 1] += hamming_distance(x, y) / n;
+    }
+  }
+  for (double& c : curve) c /= trials;
+  return curve;
+}
+
+std::vector<double> empirical_pmf(
+    const ChainFactory& factory, const Config& x0, std::int64_t rounds,
+    int runs, const std::function<int(const Config&)>& statistic,
+    int num_categories, std::uint64_t base_seed) {
+  LS_REQUIRE(runs >= 1 && num_categories >= 1, "invalid run/category counts");
+  std::vector<double> pmf(static_cast<std::size_t>(num_categories), 0.0);
+  for (int r = 0; r < runs; ++r) {
+    auto chain = factory(base_seed + static_cast<std::uint64_t>(r));
+    Config x = x0;
+    for (std::int64_t t = 0; t < rounds; ++t) chain->step(x, t);
+    const int cat = statistic(x);
+    LS_ASSERT(cat >= 0 && cat < num_categories,
+              "statistic returned out-of-range category");
+    pmf[static_cast<std::size_t>(cat)] += 1.0;
+  }
+  util::normalize(pmf);
+  return pmf;
+}
+
+}  // namespace lsample::chains

@@ -1,0 +1,61 @@
+// Coupling-based mixing diagnostics.
+//
+// Two chain instances built with the same seed share every proposal and coin
+// (the randomness is counter-based), so running them from different initial
+// configurations realizes the grand coupling — for LocalMetropolis on
+// colorings this is exactly the "local coupling" of Lemma 4.4.  Coalescence
+// time of the grand coupling upper-bounds the mixing time pathwise, and its
+// growth in (n, Delta, q) is how the benches reproduce the shapes of
+// Theorems 1.1, 1.2, 3.2 and 4.2.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "chains/chain.hpp"
+
+namespace lsample::chains {
+
+/// Builds a fresh chain instance for a given seed; each coupling trial uses
+/// one seed for both replicas.
+using ChainFactory =
+    std::function<std::unique_ptr<Chain>(std::uint64_t seed)>;
+
+struct CoalescenceOptions {
+  int trials = 20;
+  std::int64_t max_rounds = 100000;
+  std::uint64_t base_seed = 1;
+};
+
+struct CoalescenceResult {
+  /// Rounds to coalescence per trial; censored trials report max_rounds.
+  std::vector<double> rounds;
+  int censored = 0;
+
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double quantile(double p) const;
+};
+
+/// Runs the grand coupling from (x0, y0) until X == Y, for each trial.
+[[nodiscard]] CoalescenceResult coalescence_time(const ChainFactory& factory,
+                                                 const Config& x0,
+                                                 const Config& y0,
+                                                 const CoalescenceOptions& opt);
+
+/// Average Hamming disagreement (fraction of vertices) after each round,
+/// averaged over trials; curve[t] is the disagreement after t rounds.
+[[nodiscard]] std::vector<double> disagreement_curve(
+    const ChainFactory& factory, const Config& x0, const Config& y0,
+    int trials, std::int64_t rounds, std::uint64_t base_seed);
+
+/// Empirical probability mass function of a projection statistic of the
+/// chain's state after `rounds` steps, over `runs` independent runs.
+/// `statistic` must return a category in [0, num_categories).
+[[nodiscard]] std::vector<double> empirical_pmf(
+    const ChainFactory& factory, const Config& x0, std::int64_t rounds,
+    int runs, const std::function<int(const Config&)>& statistic,
+    int num_categories, std::uint64_t base_seed);
+
+}  // namespace lsample::chains

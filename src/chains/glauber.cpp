@@ -1,0 +1,82 @@
+#include "chains/glauber.hpp"
+
+#include "util/require.hpp"
+
+namespace lsample::chains {
+
+int heat_bath_resample(const mrf::Mrf& m, const util::CounterRng& rng, int v,
+                       std::int64_t t, std::span<const int> neighbor_spins,
+                       std::vector<double>& scratch, int current_spin) {
+  scratch.assign(static_cast<std::size_t>(m.q()), 0.0);
+  const auto inc = m.g().incident_edges(v);
+  LS_REQUIRE(neighbor_spins.size() == inc.size(),
+             "neighbor spin vector must match incident edge list");
+  const auto bv = m.vertex_activity(v);
+  for (int c = 0; c < m.q(); ++c) {
+    double w = bv[static_cast<std::size_t>(c)];
+    for (std::size_t i = 0; i < inc.size() && w > 0.0; ++i)
+      w *= m.edge_activity(inc[i]).at(c, neighbor_spins[i]);
+    scratch[static_cast<std::size_t>(c)] = w;
+  }
+  const int c =
+      shared_stream_sample(scratch, rng, util::RngDomain::vertex_update,
+                           static_cast<std::uint64_t>(v), t);
+  // Zero marginal: the well-definedness assumption of Section 3 fails at
+  // this (necessarily infeasible) state; keep the current spin so the chain
+  // stays total.  On feasible states this never triggers.
+  return c >= 0 ? c : current_spin;
+}
+
+int shared_stream_sample(std::span<const double> weights,
+                         const util::CounterRng& rng, util::RngDomain domain,
+                         std::uint64_t stream, std::int64_t t) {
+  const int q = static_cast<int>(weights.size());
+  double wmax = 0.0;
+  double total = 0.0;
+  for (double w : weights) {
+    wmax = std::max(wmax, w);
+    total += w;
+  }
+  if (total <= 0.0) return -1;
+  // Rejection sampling from the shared (candidate, coin) stream: the
+  // accepted value is exactly distributed as weights/total, and two coupled
+  // chains disagree only if the first accepted candidate differs — the
+  // coupling used in path-coupling arguments for colorings.  The fallback
+  // keeps the worst case bounded and remains exact (conditioned on reaching
+  // it, a fresh categorical draw is still the target marginal).
+  const int max_tries = 16 * q;
+  for (int k = 0; k < max_tries; ++k) {
+    const double u_cand = rng.u01(domain, stream, static_cast<std::uint64_t>(t),
+                                  2 * static_cast<std::uint64_t>(k));
+    const int c = std::min(q - 1, static_cast<int>(u_cand * q));
+    const double u_acc = rng.u01(domain, stream, static_cast<std::uint64_t>(t),
+                                 2 * static_cast<std::uint64_t>(k) + 1);
+    if (u_acc * wmax < weights[static_cast<std::size_t>(c)]) return c;
+  }
+  const int c = util::categorical(
+      weights, rng.u01(domain, stream, static_cast<std::uint64_t>(t),
+                       2 * static_cast<std::uint64_t>(max_tries)));
+  LS_ASSERT(c >= 0, "categorical fallback failed on positive-total weights");
+  return c;
+}
+
+void gather_neighbor_spins(const mrf::Mrf& m, int v, const Config& x,
+                           std::vector<int>& out) {
+  const auto nbr = m.g().neighbors(v);
+  out.resize(nbr.size());
+  for (std::size_t i = 0; i < nbr.size(); ++i)
+    out[i] = x[static_cast<std::size_t>(nbr[i])];
+}
+
+GlauberChain::GlauberChain(const mrf::Mrf& m, std::uint64_t seed)
+    : m_(m), rng_(seed) {}
+
+void GlauberChain::step(Config& x, std::int64_t t) {
+  const int v = rng_.uniform_int(util::RngDomain::global_choice, 0,
+                                 static_cast<std::uint64_t>(t), 0, m_.n());
+  gather_neighbor_spins(m_, v, x, nbr_spins_);
+  x[static_cast<std::size_t>(v)] = heat_bath_resample(
+      m_, rng_, v, t, nbr_spins_, weights_, x[static_cast<std::size_t>(v)]);
+}
+
+}  // namespace lsample::chains

@@ -1,0 +1,61 @@
+// Single-site heat-bath Glauber dynamics (§3): pick a uniform random vertex,
+// resample it from the conditional marginal (2).  This is the sequential
+// baseline both parallel algorithms are measured against.
+#pragma once
+
+#include <vector>
+
+#include "chains/chain.hpp"
+#include "util/rng.hpp"
+
+namespace lsample::chains {
+
+/// Heat-bath resampling helper shared by Glauber, systematic scan, the
+/// chromatic scheduler, LubyGlauber, and the LOCAL-model node program:
+/// returns the new spin of v at time t given the neighbor spins of v (aligned
+/// with mrf.g().incident_edges(v)).  If the marginal is the zero vector (the
+/// paper's well-definedness assumption fails at this state, which can only
+/// happen at infeasible configurations) the current spin is kept.
+[[nodiscard]] int heat_bath_resample(const mrf::Mrf& m,
+                                     const util::CounterRng& rng, int v,
+                                     std::int64_t t,
+                                     std::span<const int> neighbor_spins,
+                                     std::vector<double>& scratch,
+                                     int current_spin);
+
+/// Samples an index proportional to `weights` from the counter-RNG stream
+/// (domain, stream, t) by rejection sampling over shared candidates; returns
+/// -1 if all weights are zero.  Exact, and designed so that two chains
+/// sharing the stream disagree only when their weight vectors force it (a
+/// good grand coupling — inverse-CDF sampling would misalign whole color
+/// ranges on a single-color difference).
+[[nodiscard]] int shared_stream_sample(std::span<const double> weights,
+                                       const util::CounterRng& rng,
+                                       util::RngDomain domain,
+                                       std::uint64_t stream, std::int64_t t);
+
+/// Gathers the spins of v's neighbors from a full configuration, aligned with
+/// incident_edges(v).
+void gather_neighbor_spins(const mrf::Mrf& m, int v, const Config& x,
+                           std::vector<int>& out);
+
+class GlauberChain final : public Chain {
+ public:
+  GlauberChain(const mrf::Mrf& m, std::uint64_t seed);
+
+  void step(Config& x, std::int64_t t) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "Glauber";
+  }
+  [[nodiscard]] double updates_per_step() const noexcept override {
+    return 1.0;
+  }
+
+ private:
+  const mrf::Mrf& m_;
+  util::CounterRng rng_;
+  std::vector<double> weights_;
+  std::vector<int> nbr_spins_;
+};
+
+}  // namespace lsample::chains

@@ -1,0 +1,53 @@
+#include "chains/init.hpp"
+
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace lsample::chains {
+
+mrf::Config constant_config(const mrf::Mrf& m, int s) {
+  LS_REQUIRE(s >= 0 && s < m.q(), "spin out of range");
+  return mrf::Config(static_cast<std::size_t>(m.n()), s);
+}
+
+mrf::Config random_config(const mrf::Mrf& m, std::uint64_t seed) {
+  util::Rng rng(seed);
+  mrf::Config x(static_cast<std::size_t>(m.n()));
+  for (auto& s : x) s = rng.uniform_int(m.q());
+  return x;
+}
+
+mrf::Config greedy_feasible_config(const mrf::Mrf& m) {
+  mrf::Config x(static_cast<std::size_t>(m.n()), -1);
+  for (int v = 0; v < m.n(); ++v) {
+    const auto inc = m.g().incident_edges(v);
+    const auto nbr = m.g().neighbors(v);
+    const auto bv = m.vertex_activity(v);
+    int chosen = -1;
+    for (int c = 0; c < m.q() && chosen < 0; ++c) {
+      if (bv[static_cast<std::size_t>(c)] <= 0.0) continue;
+      bool ok = true;
+      for (std::size_t i = 0; i < inc.size() && ok; ++i) {
+        const int u = nbr[i];
+        const int xu = x[static_cast<std::size_t>(u)];
+        if (xu >= 0 && m.edge_activity(inc[i]).at(c, xu) <= 0.0) ok = false;
+      }
+      if (ok) chosen = c;
+    }
+    LS_REQUIRE(chosen >= 0,
+               "greedy feasible construction got stuck; the model has no "
+               "greedily constructible feasible configuration");
+    x[static_cast<std::size_t>(v)] = chosen;
+  }
+  return x;
+}
+
+int hamming_distance(const mrf::Config& a, const mrf::Config& b) {
+  LS_REQUIRE(a.size() == b.size(), "configs must have equal size");
+  int d = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i] != b[i]) ++d;
+  return d;
+}
+
+}  // namespace lsample::chains

@@ -1,0 +1,25 @@
+// Initial-configuration helpers for chains and experiments.
+#pragma once
+
+#include <cstdint>
+
+#include "mrf/mrf.hpp"
+
+namespace lsample::chains {
+
+/// All vertices at spin s.
+[[nodiscard]] mrf::Config constant_config(const mrf::Mrf& m, int s);
+
+/// Uniform random spins (not necessarily feasible).
+[[nodiscard]] mrf::Config random_config(const mrf::Mrf& m, std::uint64_t seed);
+
+/// A feasible configuration built by greedy sequential choice: vertex v takes
+/// the first spin with positive marginal weight given already-assigned
+/// neighbors.  Works for colorings with q >= Delta+1, hardcore (all-empty),
+/// soft models (anything), and throws if greedy gets stuck.
+[[nodiscard]] mrf::Config greedy_feasible_config(const mrf::Mrf& m);
+
+/// Hamming distance between two configurations.
+[[nodiscard]] int hamming_distance(const mrf::Config& a, const mrf::Config& b);
+
+}  // namespace lsample::chains

@@ -1,0 +1,100 @@
+#include "chains/local_metropolis.hpp"
+
+#include "util/require.hpp"
+
+namespace lsample::chains {
+
+int metropolis_proposal(const mrf::Mrf& m, const util::CounterRng& rng, int v,
+                        std::int64_t t) {
+  const double u = rng.u01(util::RngDomain::vertex_proposal,
+                           static_cast<std::uint64_t>(v),
+                           static_cast<std::uint64_t>(t));
+  const int c = util::categorical(m.proposal_weights(v), u);
+  LS_ASSERT(c >= 0, "vertex activity must not be identically zero");
+  return c;
+}
+
+double edge_coin(const util::CounterRng& rng, int e, std::int64_t t) noexcept {
+  return rng.u01(util::RngDomain::edge_coin, static_cast<std::uint64_t>(e),
+                 static_cast<std::uint64_t>(t));
+}
+
+LocalMetropolisChain::LocalMetropolisChain(const mrf::Mrf& m,
+                                           std::uint64_t seed)
+    : m_(m), rng_(seed) {}
+
+void LocalMetropolisChain::step(Config& x, std::int64_t t) {
+  const int n = m_.n();
+  proposal_.resize(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v)
+    proposal_[static_cast<std::size_t>(v)] =
+        metropolis_proposal(m_, rng_, v, t);
+
+  accept_.assign(static_cast<std::size_t>(n), 1);
+  for (int e = 0; e < m_.g().num_edges(); ++e) {
+    const graph::Edge& ed = m_.g().edge(e);
+    const int su = proposal_[static_cast<std::size_t>(ed.u)];
+    const int sv = proposal_[static_cast<std::size_t>(ed.v)];
+    const int xu = x[static_cast<std::size_t>(ed.u)];
+    const int xv = x[static_cast<std::size_t>(ed.v)];
+    const double p = m_.edge_pass_prob(e, su, sv, xu, xv);
+    // One shared coin per edge per step, as in the paper.
+    const bool pass = edge_coin(rng_, e, t) < p;
+    if (!pass) {
+      accept_[static_cast<std::size_t>(ed.u)] = 0;
+      accept_[static_cast<std::size_t>(ed.v)] = 0;
+    }
+  }
+
+  int accepted = 0;
+  for (int v = 0; v < n; ++v)
+    if (accept_[static_cast<std::size_t>(v)] != 0) {
+      x[static_cast<std::size_t>(v)] = proposal_[static_cast<std::size_t>(v)];
+      ++accepted;
+    }
+  last_accept_fraction_ = n > 0 ? static_cast<double>(accepted) / n : 0.0;
+}
+
+LocalMetropolisTwoRuleChain::LocalMetropolisTwoRuleChain(const mrf::Mrf& m,
+                                                         std::uint64_t seed)
+    : m_(m), rng_(seed) {
+  for (int e = 0; e < m.g().num_edges(); ++e) {
+    const auto& a = m.edge_activity(e);
+    for (int i = 0; i < m.q(); ++i)
+      for (int j = 0; j < m.q(); ++j)
+        LS_REQUIRE(a.at(i, j) == 0.0 || a.at(i, j) == a.max_entry(),
+                   "two-rule variant requires hard-constraint activities");
+  }
+}
+
+void LocalMetropolisTwoRuleChain::step(Config& x, std::int64_t t) {
+  const int n = m_.n();
+  proposal_.resize(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v)
+    proposal_[static_cast<std::size_t>(v)] =
+        metropolis_proposal(m_, rng_, v, t);
+
+  // Per-vertex check with only the first two rules: v rejects iff some
+  // incident edge has A(sigma_v, sigma_u) = 0 or A(sigma_v, X_u) = 0.  The
+  // third rule A(sigma_u, X_v) is deliberately dropped.
+  accept_.assign(static_cast<std::size_t>(n), 1);
+  for (int v = 0; v < n; ++v) {
+    const auto inc = m_.g().incident_edges(v);
+    const auto nbr = m_.g().neighbors(v);
+    const int sv = proposal_[static_cast<std::size_t>(v)];
+    for (std::size_t i = 0; i < inc.size(); ++i) {
+      const auto& a = m_.edge_activity(inc[i]);
+      const int su = proposal_[static_cast<std::size_t>(nbr[i])];
+      const int xu = x[static_cast<std::size_t>(nbr[i])];
+      if (a.at(sv, su) == 0.0 || a.at(sv, xu) == 0.0) {
+        accept_[static_cast<std::size_t>(v)] = 0;
+        break;
+      }
+    }
+  }
+  for (int v = 0; v < n; ++v)
+    if (accept_[static_cast<std::size_t>(v)] != 0)
+      x[static_cast<std::size_t>(v)] = proposal_[static_cast<std::size_t>(v)];
+}
+
+}  // namespace lsample::chains

@@ -1,0 +1,37 @@
+#include "chains/luby_glauber.hpp"
+
+#include "chains/glauber.hpp"
+#include "util/require.hpp"
+
+namespace lsample::chains {
+
+LubyGlauberChain::LubyGlauberChain(const mrf::Mrf& m, std::uint64_t seed)
+    : LubyGlauberChain(m, seed,
+                       std::make_unique<LubyScheduler>(m.graph_ptr(), seed)) {}
+
+LubyGlauberChain::LubyGlauberChain(
+    const mrf::Mrf& m, std::uint64_t seed,
+    std::unique_ptr<IndependentSetScheduler> scheduler)
+    : m_(m), rng_(seed), scheduler_(std::move(scheduler)) {
+  LS_REQUIRE(scheduler_ != nullptr, "scheduler must not be null");
+}
+
+void LubyGlauberChain::step(Config& x, std::int64_t t) {
+  scheduler_->select(t, selected_);
+  LS_ASSERT(selected_.size() == static_cast<std::size_t>(m_.n()),
+            "scheduler produced wrong-size selection");
+  // The selected set is independent, so updating in place is equivalent to
+  // the parallel update: no resampled vertex reads another resampled vertex.
+  for (int v = 0; v < m_.n(); ++v) {
+    if (selected_[static_cast<std::size_t>(v)] == 0) continue;
+    gather_neighbor_spins(m_, v, x, nbr_spins_);
+    x[static_cast<std::size_t>(v)] = heat_bath_resample(
+        m_, rng_, v, t, nbr_spins_, weights_, x[static_cast<std::size_t>(v)]);
+  }
+}
+
+double LubyGlauberChain::updates_per_step() const noexcept {
+  return scheduler_->gamma_lower_bound() * m_.n();
+}
+
+}  // namespace lsample::chains

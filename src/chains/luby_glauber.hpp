@@ -1,0 +1,57 @@
+// The LubyGlauber algorithm (Algorithm 1 of the paper).
+//
+// One step: every vertex draws a uniform priority beta_v; the local maxima
+// form an independent set I (the "Luby step"); every v in I is resampled in
+// parallel from the heat-bath marginal (2) conditioned on the *current*
+// neighbor spins.  Since I is independent, no two resampled vertices are
+// adjacent and the parallel update is well defined.
+//
+// Theorem 3.2: tau(eps) = O(Delta/(1-alpha) * log(n/eps)) under Dobrushin's
+// condition alpha < 1.  With a generalized scheduler of selection probability
+// gamma the rate is O(1/((1-alpha) gamma) * log(n/eps)) (Remark after
+// Thm 3.2) — pass any IndependentSetScheduler to explore this.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "chains/chain.hpp"
+#include "chains/schedulers.hpp"
+#include "util/rng.hpp"
+
+namespace lsample::chains {
+
+class LubyGlauberChain final : public Chain {
+ public:
+  /// Default scheduler: the paper's Luby step.
+  LubyGlauberChain(const mrf::Mrf& m, std::uint64_t seed);
+
+  /// Generalized scheduler (Remark after Theorem 3.2).
+  LubyGlauberChain(const mrf::Mrf& m, std::uint64_t seed,
+                   std::unique_ptr<IndependentSetScheduler> scheduler);
+
+  void step(Config& x, std::int64_t t) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "LubyGlauber";
+  }
+  [[nodiscard]] double updates_per_step() const noexcept override;
+
+  [[nodiscard]] const IndependentSetScheduler& scheduler() const noexcept {
+    return *scheduler_;
+  }
+
+  /// The independent set selected at the previous step (for tests/metrics).
+  [[nodiscard]] const std::vector<char>& last_selected() const noexcept {
+    return selected_;
+  }
+
+ private:
+  const mrf::Mrf& m_;
+  util::CounterRng rng_;
+  std::unique_ptr<IndependentSetScheduler> scheduler_;
+  std::vector<char> selected_;
+  std::vector<double> weights_;
+  std::vector<int> nbr_spins_;
+};
+
+}  // namespace lsample::chains

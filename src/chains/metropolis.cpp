@@ -1,0 +1,26 @@
+#include "chains/metropolis.hpp"
+
+#include "chains/local_metropolis.hpp"
+
+namespace lsample::chains {
+
+MetropolisChain::MetropolisChain(const mrf::Mrf& m, std::uint64_t seed)
+    : m_(m), rng_(seed) {}
+
+void MetropolisChain::step(Config& x, std::int64_t t) {
+  const int v = rng_.uniform_int(util::RngDomain::global_choice, 0,
+                                 static_cast<std::uint64_t>(t), 0, m_.n());
+  const int c = metropolis_proposal(m_, rng_, v, t);
+  const auto inc = m_.g().incident_edges(v);
+  const auto nbr = m_.g().neighbors(v);
+  double p = 1.0;
+  for (std::size_t i = 0; i < inc.size(); ++i)
+    p *= m_.edge_activity(inc[i]).normalized_at(
+        c, x[static_cast<std::size_t>(nbr[i])]);
+  const double u =
+      rng_.u01(util::RngDomain::aux, static_cast<std::uint64_t>(v),
+               static_cast<std::uint64_t>(t));
+  if (u < p) x[static_cast<std::size_t>(v)] = c;
+}
+
+}  // namespace lsample::chains

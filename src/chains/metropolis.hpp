@@ -1,0 +1,33 @@
+// Single-site Metropolis chain: pick a uniform random vertex, propose a spin
+// from b_v, accept with probability prod_{u ~ v} Ã(c, X_u).
+//
+// This is the sequential specialization of the LocalMetropolis filter (the
+// paper treats the single-site Glauber and Metropolis chains interchangeably
+// for irreducibility, footnote 2).  For colorings it is the classic
+// "propose a uniform color, accept iff no neighbor holds it" chain.
+// Reversible w.r.t. the Gibbs distribution (verified exactly in tests).
+#pragma once
+
+#include "chains/chain.hpp"
+#include "util/rng.hpp"
+
+namespace lsample::chains {
+
+class MetropolisChain final : public Chain {
+ public:
+  MetropolisChain(const mrf::Mrf& m, std::uint64_t seed);
+
+  void step(Config& x, std::int64_t t) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "Metropolis";
+  }
+  [[nodiscard]] double updates_per_step() const noexcept override {
+    return 1.0;
+  }
+
+ private:
+  const mrf::Mrf& m_;
+  util::CounterRng rng_;
+};
+
+}  // namespace lsample::chains

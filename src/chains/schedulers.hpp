@@ -1,0 +1,93 @@
+// Independent-set schedulers for the generalized LubyGlauber chain.
+//
+// The Remark after Theorem 3.2 notes that the "Luby step" can be replaced by
+// any subroutine that independently samples a random independent set I with
+// Pr[v in I] >= gamma > 0, giving mixing rate O(1/((1-alpha) gamma) log(n/e)).
+// We provide three schedulers:
+//   * LubyScheduler    — the paper's Algorithm 1: v joins I iff its random
+//                        priority beats all neighbors'; gamma = 1/(Delta+1).
+//   * SlackLubyScheduler(p) — v activates with probability p and joins I iff
+//                        no neighbor activated; gamma >= p (1-p)^Delta.
+//   * ChromaticScheduler — a uniformly random greedy color class per step
+//                        (the Gonzalez et al. baseline); gamma = 1/k classes.
+// All schedulers draw from counter-based streams, so a LOCAL implementation
+// and the in-memory chain agree round for round.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace lsample::chains {
+
+class IndependentSetScheduler {
+ public:
+  virtual ~IndependentSetScheduler() = default;
+
+  /// Fills `selected` (size n) with 1 for vertices in this step's independent
+  /// set.  Must be a deterministic function of (seed, t).
+  virtual void select(std::int64_t t, std::vector<char>& selected) = 0;
+
+  /// Lower bound gamma on Pr[v in I] (for round-budget formulas).
+  [[nodiscard]] virtual double gamma_lower_bound() const noexcept = 0;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+};
+
+/// The Luby step, exposed so the LOCAL node program can reuse it verbatim.
+[[nodiscard]] double luby_priority(const util::CounterRng& rng, int v,
+                                   std::int64_t t) noexcept;
+
+class LubyScheduler final : public IndependentSetScheduler {
+ public:
+  LubyScheduler(graph::GraphPtr g, std::uint64_t seed);
+  void select(std::int64_t t, std::vector<char>& selected) override;
+  [[nodiscard]] double gamma_lower_bound() const noexcept override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "luby";
+  }
+
+ private:
+  graph::GraphPtr g_;
+  util::CounterRng rng_;
+  std::vector<double> priorities_;
+};
+
+class SlackLubyScheduler final : public IndependentSetScheduler {
+ public:
+  SlackLubyScheduler(graph::GraphPtr g, double activation_prob,
+                     std::uint64_t seed);
+  void select(std::int64_t t, std::vector<char>& selected) override;
+  [[nodiscard]] double gamma_lower_bound() const noexcept override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "slack-luby";
+  }
+
+ private:
+  graph::GraphPtr g_;
+  double p_;
+  util::CounterRng rng_;
+  std::vector<char> activated_;
+};
+
+class ChromaticScheduler final : public IndependentSetScheduler {
+ public:
+  /// Classes come from a greedy coloring of the graph.
+  ChromaticScheduler(graph::GraphPtr g, std::uint64_t seed);
+  void select(std::int64_t t, std::vector<char>& selected) override;
+  [[nodiscard]] double gamma_lower_bound() const noexcept override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "chromatic";
+  }
+  [[nodiscard]] int num_classes() const noexcept { return num_classes_; }
+
+ private:
+  graph::GraphPtr g_;
+  util::CounterRng rng_;
+  std::vector<int> class_of_;
+  int num_classes_ = 0;
+};
+
+}  // namespace lsample::chains

@@ -1,0 +1,21 @@
+#include "chains/synchronous_glauber.hpp"
+
+#include "chains/glauber.hpp"
+
+namespace lsample::chains {
+
+SynchronousGlauberChain::SynchronousGlauberChain(const mrf::Mrf& m,
+                                                 std::uint64_t seed)
+    : m_(m), rng_(seed) {}
+
+void SynchronousGlauberChain::step(Config& x, std::int64_t t) {
+  next_ = x;
+  for (int v = 0; v < m_.n(); ++v) {
+    gather_neighbor_spins(m_, v, x, nbr_spins_);
+    next_[static_cast<std::size_t>(v)] = heat_bath_resample(
+        m_, rng_, v, t, nbr_spins_, weights_, x[static_cast<std::size_t>(v)]);
+  }
+  x = next_;
+}
+
+}  // namespace lsample::chains

@@ -1,0 +1,42 @@
+// Fully synchronous parallel Glauber ("Hogwild-style" all-at-once heat
+// bath): EVERY vertex resamples simultaneously from its marginal conditioned
+// on the previous state.
+//
+// This is the naive parallelization the paper's Algorithm 1 deliberately
+// avoids: without restricting updates to an independent set, the chain's
+// stationary distribution is NOT the Gibbs distribution in general (on a
+// single edge it converges to a product measure).  It is included as a
+// negative control — the exact tests show its stationarity error is bounded
+// away from zero on the same models where LubyGlauber is exact — and as the
+// synchronous baseline discussed in the related-work comparison (Hogwild!
+// samplers, De Sa et al.).
+#pragma once
+
+#include <vector>
+
+#include "chains/chain.hpp"
+#include "util/rng.hpp"
+
+namespace lsample::chains {
+
+class SynchronousGlauberChain final : public Chain {
+ public:
+  SynchronousGlauberChain(const mrf::Mrf& m, std::uint64_t seed);
+
+  void step(Config& x, std::int64_t t) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "SynchronousGlauber";
+  }
+  [[nodiscard]] double updates_per_step() const noexcept override {
+    return static_cast<double>(m_.n());
+  }
+
+ private:
+  const mrf::Mrf& m_;
+  util::CounterRng rng_;
+  Config next_;
+  std::vector<double> weights_;
+  std::vector<int> nbr_spins_;
+};
+
+}  // namespace lsample::chains

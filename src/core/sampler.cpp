@@ -1,0 +1,138 @@
+#include "core/sampler.hpp"
+
+#include "chains/chain.hpp"
+#include "chains/init.hpp"
+#include "chains/local_metropolis.hpp"
+#include "chains/luby_glauber.hpp"
+#include "inference/influence.hpp"
+#include "core/theory.hpp"
+#include "mrf/models.hpp"
+#include "util/require.hpp"
+
+namespace lsample::core {
+
+namespace {
+
+SampleResult run_chain(const mrf::Mrf& m, const SamplerOptions& options,
+                       std::int64_t rounds, double alpha) {
+  SampleResult result;
+  result.rounds = rounds;
+  result.theory_alpha = alpha;
+  mrf::Config x = chains::greedy_feasible_config(m);
+  if (options.algorithm == Algorithm::luby_glauber) {
+    chains::LubyGlauberChain chain(m, options.seed);
+    chains::run(chain, x, 0, rounds);
+  } else {
+    chains::LocalMetropolisChain chain(m, options.seed);
+    chains::run(chain, x, 0, rounds);
+  }
+  result.feasible = m.feasible(x);
+  result.config = std::move(x);
+  return result;
+}
+
+}  // namespace
+
+std::int64_t coloring_round_budget(int n, int delta, int q,
+                                   Algorithm algorithm, double epsilon) {
+  LS_REQUIRE(n >= 1 && delta >= 0 && q >= 2, "invalid instance");
+  if (algorithm == Algorithm::luby_glauber) {
+    LS_REQUIRE(q > 2 * delta,
+               "LubyGlauber budget requires Dobrushin's condition q > 2*Delta;"
+               " set options.rounds explicitly otherwise");
+    const double alpha = coloring_dobrushin_alpha(q, delta);
+    const double gamma = 1.0 / (delta + 1.0);
+    return luby_glauber_round_budget(n, gamma, alpha, epsilon);
+  }
+  const int d = std::max(delta, 1);
+  const double margin_easy = q > d ? easy_coupling_margin(q, d) : 0.0;
+  const double margin_global =
+      q > 2 * d - 2 ? global_coupling_margin(q, d) : 0.0;
+  const double margin = std::max(margin_easy, margin_global);
+  LS_REQUIRE(margin > 0.0,
+             "LocalMetropolis budget requires a positive path-coupling margin"
+             " (roughly q > (2+sqrt 2)*Delta); set options.rounds explicitly"
+             " otherwise");
+  return local_metropolis_round_budget(n, d, margin, epsilon);
+}
+
+SampleResult sample_coloring(graph::GraphPtr g, int q,
+                             const SamplerOptions& options) {
+  LS_REQUIRE(g != nullptr, "graph must not be null");
+  const int delta = g->max_degree();
+  LS_REQUIRE(q >= delta + 1, "colorings need q >= Delta + 1 to be feasible");
+  const mrf::Mrf m = mrf::make_proper_coloring(g, q);
+  const std::int64_t rounds =
+      options.rounds.has_value()
+          ? *options.rounds
+          : coloring_round_budget(g->num_vertices(), delta, q,
+                                  options.algorithm, options.epsilon);
+  const double alpha =
+      q > 2 * delta ? coloring_dobrushin_alpha(q, delta) : -1.0;
+  return run_chain(m, options, rounds, alpha);
+}
+
+SampleResult sample_list_coloring(graph::GraphPtr g, int q,
+                                  const std::vector<std::vector<int>>& lists,
+                                  const SamplerOptions& options) {
+  LS_REQUIRE(g != nullptr, "graph must not be null");
+  const mrf::Mrf m = mrf::make_list_coloring(g, q, lists);
+  std::int64_t rounds = 0;
+  double alpha = -1.0;
+  if (options.rounds.has_value()) {
+    rounds = *options.rounds;
+  } else {
+    std::vector<int> sizes;
+    sizes.reserve(lists.size());
+    for (const auto& l : lists) sizes.push_back(static_cast<int>(l.size()));
+    alpha = inference::coloring_total_influence(*g, sizes);
+    LS_REQUIRE(alpha < 1.0,
+               "list-coloring budget requires Dobrushin's condition "
+               "max_v d_v/(q_v - d_v) < 1; set options.rounds otherwise");
+    const double gamma = 1.0 / (g->max_degree() + 1.0);
+    rounds = luby_glauber_round_budget(g->num_vertices(), gamma, alpha,
+                                       options.epsilon);
+  }
+  // List colorings fall outside Theorem 4.2's analysis, so the budgeted
+  // algorithm is always LubyGlauber; an explicit rounds override still
+  // honors options.algorithm.
+  SamplerOptions effective = options;
+  if (!options.rounds.has_value())
+    effective.algorithm = Algorithm::luby_glauber;
+  effective.rounds = rounds;
+  auto result = run_chain(m, effective, rounds, alpha);
+  return result;
+}
+
+SampleResult sample_hardcore(graph::GraphPtr g, double lambda,
+                             const SamplerOptions& options) {
+  LS_REQUIRE(g != nullptr, "graph must not be null");
+  const mrf::Mrf m = mrf::make_hardcore(g, lambda);
+  std::int64_t rounds = 0;
+  double alpha = -1.0;
+  if (options.rounds.has_value()) {
+    rounds = *options.rounds;
+  } else {
+    const int delta = std::max(g->max_degree(), 1);
+    // Sufficient Dobrushin-style condition: the influence of one neighbor on
+    // the hardcore marginal is at most lambda/(1+lambda); the total influence
+    // is below 1 when Delta * lambda / (1 + lambda) < 1.
+    alpha = delta * lambda / (1.0 + lambda);
+    LS_REQUIRE(alpha < 1.0,
+               "no mixing guarantee for this (Delta, lambda); Theorem 1.3 "
+               "shows none can exist in the non-uniqueness regime — set "
+               "options.rounds explicitly");
+    const double gamma = 1.0 / (delta + 1.0);
+    rounds = luby_glauber_round_budget(g->num_vertices(), gamma, alpha,
+                                       options.epsilon);
+  }
+  return run_chain(m, options, rounds, alpha);
+}
+
+SampleResult sample_mrf(const mrf::Mrf& m, const SamplerOptions& options) {
+  LS_REQUIRE(options.rounds.has_value(),
+             "sample_mrf needs an explicit round budget");
+  return run_chain(m, options, *options.rounds, -1.0);
+}
+
+}  // namespace lsample::core

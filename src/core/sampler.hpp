@@ -1,0 +1,71 @@
+// High-level public API: "give me a sample within eps of the Gibbs
+// distribution" with round budgets derived from the paper's theorems.
+//
+// This is the facade a downstream user should start from; everything else in
+// the library is reachable from here (the chains for custom schedules, the
+// LOCAL simulator for distributed execution, inference/ for exact analysis).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "mrf/mrf.hpp"
+
+namespace lsample::core {
+
+enum class Algorithm {
+  luby_glauber,      ///< Algorithm 1: O(Delta log(n/eps)) under Dobrushin
+  local_metropolis,  ///< Algorithm 2: O(log(n/eps)) under Thm 4.2 conditions
+};
+
+struct SamplerOptions {
+  Algorithm algorithm = Algorithm::local_metropolis;
+  double epsilon = 0.01;       ///< target total-variation distance
+  std::uint64_t seed = 1;
+  /// Override the theory-derived round budget (useful outside guaranteed
+  /// regimes; required when no theorem applies to the instance).
+  std::optional<std::int64_t> rounds;
+};
+
+struct SampleResult {
+  mrf::Config config;
+  std::int64_t rounds = 0;   ///< communication rounds spent
+  bool feasible = false;     ///< w(config) > 0
+  double theory_alpha = -1;  ///< Dobrushin alpha used (LubyGlauber), if any
+};
+
+/// Samples an approximately uniform proper q-coloring of g (Theorems 1.1 /
+/// 1.2).  If options.rounds is unset, the budget comes from the theorems and
+/// the call throws when the instance lies outside every guaranteed regime
+/// (q <= 2*Delta for LubyGlauber; no positive coupling margin for
+/// LocalMetropolis).
+[[nodiscard]] SampleResult sample_coloring(graph::GraphPtr g, int q,
+                                           const SamplerOptions& options);
+
+/// Samples an approximately uniform proper list coloring (Corollary 3.4:
+/// LubyGlauber mixes in O(Delta log(n/eps)) when every list satisfies
+/// q_v >= (2+delta) d_v).  If options.rounds is unset the budget uses the
+/// list-coloring Dobrushin bound alpha = max_v d_v/(q_v - d_v), which must
+/// be < 1.
+[[nodiscard]] SampleResult sample_list_coloring(
+    graph::GraphPtr g, int q, const std::vector<std::vector<int>>& lists,
+    const SamplerOptions& options);
+
+/// Samples from the hardcore distribution with fugacity lambda.  There is no
+/// general theorem budget here (and Theorem 1.3 says none can exist for
+/// large lambda), so options.rounds must be set unless the Dobrushin bound
+/// applies (lambda < 1/(Delta - 1) is used as a sufficient condition).
+[[nodiscard]] SampleResult sample_hardcore(graph::GraphPtr g, double lambda,
+                                           const SamplerOptions& options);
+
+/// Samples from an arbitrary MRF with an explicit round budget.
+[[nodiscard]] SampleResult sample_mrf(const mrf::Mrf& m,
+                                      const SamplerOptions& options);
+
+/// The round budget the library would use for a coloring instance (exposed
+/// for planning and for the benches).
+[[nodiscard]] std::int64_t coloring_round_budget(int n, int delta, int q,
+                                                 Algorithm algorithm,
+                                                 double epsilon);
+
+}  // namespace lsample::core

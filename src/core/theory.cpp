@@ -1,0 +1,85 @@
+#include "core/theory.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace lsample::core {
+
+double ideal_threshold() noexcept { return 2.0 + std::sqrt(2.0); }
+
+double alpha_star() noexcept {
+  // Positive root of f(a) = a - 2 e^{1/a} - 1 by bisection.
+  double lo = 3.0;
+  double hi = 4.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const double f = mid - 2.0 * std::exp(1.0 / mid) - 1.0;
+    (f < 0.0 ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double ideal_coupling_expected_disagreement(double q, int delta) {
+  LS_REQUIRE(delta >= 1 && q > 2.0 * delta, "requires q > 2*Delta");
+  const double d = delta;
+  return 1.0 - (1.0 - d / q) * std::pow(1.0 - 2.0 / q, d) +
+         d / (q - 2.0 * d) * std::pow(1.0 - 2.0 / q, d - 1.0);
+}
+
+double ideal_coupling_limit(double alpha) {
+  LS_REQUIRE(alpha > 2.0, "requires alpha > 2");
+  return 1.0 - std::exp(-2.0 / alpha) *
+                   (1.0 - 1.0 / alpha - 1.0 / (alpha - 2.0));
+}
+
+double easy_coupling_margin(double q, int delta) {
+  LS_REQUIRE(delta >= 1 && q > delta, "requires q > Delta");
+  const double d = delta;
+  return (1.0 - d / q) * std::pow(1.0 - 3.0 / q, d) -
+         (2.0 * d / q) * std::pow(1.0 - 2.0 / q, d);
+}
+
+double easy_coupling_limit(double alpha) {
+  LS_REQUIRE(alpha > 0.0, "requires alpha > 0");
+  return (1.0 - 1.0 / alpha) * std::exp(-3.0 / alpha) -
+         (2.0 / alpha) * std::exp(-2.0 / alpha);
+}
+
+double global_coupling_margin(double q, int delta) {
+  LS_REQUIRE(delta >= 1 && q > 2.0 * delta - 2.0,
+             "requires q > 2*Delta - 2");
+  const double d = delta;
+  return (1.0 - d / q) * std::pow(1.0 - 2.0 / q, d) -
+         d / (q - 2.0 * d + 2.0) * std::pow(1.0 - 2.0 / q, d - 1.0);
+}
+
+double coloring_dobrushin_alpha(int q, int delta) {
+  LS_REQUIRE(q > delta && delta >= 0, "requires q > Delta");
+  return delta == 0 ? 0.0 : static_cast<double>(delta) / (q - delta);
+}
+
+std::int64_t luby_glauber_round_budget(std::int64_t n, double gamma,
+                                       double alpha, double eps) {
+  LS_REQUIRE(n >= 1 && gamma > 0.0 && gamma <= 1.0, "invalid n or gamma");
+  LS_REQUIRE(alpha >= 0.0 && alpha < 1.0, "Dobrushin condition needs alpha<1");
+  LS_REQUIRE(eps > 0.0 && eps < 1.0, "epsilon in (0,1)");
+  const double t1 = std::ceil(std::log(4.0 * static_cast<double>(n) / eps) /
+                              gamma);
+  const double t2 = std::ceil(std::log(2.0 * static_cast<double>(n) / eps) /
+                              ((1.0 - alpha) * gamma));
+  return static_cast<std::int64_t>(t1 + t2);
+}
+
+std::int64_t local_metropolis_round_budget(std::int64_t n, int delta_max,
+                                           double contraction, double eps) {
+  LS_REQUIRE(n >= 1 && delta_max >= 1, "invalid n or Delta");
+  LS_REQUIRE(contraction > 0.0 && contraction <= 1.0,
+             "contraction margin must be in (0,1]");
+  LS_REQUIRE(eps > 0.0 && eps < 1.0, "epsilon in (0,1)");
+  return static_cast<std::int64_t>(
+      std::ceil(std::log(static_cast<double>(n) * delta_max / eps) /
+                contraction));
+}
+
+}  // namespace lsample::core

@@ -1,0 +1,60 @@
+// Closed-form quantities from the paper's analysis: mixing conditions,
+// round budgets, and the coupling-contraction functions whose roots give the
+// 2+sqrt(2) and alpha* thresholds (§3.1, §4.2).
+#pragma once
+
+#include <cstdint>
+
+namespace lsample::core {
+
+/// 2 + sqrt(2) ≈ 3.4142: the ideal-coupling threshold of Theorem 4.2.
+[[nodiscard]] double ideal_threshold() noexcept;
+
+/// alpha* ≈ 3.6343: the positive root of alpha = 2 e^{1/alpha} + 1, the
+/// threshold of the easy local coupling (Lemma 4.4).
+[[nodiscard]] double alpha_star() noexcept;
+
+/// Expected number of disagreeing vertices after one step of the ideal
+/// coupling on the Delta-regular tree (§4.2.1):
+///   1 - (1 - Delta/q)(1 - 2/q)^Delta + Delta/(q - 2Delta) (1 - 2/q)^{Delta-1}.
+/// Path coupling contracts iff this is < 1.  Requires q > 2*Delta.
+[[nodiscard]] double ideal_coupling_expected_disagreement(double q, int delta);
+
+/// Delta -> infinity limit of the above at q = alpha*Delta:
+///   1 - e^{-2/alpha} (1 - 1/alpha - 1/(alpha-2)).
+[[nodiscard]] double ideal_coupling_limit(double alpha);
+
+/// Contraction margin of the easy local coupling (LHS of (13)):
+///   (1 - Delta/q)(1 - 3/q)^Delta - (2 Delta/q)(1 - 2/q)^Delta.
+/// Positive => Lemma 4.4 applies (tau = O(log(n/eps))).
+[[nodiscard]] double easy_coupling_margin(double q, int delta);
+
+/// Delta -> infinity limit of the easy margin at q = alpha*Delta:
+///   (1 - 1/alpha) e^{-3/alpha} - (2/alpha) e^{-2/alpha}.
+[[nodiscard]] double easy_coupling_limit(double alpha);
+
+/// Contraction margin of the global coupling (LHS of (26)):
+///   (1 - Delta/q)(1 - 2/q)^Delta - Delta/(q - 2Delta + 2) (1 - 2/q)^{Delta-1}.
+/// Positive => Lemma 4.5 applies.  Requires q > 2*Delta - 2.
+[[nodiscard]] double global_coupling_margin(double q, int delta);
+
+/// Dobrushin total influence for uniform q-colorings on a graph of maximum
+/// degree Delta: Delta / (q - Delta) (requires q > Delta).
+[[nodiscard]] double coloring_dobrushin_alpha(int q, int delta);
+
+/// LubyGlauber round budget from the proof of Theorem 3.2 with scheduler
+/// selection probability >= gamma and total influence alpha < 1:
+///   T = ceil(ln(4n/eps)/gamma) + ceil(ln(2n/eps)/((1-alpha) gamma)).
+[[nodiscard]] std::int64_t luby_glauber_round_budget(std::int64_t n,
+                                                     double gamma,
+                                                     double alpha, double eps);
+
+/// LocalMetropolis round budget from Lemma 4.3 with path-coupling contraction
+/// margin delta and pre-metric diameter <= n * Delta:
+///   T = ceil(ln(n Delta / eps) / delta).
+[[nodiscard]] std::int64_t local_metropolis_round_budget(std::int64_t n,
+                                                         int delta_max,
+                                                         double contraction,
+                                                         double eps);
+
+}  // namespace lsample::core

@@ -1,0 +1,95 @@
+#include "csp/csp_chains.hpp"
+
+#include "chains/glauber.hpp"
+#include "chains/schedulers.hpp"
+#include "util/require.hpp"
+
+namespace lsample::csp {
+
+int csp_heat_bath_resample(const FactorGraph& fg, const util::CounterRng& rng,
+                           int v, std::int64_t t, const Config& x,
+                           std::vector<double>& scratch) {
+  fg.marginal_weights(v, x, scratch);
+  const int s = chains::shared_stream_sample(scratch, rng,
+                                             util::RngDomain::vertex_update,
+                                             static_cast<std::uint64_t>(v), t);
+  // Zero marginal (possible at infeasible states, e.g. a dominating-set
+  // violation no single vertex can repair): keep the current spin.
+  return s >= 0 ? s : x[static_cast<std::size_t>(v)];
+}
+
+CspGlauberChain::CspGlauberChain(const FactorGraph& fg, std::uint64_t seed)
+    : fg_(fg), rng_(seed) {}
+
+void CspGlauberChain::step(Config& x, std::int64_t t) {
+  const int v = rng_.uniform_int(util::RngDomain::global_choice, 0,
+                                 static_cast<std::uint64_t>(t), 0, fg_.n());
+  x[static_cast<std::size_t>(v)] =
+      csp_heat_bath_resample(fg_, rng_, v, t, x, weights_);
+}
+
+CspLubyGlauberChain::CspLubyGlauberChain(const FactorGraph& fg,
+                                         std::uint64_t seed)
+    : fg_(fg), rng_(seed), conflict_(fg.make_conflict_graph()) {}
+
+void CspLubyGlauberChain::step(Config& x, std::int64_t t) {
+  const int n = fg_.n();
+  priorities_.resize(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v)
+    priorities_[static_cast<std::size_t>(v)] =
+        chains::luby_priority(rng_, v, t);
+  // Strongly independent set: local maxima of the conflict graph.  No two
+  // selected vertices share a constraint, so in-place updates are parallel.
+  for (int v = 0; v < n; ++v) {
+    bool is_max = true;
+    for (int u : conflict_->neighbors(v)) {
+      const double pu = priorities_[static_cast<std::size_t>(u)];
+      const double pv = priorities_[static_cast<std::size_t>(v)];
+      if (pu > pv || (pu == pv && u > v)) {
+        is_max = false;
+        break;
+      }
+    }
+    if (is_max)
+      x[static_cast<std::size_t>(v)] =
+          csp_heat_bath_resample(fg_, rng_, v, t, x, weights_);
+  }
+}
+
+CspLocalMetropolisChain::CspLocalMetropolisChain(const FactorGraph& fg,
+                                                 std::uint64_t seed)
+    : fg_(fg), rng_(seed) {}
+
+void CspLocalMetropolisChain::step(Config& x, std::int64_t t) {
+  const int n = fg_.n();
+  proposal_.resize(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    const double u = rng_.u01(util::RngDomain::vertex_proposal,
+                              static_cast<std::uint64_t>(v),
+                              static_cast<std::uint64_t>(t));
+    const int s = util::categorical(fg_.vertex_activity(v), u);
+    LS_ASSERT(s >= 0, "vertex activity must not be identically zero");
+    proposal_[static_cast<std::size_t>(v)] = s;
+  }
+  const int nc = fg_.num_constraints();
+  pass_.resize(static_cast<std::size_t>(nc));
+  for (int c = 0; c < nc; ++c) {
+    const double p = fg_.constraint_pass_prob(c, proposal_, x);
+    const double u = rng_.u01(util::RngDomain::constraint_coin,
+                              static_cast<std::uint64_t>(c),
+                              static_cast<std::uint64_t>(t));
+    pass_[static_cast<std::size_t>(c)] = u < p ? 1 : 0;
+  }
+  for (int v = 0; v < n; ++v) {
+    bool accept = true;
+    for (int c : fg_.constraints_of(v))
+      if (pass_[static_cast<std::size_t>(c)] == 0) {
+        accept = false;
+        break;
+      }
+    if (accept)
+      x[static_cast<std::size_t>(v)] = proposal_[static_cast<std::size_t>(v)];
+  }
+}
+
+}  // namespace lsample::csp

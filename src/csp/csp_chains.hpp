@@ -1,0 +1,82 @@
+// The paper's two algorithms generalized to weighted local CSPs, plus the
+// single-site Glauber baseline on CSPs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "csp/factor_graph.hpp"
+#include "util/rng.hpp"
+
+namespace lsample::csp {
+
+/// Common interface mirroring chains::Chain for factor graphs.
+class CspChain {
+ public:
+  virtual ~CspChain() = default;
+  virtual void step(Config& x, std::int64_t t) = 0;
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+};
+
+/// Single-site heat-bath Glauber on a CSP.
+class CspGlauberChain final : public CspChain {
+ public:
+  CspGlauberChain(const FactorGraph& fg, std::uint64_t seed);
+  void step(Config& x, std::int64_t t) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "CspGlauber";
+  }
+
+ private:
+  const FactorGraph& fg_;
+  util::CounterRng rng_;
+  std::vector<double> weights_;
+};
+
+/// LubyGlauber on a CSP: the Luby step runs on the conflict graph, so the
+/// selected set is strongly independent in the constraint hypergraph and the
+/// parallel heat-bath update is well defined (Remark in §3).
+class CspLubyGlauberChain final : public CspChain {
+ public:
+  CspLubyGlauberChain(const FactorGraph& fg, std::uint64_t seed);
+  void step(Config& x, std::int64_t t) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "CspLubyGlauber";
+  }
+
+ private:
+  const FactorGraph& fg_;
+  util::CounterRng rng_;
+  std::shared_ptr<graph::Graph> conflict_;
+  std::vector<double> priorities_;
+  std::vector<double> weights_;
+};
+
+/// LocalMetropolis on a CSP: every vertex proposes from b_v; every k-ary
+/// constraint flips one shared coin that passes with probability equal to
+/// the product of the 2^k - 1 mixed normalized factors (Remark in §4); a
+/// vertex accepts iff all constraints containing it pass.
+class CspLocalMetropolisChain final : public CspChain {
+ public:
+  CspLocalMetropolisChain(const FactorGraph& fg, std::uint64_t seed);
+  void step(Config& x, std::int64_t t) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "CspLocalMetropolis";
+  }
+
+ private:
+  const FactorGraph& fg_;
+  util::CounterRng rng_;
+  Config proposal_;
+  std::vector<char> pass_;
+};
+
+/// Heat-bath resample of vertex v on a CSP (shared by the chains above).
+[[nodiscard]] int csp_heat_bath_resample(const FactorGraph& fg,
+                                         const util::CounterRng& rng, int v,
+                                         std::int64_t t, const Config& x,
+                                         std::vector<double>& scratch);
+
+}  // namespace lsample::csp

@@ -1,0 +1,218 @@
+#include "csp/csp_exact.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "util/require.hpp"
+#include "util/summary.hpp"
+
+namespace lsample::csp {
+
+using inference::DenseMatrix;
+using inference::StateSpace;
+
+namespace {
+
+void check_sizes(const FactorGraph& fg, const StateSpace& ss) {
+  LS_REQUIRE(ss.n() == fg.n() && ss.q() == fg.q(),
+             "state space must match the factor graph");
+}
+
+std::vector<double> heat_bath_marginal(const FactorGraph& fg, int v,
+                                       const Config& x) {
+  std::vector<double> w;
+  fg.marginal_weights(v, x, w);
+  const double z = util::normalize(w);
+  if (z <= 0.0) {
+    // Zero marginal at an infeasible state: the chain keeps the current
+    // spin (matching csp_heat_bath_resample).
+    w.assign(static_cast<std::size_t>(fg.q()), 0.0);
+    w[static_cast<std::size_t>(x[static_cast<std::size_t>(v)])] = 1.0;
+  }
+  return w;
+}
+
+std::vector<double> proposal_distribution(const FactorGraph& fg, int v) {
+  const auto b = fg.vertex_activity(v);
+  std::vector<double> p(b.begin(), b.end());
+  util::normalize(p);
+  return p;
+}
+
+std::map<std::uint32_t, double> luby_set_distribution(const graph::Graph& g) {
+  const int n = g.num_vertices();
+  LS_REQUIRE(n <= 9, "exact Luby enumeration limited to n <= 9");
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  std::map<std::uint32_t, double> dist;
+  std::int64_t count = 0;
+  do {
+    std::uint32_t mask = 0;
+    for (int v = 0; v < n; ++v) {
+      bool is_max = true;
+      for (int u : g.neighbors(v))
+        if (perm[static_cast<std::size_t>(u)] >
+            perm[static_cast<std::size_t>(v)]) {
+          is_max = false;
+          break;
+        }
+      if (is_max) mask |= (1u << v);
+    }
+    dist[mask] += 1.0;
+    ++count;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  for (auto& [mask, p] : dist) p /= static_cast<double>(count);
+  return dist;
+}
+
+}  // namespace
+
+std::vector<double> csp_gibbs_distribution(const FactorGraph& fg,
+                                           const StateSpace& ss) {
+  check_sizes(fg, ss);
+  std::vector<double> mu(static_cast<std::size_t>(ss.size()), 0.0);
+  Config x;
+  for (std::int64_t i = 0; i < ss.size(); ++i) {
+    ss.decode_into(i, x);
+    double w = 1.0;
+    for (int v = 0; v < fg.n() && w > 0.0; ++v)
+      w *= fg.vertex_activity(v)[static_cast<std::size_t>(
+          x[static_cast<std::size_t>(v)])];
+    for (int c = 0; c < fg.num_constraints() && w > 0.0; ++c)
+      w *= fg.table_value(c, x);
+    mu[static_cast<std::size_t>(i)] = w;
+  }
+  const double z = util::normalize(mu);
+  LS_REQUIRE(z > 0.0, "CSP partition function is zero");
+  return mu;
+}
+
+DenseMatrix csp_glauber_transition(const FactorGraph& fg,
+                                   const StateSpace& ss) {
+  check_sizes(fg, ss);
+  DenseMatrix p(ss.size());
+  Config x;
+  const double pick = 1.0 / fg.n();
+  for (std::int64_t xi = 0; xi < ss.size(); ++xi) {
+    ss.decode_into(xi, x);
+    for (int v = 0; v < fg.n(); ++v) {
+      const auto marg = heat_bath_marginal(fg, v, x);
+      for (int s = 0; s < fg.q(); ++s)
+        if (marg[static_cast<std::size_t>(s)] > 0.0)
+          p.at(xi, ss.with_spin(xi, v, s)) +=
+              pick * marg[static_cast<std::size_t>(s)];
+    }
+  }
+  return p;
+}
+
+DenseMatrix csp_luby_glauber_transition(const FactorGraph& fg,
+                                        const StateSpace& ss) {
+  check_sizes(fg, ss);
+  const auto conflict = fg.make_conflict_graph();
+  const auto set_dist = luby_set_distribution(*conflict);
+  DenseMatrix p(ss.size());
+  Config x;
+  for (std::int64_t xi = 0; xi < ss.size(); ++xi) {
+    ss.decode_into(xi, x);
+    for (const auto& [mask, prob] : set_dist) {
+      // Enumerate joint assignments to the selected (strongly independent)
+      // vertices; their marginals conditioned on x are independent.
+      std::vector<int> sel;
+      for (int v = 0; v < fg.n(); ++v)
+        if (mask & (1u << v)) sel.push_back(v);
+      if (sel.empty()) {
+        p.at(xi, xi) += prob;
+        continue;
+      }
+      std::vector<std::vector<double>> marg;
+      marg.reserve(sel.size());
+      for (int v : sel) marg.push_back(heat_bath_marginal(fg, v, x));
+      std::vector<int> assign(sel.size(), 0);
+      while (true) {
+        double pr = prob;
+        std::int64_t target = xi;
+        for (std::size_t i = 0; i < sel.size(); ++i) {
+          pr *= marg[i][static_cast<std::size_t>(assign[i])];
+          target = ss.with_spin(target, sel[i], assign[i]);
+        }
+        if (pr > 0.0) p.at(xi, target) += pr;
+        std::size_t i = 0;
+        while (i < assign.size() && ++assign[i] == fg.q()) assign[i++] = 0;
+        if (i == assign.size()) break;
+      }
+    }
+  }
+  return p;
+}
+
+DenseMatrix csp_local_metropolis_transition(const FactorGraph& fg,
+                                            const StateSpace& ss,
+                                            int max_uncertain_constraints) {
+  check_sizes(fg, ss);
+  const int nc = fg.num_constraints();
+  DenseMatrix p(ss.size());
+  Config x;
+  Config sigma;
+  std::vector<std::vector<double>> prop;
+  for (int v = 0; v < fg.n(); ++v)
+    prop.push_back(proposal_distribution(fg, v));
+
+  std::vector<double> pass_prob(static_cast<std::size_t>(nc));
+  std::vector<char> passes(static_cast<std::size_t>(nc));
+  std::vector<int> uncertain;
+
+  for (std::int64_t xi = 0; xi < ss.size(); ++xi) {
+    ss.decode_into(xi, x);
+    for (std::int64_t si = 0; si < ss.size(); ++si) {
+      ss.decode_into(si, sigma);
+      double prob_sigma = 1.0;
+      for (int v = 0; v < fg.n() && prob_sigma > 0.0; ++v)
+        prob_sigma *= prop[static_cast<std::size_t>(v)][static_cast<std::size_t>(
+            sigma[static_cast<std::size_t>(v)])];
+      if (prob_sigma <= 0.0) continue;
+
+      uncertain.clear();
+      for (int c = 0; c < nc; ++c) {
+        const double pc = fg.constraint_pass_prob(c, sigma, x);
+        pass_prob[static_cast<std::size_t>(c)] = pc;
+        if (pc > 0.0 && pc < 1.0) uncertain.push_back(c);
+        passes[static_cast<std::size_t>(c)] = pc >= 1.0 ? 1 : 0;
+      }
+      LS_REQUIRE(
+          static_cast<int>(uncertain.size()) <= max_uncertain_constraints,
+          "too many soft constraints for exact coin enumeration");
+
+      const std::uint64_t combos = 1ull << uncertain.size();
+      for (std::uint64_t bits = 0; bits < combos; ++bits) {
+        double prob_coins = 1.0;
+        for (std::size_t i = 0; i < uncertain.size(); ++i) {
+          const int c = uncertain[i];
+          const bool pass = (bits >> i) & 1ull;
+          passes[static_cast<std::size_t>(c)] = pass ? 1 : 0;
+          prob_coins *= pass ? pass_prob[static_cast<std::size_t>(c)]
+                             : 1.0 - pass_prob[static_cast<std::size_t>(c)];
+        }
+        if (prob_coins <= 0.0) continue;
+
+        std::int64_t target = xi;
+        for (int v = 0; v < fg.n(); ++v) {
+          bool accept = true;
+          for (int c : fg.constraints_of(v))
+            if (passes[static_cast<std::size_t>(c)] == 0) {
+              accept = false;
+              break;
+            }
+          if (accept)
+            target =
+                ss.with_spin(target, v, sigma[static_cast<std::size_t>(v)]);
+        }
+        p.at(xi, target) += prob_sigma * prob_coins;
+      }
+    }
+  }
+  return p;
+}
+
+}  // namespace lsample::csp

@@ -1,0 +1,33 @@
+// Exact analysis of CSP chains on small factor graphs: Gibbs vectors and
+// exact transition matrices, mirroring inference/ for MRFs.  Used to verify
+// that the CSP generalizations of both algorithms (the §3 and §4 remarks)
+// are stationary / reversible for the CSP Gibbs distribution.
+#pragma once
+
+#include "csp/factor_graph.hpp"
+#include "inference/dense_matrix.hpp"
+#include "inference/state_space.hpp"
+
+namespace lsample::csp {
+
+/// Gibbs distribution of the factor graph over [q]^n, indexed by StateSpace
+/// codes.  Throws if the partition function is zero.
+[[nodiscard]] std::vector<double> csp_gibbs_distribution(
+    const FactorGraph& fg, const inference::StateSpace& ss);
+
+/// Exact single-site Glauber transition matrix.
+[[nodiscard]] inference::DenseMatrix csp_glauber_transition(
+    const FactorGraph& fg, const inference::StateSpace& ss);
+
+/// Exact CSP LubyGlauber transition matrix (Luby step on the conflict graph,
+/// integrated over all priority orderings).  Requires n <= 9.
+[[nodiscard]] inference::DenseMatrix csp_luby_glauber_transition(
+    const FactorGraph& fg, const inference::StateSpace& ss);
+
+/// Exact CSP LocalMetropolis transition matrix (constraint coins integrated
+/// exactly).
+[[nodiscard]] inference::DenseMatrix csp_local_metropolis_transition(
+    const FactorGraph& fg, const inference::StateSpace& ss,
+    int max_uncertain_constraints = 20);
+
+}  // namespace lsample::csp

@@ -1,0 +1,89 @@
+#include "csp/csp_models.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/require.hpp"
+
+namespace lsample::csp {
+
+FactorGraph make_dominating_set(const graph::Graph& g, double lambda) {
+  LS_REQUIRE(lambda > 0.0, "lambda must be positive");
+  FactorGraph fg(g.num_vertices(), 2);
+  for (int v = 0; v < g.num_vertices(); ++v)
+    fg.set_vertex_activity(v, {1.0, lambda});
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    // Inclusive neighborhood with duplicates (multi-edges) removed.
+    std::set<int> scope_set{v};
+    for (int u : g.neighbors(v)) scope_set.insert(u);
+    std::vector<int> scope(scope_set.begin(), scope_set.end());
+    LS_REQUIRE(scope.size() <= 16, "degree too large for a cover constraint");
+    const std::size_t entries = std::size_t{1} << scope.size();
+    std::vector<double> table(entries, 1.0);
+    table[0] = 0.0;  // all-zero assignment leaves v uncovered
+    fg.add_constraint(std::move(scope), std::move(table));
+  }
+  return fg;
+}
+
+FactorGraph make_hypergraph_nae(
+    int n, int q, const std::vector<std::vector<int>>& hyperedges) {
+  FactorGraph fg(n, q);
+  for (const auto& he : hyperedges) {
+    LS_REQUIRE(he.size() >= 2 && he.size() <= 8, "hyperedge arity in [2,8]");
+    std::size_t entries = 1;
+    for (std::size_t i = 0; i < he.size(); ++i)
+      entries *= static_cast<std::size_t>(q);
+    std::vector<double> table(entries, 1.0);
+    // All-equal assignments have index s * (1 + q + q^2 + ...) .
+    std::size_t step = 0;
+    std::size_t mult = 1;
+    for (std::size_t i = 0; i < he.size(); ++i) {
+      step += mult;
+      mult *= static_cast<std::size_t>(q);
+    }
+    for (int s = 0; s < q; ++s)
+      table[static_cast<std::size_t>(s) * step] = 0.0;
+    fg.add_constraint(he, std::move(table));
+  }
+  return fg;
+}
+
+FactorGraph make_hypergraph_independent_set(
+    int n, const std::vector<std::vector<int>>& hyperedges, double lambda) {
+  LS_REQUIRE(lambda > 0.0, "lambda must be positive");
+  FactorGraph fg(n, 2);
+  for (int v = 0; v < n; ++v) fg.set_vertex_activity(v, {1.0, lambda});
+  for (const auto& he : hyperedges) {
+    LS_REQUIRE(he.size() >= 2 && he.size() <= 16, "hyperedge arity in [2,16]");
+    const std::size_t entries = std::size_t{1} << he.size();
+    std::vector<double> table(entries, 1.0);
+    table[entries - 1] = 0.0;  // all-chosen violates independence
+    fg.add_constraint(he, std::move(table));
+  }
+  return fg;
+}
+
+FactorGraph make_mrf_as_csp(const mrf::Mrf& m) {
+  FactorGraph fg(m.n(), m.q());
+  for (int v = 0; v < m.n(); ++v) {
+    const auto b = m.vertex_activity(v);
+    fg.set_vertex_activity(v, {b.begin(), b.end()});
+  }
+  for (int e = 0; e < m.g().num_edges(); ++e) {
+    const graph::Edge& ed = m.g().edge(e);
+    const auto& a = m.edge_activity(e);
+    std::vector<double> table(static_cast<std::size_t>(m.q()) *
+                              static_cast<std::size_t>(m.q()));
+    // Scope (u, v): index = x_u + q * x_v.
+    for (int xu = 0; xu < m.q(); ++xu)
+      for (int xv = 0; xv < m.q(); ++xv)
+        table[static_cast<std::size_t>(xu) +
+              static_cast<std::size_t>(m.q()) * static_cast<std::size_t>(xv)] =
+            a.at(xu, xv);
+    fg.add_constraint({ed.u, ed.v}, std::move(table));
+  }
+  return fg;
+}
+
+}  // namespace lsample::csp

@@ -1,0 +1,34 @@
+// Weighted local CSP model builders (§2.2 examples: dominating sets, and
+// MRFs embedded as binary CSPs).
+#pragma once
+
+#include <vector>
+
+#include "csp/factor_graph.hpp"
+#include "graph/graph.hpp"
+#include "mrf/mrf.hpp"
+
+namespace lsample::csp {
+
+/// Dominating sets of g weighted by lambda^|S|: q = 2, spin 1 = "chosen";
+/// for every vertex a cover constraint on the inclusive neighborhood
+/// Gamma+(v) requiring at least one chosen vertex (§2.2).
+[[nodiscard]] FactorGraph make_dominating_set(const graph::Graph& g,
+                                              double lambda);
+
+/// Uniform distribution over not-all-equal labelings of a k-uniform
+/// hypergraph with q labels: one NAE constraint per hyperedge.
+[[nodiscard]] FactorGraph make_hypergraph_nae(
+    int n, int q, const std::vector<std::vector<int>>& hyperedges);
+
+/// Independent sets of a hypergraph weighted by lambda^|S|: a hyperedge is
+/// violated iff all its vertices are chosen.
+[[nodiscard]] FactorGraph make_hypergraph_independent_set(
+    int n, const std::vector<std::vector<int>>& hyperedges, double lambda);
+
+/// Embeds a pairwise MRF as a CSP with one binary constraint per edge; the
+/// Gibbs distributions coincide (tested), demonstrating that the CSP
+/// machinery strictly generalizes the MRF machinery.
+[[nodiscard]] FactorGraph make_mrf_as_csp(const mrf::Mrf& m);
+
+}  // namespace lsample::csp

@@ -1,0 +1,174 @@
+#include "csp/factor_graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "util/require.hpp"
+
+namespace lsample::csp {
+
+FactorGraph::FactorGraph(int n, int q) : n_(n), q_(q) {
+  LS_REQUIRE(n >= 1 && q >= 2, "need n >= 1 and q >= 2");
+  constraints_of_.resize(static_cast<std::size_t>(n));
+  vertex_acts_.assign(static_cast<std::size_t>(n),
+                      std::vector<double>(static_cast<std::size_t>(q), 1.0));
+}
+
+int FactorGraph::add_constraint(std::vector<int> scope,
+                                std::vector<double> table) {
+  LS_REQUIRE(!scope.empty() && scope.size() <= 16, "scope arity in [1,16]");
+  std::set<int> distinct(scope.begin(), scope.end());
+  LS_REQUIRE(distinct.size() == scope.size(), "scope vertices must be distinct");
+  for (int v : scope) LS_REQUIRE(v >= 0 && v < n_, "scope vertex out of range");
+  std::size_t expected = 1;
+  for (std::size_t i = 0; i < scope.size(); ++i)
+    expected *= static_cast<std::size_t>(q_);
+  LS_REQUIRE(table.size() == expected, "table must have q^|scope| entries");
+  Constraint c;
+  c.scope = std::move(scope);
+  c.max_entry = 0.0;
+  for (double x : table) {
+    LS_REQUIRE(x >= 0.0 && std::isfinite(x), "constraint values non-negative");
+    c.max_entry = std::max(c.max_entry, x);
+  }
+  LS_REQUIRE(c.max_entry > 0.0, "constraint must not be identically zero");
+  c.table = std::move(table);
+  const int id = num_constraints();
+  for (int v : c.scope)
+    constraints_of_[static_cast<std::size_t>(v)].push_back(id);
+  constraints_.push_back(std::move(c));
+  return id;
+}
+
+void FactorGraph::set_vertex_activity(int v, std::vector<double> b) {
+  LS_REQUIRE(v >= 0 && v < n_, "vertex out of range");
+  LS_REQUIRE(b.size() == static_cast<std::size_t>(q_), "need q entries");
+  double total = 0.0;
+  for (double x : b) {
+    LS_REQUIRE(x >= 0.0 && std::isfinite(x), "activities non-negative");
+    total += x;
+  }
+  LS_REQUIRE(total > 0.0, "vertex activity must not be identically zero");
+  vertex_acts_[static_cast<std::size_t>(v)] = std::move(b);
+}
+
+const Constraint& FactorGraph::constraint(int c) const {
+  LS_REQUIRE(c >= 0 && c < num_constraints(), "constraint id out of range");
+  return constraints_[static_cast<std::size_t>(c)];
+}
+
+std::span<const int> FactorGraph::constraints_of(int v) const {
+  LS_REQUIRE(v >= 0 && v < n_, "vertex out of range");
+  return constraints_of_[static_cast<std::size_t>(v)];
+}
+
+std::span<const double> FactorGraph::vertex_activity(int v) const {
+  LS_REQUIRE(v >= 0 && v < n_, "vertex out of range");
+  return vertex_acts_[static_cast<std::size_t>(v)];
+}
+
+std::size_t FactorGraph::table_index(const Constraint& c,
+                                     const Config& x) const {
+  std::size_t idx = 0;
+  std::size_t mult = 1;
+  for (int v : c.scope) {
+    idx += static_cast<std::size_t>(x[static_cast<std::size_t>(v)]) * mult;
+    mult *= static_cast<std::size_t>(q_);
+  }
+  return idx;
+}
+
+double FactorGraph::table_value(int c, const Config& x) const {
+  const Constraint& con = constraint(c);
+  return con.table[table_index(con, x)];
+}
+
+double FactorGraph::log_weight(const Config& x) const {
+  check_config(*this, x);
+  double lw = 0.0;
+  for (int v = 0; v < n_; ++v) {
+    const double b = vertex_acts_[static_cast<std::size_t>(v)]
+                                 [static_cast<std::size_t>(
+                                     x[static_cast<std::size_t>(v)])];
+    if (b <= 0.0) return -std::numeric_limits<double>::infinity();
+    lw += std::log(b);
+  }
+  for (int c = 0; c < num_constraints(); ++c) {
+    const double f = table_value(c, x);
+    if (f <= 0.0) return -std::numeric_limits<double>::infinity();
+    lw += std::log(f);
+  }
+  return lw;
+}
+
+bool FactorGraph::feasible(const Config& x) const {
+  check_config(*this, x);
+  for (int v = 0; v < n_; ++v)
+    if (vertex_acts_[static_cast<std::size_t>(v)][static_cast<std::size_t>(
+            x[static_cast<std::size_t>(v)])] <= 0.0)
+      return false;
+  for (int c = 0; c < num_constraints(); ++c)
+    if (table_value(c, x) <= 0.0) return false;
+  return true;
+}
+
+void FactorGraph::marginal_weights(int v, const Config& x,
+                                   std::vector<double>& out) const {
+  LS_REQUIRE(v >= 0 && v < n_, "vertex out of range");
+  out.assign(static_cast<std::size_t>(q_), 0.0);
+  Config y = x;
+  for (int s = 0; s < q_; ++s) {
+    y[static_cast<std::size_t>(v)] = s;
+    double w = vertex_acts_[static_cast<std::size_t>(v)]
+                           [static_cast<std::size_t>(s)];
+    for (int c : constraints_of(v)) {
+      if (w <= 0.0) break;
+      w *= table_value(c, y);
+    }
+    out[static_cast<std::size_t>(s)] = w;
+  }
+}
+
+double FactorGraph::constraint_pass_prob(int c, const Config& sigma,
+                                         const Config& x) const {
+  const Constraint& con = constraint(c);
+  const std::size_t k = con.scope.size();
+  LS_ASSERT(k <= 16, "arity too large");
+  Config tau = x;
+  double p = 1.0;
+  const std::uint32_t combos = 1u << k;
+  // Subset T of scope positions that take the proposal; T = 0 (all-X) is
+  // excluded per the paper's remark.
+  for (std::uint32_t t = 1; t < combos && p > 0.0; ++t) {
+    for (std::size_t i = 0; i < k; ++i) {
+      const int v = con.scope[i];
+      tau[static_cast<std::size_t>(v)] = (t >> i) & 1u
+                                             ? sigma[static_cast<std::size_t>(v)]
+                                             : x[static_cast<std::size_t>(v)];
+    }
+    p *= con.table[table_index(con, tau)] / con.max_entry;
+  }
+  return p;
+}
+
+std::shared_ptr<graph::Graph> FactorGraph::make_conflict_graph() const {
+  auto g = std::make_shared<graph::Graph>(n_);
+  std::set<std::pair<int, int>> seen;
+  for (const auto& con : constraints_)
+    for (std::size_t i = 0; i < con.scope.size(); ++i)
+      for (std::size_t j = i + 1; j < con.scope.size(); ++j) {
+        const int a = std::min(con.scope[i], con.scope[j]);
+        const int b = std::max(con.scope[i], con.scope[j]);
+        if (seen.emplace(a, b).second) g->add_edge(a, b);
+      }
+  return g;
+}
+
+void check_config(const FactorGraph& fg, const Config& x) {
+  LS_REQUIRE(static_cast<int>(x.size()) == fg.n(), "config size mismatch");
+  for (int s : x) LS_REQUIRE(s >= 0 && s < fg.q(), "spin out of range");
+}
+
+}  // namespace lsample::csp

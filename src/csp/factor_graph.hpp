@@ -1,0 +1,82 @@
+// Weighted local CSPs (factor graphs, §2.2): a collection of constraints
+// c = (f_c, S_c) with non-negative constraint functions over scopes S_c,
+// weight w(sigma) = prod_c f_c(sigma|S_c) * prod_v b_v(sigma_v).
+//
+// Both of the paper's algorithms extend to this model:
+//  * LubyGlauber runs its Luby step on the *conflict graph* (u ~ v iff they
+//    share a constraint), so the selected set is strongly independent in the
+//    constraint hypergraph (Remark in §3);
+//  * LocalMetropolis filters each k-ary constraint with a product of 2^k - 1
+//    normalized factors f̃_c(tau), one per way of mixing the proposals
+//    sigma_Sc with the current X_Sc other than X_Sc itself (Remark in §4).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "mrf/mrf.hpp"
+
+namespace lsample::csp {
+
+using mrf::Config;
+
+struct Constraint {
+  std::vector<int> scope;     ///< distinct vertex ids
+  std::vector<double> table;  ///< q^|scope| values; index = sum x_i * q^i
+  double max_entry = 0.0;
+};
+
+class FactorGraph {
+ public:
+  FactorGraph(int n, int q);
+
+  /// Adds constraint (f, S); the table is indexed by sum_i x_{S[i]} q^i.
+  int add_constraint(std::vector<int> scope, std::vector<double> table);
+
+  void set_vertex_activity(int v, std::vector<double> b);
+
+  [[nodiscard]] int n() const noexcept { return n_; }
+  [[nodiscard]] int q() const noexcept { return q_; }
+  [[nodiscard]] int num_constraints() const noexcept {
+    return static_cast<int>(constraints_.size());
+  }
+  [[nodiscard]] const Constraint& constraint(int c) const;
+  [[nodiscard]] std::span<const int> constraints_of(int v) const;
+  [[nodiscard]] std::span<const double> vertex_activity(int v) const;
+
+  /// f_c evaluated on the restriction of x to the scope.
+  [[nodiscard]] double table_value(int c, const Config& x) const;
+
+  [[nodiscard]] double log_weight(const Config& x) const;
+  [[nodiscard]] bool feasible(const Config& x) const;
+
+  /// Heat-bath marginal weights at v: out[s] = b_v(s) prod_{c: v in S_c}
+  /// f_c(x with x_v = s).
+  void marginal_weights(int v, const Config& x, std::vector<double>& out) const;
+
+  /// LocalMetropolis constraint filter: prod over the 2^k - 1 non-(all-X)
+  /// mixings tau of sigma and X on the scope of f̃_c(tau).
+  [[nodiscard]] double constraint_pass_prob(int c, const Config& sigma,
+                                            const Config& x) const;
+
+  /// Conflict graph: u ~ v iff u != v share at least one constraint
+  /// (deduplicated simple graph).  This is the graph the CSP Luby step runs
+  /// on.
+  [[nodiscard]] std::shared_ptr<graph::Graph> make_conflict_graph() const;
+
+ private:
+  [[nodiscard]] std::size_t table_index(const Constraint& c,
+                                        const Config& x) const;
+
+  int n_;
+  int q_;
+  std::vector<Constraint> constraints_;
+  std::vector<std::vector<int>> constraints_of_;
+  std::vector<std::vector<double>> vertex_acts_;
+};
+
+void check_config(const FactorGraph& fg, const Config& x);
+
+}  // namespace lsample::csp

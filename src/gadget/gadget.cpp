@@ -1,0 +1,121 @@
+#include "gadget/gadget.hpp"
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "util/require.hpp"
+
+namespace lsample::gadget {
+
+Gadget make_random_gadget(const GadgetParams& params, util::Rng& rng,
+                          int max_tries) {
+  LS_REQUIRE(params.n > 2 * params.k && params.k >= 1,
+             "need n > 2k and k >= 1");
+  LS_REQUIRE(params.delta >= 3, "need Delta >= 3");
+  const int n = params.n;
+  for (int attempt = 0; attempt < max_tries; ++attempt) {
+    auto g = std::make_shared<graph::Graph>(2 * n);
+    Gadget gadget;
+    gadget.g = g;
+    // V+ = 0..n-1, V- = n..2n-1; terminals are the last k of each side.
+    for (int i = 0; i < n; ++i) {
+      gadget.vplus.push_back(i);
+      gadget.vminus.push_back(n + i);
+    }
+    std::vector<int> uplus;
+    std::vector<int> uminus;
+    for (int i = 0; i < n; ++i) {
+      if (i < n - params.k) {
+        uplus.push_back(i);
+        uminus.push_back(n + i);
+      } else {
+        gadget.wplus.push_back(i);
+        gadget.wminus.push_back(n + i);
+      }
+    }
+    for (int mtch = 0; mtch < params.delta - 1; ++mtch)
+      graph::add_random_matching(*g, gadget.vplus, gadget.vminus, rng);
+    graph::add_random_matching(*g, uplus, uminus, rng);
+    if (graph::is_connected(*g)) return gadget;
+  }
+  throw std::runtime_error(
+      "make_random_gadget: no connected gadget found; raise max_tries");
+}
+
+int phase(const std::vector<int>& vplus, const std::vector<int>& vminus,
+          const mrf::Config& x) {
+  int plus = 0;
+  int minus = 0;
+  for (int v : vplus) plus += x[static_cast<std::size_t>(v)];
+  for (int v : vminus) minus += x[static_cast<std::size_t>(v)];
+  if (plus > minus) return 1;
+  if (plus < minus) return -1;
+  return 0;
+}
+
+LiftedCycle lift_on_cycle(const Gadget& blueprint, int m) {
+  LS_REQUIRE(m >= 4 && m % 2 == 0, "cycle length must be even and >= 4");
+  LS_REQUIRE(blueprint.wplus.size() % 2 == 0,
+             "need an even number of terminals per side (2k)");
+  const int copy_size = blueprint.g->num_vertices();
+  const int half = static_cast<int>(blueprint.wplus.size()) / 2;
+
+  LiftedCycle lifted;
+  lifted.m = m;
+  auto g = std::make_shared<graph::Graph>(copy_size * m);
+  lifted.g = g;
+  lifted.vplus.resize(static_cast<std::size_t>(m));
+  lifted.vminus.resize(static_cast<std::size_t>(m));
+
+  // Structural copies.
+  for (int c = 0; c < m; ++c) {
+    const int base = c * copy_size;
+    for (int e = 0; e < blueprint.g->num_edges(); ++e) {
+      const graph::Edge& ed = blueprint.g->edge(e);
+      g->add_edge(base + ed.u, base + ed.v);
+    }
+    for (int v : blueprint.vplus)
+      lifted.vplus[static_cast<std::size_t>(c)].push_back(base + v);
+    for (int v : blueprint.vminus)
+      lifted.vminus[static_cast<std::size_t>(c)].push_back(base + v);
+  }
+
+  // Cycle matchings: copy c's second terminal half connects to copy c+1's
+  // first terminal half, separately for W+ and W-.  Every terminal gains
+  // exactly one edge, so the lifted graph is Delta-regular.
+  for (int c = 0; c < m; ++c) {
+    const int next = (c + 1) % m;
+    const int base_c = c * copy_size;
+    const int base_n = next * copy_size;
+    for (int i = 0; i < half; ++i) {
+      g->add_edge(
+          base_c + blueprint.wplus[static_cast<std::size_t>(half + i)],
+          base_n + blueprint.wplus[static_cast<std::size_t>(i)]);
+      g->add_edge(
+          base_c + blueprint.wminus[static_cast<std::size_t>(half + i)],
+          base_n + blueprint.wminus[static_cast<std::size_t>(i)]);
+    }
+  }
+  return lifted;
+}
+
+std::vector<int> phase_vector(const LiftedCycle& lifted, const mrf::Config& x) {
+  std::vector<int> phases(static_cast<std::size_t>(lifted.m));
+  for (int c = 0; c < lifted.m; ++c)
+    phases[static_cast<std::size_t>(c)] =
+        phase(lifted.vplus[static_cast<std::size_t>(c)],
+              lifted.vminus[static_cast<std::size_t>(c)], x);
+  return phases;
+}
+
+int cut_value(const std::vector<int>& phases) {
+  const int m = static_cast<int>(phases.size());
+  int cut = 0;
+  for (int c = 0; c < m; ++c) {
+    const int a = phases[static_cast<std::size_t>(c)];
+    const int b = phases[static_cast<std::size_t>((c + 1) % m)];
+    if (a != 0 && b != 0 && a != b) ++cut;
+  }
+  return cut;
+}
+
+}  // namespace lsample::gadget

@@ -1,0 +1,71 @@
+// The Ω(diam) lower-bound construction of §5.1.
+//
+// A random bipartite gadget G_n^k: sides V± of size n, terminals W± of size k
+// (the remaining U± of size n-k), built as the union of Delta-1 uniform
+// perfect matchings between V+ and V- plus one uniform perfect matching
+// between U+ and U-.  Vertices in U have degree Delta; terminals Delta-1.
+//
+// The lifted graph H^G places one copy of the gadget (with 2k terminals per
+// side) on every vertex of an even cycle H and joins consecutive copies by
+// matchings between terminal halves, yielding a Delta-regular graph.  In the
+// non-uniqueness regime, the phase vector Y(sigma) of a hardcore sample
+// concentrates on the two maximum cuts of H (Theorem 5.4), a long-range
+// correlation no o(diam)-round protocol can reproduce (Theorem 5.2).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "mrf/mrf.hpp"
+#include "util/rng.hpp"
+
+namespace lsample::gadget {
+
+struct GadgetParams {
+  int n = 16;     ///< size of each side V+/V-
+  int k = 4;      ///< number of terminals per side
+  int delta = 6;  ///< target maximum degree
+};
+
+struct Gadget {
+  std::shared_ptr<graph::Graph> g;
+  std::vector<int> vplus;   ///< all vertices of V+ (0..n-1)
+  std::vector<int> vminus;  ///< all vertices of V- (n..2n-1)
+  std::vector<int> wplus;   ///< terminals in V+
+  std::vector<int> wminus;  ///< terminals in V-
+};
+
+/// Builds a connected random gadget; throws after max_tries disconnected
+/// draws.  Parallel edges may occur (the paper's construction is a
+/// multigraph).
+[[nodiscard]] Gadget make_random_gadget(const GadgetParams& params,
+                                        util::Rng& rng, int max_tries = 100);
+
+/// Phase of a configuration restricted to one gadget: +1 if V+ carries more
+/// occupied vertices than V-, -1 if fewer, 0 on a tie.
+[[nodiscard]] int phase(const std::vector<int>& vplus,
+                        const std::vector<int>& vminus, const mrf::Config& x);
+
+struct LiftedCycle {
+  std::shared_ptr<graph::Graph> g;
+  int m = 0;  ///< cycle length (even)
+  std::vector<std::vector<int>> vplus;   ///< per-copy V+ vertex ids
+  std::vector<std::vector<int>> vminus;  ///< per-copy V- vertex ids
+};
+
+/// Lifts one gadget blueprint onto an even cycle of length m: m structural
+/// copies of the gadget plus matchings joining consecutive copies' terminal
+/// halves (W+ to W+, W- to W-).  Requires the gadget to have 2k terminals
+/// per side with k = params.k; consecutive copies share k edges per sign.
+[[nodiscard]] LiftedCycle lift_on_cycle(const Gadget& blueprint, int m);
+
+/// Phase vector (one entry per copy) of a configuration on the lifted graph.
+[[nodiscard]] std::vector<int> phase_vector(const LiftedCycle& lifted,
+                                            const mrf::Config& x);
+
+/// Number of cycle edges whose endpoint phases differ (0 entries never
+/// count as a cut edge).  The maximum over phase vectors is m.
+[[nodiscard]] int cut_value(const std::vector<int>& phases);
+
+}  // namespace lsample::gadget

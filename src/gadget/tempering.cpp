@@ -1,0 +1,89 @@
+#include "gadget/tempering.hpp"
+
+#include <cmath>
+
+#include "chains/init.hpp"
+#include "mrf/models.hpp"
+#include "util/require.hpp"
+#include "util/summary.hpp"
+
+namespace lsample::gadget {
+
+ParallelTempering::ParallelTempering(std::vector<mrf::Mrf> ladder,
+                                     std::uint64_t seed)
+    : ladder_(std::move(ladder)), rng_(seed) {
+  LS_REQUIRE(!ladder_.empty(), "ladder must not be empty");
+  const int n = ladder_.front().n();
+  const int q = ladder_.front().q();
+  for (const auto& m : ladder_)
+    LS_REQUIRE(m.n() == n && m.q() == q, "ladder rungs must share (n, q)");
+  configs_.reserve(ladder_.size());
+  for (const auto& m : ladder_)
+    configs_.push_back(chains::greedy_feasible_config(m));
+}
+
+const mrf::Config& ParallelTempering::config(int rung) const {
+  LS_REQUIRE(rung >= 0 && rung < num_rungs(), "rung out of range");
+  return configs_[static_cast<std::size_t>(rung)];
+}
+
+double ParallelTempering::swap_acceptance_rate() const noexcept {
+  return swaps_attempted_ > 0
+             ? static_cast<double>(swaps_accepted_) / swaps_attempted_
+             : 0.0;
+}
+
+void ParallelTempering::glauber_sweep(int rung) {
+  const mrf::Mrf& m = ladder_[static_cast<std::size_t>(rung)];
+  mrf::Config& x = configs_[static_cast<std::size_t>(rung)];
+  for (int step = 0; step < m.n(); ++step) {
+    const int v = rng_.uniform_int(m.n());
+    m.marginal_weights(v, x, weights_);
+    const int c = util::categorical(weights_, rng_.u01());
+    LS_ASSERT(c >= 0, "tempering heat-bath marginal is zero");
+    x[static_cast<std::size_t>(v)] = c;
+  }
+}
+
+void ParallelTempering::try_swap(int low) {
+  const mrf::Mrf& ma = ladder_[static_cast<std::size_t>(low)];
+  const mrf::Mrf& mb = ladder_[static_cast<std::size_t>(low + 1)];
+  mrf::Config& xa = configs_[static_cast<std::size_t>(low)];
+  mrf::Config& xb = configs_[static_cast<std::size_t>(low + 1)];
+  ++swaps_attempted_;
+  const double log_ratio = ma.log_weight(xb) + mb.log_weight(xa) -
+                           ma.log_weight(xa) - mb.log_weight(xb);
+  if (std::log(std::max(rng_.u01(), 1e-300)) < log_ratio) {
+    std::swap(xa, xb);
+    ++swaps_accepted_;
+  }
+}
+
+void ParallelTempering::run_sweeps(int sweeps) {
+  for (int s = 0; s < sweeps; ++s) {
+    for (int rung = 0; rung < num_rungs(); ++rung) glauber_sweep(rung);
+    // Alternate even/odd adjacent pairs for better flow up the ladder.
+    const int parity = static_cast<int>(sweep_count_ % 2);
+    for (int low = parity; low + 1 < num_rungs(); low += 2) try_swap(low);
+    ++sweep_count_;
+  }
+}
+
+std::vector<mrf::Mrf> hardcore_ladder(graph::GraphPtr g, double lambda_min,
+                                      double lambda, int rungs) {
+  LS_REQUIRE(rungs >= 2, "ladder needs at least two rungs");
+  LS_REQUIRE(lambda_min > 0.0 && lambda_min < lambda,
+             "need 0 < lambda_min < lambda");
+  std::vector<mrf::Mrf> ladder;
+  ladder.reserve(static_cast<std::size_t>(rungs));
+  const double ratio = std::pow(lambda / lambda_min,
+                                1.0 / static_cast<double>(rungs - 1));
+  double cur = lambda_min;
+  for (int r = 0; r < rungs; ++r) {
+    ladder.push_back(mrf::make_hardcore(g, r == rungs - 1 ? lambda : cur));
+    cur *= ratio;
+  }
+  return ladder;
+}
+
+}  // namespace lsample::gadget

@@ -1,0 +1,58 @@
+// Parallel tempering over a ladder of MRFs sharing a configuration space.
+//
+// In the non-uniqueness regime of Theorem 5.2 every local chain is torpid on
+// the lifted gadget graph — that is the point of the lower bound — so the
+// ground-truth sampler for experiment E5 must restore ergodicity globally.
+// Tempering runs Glauber at every rung (e.g. a ladder of hardcore
+// fugacities), and swap moves let configurations tunnel between the two
+// max-cut phases while preserving the exact Gibbs distribution at each rung.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mrf/mrf.hpp"
+#include "util/rng.hpp"
+
+namespace lsample::gadget {
+
+class ParallelTempering {
+ public:
+  /// ladder[0] is the easiest rung (fast mixing), ladder.back() the target.
+  /// All rungs must share n and q, and feasibility must be equivalent (same
+  /// zero pattern), or swap weights become ill-defined.
+  ParallelTempering(std::vector<mrf::Mrf> ladder, std::uint64_t seed);
+
+  /// One sweep: n Glauber updates at every rung followed by one pass of
+  /// adjacent swap attempts (alternating parity).
+  void run_sweeps(int sweeps);
+
+  [[nodiscard]] int num_rungs() const noexcept {
+    return static_cast<int>(ladder_.size());
+  }
+  [[nodiscard]] const mrf::Config& config(int rung) const;
+  [[nodiscard]] const mrf::Config& target_config() const {
+    return config(num_rungs() - 1);
+  }
+  [[nodiscard]] double swap_acceptance_rate() const noexcept;
+
+ private:
+  void glauber_sweep(int rung);
+  void try_swap(int low);
+
+  std::vector<mrf::Mrf> ladder_;
+  std::vector<mrf::Config> configs_;
+  util::Rng rng_;
+  std::vector<double> weights_;
+  std::int64_t swaps_attempted_ = 0;
+  std::int64_t swaps_accepted_ = 0;
+  std::int64_t sweep_count_ = 0;
+};
+
+/// Convenience ladder for the hardcore model: geometric fugacity ladder from
+/// lambda_min to lambda (inclusive) with `rungs` rungs on the same graph.
+[[nodiscard]] std::vector<mrf::Mrf> hardcore_ladder(graph::GraphPtr g,
+                                                    double lambda_min,
+                                                    double lambda, int rungs);
+
+}  // namespace lsample::gadget

@@ -1,0 +1,229 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <utility>
+
+#include "util/require.hpp"
+
+namespace lsample::graph {
+
+std::shared_ptr<Graph> make_path(int n) {
+  LS_REQUIRE(n >= 1, "path needs at least one vertex");
+  auto g = std::make_shared<Graph>(n);
+  for (int i = 0; i + 1 < n; ++i) g->add_edge(i, i + 1);
+  return g;
+}
+
+std::shared_ptr<Graph> make_cycle(int n) {
+  LS_REQUIRE(n >= 3, "cycle needs at least three vertices");
+  auto g = std::make_shared<Graph>(n);
+  for (int i = 0; i < n; ++i) g->add_edge(i, (i + 1) % n);
+  return g;
+}
+
+std::shared_ptr<Graph> make_complete(int n) {
+  LS_REQUIRE(n >= 1, "complete graph needs at least one vertex");
+  auto g = std::make_shared<Graph>(n);
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j) g->add_edge(i, j);
+  return g;
+}
+
+std::shared_ptr<Graph> make_star(int leaves) {
+  LS_REQUIRE(leaves >= 0, "negative leaf count");
+  auto g = std::make_shared<Graph>(leaves + 1);
+  for (int i = 1; i <= leaves; ++i) g->add_edge(0, i);
+  return g;
+}
+
+std::shared_ptr<Graph> make_complete_bipartite(int a, int b) {
+  LS_REQUIRE(a >= 1 && b >= 1, "bipartite sides must be non-empty");
+  auto g = std::make_shared<Graph>(a + b);
+  for (int i = 0; i < a; ++i)
+    for (int j = 0; j < b; ++j) g->add_edge(i, a + j);
+  return g;
+}
+
+std::shared_ptr<Graph> make_grid(int rows, int cols) {
+  LS_REQUIRE(rows >= 1 && cols >= 1, "grid dimensions must be positive");
+  auto g = std::make_shared<Graph>(rows * cols);
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g->add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g->add_edge(id(r, c), id(r + 1, c));
+    }
+  return g;
+}
+
+std::shared_ptr<Graph> make_torus(int rows, int cols) {
+  LS_REQUIRE(rows >= 3 && cols >= 3, "torus dimensions must be >= 3");
+  auto g = std::make_shared<Graph>(rows * cols);
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) {
+      g->add_edge(id(r, c), id(r, (c + 1) % cols));
+      g->add_edge(id(r, c), id((r + 1) % rows, c));
+    }
+  return g;
+}
+
+std::shared_ptr<Graph> make_hypercube(int d) {
+  LS_REQUIRE(d >= 0 && d <= 20, "hypercube dimension out of range");
+  const int n = 1 << d;
+  auto g = std::make_shared<Graph>(n);
+  for (int v = 0; v < n; ++v)
+    for (int b = 0; b < d; ++b) {
+      const int w = v ^ (1 << b);
+      if (w > v) g->add_edge(v, w);
+    }
+  return g;
+}
+
+std::shared_ptr<Graph> make_binary_tree(int n) {
+  LS_REQUIRE(n >= 1, "tree needs at least one vertex");
+  auto g = std::make_shared<Graph>(n);
+  for (int v = 1; v < n; ++v) g->add_edge((v - 1) / 2, v);
+  return g;
+}
+
+std::shared_ptr<Graph> make_random_tree(int n, util::Rng& rng) {
+  LS_REQUIRE(n >= 1, "tree needs at least one vertex");
+  auto g = std::make_shared<Graph>(n);
+  if (n <= 1) return g;
+  if (n == 2) {
+    g->add_edge(0, 1);
+    return g;
+  }
+  // Prüfer decoding.
+  std::vector<int> prufer(static_cast<std::size_t>(n - 2));
+  for (auto& x : prufer) x = rng.uniform_int(n);
+  std::vector<int> deg(static_cast<std::size_t>(n), 1);
+  for (int x : prufer) ++deg[static_cast<std::size_t>(x)];
+  std::set<int> leaves;
+  for (int v = 0; v < n; ++v)
+    if (deg[static_cast<std::size_t>(v)] == 1) leaves.insert(v);
+  for (int x : prufer) {
+    const int leaf = *leaves.begin();
+    leaves.erase(leaves.begin());
+    g->add_edge(leaf, x);
+    if (--deg[static_cast<std::size_t>(x)] == 1) leaves.insert(x);
+  }
+  const int a = *leaves.begin();
+  const int b = *std::next(leaves.begin());
+  g->add_edge(a, b);
+  return g;
+}
+
+std::shared_ptr<Graph> make_erdos_renyi(int n, double p, util::Rng& rng) {
+  LS_REQUIRE(n >= 1, "graph needs at least one vertex");
+  LS_REQUIRE(p >= 0.0 && p <= 1.0, "edge probability must be in [0,1]");
+  auto g = std::make_shared<Graph>(n);
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j)
+      if (rng.bernoulli(p)) g->add_edge(i, j);
+  return g;
+}
+
+std::shared_ptr<Graph> make_random_regular(int n, int d, util::Rng& rng,
+                                           int max_tries) {
+  LS_REQUIRE(n >= 1 && d >= 0 && d < n, "need 0 <= d < n");
+  LS_REQUIRE((static_cast<long long>(n) * d) % 2 == 0, "n*d must be even");
+  const auto norm = [](int a, int b) {
+    return std::pair{std::min(a, b), std::max(a, b)};
+  };
+  for (int attempt = 0; attempt < max_tries; ++attempt) {
+    // Configuration model followed by double-edge-swap repair: pure
+    // rejection has success probability ~exp(-(d*d-1)/4) per draw, which is
+    // hopeless for d >= 5.  Every accepted swap replaces one defective edge
+    // with two simple ones, so total badness strictly decreases.
+    std::vector<int> stubs;
+    stubs.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(d));
+    for (int v = 0; v < n; ++v)
+      for (int k = 0; k < d; ++k) stubs.push_back(v);
+    for (std::size_t i = stubs.size(); i > 1; --i)
+      std::swap(stubs[i - 1],
+                stubs[static_cast<std::size_t>(rng.uniform_int(
+                    static_cast<int>(i)))]);
+    std::vector<std::pair<int, int>> edges;
+    edges.reserve(stubs.size() / 2);
+    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2)
+      edges.emplace_back(stubs[i], stubs[i + 1]);
+
+    std::multiset<std::pair<int, int>> counts;
+    for (const auto& [u, v] : edges) counts.insert(norm(u, v));
+    const auto is_bad = [&](const std::pair<int, int>& e) {
+      return e.first == e.second || counts.count(norm(e.first, e.second)) > 1;
+    };
+
+    const int swap_budget = 400 * static_cast<int>(edges.size()) + 400;
+    int iters = 0;
+    bool stuck = false;
+    while (!stuck) {
+      // Find a defective edge.
+      std::size_t bi = edges.size();
+      for (std::size_t i = 0; i < edges.size(); ++i)
+        if (is_bad(edges[i])) {
+          bi = i;
+          break;
+        }
+      if (bi == edges.size()) break;  // fully repaired
+      // Attempt random swaps until one is accepted (or budget runs out).
+      bool accepted = false;
+      while (!accepted && iters < swap_budget) {
+        ++iters;
+        const std::size_t pj = static_cast<std::size_t>(
+            rng.uniform_int(static_cast<int>(edges.size())));
+        if (pj == bi) continue;
+        const auto [u, v] = edges[bi];
+        auto [x, y] = edges[pj];
+        if (rng.bernoulli(0.5)) std::swap(x, y);
+        // Proposed replacements: {u,x} and {v,y}.
+        if (u == x || v == y) continue;
+        counts.erase(counts.find(norm(u, v)));
+        counts.erase(counts.find(norm(x, y)));
+        const auto e1 = norm(u, x);
+        const auto e2 = norm(v, y);
+        if (counts.count(e1) == 0 && counts.count(e2) == 0 && e1 != e2) {
+          counts.insert(e1);
+          counts.insert(e2);
+          edges[bi] = {u, x};
+          edges[pj] = {v, y};
+          accepted = true;
+        } else {
+          counts.insert(norm(u, v));
+          counts.insert(norm(x, y));
+        }
+      }
+      if (!accepted) stuck = true;
+    }
+    if (stuck) continue;
+
+    auto g = std::make_shared<Graph>(n);
+    for (const auto& [u, v] : edges) g->add_edge(u, v);
+    return g;
+  }
+  throw std::runtime_error(
+      "make_random_regular: failed to build a simple graph; raise max_tries "
+      "or lower d");
+}
+
+std::vector<int> add_random_matching(Graph& g, const std::vector<int>& left,
+                                     const std::vector<int>& right,
+                                     util::Rng& rng) {
+  LS_REQUIRE(left.size() == right.size(),
+             "matching requires equal-size sides");
+  std::vector<int> perm(right);
+  for (std::size_t i = perm.size(); i > 1; --i)
+    std::swap(perm[i - 1], perm[static_cast<std::size_t>(rng.uniform_int(
+                               static_cast<int>(i)))]);
+  std::vector<int> edge_ids;
+  edge_ids.reserve(left.size());
+  for (std::size_t i = 0; i < left.size(); ++i)
+    edge_ids.push_back(g.add_edge(left[i], perm[i]));
+  return edge_ids;
+}
+
+}  // namespace lsample::graph

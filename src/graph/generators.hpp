@@ -1,0 +1,53 @@
+// Graph generators used by the experiments.
+//
+// Every generator returns a freshly allocated graph wrapped in a shared_ptr
+// because models (MRFs, CSPs, chains) hold non-owning views into the graph for
+// their whole lifetime.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace lsample::graph {
+
+[[nodiscard]] std::shared_ptr<Graph> make_path(int n);
+[[nodiscard]] std::shared_ptr<Graph> make_cycle(int n);
+[[nodiscard]] std::shared_ptr<Graph> make_complete(int n);
+[[nodiscard]] std::shared_ptr<Graph> make_star(int leaves);
+[[nodiscard]] std::shared_ptr<Graph> make_complete_bipartite(int a, int b);
+
+/// rows x cols grid (4-neighbor).
+[[nodiscard]] std::shared_ptr<Graph> make_grid(int rows, int cols);
+
+/// rows x cols torus (4-regular when rows, cols >= 3).
+[[nodiscard]] std::shared_ptr<Graph> make_torus(int rows, int cols);
+
+/// d-dimensional hypercube on 2^d vertices.
+[[nodiscard]] std::shared_ptr<Graph> make_hypercube(int d);
+
+/// Complete binary tree with given number of vertices.
+[[nodiscard]] std::shared_ptr<Graph> make_binary_tree(int n);
+
+/// Uniform random labeled tree (Prüfer sequence).
+[[nodiscard]] std::shared_ptr<Graph> make_random_tree(int n, util::Rng& rng);
+
+/// Erdős–Rényi G(n,p).
+[[nodiscard]] std::shared_ptr<Graph> make_erdos_renyi(int n, double p,
+                                                      util::Rng& rng);
+
+/// Simple random d-regular graph via the configuration model with rejection;
+/// throws after max_tries failed attempts.  Requires n*d even and d < n.
+[[nodiscard]] std::shared_ptr<Graph> make_random_regular(int n, int d,
+                                                         util::Rng& rng,
+                                                         int max_tries = 200);
+
+/// Uniform random perfect matching between two equal-size vertex sets,
+/// added to an existing graph (used by the §5.1 gadget).  Returns edge ids.
+std::vector<int> add_random_matching(Graph& g, const std::vector<int>& left,
+                                     const std::vector<int>& right,
+                                     util::Rng& rng);
+
+}  // namespace lsample::graph

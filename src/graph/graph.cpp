@@ -1,0 +1,68 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace lsample::graph {
+
+Graph::Graph(int num_vertices) {
+  LS_REQUIRE(num_vertices >= 0, "vertex count must be non-negative");
+  incident_.resize(static_cast<std::size_t>(num_vertices));
+  neighbors_.resize(static_cast<std::size_t>(num_vertices));
+}
+
+void Graph::check_vertex(int v) const {
+  LS_REQUIRE(v >= 0 && v < num_vertices(), "vertex id out of range");
+}
+
+int Graph::add_edge(int u, int v) {
+  check_vertex(u);
+  check_vertex(v);
+  LS_REQUIRE(u != v, "self-loops are not supported");
+  const int e = num_edges();
+  edges_.push_back(Edge{u, v});
+  incident_[static_cast<std::size_t>(u)].push_back(e);
+  incident_[static_cast<std::size_t>(v)].push_back(e);
+  neighbors_[static_cast<std::size_t>(u)].push_back(v);
+  neighbors_[static_cast<std::size_t>(v)].push_back(u);
+  max_degree_ = std::max({max_degree_, degree(u), degree(v)});
+  return e;
+}
+
+const Edge& Graph::edge(int e) const {
+  LS_REQUIRE(e >= 0 && e < num_edges(), "edge id out of range");
+  return edges_[static_cast<std::size_t>(e)];
+}
+
+int Graph::other_endpoint(int e, int w) const {
+  const Edge& ed = edge(e);
+  LS_REQUIRE(ed.u == w || ed.v == w, "vertex is not an endpoint of edge");
+  return ed.u == w ? ed.v : ed.u;
+}
+
+std::span<const int> Graph::incident_edges(int v) const {
+  check_vertex(v);
+  return incident_[static_cast<std::size_t>(v)];
+}
+
+std::span<const int> Graph::neighbors(int v) const {
+  check_vertex(v);
+  return neighbors_[static_cast<std::size_t>(v)];
+}
+
+int Graph::degree(int v) const {
+  check_vertex(v);
+  return static_cast<int>(incident_[static_cast<std::size_t>(v)].size());
+}
+
+int Graph::max_degree() const noexcept { return max_degree_; }
+
+bool Graph::has_edge(int u, int v) const {
+  check_vertex(u);
+  check_vertex(v);
+  const auto& nb = neighbors_[static_cast<std::size_t>(u)];
+  return std::find(nb.begin(), nb.end(), v) != nb.end();
+}
+
+}  // namespace lsample::graph

@@ -1,0 +1,65 @@
+// Undirected multigraph with stable edge identifiers.
+//
+// Parallel edges are permitted because the lower-bound gadget of §5.1
+// (unions of random perfect matchings) is naturally a multigraph, and the
+// LocalMetropolis filter flips an independent coin *per edge*, so parallel
+// edges are semantically distinct.  Self-loops are rejected — no model in the
+// paper uses them and they would break the Luby step.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace lsample::graph {
+
+struct Edge {
+  int u = -1;
+  int v = -1;
+};
+
+class Graph {
+ public:
+  explicit Graph(int num_vertices);
+
+  /// Adds edge {u,v} (u != v) and returns its id.  Parallel edges allowed.
+  int add_edge(int u, int v);
+
+  [[nodiscard]] int num_vertices() const noexcept {
+    return static_cast<int>(incident_.size());
+  }
+  [[nodiscard]] int num_edges() const noexcept {
+    return static_cast<int>(edges_.size());
+  }
+
+  [[nodiscard]] const Edge& edge(int e) const;
+
+  /// Endpoint of edge e that is not w (w must be an endpoint of e).
+  [[nodiscard]] int other_endpoint(int e, int w) const;
+
+  /// Ids of edges incident to v, in insertion order.
+  [[nodiscard]] std::span<const int> incident_edges(int v) const;
+
+  /// Neighbors of v aligned index-for-index with incident_edges(v); a
+  /// neighbor joined by k parallel edges appears k times.
+  [[nodiscard]] std::span<const int> neighbors(int v) const;
+
+  [[nodiscard]] int degree(int v) const;
+  [[nodiscard]] int max_degree() const noexcept;
+
+  /// True if some edge joins u and v.
+  [[nodiscard]] bool has_edge(int u, int v) const;
+
+ private:
+  void check_vertex(int v) const;
+
+  std::vector<Edge> edges_;
+  std::vector<std::vector<int>> incident_;   // vertex -> edge ids
+  std::vector<std::vector<int>> neighbors_;  // vertex -> neighbor ids
+  int max_degree_ = 0;
+};
+
+using GraphPtr = std::shared_ptr<const Graph>;
+
+}  // namespace lsample::graph

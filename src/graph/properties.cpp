@@ -1,0 +1,136 @@
+#include "graph/properties.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+#include "util/require.hpp"
+
+namespace lsample::graph {
+
+std::vector<int> bfs_distances(const Graph& g, int src) {
+  LS_REQUIRE(src >= 0 && src < g.num_vertices(), "source out of range");
+  std::vector<int> dist(static_cast<std::size_t>(g.num_vertices()), -1);
+  std::queue<int> q;
+  dist[static_cast<std::size_t>(src)] = 0;
+  q.push(src);
+  while (!q.empty()) {
+    const int v = q.front();
+    q.pop();
+    for (int u : g.neighbors(v)) {
+      if (dist[static_cast<std::size_t>(u)] < 0) {
+        dist[static_cast<std::size_t>(u)] =
+            dist[static_cast<std::size_t>(v)] + 1;
+        q.push(u);
+      }
+    }
+  }
+  return dist;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_vertices() == 0) return true;
+  const auto dist = bfs_distances(g, 0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](int d) { return d < 0; });
+}
+
+std::vector<int> connected_components(const Graph& g) {
+  std::vector<int> comp(static_cast<std::size_t>(g.num_vertices()), -1);
+  int next = 0;
+  for (int s = 0; s < g.num_vertices(); ++s) {
+    if (comp[static_cast<std::size_t>(s)] >= 0) continue;
+    std::queue<int> q;
+    comp[static_cast<std::size_t>(s)] = next;
+    q.push(s);
+    while (!q.empty()) {
+      const int v = q.front();
+      q.pop();
+      for (int u : g.neighbors(v))
+        if (comp[static_cast<std::size_t>(u)] < 0) {
+          comp[static_cast<std::size_t>(u)] = next;
+          q.push(u);
+        }
+    }
+    ++next;
+  }
+  return comp;
+}
+
+int diameter(const Graph& g) {
+  LS_REQUIRE(g.num_vertices() >= 1, "diameter of empty graph");
+  int best = 0;
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    const auto dist = bfs_distances(g, v);
+    for (int d : dist) {
+      LS_REQUIRE(d >= 0, "diameter of disconnected graph");
+      best = std::max(best, d);
+    }
+  }
+  return best;
+}
+
+int diameter_lower_bound(const Graph& g, int start) {
+  LS_REQUIRE(g.num_vertices() >= 1, "diameter of empty graph");
+  auto far = [&](int src) {
+    const auto dist = bfs_distances(g, src);
+    int arg = src;
+    for (int v = 0; v < g.num_vertices(); ++v)
+      if (dist[static_cast<std::size_t>(v)] >
+          dist[static_cast<std::size_t>(arg)])
+        arg = v;
+    return std::pair{arg, dist[static_cast<std::size_t>(arg)]};
+  };
+  const auto [a, da] = far(start);
+  (void)da;
+  const auto [b, db] = far(a);
+  (void)b;
+  return db;
+}
+
+bool is_independent_set(const Graph& g, const std::vector<int>& indicator) {
+  LS_REQUIRE(static_cast<int>(indicator.size()) == g.num_vertices(),
+             "indicator size mismatch");
+  for (int e = 0; e < g.num_edges(); ++e) {
+    const Edge& ed = g.edge(e);
+    if (indicator[static_cast<std::size_t>(ed.u)] != 0 &&
+        indicator[static_cast<std::size_t>(ed.v)] != 0)
+      return false;
+  }
+  return true;
+}
+
+bool is_proper_coloring(const Graph& g, const std::vector<int>& colors) {
+  LS_REQUIRE(static_cast<int>(colors.size()) == g.num_vertices(),
+             "coloring size mismatch");
+  for (int e = 0; e < g.num_edges(); ++e) {
+    const Edge& ed = g.edge(e);
+    if (colors[static_cast<std::size_t>(ed.u)] ==
+        colors[static_cast<std::size_t>(ed.v)])
+      return false;
+  }
+  return true;
+}
+
+std::vector<int> greedy_coloring(const Graph& g) {
+  std::vector<int> colors(static_cast<std::size_t>(g.num_vertices()), -1);
+  std::vector<char> used;
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    used.assign(static_cast<std::size_t>(g.degree(v)) + 1, 0);
+    for (int u : g.neighbors(v)) {
+      const int c = colors[static_cast<std::size_t>(u)];
+      if (c >= 0 && c < static_cast<int>(used.size()))
+        used[static_cast<std::size_t>(c)] = 1;
+    }
+    int c = 0;
+    while (used[static_cast<std::size_t>(c)] != 0) ++c;
+    colors[static_cast<std::size_t>(v)] = c;
+  }
+  return colors;
+}
+
+int count_distinct(const std::vector<int>& xs) {
+  return static_cast<int>(std::set<int>(xs.begin(), xs.end()).size());
+}
+
+}  // namespace lsample::graph

@@ -1,0 +1,41 @@
+// Structural graph queries: BFS distances, diameter, connectivity,
+// independence / coloring predicates, greedy coloring.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lsample::graph {
+
+/// BFS distances from src; unreachable vertices get -1.
+[[nodiscard]] std::vector<int> bfs_distances(const Graph& g, int src);
+
+[[nodiscard]] bool is_connected(const Graph& g);
+
+/// Component id per vertex (ids are 0..k-1 in discovery order).
+[[nodiscard]] std::vector<int> connected_components(const Graph& g);
+
+/// Exact diameter via BFS from every vertex: O(n(n+m)).  Throws on
+/// disconnected input.
+[[nodiscard]] int diameter(const Graph& g);
+
+/// Lower bound on the diameter via a double BFS sweep — cheap, used for large
+/// instances where the exact diameter is unnecessary.
+[[nodiscard]] int diameter_lower_bound(const Graph& g, int start = 0);
+
+/// True if the 0/1 vector marks an independent set.
+[[nodiscard]] bool is_independent_set(const Graph& g,
+                                      const std::vector<int>& indicator);
+
+/// True if no edge is monochromatic.
+[[nodiscard]] bool is_proper_coloring(const Graph& g,
+                                      const std::vector<int>& colors);
+
+/// Greedy coloring in vertex order; uses at most max_degree+1 colors.
+[[nodiscard]] std::vector<int> greedy_coloring(const Graph& g);
+
+/// Number of distinct values in a vector (e.g. colors used).
+[[nodiscard]] int count_distinct(const std::vector<int>& xs);
+
+}  // namespace lsample::graph

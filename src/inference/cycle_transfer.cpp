@@ -1,0 +1,121 @@
+#include "inference/cycle_transfer.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+#include "util/summary.hpp"
+
+namespace lsample::inference {
+
+namespace {
+
+using Matrix = std::vector<double>;  // q x q row-major
+
+/// Finds the edge id joining consecutive cycle vertices a -> b.
+int cycle_edge(const mrf::Mrf& m, int a, int b) {
+  const auto inc = m.g().incident_edges(a);
+  const auto nbr = m.g().neighbors(a);
+  for (std::size_t i = 0; i < inc.size(); ++i)
+    if (nbr[i] == b) return inc[i];
+  LS_REQUIRE(false, "graph is not the standard cycle");
+  return -1;
+}
+
+void check_cycle(const mrf::Mrf& m) {
+  const int n = m.n();
+  LS_REQUIRE(n >= 3 && m.g().num_edges() == n,
+             "cycle transfer requires the standard cycle");
+  for (int v = 0; v < n; ++v)
+    LS_REQUIRE(m.g().degree(v) == 2, "cycle transfer requires a 2-regular graph");
+}
+
+/// F(a, b) = sum over assignments of the interior vertices of the directed
+/// path from `from` to `to` (exclusive endpoints, walking +1 mod n) of
+/// prod of edge activities and interior vertex activities.
+Matrix path_transfer(const mrf::Mrf& m, int from, int to) {
+  const int q = m.q();
+  const int n = m.n();
+  Matrix f(static_cast<std::size_t>(q) * static_cast<std::size_t>(q), 0.0);
+  // Start with the single edge from -> from+1.
+  int cur = from;
+  int nxt = (from + 1) % n;
+  {
+    const auto& a = m.edge_activity(cycle_edge(m, cur, nxt));
+    for (int i = 0; i < q; ++i)
+      for (int j = 0; j < q; ++j)
+        f[static_cast<std::size_t>(i) * static_cast<std::size_t>(q) +
+          static_cast<std::size_t>(j)] = a.at(i, j);
+  }
+  cur = nxt;
+  while (cur != to) {
+    nxt = (cur + 1) % n;
+    const auto bv = m.vertex_activity(cur);
+    const auto& a = m.edge_activity(cycle_edge(m, cur, nxt));
+    Matrix g(static_cast<std::size_t>(q) * static_cast<std::size_t>(q), 0.0);
+    for (int i = 0; i < q; ++i)
+      for (int k = 0; k < q; ++k) {
+        const double fik =
+            f[static_cast<std::size_t>(i) * static_cast<std::size_t>(q) +
+              static_cast<std::size_t>(k)] *
+            bv[static_cast<std::size_t>(k)];
+        if (fik == 0.0) continue;
+        for (int j = 0; j < q; ++j)
+          g[static_cast<std::size_t>(i) * static_cast<std::size_t>(q) +
+            static_cast<std::size_t>(j)] += fik * a.at(k, j);
+      }
+    f = std::move(g);
+    cur = nxt;
+  }
+  return f;
+}
+
+}  // namespace
+
+double cycle_partition_function(const mrf::Mrf& m) {
+  check_cycle(m);
+  const int q = m.q();
+  // Z = sum_a b_0(a) * [transfer 0 -> 0 all the way around](a, a).
+  // Split as path 0 -> k and k -> 0 for k = n/2 to reuse path_transfer.
+  const int k = m.n() / 2;
+  const Matrix f1 = path_transfer(m, 0, k);
+  const Matrix f2 = path_transfer(m, k, 0);
+  const auto b0 = m.vertex_activity(0);
+  const auto bk = m.vertex_activity(k);
+  double z = 0.0;
+  for (int a = 0; a < q; ++a)
+    for (int b = 0; b < q; ++b)
+      z += b0[static_cast<std::size_t>(a)] * bk[static_cast<std::size_t>(b)] *
+           f1[static_cast<std::size_t>(a) * static_cast<std::size_t>(q) +
+              static_cast<std::size_t>(b)] *
+           f2[static_cast<std::size_t>(b) * static_cast<std::size_t>(q) +
+              static_cast<std::size_t>(a)];
+  return z;
+}
+
+std::vector<double> cycle_pair_joint(const mrf::Mrf& m, int u, int v) {
+  check_cycle(m);
+  LS_REQUIRE(u >= 0 && u < m.n() && v >= 0 && v < m.n() && u != v,
+             "need two distinct cycle vertices");
+  const int q = m.q();
+  const Matrix fuv = path_transfer(m, u, v);
+  const Matrix fvu = path_transfer(m, v, u);
+  const auto bu = m.vertex_activity(u);
+  const auto bv = m.vertex_activity(v);
+  std::vector<double> joint(static_cast<std::size_t>(q) *
+                                static_cast<std::size_t>(q),
+                            0.0);
+  for (int a = 0; a < q; ++a)
+    for (int b = 0; b < q; ++b)
+      joint[static_cast<std::size_t>(a) * static_cast<std::size_t>(q) +
+            static_cast<std::size_t>(b)] =
+          bu[static_cast<std::size_t>(a)] * bv[static_cast<std::size_t>(b)] *
+          fuv[static_cast<std::size_t>(a) * static_cast<std::size_t>(q) +
+              static_cast<std::size_t>(b)] *
+          fvu[static_cast<std::size_t>(b) * static_cast<std::size_t>(q) +
+              static_cast<std::size_t>(a)];
+  const double z = util::normalize(joint);
+  LS_REQUIRE(z > 0.0, "zero partition function");
+  return joint;
+}
+
+}  // namespace lsample::inference

@@ -1,0 +1,18 @@
+// Exact inference on cycles via transfer matrices.
+#pragma once
+
+#include <vector>
+
+#include "mrf/mrf.hpp"
+
+namespace lsample::inference {
+
+/// Exact partition function of an MRF whose graph is the standard cycle
+/// 0-1-...-(n-1)-0 (as built by graph::make_cycle).
+[[nodiscard]] double cycle_partition_function(const mrf::Mrf& m);
+
+/// Exact joint pmf of (sigma_u, sigma_v) on the cycle, row-major q x q.
+[[nodiscard]] std::vector<double> cycle_pair_joint(const mrf::Mrf& m, int u,
+                                                   int v);
+
+}  // namespace lsample::inference

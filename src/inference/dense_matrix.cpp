@@ -1,0 +1,50 @@
+#include "inference/dense_matrix.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace lsample::inference {
+
+DenseMatrix::DenseMatrix(std::int64_t n) : n_(n) {
+  LS_REQUIRE(n >= 1, "matrix size must be positive");
+  LS_REQUIRE(n <= (1 << 14), "dense matrix too large; shrink the model");
+  data_.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0.0);
+}
+
+DenseMatrix DenseMatrix::multiply(const DenseMatrix& other) const {
+  LS_REQUIRE(n_ == other.n_, "size mismatch");
+  DenseMatrix out(n_);
+  for (std::int64_t i = 0; i < n_; ++i)
+    for (std::int64_t k = 0; k < n_; ++k) {
+      const double a = at(i, k);
+      if (a == 0.0) continue;
+      for (std::int64_t j = 0; j < n_; ++j) out.at(i, j) += a * other.at(k, j);
+    }
+  return out;
+}
+
+std::vector<double> DenseMatrix::left_multiply(
+    const std::vector<double>& v) const {
+  LS_REQUIRE(static_cast<std::int64_t>(v.size()) == n_, "size mismatch");
+  std::vector<double> out(static_cast<std::size_t>(n_), 0.0);
+  for (std::int64_t i = 0; i < n_; ++i) {
+    const double vi = v[static_cast<std::size_t>(i)];
+    if (vi == 0.0) continue;
+    for (std::int64_t j = 0; j < n_; ++j)
+      out[static_cast<std::size_t>(j)] += vi * at(i, j);
+  }
+  return out;
+}
+
+double DenseMatrix::row_sum_error() const noexcept {
+  double worst = 0.0;
+  for (std::int64_t i = 0; i < n_; ++i) {
+    double s = 0.0;
+    for (std::int64_t j = 0; j < n_; ++j) s += at(i, j);
+    worst = std::max(worst, std::abs(s - 1.0));
+  }
+  return worst;
+}
+
+}  // namespace lsample::inference

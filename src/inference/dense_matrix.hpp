@@ -1,0 +1,37 @@
+// Minimal dense square matrix for exact Markov-chain analysis.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lsample::inference {
+
+class DenseMatrix {
+ public:
+  explicit DenseMatrix(std::int64_t n);
+
+  [[nodiscard]] std::int64_t size() const noexcept { return n_; }
+
+  [[nodiscard]] double at(std::int64_t i, std::int64_t j) const noexcept {
+    return data_[static_cast<std::size_t>(i * n_ + j)];
+  }
+  double& at(std::int64_t i, std::int64_t j) noexcept {
+    return data_[static_cast<std::size_t>(i * n_ + j)];
+  }
+
+  /// this * other.
+  [[nodiscard]] DenseMatrix multiply(const DenseMatrix& other) const;
+
+  /// Row vector times matrix: result_j = sum_i v_i * M(i,j).
+  [[nodiscard]] std::vector<double> left_multiply(
+      const std::vector<double>& v) const;
+
+  /// max_i |sum_j M(i,j) - 1| (how far from row-stochastic).
+  [[nodiscard]] double row_sum_error() const noexcept;
+
+ private:
+  std::int64_t n_;
+  std::vector<double> data_;
+};
+
+}  // namespace lsample::inference

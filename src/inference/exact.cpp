@@ -1,0 +1,168 @@
+#include "inference/exact.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+#include "util/summary.hpp"
+
+namespace lsample::inference {
+
+namespace {
+
+double config_weight(const mrf::Mrf& m, const mrf::Config& x) {
+  double w = 1.0;
+  for (int v = 0; v < m.n() && w > 0.0; ++v)
+    w *= m.vertex_activity(v)[static_cast<std::size_t>(
+        x[static_cast<std::size_t>(v)])];
+  for (int e = 0; e < m.g().num_edges() && w > 0.0; ++e) {
+    const graph::Edge& ed = m.g().edge(e);
+    w *= m.edge_activity(e).at(x[static_cast<std::size_t>(ed.u)],
+                               x[static_cast<std::size_t>(ed.v)]);
+  }
+  return w;
+}
+
+}  // namespace
+
+std::vector<double> weight_vector(const mrf::Mrf& m, const StateSpace& ss) {
+  LS_REQUIRE(ss.n() == m.n() && ss.q() == m.q(),
+             "state space must match the model");
+  std::vector<double> w(static_cast<std::size_t>(ss.size()));
+  mrf::Config x;
+  for (std::int64_t i = 0; i < ss.size(); ++i) {
+    ss.decode_into(i, x);
+    w[static_cast<std::size_t>(i)] = config_weight(m, x);
+  }
+  return w;
+}
+
+std::vector<double> gibbs_distribution(const mrf::Mrf& m,
+                                       const StateSpace& ss) {
+  auto mu = weight_vector(m, ss);
+  const double z = util::normalize(mu);
+  LS_REQUIRE(z > 0.0, "partition function is zero: no feasible configuration");
+  return mu;
+}
+
+double partition_function(const mrf::Mrf& m, const StateSpace& ss) {
+  const auto w = weight_vector(m, ss);
+  double z = 0.0;
+  for (double x : w) z += x;
+  return z;
+}
+
+double stationarity_error(const DenseMatrix& p, const std::vector<double>& mu) {
+  const auto mup = p.left_multiply(mu);
+  double err = 0.0;
+  for (std::size_t i = 0; i < mu.size(); ++i)
+    err += std::abs(mup[i] - mu[i]);
+  return err;
+}
+
+double detailed_balance_error(const DenseMatrix& p,
+                              const std::vector<double>& mu) {
+  double worst = 0.0;
+  for (std::int64_t i = 0; i < p.size(); ++i)
+    for (std::int64_t j = 0; j < p.size(); ++j) {
+      const double flow_ij = mu[static_cast<std::size_t>(i)] * p.at(i, j);
+      const double flow_ji = mu[static_cast<std::size_t>(j)] * p.at(j, i);
+      worst = std::max(worst, std::abs(flow_ij - flow_ji));
+    }
+  return worst;
+}
+
+namespace {
+
+double row_tv(const DenseMatrix& pt, std::int64_t row,
+              const std::vector<double>& mu) {
+  double d = 0.0;
+  for (std::int64_t j = 0; j < pt.size(); ++j)
+    d += std::abs(pt.at(row, j) - mu[static_cast<std::size_t>(j)]);
+  return 0.5 * d;
+}
+
+DenseMatrix matrix_power(const DenseMatrix& p, std::int64_t t) {
+  LS_REQUIRE(t >= 1, "power must be >= 1");
+  // Square-and-multiply.
+  DenseMatrix result(p.size());
+  bool have_result = false;
+  DenseMatrix base = p;
+  while (t > 0) {
+    if (t & 1) {
+      result = have_result ? result.multiply(base) : base;
+      have_result = true;
+    }
+    t >>= 1;
+    if (t > 0) base = base.multiply(base);
+  }
+  return result;
+}
+
+}  // namespace
+
+double worst_case_tv(const DenseMatrix& p, const std::vector<double>& mu,
+                     std::int64_t t) {
+  LS_REQUIRE(static_cast<std::int64_t>(mu.size()) == p.size(),
+             "size mismatch");
+  const DenseMatrix pt = matrix_power(p, t);
+  double worst = 0.0;
+  for (std::int64_t i = 0; i < p.size(); ++i) {
+    if (mu[static_cast<std::size_t>(i)] <= 0.0) continue;
+    worst = std::max(worst, row_tv(pt, i, mu));
+  }
+  return worst;
+}
+
+double tv_from_start(const DenseMatrix& p, const std::vector<double>& mu,
+                     std::int64_t start_index, std::int64_t t) {
+  LS_REQUIRE(start_index >= 0 && start_index < p.size(),
+             "start index out of range");
+  std::vector<double> dist(static_cast<std::size_t>(p.size()), 0.0);
+  dist[static_cast<std::size_t>(start_index)] = 1.0;
+  for (std::int64_t s = 0; s < t; ++s) dist = p.left_multiply(dist);
+  double d = 0.0;
+  for (std::size_t j = 0; j < dist.size(); ++j)
+    d += std::abs(dist[j] - mu[j]);
+  return 0.5 * d;
+}
+
+std::int64_t exact_mixing_time(const DenseMatrix& p,
+                               const std::vector<double>& mu, double eps,
+                               std::int64_t t_max) {
+  // Propagate all feasible point masses jointly by repeated multiplication.
+  std::vector<std::int64_t> starts;
+  for (std::int64_t i = 0; i < p.size(); ++i)
+    if (mu[static_cast<std::size_t>(i)] > 0.0) starts.push_back(i);
+  DenseMatrix pt = p;
+  for (std::int64_t t = 1; t <= t_max; ++t) {
+    double worst = 0.0;
+    for (std::int64_t i : starts) worst = std::max(worst, row_tv(pt, i, mu));
+    if (worst <= eps) return t;
+    if (t < t_max) pt = pt.multiply(p);
+  }
+  return t_max + 1;
+}
+
+double min_feasible_self_loop(const DenseMatrix& p,
+                              const std::vector<double>& mu) {
+  double worst = 1.0;
+  for (std::int64_t i = 0; i < p.size(); ++i)
+    if (mu[static_cast<std::size_t>(i)] > 0.0)
+      worst = std::min(worst, p.at(i, i));
+  return worst;
+}
+
+double feasible_escape_mass(const DenseMatrix& p,
+                            const std::vector<double>& mu) {
+  double worst = 0.0;
+  for (std::int64_t i = 0; i < p.size(); ++i) {
+    if (mu[static_cast<std::size_t>(i)] <= 0.0) continue;
+    double mass = 0.0;
+    for (std::int64_t j = 0; j < p.size(); ++j)
+      if (mu[static_cast<std::size_t>(j)] <= 0.0) mass += p.at(i, j);
+    worst = std::max(worst, mass);
+  }
+  return worst;
+}
+
+}  // namespace lsample::inference

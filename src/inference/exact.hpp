@@ -1,0 +1,62 @@
+// Exact Gibbs distributions and exact chain analysis on small models.
+//
+// These routines are the ground truth against which the samplers are tested:
+// Proposition 3.1 and Theorem 4.1 (reversibility / stationarity) are verified
+// with zero statistical error by building the full transition matrices.
+#pragma once
+
+#include <vector>
+
+#include "inference/dense_matrix.hpp"
+#include "inference/state_space.hpp"
+#include "mrf/mrf.hpp"
+
+namespace lsample::inference {
+
+/// Unnormalized weights of every configuration, indexed by StateSpace code.
+[[nodiscard]] std::vector<double> weight_vector(const mrf::Mrf& m,
+                                                const StateSpace& ss);
+
+/// The Gibbs distribution µ (normalized weight vector).  Throws if Z = 0.
+[[nodiscard]] std::vector<double> gibbs_distribution(const mrf::Mrf& m,
+                                                     const StateSpace& ss);
+
+/// Partition function Z (sum of weights).
+[[nodiscard]] double partition_function(const mrf::Mrf& m,
+                                        const StateSpace& ss);
+
+/// ||µP - µ||_1: zero iff µ is stationary for P.
+[[nodiscard]] double stationarity_error(const DenseMatrix& p,
+                                        const std::vector<double>& mu);
+
+/// max |µ(x)P(x,y) - µ(y)P(y,x)|: zero iff P is reversible w.r.t. µ.
+[[nodiscard]] double detailed_balance_error(const DenseMatrix& p,
+                                            const std::vector<double>& mu);
+
+/// TV distance between the t-step distribution from the worst feasible start
+/// and µ: max_{x: µ(x)>0} d_TV(e_x P^t, µ).
+[[nodiscard]] double worst_case_tv(const DenseMatrix& p,
+                                   const std::vector<double>& mu,
+                                   std::int64_t t);
+
+/// TV distance of the t-step distribution started from a point mass at x0.
+[[nodiscard]] double tv_from_start(const DenseMatrix& p,
+                                   const std::vector<double>& mu,
+                                   std::int64_t start_index, std::int64_t t);
+
+/// Smallest t <= t_max with worst_case_tv(P, µ, t) <= eps; returns t_max+1
+/// if not reached.  (The exact mixing time tau(eps) on small models.)
+[[nodiscard]] std::int64_t exact_mixing_time(const DenseMatrix& p,
+                                             const std::vector<double>& mu,
+                                             double eps, std::int64_t t_max);
+
+/// min_{x feasible} P(x,x) — positive for aperiodicity checks.
+[[nodiscard]] double min_feasible_self_loop(const DenseMatrix& p,
+                                            const std::vector<double>& mu);
+
+/// max over feasible x of sum of P(x, y) over infeasible y — zero iff the
+/// chain never leaves the feasible region (absorption direction 1).
+[[nodiscard]] double feasible_escape_mass(const DenseMatrix& p,
+                                          const std::vector<double>& mu);
+
+}  // namespace lsample::inference

@@ -1,0 +1,90 @@
+#include "inference/influence.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+#include "util/summary.hpp"
+
+namespace lsample::inference {
+
+namespace {
+
+std::vector<double> heat_bath_marginal(const mrf::Mrf& m, int i,
+                                       const mrf::Config& x) {
+  std::vector<double> w;
+  m.marginal_weights(i, x, w);
+  util::normalize(w);
+  return w;
+}
+
+}  // namespace
+
+std::vector<double> influence_matrix(const mrf::Mrf& m, const StateSpace& ss) {
+  LS_REQUIRE(ss.n() == m.n() && ss.q() == m.q(), "state space mismatch");
+  const int n = m.n();
+  std::vector<double> rho(static_cast<std::size_t>(n) *
+                              static_cast<std::size_t>(n),
+                          0.0);
+  mrf::Config sigma;
+  mrf::Config tau;
+  for (std::int64_t si = 0; si < ss.size(); ++si) {
+    ss.decode_into(si, sigma);
+    if (!m.feasible(sigma)) continue;
+    for (int j = 0; j < n; ++j) {
+      tau = sigma;
+      for (int s = 0; s < m.q(); ++s) {
+        if (s == sigma[static_cast<std::size_t>(j)]) continue;
+        tau[static_cast<std::size_t>(j)] = s;
+        if (!m.feasible(tau)) continue;
+        for (int i = 0; i < n; ++i) {
+          if (i == j) continue;
+          const auto mi_sigma = heat_bath_marginal(m, i, sigma);
+          const auto mi_tau = heat_bath_marginal(m, i, tau);
+          const double d = util::total_variation(mi_sigma, mi_tau);
+          auto& cell = rho[static_cast<std::size_t>(i) *
+                               static_cast<std::size_t>(n) +
+                           static_cast<std::size_t>(j)];
+          cell = std::max(cell, d);
+        }
+      }
+      tau[static_cast<std::size_t>(j)] = sigma[static_cast<std::size_t>(j)];
+    }
+  }
+  return rho;
+}
+
+double total_influence(const std::vector<double>& rho, int n) {
+  LS_REQUIRE(rho.size() == static_cast<std::size_t>(n) *
+                               static_cast<std::size_t>(n),
+             "matrix size mismatch");
+  double alpha = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double row = 0.0;
+    for (int j = 0; j < n; ++j)
+      row += rho[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
+                 static_cast<std::size_t>(j)];
+    alpha = std::max(alpha, row);
+  }
+  return alpha;
+}
+
+double coloring_total_influence(const graph::Graph& g,
+                                const std::vector<int>& list_sizes) {
+  LS_REQUIRE(static_cast<int>(list_sizes.size()) == g.num_vertices(),
+             "one list size per vertex");
+  double alpha = 0.0;
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    const int d = g.degree(v);
+    const int qv = list_sizes[static_cast<std::size_t>(v)];
+    LS_REQUIRE(qv > d, "need q_v > d_v for the coloring influence bound");
+    if (d > 0) alpha = std::max(alpha, static_cast<double>(d) / (qv - d));
+  }
+  return alpha;
+}
+
+double coloring_total_influence(const graph::Graph& g, int q) {
+  return coloring_total_influence(
+      g, std::vector<int>(static_cast<std::size_t>(g.num_vertices()), q));
+}
+
+}  // namespace lsample::inference

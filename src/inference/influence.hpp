@@ -1,0 +1,29 @@
+// Dobrushin influence matrix (Definition 3.1) and total influence
+// (Definition 3.2), driving Theorem 3.2's mixing condition.
+#pragma once
+
+#include <vector>
+
+#include "inference/state_space.hpp"
+#include "mrf/mrf.hpp"
+
+namespace lsample::inference {
+
+/// Exact influence matrix rho_{i,j} by brute force over all feasible pairs
+/// differing only at j (small models only).  Row-major n x n.
+[[nodiscard]] std::vector<double> influence_matrix(const mrf::Mrf& m,
+                                                   const StateSpace& ss);
+
+/// Total influence alpha = max_i sum_j rho_{i,j} of a row-major n x n matrix.
+[[nodiscard]] double total_influence(const std::vector<double>& rho, int n);
+
+/// Closed-form total influence bound for list colorings (§3.2):
+/// alpha = max_v d_v / (q_v - d_v), where q_v is the list size.  Throws if
+/// some q_v <= d_v.
+[[nodiscard]] double coloring_total_influence(const graph::Graph& g,
+                                              const std::vector<int>& list_sizes);
+
+/// Convenience: uniform lists of size q.
+[[nodiscard]] double coloring_total_influence(const graph::Graph& g, int q);
+
+}  // namespace lsample::inference

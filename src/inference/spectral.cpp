@@ -1,0 +1,87 @@
+#include "inference/spectral.hpp"
+
+#include <cmath>
+
+#include "inference/exact.hpp"
+#include "util/require.hpp"
+
+namespace lsample::inference {
+
+SpectralSummary spectral_summary(const DenseMatrix& p,
+                                 const std::vector<double>& mu,
+                                 int iterations) {
+  LS_REQUIRE(static_cast<std::int64_t>(mu.size()) == p.size(),
+             "size mismatch");
+  LS_REQUIRE(detailed_balance_error(p, mu) < 1e-8,
+             "spectral_summary requires a mu-reversible chain");
+
+  // Restrict to the support of mu.
+  std::vector<std::int64_t> support;
+  for (std::int64_t i = 0; i < p.size(); ++i)
+    if (mu[static_cast<std::size_t>(i)] > 0.0) support.push_back(i);
+  const std::size_t k = support.size();
+  LS_REQUIRE(k >= 2, "need at least two feasible states");
+
+  // Symmetrized kernel S(a,b) = sqrt(mu_a/mu_b) P(a,b) on the support.
+  std::vector<double> s(k * k);
+  std::vector<double> sqrt_mu(k);
+  for (std::size_t a = 0; a < k; ++a)
+    sqrt_mu[a] = std::sqrt(mu[static_cast<std::size_t>(support[a])]);
+  for (std::size_t a = 0; a < k; ++a)
+    for (std::size_t b = 0; b < k; ++b)
+      s[a * k + b] =
+          sqrt_mu[a] / sqrt_mu[b] * p.at(support[a], support[b]);
+
+  // Power iteration with deflation of the top eigenvector sqrt(mu)
+  // (eigenvalue 1).  Converges to |lambda_2| of S.
+  std::vector<double> v(k);
+  for (std::size_t a = 0; a < k; ++a)
+    v[a] = (a % 2 == 0 ? 1.0 : -1.0) + 1e-3 * static_cast<double>(a % 7);
+  std::vector<double> w(k);
+  double lambda = 0.0;
+  for (int it = 0; it < iterations; ++it) {
+    // Deflate: v -= <v, sqrt_mu> sqrt_mu  (sqrt_mu is unit in l2 since
+    // sum mu = 1 on the support).
+    double dot = 0.0;
+    for (std::size_t a = 0; a < k; ++a) dot += v[a] * sqrt_mu[a];
+    for (std::size_t a = 0; a < k; ++a) v[a] -= dot * sqrt_mu[a];
+    // w = S v.
+    for (std::size_t a = 0; a < k; ++a) {
+      double acc = 0.0;
+      for (std::size_t b = 0; b < k; ++b) acc += s[a * k + b] * v[b];
+      w[a] = acc;
+    }
+    double norm_v = 0.0;
+    double norm_w = 0.0;
+    for (std::size_t a = 0; a < k; ++a) {
+      norm_v += v[a] * v[a];
+      norm_w += w[a] * w[a];
+    }
+    if (norm_v <= 0.0 || norm_w <= 0.0) {
+      lambda = 0.0;
+      break;
+    }
+    lambda = std::sqrt(norm_w / norm_v);
+    const double inv = 1.0 / std::sqrt(norm_w);
+    for (std::size_t a = 0; a < k; ++a) v[a] = w[a] * inv;
+  }
+
+  SpectralSummary out;
+  out.lambda_star = std::min(lambda, 1.0);
+  out.gap = 1.0 - out.lambda_star;
+  out.relaxation_time = out.gap > 0.0 ? 1.0 / out.gap : 0.0;
+  return out;
+}
+
+double spectral_mixing_upper_bound(const SpectralSummary& s,
+                                   const std::vector<double>& mu,
+                                   double eps) {
+  LS_REQUIRE(s.gap > 0.0, "zero spectral gap");
+  LS_REQUIRE(eps > 0.0 && eps < 1.0, "epsilon in (0,1)");
+  double mu_min = 1.0;
+  for (double m : mu)
+    if (m > 0.0) mu_min = std::min(mu_min, m);
+  return std::log(1.0 / (eps * mu_min)) / s.gap;
+}
+
+}  // namespace lsample::inference

@@ -1,0 +1,38 @@
+// Spectral analysis of reversible chains on small state spaces.
+//
+// For a chain P reversible w.r.t. mu, the similarity transform
+// S = D^{1/2} P D^{-1/2} (D = diag(mu)) is symmetric; its second-largest
+// absolute eigenvalue lambda_* gives the relaxation time 1/(1-lambda_*) and
+// the classic two-sided mixing bounds
+//   (lambda_*/(1-lambda_*)) ln(1/2eps)  <=  tau(eps)  <=
+//   (1/(1-lambda_*)) ln(1/(eps mu_min)).
+// Used by tests to cross-validate the exact mixing times of both parallel
+// chains.
+#pragma once
+
+#include <vector>
+
+#include "inference/dense_matrix.hpp"
+
+namespace lsample::inference {
+
+struct SpectralSummary {
+  double lambda_star = 0.0;  ///< second-largest absolute eigenvalue
+  double gap = 0.0;          ///< 1 - lambda_star
+  double relaxation_time = 0.0;
+};
+
+/// Estimates lambda_* of a mu-reversible chain restricted to the support of
+/// mu, by power iteration on the symmetrized kernel after deflating the top
+/// eigenvector sqrt(mu).  Requires P reversible w.r.t. mu (checked up to
+/// tolerance) and an aperiodic irreducible restriction.
+[[nodiscard]] SpectralSummary spectral_summary(const DenseMatrix& p,
+                                               const std::vector<double>& mu,
+                                               int iterations = 2000);
+
+/// Upper bound tau(eps) <= ln(1/(eps*mu_min)) / gap.
+[[nodiscard]] double spectral_mixing_upper_bound(const SpectralSummary& s,
+                                                 const std::vector<double>& mu,
+                                                 double eps);
+
+}  // namespace lsample::inference

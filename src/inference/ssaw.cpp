@@ -1,0 +1,82 @@
+#include "inference/ssaw.hpp"
+
+#include <functional>
+
+#include "util/require.hpp"
+
+namespace lsample::inference {
+
+namespace {
+
+/// DFS over SSAW extensions.  `on_path` marks path vertices; a vertex u may
+/// extend the walk iff u is unvisited and u is adjacent to no path vertex
+/// except the current endpoint (the strong self-avoidance chord condition).
+void extend(const graph::Graph& g, std::vector<char>& on_path, int tail,
+            int length, int max_length,
+            const std::function<void(int)>& visit) {
+  if (length >= max_length) return;
+  for (int u : g.neighbors(tail)) {
+    if (on_path[static_cast<std::size_t>(u)] != 0) continue;
+    bool chord = false;
+    for (int w : g.neighbors(u)) {
+      if (w != tail && on_path[static_cast<std::size_t>(w)] != 0) {
+        chord = true;
+        break;
+      }
+    }
+    if (chord) continue;
+    on_path[static_cast<std::size_t>(u)] = 1;
+    visit(length + 1);
+    extend(g, on_path, u, length + 1, max_length, visit);
+    on_path[static_cast<std::size_t>(u)] = 0;
+  }
+}
+
+}  // namespace
+
+std::vector<std::int64_t> count_ssaws(const graph::Graph& g, int v0,
+                                      int max_length) {
+  LS_REQUIRE(v0 >= 0 && v0 < g.num_vertices(), "vertex out of range");
+  LS_REQUIRE(max_length >= 0 && max_length <= 64, "max_length in [0,64]");
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(max_length) + 1,
+                                   0);
+  counts[0] = 1;
+  std::vector<char> on_path(static_cast<std::size_t>(g.num_vertices()), 0);
+  on_path[static_cast<std::size_t>(v0)] = 1;
+  // Every SSAW is visited exactly once, at the step that appends its final
+  // vertex, so the callback tallies counts[l] correctly for every l.
+  extend(g, on_path, v0, 0, max_length,
+         [&](int len) { ++counts[static_cast<std::size_t>(len)]; });
+  return counts;
+}
+
+double ssaw_series(const graph::Graph& g, int v0, double x, int max_length) {
+  const auto counts = count_ssaws(g, v0, max_length);
+  double sum = 0.0;
+  double pow_x = 1.0;  // x^{l-1} for l = 1
+  for (int l = 1; l <= max_length; ++l) {
+    sum += static_cast<double>(counts[static_cast<std::size_t>(l)]) * pow_x;
+    pow_x *= x;
+  }
+  return sum;
+}
+
+bool is_ssaw(const graph::Graph& g, const std::vector<int>& walk) {
+  LS_REQUIRE(!walk.empty(), "walk must be non-empty");
+  // Simple path: all vertices distinct and consecutive pairs adjacent.
+  std::vector<char> seen(static_cast<std::size_t>(g.num_vertices()), 0);
+  for (std::size_t i = 0; i < walk.size(); ++i) {
+    const int v = walk[i];
+    LS_REQUIRE(v >= 0 && v < g.num_vertices(), "walk vertex out of range");
+    if (seen[static_cast<std::size_t>(v)] != 0) return false;
+    seen[static_cast<std::size_t>(v)] = 1;
+    if (i > 0 && !g.has_edge(walk[i - 1], v)) return false;
+  }
+  // No chord v_i v_j with i + 1 < j.
+  for (std::size_t i = 0; i + 2 < walk.size(); ++i)
+    for (std::size_t j = i + 2; j < walk.size(); ++j)
+      if (g.has_edge(walk[i], walk[j])) return false;
+  return true;
+}
+
+}  // namespace lsample::inference

@@ -1,0 +1,34 @@
+// Strongly self-avoiding walks (SSAWs), the combinatorial object driving the
+// global path-coupling analysis of §4.2.3.
+//
+// A walk P = (v0, v1, ..., vl) is strongly self-avoiding if it is a simple
+// path AND no chord v_i v_j with i+1 < j exists in the graph.  The coupling
+// argument bounds the disagreement percolation by
+//     sum over SSAWs P from v0 of (2/q)^{len(P)-1},
+// and Lemma 4.12 caps that series by the fixpoint Delta/(q-2Delta+2) (times
+// a (1-2/q)^{Delta-1} factor).  This module enumerates/counts SSAWs so the
+// bound can be checked numerically on concrete graphs (experiment E3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lsample::inference {
+
+/// counts[l] = number of SSAWs of length l starting at v0 (l = 0 is the
+/// trivial walk).  Enumerates up to max_length (inclusive).
+[[nodiscard]] std::vector<std::int64_t> count_ssaws(const graph::Graph& g,
+                                                    int v0, int max_length);
+
+/// The §4.2.3 disagreement series sum over SSAWs P from v0, excluding the
+/// trivial walk, of x^{len(P)-1}, truncated at max_length.
+[[nodiscard]] double ssaw_series(const graph::Graph& g, int v0, double x,
+                                 int max_length);
+
+/// True if (v0, ..., vl) given as a vertex sequence is an SSAW of g.
+[[nodiscard]] bool is_ssaw(const graph::Graph& g,
+                           const std::vector<int>& walk);
+
+}  // namespace lsample::inference

@@ -1,0 +1,59 @@
+#include "inference/state_space.hpp"
+
+#include "util/require.hpp"
+
+namespace lsample::inference {
+
+StateSpace::StateSpace(int n, int q, std::int64_t max_states) : n_(n), q_(q) {
+  LS_REQUIRE(n >= 1 && q >= 2, "need n >= 1 and q >= 2");
+  size_ = 1;
+  pow_.resize(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    pow_[static_cast<std::size_t>(v)] = size_;
+    LS_REQUIRE(size_ <= max_states / q,
+               "state space exceeds max_states; use a smaller model");
+    size_ *= q;
+  }
+}
+
+std::int64_t StateSpace::encode(const mrf::Config& x) const {
+  LS_REQUIRE(static_cast<int>(x.size()) == n_, "config size mismatch");
+  std::int64_t idx = 0;
+  for (int v = 0; v < n_; ++v) {
+    LS_REQUIRE(x[static_cast<std::size_t>(v)] >= 0 &&
+                   x[static_cast<std::size_t>(v)] < q_,
+               "spin out of range");
+    idx += pow_[static_cast<std::size_t>(v)] * x[static_cast<std::size_t>(v)];
+  }
+  return idx;
+}
+
+mrf::Config StateSpace::decode(std::int64_t index) const {
+  mrf::Config x(static_cast<std::size_t>(n_));
+  decode_into(index, x);
+  return x;
+}
+
+void StateSpace::decode_into(std::int64_t index, mrf::Config& x) const {
+  LS_REQUIRE(index >= 0 && index < size_, "state index out of range");
+  x.resize(static_cast<std::size_t>(n_));
+  for (int v = 0; v < n_; ++v) {
+    x[static_cast<std::size_t>(v)] = static_cast<int>(index % q_);
+    index /= q_;
+  }
+}
+
+std::int64_t StateSpace::with_spin(std::int64_t base, int v, int s) const {
+  LS_REQUIRE(v >= 0 && v < n_ && s >= 0 && s < q_, "coordinates out of range");
+  const int old = spin_of(base, v);
+  return base + pow_[static_cast<std::size_t>(v)] *
+                    static_cast<std::int64_t>(s - old);
+}
+
+int StateSpace::spin_of(std::int64_t index, int v) const {
+  LS_REQUIRE(index >= 0 && index < size_ && v >= 0 && v < n_,
+             "coordinates out of range");
+  return static_cast<int>((index / pow_[static_cast<std::size_t>(v)]) % q_);
+}
+
+}  // namespace lsample::inference

@@ -1,0 +1,38 @@
+// Enumeration of the configuration space Omega = [q]^V for exact analysis of
+// small models (exact Gibbs vectors, exact chain transition matrices).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mrf/mrf.hpp"
+
+namespace lsample::inference {
+
+class StateSpace {
+ public:
+  /// Throws if q^n exceeds max_states (guards accidental blow-ups).
+  StateSpace(int n, int q, std::int64_t max_states = 1 << 20);
+
+  [[nodiscard]] int n() const noexcept { return n_; }
+  [[nodiscard]] int q() const noexcept { return q_; }
+  [[nodiscard]] std::int64_t size() const noexcept { return size_; }
+
+  [[nodiscard]] std::int64_t encode(const mrf::Config& x) const;
+  [[nodiscard]] mrf::Config decode(std::int64_t index) const;
+  void decode_into(std::int64_t index, mrf::Config& x) const;
+
+  /// Index of the state equal to `base` except spin s at vertex v.
+  [[nodiscard]] std::int64_t with_spin(std::int64_t base, int v, int s) const;
+
+  /// Spin of vertex v in the encoded state.
+  [[nodiscard]] int spin_of(std::int64_t index, int v) const;
+
+ private:
+  int n_;
+  int q_;
+  std::int64_t size_;
+  std::vector<std::int64_t> pow_;  // pow_[v] = q^v
+};
+
+}  // namespace lsample::inference

@@ -1,0 +1,349 @@
+#include "inference/transition.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "graph/properties.hpp"
+#include "util/require.hpp"
+#include "util/summary.hpp"
+
+namespace lsample::inference {
+
+namespace {
+
+void check_model(const mrf::Mrf& m, const StateSpace& ss) {
+  LS_REQUIRE(ss.n() == m.n() && ss.q() == m.q(),
+             "state space must match the model");
+}
+
+/// Normalized heat-bath marginal at v given the configuration x.  If the
+/// marginal is the zero vector (well-definedness assumption of §3 fails at
+/// this infeasible state) the chain keeps the current spin, i.e. the update
+/// distribution is a point mass at x_v — matching the runtime chains.
+std::vector<double> heat_bath_marginal(const mrf::Mrf& m, int v,
+                                       const mrf::Config& x) {
+  std::vector<double> w;
+  m.marginal_weights(v, x, w);
+  const double z = util::normalize(w);
+  if (z <= 0.0) {
+    w.assign(static_cast<std::size_t>(m.q()), 0.0);
+    w[static_cast<std::size_t>(x[static_cast<std::size_t>(v)])] = 1.0;
+  }
+  return w;
+}
+
+/// Normalized proposal distribution b̃_v.
+std::vector<double> proposal_distribution(const mrf::Mrf& m, int v) {
+  const auto b = m.proposal_weights(v);
+  std::vector<double> p(b.begin(), b.end());
+  const double z = util::normalize(p);
+  LS_REQUIRE(z > 0.0, "vertex activity must not be identically zero");
+  return p;
+}
+
+/// Exact distribution of the Luby-step independent set: each of the n!
+/// priority orderings is equally likely; v is selected iff its priority
+/// beats every neighbor's.
+std::map<std::uint32_t, double> luby_set_distribution(const graph::Graph& g) {
+  const int n = g.num_vertices();
+  LS_REQUIRE(n <= 9, "exact Luby-step enumeration limited to n <= 9");
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  std::map<std::uint32_t, double> dist;
+  std::int64_t count = 0;
+  do {
+    // perm[v] = rank of v; higher rank = higher priority.
+    std::uint32_t mask = 0;
+    for (int v = 0; v < n; ++v) {
+      bool is_max = true;
+      for (int u : g.neighbors(v))
+        if (perm[static_cast<std::size_t>(u)] >
+            perm[static_cast<std::size_t>(v)]) {
+          is_max = false;
+          break;
+        }
+      if (is_max) mask |= (1u << v);
+    }
+    dist[mask] += 1.0;
+    ++count;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  for (auto& [mask, p] : dist) p /= static_cast<double>(count);
+  return dist;
+}
+
+/// Adds, for every assignment of spins to the vertices in `mask`, the
+/// probability of jointly resampling them (product of heat-bath marginals
+/// conditioned on x) times `base_prob` into row `row` of P.
+void add_parallel_heat_bath(const mrf::Mrf& m, const StateSpace& ss,
+                            const mrf::Config& x, std::int64_t xi,
+                            std::uint32_t mask, double base_prob,
+                            DenseMatrix& p, std::int64_t row) {
+  std::vector<int> sel;
+  for (int v = 0; v < m.n(); ++v)
+    if (mask & (1u << v)) sel.push_back(v);
+  if (sel.empty()) {
+    p.at(row, xi) += base_prob;
+    return;
+  }
+  std::vector<std::vector<double>> marg;
+  marg.reserve(sel.size());
+  for (int v : sel) marg.push_back(heat_bath_marginal(m, v, x));
+
+  std::vector<int> assign(sel.size(), 0);
+  while (true) {
+    double prob = base_prob;
+    std::int64_t target = xi;
+    for (std::size_t i = 0; i < sel.size(); ++i) {
+      prob *= marg[i][static_cast<std::size_t>(assign[i])];
+      target = ss.with_spin(target, sel[i], assign[i]);
+    }
+    if (prob > 0.0) p.at(row, target) += prob;
+    std::size_t i = 0;
+    while (i < assign.size() && ++assign[i] == m.q()) assign[i++] = 0;
+    if (i == assign.size()) break;
+  }
+}
+
+}  // namespace
+
+DenseMatrix glauber_transition(const mrf::Mrf& m, const StateSpace& ss) {
+  check_model(m, ss);
+  DenseMatrix p(ss.size());
+  mrf::Config x;
+  const double pick = 1.0 / m.n();
+  for (std::int64_t xi = 0; xi < ss.size(); ++xi) {
+    ss.decode_into(xi, x);
+    for (int v = 0; v < m.n(); ++v) {
+      const auto marg = heat_bath_marginal(m, v, x);
+      for (int c = 0; c < m.q(); ++c)
+        if (marg[static_cast<std::size_t>(c)] > 0.0)
+          p.at(xi, ss.with_spin(xi, v, c)) +=
+              pick * marg[static_cast<std::size_t>(c)];
+    }
+  }
+  return p;
+}
+
+DenseMatrix metropolis_transition(const mrf::Mrf& m, const StateSpace& ss) {
+  check_model(m, ss);
+  DenseMatrix p(ss.size());
+  mrf::Config x;
+  const double pick = 1.0 / m.n();
+  for (std::int64_t xi = 0; xi < ss.size(); ++xi) {
+    ss.decode_into(xi, x);
+    for (int v = 0; v < m.n(); ++v) {
+      const auto prop = proposal_distribution(m, v);
+      const auto inc = m.g().incident_edges(v);
+      const auto nbr = m.g().neighbors(v);
+      for (int c = 0; c < m.q(); ++c) {
+        const double pc = prop[static_cast<std::size_t>(c)];
+        if (pc <= 0.0) continue;
+        double acc = 1.0;
+        for (std::size_t i = 0; i < inc.size(); ++i)
+          acc *= m.edge_activity(inc[i]).normalized_at(
+              c, x[static_cast<std::size_t>(nbr[i])]);
+        p.at(xi, ss.with_spin(xi, v, c)) += pick * pc * acc;
+        p.at(xi, xi) += pick * pc * (1.0 - acc);
+      }
+    }
+  }
+  return p;
+}
+
+DenseMatrix scan_transition(const mrf::Mrf& m, const StateSpace& ss) {
+  check_model(m, ss);
+  // P = P_0 P_1 ... P_{n-1} where P_v resamples only vertex v.
+  DenseMatrix result(ss.size());
+  bool first = true;
+  mrf::Config x;
+  for (int v = 0; v < m.n(); ++v) {
+    DenseMatrix pv(ss.size());
+    for (std::int64_t xi = 0; xi < ss.size(); ++xi) {
+      ss.decode_into(xi, x);
+      const auto marg = heat_bath_marginal(m, v, x);
+      for (int c = 0; c < m.q(); ++c)
+        if (marg[static_cast<std::size_t>(c)] > 0.0)
+          pv.at(xi, ss.with_spin(xi, v, c)) +=
+              marg[static_cast<std::size_t>(c)];
+    }
+    result = first ? pv : result.multiply(pv);
+    first = false;
+  }
+  return result;
+}
+
+DenseMatrix luby_glauber_transition(const mrf::Mrf& m, const StateSpace& ss) {
+  check_model(m, ss);
+  const auto set_dist = luby_set_distribution(m.g());
+  DenseMatrix p(ss.size());
+  mrf::Config x;
+  for (std::int64_t xi = 0; xi < ss.size(); ++xi) {
+    ss.decode_into(xi, x);
+    for (const auto& [mask, prob] : set_dist)
+      add_parallel_heat_bath(m, ss, x, xi, mask, prob, p, xi);
+  }
+  return p;
+}
+
+DenseMatrix chromatic_transition(const mrf::Mrf& m, const StateSpace& ss) {
+  check_model(m, ss);
+  const auto class_of = graph::greedy_coloring(m.g());
+  const int k = graph::count_distinct(class_of);
+  LS_REQUIRE(m.n() <= 30, "chromatic transition limited to n <= 30");
+  DenseMatrix p(ss.size());
+  mrf::Config x;
+  for (std::int64_t xi = 0; xi < ss.size(); ++xi) {
+    ss.decode_into(xi, x);
+    for (int cls = 0; cls < k; ++cls) {
+      std::uint32_t mask = 0;
+      for (int v = 0; v < m.n(); ++v)
+        if (class_of[static_cast<std::size_t>(v)] == cls) mask |= (1u << v);
+      add_parallel_heat_bath(m, ss, x, xi, mask, 1.0 / k, p, xi);
+    }
+  }
+  return p;
+}
+
+DenseMatrix local_metropolis_transition(const mrf::Mrf& m,
+                                        const StateSpace& ss,
+                                        int max_uncertain_edges) {
+  check_model(m, ss);
+  const int ne = m.g().num_edges();
+  LS_REQUIRE(ne <= 30, "LocalMetropolis transition limited to <= 30 edges");
+  DenseMatrix p(ss.size());
+  mrf::Config x;
+  mrf::Config sigma;
+
+  std::vector<std::vector<double>> prop;
+  prop.reserve(static_cast<std::size_t>(m.n()));
+  for (int v = 0; v < m.n(); ++v) prop.push_back(proposal_distribution(m, v));
+
+  std::vector<double> pass_prob(static_cast<std::size_t>(ne));
+  std::vector<int> uncertain;
+  std::vector<char> passes(static_cast<std::size_t>(ne));
+
+  for (std::int64_t xi = 0; xi < ss.size(); ++xi) {
+    ss.decode_into(xi, x);
+    for (std::int64_t si = 0; si < ss.size(); ++si) {
+      ss.decode_into(si, sigma);
+      double prob_sigma = 1.0;
+      for (int v = 0; v < m.n() && prob_sigma > 0.0; ++v)
+        prob_sigma *= prop[static_cast<std::size_t>(v)][static_cast<std::size_t>(
+            sigma[static_cast<std::size_t>(v)])];
+      if (prob_sigma <= 0.0) continue;
+
+      uncertain.clear();
+      bool possible = true;
+      for (int e = 0; e < ne; ++e) {
+        const graph::Edge& ed = m.g().edge(e);
+        const double pe = m.edge_pass_prob(
+            e, sigma[static_cast<std::size_t>(ed.u)],
+            sigma[static_cast<std::size_t>(ed.v)],
+            x[static_cast<std::size_t>(ed.u)],
+            x[static_cast<std::size_t>(ed.v)]);
+        pass_prob[static_cast<std::size_t>(e)] = pe;
+        if (pe > 0.0 && pe < 1.0) uncertain.push_back(e);
+        passes[static_cast<std::size_t>(e)] = pe >= 1.0 ? 1 : 0;
+      }
+      (void)possible;
+      LS_REQUIRE(static_cast<int>(uncertain.size()) <= max_uncertain_edges,
+                 "too many soft edges for exact coin enumeration");
+
+      const std::uint64_t combos = 1ull << uncertain.size();
+      for (std::uint64_t bits = 0; bits < combos; ++bits) {
+        double prob_coins = 1.0;
+        for (std::size_t i = 0; i < uncertain.size(); ++i) {
+          const int e = uncertain[i];
+          const bool pass = (bits >> i) & 1ull;
+          passes[static_cast<std::size_t>(e)] = pass ? 1 : 0;
+          prob_coins *= pass ? pass_prob[static_cast<std::size_t>(e)]
+                             : 1.0 - pass_prob[static_cast<std::size_t>(e)];
+        }
+        if (prob_coins <= 0.0) continue;
+
+        std::int64_t target = xi;
+        // v accepts iff every incident edge passes.
+        for (int v = 0; v < m.n(); ++v) {
+          bool accept = true;
+          for (int e : m.g().incident_edges(v))
+            if (passes[static_cast<std::size_t>(e)] == 0) {
+              accept = false;
+              break;
+            }
+          if (accept)
+            target =
+                ss.with_spin(target, v, sigma[static_cast<std::size_t>(v)]);
+        }
+        p.at(xi, target) += prob_sigma * prob_coins;
+      }
+    }
+  }
+  return p;
+}
+
+DenseMatrix synchronous_glauber_transition(const mrf::Mrf& m,
+                                           const StateSpace& ss) {
+  check_model(m, ss);
+  LS_REQUIRE(m.n() <= 12, "synchronous transition limited to n <= 12");
+  DenseMatrix p(ss.size());
+  mrf::Config x;
+  for (std::int64_t xi = 0; xi < ss.size(); ++xi) {
+    ss.decode_into(xi, x);
+    // All vertices update together: the joint kernel is the product of the
+    // per-vertex marginals conditioned on the OLD state x.
+    const std::uint32_t all = (1u << m.n()) - 1u;
+    add_parallel_heat_bath(m, ss, x, ss.encode(mrf::Config(
+                               static_cast<std::size_t>(m.n()), 0)),
+                           all, 1.0, p, xi);
+  }
+  return p;
+}
+
+DenseMatrix local_metropolis_two_rule_transition(const mrf::Mrf& m,
+                                                 const StateSpace& ss) {
+  check_model(m, ss);
+  for (int e = 0; e < m.g().num_edges(); ++e) {
+    const auto& a = m.edge_activity(e);
+    for (int i = 0; i < m.q(); ++i)
+      for (int j = 0; j < m.q(); ++j)
+        LS_REQUIRE(a.at(i, j) == 0.0 || a.at(i, j) == a.max_entry(),
+                   "two-rule variant requires hard constraints");
+  }
+  DenseMatrix p(ss.size());
+  mrf::Config x;
+  mrf::Config sigma;
+  std::vector<std::vector<double>> prop;
+  for (int v = 0; v < m.n(); ++v) prop.push_back(proposal_distribution(m, v));
+
+  for (std::int64_t xi = 0; xi < ss.size(); ++xi) {
+    ss.decode_into(xi, x);
+    for (std::int64_t si = 0; si < ss.size(); ++si) {
+      ss.decode_into(si, sigma);
+      double prob_sigma = 1.0;
+      for (int v = 0; v < m.n() && prob_sigma > 0.0; ++v)
+        prob_sigma *= prop[static_cast<std::size_t>(v)][static_cast<std::size_t>(
+            sigma[static_cast<std::size_t>(v)])];
+      if (prob_sigma <= 0.0) continue;
+
+      std::int64_t target = xi;
+      for (int v = 0; v < m.n(); ++v) {
+        const auto inc = m.g().incident_edges(v);
+        const auto nbr = m.g().neighbors(v);
+        const int sv = sigma[static_cast<std::size_t>(v)];
+        bool accept = true;
+        for (std::size_t i = 0; i < inc.size() && accept; ++i) {
+          const auto& a = m.edge_activity(inc[i]);
+          const int su = sigma[static_cast<std::size_t>(nbr[i])];
+          const int xu = x[static_cast<std::size_t>(nbr[i])];
+          if (a.at(sv, su) == 0.0 || a.at(sv, xu) == 0.0) accept = false;
+        }
+        if (accept) target = ss.with_spin(target, v, sv);
+      }
+      p.at(xi, target) += prob_sigma;
+    }
+  }
+  return p;
+}
+
+}  // namespace lsample::inference

@@ -1,0 +1,62 @@
+// Exact transition matrices of every chain in the library, for small models.
+//
+// These matrices make the paper's structural claims checkable with zero
+// statistical error:
+//   * Proposition 3.1 — LubyGlauber is reversible w.r.t. the Gibbs
+//     distribution (the Luby step is integrated exactly by enumerating all
+//     n! priority orderings);
+//   * Theorem 4.1   — LocalMetropolis is reversible w.r.t. the Gibbs
+//     distribution (edge coins are integrated exactly; for hard-constraint
+//     models the checks are deterministic, for soft models all coin subsets
+//     are enumerated);
+//   * the "third filtering rule" of §4.2 is necessary — the two-rule variant
+//     provably breaks detailed balance, which tests assert numerically.
+#pragma once
+
+#include "inference/dense_matrix.hpp"
+#include "inference/state_space.hpp"
+#include "mrf/mrf.hpp"
+
+namespace lsample::inference {
+
+/// Single-site heat-bath Glauber: P = (1/n) sum_v P_v.
+[[nodiscard]] DenseMatrix glauber_transition(const mrf::Mrf& m,
+                                             const StateSpace& ss);
+
+/// Single-site Metropolis with proposal ~ b_v and filter prod Ã(c, X_u).
+[[nodiscard]] DenseMatrix metropolis_transition(const mrf::Mrf& m,
+                                                const StateSpace& ss);
+
+/// Systematic scan: P = P_0 P_1 ... P_{n-1}.
+[[nodiscard]] DenseMatrix scan_transition(const mrf::Mrf& m,
+                                          const StateSpace& ss);
+
+/// LubyGlauber (Algorithm 1) with the Luby-step set distribution computed
+/// exactly over all n! priority orderings.  Requires n <= 9.
+[[nodiscard]] DenseMatrix luby_glauber_transition(const mrf::Mrf& m,
+                                                  const StateSpace& ss);
+
+/// Chromatic-scheduler parallel Glauber: uniform random greedy color class,
+/// all its vertices resampled in parallel.
+[[nodiscard]] DenseMatrix chromatic_transition(const mrf::Mrf& m,
+                                               const StateSpace& ss);
+
+/// LocalMetropolis (Algorithm 2), exact in proposals and edge coins.
+/// Enumerates all q^n proposals; coin subsets only over edges whose pass
+/// probability is strictly between 0 and 1 (at most max_uncertain_edges).
+[[nodiscard]] DenseMatrix local_metropolis_transition(
+    const mrf::Mrf& m, const StateSpace& ss, int max_uncertain_edges = 20);
+
+/// Fully synchronous parallel Glauber (all vertices resample at once from
+/// the previous state) — the naive parallelization whose stationary
+/// distribution is NOT the Gibbs distribution in general; negative control
+/// motivating the Luby step.  Requires n <= 12.
+[[nodiscard]] DenseMatrix synchronous_glauber_transition(const mrf::Mrf& m,
+                                                         const StateSpace& ss);
+
+/// The two-rule negative control (drops the third filter rule); hard
+/// constraints only.
+[[nodiscard]] DenseMatrix local_metropolis_two_rule_transition(
+    const mrf::Mrf& m, const StateSpace& ss);
+
+}  // namespace lsample::inference

@@ -1,0 +1,205 @@
+#include "inference/tree_bp.hpp"
+
+#include <cmath>
+#include <queue>
+
+#include "graph/properties.hpp"
+#include "util/require.hpp"
+#include "util/summary.hpp"
+
+namespace lsample::inference {
+
+TreeBp::TreeBp(const mrf::Mrf& m) : m_(m) {
+  LS_REQUIRE(m.g().num_edges() == m.n() - 1 && graph::is_connected(m.g()),
+             "TreeBp requires a connected tree");
+  const int n = m.n();
+  order_.reserve(static_cast<std::size_t>(n));
+  parent_.assign(static_cast<std::size_t>(n), -1);
+  parent_edge_.assign(static_cast<std::size_t>(n), -1);
+  std::vector<char> seen(static_cast<std::size_t>(n), 0);
+  std::queue<int> q;
+  q.push(0);
+  seen[0] = 1;
+  while (!q.empty()) {
+    const int v = q.front();
+    q.pop();
+    order_.push_back(v);
+    const auto inc = m.g().incident_edges(v);
+    const auto nbr = m.g().neighbors(v);
+    for (std::size_t i = 0; i < inc.size(); ++i) {
+      const int u = nbr[i];
+      if (seen[static_cast<std::size_t>(u)] != 0) continue;
+      seen[static_cast<std::size_t>(u)] = 1;
+      parent_[static_cast<std::size_t>(u)] = v;
+      parent_edge_[static_cast<std::size_t>(u)] = inc[i];
+      q.push(u);
+    }
+  }
+}
+
+TreeBp::Result TreeBp::run(
+    const std::vector<std::vector<double>>& overrides) const {
+  const int n = m_.n();
+  const int q = m_.q();
+  auto activity = [&](int v) -> std::vector<double> {
+    if (!overrides.empty() &&
+        !overrides[static_cast<std::size_t>(v)].empty())
+      return overrides[static_cast<std::size_t>(v)];
+    const auto b = m_.vertex_activity(v);
+    return {b.begin(), b.end()};
+  };
+
+  // Upward pass (reverse BFS order): up[v](x_parent).
+  std::vector<std::vector<double>> up(
+      static_cast<std::size_t>(n), std::vector<double>(static_cast<std::size_t>(q), 1.0));
+  double log_z = 0.0;
+  // belief_base[v](x_v) = b_v(x_v) * prod_{c child of v} up[c](x_v).
+  std::vector<std::vector<double>> belief_base(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) belief_base[static_cast<std::size_t>(v)] = activity(v);
+
+  for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+    const int v = *it;
+    const int par = parent_[static_cast<std::size_t>(v)];
+    if (par < 0) continue;
+    const auto& a = m_.edge_activity(parent_edge_[static_cast<std::size_t>(v)]);
+    std::vector<double> msg(static_cast<std::size_t>(q), 0.0);
+    for (int xp = 0; xp < q; ++xp) {
+      double s = 0.0;
+      for (int xv = 0; xv < q; ++xv)
+        s += belief_base[static_cast<std::size_t>(v)]
+                        [static_cast<std::size_t>(xv)] *
+             a.at(xv, xp);
+      msg[static_cast<std::size_t>(xp)] = s;
+    }
+    const double norm = util::normalize(msg);
+    LS_REQUIRE(norm > 0.0, "zero message: clamped model is infeasible");
+    log_z += std::log(norm);
+    for (int xp = 0; xp < q; ++xp)
+      belief_base[static_cast<std::size_t>(par)][static_cast<std::size_t>(xp)] *=
+          msg[static_cast<std::size_t>(xp)];
+    up[static_cast<std::size_t>(v)] = std::move(msg);
+  }
+  {
+    double root_sum = 0.0;
+    for (double x : belief_base[static_cast<std::size_t>(order_.front())])
+      root_sum += x;
+    LS_REQUIRE(root_sum > 0.0, "zero partition function");
+    log_z += std::log(root_sum);
+  }
+
+  // Downward pass (BFS order): down[v](x_v) = message from parent into v.
+  std::vector<std::vector<double>> down(
+      static_cast<std::size_t>(n),
+      std::vector<double>(static_cast<std::size_t>(q), 1.0));
+  Result result;
+  result.log_z = log_z;
+  result.marginals.assign(static_cast<std::size_t>(n), {});
+  for (int v : order_) {
+    // Marginal of v: belief_base[v] * down[v].
+    std::vector<double> marg(static_cast<std::size_t>(q));
+    for (int c = 0; c < q; ++c)
+      marg[static_cast<std::size_t>(c)] =
+          belief_base[static_cast<std::size_t>(v)][static_cast<std::size_t>(c)] *
+          down[static_cast<std::size_t>(v)][static_cast<std::size_t>(c)];
+    const double norm = util::normalize(marg);
+    LS_REQUIRE(norm > 0.0, "zero marginal");
+    result.marginals[static_cast<std::size_t>(v)] = marg;
+
+    // Messages to children: down[c](x_c) = sum_{x_v} (belief of v without
+    // child c's up message) * A(x_v, x_c).
+    const auto inc = m_.g().incident_edges(v);
+    const auto nbr = m_.g().neighbors(v);
+    for (std::size_t i = 0; i < inc.size(); ++i) {
+      const int c = nbr[i];
+      if (parent_[static_cast<std::size_t>(c)] != v ||
+          parent_edge_[static_cast<std::size_t>(c)] != inc[i])
+        continue;
+      const auto& a = m_.edge_activity(inc[i]);
+      std::vector<double> without(static_cast<std::size_t>(q));
+      for (int xv = 0; xv < q; ++xv) {
+        const double upc =
+            up[static_cast<std::size_t>(c)][static_cast<std::size_t>(xv)];
+        without[static_cast<std::size_t>(xv)] =
+            upc > 0.0
+                ? belief_base[static_cast<std::size_t>(v)]
+                             [static_cast<std::size_t>(xv)] *
+                      down[static_cast<std::size_t>(v)]
+                          [static_cast<std::size_t>(xv)] /
+                      upc
+                : 0.0;
+      }
+      // If up[c](xv) was zero the division above is invalid; recompute the
+      // product explicitly in that (rare) case.
+      bool has_zero = false;
+      for (int xv = 0; xv < q; ++xv)
+        if (up[static_cast<std::size_t>(c)][static_cast<std::size_t>(xv)] <=
+            0.0)
+          has_zero = true;
+      if (has_zero) {
+        const auto bv = activity(v);
+        for (int xv = 0; xv < q; ++xv) {
+          double w = bv[static_cast<std::size_t>(xv)] *
+                     down[static_cast<std::size_t>(v)]
+                         [static_cast<std::size_t>(xv)];
+          for (std::size_t j = 0; j < inc.size(); ++j) {
+            const int other = nbr[j];
+            if (other == c && inc[j] == inc[i]) continue;
+            if (parent_[static_cast<std::size_t>(other)] == v &&
+                parent_edge_[static_cast<std::size_t>(other)] == inc[j])
+              w *= up[static_cast<std::size_t>(other)]
+                     [static_cast<std::size_t>(xv)];
+          }
+          without[static_cast<std::size_t>(xv)] = w;
+        }
+      }
+      std::vector<double> msg(static_cast<std::size_t>(q), 0.0);
+      for (int xc = 0; xc < q; ++xc) {
+        double s = 0.0;
+        for (int xv = 0; xv < q; ++xv)
+          s += without[static_cast<std::size_t>(xv)] * a.at(xv, xc);
+        msg[static_cast<std::size_t>(xc)] = s;
+      }
+      util::normalize(msg);
+      down[static_cast<std::size_t>(c)] = std::move(msg);
+    }
+  }
+  return result;
+}
+
+std::vector<double> TreeBp::marginal(int v) const {
+  LS_REQUIRE(v >= 0 && v < m_.n(), "vertex out of range");
+  return run({}).marginals[static_cast<std::size_t>(v)];
+}
+
+double TreeBp::log_partition() const { return run({}).log_z; }
+
+std::vector<double> TreeBp::conditional_marginal(int v, int u, int a) const {
+  LS_REQUIRE(v >= 0 && v < m_.n() && u >= 0 && u < m_.n(), "vertex range");
+  LS_REQUIRE(a >= 0 && a < m_.q(), "spin out of range");
+  std::vector<std::vector<double>> overrides(
+      static_cast<std::size_t>(m_.n()));
+  std::vector<double> clamp(static_cast<std::size_t>(m_.q()), 0.0);
+  clamp[static_cast<std::size_t>(a)] = 1.0;
+  overrides[static_cast<std::size_t>(u)] = std::move(clamp);
+  return run(overrides).marginals[static_cast<std::size_t>(v)];
+}
+
+std::vector<double> TreeBp::pair_joint(int u, int v) const {
+  const int q = m_.q();
+  const auto mu_u = marginal(u);
+  std::vector<double> joint(static_cast<std::size_t>(q) *
+                                static_cast<std::size_t>(q),
+                            0.0);
+  for (int a = 0; a < q; ++a) {
+    if (mu_u[static_cast<std::size_t>(a)] <= 0.0) continue;
+    const auto cond = conditional_marginal(v, u, a);
+    for (int b = 0; b < q; ++b)
+      joint[static_cast<std::size_t>(a) * static_cast<std::size_t>(q) +
+            static_cast<std::size_t>(b)] =
+          mu_u[static_cast<std::size_t>(a)] *
+          cond[static_cast<std::size_t>(b)];
+  }
+  return joint;
+}
+
+}  // namespace lsample::inference

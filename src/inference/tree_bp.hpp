@@ -1,0 +1,51 @@
+// Exact inference on tree-structured MRFs via belief propagation.
+//
+// Used by the Theorem 5.1 reproduction: on a path, the conditional marginals
+// µ_v(· | σ_u) are exact, so the exponential correlation property (28) can be
+// measured directly, and the joint law of two far-apart vertices gives the
+// ground truth that t-round protocols provably cannot match.
+#pragma once
+
+#include <vector>
+
+#include "mrf/mrf.hpp"
+
+namespace lsample::inference {
+
+class TreeBp {
+ public:
+  /// Requires a connected tree (m = n-1 edges).
+  explicit TreeBp(const mrf::Mrf& m);
+
+  /// Exact marginal distribution of vertex v.
+  [[nodiscard]] std::vector<double> marginal(int v) const;
+
+  /// Exact log partition function.
+  [[nodiscard]] double log_partition() const;
+
+  /// Exact conditional marginal of v given sigma_u = a.  Requires the
+  /// clamped model to have positive partition function.
+  [[nodiscard]] std::vector<double> conditional_marginal(int v, int u,
+                                                         int a) const;
+
+  /// Exact joint pmf of (sigma_u, sigma_v), row-major q x q.
+  [[nodiscard]] std::vector<double> pair_joint(int u, int v) const;
+
+ private:
+  struct Result {
+    std::vector<std::vector<double>> marginals;
+    double log_z = 0.0;
+  };
+
+  /// Runs two-pass BP with per-vertex activity overrides (empty = use the
+  /// model's own activities).
+  [[nodiscard]] Result run(const std::vector<std::vector<double>>& overrides)
+      const;
+
+  const mrf::Mrf& m_;
+  std::vector<int> order_;       // BFS order from root 0
+  std::vector<int> parent_;      // parent vertex (-1 for root)
+  std::vector<int> parent_edge_; // edge id to parent (-1 for root)
+};
+
+}  // namespace lsample::inference

@@ -1,0 +1,89 @@
+#include "local/csp_node_programs.hpp"
+
+#include "util/require.hpp"
+
+namespace lsample::local {
+
+CspLocalMetropolisNode::CspLocalMetropolisNode(const csp::FactorGraph& fg,
+                                               int vertex, int initial_spin)
+    : fg_(fg), v_(vertex), x_(initial_spin) {
+  LS_REQUIRE(initial_spin >= 0 && initial_spin < fg.q(), "spin out of range");
+  known_proposal_.assign(static_cast<std::size_t>(fg.n()), -1);
+  known_spin_.assign(static_cast<std::size_t>(fg.n()), -1);
+}
+
+void CspLocalMetropolisNode::on_round(NodeContext& ctx) {
+  const std::int64_t r = ctx.round();
+  const int deg = ctx.degree();
+
+  if (r >= 1) {
+    const std::int64_t t = r - 1;
+    // Gather scope-mates' proposals and spins from the received messages.
+    for (int port = 0; port < deg; ++port) {
+      const auto msg = ctx.received(port);
+      LS_ASSERT(msg.size() == 2, "malformed CSP message");
+      const int u = ctx.neighbor_of_port(port);
+      known_proposal_[static_cast<std::size_t>(u)] = static_cast<int>(msg[0]);
+      known_spin_[static_cast<std::size_t>(u)] = static_cast<int>(msg[1]);
+    }
+    known_proposal_[static_cast<std::size_t>(v_)] = pending_proposal_;
+    known_spin_[static_cast<std::size_t>(v_)] = x_;
+
+    // Evaluate every incident constraint with its shared coin.  The
+    // constraint's scope is a subset of {v} + conflict neighbors, so all
+    // needed values are known locally.
+    bool all_pass = true;
+    csp::Config sigma(static_cast<std::size_t>(fg_.n()), 0);
+    csp::Config x(static_cast<std::size_t>(fg_.n()), 0);
+    for (int c : fg_.constraints_of(v_)) {
+      for (int w : fg_.constraint(c).scope) {
+        LS_ASSERT(known_proposal_[static_cast<std::size_t>(w)] >= 0,
+                  "scope-mate value missing: scope not within the conflict "
+                  "neighborhood");
+        sigma[static_cast<std::size_t>(w)] =
+            known_proposal_[static_cast<std::size_t>(w)];
+        x[static_cast<std::size_t>(w)] =
+            known_spin_[static_cast<std::size_t>(w)];
+      }
+      const double p = fg_.constraint_pass_prob(c, sigma, x);
+      const double u = ctx.rng().u01(util::RngDomain::constraint_coin,
+                                     static_cast<std::uint64_t>(c),
+                                     static_cast<std::uint64_t>(t));
+      if (!(u < p)) {
+        all_pass = false;
+        break;
+      }
+    }
+    if (all_pass) x_ = pending_proposal_;
+  }
+
+  // Draw the proposal for step r and broadcast (proposal, spin).
+  {
+    const double u = ctx.rng().u01(util::RngDomain::vertex_proposal,
+                                   static_cast<std::uint64_t>(v_),
+                                   static_cast<std::uint64_t>(r));
+    pending_proposal_ = util::categorical(fg_.vertex_activity(v_), u);
+    LS_ASSERT(pending_proposal_ >= 0, "zero vertex activity");
+  }
+  const std::uint64_t words[2] = {static_cast<std::uint64_t>(pending_proposal_),
+                                  static_cast<std::uint64_t>(x_)};
+  const int bits = 2 * [&] {
+    int b = 1;
+    while ((1 << b) < fg_.q()) ++b;
+    return b;
+  }();
+  for (int port = 0; port < deg; ++port) ctx.send(port, words, bits);
+}
+
+Network make_csp_local_metropolis_network(const csp::FactorGraph& fg,
+                                          const csp::Config& x0,
+                                          std::uint64_t seed) {
+  csp::check_config(fg, x0);
+  auto conflict = fg.make_conflict_graph();
+  return Network(std::move(conflict), seed, [&fg, &x0](int v) {
+    return std::make_unique<CspLocalMetropolisNode>(
+        fg, v, x0[static_cast<std::size_t>(v)]);
+  });
+}
+
+}  // namespace lsample::local

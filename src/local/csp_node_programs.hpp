@@ -1,0 +1,43 @@
+// LOCAL-model execution of the CSP LocalMetropolis algorithm (the §4 remark
+// generalized to weighted local CSPs).
+//
+// The communication network is the *conflict graph* of the factor graph
+// (u ~ v iff they share a constraint): in the paper's model a local
+// constraint has constant-diameter scope, so scope-mates are (near-)
+// neighbors.  Per step each vertex broadcasts (proposal, spin) to its
+// conflict neighbors; every vertex then evaluates each incident constraint
+// with a shared counter-RNG coin and accepts iff all of them pass —
+// reproducing csp::CspLocalMetropolisChain trajectory-exactly (tested).
+#pragma once
+
+#include <vector>
+
+#include "csp/csp_chains.hpp"
+#include "local/network.hpp"
+
+namespace lsample::local {
+
+class CspLocalMetropolisNode final : public NodeProgram {
+ public:
+  CspLocalMetropolisNode(const csp::FactorGraph& fg, int vertex,
+                         int initial_spin);
+
+  void on_round(NodeContext& ctx) override;
+  [[nodiscard]] int output() const noexcept override { return x_; }
+
+ private:
+  const csp::FactorGraph& fg_;
+  int v_;
+  int x_;
+  int pending_proposal_ = -1;
+  // Scratch: latest known (proposal, spin) per vertex id we can hear from.
+  std::vector<int> known_proposal_;
+  std::vector<int> known_spin_;
+};
+
+/// Builds the conflict-graph network running CSP LocalMetropolis from x0.
+/// The returned network's vertex ids coincide with the factor graph's.
+[[nodiscard]] Network make_csp_local_metropolis_network(
+    const csp::FactorGraph& fg, const csp::Config& x0, std::uint64_t seed);
+
+}  // namespace lsample::local

@@ -1,0 +1,50 @@
+// Luby's classic distributed Maximal Independent Set protocol, as a LOCAL
+// node program.
+//
+// Included for the paper's headline separation (discussion after Thm 1.3):
+// *constructing* an independent set locally is trivial, and even a maximal
+// one takes O(log n) rounds w.h.p. via Luby's algorithm — while *sampling* a
+// uniform independent set requires Omega(diam) rounds (Theorem 1.3).
+// Experiment E10 runs both on the same lower-bound graph.
+//
+// Protocol (per phase, 2 rounds):
+//   round A: every live vertex draws a priority and sends (priority, state);
+//   round B: local maxima join the MIS and announce it; their neighbors
+//            drop out.
+#pragma once
+
+#include "local/network.hpp"
+
+namespace lsample::local {
+
+class LubyMisNode final : public NodeProgram {
+ public:
+  enum State : int { undecided = 0, in_mis = 1, out_mis = 2 };
+
+  explicit LubyMisNode(int vertex) : v_(vertex) {}
+
+  void on_round(NodeContext& ctx) override;
+
+  /// 1 if the node decided to join the MIS, 0 otherwise (including still
+  /// undecided).
+  [[nodiscard]] int output() const noexcept override {
+    return state_ == in_mis ? 1 : 0;
+  }
+
+  [[nodiscard]] State state() const noexcept { return state_; }
+
+ private:
+  int v_;
+  State state_ = undecided;
+};
+
+/// Builds a Luby-MIS network over g.
+[[nodiscard]] Network make_luby_mis_network(graph::GraphPtr g,
+                                            std::uint64_t seed);
+
+/// Runs the protocol until every node decided (or max_rounds); returns the
+/// number of rounds used.  The output of the network is then the MIS
+/// indicator.
+std::int64_t run_luby_mis(Network& net, std::int64_t max_rounds = 10000);
+
+}  // namespace lsample::local

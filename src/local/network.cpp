@@ -1,0 +1,92 @@
+#include "local/network.hpp"
+
+#include "util/require.hpp"
+
+namespace lsample::local {
+
+std::int64_t NodeContext::round() const noexcept { return net_->round_; }
+
+int NodeContext::degree() const { return net_->g().degree(id_); }
+
+int NodeContext::edge_of_port(int port) const {
+  const auto inc = net_->g().incident_edges(id_);
+  LS_REQUIRE(port >= 0 && port < static_cast<int>(inc.size()),
+             "port out of range");
+  return inc[static_cast<std::size_t>(port)];
+}
+
+int NodeContext::neighbor_of_port(int port) const {
+  const auto nbr = net_->g().neighbors(id_);
+  LS_REQUIRE(port >= 0 && port < static_cast<int>(nbr.size()),
+             "port out of range");
+  return nbr[static_cast<std::size_t>(port)];
+}
+
+void NodeContext::send(int port, std::span<const std::uint64_t> words,
+                       int bits) {
+  LS_REQUIRE(bits >= 0, "negative bit count");
+  const int e = edge_of_port(port);
+  const int receiver = neighbor_of_port(port);
+  auto& msg = net_->next_[net_->buffer_index(e, receiver)];
+  msg.words.assign(words.begin(), words.end());
+  msg.bits = bits;
+  msg.present = true;
+  ++net_->stats_.messages;
+  net_->stats_.bits += bits;
+}
+
+std::span<const std::uint64_t> NodeContext::received(int port) const {
+  const int e = edge_of_port(port);
+  const auto& msg = net_->cur_[net_->buffer_index(e, id_)];
+  if (!msg.present) return {};
+  return msg.words;
+}
+
+const util::CounterRng& NodeContext::rng() const noexcept {
+  return net_->rng_;
+}
+
+Network::Network(graph::GraphPtr g, std::uint64_t seed,
+                 const ProgramFactory& make)
+    : graph_(std::move(g)), rng_(seed) {
+  LS_REQUIRE(graph_ != nullptr, "graph must not be null");
+  programs_.reserve(static_cast<std::size_t>(graph_->num_vertices()));
+  for (int v = 0; v < graph_->num_vertices(); ++v) {
+    auto p = make(v);
+    LS_REQUIRE(p != nullptr, "program factory returned null");
+    programs_.push_back(std::move(p));
+  }
+  cur_.assign(static_cast<std::size_t>(graph_->num_edges()) * 2, {});
+  next_.assign(static_cast<std::size_t>(graph_->num_edges()) * 2, {});
+}
+
+std::size_t Network::buffer_index(int e, int receiver) const {
+  const graph::Edge& ed = graph_->edge(e);
+  LS_ASSERT(ed.u == receiver || ed.v == receiver, "receiver not on edge");
+  return static_cast<std::size_t>(e) * 2 + (ed.v == receiver ? 1 : 0);
+}
+
+void Network::run_round() {
+  for (auto& msg : next_) msg.present = false;
+  for (int v = 0; v < graph_->num_vertices(); ++v) {
+    NodeContext ctx(*this, v);
+    programs_[static_cast<std::size_t>(v)]->on_round(ctx);
+  }
+  std::swap(cur_, next_);
+  ++round_;
+  ++stats_.rounds;
+}
+
+void Network::run_rounds(std::int64_t rounds) {
+  for (std::int64_t r = 0; r < rounds; ++r) run_round();
+}
+
+mrf::Config Network::outputs() const {
+  mrf::Config x(static_cast<std::size_t>(graph_->num_vertices()));
+  for (int v = 0; v < graph_->num_vertices(); ++v)
+    x[static_cast<std::size_t>(v)] =
+        programs_[static_cast<std::size_t>(v)]->output();
+  return x;
+}
+
+}  // namespace lsample::local

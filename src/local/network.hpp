@@ -1,0 +1,121 @@
+// A synchronous message-passing simulator of Linial's LOCAL model (§2.1).
+//
+// Computation proceeds in synchronized rounds.  In each round every node may
+// send one message to each neighbor and read the messages its neighbors sent
+// in the previous round; message sizes are accounted in bits so that the
+// paper's "each message is of O(log n) bits" claim (end of §1.1) can be
+// measured (experiment E9).
+//
+// Faithfulness: node programs may only interact with the network through a
+// NodeContext — neighbor state is visible exclusively via received messages.
+// Randomness comes from counter-based streams: private per-vertex streams
+// and shared per-edge streams (the paper's shared edge coins).  Because the
+// reference chains in chains/ draw from the same streams, the simulator must
+// reproduce their trajectories bit for bit — asserted by tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "mrf/mrf.hpp"
+#include "util/rng.hpp"
+
+namespace lsample::local {
+
+struct MessageStats {
+  std::int64_t rounds = 0;
+  std::int64_t messages = 0;
+  std::int64_t bits = 0;
+};
+
+class Network;
+
+/// Per-node view of the network for a single round.
+class NodeContext {
+ public:
+  [[nodiscard]] int id() const noexcept { return id_; }
+  [[nodiscard]] std::int64_t round() const noexcept;
+  [[nodiscard]] int degree() const;
+
+  /// Edge id behind a port (ports number v's incident edges 0..deg-1).
+  [[nodiscard]] int edge_of_port(int port) const;
+  /// Neighbor behind a port.
+  [[nodiscard]] int neighbor_of_port(int port) const;
+
+  /// Sends `words` to the neighbor behind `port`; `bits` is the semantic
+  /// message size used for accounting (may be smaller than 64*words).
+  void send(int port, std::span<const std::uint64_t> words, int bits);
+
+  /// Message received from `port`'s neighbor this round (sent by it last
+  /// round); empty in round 0.
+  [[nodiscard]] std::span<const std::uint64_t> received(int port) const;
+
+  /// The network-wide counter RNG (nodes use their own id / incident edge
+  /// ids as stream keys; the edge streams realize shared coins).
+  [[nodiscard]] const util::CounterRng& rng() const noexcept;
+
+ private:
+  friend class Network;
+  NodeContext(Network& net, int id) : net_(&net), id_(id) {}
+  Network* net_;
+  int id_;
+};
+
+/// A distributed program executed by one node.
+class NodeProgram {
+ public:
+  virtual ~NodeProgram() = default;
+
+  /// Called once per round (round 0 included).
+  virtual void on_round(NodeContext& ctx) = 0;
+
+  /// The node's current output spin.
+  [[nodiscard]] virtual int output() const noexcept = 0;
+};
+
+using ProgramFactory = std::function<std::unique_ptr<NodeProgram>(int vertex)>;
+
+class Network {
+ public:
+  Network(graph::GraphPtr g, std::uint64_t seed, const ProgramFactory& make);
+
+  /// Executes one synchronous round for all nodes.
+  void run_round();
+  void run_rounds(std::int64_t rounds);
+
+  [[nodiscard]] std::int64_t round() const noexcept { return round_; }
+  [[nodiscard]] const MessageStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const util::CounterRng& rng() const noexcept { return rng_; }
+  [[nodiscard]] const graph::Graph& g() const noexcept { return *graph_; }
+
+  /// Current outputs of all nodes.
+  [[nodiscard]] mrf::Config outputs() const;
+
+ private:
+  friend class NodeContext;
+
+  struct Message {
+    std::vector<std::uint64_t> words;
+    int bits = 0;
+    bool present = false;
+  };
+
+  /// Buffer index for the message traveling over edge e toward vertex
+  /// `receiver`.
+  [[nodiscard]] std::size_t buffer_index(int e, int receiver) const;
+
+  graph::GraphPtr graph_;
+  util::CounterRng rng_;
+  std::vector<std::unique_ptr<NodeProgram>> programs_;
+  // Two directions per edge; cur = readable this round, next = being written.
+  std::vector<Message> cur_;
+  std::vector<Message> next_;
+  std::int64_t round_ = 0;
+  MessageStats stats_;
+};
+
+}  // namespace lsample::local

@@ -1,0 +1,122 @@
+#include "local/node_programs.hpp"
+
+#include <bit>
+
+#include "chains/glauber.hpp"
+#include "chains/local_metropolis.hpp"
+#include "chains/schedulers.hpp"
+#include "util/require.hpp"
+
+namespace lsample::local {
+
+int spin_bits(int q) noexcept {
+  int b = 1;
+  while ((1 << b) < q) ++b;
+  return b;
+}
+
+LubyGlauberNode::LubyGlauberNode(const mrf::Mrf& m, int vertex,
+                                 int initial_spin)
+    : m_(m), v_(vertex), x_(initial_spin) {
+  LS_REQUIRE(initial_spin >= 0 && initial_spin < m.q(), "spin out of range");
+}
+
+void LubyGlauberNode::on_round(NodeContext& ctx) {
+  const std::int64_t r = ctx.round();
+  const int deg = ctx.degree();
+
+  if (r >= 1) {
+    // Complete Markov-chain step t = r-1 using last round's messages.
+    const std::int64_t t = r - 1;
+    const double my_priority = chains::luby_priority(ctx.rng(), v_, t);
+    bool selected = true;
+    nbr_spins_.resize(static_cast<std::size_t>(deg));
+    for (int port = 0; port < deg; ++port) {
+      const auto msg = ctx.received(port);
+      LS_ASSERT(msg.size() == 2, "malformed LubyGlauber message");
+      const double their_priority = std::bit_cast<double>(msg[0]);
+      nbr_spins_[static_cast<std::size_t>(port)] = static_cast<int>(msg[1]);
+      const int u = ctx.neighbor_of_port(port);
+      if (their_priority > my_priority ||
+          (their_priority == my_priority && u > v_))
+        selected = false;
+    }
+    if (selected)
+      x_ = chains::heat_bath_resample(m_, ctx.rng(), v_, t, nbr_spins_,
+                                      weights_, x_);
+  }
+
+  // Send this round's priority and current spin for step r.
+  const double priority = chains::luby_priority(ctx.rng(), v_, r);
+  const std::uint64_t words[2] = {std::bit_cast<std::uint64_t>(priority),
+                                  static_cast<std::uint64_t>(x_)};
+  for (int port = 0; port < deg; ++port)
+    ctx.send(port, words, kPriorityBits + spin_bits(m_.q()));
+}
+
+LocalMetropolisNode::LocalMetropolisNode(const mrf::Mrf& m, int vertex,
+                                         int initial_spin)
+    : m_(m), v_(vertex), x_(initial_spin) {
+  LS_REQUIRE(initial_spin >= 0 && initial_spin < m.q(), "spin out of range");
+}
+
+void LocalMetropolisNode::on_round(NodeContext& ctx) {
+  const std::int64_t r = ctx.round();
+  const int deg = ctx.degree();
+
+  if (r >= 1) {
+    // Complete step t = r-1: check all incident edges with the shared coins.
+    const std::int64_t t = r - 1;
+    const int sv = pending_proposal_;
+    LS_ASSERT(sv >= 0, "missing pending proposal");
+    bool all_pass = true;
+    for (int port = 0; port < deg; ++port) {
+      const auto msg = ctx.received(port);
+      LS_ASSERT(msg.size() == 2, "malformed LocalMetropolis message");
+      const int su = static_cast<int>(msg[0]);
+      const int xu = static_cast<int>(msg[1]);
+      const int e = ctx.edge_of_port(port);
+      // edge_pass_prob takes spins in the edge's stored (u,v) orientation;
+      // the product is invariant under swapping because A is symmetric.
+      const graph::Edge& ed = m_.g().edge(e);
+      const double p = (ed.u == v_) ? m_.edge_pass_prob(e, sv, su, x_, xu)
+                                    : m_.edge_pass_prob(e, su, sv, xu, x_);
+      const bool pass = chains::edge_coin(ctx.rng(), e, t) < p;
+      if (!pass) {
+        all_pass = false;
+        // Keep reading the remaining ports so the message protocol stays in
+        // lockstep, but the decision is already made.
+      }
+    }
+    if (all_pass) x_ = sv;
+  }
+
+  // Draw and broadcast the proposal for step r together with the current
+  // spin.
+  pending_proposal_ = chains::metropolis_proposal(m_, ctx.rng(), v_, r);
+  const std::uint64_t words[2] = {
+      static_cast<std::uint64_t>(pending_proposal_),
+      static_cast<std::uint64_t>(x_)};
+  for (int port = 0; port < deg; ++port)
+    ctx.send(port, words, 2 * spin_bits(m_.q()));
+}
+
+Network make_luby_glauber_network(const mrf::Mrf& m, const mrf::Config& x0,
+                                  std::uint64_t seed) {
+  mrf::check_config(m, x0);
+  return Network(m.graph_ptr(), seed, [&m, &x0](int v) {
+    return std::make_unique<LubyGlauberNode>(
+        m, v, x0[static_cast<std::size_t>(v)]);
+  });
+}
+
+Network make_local_metropolis_network(const mrf::Mrf& m, const mrf::Config& x0,
+                                      std::uint64_t seed) {
+  mrf::check_config(m, x0);
+  return Network(m.graph_ptr(), seed, [&m, &x0](int v) {
+    return std::make_unique<LocalMetropolisNode>(
+        m, v, x0[static_cast<std::size_t>(v)]);
+  });
+}
+
+}  // namespace lsample::local

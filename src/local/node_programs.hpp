@@ -1,0 +1,70 @@
+// Distributed node programs implementing Algorithm 1 (LubyGlauber) and
+// Algorithm 2 (LocalMetropolis) in the LOCAL model.
+//
+// Each Markov-chain step t costs exactly one communication round: at round r
+// every node sends the randomness and state needed for step r (its Luby
+// priority or proposal, plus its current spin), and at round r+1 it completes
+// step r using the received messages.  After R simulated rounds, R-1 chain
+// steps are complete, and the outputs equal the corresponding reference chain
+// (chains::LubyGlauberChain / chains::LocalMetropolisChain) run for R-1 steps
+// with the same seed — a bit-exact equivalence asserted by the test suite.
+//
+// A node program holds a reference to the Mrf but touches only vertex-local
+// data (its own activity vector and the activities of incident edges),
+// mirroring the paper's input model where v receives {A_uv} and b_v.
+#pragma once
+
+#include <vector>
+
+#include "local/network.hpp"
+#include "mrf/mrf.hpp"
+
+namespace lsample::local {
+
+/// Bits needed to transmit one spin in [0,q).
+[[nodiscard]] int spin_bits(int q) noexcept;
+
+/// Bits used to transmit one Luby priority (we send the full double; the
+/// paper discretizes to O(log n) bits).
+inline constexpr int kPriorityBits = 64;
+
+class LubyGlauberNode final : public NodeProgram {
+ public:
+  LubyGlauberNode(const mrf::Mrf& m, int vertex, int initial_spin);
+
+  void on_round(NodeContext& ctx) override;
+  [[nodiscard]] int output() const noexcept override { return x_; }
+
+ private:
+  const mrf::Mrf& m_;
+  int v_;
+  int x_;
+  std::vector<int> nbr_spins_;
+  std::vector<double> weights_;
+};
+
+class LocalMetropolisNode final : public NodeProgram {
+ public:
+  LocalMetropolisNode(const mrf::Mrf& m, int vertex, int initial_spin);
+
+  void on_round(NodeContext& ctx) override;
+  [[nodiscard]] int output() const noexcept override { return x_; }
+
+ private:
+  const mrf::Mrf& m_;
+  int v_;
+  int x_;
+  int pending_proposal_ = -1;  // proposal drawn when the last message was sent
+};
+
+/// Convenience: builds a network of LubyGlauber nodes over m's graph.
+[[nodiscard]] Network make_luby_glauber_network(const mrf::Mrf& m,
+                                                const mrf::Config& x0,
+                                                std::uint64_t seed);
+
+/// Convenience: builds a network of LocalMetropolis nodes over m's graph.
+[[nodiscard]] Network make_local_metropolis_network(const mrf::Mrf& m,
+                                                    const mrf::Config& x0,
+                                                    std::uint64_t seed);
+
+}  // namespace lsample::local

@@ -1,0 +1,48 @@
+#include "mrf/activity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace lsample::mrf {
+
+ActivityMatrix::ActivityMatrix(int q) : q_(q) {
+  LS_REQUIRE(q >= 1, "activity matrix needs q >= 1");
+  a_.assign(static_cast<std::size_t>(q) * static_cast<std::size_t>(q), 0.0);
+}
+
+ActivityMatrix::ActivityMatrix(int q, std::vector<double> entries) : q_(q) {
+  LS_REQUIRE(q >= 1, "activity matrix needs q >= 1");
+  LS_REQUIRE(entries.size() == static_cast<std::size_t>(q) *
+                                   static_cast<std::size_t>(q),
+             "entry count must be q*q");
+  a_ = std::move(entries);
+  freeze();
+}
+
+void ActivityMatrix::set(int i, int j, double v) {
+  LS_REQUIRE(i >= 0 && i < q_ && j >= 0 && j < q_, "index out of range");
+  LS_REQUIRE(v >= 0.0 && std::isfinite(v), "activities are non-negative");
+  a_[static_cast<std::size_t>(i) * static_cast<std::size_t>(q_) +
+     static_cast<std::size_t>(j)] = v;
+  a_[static_cast<std::size_t>(j) * static_cast<std::size_t>(q_) +
+     static_cast<std::size_t>(i)] = v;
+}
+
+void ActivityMatrix::freeze() {
+  max_ = 0.0;
+  for (int i = 0; i < q_; ++i)
+    for (int j = 0; j < q_; ++j) {
+      LS_REQUIRE(at(i, j) >= 0.0 && std::isfinite(at(i, j)),
+                 "activities must be finite and non-negative");
+      LS_REQUIRE(std::abs(at(i, j) - at(j, i)) <= 1e-12 *
+                     std::max(1.0, std::abs(at(i, j))),
+                 "edge activity must be symmetric");
+      max_ = std::max(max_, at(i, j));
+    }
+  LS_REQUIRE(max_ > 0.0, "activity matrix must not be identically zero");
+  inv_max_ = 1.0 / max_;
+}
+
+}  // namespace lsample::mrf

@@ -1,0 +1,47 @@
+// Edge activity matrices A_e and their normalizations Ã_e = A_e / max A_e
+// (used by the LocalMetropolis filter).
+#pragma once
+
+#include <vector>
+
+namespace lsample::mrf {
+
+/// Symmetric non-negative q x q matrix with a cached maximum entry.
+class ActivityMatrix {
+ public:
+  /// Zero matrix of the given size.
+  explicit ActivityMatrix(int q);
+
+  /// Builds from row-major entries; must be symmetric, non-negative, and
+  /// not identically zero.
+  ActivityMatrix(int q, std::vector<double> entries);
+
+  [[nodiscard]] int q() const noexcept { return q_; }
+
+  [[nodiscard]] double at(int i, int j) const noexcept {
+    return a_[static_cast<std::size_t>(i) * static_cast<std::size_t>(q_) +
+              static_cast<std::size_t>(j)];
+  }
+
+  /// Sets A(i,j) = A(j,i) = v.  Call freeze() after the last mutation.
+  void set(int i, int j, double v);
+
+  /// Validates and caches the maximum entry; called automatically by the
+  /// entries constructor.
+  void freeze();
+
+  /// Ã(i,j) = A(i,j) / max entry, in [0,1].
+  [[nodiscard]] double normalized_at(int i, int j) const noexcept {
+    return at(i, j) * inv_max_;
+  }
+
+  [[nodiscard]] double max_entry() const noexcept { return max_; }
+
+ private:
+  int q_;
+  std::vector<double> a_;
+  double max_ = 0.0;
+  double inv_max_ = 0.0;
+};
+
+}  // namespace lsample::mrf

@@ -1,0 +1,131 @@
+#include "mrf/models.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace lsample::mrf {
+
+namespace {
+
+ActivityMatrix coloring_matrix(int q) {
+  ActivityMatrix a(q);
+  for (int i = 0; i < q; ++i)
+    for (int j = i; j < q; ++j) a.set(i, j, i == j ? 0.0 : 1.0);
+  a.freeze();
+  return a;
+}
+
+}  // namespace
+
+Mrf make_proper_coloring(graph::GraphPtr g, int q) {
+  LS_REQUIRE(q >= 2, "colorings need q >= 2");
+  Mrf m(std::move(g), q);
+  m.set_all_edge_activities(coloring_matrix(q));
+  return m;
+}
+
+Mrf make_list_coloring(graph::GraphPtr g, int q,
+                       const std::vector<std::vector<int>>& lists) {
+  LS_REQUIRE(g != nullptr, "graph must not be null");
+  LS_REQUIRE(static_cast<int>(lists.size()) == g->num_vertices(),
+             "one color list per vertex");
+  Mrf m(g, q);
+  m.set_all_edge_activities(coloring_matrix(q));
+  for (int v = 0; v < g->num_vertices(); ++v) {
+    std::vector<double> b(static_cast<std::size_t>(q), 0.0);
+    LS_REQUIRE(!lists[static_cast<std::size_t>(v)].empty(),
+               "color lists must be non-empty");
+    for (int c : lists[static_cast<std::size_t>(v)]) {
+      LS_REQUIRE(c >= 0 && c < q, "list color out of range");
+      b[static_cast<std::size_t>(c)] = 1.0;
+    }
+    m.set_vertex_activity(v, std::move(b));
+  }
+  return m;
+}
+
+Mrf make_hardcore(graph::GraphPtr g, double lambda) {
+  LS_REQUIRE(lambda > 0.0, "fugacity must be positive");
+  Mrf m(std::move(g), 2);
+  ActivityMatrix a(2);
+  a.set(0, 0, 1.0);
+  a.set(0, 1, 1.0);
+  a.set(1, 1, 0.0);
+  a.freeze();
+  m.set_all_edge_activities(a);
+  m.set_all_vertex_activities({1.0, lambda});
+  return m;
+}
+
+Mrf make_uniform_independent_set(graph::GraphPtr g) {
+  return make_hardcore(std::move(g), 1.0);
+}
+
+Mrf make_ising(graph::GraphPtr g, double beta, double field) {
+  Mrf m(std::move(g), 2);
+  ActivityMatrix a(2);
+  a.set(0, 0, std::exp(beta));
+  a.set(1, 1, std::exp(beta));
+  a.set(0, 1, std::exp(-beta));
+  a.freeze();
+  m.set_all_edge_activities(a);
+  m.set_all_vertex_activities({std::exp(-field), std::exp(field)});
+  return m;
+}
+
+Mrf make_potts(graph::GraphPtr g, int q, double beta) {
+  LS_REQUIRE(q >= 2, "Potts needs q >= 2");
+  Mrf m(std::move(g), q);
+  ActivityMatrix a(q);
+  for (int i = 0; i < q; ++i)
+    for (int j = i; j < q; ++j) a.set(i, j, i == j ? std::exp(beta) : 1.0);
+  a.freeze();
+  m.set_all_edge_activities(a);
+  return m;
+}
+
+Mrf make_homomorphism(graph::GraphPtr g, int q,
+                      const std::vector<int>& h_adjacency,
+                      std::vector<double> weights) {
+  LS_REQUIRE(q >= 2, "homomorphism target needs q >= 2 vertices");
+  LS_REQUIRE(h_adjacency.size() == static_cast<std::size_t>(q) *
+                                       static_cast<std::size_t>(q),
+             "adjacency must be q*q");
+  Mrf m(std::move(g), q);
+  ActivityMatrix a(q);
+  for (int i = 0; i < q; ++i)
+    for (int j = i; j < q; ++j) {
+      const int ij = h_adjacency[static_cast<std::size_t>(i) *
+                                     static_cast<std::size_t>(q) +
+                                 static_cast<std::size_t>(j)];
+      const int ji = h_adjacency[static_cast<std::size_t>(j) *
+                                     static_cast<std::size_t>(q) +
+                                 static_cast<std::size_t>(i)];
+      LS_REQUIRE(ij == ji, "H adjacency must be symmetric");
+      LS_REQUIRE(ij == 0 || ij == 1, "H adjacency entries must be 0/1");
+      a.set(i, j, static_cast<double>(ij));
+    }
+  a.freeze();
+  m.set_all_edge_activities(a);
+  if (!weights.empty()) m.set_all_vertex_activities(weights);
+  return m;
+}
+
+Mrf make_widom_rowlinson(graph::GraphPtr g, double lambda) {
+  LS_REQUIRE(lambda > 0.0, "activity must be positive");
+  // H: empty(0) adjacent to everything incl. itself; species 1 and 2
+  // adjacent to themselves and to empty but not to each other.
+  const std::vector<int> h = {1, 1, 1,
+                              1, 1, 0,
+                              1, 0, 1};
+  return make_homomorphism(std::move(g), 3, h, {1.0, lambda, lambda});
+}
+
+double hardcore_uniqueness_threshold(int delta) {
+  LS_REQUIRE(delta >= 3, "uniqueness threshold needs Delta >= 3");
+  const double d = delta;
+  return std::pow(d - 1.0, d - 1.0) / std::pow(d - 2.0, d);
+}
+
+}  // namespace lsample::mrf

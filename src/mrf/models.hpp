@@ -1,0 +1,56 @@
+// Builders for the standard MRFs the paper discusses (§2.2):
+// proper q-colorings, list colorings, hardcore / uniform independent sets,
+// Ising, and Potts.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mrf/mrf.hpp"
+
+namespace lsample::mrf {
+
+/// Uniform distribution over proper q-colorings: A(i,i)=0, A(i,j)=1 (i!=j),
+/// b = all-ones.
+[[nodiscard]] Mrf make_proper_coloring(graph::GraphPtr g, int q);
+
+/// Uniform distribution over proper list colorings: b_v is the indicator of
+/// v's list L_v subset of [q]; edges as in proper coloring.
+[[nodiscard]] Mrf make_list_coloring(graph::GraphPtr g, int q,
+                                     const std::vector<std::vector<int>>& lists);
+
+/// Hardcore model with fugacity lambda: q=2, spin 1 = "in the independent
+/// set", A = [[1,1],[1,0]], b = (1, lambda).
+[[nodiscard]] Mrf make_hardcore(graph::GraphPtr g, double lambda);
+
+/// Uniform distribution over independent sets (hardcore with lambda = 1).
+[[nodiscard]] Mrf make_uniform_independent_set(graph::GraphPtr g);
+
+/// Ising model: q=2 (spins -/+), A(i,i)=exp(beta), A(i,j)=exp(-beta),
+/// b = (exp(-field), exp(field)).  beta>0 ferromagnetic.
+[[nodiscard]] Mrf make_ising(graph::GraphPtr g, double beta,
+                             double field = 0.0);
+
+/// Potts model: A(i,i)=exp(beta), A(i,j)=1 for i!=j, b = all-ones.
+/// beta < 0 is antiferromagnetic; beta -> -infinity recovers colorings.
+[[nodiscard]] Mrf make_potts(graph::GraphPtr g, int q, double beta);
+
+/// Graph homomorphisms from g into a constraint graph H given by its q x q
+/// 0/1 adjacency structure (with optional loops): A_e = adjacency of H, so
+/// feasible configurations are exactly the homomorphisms g -> H (§1 lists
+/// graph homomorphism among the motivating MRFs).  `h_adjacency` is
+/// row-major q x q and must be symmetric.
+[[nodiscard]] Mrf make_homomorphism(graph::GraphPtr g, int q,
+                                    const std::vector<int>& h_adjacency,
+                                    std::vector<double> weights = {});
+
+/// Widom-Rowlinson model: two particle species that each exclude the other
+/// on adjacent sites (q = 3: 0 = empty, 1/2 = species), with activity
+/// lambda per particle.  A classic homomorphism model.
+[[nodiscard]] Mrf make_widom_rowlinson(graph::GraphPtr g, double lambda);
+
+/// Critical hardcore fugacity lambda_c(Delta) = (Delta-1)^(Delta-1) /
+/// (Delta-2)^Delta (§5.1).  Requires Delta >= 3.
+[[nodiscard]] double hardcore_uniqueness_threshold(int delta);
+
+}  // namespace lsample::mrf

@@ -1,0 +1,156 @@
+#include "mrf/mrf.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/require.hpp"
+
+namespace lsample::mrf {
+
+Mrf::Mrf(graph::GraphPtr g, int q) : graph_(std::move(g)), q_(q) {
+  LS_REQUIRE(graph_ != nullptr, "graph must not be null");
+  LS_REQUIRE(q >= 2, "MRF needs q >= 2 spin states");
+  ActivityMatrix ones(q_);
+  for (int i = 0; i < q_; ++i)
+    for (int j = i; j < q_; ++j) ones.set(i, j, 1.0);
+  ones.freeze();
+  edge_acts_.assign(static_cast<std::size_t>(graph_->num_edges()), ones);
+  vertex_acts_.assign(static_cast<std::size_t>(graph_->num_vertices()),
+                      std::vector<double>(static_cast<std::size_t>(q_), 1.0));
+}
+
+void Mrf::check_spin(int s) const {
+  LS_REQUIRE(s >= 0 && s < q_, "spin out of range");
+}
+
+void Mrf::set_edge_activity(int e, ActivityMatrix a) {
+  LS_REQUIRE(e >= 0 && e < g().num_edges(), "edge id out of range");
+  LS_REQUIRE(a.q() == q_, "activity matrix size must match q");
+  edge_acts_[static_cast<std::size_t>(e)] = std::move(a);
+}
+
+void Mrf::set_all_edge_activities(const ActivityMatrix& a) {
+  LS_REQUIRE(a.q() == q_, "activity matrix size must match q");
+  for (auto& ea : edge_acts_) ea = a;
+}
+
+void Mrf::set_vertex_activity(int v, std::vector<double> b) {
+  LS_REQUIRE(v >= 0 && v < n(), "vertex id out of range");
+  LS_REQUIRE(b.size() == static_cast<std::size_t>(q_),
+             "vertex activity must have q entries");
+  double total = 0.0;
+  for (double x : b) {
+    LS_REQUIRE(x >= 0.0 && std::isfinite(x),
+               "vertex activities are non-negative");
+    total += x;
+  }
+  LS_REQUIRE(total > 0.0, "vertex activity must not be identically zero");
+  vertex_acts_[static_cast<std::size_t>(v)] = std::move(b);
+}
+
+void Mrf::set_all_vertex_activities(const std::vector<double>& b) {
+  for (int v = 0; v < n(); ++v) set_vertex_activity(v, b);
+}
+
+const ActivityMatrix& Mrf::edge_activity(int e) const {
+  LS_REQUIRE(e >= 0 && e < g().num_edges(), "edge id out of range");
+  return edge_acts_[static_cast<std::size_t>(e)];
+}
+
+std::span<const double> Mrf::vertex_activity(int v) const {
+  LS_REQUIRE(v >= 0 && v < n(), "vertex id out of range");
+  return vertex_acts_[static_cast<std::size_t>(v)];
+}
+
+double Mrf::log_weight(const Config& x) const {
+  check_config(*this, x);
+  double lw = 0.0;
+  for (int v = 0; v < n(); ++v) {
+    const double b = vertex_acts_[static_cast<std::size_t>(v)]
+                                 [static_cast<std::size_t>(x[v])];
+    if (b <= 0.0) return -std::numeric_limits<double>::infinity();
+    lw += std::log(b);
+  }
+  for (int e = 0; e < g().num_edges(); ++e) {
+    const graph::Edge& ed = g().edge(e);
+    const double a = edge_acts_[static_cast<std::size_t>(e)].at(
+        x[static_cast<std::size_t>(ed.u)], x[static_cast<std::size_t>(ed.v)]);
+    if (a <= 0.0) return -std::numeric_limits<double>::infinity();
+    lw += std::log(a);
+  }
+  return lw;
+}
+
+bool Mrf::feasible(const Config& x) const {
+  check_config(*this, x);
+  for (int v = 0; v < n(); ++v)
+    if (vertex_acts_[static_cast<std::size_t>(v)]
+                    [static_cast<std::size_t>(x[v])] <= 0.0)
+      return false;
+  for (int e = 0; e < g().num_edges(); ++e) {
+    const graph::Edge& ed = g().edge(e);
+    if (edge_acts_[static_cast<std::size_t>(e)].at(
+            x[static_cast<std::size_t>(ed.u)],
+            x[static_cast<std::size_t>(ed.v)]) <= 0.0)
+      return false;
+  }
+  return true;
+}
+
+void Mrf::marginal_weights(int v, const Config& x,
+                           std::vector<double>& out) const {
+  LS_REQUIRE(v >= 0 && v < n(), "vertex id out of range");
+  out.assign(static_cast<std::size_t>(q_), 0.0);
+  const auto& bv = vertex_acts_[static_cast<std::size_t>(v)];
+  const auto inc = g().incident_edges(v);
+  const auto nbr = g().neighbors(v);
+  for (int c = 0; c < q_; ++c) {
+    double w = bv[static_cast<std::size_t>(c)];
+    for (std::size_t i = 0; i < inc.size() && w > 0.0; ++i) {
+      w *= edge_acts_[static_cast<std::size_t>(inc[i])].at(
+          c, x[static_cast<std::size_t>(nbr[i])]);
+    }
+    out[static_cast<std::size_t>(c)] = w;
+  }
+}
+
+double Mrf::edge_pass_prob(int e, int su, int sv, int xu, int xv) const {
+  check_spin(su);
+  check_spin(sv);
+  check_spin(xu);
+  check_spin(xv);
+  const ActivityMatrix& a = edge_activity(e);
+  return a.normalized_at(su, sv) * a.normalized_at(xu, sv) *
+         a.normalized_at(su, xv);
+}
+
+bool Mrf::marginals_always_defined_at(int v) const {
+  const auto nbr = g().neighbors(v);
+  const std::size_t d = nbr.size();
+  LS_REQUIRE(d <= 8, "brute-force check limited to degree <= 8");
+  std::vector<int> assign(d, 0);
+  Config x(static_cast<std::size_t>(n()), 0);
+  std::vector<double> w;
+  while (true) {
+    for (std::size_t i = 0; i < d; ++i)
+      x[static_cast<std::size_t>(nbr[i])] = assign[i];
+    marginal_weights(v, x, w);
+    double total = 0.0;
+    for (double ww : w) total += ww;
+    if (total <= 0.0) return false;
+    // Increment the neighborhood assignment (odometer).
+    std::size_t i = 0;
+    while (i < d && ++assign[i] == q_) assign[i++] = 0;
+    if (i == d) break;
+    if (d == 0) break;
+  }
+  return true;
+}
+
+void check_config(const Mrf& m, const Config& x) {
+  LS_REQUIRE(static_cast<int>(x.size()) == m.n(),
+             "configuration size must equal vertex count");
+  for (int s : x) LS_REQUIRE(s >= 0 && s < m.q(), "spin out of range");
+}
+
+}  // namespace lsample::mrf

@@ -1,0 +1,84 @@
+// Markov random field on a network (eq. (1) of the paper):
+//
+//   w(sigma) = prod_{e=uv in E} A_e(sigma_u, sigma_v) * prod_v b_v(sigma_v)
+//
+// with symmetric non-negative edge activities A_e and non-negative vertex
+// activities b_v.  The class provides exactly the local quantities the
+// paper's algorithms need:
+//   * the heat-bath marginal of eq. (2) for Glauber-type updates, and
+//   * the per-edge filter probability Ã(σu,σv)·Ã(Xu,σv)·Ã(σu,Xv) of
+//     Algorithm 2 (LocalMetropolis).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "mrf/activity.hpp"
+
+namespace lsample::mrf {
+
+/// Spin configuration: one value in [0,q) per vertex.
+using Config = std::vector<int>;
+
+class Mrf {
+ public:
+  /// All edges start with the all-ones activity and all vertices with the
+  /// all-ones activity vector (i.e. the uniform distribution over [q]^V).
+  Mrf(graph::GraphPtr g, int q);
+
+  [[nodiscard]] const graph::Graph& g() const noexcept { return *graph_; }
+  [[nodiscard]] graph::GraphPtr graph_ptr() const noexcept { return graph_; }
+  [[nodiscard]] int q() const noexcept { return q_; }
+  [[nodiscard]] int n() const noexcept { return graph_->num_vertices(); }
+
+  void set_edge_activity(int e, ActivityMatrix a);
+  void set_all_edge_activities(const ActivityMatrix& a);
+  void set_vertex_activity(int v, std::vector<double> b);
+  void set_all_vertex_activities(const std::vector<double>& b);
+
+  [[nodiscard]] const ActivityMatrix& edge_activity(int e) const;
+  [[nodiscard]] std::span<const double> vertex_activity(int v) const;
+
+  /// log w(sigma); -infinity when w(sigma) = 0 (infeasible).
+  [[nodiscard]] double log_weight(const Config& x) const;
+
+  /// w(sigma) > 0?
+  [[nodiscard]] bool feasible(const Config& x) const;
+
+  /// Unnormalized heat-bath marginal weights of eq. (2):
+  /// out[c] = b_v(c) * prod_{u in Γ(v)} A_uv(c, x_u).
+  /// `out` is resized to q.
+  void marginal_weights(int v, const Config& x, std::vector<double>& out) const;
+
+  /// LocalMetropolis edge-check pass probability
+  /// Ã_e(su,sv) * Ã_e(xu,sv) * Ã_e(su,xv), where (u,v) are e's endpoints in
+  /// the graph's stored orientation.
+  [[nodiscard]] double edge_pass_prob(int e, int su, int sv, int xu,
+                                      int xv) const;
+
+  /// Proposal weights for LocalMetropolis at v (a copy of b_v; callers
+  /// normalize via categorical sampling).
+  [[nodiscard]] std::span<const double> proposal_weights(int v) const {
+    return vertex_activity(v);
+  }
+
+  /// Checks the well-definedness assumption of §3 (the marginal (2) is never
+  /// the zero vector) by brute force over x restricted to v's neighborhood.
+  /// Only intended for small-degree sanity checks in tests.
+  [[nodiscard]] bool marginals_always_defined_at(int v) const;
+
+ private:
+  void check_spin(int s) const;
+
+  graph::GraphPtr graph_;
+  int q_;
+  std::vector<ActivityMatrix> edge_acts_;
+  std::vector<std::vector<double>> vertex_acts_;
+};
+
+/// Validates that x has one spin in [0,q) per vertex of m's graph.
+void check_config(const Mrf& m, const Config& x);
+
+}  // namespace lsample::mrf

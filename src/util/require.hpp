@@ -1,0 +1,48 @@
+// Precondition / invariant checking helpers.
+//
+// Library entry points validate their arguments with LS_REQUIRE (throws
+// std::invalid_argument) so that misuse is reported eagerly; internal
+// invariants use LS_ASSERT (throws std::logic_error) so that broken states
+// never propagate silently into statistical results.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace lsample::util {
+
+[[noreturn]] inline void throw_requirement_failure(const char* expr,
+                                                   const char* file, int line,
+                                                   const std::string& msg) {
+  std::ostringstream os;
+  os << "requirement failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_assert_failure(const char* expr,
+                                              const char* file, int line,
+                                              const std::string& msg) {
+  std::ostringstream os;
+  os << "internal invariant violated: " << expr << " at " << file << ':'
+     << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace lsample::util
+
+#define LS_REQUIRE(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::lsample::util::throw_requirement_failure(#cond, __FILE__, __LINE__, \
+                                                 (msg));                   \
+  } while (false)
+
+#define LS_ASSERT(cond, msg)                                          \
+  do {                                                                \
+    if (!(cond))                                                      \
+      ::lsample::util::throw_assert_failure(#cond, __FILE__, __LINE__, \
+                                            (msg));                   \
+  } while (false)

@@ -1,0 +1,51 @@
+#include "util/rng.hpp"
+
+namespace lsample::util {
+
+int categorical(std::span<const double> weights, double u) noexcept {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) return -1;
+  double x = u * total;
+  double acc = 0.0;
+  int last_positive = -1;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] <= 0.0) continue;
+    last_positive = static_cast<int>(i);
+    acc += weights[i];
+    if (x < acc) return static_cast<int>(i);
+  }
+  // Floating-point slack: u*total landed at/above the accumulated sum.
+  return last_positive;
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  // Seed the four words with SplitMix64 per the xoshiro authors' advice.
+  std::uint64_t z = seed;
+  for (auto& w : s_) {
+    z += 0x9e3779b97f4a7c15ULL;
+    w = mix64(z);
+  }
+  // Avoid the all-zero state (probability ~0 but cheap to rule out).
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+}  // namespace lsample::util

@@ -1,0 +1,119 @@
+// Random number generation.
+//
+// Two generators are provided:
+//
+//  * CounterRng — a counter-based (stateless) generator: every draw is a pure
+//    function of (seed, domain, stream, time, index).  This is the backbone of
+//    the whole library.  The paper's protocols require (a) per-vertex private
+//    randomness and (b) a *shared* coin per edge readable by both endpoints
+//    ("the two endpoints u and v access the same random coin", §4).  With a
+//    counter-based generator both are trivially reproducible, and the
+//    message-passing LOCAL simulator produces bit-identical trajectories with
+//    the fast in-memory reference chains — which the test suite asserts.
+//
+//  * Rng — a conventional sequential engine (xoshiro256**) for everything that
+//    does not need coordinated streams (graph generation, shuffling, ...).
+//    It satisfies std::uniform_random_bit_generator.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace lsample::util {
+
+/// SplitMix64 finalizer; good avalanche, used to mix words into the counter
+/// hash and to seed the sequential engine.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Independent randomness "domains" keep the streams used by different parts
+/// of a protocol from colliding (vertex proposals vs. edge coins vs. ...).
+enum class RngDomain : std::uint64_t {
+  luby_priority = 1,   ///< the beta_v drawn in the Luby step
+  vertex_update = 2,   ///< heat-bath resampling at a vertex
+  vertex_proposal = 3, ///< LocalMetropolis proposals
+  edge_coin = 4,       ///< LocalMetropolis shared edge coins
+  constraint_coin = 5, ///< CSP LocalMetropolis shared constraint coins
+  global_choice = 6,   ///< sequential chains: which vertex / class to update
+  aux = 7,             ///< anything else (tempering swaps, initialization)
+};
+
+/// Counter-based RNG.  Cheap to copy; all methods are const and thread-safe.
+class CounterRng {
+ public:
+  explicit CounterRng(std::uint64_t seed) noexcept : seed_(seed) {}
+
+  /// 64 uniform bits as a pure function of the full coordinate tuple.
+  [[nodiscard]] std::uint64_t bits(RngDomain d, std::uint64_t stream,
+                                   std::uint64_t t,
+                                   std::uint64_t k = 0) const noexcept {
+    std::uint64_t h = mix64(seed_ ^ 0x6a09e667f3bcc908ULL);
+    h = mix64(h ^ (static_cast<std::uint64_t>(d) * 0xbb67ae8584caa73bULL));
+    h = mix64(h ^ stream);
+    h = mix64(h ^ t);
+    h = mix64(h ^ k);
+    return h;
+  }
+
+  /// Uniform double in [0,1) with 53 bits of precision.
+  [[nodiscard]] double u01(RngDomain d, std::uint64_t stream, std::uint64_t t,
+                           std::uint64_t k = 0) const noexcept {
+    return static_cast<double>(bits(d, stream, t, k) >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, m).  m must be positive.
+  [[nodiscard]] int uniform_int(RngDomain d, std::uint64_t stream,
+                                std::uint64_t t, std::uint64_t k,
+                                int m) const noexcept {
+    return static_cast<int>(u01(d, stream, t, k) * m);
+  }
+
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+/// Sample an index from unnormalized non-negative weights given a uniform
+/// variate u in [0,1).  Returns -1 if all weights are zero (callers decide
+/// whether that is an error).  Deterministic given (weights, u) — this exact
+/// routine is shared by the reference chains and the LOCAL node programs so
+/// their trajectories coincide.
+[[nodiscard]] int categorical(std::span<const double> weights, double u) noexcept;
+
+/// xoshiro256** sequential engine.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept {
+    return ~std::uint64_t{0};
+  }
+
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0,1).
+  [[nodiscard]] double u01() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, m); m must be positive.
+  [[nodiscard]] int uniform_int(int m) noexcept {
+    return static_cast<int>(u01() * m);
+  }
+
+  /// Bernoulli(p).
+  [[nodiscard]] bool bernoulli(double p) noexcept { return u01() < p; }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace lsample::util

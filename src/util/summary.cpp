@@ -1,0 +1,85 @@
+#include "util/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace lsample::util {
+
+double mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+double quantile(std::vector<double> xs, double p) {
+  LS_REQUIRE(!xs.empty(), "quantile of empty sample");
+  LS_REQUIRE(p >= 0.0 && p <= 1.0, "quantile order must be in [0,1]");
+  std::sort(xs.begin(), xs.end());
+  const double pos = p * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= xs.size()) return xs.back();
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+}
+
+double normalize(std::vector<double>& v) noexcept {
+  double s = 0.0;
+  for (double x : v) s += x;
+  if (s > 0.0)
+    for (double& x : v) x /= s;
+  return s;
+}
+
+double total_variation(std::span<const double> p, std::span<const double> q) {
+  LS_REQUIRE(p.size() == q.size(), "TV distance needs equal supports");
+  std::vector<double> pn(p.begin(), p.end());
+  std::vector<double> qn(q.begin(), q.end());
+  normalize(pn);
+  normalize(qn);
+  double d = 0.0;
+  for (std::size_t i = 0; i < pn.size(); ++i) d += std::abs(pn[i] - qn[i]);
+  return 0.5 * d;
+}
+
+double ls_slope(std::span<const double> x, std::span<const double> y) noexcept {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  const double mx = mean(x);
+  const double my = mean(y);
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    num += (x[i] - mx) * (y[i] - my);
+    den += (x[i] - mx) * (x[i] - mx);
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+double correlation(std::span<const double> x,
+                   std::span<const double> y) noexcept {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  const double mx = mean(x);
+  const double my = mean(y);
+  double num = 0.0;
+  double dx = 0.0;
+  double dy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    num += (x[i] - mx) * (y[i] - my);
+    dx += (x[i] - mx) * (x[i] - mx);
+    dy += (y[i] - my) * (y[i] - my);
+  }
+  const double den = std::sqrt(dx * dy);
+  return den > 0.0 ? num / den : 0.0;
+}
+
+}  // namespace lsample::util

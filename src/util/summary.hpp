@@ -1,0 +1,37 @@
+// Small summary-statistics helpers shared by coupling estimators and benches.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lsample::util {
+
+/// Mean of a sample (0 for empty input).
+[[nodiscard]] double mean(std::span<const double> xs) noexcept;
+
+/// Unbiased sample standard deviation (0 for size < 2).
+[[nodiscard]] double stddev(std::span<const double> xs) noexcept;
+
+/// p-quantile by linear interpolation of the sorted sample; p in [0,1].
+[[nodiscard]] double quantile(std::vector<double> xs, double p);
+
+/// Total-variation distance between two distributions over the same support:
+/// (1/2) * sum |p_i - q_i|.  Inputs need not be normalized identically; they
+/// are normalized first (all-zero input counts as the zero vector).
+[[nodiscard]] double total_variation(std::span<const double> p,
+                                     std::span<const double> q);
+
+/// Normalizes a non-negative vector in place to sum to 1; returns the original
+/// sum (0 if the vector was all zeros, in which case it is left unchanged).
+double normalize(std::vector<double>& v) noexcept;
+
+/// Least-squares slope of y against x (for growth-rate fits in benches).
+[[nodiscard]] double ls_slope(std::span<const double> x,
+                              std::span<const double> y) noexcept;
+
+/// Pearson correlation of two samples (0 if degenerate).
+[[nodiscard]] double correlation(std::span<const double> x,
+                                 std::span<const double> y) noexcept;
+
+}  // namespace lsample::util

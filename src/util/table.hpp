@@ -1,0 +1,37 @@
+// Plain-text table printer used by the benchmark harnesses so that every
+// experiment prints its rows in a uniform, diff-friendly format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lsample::util {
+
+/// Accumulates rows of strings/numbers and prints a GitHub-style markdown
+/// table.  Numeric cells are formatted with a fixed precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& begin_row();
+  Table& cell(const std::string& s);
+  Table& cell(const char* s);
+  Table& cell(double v, int precision = 4);
+  Table& cell(std::int64_t v);
+  Table& cell(int v);
+  Table& cell(std::size_t v);
+
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner for experiment output.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace lsample::util

@@ -1,0 +1,165 @@
+// Behavioral invariants of the chains: determinism, feasibility preservation,
+// absorption from infeasible starts, and proposal statistics.
+#include <gtest/gtest.h>
+
+#include "chains/chain.hpp"
+#include "chains/glauber.hpp"
+#include "chains/init.hpp"
+#include "chains/local_metropolis.hpp"
+#include "chains/luby_glauber.hpp"
+#include "chains/metropolis.hpp"
+#include "chains/scan.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "mrf/models.hpp"
+
+namespace lsample::chains {
+namespace {
+
+TEST(InitHelpers, GreedyFeasibleIsFeasible) {
+  util::Rng grng(3);
+  const auto g = graph::make_random_regular(20, 4, grng);
+  const mrf::Mrf coloring = mrf::make_proper_coloring(g, 5);
+  EXPECT_TRUE(coloring.feasible(greedy_feasible_config(coloring)));
+  const mrf::Mrf hardcore = mrf::make_hardcore(g, 1.0);
+  const auto empty = greedy_feasible_config(hardcore);
+  EXPECT_TRUE(hardcore.feasible(empty));
+  const mrf::Mrf lists = mrf::make_list_coloring(
+      graph::make_path(3), 4, {{0, 1, 2}, {1, 2, 3}, {0, 2, 3}});
+  EXPECT_TRUE(lists.feasible(greedy_feasible_config(lists)));
+}
+
+TEST(InitHelpers, HammingDistance) {
+  EXPECT_EQ(hamming_distance({0, 1, 2}, {0, 1, 2}), 0);
+  EXPECT_EQ(hamming_distance({0, 1, 2}, {1, 1, 0}), 2);
+  EXPECT_THROW((void)hamming_distance({0}, {0, 1}), std::invalid_argument);
+}
+
+TEST(Chains, SameSeedSameTrajectory) {
+  const auto g = graph::make_cycle(12);
+  const mrf::Mrf m = mrf::make_proper_coloring(g, 5);
+  const Config x0 = greedy_feasible_config(m);
+  for (const auto make : {+[](const mrf::Mrf& m_, std::uint64_t s) {
+                            return std::unique_ptr<Chain>(
+                                new LubyGlauberChain(m_, s));
+                          },
+                          +[](const mrf::Mrf& m_, std::uint64_t s) {
+                            return std::unique_ptr<Chain>(
+                                new LocalMetropolisChain(m_, s));
+                          }}) {
+    auto a = make(m, 99);
+    auto b = make(m, 99);
+    auto c = make(m, 100);
+    Config xa = x0;
+    Config xb = x0;
+    Config xc = x0;
+    run(*a, xa, 0, 30);
+    run(*b, xb, 0, 30);
+    run(*c, xc, 0, 30);
+    EXPECT_EQ(xa, xb);
+    EXPECT_NE(xa, xc);  // overwhelmingly likely for 30 rounds on 12 vertices
+  }
+}
+
+TEST(Chains, FeasibilityIsPreserved) {
+  util::Rng grng(17);
+  const auto g = graph::make_random_regular(16, 4, grng);
+  const mrf::Mrf m = mrf::make_proper_coloring(g, 6);
+  Config x = greedy_feasible_config(m);
+
+  LocalMetropolisChain lm(m, 5);
+  for (int t = 0; t < 100; ++t) {
+    lm.step(x, t);
+    ASSERT_TRUE(m.feasible(x)) << "LocalMetropolis left feasibility at " << t;
+  }
+  x = greedy_feasible_config(m);
+  LubyGlauberChain lg(m, 5);
+  for (int t = 0; t < 100; ++t) {
+    lg.step(x, t);
+    ASSERT_TRUE(m.feasible(x)) << "LubyGlauber left feasibility at " << t;
+  }
+}
+
+TEST(Chains, AbsorbedFromInfeasibleStart) {
+  // All-zero start is monochromatic (infeasible); with q >= Delta + 2 both
+  // parallel chains must reach a proper coloring quickly.
+  const auto g = graph::make_cycle(14);
+  const mrf::Mrf m = mrf::make_proper_coloring(g, 4);
+  {
+    Config x = constant_config(m, 0);
+    LocalMetropolisChain lm(m, 7);
+    run(lm, x, 0, 200);
+    EXPECT_TRUE(m.feasible(x));
+  }
+  {
+    Config x = constant_config(m, 0);
+    LubyGlauberChain lg(m, 7);
+    run(lg, x, 0, 200);
+    EXPECT_TRUE(m.feasible(x));
+  }
+}
+
+TEST(LubyGlauberChain, SelectedSetIsIndependent) {
+  util::Rng grng(23);
+  const auto g = graph::make_erdos_renyi(18, 0.2, grng);
+  const mrf::Mrf m = mrf::make_proper_coloring(g, g->max_degree() + 2);
+  LubyGlauberChain chain(m, 11);
+  Config x = greedy_feasible_config(m);
+  for (int t = 0; t < 50; ++t) {
+    chain.step(x, t);
+    const auto& sel = chain.last_selected();
+    EXPECT_TRUE(graph::is_independent_set(
+        *g, std::vector<int>(sel.begin(), sel.end())));
+  }
+}
+
+TEST(LocalMetropolisChain, AcceptanceFractionIsHighForLargeQ) {
+  const auto g = graph::make_cycle(30);
+  const mrf::Mrf m = mrf::make_proper_coloring(g, 20);
+  LocalMetropolisChain chain(m, 3);
+  Config x = greedy_feasible_config(m);
+  double total = 0.0;
+  const int rounds = 50;
+  for (int t = 0; t < rounds; ++t) {
+    chain.step(x, t);
+    total += chain.last_acceptance_fraction();
+  }
+  // Acceptance prob per vertex >= (1 - 3/q)^2 ~ 0.72 at q=20 on a cycle.
+  EXPECT_GT(total / rounds, 0.6);
+}
+
+TEST(SequentialChains, RunAndStayInRange) {
+  const auto g = graph::make_path(10);
+  const mrf::Mrf m = mrf::make_potts(g, 3, 0.4);
+  for (const auto make : {+[](const mrf::Mrf& m_, std::uint64_t s) {
+                            return std::unique_ptr<Chain>(new GlauberChain(m_, s));
+                          },
+                          +[](const mrf::Mrf& m_, std::uint64_t s) {
+                            return std::unique_ptr<Chain>(new MetropolisChain(m_, s));
+                          },
+                          +[](const mrf::Mrf& m_, std::uint64_t s) {
+                            return std::unique_ptr<Chain>(new SystematicScanChain(m_, s));
+                          }}) {
+    auto chain = make(m, 31);
+    Config x = constant_config(m, 1);
+    run(*chain, x, 0, 50);
+    for (int s : x) {
+      EXPECT_GE(s, 0);
+      EXPECT_LT(s, 3);
+    }
+  }
+}
+
+TEST(Chains, UpdatesPerStepReportsSensibleValues) {
+  const auto g = graph::make_cycle(10);
+  const mrf::Mrf m = mrf::make_proper_coloring(g, 5);
+  GlauberChain glauber(m, 1);
+  EXPECT_DOUBLE_EQ(glauber.updates_per_step(), 1.0);
+  LocalMetropolisChain lm(m, 1);
+  EXPECT_DOUBLE_EQ(lm.updates_per_step(), 10.0);
+  LubyGlauberChain lg(m, 1);
+  EXPECT_NEAR(lg.updates_per_step(), 10.0 / 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace lsample::chains

@@ -1,0 +1,131 @@
+// Grand-coupling estimators: coalescence, disagreement decay, and empirical
+// projections against exact ground truth.
+#include "chains/coupling.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chains/init.hpp"
+#include "chains/local_metropolis.hpp"
+#include "chains/luby_glauber.hpp"
+#include "graph/generators.hpp"
+#include "inference/exact.hpp"
+#include "inference/tree_bp.hpp"
+#include "mrf/models.hpp"
+#include "util/summary.hpp"
+
+namespace lsample::chains {
+namespace {
+
+ChainFactory lm_factory(const mrf::Mrf& m) {
+  return [&m](std::uint64_t seed) {
+    return std::unique_ptr<Chain>(new LocalMetropolisChain(m, seed));
+  };
+}
+
+ChainFactory lg_factory(const mrf::Mrf& m) {
+  return [&m](std::uint64_t seed) {
+    return std::unique_ptr<Chain>(new LubyGlauberChain(m, seed));
+  };
+}
+
+TEST(Coalescence, HappensFastForManyColors) {
+  const auto g = graph::make_cycle(16);
+  const mrf::Mrf m = mrf::make_proper_coloring(g, 12);
+  const Config x0 = constant_config(m, 0);
+  const Config y0 = greedy_feasible_config(m);
+  CoalescenceOptions opt;
+  opt.trials = 10;
+  opt.max_rounds = 5000;
+  const auto res = coalescence_time(lm_factory(m), x0, y0, opt);
+  EXPECT_EQ(res.censored, 0);
+  EXPECT_GT(res.mean(), 0.0);
+  EXPECT_LT(res.quantile(0.9), 5000.0);
+}
+
+TEST(Coalescence, CoalescedChainsStayTogether) {
+  // After coalescence the grand coupling is identical forever; verify by
+  // running past the coalescence time.
+  const auto g = graph::make_path(10);
+  const mrf::Mrf m = mrf::make_proper_coloring(g, 8);
+  auto a = LocalMetropolisChain(m, 42);
+  auto b = LocalMetropolisChain(m, 42);
+  Config x = constant_config(m, 0);
+  Config y = greedy_feasible_config(m);
+  std::int64_t t = 0;
+  while (x != y && t < 5000) {
+    a.step(x, t);
+    b.step(y, t);
+    ++t;
+  }
+  ASSERT_EQ(x, y) << "no coalescence within budget";
+  for (int more = 0; more < 50; ++more) {
+    a.step(x, t);
+    b.step(y, t);
+    ++t;
+    EXPECT_EQ(x, y);
+  }
+}
+
+TEST(DisagreementCurve, StartsAtInitialHammingAndShrinks) {
+  const auto g = graph::make_cycle(20);
+  const mrf::Mrf m = mrf::make_proper_coloring(g, 14);
+  const Config x0 = constant_config(m, 0);
+  const Config y0 = greedy_feasible_config(m);
+  const auto curve =
+      disagreement_curve(lm_factory(m), x0, y0, 8, 60, 5);
+  const double init =
+      static_cast<double>(hamming_distance(x0, y0)) / x0.size();
+  EXPECT_NEAR(curve.front(), init, 1e-12);
+  EXPECT_LT(curve.back(), 0.05);
+}
+
+TEST(DisagreementCurve, LubyGlauberAlsoContracts) {
+  const auto g = graph::make_cycle(20);
+  const mrf::Mrf m = mrf::make_proper_coloring(g, 7);  // q > 2*Delta = 4
+  const Config x0 = constant_config(m, 0);
+  const Config y0 = greedy_feasible_config(m);
+  const auto curve = disagreement_curve(lg_factory(m), x0, y0, 8, 150, 7);
+  EXPECT_LT(curve.back(), 0.05);
+}
+
+TEST(EmpiricalPmf, MatchesExactMarginalOnTinyModel) {
+  // Hardcore on a path of 3, lambda = 1: exact occupancy of the middle
+  // vertex is 2/8 (IS of P3: {}, {0}, {1}, {2}, {0,2} -> but weight by
+  // counts: 5 sets, middle occupied in 1 of them -> 1/5).
+  const auto g = graph::make_path(3);
+  const mrf::Mrf m = mrf::make_hardcore(g, 1.0);
+  const Config x0 = constant_config(m, 0);
+  const auto pmf = empirical_pmf(
+      lm_factory(m), x0, 60, 4000,
+      [](const Config& x) { return x[1]; }, 2, 11);
+  EXPECT_NEAR(pmf[1], 0.2, 0.03);
+}
+
+TEST(EmpiricalPmf, MatchesTreeBpOnPathColoring) {
+  // q = 4 keeps LocalMetropolis acceptance high enough to mix well within
+  // the round budget on a short path.
+  const auto g = graph::make_path(5);
+  const mrf::Mrf m = mrf::make_proper_coloring(g, 4);
+  inference::TreeBp bp(m);
+  const auto exact = bp.marginal(2);
+  const Config x0 = greedy_feasible_config(m);
+  const auto pmf = empirical_pmf(
+      lm_factory(m), x0, 300, 6000,
+      [](const Config& x) { return x[2]; }, 4, 13);
+  for (int c = 0; c < 4; ++c)
+    EXPECT_NEAR(pmf[static_cast<std::size_t>(c)],
+                exact[static_cast<std::size_t>(c)], 0.03);
+}
+
+TEST(CoalescenceOptions, ValidatesInput) {
+  const auto g = graph::make_path(3);
+  const mrf::Mrf m = mrf::make_proper_coloring(g, 3);
+  const Config x0 = constant_config(m, 0);
+  CoalescenceOptions opt;
+  opt.trials = 0;
+  EXPECT_THROW((void)coalescence_time(lm_factory(m), x0, x0, opt),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lsample::chains

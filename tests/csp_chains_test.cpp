@@ -1,0 +1,138 @@
+// Stationarity of the CSP generalizations (the §3 and §4 remarks), verified
+// exactly on small factor graphs, plus behavioral checks of the samplers.
+#include "csp/csp_chains.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "csp/csp_exact.hpp"
+#include "csp/csp_models.hpp"
+#include "graph/generators.hpp"
+#include "inference/exact.hpp"
+#include "inference/transition.hpp"
+#include "mrf/models.hpp"
+
+namespace lsample::csp {
+namespace {
+
+struct CspCase {
+  std::string name;
+  std::function<FactorGraph()> make;
+};
+
+std::vector<CspCase> csp_cases() {
+  return {
+      {"dominating_path3",
+       [] { return make_dominating_set(*graph::make_path(3), 1.5); }},
+      {"dominating_cycle4",
+       [] { return make_dominating_set(*graph::make_cycle(4), 1.0); }},
+      {"nae_two_triples",
+       [] { return make_hypergraph_nae(4, 2, {{0, 1, 2}, {1, 2, 3}}); }},
+      {"hyper_is",
+       [] {
+         return make_hypergraph_independent_set(4, {{0, 1, 2}, {2, 3}}, 2.0);
+       }},
+      {"mrf_embedding",
+       [] {
+         return make_mrf_as_csp(
+             mrf::make_proper_coloring(graph::make_path(3), 3));
+       }},
+  };
+}
+
+class CspStationaritySuite : public ::testing::TestWithParam<CspCase> {
+ protected:
+  static constexpr double kTol = 1e-9;
+};
+
+TEST_P(CspStationaritySuite, GlauberIsReversible) {
+  const FactorGraph fg = GetParam().make();
+  const inference::StateSpace ss(fg.n(), fg.q());
+  const auto mu = csp_gibbs_distribution(fg, ss);
+  const auto p = csp_glauber_transition(fg, ss);
+  EXPECT_LT(p.row_sum_error(), kTol);
+  EXPECT_LT(inference::stationarity_error(p, mu), kTol);
+  EXPECT_LT(inference::detailed_balance_error(p, mu), kTol);
+}
+
+TEST_P(CspStationaritySuite, LubyGlauberIsReversible) {
+  const FactorGraph fg = GetParam().make();
+  const inference::StateSpace ss(fg.n(), fg.q());
+  const auto mu = csp_gibbs_distribution(fg, ss);
+  const auto p = csp_luby_glauber_transition(fg, ss);
+  EXPECT_LT(p.row_sum_error(), kTol);
+  EXPECT_LT(inference::stationarity_error(p, mu), kTol);
+  EXPECT_LT(inference::detailed_balance_error(p, mu), kTol);
+}
+
+TEST_P(CspStationaritySuite, LocalMetropolisIsReversible) {
+  const FactorGraph fg = GetParam().make();
+  const inference::StateSpace ss(fg.n(), fg.q());
+  const auto mu = csp_gibbs_distribution(fg, ss);
+  const auto p = csp_local_metropolis_transition(fg, ss);
+  EXPECT_LT(p.row_sum_error(), kTol);
+  EXPECT_LT(inference::stationarity_error(p, mu), kTol);
+  EXPECT_LT(inference::detailed_balance_error(p, mu), kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCsps, CspStationaritySuite,
+                         ::testing::ValuesIn(csp_cases()),
+                         [](const auto& info) { return info.param.name; });
+
+// The CSP LocalMetropolis on a binary-constraint embedding must have the
+// *identical* transition matrix as the MRF LocalMetropolis — the 2^k - 1
+// mixing factors specialize exactly to the 3-factor edge filter.
+TEST(CspMrfEquivalence, LocalMetropolisKernelsAreIdentical) {
+  const auto g = graph::make_path(3);
+  const mrf::Mrf m = mrf::make_ising(g, 0.5, 0.2);
+  const FactorGraph fg = make_mrf_as_csp(m);
+  const inference::StateSpace ss(3, 2);
+  const auto p_mrf = inference::local_metropolis_transition(m, ss);
+  const auto p_csp = csp_local_metropolis_transition(fg, ss);
+  for (std::int64_t i = 0; i < ss.size(); ++i)
+    for (std::int64_t j = 0; j < ss.size(); ++j)
+      EXPECT_NEAR(p_mrf.at(i, j), p_csp.at(i, j), 1e-12);
+}
+
+TEST(CspChains, SamplersPreserveFeasibility) {
+  const auto g = graph::make_cycle(8);
+  const FactorGraph fg = make_dominating_set(*g, 1.0);
+  Config x(8, 1);  // everything chosen dominates everything
+  ASSERT_TRUE(fg.feasible(x));
+  CspLocalMetropolisChain lm(fg, 3);
+  for (int t = 0; t < 100; ++t) {
+    lm.step(x, t);
+    ASSERT_TRUE(fg.feasible(x)) << "t=" << t;
+  }
+  Config y(8, 1);
+  CspLubyGlauberChain lg(fg, 3);
+  for (int t = 0; t < 100; ++t) {
+    lg.step(y, t);
+    ASSERT_TRUE(fg.feasible(y)) << "t=" << t;
+  }
+}
+
+TEST(CspChains, EmpiricalOccupancyMatchesExact) {
+  const auto g = graph::make_path(3);
+  const FactorGraph fg = make_dominating_set(*g, 1.0);
+  const inference::StateSpace ss(3, 2);
+  const auto mu = csp_gibbs_distribution(fg, ss);
+  // Exact Pr[vertex 0 chosen].
+  double exact = 0.0;
+  for (std::int64_t i = 0; i < ss.size(); ++i)
+    if (ss.spin_of(i, 0) == 1) exact += mu[static_cast<std::size_t>(i)];
+
+  const int runs = 4000;
+  int hits = 0;
+  for (int r = 0; r < runs; ++r) {
+    CspLocalMetropolisChain chain(fg, 1000 + static_cast<std::uint64_t>(r));
+    Config x(3, 1);
+    for (int t = 0; t < 40; ++t) chain.step(x, t);
+    hits += x[0];
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / runs, exact, 0.03);
+}
+
+}  // namespace
+}  // namespace lsample::csp

@@ -1,0 +1,66 @@
+// The CSP LocalMetropolis node program over the conflict graph must
+// reproduce the reference CSP chain bit for bit.
+#include "local/csp_node_programs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "csp/csp_models.hpp"
+#include "graph/generators.hpp"
+
+namespace lsample::local {
+namespace {
+
+TEST(CspLocalMetropolisNetwork, MatchesReferenceOnDominatingSet) {
+  const auto g = graph::make_cycle(10);
+  const csp::FactorGraph fg = csp::make_dominating_set(*g, 1.3);
+  const csp::Config x0(10, 1);
+  for (std::uint64_t seed : {3ull, 17ull}) {
+    Network net = make_csp_local_metropolis_network(fg, x0, seed);
+    csp::CspLocalMetropolisChain chain(fg, seed);
+    csp::Config x = x0;
+    const int rounds = 30;
+    net.run_rounds(rounds);
+    for (int t = 0; t < rounds - 1; ++t) chain.step(x, t);
+    EXPECT_EQ(net.outputs(), x) << "seed " << seed;
+  }
+}
+
+TEST(CspLocalMetropolisNetwork, MatchesReferenceOnHypergraphNae) {
+  const csp::FactorGraph fg =
+      csp::make_hypergraph_nae(6, 3, {{0, 1, 2}, {2, 3, 4}, {4, 5, 0}});
+  const csp::Config x0 = {0, 1, 2, 0, 1, 2};
+  Network net = make_csp_local_metropolis_network(fg, x0, 9);
+  csp::CspLocalMetropolisChain chain(fg, 9);
+  csp::Config x = x0;
+  net.run_rounds(40);
+  for (int t = 0; t < 39; ++t) chain.step(x, t);
+  EXPECT_EQ(net.outputs(), x);
+}
+
+TEST(CspLocalMetropolisNetwork, MatchesReferenceOnGridDominatingSet) {
+  const auto g = graph::make_grid(4, 4);
+  const csp::FactorGraph fg = csp::make_dominating_set(*g, 0.8);
+  const csp::Config x0(16, 1);
+  Network net = make_csp_local_metropolis_network(fg, x0, 21);
+  csp::CspLocalMetropolisChain chain(fg, 21);
+  csp::Config x = x0;
+  net.run_rounds(25);
+  for (int t = 0; t < 24; ++t) chain.step(x, t);
+  EXPECT_EQ(net.outputs(), x);
+}
+
+TEST(CspLocalMetropolisNetwork, MessageSizeIsTwoSpins) {
+  const auto g = graph::make_cycle(8);
+  const csp::FactorGraph fg = csp::make_dominating_set(*g, 1.0);
+  const csp::Config x0(8, 1);
+  Network net = make_csp_local_metropolis_network(fg, x0, 2);
+  net.run_rounds(5);
+  // q = 2 -> 2 bits per message.
+  EXPECT_EQ(net.stats().bits, net.stats().messages * 2);
+  // Conflict graph of a cycle's dominating-set CSP connects each vertex to
+  // everything within distance 2.
+  EXPECT_EQ(net.g().degree(0), 4);
+}
+
+}  // namespace
+}  // namespace lsample::local

@@ -1,0 +1,137 @@
+// Factor graphs: construction, semantics, conflict graphs, and equivalence
+// of the MRF-as-CSP embedding.
+#include "csp/factor_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "csp/csp_exact.hpp"
+#include "csp/csp_models.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "inference/exact.hpp"
+#include "mrf/models.hpp"
+
+namespace lsample::csp {
+namespace {
+
+TEST(FactorGraph, ValidatesConstruction) {
+  FactorGraph fg(3, 2);
+  EXPECT_THROW((void)fg.add_constraint({0, 0}, {1, 1, 1, 1}),
+               std::invalid_argument);  // duplicate scope vertex
+  EXPECT_THROW((void)fg.add_constraint({0, 5}, {1, 1, 1, 1}),
+               std::invalid_argument);  // out of range
+  EXPECT_THROW((void)fg.add_constraint({0, 1}, {1, 1, 1}),
+               std::invalid_argument);  // wrong table size
+  EXPECT_THROW((void)fg.add_constraint({0, 1}, {0, 0, 0, 0}),
+               std::invalid_argument);  // identically zero
+}
+
+TEST(FactorGraph, TableValueUsesPositionalIndex) {
+  FactorGraph fg(2, 3);
+  // f(x0, x1) = 3*x1 + x0 + 1 as a table.
+  std::vector<double> table(9);
+  for (int x1 = 0; x1 < 3; ++x1)
+    for (int x0 = 0; x0 < 3; ++x0)
+      table[static_cast<std::size_t>(x0 + 3 * x1)] = 3.0 * x1 + x0 + 1.0;
+  const int c = fg.add_constraint({0, 1}, table);
+  EXPECT_DOUBLE_EQ(fg.table_value(c, {2, 1}), 3.0 + 2.0 + 1.0);
+  EXPECT_DOUBLE_EQ(fg.table_value(c, {0, 2}), 6.0 + 0.0 + 1.0);
+}
+
+TEST(FactorGraph, MarginalWeightsMatchDefinition) {
+  const auto g = graph::make_path(3);
+  const FactorGraph fg = make_dominating_set(*g, 2.0);
+  // All-zero except the query vertex: middle vertex must be chosen to cover
+  // everyone, so its marginal weight at 0 is 0.
+  std::vector<double> w;
+  fg.marginal_weights(1, {0, 0, 0}, w);
+  EXPECT_DOUBLE_EQ(w[0], 0.0);
+  EXPECT_DOUBLE_EQ(w[1], 2.0);
+}
+
+TEST(FactorGraph, ConflictGraphConnectsSharedScopes) {
+  FactorGraph fg(4, 2);
+  fg.add_constraint({0, 1, 2}, std::vector<double>(8, 1.0));
+  fg.add_constraint({2, 3}, std::vector<double>(4, 1.0));
+  const auto cg = fg.make_conflict_graph();
+  EXPECT_TRUE(cg->has_edge(0, 1));
+  EXPECT_TRUE(cg->has_edge(0, 2));
+  EXPECT_TRUE(cg->has_edge(1, 2));
+  EXPECT_TRUE(cg->has_edge(2, 3));
+  EXPECT_FALSE(cg->has_edge(0, 3));
+  EXPECT_EQ(cg->num_edges(), 4);
+}
+
+TEST(DominatingSet, FeasibilityMatchesDefinition) {
+  const auto g = graph::make_path(4);
+  const FactorGraph fg = make_dominating_set(*g, 1.0);
+  EXPECT_TRUE(fg.feasible({0, 1, 1, 0}));
+  EXPECT_TRUE(fg.feasible({1, 0, 0, 1}));  // endpoints dominate 0-1 and 2-3
+  EXPECT_TRUE(fg.feasible({0, 1, 0, 1}));
+  EXPECT_FALSE(fg.feasible({1, 0, 0, 0}));  // vertex 3 uncovered
+  EXPECT_FALSE(fg.feasible({0, 0, 0, 0}));
+}
+
+TEST(DominatingSet, GibbsWeightsBySetSize) {
+  const auto g = graph::make_path(3);
+  const double lambda = 2.0;
+  const FactorGraph fg = make_dominating_set(*g, lambda);
+  const inference::StateSpace ss(3, 2);
+  const auto mu = csp_gibbs_distribution(fg, ss);
+  // Dominating sets of P3: {1}, {0,1}, {1,2}, {0,2}, {0,1,2}.
+  // Weights: 2, 4, 4, 4, 8 -> Z = 22.
+  EXPECT_NEAR(mu[static_cast<std::size_t>(ss.encode({0, 1, 0}))], 2.0 / 22.0,
+              1e-12);
+  EXPECT_NEAR(mu[static_cast<std::size_t>(ss.encode({1, 0, 1}))], 4.0 / 22.0,
+              1e-12);
+  EXPECT_NEAR(mu[static_cast<std::size_t>(ss.encode({1, 1, 1}))], 8.0 / 22.0,
+              1e-12);
+  EXPECT_EQ(mu[static_cast<std::size_t>(ss.encode({1, 0, 0}))], 0.0);
+}
+
+TEST(HypergraphNae, ExcludesMonochromaticHyperedges) {
+  const FactorGraph fg = make_hypergraph_nae(4, 2, {{0, 1, 2}, {1, 2, 3}});
+  EXPECT_FALSE(fg.feasible({0, 0, 0, 1}));
+  EXPECT_FALSE(fg.feasible({1, 0, 0, 0}));  // second edge monochromatic
+  EXPECT_TRUE(fg.feasible({0, 1, 0, 1}));
+}
+
+TEST(HypergraphIndependentSet, ExcludesFullHyperedges) {
+  const FactorGraph fg =
+      make_hypergraph_independent_set(4, {{0, 1, 2}}, 1.5);
+  EXPECT_FALSE(fg.feasible({1, 1, 1, 0}));
+  EXPECT_TRUE(fg.feasible({1, 1, 0, 1}));
+}
+
+TEST(MrfAsCsp, GibbsDistributionsCoincide) {
+  const auto g = graph::make_cycle(4);
+  for (const mrf::Mrf& m :
+       {mrf::make_proper_coloring(g, 3), mrf::make_hardcore(g, 1.7),
+        mrf::make_ising(g, 0.4, 0.2)}) {
+    const FactorGraph fg = make_mrf_as_csp(m);
+    const inference::StateSpace ss(m.n(), m.q());
+    const auto mu_mrf = inference::gibbs_distribution(m, ss);
+    const auto mu_csp = csp_gibbs_distribution(fg, ss);
+    for (std::int64_t i = 0; i < ss.size(); ++i)
+      EXPECT_NEAR(mu_mrf[static_cast<std::size_t>(i)],
+                  mu_csp[static_cast<std::size_t>(i)], 1e-12);
+  }
+}
+
+TEST(ConstraintPassProb, BinaryConstraintMatchesMrfEdgeFilter) {
+  const auto g = graph::make_path(2);
+  const mrf::Mrf m = mrf::make_ising(g, 0.8);
+  const FactorGraph fg = make_mrf_as_csp(m);
+  for (int su = 0; su < 2; ++su)
+    for (int sv = 0; sv < 2; ++sv)
+      for (int xu = 0; xu < 2; ++xu)
+        for (int xv = 0; xv < 2; ++xv) {
+          const Config sigma = {su, sv};
+          const Config x = {xu, xv};
+          EXPECT_NEAR(fg.constraint_pass_prob(0, sigma, x),
+                      m.edge_pass_prob(0, su, sv, xu, xv), 1e-12);
+        }
+}
+
+}  // namespace
+}  // namespace lsample::csp

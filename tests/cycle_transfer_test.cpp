@@ -1,0 +1,63 @@
+#include "inference/cycle_transfer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "inference/exact.hpp"
+#include "mrf/models.hpp"
+
+namespace lsample::inference {
+namespace {
+
+TEST(CycleTransfer, PartitionFunctionMatchesEnumeration) {
+  for (int n : {4, 5, 6}) {
+    const auto g = graph::make_cycle(n);
+    for (const mrf::Mrf& m :
+         {mrf::make_proper_coloring(g, 3), mrf::make_hardcore(g, 1.3),
+          mrf::make_ising(g, 0.5, 0.1), mrf::make_potts(g, 3, -0.4)}) {
+      const StateSpace ss(m.n(), m.q());
+      EXPECT_NEAR(cycle_partition_function(m) / partition_function(m, ss),
+                  1.0, 1e-10)
+          << "n=" << n;
+    }
+  }
+}
+
+TEST(CycleTransfer, ColoringClosedForm) {
+  for (int n : {4, 6, 8, 12}) {
+    for (int q : {3, 5}) {
+      const mrf::Mrf m = mrf::make_proper_coloring(graph::make_cycle(n), q);
+      const double expected = std::pow(q - 1.0, n) + (q - 1.0);
+      EXPECT_NEAR(cycle_partition_function(m) / expected, 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(CycleTransfer, PairJointMatchesEnumeration) {
+  const auto g = graph::make_cycle(6);
+  const mrf::Mrf m = mrf::make_proper_coloring(g, 3);
+  const StateSpace ss(6, 3);
+  const auto mu = gibbs_distribution(m, ss);
+  for (const auto [u, v] : {std::pair{0, 3}, std::pair{1, 4}, std::pair{2, 3}}) {
+    std::vector<double> joint(9, 0.0);
+    for (std::int64_t i = 0; i < ss.size(); ++i)
+      joint[static_cast<std::size_t>(ss.spin_of(i, u) * 3 +
+                                     ss.spin_of(i, v))] +=
+          mu[static_cast<std::size_t>(i)];
+    const auto fast = cycle_pair_joint(m, u, v);
+    for (int k = 0; k < 9; ++k)
+      EXPECT_NEAR(fast[static_cast<std::size_t>(k)],
+                  joint[static_cast<std::size_t>(k)], 1e-10)
+          << "u=" << u << " v=" << v;
+  }
+}
+
+TEST(CycleTransfer, RejectsNonCycles) {
+  const mrf::Mrf m = mrf::make_proper_coloring(graph::make_path(5), 3);
+  EXPECT_THROW((void)cycle_partition_function(m), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lsample::inference

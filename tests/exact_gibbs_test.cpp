@@ -1,0 +1,134 @@
+// Validates the exact enumeration machinery against closed-form counts:
+// proper colorings of paths/cycles and independent sets (Fibonacci/Lucas).
+#include "inference/exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "mrf/models.hpp"
+
+namespace lsample::inference {
+namespace {
+
+double fib(int n) {  // F(1)=1, F(2)=1, ...
+  double a = 0.0;
+  double b = 1.0;
+  for (int i = 1; i < n; ++i) {
+    const double c = a + b;
+    a = b;
+    b = c;
+  }
+  return b;
+}
+
+double lucas(int n) {  // L(1)=1, L(2)=3, ...
+  double a = 2.0;
+  double b = 1.0;
+  for (int i = 1; i < n; ++i) {
+    const double c = a + b;
+    a = b;
+    b = c;
+  }
+  return b;
+}
+
+TEST(PartitionFunction, ColoringsOfPath) {
+  // Z = q (q-1)^{n-1}.
+  for (int n : {2, 3, 5}) {
+    for (int q : {3, 4}) {
+      const mrf::Mrf m = mrf::make_proper_coloring(graph::make_path(n), q);
+      const StateSpace ss(n, q);
+      EXPECT_NEAR(partition_function(m, ss),
+                  q * std::pow(q - 1.0, n - 1.0), 1e-9)
+          << "n=" << n << " q=" << q;
+    }
+  }
+}
+
+TEST(PartitionFunction, ColoringsOfCycle) {
+  // Z = (q-1)^n + (-1)^n (q-1).
+  for (int n : {3, 4, 5, 6}) {
+    for (int q : {3, 4}) {
+      const mrf::Mrf m = mrf::make_proper_coloring(graph::make_cycle(n), q);
+      const StateSpace ss(n, q);
+      const double sign = n % 2 == 0 ? 1.0 : -1.0;
+      EXPECT_NEAR(partition_function(m, ss),
+                  std::pow(q - 1.0, n) + sign * (q - 1.0), 1e-9)
+          << "n=" << n << " q=" << q;
+    }
+  }
+}
+
+TEST(PartitionFunction, IndependentSetsOfPathAreFibonacci) {
+  // #IS(P_n) = F(n+2).
+  for (int n : {1, 2, 3, 6, 9}) {
+    const mrf::Mrf m =
+        mrf::make_uniform_independent_set(graph::make_path(n));
+    const StateSpace ss(n, 2);
+    EXPECT_NEAR(partition_function(m, ss), fib(n + 2), 1e-9) << "n=" << n;
+  }
+}
+
+TEST(PartitionFunction, IndependentSetsOfCycleAreLucas) {
+  // #IS(C_n) = L(n).
+  for (int n : {3, 4, 5, 8}) {
+    const mrf::Mrf m =
+        mrf::make_uniform_independent_set(graph::make_cycle(n));
+    const StateSpace ss(n, 2);
+    EXPECT_NEAR(partition_function(m, ss), lucas(n), 1e-9) << "n=" << n;
+  }
+}
+
+TEST(PartitionFunction, HardcoreWeightsBySetSize) {
+  // Path of 2: Z = 1 + 2 lambda.
+  const double lambda = 1.7;
+  const mrf::Mrf m = mrf::make_hardcore(graph::make_path(2), lambda);
+  const StateSpace ss(2, 2);
+  EXPECT_NEAR(partition_function(m, ss), 1.0 + 2.0 * lambda, 1e-12);
+}
+
+TEST(PartitionFunction, IsingAgreesWithDirectSum) {
+  // Single edge: Z = 2 e^{beta} + 2 e^{-beta} (zero field).
+  const double beta = 0.8;
+  const mrf::Mrf m = mrf::make_ising(graph::make_path(2), beta);
+  const StateSpace ss(2, 2);
+  EXPECT_NEAR(partition_function(m, ss),
+              2.0 * std::exp(beta) + 2.0 * std::exp(-beta), 1e-12);
+}
+
+TEST(GibbsDistribution, NormalizedAndSupportedOnFeasible) {
+  const mrf::Mrf m = mrf::make_proper_coloring(graph::make_cycle(4), 3);
+  const StateSpace ss(4, 3);
+  const auto mu = gibbs_distribution(m, ss);
+  double total = 0.0;
+  mrf::Config x;
+  for (std::int64_t i = 0; i < ss.size(); ++i) {
+    total += mu[static_cast<std::size_t>(i)];
+    ss.decode_into(i, x);
+    EXPECT_EQ(mu[static_cast<std::size_t>(i)] > 0.0, m.feasible(x));
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(GibbsDistribution, ThrowsWhenNoFeasibleConfig) {
+  // Triangle with 2 colors has no proper coloring.
+  const mrf::Mrf m = mrf::make_proper_coloring(graph::make_cycle(3), 2);
+  const StateSpace ss(3, 2);
+  EXPECT_THROW((void)gibbs_distribution(m, ss), std::invalid_argument);
+}
+
+TEST(GibbsDistribution, UniformOverSolutionsForHardConstraints) {
+  const mrf::Mrf m = mrf::make_proper_coloring(graph::make_path(3), 3);
+  const StateSpace ss(3, 3);
+  const auto mu = gibbs_distribution(m, ss);
+  const double expected = 1.0 / 12.0;  // q(q-1)^2 = 12 proper colorings
+  for (std::int64_t i = 0; i < ss.size(); ++i) {
+    const double p = mu[static_cast<std::size_t>(i)];
+    EXPECT_TRUE(p == 0.0 || std::abs(p - expected) < 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace lsample::inference

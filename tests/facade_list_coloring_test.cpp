@@ -1,0 +1,69 @@
+#include "core/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+
+namespace lsample::core {
+namespace {
+
+std::vector<std::vector<int>> uniform_lists(int n, int q, int size,
+                                            std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::vector<int>> lists(static_cast<std::size_t>(n));
+  for (auto& list : lists) {
+    while (static_cast<int>(list.size()) < size) {
+      const int c = rng.uniform_int(q);
+      bool seen = false;
+      for (int x : list) seen = seen || x == c;
+      if (!seen) list.push_back(c);
+    }
+  }
+  return lists;
+}
+
+TEST(SampleListColoring, ProducesProperListColoring) {
+  const auto g = graph::make_cycle(20);  // d = 2; lists of 6 -> alpha = 1/2
+  const auto lists = uniform_lists(20, 10, 6, 3);
+  SamplerOptions opt;
+  opt.seed = 7;
+  const auto res = sample_list_coloring(g, 10, lists, opt);
+  EXPECT_TRUE(res.feasible);
+  EXPECT_TRUE(graph::is_proper_coloring(*g, res.config));
+  // Every vertex uses a color from its own list.
+  for (int v = 0; v < 20; ++v) {
+    bool in_list = false;
+    for (int c : lists[static_cast<std::size_t>(v)])
+      in_list = in_list || c == res.config[static_cast<std::size_t>(v)];
+    EXPECT_TRUE(in_list) << "vertex " << v;
+  }
+  EXPECT_NEAR(res.theory_alpha, 0.5, 1e-12);
+}
+
+TEST(SampleListColoring, ThrowsWhenListsTooSmallWithoutBudget) {
+  const auto g = graph::make_cycle(10);
+  // Lists of size 3 on degree-2 vertices: alpha = 2/(3-2) = 2 >= 1.
+  const auto lists = uniform_lists(10, 8, 3, 5);
+  SamplerOptions opt;
+  EXPECT_THROW((void)sample_list_coloring(g, 8, lists, opt),
+               std::invalid_argument);
+  opt.rounds = 300;
+  const auto res = sample_list_coloring(g, 8, lists, opt);
+  EXPECT_TRUE(graph::is_proper_coloring(*g, res.config));
+}
+
+TEST(SampleListColoring, FullListsMatchPlainColoringModel) {
+  const auto g = graph::make_path(8);
+  std::vector<int> all = {0, 1, 2, 3, 4, 5};
+  const std::vector<std::vector<int>> lists(8, all);
+  SamplerOptions opt;
+  opt.seed = 13;
+  const auto res = sample_list_coloring(g, 6, lists, opt);
+  EXPECT_TRUE(graph::is_proper_coloring(*g, res.config));
+  // alpha should equal the plain-coloring Dobrushin alpha d/(q-d) = 2/4.
+  EXPECT_NEAR(res.theory_alpha, 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace lsample::core

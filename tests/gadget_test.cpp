@@ -1,0 +1,133 @@
+// Structural checks of the §5.1 lower-bound construction.
+#include "gadget/gadget.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/properties.hpp"
+
+namespace lsample::gadget {
+namespace {
+
+GadgetParams small_params() {
+  GadgetParams p;
+  p.n = 12;
+  p.k = 2;
+  p.delta = 6;
+  return p;
+}
+
+TEST(Gadget, DegreesMatchConstruction) {
+  util::Rng rng(3);
+  const Gadget g = make_random_gadget(small_params(), rng);
+  ASSERT_EQ(g.g->num_vertices(), 24);
+  // Non-terminals have degree Delta, terminals Delta - 1.
+  std::vector<char> is_terminal(24, 0);
+  for (int w : g.wplus) is_terminal[static_cast<std::size_t>(w)] = 1;
+  for (int w : g.wminus) is_terminal[static_cast<std::size_t>(w)] = 1;
+  for (int v = 0; v < 24; ++v)
+    EXPECT_EQ(g.g->degree(v), is_terminal[static_cast<std::size_t>(v)] ? 5 : 6)
+        << "vertex " << v;
+}
+
+TEST(Gadget, IsBipartiteAcrossSides) {
+  util::Rng rng(5);
+  const Gadget g = make_random_gadget(small_params(), rng);
+  // All edges go between V+ and V- (the U-matching joins U+ to U-).
+  for (int e = 0; e < g.g->num_edges(); ++e) {
+    const graph::Edge& ed = g.g->edge(e);
+    const bool u_plus = ed.u < 12;
+    const bool v_plus = ed.v < 12;
+    EXPECT_NE(u_plus, v_plus);
+  }
+}
+
+TEST(Gadget, IsConnected) {
+  util::Rng rng(7);
+  const Gadget g = make_random_gadget(small_params(), rng);
+  EXPECT_TRUE(graph::is_connected(*g.g));
+}
+
+TEST(Gadget, RejectsBadParameters) {
+  util::Rng rng(9);
+  GadgetParams p;
+  p.n = 4;
+  p.k = 2;  // violates n > 2k
+  p.delta = 6;
+  EXPECT_THROW((void)make_random_gadget(p, rng), std::invalid_argument);
+}
+
+TEST(Phase, SignOfOccupationImbalance) {
+  const std::vector<int> plus = {0, 1};
+  const std::vector<int> minus = {2, 3};
+  EXPECT_EQ(phase(plus, minus, {1, 1, 0, 0}), 1);
+  EXPECT_EQ(phase(plus, minus, {0, 0, 1, 1}), -1);
+  EXPECT_EQ(phase(plus, minus, {1, 0, 0, 1}), 0);
+}
+
+TEST(LiftedCycle, IsDeltaRegular) {
+  util::Rng rng(11);
+  GadgetParams p;
+  p.n = 12;
+  p.k = 2;  // gadget gets 2k = 4 terminals per side
+  p.delta = 6;
+  // Gadget must have 2k terminals per side for the lift; build with k' = 2k.
+  GadgetParams blueprint = p;
+  blueprint.k = 2 * p.k;
+  const Gadget g = make_random_gadget(blueprint, rng);
+  const LiftedCycle lifted = lift_on_cycle(g, 6);
+  ASSERT_EQ(lifted.g->num_vertices(), 6 * 24);
+  for (int v = 0; v < lifted.g->num_vertices(); ++v)
+    EXPECT_EQ(lifted.g->degree(v), 6) << "vertex " << v;
+  EXPECT_TRUE(graph::is_connected(*lifted.g));
+}
+
+TEST(LiftedCycle, DiameterScalesWithCycleLength) {
+  util::Rng rng(13);
+  GadgetParams blueprint;
+  blueprint.n = 12;
+  blueprint.k = 4;
+  blueprint.delta = 6;
+  const Gadget g = make_random_gadget(blueprint, rng);
+  const LiftedCycle small = lift_on_cycle(g, 4);
+  const LiftedCycle big = lift_on_cycle(g, 12);
+  const int d_small = graph::diameter_lower_bound(*small.g);
+  const int d_big = graph::diameter_lower_bound(*big.g);
+  EXPECT_GT(d_big, d_small);
+  EXPECT_GE(d_big, 12 / 2);  // at least m/2 hops around the cycle
+}
+
+TEST(LiftedCycle, PhaseVectorAndCutValue) {
+  util::Rng rng(17);
+  GadgetParams blueprint;
+  blueprint.n = 12;
+  blueprint.k = 4;
+  blueprint.delta = 6;
+  const Gadget g = make_random_gadget(blueprint, rng);
+  const LiftedCycle lifted = lift_on_cycle(g, 4);
+  // Occupy V+ of even copies and V- of odd copies: alternating phases.
+  mrf::Config x(static_cast<std::size_t>(lifted.g->num_vertices()), 0);
+  for (int c = 0; c < 4; ++c) {
+    const auto& side = c % 2 == 0 ? lifted.vplus[static_cast<std::size_t>(c)]
+                                  : lifted.vminus[static_cast<std::size_t>(c)];
+    for (int v : side) x[static_cast<std::size_t>(v)] = 1;
+  }
+  const auto phases = phase_vector(lifted, x);
+  EXPECT_EQ(phases, (std::vector<int>{1, -1, 1, -1}));
+  EXPECT_EQ(cut_value(phases), 4);  // maximum cut of C4
+  EXPECT_EQ(cut_value({1, 1, 1, 1}), 0);
+  EXPECT_EQ(cut_value({1, 0, -1, 0}), 0);  // ties break no edges
+  EXPECT_EQ(cut_value({1, 1, -1, -1}), 2);
+}
+
+TEST(LiftedCycle, RejectsOddCycles) {
+  util::Rng rng(19);
+  GadgetParams blueprint;
+  blueprint.n = 12;
+  blueprint.k = 4;
+  blueprint.delta = 6;
+  const Gadget g = make_random_gadget(blueprint, rng);
+  EXPECT_THROW((void)lift_on_cycle(g, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lsample::gadget

@@ -1,0 +1,123 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "graph/properties.hpp"
+#include "util/rng.hpp"
+
+namespace lsample::graph {
+namespace {
+
+// Parameterized structural sweep: (name, graph, expected n, expected m,
+// expected max degree, expect connected).
+struct GeneratorCase {
+  std::string name;
+  std::shared_ptr<Graph> g;
+  int n;
+  int m;
+  int max_degree;
+  bool connected;
+};
+
+class GeneratorSuite : public ::testing::TestWithParam<GeneratorCase> {};
+
+TEST_P(GeneratorSuite, StructureMatches) {
+  const auto& c = GetParam();
+  EXPECT_EQ(c.g->num_vertices(), c.n) << c.name;
+  EXPECT_EQ(c.g->num_edges(), c.m) << c.name;
+  EXPECT_EQ(c.g->max_degree(), c.max_degree) << c.name;
+  EXPECT_EQ(is_connected(*c.g), c.connected) << c.name;
+}
+
+std::vector<GeneratorCase> make_cases() {
+  std::vector<GeneratorCase> cases;
+  cases.push_back({"path10", make_path(10), 10, 9, 2, true});
+  cases.push_back({"path1", make_path(1), 1, 0, 0, true});
+  cases.push_back({"cycle7", make_cycle(7), 7, 7, 2, true});
+  cases.push_back({"complete5", make_complete(5), 5, 10, 4, true});
+  cases.push_back({"star6", make_star(6), 7, 6, 6, true});
+  cases.push_back({"bipartite34", make_complete_bipartite(3, 4), 7, 12, 4, true});
+  cases.push_back({"grid34", make_grid(3, 4), 12, 17, 4, true});
+  cases.push_back({"torus34", make_torus(3, 4), 12, 24, 4, true});
+  cases.push_back({"hypercube4", make_hypercube(4), 16, 32, 4, true});
+  cases.push_back({"bintree7", make_binary_tree(7), 7, 6, 3, true});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGenerators, GeneratorSuite,
+                         ::testing::ValuesIn(make_cases()),
+                         [](const auto& info) { return info.param.name; });
+
+TEST(RandomRegular, ProducesSimpleRegularGraph) {
+  util::Rng rng(11);
+  for (const auto& [n, d] : {std::pair{20, 4}, std::pair{30, 6}, std::pair{16, 3}}) {
+    const auto g = make_random_regular(n, d, rng);
+    ASSERT_EQ(g->num_vertices(), n);
+    ASSERT_EQ(g->num_edges(), n * d / 2);
+    std::set<std::pair<int, int>> seen;
+    for (int e = 0; e < g->num_edges(); ++e) {
+      const Edge& ed = g->edge(e);
+      EXPECT_NE(ed.u, ed.v);
+      EXPECT_TRUE(seen.emplace(std::min(ed.u, ed.v), std::max(ed.u, ed.v)).second);
+    }
+    for (int v = 0; v < n; ++v) EXPECT_EQ(g->degree(v), d);
+  }
+}
+
+TEST(RandomRegular, RejectsOddTotalDegree) {
+  util::Rng rng(1);
+  EXPECT_THROW((void)make_random_regular(5, 3, rng), std::invalid_argument);
+}
+
+TEST(RandomTree, HasTreeStructure) {
+  util::Rng rng(21);
+  for (int n : {1, 2, 3, 10, 50}) {
+    const auto g = make_random_tree(n, rng);
+    EXPECT_EQ(g->num_vertices(), n);
+    EXPECT_EQ(g->num_edges(), n - 1);
+    EXPECT_TRUE(is_connected(*g));
+  }
+}
+
+TEST(ErdosRenyi, ExtremesAreEmptyAndComplete) {
+  util::Rng rng(31);
+  const auto empty = make_erdos_renyi(6, 0.0, rng);
+  EXPECT_EQ(empty->num_edges(), 0);
+  const auto full = make_erdos_renyi(6, 1.0, rng);
+  EXPECT_EQ(full->num_edges(), 15);
+}
+
+TEST(ErdosRenyi, EdgeCountNearExpectation) {
+  util::Rng rng(41);
+  const int n = 60;
+  const double p = 0.3;
+  const auto g = make_erdos_renyi(n, p, rng);
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(g->num_edges(), expected, 4.0 * std::sqrt(expected));
+}
+
+TEST(AddRandomMatching, IsPerfectMatching) {
+  util::Rng rng(51);
+  Graph g(10);
+  const std::vector<int> left = {0, 1, 2, 3, 4};
+  const std::vector<int> right = {5, 6, 7, 8, 9};
+  const auto ids = add_random_matching(g, left, right, rng);
+  EXPECT_EQ(ids.size(), 5u);
+  for (int v = 0; v < 10; ++v) EXPECT_EQ(g.degree(v), 1);
+}
+
+TEST(AddRandomMatching, RejectsUnequalSides) {
+  util::Rng rng(61);
+  Graph g(3);
+  EXPECT_THROW((void)add_random_matching(g, {0}, {1, 2}, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lsample::graph

@@ -1,0 +1,87 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace lsample::graph {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  const Graph g(0);
+  EXPECT_EQ(g.num_vertices(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_EQ(g.max_degree(), 0);
+}
+
+TEST(Graph, AddEdgeBasics) {
+  Graph g(3);
+  const int e = g.add_edge(0, 1);
+  EXPECT_EQ(e, 0);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(1), 1);
+  EXPECT_EQ(g.degree(2), 0);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(Graph, RejectsSelfLoopsAndBadIds) {
+  Graph g(2);
+  EXPECT_THROW((void)g.add_edge(0, 0), std::invalid_argument);
+  EXPECT_THROW((void)g.add_edge(0, 2), std::invalid_argument);
+  EXPECT_THROW((void)g.add_edge(-1, 1), std::invalid_argument);
+  EXPECT_THROW((void)g.degree(5), std::invalid_argument);
+  EXPECT_THROW((void)g.edge(0), std::invalid_argument);
+}
+
+TEST(Graph, ParallelEdgesAreDistinct) {
+  Graph g(2);
+  const int e1 = g.add_edge(0, 1);
+  const int e2 = g.add_edge(0, 1);
+  EXPECT_NE(e1, e2);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_EQ(g.degree(1), 2);
+  // Neighbor appears twice, aligned with the two incident edges.
+  EXPECT_EQ(g.neighbors(0).size(), 2u);
+  EXPECT_EQ(g.neighbors(0)[0], 1);
+  EXPECT_EQ(g.neighbors(0)[1], 1);
+}
+
+TEST(Graph, NeighborsAlignWithIncidentEdges) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  const auto inc = g.incident_edges(0);
+  const auto nbr = g.neighbors(0);
+  ASSERT_EQ(inc.size(), nbr.size());
+  for (std::size_t i = 0; i < inc.size(); ++i)
+    EXPECT_EQ(g.other_endpoint(inc[i], 0), nbr[i]);
+}
+
+TEST(Graph, OtherEndpointValidatesMembership) {
+  Graph g(3);
+  const int e = g.add_edge(0, 1);
+  EXPECT_EQ(g.other_endpoint(e, 0), 1);
+  EXPECT_EQ(g.other_endpoint(e, 1), 0);
+  EXPECT_THROW((void)g.other_endpoint(e, 2), std::invalid_argument);
+}
+
+TEST(Graph, MaxDegreeTracksInsertions) {
+  Graph g(4);
+  EXPECT_EQ(g.max_degree(), 0);
+  g.add_edge(0, 1);
+  EXPECT_EQ(g.max_degree(), 1);
+  g.add_edge(0, 2);
+  EXPECT_EQ(g.max_degree(), 2);
+  g.add_edge(0, 3);
+  EXPECT_EQ(g.max_degree(), 3);
+  g.add_edge(1, 2);
+  EXPECT_EQ(g.max_degree(), 3);
+}
+
+}  // namespace
+}  // namespace lsample::graph

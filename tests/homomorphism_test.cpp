@@ -1,0 +1,88 @@
+// Graph-homomorphism MRFs (§1 lists them among the motivating models),
+// including the Widom-Rowlinson specialization.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "inference/exact.hpp"
+#include "inference/transition.hpp"
+#include "mrf/models.hpp"
+
+namespace lsample::mrf {
+namespace {
+
+TEST(Homomorphism, CompleteTargetRecoversProperColoring) {
+  const auto g = graph::make_cycle(4);
+  const int q = 3;
+  std::vector<int> kq(static_cast<std::size_t>(q) * q, 1);
+  for (int i = 0; i < q; ++i) kq[static_cast<std::size_t>(i * q + i)] = 0;
+  const Mrf hom = make_homomorphism(g, q, kq);
+  const Mrf col = make_proper_coloring(g, q);
+  const inference::StateSpace ss(4, 3);
+  const auto mu_hom = inference::gibbs_distribution(hom, ss);
+  const auto mu_col = inference::gibbs_distribution(col, ss);
+  for (std::int64_t i = 0; i < ss.size(); ++i)
+    EXPECT_DOUBLE_EQ(mu_hom[static_cast<std::size_t>(i)],
+                     mu_col[static_cast<std::size_t>(i)]);
+}
+
+TEST(Homomorphism, LoopedEdgeTargetRecoversIndependentSets) {
+  // H: vertex 0 with a loop joined to vertex 1 without a loop = hardcore.
+  const auto g = graph::make_path(4);
+  const Mrf hom = make_homomorphism(g, 2, {1, 1, 1, 0});
+  const Mrf hc = make_uniform_independent_set(g);
+  const inference::StateSpace ss(4, 2);
+  const auto a = inference::gibbs_distribution(hom, ss);
+  const auto b = inference::gibbs_distribution(hc, ss);
+  for (std::int64_t i = 0; i < ss.size(); ++i)
+    EXPECT_DOUBLE_EQ(a[static_cast<std::size_t>(i)],
+                     b[static_cast<std::size_t>(i)]);
+}
+
+TEST(Homomorphism, RejectsAsymmetricTargets) {
+  const auto g = graph::make_path(2);
+  EXPECT_THROW((void)make_homomorphism(g, 2, {1, 1, 0, 1}),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_homomorphism(g, 2, {1, 2, 2, 1}),
+               std::invalid_argument);
+}
+
+TEST(WidomRowlinson, SpeciesExcludeEachOther) {
+  const auto g = graph::make_path(2);
+  const Mrf wr = make_widom_rowlinson(g, 1.0);
+  EXPECT_TRUE(wr.feasible({0, 0}));
+  EXPECT_TRUE(wr.feasible({1, 1}));
+  EXPECT_TRUE(wr.feasible({1, 0}));
+  EXPECT_TRUE(wr.feasible({2, 2}));
+  EXPECT_FALSE(wr.feasible({1, 2}));
+  EXPECT_FALSE(wr.feasible({2, 1}));
+}
+
+TEST(WidomRowlinson, PartitionFunctionOnAnEdge) {
+  // 9 pairs minus the two mixed-species pairs, all at lambda = 1 -> Z = 7.
+  const auto g = graph::make_path(2);
+  const Mrf wr = make_widom_rowlinson(g, 1.0);
+  const inference::StateSpace ss(2, 3);
+  EXPECT_NEAR(inference::partition_function(wr, ss), 7.0, 1e-12);
+  // With lambda: Z = 1 + 4*lambda + 2*lambda^2 ... enumerate:
+  // (0,0)=1; (0,s),(s,0) s in {1,2}: 4 terms lambda; (1,1),(2,2): lambda^2.
+  const double lam = 2.5;
+  const Mrf wr2 = make_widom_rowlinson(g, lam);
+  EXPECT_NEAR(inference::partition_function(wr2, ss),
+              1.0 + 4.0 * lam + 2.0 * lam * lam, 1e-12);
+}
+
+TEST(WidomRowlinson, BothAlgorithmsAreReversibleForIt) {
+  const auto g = graph::make_path(3);
+  const Mrf wr = make_widom_rowlinson(g, 1.7);
+  const inference::StateSpace ss(3, 3);
+  const auto mu = inference::gibbs_distribution(wr, ss);
+  const auto p_lg = inference::luby_glauber_transition(wr, ss);
+  const auto p_lm = inference::local_metropolis_transition(wr, ss);
+  EXPECT_LT(inference::stationarity_error(p_lg, mu), 1e-9);
+  EXPECT_LT(inference::detailed_balance_error(p_lg, mu), 1e-9);
+  EXPECT_LT(inference::stationarity_error(p_lm, mu), 1e-9);
+  EXPECT_LT(inference::detailed_balance_error(p_lm, mu), 1e-9);
+}
+
+}  // namespace
+}  // namespace lsample::mrf

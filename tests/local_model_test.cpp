@@ -1,0 +1,128 @@
+// The LOCAL-model simulator must reproduce the reference chains bit for bit,
+// and its message accounting must match the protocol structure.
+#include "local/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chains/chain.hpp"
+#include "chains/init.hpp"
+#include "chains/local_metropolis.hpp"
+#include "chains/luby_glauber.hpp"
+#include "graph/generators.hpp"
+#include "local/node_programs.hpp"
+#include "mrf/models.hpp"
+
+namespace lsample::local {
+namespace {
+
+TEST(SpinBits, CeilLog2) {
+  EXPECT_EQ(spin_bits(2), 1);
+  EXPECT_EQ(spin_bits(3), 2);
+  EXPECT_EQ(spin_bits(4), 2);
+  EXPECT_EQ(spin_bits(5), 3);
+  EXPECT_EQ(spin_bits(100), 7);
+}
+
+TEST(LubyGlauberNetwork, MatchesReferenceChainExactly) {
+  util::Rng grng(3);
+  const auto g = graph::make_random_regular(18, 4, grng);
+  const mrf::Mrf m = mrf::make_proper_coloring(g, 9);
+  const mrf::Config x0 = chains::greedy_feasible_config(m);
+  for (std::uint64_t seed : {1ull, 7ull, 42ull}) {
+    Network net = make_luby_glauber_network(m, x0, seed);
+    chains::LubyGlauberChain chain(m, seed);
+    mrf::Config x = x0;
+    // R simulated rounds complete R-1 chain steps.
+    const int rounds = 25;
+    net.run_rounds(rounds);
+    chains::run(chain, x, 0, rounds - 1);
+    EXPECT_EQ(net.outputs(), x) << "seed " << seed;
+  }
+}
+
+TEST(LocalMetropolisNetwork, MatchesReferenceChainExactly) {
+  util::Rng grng(5);
+  const auto g = graph::make_erdos_renyi(16, 0.25, grng);
+  const mrf::Mrf m = mrf::make_proper_coloring(g, g->max_degree() + 3);
+  const mrf::Config x0 = chains::greedy_feasible_config(m);
+  for (std::uint64_t seed : {2ull, 11ull, 77ull}) {
+    Network net = make_local_metropolis_network(m, x0, seed);
+    chains::LocalMetropolisChain chain(m, seed);
+    mrf::Config x = x0;
+    const int rounds = 25;
+    net.run_rounds(rounds);
+    chains::run(chain, x, 0, rounds - 1);
+    EXPECT_EQ(net.outputs(), x) << "seed " << seed;
+  }
+}
+
+TEST(LocalMetropolisNetwork, MatchesOnSoftModel) {
+  const auto g = graph::make_cycle(10);
+  const mrf::Mrf m = mrf::make_ising(g, 0.6, 0.1);
+  const mrf::Config x0 = chains::constant_config(m, 0);
+  Network net = make_local_metropolis_network(m, x0, 9);
+  chains::LocalMetropolisChain chain(m, 9);
+  mrf::Config x = x0;
+  net.run_rounds(40);
+  chains::run(chain, x, 0, 39);
+  EXPECT_EQ(net.outputs(), x);
+}
+
+TEST(LubyGlauberNetwork, MatchesOnMultigraph) {
+  // Parallel edges carry independent coins; the node programs must handle
+  // several ports to the same neighbor.
+  auto g = std::make_shared<graph::Graph>(4);
+  g->add_edge(0, 1);
+  g->add_edge(0, 1);
+  g->add_edge(1, 2);
+  g->add_edge(2, 3);
+  g->add_edge(3, 0);
+  const mrf::Mrf m = mrf::make_proper_coloring(g, 6);
+  const mrf::Config x0 = chains::greedy_feasible_config(m);
+  Network net = make_local_metropolis_network(m, x0, 21);
+  chains::LocalMetropolisChain chain(m, 21);
+  mrf::Config x = x0;
+  net.run_rounds(30);
+  chains::run(chain, x, 0, 29);
+  EXPECT_EQ(net.outputs(), x);
+}
+
+TEST(Network, MessageAccountingMatchesProtocol) {
+  const auto g = graph::make_cycle(8);  // 8 edges, all degrees 2
+  const mrf::Mrf m = mrf::make_proper_coloring(g, 4);
+  const mrf::Config x0 = chains::greedy_feasible_config(m);
+  Network net = make_local_metropolis_network(m, x0, 1);
+  const int rounds = 10;
+  net.run_rounds(rounds);
+  const auto& stats = net.stats();
+  EXPECT_EQ(stats.rounds, rounds);
+  // Every vertex sends one message per incident edge per round.
+  EXPECT_EQ(stats.messages, static_cast<std::int64_t>(rounds) * 2 * 8);
+  // LocalMetropolis messages carry 2 spins of ceil(log2 q) = 2 bits each.
+  EXPECT_EQ(stats.bits, stats.messages * 4);
+}
+
+TEST(Network, LubyGlauberMessageBits) {
+  const auto g = graph::make_path(5);
+  const mrf::Mrf m = mrf::make_proper_coloring(g, 5);
+  const mrf::Config x0 = chains::greedy_feasible_config(m);
+  Network net = make_luby_glauber_network(m, x0, 1);
+  net.run_rounds(3);
+  // Each message: 64-bit priority + 3-bit spin.
+  EXPECT_EQ(net.stats().bits, net.stats().messages * (64 + 3));
+}
+
+TEST(Network, OutputsAreValidSpins) {
+  const auto g = graph::make_grid(4, 4);
+  const mrf::Mrf m = mrf::make_hardcore(g, 0.8);
+  const mrf::Config x0 = chains::constant_config(m, 0);
+  Network net = make_local_metropolis_network(m, x0, 33);
+  net.run_rounds(50);
+  for (int s : net.outputs()) {
+    EXPECT_GE(s, 0);
+    EXPECT_LT(s, 2);
+  }
+}
+
+}  // namespace
+}  // namespace lsample::local

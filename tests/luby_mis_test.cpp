@@ -1,0 +1,81 @@
+// Luby's distributed MIS protocol — the "labeling is easy" half of the
+// paper's separation (discussion after Theorem 1.3).
+#include "local/luby_mis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+
+namespace lsample::local {
+namespace {
+
+bool is_maximal_independent_set(const graph::Graph& g,
+                                const std::vector<int>& ind) {
+  if (!graph::is_independent_set(g, ind)) return false;
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    if (ind[static_cast<std::size_t>(v)] != 0) continue;
+    bool dominated = false;
+    for (int u : g.neighbors(v))
+      if (ind[static_cast<std::size_t>(u)] != 0) dominated = true;
+    if (!dominated) return false;
+  }
+  return true;
+}
+
+TEST(LubyMis, ProducesMaximalIndependentSets) {
+  util::Rng grng(3);
+  for (const auto& g :
+       {graph::make_cycle(30), graph::make_grid(6, 6),
+        graph::make_random_regular(40, 5, grng),
+        graph::make_erdos_renyi(40, 0.15, grng)}) {
+    Network net = make_luby_mis_network(g, 11);
+    const auto rounds = run_luby_mis(net);
+    EXPECT_LT(rounds, 10000);
+    EXPECT_TRUE(is_maximal_independent_set(*g, net.outputs()));
+  }
+}
+
+TEST(LubyMis, DeterministicGivenSeed) {
+  const auto g = graph::make_cycle(20);
+  Network a = make_luby_mis_network(g, 5);
+  Network b = make_luby_mis_network(g, 5);
+  (void)run_luby_mis(a);
+  (void)run_luby_mis(b);
+  EXPECT_EQ(a.outputs(), b.outputs());
+}
+
+TEST(LubyMis, HandlesEdgeCases) {
+  // Single vertex: joins immediately.
+  auto single = std::make_shared<graph::Graph>(1);
+  Network net1 = make_luby_mis_network(single, 1);
+  (void)run_luby_mis(net1);
+  EXPECT_EQ(net1.outputs()[0], 1);
+  // Complete graph: exactly one vertex joins.
+  const auto k5 = graph::make_complete(5);
+  Network net2 = make_luby_mis_network(k5, 1);
+  (void)run_luby_mis(net2);
+  int count = 0;
+  for (int s : net2.outputs()) count += s;
+  EXPECT_EQ(count, 1);
+}
+
+TEST(LubyMis, RoundsGrowSlowlyWithN) {
+  // O(log n) w.h.p.: the round count on 16x larger graphs should grow by a
+  // small additive amount, far below linear growth.
+  util::Rng grng(7);
+  const auto small = graph::make_random_regular(64, 4, grng);
+  const auto large = graph::make_random_regular(1024, 4, grng);
+  Network ns = make_luby_mis_network(small, 3);
+  Network nl = make_luby_mis_network(large, 3);
+  const auto rs = run_luby_mis(ns);
+  const auto rl = run_luby_mis(nl);
+  EXPECT_LE(rl, rs + 30);
+  EXPECT_LT(static_cast<double>(rl),
+            4.0 * std::log2(1024.0) + 10.0);  // comfortably logarithmic
+}
+
+}  // namespace
+}  // namespace lsample::local

@@ -1,0 +1,97 @@
+// Exact mixing-time checks on small models: TV to stationarity decays, the
+// exact tau(eps) is finite, and LocalMetropolis needs fewer rounds than
+// LubyGlauber at large q (the headline comparison, in miniature).
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "inference/exact.hpp"
+#include "inference/transition.hpp"
+#include "mrf/models.hpp"
+
+namespace lsample::inference {
+namespace {
+
+TEST(ExactMixing, WorstCaseTvDecreasesInT) {
+  const mrf::Mrf m = mrf::make_proper_coloring(graph::make_path(4), 5);
+  const StateSpace ss(4, 5);
+  const auto mu = gibbs_distribution(m, ss);
+  const auto p = local_metropolis_transition(m, ss);
+  double prev = 1.0;
+  for (std::int64_t t : {1, 2, 4, 8, 16, 32, 64}) {
+    const double tv = worst_case_tv(p, mu, t);
+    EXPECT_LE(tv, prev + 1e-12);
+    prev = tv;
+  }
+  EXPECT_LT(prev, 1e-2);
+}
+
+TEST(ExactMixing, TauIsFiniteForBothAlgorithms) {
+  const mrf::Mrf m = mrf::make_proper_coloring(graph::make_cycle(4), 5);
+  const StateSpace ss(4, 5);
+  const auto mu = gibbs_distribution(m, ss);
+  const auto t_lg = exact_mixing_time(luby_glauber_transition(m, ss), mu,
+                                      0.01, 500);
+  const auto t_lm = exact_mixing_time(local_metropolis_transition(m, ss), mu,
+                                      0.01, 500);
+  EXPECT_LE(t_lg, 500);
+  EXPECT_LE(t_lm, 500);
+  EXPECT_GE(t_lg, 1);
+  EXPECT_GE(t_lm, 1);
+}
+
+TEST(ExactMixing, LocalMetropolisBeatsGlauberPerRound) {
+  // Per-round, the parallel chain updates ~n vertices vs 1 for Glauber, so
+  // its exact mixing time in rounds must be far smaller.
+  const mrf::Mrf m = mrf::make_proper_coloring(graph::make_path(4), 5);
+  const StateSpace ss(4, 5);
+  const auto mu = gibbs_distribution(m, ss);
+  const auto t_glauber =
+      exact_mixing_time(glauber_transition(m, ss), mu, 0.01, 2000);
+  const auto t_lm =
+      exact_mixing_time(local_metropolis_transition(m, ss), mu, 0.01, 2000);
+  EXPECT_LT(t_lm, t_glauber);
+}
+
+TEST(ExactMixing, MoreColorsMixFasterForLocalMetropolis) {
+  std::int64_t prev = 1 << 20;
+  for (int q : {4, 6, 8}) {
+    const mrf::Mrf m = mrf::make_proper_coloring(graph::make_path(3), q);
+    const StateSpace ss(3, q);
+    const auto mu = gibbs_distribution(m, ss);
+    const auto t = exact_mixing_time(local_metropolis_transition(m, ss), mu,
+                                     0.01, 1000);
+    EXPECT_LE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(ExactMixing, TvFromStartMatchesWorstCaseEnvelope) {
+  const mrf::Mrf m = mrf::make_hardcore(graph::make_path(3), 1.0);
+  const StateSpace ss(3, 2);
+  const auto mu = gibbs_distribution(m, ss);
+  const auto p = luby_glauber_transition(m, ss);
+  const double worst = worst_case_tv(p, mu, 5);
+  for (std::int64_t s = 0; s < ss.size(); ++s) {
+    if (mu[static_cast<std::size_t>(s)] <= 0.0) continue;
+    EXPECT_LE(tv_from_start(p, mu, s, 5), worst + 1e-12);
+  }
+}
+
+// Even when started from an *infeasible* configuration, both chains are
+// absorbed into the feasible region and still converge to the Gibbs
+// distribution (the absorption half of Prop 3.1 / Thm 4.1).  For colorings
+// this needs q >= Delta + 2 (condition (6)).
+TEST(ExactMixing, ConvergesFromInfeasibleStart) {
+  const mrf::Mrf m = mrf::make_proper_coloring(graph::make_path(3), 4);
+  const StateSpace ss(3, 4);
+  const auto mu = gibbs_distribution(m, ss);
+  const std::int64_t bad = ss.encode({1, 1, 1});
+  ASSERT_EQ(mu[static_cast<std::size_t>(bad)], 0.0);
+  for (const auto& p : {luby_glauber_transition(m, ss),
+                        local_metropolis_transition(m, ss)}) {
+    EXPECT_LT(tv_from_start(p, mu, bad, 200), 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace lsample::inference

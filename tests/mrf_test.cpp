@@ -1,0 +1,131 @@
+#include "mrf/mrf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "mrf/models.hpp"
+
+namespace lsample::mrf {
+namespace {
+
+TEST(ActivityMatrix, ValidatesEntries) {
+  EXPECT_THROW(ActivityMatrix(2, {1.0, 0.5, 0.7, 1.0}),
+               std::invalid_argument);  // asymmetric
+  EXPECT_THROW(ActivityMatrix(2, {0.0, 0.0, 0.0, 0.0}),
+               std::invalid_argument);  // identically zero
+  const ActivityMatrix a(2, {2.0, 1.0, 1.0, 0.0});
+  EXPECT_DOUBLE_EQ(a.max_entry(), 2.0);
+  EXPECT_DOUBLE_EQ(a.normalized_at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a.normalized_at(0, 1), 0.5);
+}
+
+TEST(Mrf, DefaultIsUniformOverAllConfigs) {
+  const Mrf m(graph::make_path(3), 2);
+  EXPECT_TRUE(m.feasible({0, 0, 0}));
+  EXPECT_TRUE(m.feasible({1, 1, 1}));
+  EXPECT_DOUBLE_EQ(m.log_weight({0, 1, 0}), 0.0);
+}
+
+TEST(Mrf, LogWeightMatchesHandComputation) {
+  auto g = graph::make_path(3);
+  Mrf m = make_ising(g, 0.5, 0.25);
+  // w(+,+,-) = A(1,1) A(1,0) b(1) b(1) b(0)
+  //          = e^{0.5} e^{-0.5} e^{0.25} e^{0.25} e^{-0.25}.
+  const double expected = 0.5 - 0.5 + 0.25 + 0.25 - 0.25;
+  EXPECT_NEAR(m.log_weight({1, 1, 0}), expected, 1e-12);
+}
+
+TEST(Mrf, InfeasibleHasMinusInfinityLogWeight) {
+  const Mrf m = make_proper_coloring(graph::make_path(2), 3);
+  EXPECT_TRUE(std::isinf(m.log_weight({1, 1})));
+  EXPECT_FALSE(m.feasible({1, 1}));
+  EXPECT_TRUE(m.feasible({1, 2}));
+}
+
+TEST(Mrf, MarginalWeightsMatchFormula) {
+  // Star center with 2 leaves, coloring q=3: center marginal excludes leaf
+  // colors.
+  const Mrf m = make_proper_coloring(graph::make_star(2), 3);
+  std::vector<double> w;
+  m.marginal_weights(0, {0, 1, 2}, w);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);  // leaves hold 1 and 2
+  EXPECT_DOUBLE_EQ(w[1], 0.0);
+  EXPECT_DOUBLE_EQ(w[2], 0.0);
+  m.marginal_weights(0, {0, 1, 1}, w);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  EXPECT_DOUBLE_EQ(w[1], 0.0);
+  EXPECT_DOUBLE_EQ(w[2], 1.0);
+}
+
+TEST(Mrf, MarginalIncludesVertexActivity) {
+  auto g = graph::make_path(2);
+  Mrf m = make_hardcore(g, 2.5);
+  std::vector<double> w;
+  m.marginal_weights(0, {0, 0}, w);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  EXPECT_DOUBLE_EQ(w[1], 2.5);
+  m.marginal_weights(0, {0, 1}, w);  // neighbor occupied blocks occupation
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  EXPECT_DOUBLE_EQ(w[1], 0.0);
+}
+
+TEST(Mrf, EdgePassProbMatchesColoringRules) {
+  const Mrf m = make_proper_coloring(graph::make_path(2), 3);
+  // pass iff sigma_u != sigma_v, X_u != sigma_v, sigma_u != X_v.
+  EXPECT_DOUBLE_EQ(m.edge_pass_prob(0, 0, 1, 2, 2), 1.0);
+  EXPECT_DOUBLE_EQ(m.edge_pass_prob(0, 0, 0, 1, 2), 0.0);  // rule 2
+  EXPECT_DOUBLE_EQ(m.edge_pass_prob(0, 0, 1, 1, 2), 0.0);  // rule 1 at v
+  EXPECT_DOUBLE_EQ(m.edge_pass_prob(0, 0, 1, 2, 0), 0.0);  // rule 3
+}
+
+TEST(Mrf, EdgePassProbIsSoftForIsing) {
+  auto g = graph::make_path(2);
+  Mrf m = make_ising(g, 1.0);
+  const double p = m.edge_pass_prob(0, 0, 1, 0, 1);
+  EXPECT_GT(p, 0.0);
+  EXPECT_LT(p, 1.0);
+}
+
+TEST(Mrf, MarginalsAlwaysDefinedForColoringAboveThreshold) {
+  // Path: Delta = 2; q = 3 >= Delta + 1 keeps the Glauber marginal defined.
+  const Mrf m3 = make_proper_coloring(graph::make_path(3), 3);
+  EXPECT_TRUE(m3.marginals_always_defined_at(1));
+  // q = 2 on a degree-2 vertex can be blocked entirely.
+  const Mrf m2 = make_proper_coloring(graph::make_path(3), 2);
+  EXPECT_FALSE(m2.marginals_always_defined_at(1));
+}
+
+TEST(Mrf, RejectsInvalidActivitySettings) {
+  auto g = graph::make_path(2);
+  Mrf m(g, 3);
+  EXPECT_THROW(m.set_vertex_activity(0, {1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(m.set_vertex_activity(0, {0.0, 0.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(m.set_vertex_activity(5, {1.0, 1.0, 1.0}),
+               std::invalid_argument);
+  ActivityMatrix wrong_size(2, {1.0, 1.0, 1.0, 1.0});
+  EXPECT_THROW(m.set_all_edge_activities(wrong_size), std::invalid_argument);
+}
+
+TEST(Models, HardcoreUniquenessThreshold) {
+  // lambda_c(Delta) = (Delta-1)^(Delta-1) / (Delta-2)^Delta.
+  EXPECT_NEAR(hardcore_uniqueness_threshold(3), 4.0, 1e-12);
+  EXPECT_NEAR(hardcore_uniqueness_threshold(6), std::pow(5.0, 5) / std::pow(4.0, 6),
+              1e-12);
+  // Uniform independent sets (lambda = 1) are non-unique for Delta >= 6.
+  EXPECT_GT(1.0, hardcore_uniqueness_threshold(6));
+  EXPECT_LT(1.0, hardcore_uniqueness_threshold(5));
+}
+
+TEST(Models, ListColoringRestrictsColors) {
+  auto g = graph::make_path(2);
+  const Mrf m = make_list_coloring(g, 4, {{0, 1}, {2, 3}});
+  EXPECT_TRUE(m.feasible({0, 2}));
+  EXPECT_FALSE(m.feasible({2, 2}));  // 2 not in vertex 0's list
+  EXPECT_FALSE(m.feasible({0, 0}));
+}
+
+}  // namespace
+}  // namespace lsample::mrf

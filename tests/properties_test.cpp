@@ -1,0 +1,90 @@
+#include "graph/properties.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace lsample::graph {
+namespace {
+
+TEST(Bfs, DistancesOnPath) {
+  const auto g = make_path(5);
+  const auto dist = bfs_distances(*g, 0);
+  for (int v = 0; v < 5; ++v) EXPECT_EQ(dist[static_cast<std::size_t>(v)], v);
+}
+
+TEST(Bfs, UnreachableIsMinusOne) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[2], -1);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Components, LabelsInDiscoveryOrder) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(3, 4);
+  const auto comp = connected_components(g);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_NE(comp[2], comp[3]);
+}
+
+TEST(Diameter, KnownValues) {
+  EXPECT_EQ(diameter(*make_path(10)), 9);
+  EXPECT_EQ(diameter(*make_cycle(8)), 4);
+  EXPECT_EQ(diameter(*make_cycle(9)), 4);
+  EXPECT_EQ(diameter(*make_complete(6)), 1);
+  EXPECT_EQ(diameter(*make_grid(3, 4)), 5);
+  EXPECT_EQ(diameter(*make_hypercube(5)), 5);
+}
+
+TEST(Diameter, ThrowsOnDisconnected) {
+  Graph g(2);
+  EXPECT_THROW((void)diameter(g), std::invalid_argument);
+}
+
+TEST(DiameterLowerBound, TightOnPathsAndTrees) {
+  EXPECT_EQ(diameter_lower_bound(*make_path(20)), 19);
+  util::Rng rng(5);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto g = make_random_tree(40, rng);
+    // Double sweep is exact on trees.
+    EXPECT_EQ(diameter_lower_bound(*g), diameter(*g));
+  }
+}
+
+TEST(IndependentSet, DetectsViolations) {
+  const auto g = make_path(4);
+  EXPECT_TRUE(is_independent_set(*g, {1, 0, 1, 0}));
+  EXPECT_TRUE(is_independent_set(*g, {0, 0, 0, 0}));
+  EXPECT_FALSE(is_independent_set(*g, {1, 1, 0, 0}));
+}
+
+TEST(ProperColoring, DetectsViolations) {
+  const auto g = make_cycle(4);
+  EXPECT_TRUE(is_proper_coloring(*g, {0, 1, 0, 1}));
+  EXPECT_FALSE(is_proper_coloring(*g, {0, 1, 1, 0}));
+}
+
+TEST(GreedyColoring, ProperAndBounded) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto g = make_erdos_renyi(30, 0.2, rng);
+    const auto colors = greedy_coloring(*g);
+    EXPECT_TRUE(is_proper_coloring(*g, colors));
+    EXPECT_LE(count_distinct(colors), g->max_degree() + 1);
+  }
+}
+
+TEST(CountDistinct, Basic) {
+  EXPECT_EQ(count_distinct({}), 0);
+  EXPECT_EQ(count_distinct({3, 3, 3}), 1);
+  EXPECT_EQ(count_distinct({0, 1, 2, 1}), 3);
+}
+
+}  // namespace
+}  // namespace lsample::graph

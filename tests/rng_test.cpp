@@ -1,0 +1,137 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace lsample::util {
+namespace {
+
+TEST(CounterRng, IsDeterministic) {
+  const CounterRng a(42);
+  const CounterRng b(42);
+  for (int t = 0; t < 100; ++t)
+    EXPECT_EQ(a.bits(RngDomain::edge_coin, 7, t), b.bits(RngDomain::edge_coin, 7, t));
+}
+
+TEST(CounterRng, SeedsProduceDifferentStreams) {
+  const CounterRng a(1);
+  const CounterRng b(2);
+  int same = 0;
+  for (int t = 0; t < 100; ++t)
+    if (a.bits(RngDomain::aux, 0, t) == b.bits(RngDomain::aux, 0, t)) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(CounterRng, DomainsAreSeparated) {
+  const CounterRng rng(5);
+  int same = 0;
+  for (int t = 0; t < 100; ++t)
+    if (rng.bits(RngDomain::luby_priority, 3, t) ==
+        rng.bits(RngDomain::vertex_update, 3, t))
+      ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(CounterRng, StreamsAreSeparated) {
+  const CounterRng rng(5);
+  int same = 0;
+  for (int t = 0; t < 100; ++t)
+    if (rng.bits(RngDomain::edge_coin, 0, t) ==
+        rng.bits(RngDomain::edge_coin, 1, t))
+      ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(CounterRng, U01InUnitInterval) {
+  const CounterRng rng(9);
+  for (int t = 0; t < 1000; ++t) {
+    const double u = rng.u01(RngDomain::aux, 0, t);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(CounterRng, U01IsRoughlyUniform) {
+  const CounterRng rng(13);
+  const int buckets = 10;
+  const int draws = 100000;
+  std::vector<int> counts(buckets, 0);
+  for (int t = 0; t < draws; ++t) {
+    const double u = rng.u01(RngDomain::aux, 1, t);
+    ++counts[static_cast<std::size_t>(u * buckets)];
+  }
+  // Chi-square with 9 dof; 99.9% quantile ~ 27.9.
+  double chi2 = 0.0;
+  const double expected = static_cast<double>(draws) / buckets;
+  for (int c : counts) chi2 += (c - expected) * (c - expected) / expected;
+  EXPECT_LT(chi2, 27.9);
+}
+
+TEST(CounterRng, UniformIntCoversRange) {
+  const CounterRng rng(17);
+  std::set<int> seen;
+  for (int t = 0; t < 1000; ++t)
+    seen.insert(rng.uniform_int(RngDomain::global_choice, 0, t, 0, 5));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 4);
+}
+
+TEST(Categorical, PicksOnlyPositiveWeights) {
+  const std::vector<double> w = {0.0, 2.0, 0.0, 1.0};
+  for (double u = 0.005; u < 1.0; u += 0.01) {
+    const int c = categorical(w, u);
+    EXPECT_TRUE(c == 1 || c == 3);
+  }
+}
+
+TEST(Categorical, MatchesWeightProportions) {
+  const std::vector<double> w = {1.0, 3.0};
+  int ones = 0;
+  const CounterRng rng(23);
+  const int draws = 40000;
+  for (int t = 0; t < draws; ++t)
+    if (categorical(w, rng.u01(RngDomain::aux, 2, t)) == 1) ++ones;
+  EXPECT_NEAR(static_cast<double>(ones) / draws, 0.75, 0.02);
+}
+
+TEST(Categorical, AllZeroReturnsMinusOne) {
+  const std::vector<double> w = {0.0, 0.0};
+  EXPECT_EQ(categorical(w, 0.5), -1);
+}
+
+TEST(Categorical, BoundaryUBelongsToLastPositive) {
+  const std::vector<double> w = {1.0, 1.0};
+  EXPECT_EQ(categorical(w, 0.9999999999999999), 1);
+  EXPECT_EQ(categorical(w, 0.0), 0);
+}
+
+TEST(Rng, DeterministicAndSeedSensitive) {
+  Rng a(7);
+  Rng b(7);
+  Rng c(8);
+  bool all_equal = true;
+  bool any_equal_c = false;
+  for (int i = 0; i < 50; ++i) {
+    const auto av = a();
+    if (av != b()) all_equal = false;
+    if (av == c()) any_equal_c = true;
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_FALSE(any_equal_c);
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.uniform_int(7);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 7);
+  }
+}
+
+}  // namespace
+}  // namespace lsample::util

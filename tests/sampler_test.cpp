@@ -1,0 +1,131 @@
+// The public facade: correct outputs, theory-derived budgets, statistical
+// uniformity on a tiny instance, and input validation.
+#include "core/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "inference/state_space.hpp"
+#include "mrf/models.hpp"
+
+namespace lsample::core {
+namespace {
+
+TEST(SampleColoring, ReturnsProperColoring) {
+  util::Rng grng(3);
+  const auto g = graph::make_random_regular(24, 4, grng);
+  for (const Algorithm alg :
+       {Algorithm::luby_glauber, Algorithm::local_metropolis}) {
+    SamplerOptions opt;
+    opt.algorithm = alg;
+    opt.seed = 5;
+    const auto res = sample_coloring(g, 16, opt);
+    EXPECT_TRUE(res.feasible);
+    EXPECT_TRUE(graph::is_proper_coloring(*g, res.config));
+    EXPECT_GT(res.rounds, 0);
+  }
+}
+
+TEST(SampleColoring, BudgetsComeFromTheory) {
+  // q = 16 > 2*Delta = 8: LubyGlauber budget defined; q = 16 > 3.7*4 + 3:
+  // LocalMetropolis budget defined and much smaller.
+  const auto t_lg =
+      coloring_round_budget(1000, 4, 16, Algorithm::luby_glauber, 0.01);
+  const auto t_lm =
+      coloring_round_budget(1000, 4, 16, Algorithm::local_metropolis, 0.01);
+  EXPECT_GT(t_lg, 0);
+  EXPECT_GT(t_lm, 0);
+  EXPECT_LT(t_lm, t_lg);
+}
+
+TEST(SampleColoring, ThrowsOutsideGuaranteedRegimeWithoutBudget) {
+  const auto g = graph::make_complete(6);  // Delta = 5
+  SamplerOptions opt;
+  opt.algorithm = Algorithm::luby_glauber;
+  // q = 7 <= 2*Delta = 10: no Dobrushin guarantee.
+  EXPECT_THROW((void)sample_coloring(g, 7, opt), std::invalid_argument);
+  // With an explicit budget it runs anyway.
+  opt.rounds = 200;
+  const auto res = sample_coloring(g, 7, opt);
+  EXPECT_TRUE(graph::is_proper_coloring(*g, res.config));
+}
+
+TEST(SampleColoring, RejectsInfeasibleQ) {
+  const auto g = graph::make_complete(4);
+  SamplerOptions opt;
+  EXPECT_THROW((void)sample_coloring(g, 3, opt), std::invalid_argument);
+}
+
+TEST(SampleColoring, ApproximatelyUniformOnTriangle) {
+  // Triangle with q = 12 (well inside both regimes): all 12*11*10 = 1320
+  // proper colorings equally likely; check the three rotation classes of a
+  // fixed vertex pattern via chi-square on vertex 0's color.
+  const auto g = graph::make_cycle(3);
+  std::map<int, int> counts;
+  const int runs = 3000;
+  for (int r = 0; r < runs; ++r) {
+    SamplerOptions opt;
+    opt.algorithm = Algorithm::local_metropolis;
+    opt.seed = 100 + static_cast<std::uint64_t>(r);
+    opt.epsilon = 0.05;
+    const auto res = sample_coloring(g, 12, opt);
+    ++counts[res.config[0]];
+  }
+  const double expected = runs / 12.0;
+  double chi2 = 0.0;
+  for (int c = 0; c < 12; ++c)
+    chi2 += (counts[c] - expected) * (counts[c] - expected) / expected;
+  // 11 dof, 99.9% quantile ~ 31.3.
+  EXPECT_LT(chi2, 31.3);
+}
+
+TEST(SampleHardcore, UsesDobrushinBudgetInUniquenessRegime) {
+  const auto g = graph::make_cycle(10);  // Delta = 2
+  SamplerOptions opt;
+  opt.algorithm = Algorithm::luby_glauber;
+  const auto res = sample_hardcore(g, 0.4, opt);  // 2*0.4/1.4 < 1
+  EXPECT_TRUE(res.feasible);
+  EXPECT_TRUE(graph::is_independent_set(*g, res.config));
+  EXPECT_GT(res.theory_alpha, 0.0);
+  EXPECT_LT(res.theory_alpha, 1.0);
+}
+
+TEST(SampleHardcore, ThrowsWithoutGuaranteeOrBudget) {
+  util::Rng grng(9);
+  const auto g = graph::make_random_regular(20, 6, grng);
+  SamplerOptions opt;
+  // lambda = 1 on Delta = 6 is non-unique (Theorem 1.3 territory).
+  EXPECT_THROW((void)sample_hardcore(g, 1.0, opt), std::invalid_argument);
+  opt.rounds = 100;
+  const auto res = sample_hardcore(g, 1.0, opt);
+  EXPECT_TRUE(graph::is_independent_set(*g, res.config));
+}
+
+TEST(SampleMrf, RequiresExplicitBudget) {
+  const auto g = graph::make_path(4);
+  const mrf::Mrf m = mrf::make_ising(g, 0.3);
+  SamplerOptions opt;
+  EXPECT_THROW((void)sample_mrf(m, opt), std::invalid_argument);
+  opt.rounds = 50;
+  const auto res = sample_mrf(m, opt);
+  EXPECT_TRUE(res.feasible);
+  EXPECT_EQ(res.rounds, 50);
+}
+
+TEST(Sampler, DeterministicInSeed) {
+  const auto g = graph::make_cycle(12);
+  SamplerOptions opt;
+  opt.seed = 77;
+  const auto a = sample_coloring(g, 10, opt);
+  const auto b = sample_coloring(g, 10, opt);
+  EXPECT_EQ(a.config, b.config);
+  opt.seed = 78;
+  const auto c = sample_coloring(g, 10, opt);
+  EXPECT_NE(a.config, c.config);
+}
+
+}  // namespace
+}  // namespace lsample::core

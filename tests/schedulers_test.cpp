@@ -1,0 +1,114 @@
+#include "chains/schedulers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+
+namespace lsample::chains {
+namespace {
+
+std::vector<int> as_indicator(const std::vector<char>& sel) {
+  return {sel.begin(), sel.end()};
+}
+
+TEST(LubyScheduler, SelectsAnIndependentSet) {
+  util::Rng grng(3);
+  const auto g = graph::make_random_regular(24, 4, grng);
+  LubyScheduler sched(g, 7);
+  std::vector<char> sel;
+  for (int t = 0; t < 50; ++t) {
+    sched.select(t, sel);
+    EXPECT_TRUE(graph::is_independent_set(*g, as_indicator(sel)));
+  }
+}
+
+TEST(LubyScheduler, SelectionIsNonEmptyOnNonEmptyGraphs) {
+  const auto g = graph::make_cycle(9);
+  LubyScheduler sched(g, 5);
+  std::vector<char> sel;
+  for (int t = 0; t < 50; ++t) {
+    sched.select(t, sel);
+    int count = 0;
+    for (char s : sel) count += s;
+    EXPECT_GE(count, 1);  // the global maximum is always selected
+  }
+}
+
+TEST(LubyScheduler, SelectionProbabilityAtLeastGamma) {
+  // Pr[v in I] >= 1/(Delta+1); check empirically with slack.
+  util::Rng grng(11);
+  const auto g = graph::make_random_regular(20, 4, grng);
+  LubyScheduler sched(g, 13);
+  const int rounds = 4000;
+  std::vector<int> hits(20, 0);
+  std::vector<char> sel;
+  for (int t = 0; t < rounds; ++t) {
+    sched.select(t, sel);
+    for (int v = 0; v < 20; ++v) hits[static_cast<std::size_t>(v)] += sel[static_cast<std::size_t>(v)];
+  }
+  const double gamma = sched.gamma_lower_bound();
+  EXPECT_NEAR(gamma, 0.2, 1e-12);
+  for (int v = 0; v < 20; ++v) {
+    const double freq = static_cast<double>(hits[static_cast<std::size_t>(v)]) / rounds;
+    EXPECT_GT(freq, gamma - 0.03) << "vertex " << v;
+  }
+}
+
+TEST(LubyScheduler, IsolatedVertexAlwaysSelected) {
+  auto g = std::make_shared<graph::Graph>(3);
+  g->add_edge(0, 1);
+  LubyScheduler sched(g, 19);
+  std::vector<char> sel;
+  for (int t = 0; t < 20; ++t) {
+    sched.select(t, sel);
+    EXPECT_EQ(sel[2], 1);
+  }
+}
+
+TEST(LubyScheduler, DeterministicGivenSeedAndTime) {
+  const auto g = graph::make_cycle(8);
+  LubyScheduler a(g, 23);
+  LubyScheduler b(g, 23);
+  std::vector<char> sa;
+  std::vector<char> sb;
+  for (int t = 0; t < 10; ++t) {
+    a.select(t, sa);
+    b.select(t, sb);
+    EXPECT_EQ(sa, sb);
+  }
+}
+
+TEST(SlackLubyScheduler, SelectsIndependentSetsWithLowerRate) {
+  const auto g = graph::make_cycle(12);
+  SlackLubyScheduler sched(g, 0.3, 29);
+  std::vector<char> sel;
+  int total = 0;
+  for (int t = 0; t < 1000; ++t) {
+    sched.select(t, sel);
+    EXPECT_TRUE(graph::is_independent_set(*g, as_indicator(sel)));
+    for (char s : sel) total += s;
+  }
+  // Pr[v selected] = p(1-p)^2 = 0.147 on a cycle.
+  const double rate = total / (1000.0 * 12.0);
+  EXPECT_NEAR(rate, 0.3 * 0.7 * 0.7, 0.02);
+  EXPECT_NEAR(sched.gamma_lower_bound(), 0.3 * 0.49, 1e-12);
+}
+
+TEST(ChromaticScheduler, ClassesPartitionAndAreIndependent) {
+  util::Rng grng(31);
+  const auto g = graph::make_erdos_renyi(20, 0.25, grng);
+  ChromaticScheduler sched(g, 37);
+  EXPECT_LE(sched.num_classes(), g->max_degree() + 1);
+  std::vector<char> sel;
+  std::vector<int> covered(20, 0);
+  for (int t = 0; t < 300; ++t) {
+    sched.select(t, sel);
+    EXPECT_TRUE(graph::is_independent_set(*g, as_indicator(sel)));
+    for (int v = 0; v < 20; ++v) covered[static_cast<std::size_t>(v)] += sel[static_cast<std::size_t>(v)];
+  }
+  for (int v = 0; v < 20; ++v) EXPECT_GT(covered[static_cast<std::size_t>(v)], 0);
+}
+
+}  // namespace
+}  // namespace lsample::chains

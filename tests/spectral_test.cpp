@@ -1,0 +1,89 @@
+// Spectral-gap analysis cross-validated against closed forms and the exact
+// mixing times.
+#include "inference/spectral.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "inference/exact.hpp"
+#include "inference/transition.hpp"
+#include "mrf/models.hpp"
+
+namespace lsample::inference {
+namespace {
+
+TEST(Spectral, TwoStateChainHasKnownEigenvalue) {
+  // P = [[1-a, a], [b, 1-b]]: lambda_2 = 1 - a - b, mu = (b, a)/(a+b).
+  const double a = 0.3;
+  const double b = 0.2;
+  DenseMatrix p(2);
+  p.at(0, 0) = 1 - a;
+  p.at(0, 1) = a;
+  p.at(1, 0) = b;
+  p.at(1, 1) = 1 - b;
+  const std::vector<double> mu = {b / (a + b), a / (a + b)};
+  const auto s = spectral_summary(p, mu);
+  EXPECT_NEAR(s.lambda_star, 1.0 - a - b, 1e-9);
+  EXPECT_NEAR(s.gap, a + b, 1e-9);
+  EXPECT_NEAR(s.relaxation_time, 1.0 / (a + b), 1e-6);
+}
+
+TEST(Spectral, RejectsNonReversibleChains) {
+  // A 3-cycle rotation is stationary for uniform but not reversible.
+  DenseMatrix p(3);
+  p.at(0, 1) = 1.0;
+  p.at(1, 2) = 1.0;
+  p.at(2, 0) = 1.0;
+  const std::vector<double> mu = {1.0 / 3, 1.0 / 3, 1.0 / 3};
+  EXPECT_THROW((void)spectral_summary(p, mu), std::invalid_argument);
+}
+
+TEST(Spectral, UpperBoundDominatesExactMixingTime) {
+  for (const auto& m :
+       {mrf::make_proper_coloring(graph::make_path(4), 4),
+        mrf::make_hardcore(graph::make_cycle(5), 1.0),
+        mrf::make_ising(graph::make_path(4), 0.5)}) {
+    const StateSpace ss(m.n(), m.q());
+    const auto mu = gibbs_distribution(m, ss);
+    for (const auto& p : {luby_glauber_transition(m, ss),
+                          local_metropolis_transition(m, ss)}) {
+      const auto s = spectral_summary(p, mu);
+      ASSERT_GT(s.gap, 0.0);
+      const double bound = spectral_mixing_upper_bound(s, mu, 0.01);
+      const auto exact = exact_mixing_time(p, mu, 0.01, 5000);
+      EXPECT_LE(static_cast<double>(exact), bound + 1.0);
+    }
+  }
+}
+
+TEST(Spectral, GapTracksColorCount) {
+  // More colors -> larger gap for LocalMetropolis on a fixed path.
+  double prev_gap = 0.0;
+  for (int q : {4, 6, 8}) {
+    const mrf::Mrf m = mrf::make_proper_coloring(graph::make_path(3), q);
+    const StateSpace ss(3, q);
+    const auto mu = gibbs_distribution(m, ss);
+    const auto s = spectral_summary(local_metropolis_transition(m, ss), mu);
+    EXPECT_GT(s.gap, prev_gap);
+    prev_gap = s.gap;
+  }
+}
+
+TEST(Spectral, ParallelChainsHaveLargerGapThanGlauber) {
+  const mrf::Mrf m = mrf::make_proper_coloring(graph::make_path(4), 6);
+  const StateSpace ss(4, 6);
+  const auto mu = gibbs_distribution(m, ss);
+  const double gap_glauber =
+      spectral_summary(glauber_transition(m, ss), mu).gap;
+  const double gap_luby =
+      spectral_summary(luby_glauber_transition(m, ss), mu).gap;
+  const double gap_lm =
+      spectral_summary(local_metropolis_transition(m, ss), mu).gap;
+  EXPECT_GT(gap_luby, gap_glauber);
+  EXPECT_GT(gap_lm, gap_glauber);
+}
+
+}  // namespace
+}  // namespace lsample::inference

@@ -1,0 +1,107 @@
+// Strongly self-avoiding walks (§4.2.3).
+#include "inference/ssaw.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace lsample::inference {
+namespace {
+
+TEST(Ssaw, PredicateMatchesDefinition) {
+  const auto cycle = graph::make_cycle(5);
+  EXPECT_TRUE(is_ssaw(*cycle, {0}));
+  EXPECT_TRUE(is_ssaw(*cycle, {0, 1, 2}));
+  EXPECT_TRUE(is_ssaw(*cycle, {0, 1, 2, 3}));
+  // Length-4 walk on C5: endpoints 0 and 4 are adjacent -> chord.
+  EXPECT_FALSE(is_ssaw(*cycle, {0, 1, 2, 3, 4}));
+  // Not a path at all.
+  EXPECT_FALSE(is_ssaw(*cycle, {0, 2}));
+  // Repeated vertex.
+  EXPECT_FALSE(is_ssaw(*cycle, {0, 1, 0}));
+}
+
+TEST(Ssaw, CountsOnPathFromEndpoint) {
+  const auto g = graph::make_path(6);
+  const auto counts = count_ssaws(*g, 0, 5);
+  // Exactly one simple chord-free walk of each length along the path.
+  for (int l = 0; l <= 5; ++l)
+    EXPECT_EQ(counts[static_cast<std::size_t>(l)], 1) << "l=" << l;
+}
+
+TEST(Ssaw, CountsOnPathFromMiddle) {
+  const auto g = graph::make_path(7);
+  const auto counts = count_ssaws(*g, 3, 3);
+  EXPECT_EQ(counts[0], 1);
+  EXPECT_EQ(counts[1], 2);  // left or right
+  EXPECT_EQ(counts[2], 2);
+  EXPECT_EQ(counts[3], 2);
+}
+
+TEST(Ssaw, CountsOnCycleStopBeforeClosing) {
+  const auto g = graph::make_cycle(6);
+  const auto counts = count_ssaws(*g, 0, 6);
+  EXPECT_EQ(counts[1], 2);
+  EXPECT_EQ(counts[2], 2);
+  EXPECT_EQ(counts[3], 2);
+  EXPECT_EQ(counts[4], 2);  // length n-2 still chord-free
+  EXPECT_EQ(counts[5], 0);  // closing the cycle creates the chord
+  EXPECT_EQ(counts[6], 0);
+}
+
+TEST(Ssaw, CompleteGraphHasOnlySingleSteps) {
+  const auto g = graph::make_complete(5);
+  const auto counts = count_ssaws(*g, 0, 4);
+  EXPECT_EQ(counts[1], 4);
+  EXPECT_EQ(counts[2], 0);  // every second step closes a triangle chord
+  EXPECT_EQ(counts[3], 0);
+}
+
+TEST(Ssaw, StarFromLeafReachesOtherLeaves) {
+  const auto g = graph::make_star(4);  // center 0, leaves 1..4
+  const auto counts = count_ssaws(*g, 1, 3);
+  EXPECT_EQ(counts[1], 1);  // to the center
+  EXPECT_EQ(counts[2], 3);  // through the center to another leaf
+  EXPECT_EQ(counts[3], 0);  // leaves are dead ends
+}
+
+TEST(Ssaw, SeriesMatchesGeometricOnCycle) {
+  const auto g = graph::make_cycle(10);
+  const double x = 0.25;  // 2/q with q = 8
+  // 2 walks per length 1..8; series = 2 * sum_{l=1}^{8} x^{l-1}.
+  double expected = 0.0;
+  double p = 1.0;
+  for (int l = 1; l <= 8; ++l) {
+    expected += 2.0 * p;
+    p *= x;
+  }
+  EXPECT_NEAR(ssaw_series(*g, 0, x, 9), expected, 1e-12);
+}
+
+TEST(Ssaw, SeriesBoundedByLemma412FixpointOnRegularGraphs) {
+  // Lemma 4.12 caps Phi_(v0,u) by the fixpoint Delta/(q-2Delta+2) times
+  // (1-2/q)^{Delta-1}; summed over Gamma(v0) and divided by the per-walk
+  // prefactor (Delta/q)(1-2/q)^{Delta-1}, it implies that the bare SSAW
+  // series S = sum over SSAWs of (2/q)^{l-1} obeys
+  //   S <= q * Delta / (q - 2*Delta + 2)
+  // in the regime 3*Delta < q <= 3.7*Delta + 3.  Verify on concrete graphs.
+  util::Rng rng(5);
+  for (int delta : {3, 4}) {
+    const auto g = graph::make_random_regular(24, delta, rng);
+    const double q = 3.5 * delta;
+    const double x = 2.0 / q;
+    const double series = ssaw_series(*g, 0, x, 14);
+    const double fixpoint_bound = q * delta / (q - 2.0 * delta + 2.0);
+    EXPECT_LE(series, fixpoint_bound + 1e-9) << "Delta=" << delta;
+  }
+}
+
+TEST(Ssaw, ValidatesArguments) {
+  const auto g = graph::make_path(3);
+  EXPECT_THROW((void)count_ssaws(*g, 5, 3), std::invalid_argument);
+  EXPECT_THROW((void)count_ssaws(*g, 0, 100), std::invalid_argument);
+  EXPECT_THROW((void)is_ssaw(*g, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lsample::inference

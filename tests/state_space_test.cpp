@@ -1,0 +1,46 @@
+#include "inference/state_space.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lsample::inference {
+namespace {
+
+TEST(StateSpace, SizeAndRoundTrip) {
+  const StateSpace ss(3, 4);
+  EXPECT_EQ(ss.size(), 64);
+  for (std::int64_t i = 0; i < ss.size(); ++i)
+    EXPECT_EQ(ss.encode(ss.decode(i)), i);
+}
+
+TEST(StateSpace, EncodeIsPositional) {
+  const StateSpace ss(3, 3);
+  EXPECT_EQ(ss.encode({0, 0, 0}), 0);
+  EXPECT_EQ(ss.encode({1, 0, 0}), 1);
+  EXPECT_EQ(ss.encode({0, 1, 0}), 3);
+  EXPECT_EQ(ss.encode({0, 0, 1}), 9);
+  EXPECT_EQ(ss.encode({2, 2, 2}), 26);
+}
+
+TEST(StateSpace, WithSpinAndSpinOf) {
+  const StateSpace ss(4, 3);
+  const std::int64_t base = ss.encode({0, 1, 2, 0});
+  EXPECT_EQ(ss.spin_of(base, 1), 1);
+  const std::int64_t changed = ss.with_spin(base, 1, 2);
+  EXPECT_EQ(ss.decode(changed), (mrf::Config{0, 2, 2, 0}));
+  EXPECT_EQ(ss.with_spin(base, 1, 1), base);
+}
+
+TEST(StateSpace, GuardsAgainstBlowup) {
+  EXPECT_THROW(StateSpace(30, 4), std::invalid_argument);
+  EXPECT_THROW(StateSpace(10, 3, 1000), std::invalid_argument);
+}
+
+TEST(StateSpace, ValidatesArguments) {
+  const StateSpace ss(2, 2);
+  EXPECT_THROW((void)ss.decode(4), std::invalid_argument);
+  EXPECT_THROW((void)ss.encode({0, 2}), std::invalid_argument);
+  EXPECT_THROW((void)ss.spin_of(0, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lsample::inference

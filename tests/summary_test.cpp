@@ -1,0 +1,80 @@
+#include "util/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/table.hpp"
+
+#include <sstream>
+#include <vector>
+
+namespace lsample::util {
+namespace {
+
+TEST(Summary, MeanAndStddev) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_NEAR(stddev(xs), 1.2909944487, 1e-9);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{5.0}), 0.0);
+}
+
+TEST(Summary, QuantileInterpolates) {
+  std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_THROW((void)quantile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)quantile(xs, 1.5), std::invalid_argument);
+}
+
+TEST(Summary, NormalizeHandlesZeroVector) {
+  std::vector<double> v = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(normalize(v), 0.0);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  std::vector<double> w = {1.0, 3.0};
+  EXPECT_DOUBLE_EQ(normalize(w), 4.0);
+  EXPECT_DOUBLE_EQ(w[1], 0.75);
+}
+
+TEST(Summary, TotalVariationBasics) {
+  EXPECT_DOUBLE_EQ(total_variation(std::vector<double>{0.5, 0.5}, std::vector<double>{0.5, 0.5}), 0.0);
+  EXPECT_DOUBLE_EQ(total_variation(std::vector<double>{1.0, 0.0}, std::vector<double>{0.0, 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(total_variation(std::vector<double>{2.0, 2.0}, std::vector<double>{1.0, 3.0}), 0.25);
+  EXPECT_THROW((void)total_variation(std::vector<double>{1.0}, std::vector<double>{0.5, 0.5}),
+               std::invalid_argument);
+}
+
+TEST(Summary, LeastSquaresSlope) {
+  const std::vector<double> x = {0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> y = {1.0, 3.0, 5.0, 7.0};
+  EXPECT_NEAR(ls_slope(x, y), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(ls_slope(x, std::vector<double>{1.0, 1.0, 1.0, 1.0}), 0.0);
+}
+
+TEST(Summary, Correlation) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  EXPECT_NEAR(correlation(x, std::vector<double>{2.0, 4.0, 6.0}), 1.0, 1e-12);
+  EXPECT_NEAR(correlation(x, std::vector<double>{3.0, 2.0, 1.0}), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(correlation(x, std::vector<double>{5.0, 5.0, 5.0}), 0.0);
+}
+
+TEST(Table, PrintsAlignedMarkdown) {
+  Table t({"a", "value"});
+  t.begin_row().cell("x").cell(1.5, 2);
+  t.begin_row().cell("long-name").cell(std::int64_t{42});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| a"), std::string::npos);
+  EXPECT_NE(out.find("1.50"), std::string::npos);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, RejectsCellWithoutRow) {
+  Table t({"a"});
+  EXPECT_THROW(t.cell("x"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lsample::util

@@ -1,0 +1,88 @@
+// The fully synchronous parallel Glauber chain is the negative control that
+// motivates the Luby step: updating ALL vertices at once is NOT stationary
+// for the Gibbs distribution.
+#include "chains/synchronous_glauber.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chains/init.hpp"
+#include "graph/generators.hpp"
+#include "inference/exact.hpp"
+#include "inference/transition.hpp"
+#include "mrf/models.hpp"
+
+namespace lsample::chains {
+namespace {
+
+TEST(SynchronousGlauber, BreaksGibbsStationarityOnAnEdge) {
+  // On a single hardcore edge the synchronous chain resamples both endpoints
+  // from marginals given the OLD state, which converges to a product law,
+  // not the hardcore measure.
+  const mrf::Mrf m = mrf::make_hardcore(graph::make_path(2), 1.0);
+  const inference::StateSpace ss(2, 2);
+  const auto mu = inference::gibbs_distribution(m, ss);
+  const auto p = inference::synchronous_glauber_transition(m, ss);
+  EXPECT_LT(p.row_sum_error(), 1e-9);
+  EXPECT_GT(inference::stationarity_error(p, mu), 0.05);
+}
+
+TEST(SynchronousGlauber, BreaksGibbsStationarityOnColorings) {
+  const mrf::Mrf m = mrf::make_proper_coloring(graph::make_cycle(4), 4);
+  const inference::StateSpace ss(4, 4);
+  const auto mu = inference::gibbs_distribution(m, ss);
+  const auto p = inference::synchronous_glauber_transition(m, ss);
+  EXPECT_GT(inference::stationarity_error(p, mu), 1e-2);
+}
+
+TEST(SynchronousGlauber, ExactForEdgelessGraphs) {
+  // Without edges the coordinates are independent, so the all-at-once
+  // update is a legitimate product heat bath.
+  auto g = std::make_shared<graph::Graph>(3);
+  mrf::Mrf m(g, 3);
+  m.set_all_vertex_activities({1.0, 2.0, 3.0});
+  const inference::StateSpace ss(3, 3);
+  const auto mu = inference::gibbs_distribution(m, ss);
+  const auto p = inference::synchronous_glauber_transition(m, ss);
+  EXPECT_LT(inference::stationarity_error(p, mu), 1e-9);
+}
+
+TEST(SynchronousGlauber, RuntimeChainMatchesItsExactKernelOnAverage) {
+  // Statistical check that the runtime chain implements the same kernel:
+  // empirical one-step distribution from a fixed state vs the matrix row.
+  const mrf::Mrf m = mrf::make_hardcore(graph::make_path(3), 1.5);
+  const inference::StateSpace ss(3, 2);
+  const auto p = inference::synchronous_glauber_transition(m, ss);
+  const Config x0 = {0, 0, 0};
+  const std::int64_t row = ss.encode(x0);
+  std::vector<double> emp(static_cast<std::size_t>(ss.size()), 0.0);
+  const int runs = 20000;
+  for (int r = 0; r < runs; ++r) {
+    SynchronousGlauberChain chain(m, 100 + static_cast<std::uint64_t>(r));
+    Config x = x0;
+    chain.step(x, 0);
+    emp[static_cast<std::size_t>(ss.encode(x))] += 1.0 / runs;
+  }
+  for (std::int64_t j = 0; j < ss.size(); ++j)
+    EXPECT_NEAR(emp[static_cast<std::size_t>(j)], p.at(row, j), 0.02);
+}
+
+TEST(SynchronousGlauber, StaysInRangeAndDeterministic) {
+  const auto g = graph::make_torus(4, 4);
+  const mrf::Mrf m = mrf::make_potts(g, 3, 0.3);
+  SynchronousGlauberChain a(m, 7);
+  SynchronousGlauberChain b(m, 7);
+  Config x = constant_config(m, 0);
+  Config y = constant_config(m, 0);
+  for (int t = 0; t < 30; ++t) {
+    a.step(x, t);
+    b.step(y, t);
+  }
+  EXPECT_EQ(x, y);
+  for (int s : x) {
+    EXPECT_GE(s, 0);
+    EXPECT_LT(s, 3);
+  }
+}
+
+}  // namespace
+}  // namespace lsample::chains

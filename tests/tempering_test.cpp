@@ -1,0 +1,73 @@
+// Parallel tempering must reproduce exact hardcore marginals (it is the
+// ground-truth sampler for experiment E5).
+#include "gadget/tempering.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "inference/exact.hpp"
+#include "mrf/models.hpp"
+
+namespace lsample::gadget {
+namespace {
+
+TEST(HardcoreLadder, GeometricWithExactEndpoint) {
+  const auto g = graph::make_cycle(6);
+  const auto ladder = hardcore_ladder(g, 0.2, 3.0, 5);
+  ASSERT_EQ(ladder.size(), 5u);
+  // First rung lambda = 0.2, last exactly 3.0.
+  EXPECT_NEAR(ladder.front().vertex_activity(0)[1], 0.2, 1e-12);
+  EXPECT_NEAR(ladder.back().vertex_activity(0)[1], 3.0, 1e-12);
+  // Monotone increasing.
+  for (std::size_t i = 1; i < ladder.size(); ++i)
+    EXPECT_GT(ladder[i].vertex_activity(0)[1],
+              ladder[i - 1].vertex_activity(0)[1]);
+}
+
+TEST(HardcoreLadder, ValidatesInput) {
+  const auto g = graph::make_path(3);
+  EXPECT_THROW((void)hardcore_ladder(g, 2.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW((void)hardcore_ladder(g, 0.5, 2.0, 1), std::invalid_argument);
+}
+
+TEST(ParallelTempering, MatchesExactOccupancyOnSmallGraph) {
+  const auto g = graph::make_cycle(6);
+  const double lambda = 2.0;
+  const mrf::Mrf target = mrf::make_hardcore(g, lambda);
+  const inference::StateSpace ss(6, 2);
+  const auto mu = inference::gibbs_distribution(target, ss);
+  double exact = 0.0;  // Pr[vertex 0 occupied]
+  for (std::int64_t i = 0; i < ss.size(); ++i)
+    if (ss.spin_of(i, 0) == 1) exact += mu[static_cast<std::size_t>(i)];
+
+  ParallelTempering pt(hardcore_ladder(g, 0.3, lambda, 4), 7);
+  const int burn = 200;
+  const int samples = 3000;
+  pt.run_sweeps(burn);
+  double occupied = 0.0;
+  for (int s = 0; s < samples; ++s) {
+    pt.run_sweeps(2);
+    occupied += pt.target_config()[0];
+  }
+  EXPECT_NEAR(occupied / samples, exact, 0.03);
+  EXPECT_GT(pt.swap_acceptance_rate(), 0.05);
+}
+
+TEST(ParallelTempering, ConfigsStayFeasible) {
+  const auto g = graph::make_grid(3, 3);
+  ParallelTempering pt(hardcore_ladder(g, 0.2, 1.5, 3), 11);
+  const mrf::Mrf target = mrf::make_hardcore(g, 1.5);
+  pt.run_sweeps(50);
+  for (int rung = 0; rung < pt.num_rungs(); ++rung)
+    EXPECT_TRUE(target.feasible(pt.config(rung)));
+}
+
+TEST(ParallelTempering, RequiresCompatibleRungs) {
+  std::vector<mrf::Mrf> mixed;
+  mixed.push_back(mrf::make_hardcore(graph::make_path(3), 1.0));
+  mixed.push_back(mrf::make_hardcore(graph::make_path(4), 1.0));
+  EXPECT_THROW(ParallelTempering(std::move(mixed), 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lsample::gadget

@@ -1,0 +1,117 @@
+// The closed-form analysis quantities: thresholds 2+sqrt(2) and alpha*,
+// coupling margins, Dobrushin alphas, and round budgets.
+#include "core/theory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace lsample::core {
+namespace {
+
+TEST(Thresholds, IdealThresholdIsTwoPlusSqrtTwo) {
+  EXPECT_NEAR(ideal_threshold(), 3.4142135623730951, 1e-12);
+}
+
+TEST(Thresholds, AlphaStarSolvesItsEquation) {
+  const double a = alpha_star();
+  EXPECT_NEAR(a, 2.0 * std::exp(1.0 / a) + 1.0, 1e-9);
+  EXPECT_NEAR(a, 3.634, 2e-3);  // the paper's quoted value 3.634...
+  EXPECT_GT(a, ideal_threshold());
+}
+
+TEST(IdealCoupling, LimitCrossesOneExactlyAtThreshold) {
+  // E[disagreements] < 1 iff alpha > 2 + sqrt(2) in the Delta -> inf limit.
+  EXPECT_LT(ideal_coupling_limit(ideal_threshold() + 0.05), 1.0);
+  EXPECT_GT(ideal_coupling_limit(ideal_threshold() - 0.05), 1.0);
+  EXPECT_NEAR(ideal_coupling_limit(ideal_threshold()), 1.0, 1e-9);
+}
+
+TEST(IdealCoupling, FiniteDeltaConvergesToLimit) {
+  const double alpha = 3.6;
+  double prev_gap = 1e9;
+  for (int delta : {10, 40, 160}) {
+    const double e =
+        ideal_coupling_expected_disagreement(alpha * delta, delta);
+    const double gap = std::abs(e - ideal_coupling_limit(alpha));
+    EXPECT_LT(gap, prev_gap);
+    prev_gap = gap;
+  }
+  EXPECT_LT(prev_gap, 0.01);
+}
+
+TEST(EasyCoupling, LimitRootIsAlphaStar) {
+  const double a = alpha_star();
+  EXPECT_NEAR(easy_coupling_limit(a), 0.0, 1e-9);
+  EXPECT_GT(easy_coupling_limit(a + 0.1), 0.0);
+  EXPECT_LT(easy_coupling_limit(a - 0.1), 0.0);
+}
+
+TEST(EasyCoupling, MarginPositiveAboveAlphaStarForFiniteDelta) {
+  // Lemma 4.4: for q >= alpha*Delta + 3 with alpha > alpha*, the margin is
+  // positive for every Delta.
+  for (int delta : {1, 5, 20, 100}) {
+    const double q = 3.7 * delta + 3.0;
+    EXPECT_GT(easy_coupling_margin(q, delta), 0.0) << "Delta=" << delta;
+  }
+}
+
+TEST(GlobalCoupling, PositiveInLemma45Regime) {
+  // Lemma 4.5 regime: alpha in (2+sqrt(2), 3.7], Delta >= 9.
+  for (int delta : {9, 20, 64}) {
+    EXPECT_GT(global_coupling_margin(3.5 * delta, delta), 0.0)
+        << "Delta=" << delta;
+    // Below the ideal threshold the margin should go negative for large
+    // Delta.
+    EXPECT_LT(global_coupling_margin(3.2 * delta, delta), 0.0)
+        << "Delta=" << delta;
+  }
+}
+
+TEST(Dobrushin, ColoringAlphaFormula) {
+  EXPECT_DOUBLE_EQ(coloring_dobrushin_alpha(5, 2), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(coloring_dobrushin_alpha(9, 4), 0.8);
+  EXPECT_DOUBLE_EQ(coloring_dobrushin_alpha(3, 0), 0.0);
+  // alpha < 1 iff q > 2*Delta.
+  EXPECT_LT(coloring_dobrushin_alpha(9, 4), 1.0);
+  EXPECT_GE(coloring_dobrushin_alpha(8, 4), 1.0);
+  EXPECT_THROW((void)coloring_dobrushin_alpha(4, 4), std::invalid_argument);
+}
+
+TEST(RoundBudgets, LubyGlauberScalesWithDeltaAndLogN) {
+  const double eps = 0.01;
+  const double alpha = 0.8;
+  // gamma = 1/(Delta+1): budget roughly linear in Delta.
+  const auto t8 = luby_glauber_round_budget(1000, 1.0 / 9.0, alpha, eps);
+  const auto t16 = luby_glauber_round_budget(1000, 1.0 / 17.0, alpha, eps);
+  EXPECT_GT(t16, t8);
+  EXPECT_NEAR(static_cast<double>(t16) / t8, 17.0 / 9.0, 0.1);
+  // Logarithmic in n.
+  const auto tn = luby_glauber_round_budget(1000, 0.1, alpha, eps);
+  const auto tn2 = luby_glauber_round_budget(1000000, 0.1, alpha, eps);
+  EXPECT_LT(static_cast<double>(tn2), 2.2 * static_cast<double>(tn));
+}
+
+TEST(RoundBudgets, LocalMetropolisIsLogarithmic) {
+  const double margin = 0.05;
+  const auto t1 = local_metropolis_round_budget(1000, 10, margin, 0.01);
+  const auto t2 = local_metropolis_round_budget(1000000, 10, margin, 0.01);
+  EXPECT_LT(static_cast<double>(t2), 1.7 * static_cast<double>(t1));
+  // Independent of Delta except through log(Delta).
+  const auto td = local_metropolis_round_budget(1000, 1000, margin, 0.01);
+  EXPECT_LT(static_cast<double>(td), 1.5 * static_cast<double>(t1));
+}
+
+TEST(RoundBudgets, ValidateInput) {
+  EXPECT_THROW((void)luby_glauber_round_budget(10, 0.5, 1.0, 0.01),
+               std::invalid_argument);
+  EXPECT_THROW((void)luby_glauber_round_budget(10, 0.0, 0.5, 0.01),
+               std::invalid_argument);
+  EXPECT_THROW((void)local_metropolis_round_budget(10, 5, 0.0, 0.01),
+               std::invalid_argument);
+  EXPECT_THROW((void)local_metropolis_round_budget(10, 5, 0.1, 1.5),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lsample::core

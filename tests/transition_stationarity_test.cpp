@@ -1,0 +1,163 @@
+// Exact verification of Proposition 3.1 and Theorem 4.1 across a grid of
+// models: every chain's full transition matrix is built and checked for
+// row-stochasticity, stationarity of the Gibbs distribution, reversibility
+// (where claimed), aperiodicity, and absorption into the feasible region.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+
+#include "graph/generators.hpp"
+#include "inference/exact.hpp"
+#include "inference/transition.hpp"
+#include "mrf/models.hpp"
+
+namespace lsample::inference {
+namespace {
+
+struct ModelCase {
+  std::string name;
+  std::function<mrf::Mrf()> make;
+};
+
+std::vector<ModelCase> model_cases() {
+  return {
+      {"coloring_path4_q3",
+       [] { return mrf::make_proper_coloring(graph::make_path(4), 3); }},
+      {"coloring_triangle_q4",
+       [] { return mrf::make_proper_coloring(graph::make_cycle(3), 4); }},
+      {"coloring_star3_q5",
+       [] { return mrf::make_proper_coloring(graph::make_star(3), 5); }},
+      {"list_coloring_path3",
+       [] {
+         return mrf::make_list_coloring(graph::make_path(3), 4,
+                                        {{0, 1, 2}, {1, 2, 3}, {0, 2, 3}});
+       }},
+      {"hardcore_path4_l1",
+       [] { return mrf::make_hardcore(graph::make_path(4), 1.0); }},
+      {"hardcore_star3_l2p5",
+       [] { return mrf::make_hardcore(graph::make_star(3), 2.5); }},
+      {"hardcore_cycle5_l0p7",
+       [] { return mrf::make_hardcore(graph::make_cycle(5), 0.7); }},
+      {"ising_cycle4_b0p5",
+       [] { return mrf::make_ising(graph::make_cycle(4), 0.5); }},
+      {"ising_path3_field",
+       [] { return mrf::make_ising(graph::make_path(3), -0.4, 0.3); }},
+      {"potts_path3_q3_b0p7",
+       [] { return mrf::make_potts(graph::make_path(3), 3, 0.7); }},
+      {"potts_triangle_q3_anti",
+       [] { return mrf::make_potts(graph::make_cycle(3), 3, -0.9); }},
+  };
+}
+
+class StationaritySuite : public ::testing::TestWithParam<ModelCase> {
+ protected:
+  static constexpr double kTol = 1e-9;
+};
+
+TEST_P(StationaritySuite, GlauberIsReversible) {
+  const mrf::Mrf m = GetParam().make();
+  const StateSpace ss(m.n(), m.q());
+  const auto mu = gibbs_distribution(m, ss);
+  const auto p = glauber_transition(m, ss);
+  EXPECT_LT(p.row_sum_error(), kTol);
+  EXPECT_LT(stationarity_error(p, mu), kTol);
+  EXPECT_LT(detailed_balance_error(p, mu), kTol);
+}
+
+TEST_P(StationaritySuite, MetropolisIsReversible) {
+  const mrf::Mrf m = GetParam().make();
+  const StateSpace ss(m.n(), m.q());
+  const auto mu = gibbs_distribution(m, ss);
+  const auto p = metropolis_transition(m, ss);
+  EXPECT_LT(p.row_sum_error(), kTol);
+  EXPECT_LT(stationarity_error(p, mu), kTol);
+  EXPECT_LT(detailed_balance_error(p, mu), kTol);
+}
+
+// Proposition 3.1: LubyGlauber is reversible w.r.t. the Gibbs distribution.
+TEST_P(StationaritySuite, LubyGlauberIsReversible) {
+  const mrf::Mrf m = GetParam().make();
+  const StateSpace ss(m.n(), m.q());
+  const auto mu = gibbs_distribution(m, ss);
+  const auto p = luby_glauber_transition(m, ss);
+  EXPECT_LT(p.row_sum_error(), kTol);
+  EXPECT_LT(stationarity_error(p, mu), kTol);
+  EXPECT_LT(detailed_balance_error(p, mu), kTol);
+}
+
+// Theorem 4.1: LocalMetropolis is reversible w.r.t. the Gibbs distribution.
+TEST_P(StationaritySuite, LocalMetropolisIsReversible) {
+  const mrf::Mrf m = GetParam().make();
+  const StateSpace ss(m.n(), m.q());
+  const auto mu = gibbs_distribution(m, ss);
+  const auto p = local_metropolis_transition(m, ss);
+  EXPECT_LT(p.row_sum_error(), kTol);
+  EXPECT_LT(stationarity_error(p, mu), kTol);
+  EXPECT_LT(detailed_balance_error(p, mu), kTol);
+}
+
+// Scans are stationary but not reversible in general.
+TEST_P(StationaritySuite, ScanIsStationary) {
+  const mrf::Mrf m = GetParam().make();
+  const StateSpace ss(m.n(), m.q());
+  const auto mu = gibbs_distribution(m, ss);
+  const auto p = scan_transition(m, ss);
+  EXPECT_LT(p.row_sum_error(), kTol);
+  EXPECT_LT(stationarity_error(p, mu), kTol);
+}
+
+TEST_P(StationaritySuite, ChromaticSchedulerIsReversible) {
+  const mrf::Mrf m = GetParam().make();
+  const StateSpace ss(m.n(), m.q());
+  const auto mu = gibbs_distribution(m, ss);
+  const auto p = chromatic_transition(m, ss);
+  EXPECT_LT(p.row_sum_error(), kTol);
+  EXPECT_LT(stationarity_error(p, mu), kTol);
+  EXPECT_LT(detailed_balance_error(p, mu), kTol);
+}
+
+// Feasible configurations are never left (the first half of the absorption
+// argument) and all have self-loops (aperiodicity).
+TEST_P(StationaritySuite, FeasibleRegionIsClosedAndAperiodic) {
+  const mrf::Mrf m = GetParam().make();
+  const StateSpace ss(m.n(), m.q());
+  const auto mu = gibbs_distribution(m, ss);
+  const auto plg = luby_glauber_transition(m, ss);
+  EXPECT_LT(feasible_escape_mass(plg, mu), kTol);
+  EXPECT_GT(min_feasible_self_loop(plg, mu), 0.0);
+  const auto plm = local_metropolis_transition(m, ss);
+  EXPECT_LT(feasible_escape_mass(plm, mu), kTol);
+  EXPECT_GT(min_feasible_self_loop(plm, mu), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, StationaritySuite,
+                         ::testing::ValuesIn(model_cases()),
+                         [](const auto& info) { return info.param.name; });
+
+// The paper remarks that the third filter rule "looks redundant" but is
+// required for reversibility.  Dropping it must break stationarity.
+TEST(ThirdRuleNegativeControl, TwoRuleVariantIsNotGibbsStationary) {
+  const mrf::Mrf m = mrf::make_proper_coloring(graph::make_path(3), 3);
+  const StateSpace ss(3, 3);
+  const auto mu = gibbs_distribution(m, ss);
+
+  const auto full = local_metropolis_transition(m, ss);
+  EXPECT_LT(stationarity_error(full, mu), 1e-9);
+
+  const auto two_rule = local_metropolis_two_rule_transition(m, ss);
+  EXPECT_LT(two_rule.row_sum_error(), 1e-9);
+  EXPECT_GT(stationarity_error(two_rule, mu), 1e-3);
+  EXPECT_GT(detailed_balance_error(two_rule, mu), 1e-4);
+}
+
+TEST(ThirdRuleNegativeControl, AlsoBrokenForIndependentSets) {
+  const mrf::Mrf m = mrf::make_hardcore(graph::make_path(3), 1.0);
+  const StateSpace ss(3, 2);
+  const auto mu = gibbs_distribution(m, ss);
+  const auto two_rule = local_metropolis_two_rule_transition(m, ss);
+  EXPECT_GT(stationarity_error(two_rule, mu), 1e-3);
+}
+
+}  // namespace
+}  // namespace lsample::inference

@@ -1,0 +1,139 @@
+// Tree belief propagation against brute-force enumeration, plus the
+// exponential correlation decay (property (28)) that powers Theorem 5.1.
+#include "inference/tree_bp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "inference/exact.hpp"
+#include "mrf/models.hpp"
+#include "util/summary.hpp"
+
+namespace lsample::inference {
+namespace {
+
+std::vector<double> brute_marginal(const mrf::Mrf& m, const StateSpace& ss,
+                                   int v) {
+  const auto mu = gibbs_distribution(m, ss);
+  std::vector<double> marg(static_cast<std::size_t>(m.q()), 0.0);
+  for (std::int64_t i = 0; i < ss.size(); ++i)
+    marg[static_cast<std::size_t>(ss.spin_of(i, v))] +=
+        mu[static_cast<std::size_t>(i)];
+  return marg;
+}
+
+TEST(TreeBp, MarginalsMatchEnumerationOnPath) {
+  const auto g = graph::make_path(5);
+  for (const mrf::Mrf& m :
+       {mrf::make_proper_coloring(g, 3), mrf::make_hardcore(g, 1.4),
+        mrf::make_ising(g, 0.7, 0.2)}) {
+    const StateSpace ss(m.n(), m.q());
+    const TreeBp bp(m);
+    for (int v = 0; v < m.n(); ++v) {
+      const auto exact = brute_marginal(m, ss, v);
+      const auto approx = bp.marginal(v);
+      for (int c = 0; c < m.q(); ++c)
+        EXPECT_NEAR(approx[static_cast<std::size_t>(c)],
+                    exact[static_cast<std::size_t>(c)], 1e-10);
+    }
+  }
+}
+
+TEST(TreeBp, MarginalsMatchEnumerationOnRandomTrees) {
+  util::Rng rng(13);
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto g = graph::make_random_tree(7, rng);
+    const mrf::Mrf m = mrf::make_potts(g, 3, 0.5);
+    const StateSpace ss(7, 3);
+    const TreeBp bp(m);
+    for (int v = 0; v < 7; ++v) {
+      const auto exact = brute_marginal(m, ss, v);
+      const auto approx = bp.marginal(v);
+      for (int c = 0; c < 3; ++c)
+        EXPECT_NEAR(approx[static_cast<std::size_t>(c)],
+                    exact[static_cast<std::size_t>(c)], 1e-10);
+    }
+  }
+}
+
+TEST(TreeBp, LogPartitionMatchesEnumeration) {
+  const auto g = graph::make_binary_tree(6);
+  const mrf::Mrf m = mrf::make_ising(g, 0.4, -0.2);
+  const StateSpace ss(6, 2);
+  const TreeBp bp(m);
+  EXPECT_NEAR(bp.log_partition(), std::log(partition_function(m, ss)), 1e-10);
+}
+
+TEST(TreeBp, ConditionalMarginalMatchesEnumeration) {
+  const auto g = graph::make_path(5);
+  const mrf::Mrf m = mrf::make_proper_coloring(g, 3);
+  const StateSpace ss(5, 3);
+  const auto mu = gibbs_distribution(m, ss);
+  const TreeBp bp(m);
+  // Exact conditional of vertex 4 given sigma_0 = 1.
+  std::vector<double> cond(3, 0.0);
+  double z = 0.0;
+  for (std::int64_t i = 0; i < ss.size(); ++i) {
+    if (ss.spin_of(i, 0) != 1) continue;
+    cond[static_cast<std::size_t>(ss.spin_of(i, 4))] +=
+        mu[static_cast<std::size_t>(i)];
+    z += mu[static_cast<std::size_t>(i)];
+  }
+  for (auto& c : cond) c /= z;
+  const auto approx = bp.conditional_marginal(4, 0, 1);
+  for (int c = 0; c < 3; ++c)
+    EXPECT_NEAR(approx[static_cast<std::size_t>(c)],
+                cond[static_cast<std::size_t>(c)], 1e-10);
+}
+
+TEST(TreeBp, PairJointMatchesEnumeration) {
+  const auto g = graph::make_path(6);
+  const mrf::Mrf m = mrf::make_hardcore(g, 0.9);
+  const StateSpace ss(6, 2);
+  const auto mu = gibbs_distribution(m, ss);
+  const TreeBp bp(m);
+  std::vector<double> joint(4, 0.0);
+  for (std::int64_t i = 0; i < ss.size(); ++i)
+    joint[static_cast<std::size_t>(ss.spin_of(i, 1) * 2 + ss.spin_of(i, 5))] +=
+        mu[static_cast<std::size_t>(i)];
+  const auto approx = bp.pair_joint(1, 5);
+  for (int k = 0; k < 4; ++k)
+    EXPECT_NEAR(approx[static_cast<std::size_t>(k)],
+                joint[static_cast<std::size_t>(k)], 1e-10);
+}
+
+TEST(TreeBp, RejectsNonTrees) {
+  const auto g = graph::make_cycle(4);
+  const mrf::Mrf m = mrf::make_proper_coloring(g, 3);
+  EXPECT_THROW(TreeBp{m}, std::invalid_argument);
+}
+
+// Property (28): on a path with q = 3 colors, the influence of vertex u's
+// color on vertex v's conditional marginal decays exponentially in
+// dist(u,v) — measure the decay rate and check geometric behavior.
+TEST(TreeBp, ExponentialCorrelationDecayOnPathColoring) {
+  const int n = 14;
+  const auto g = graph::make_path(n);
+  const mrf::Mrf m = mrf::make_proper_coloring(g, 3);
+  const TreeBp bp(m);
+  std::vector<double> influence;
+  for (int d = 1; d <= 8; ++d) {
+    const auto a = bp.conditional_marginal(d, 0, 0);
+    const auto b = bp.conditional_marginal(d, 0, 1);
+    influence.push_back(util::total_variation(a, b));
+  }
+  // Strictly positive at every distance (long-range correlation exists) ...
+  for (double i : influence) EXPECT_GT(i, 0.0);
+  // ... and the decay is geometric: successive ratios stabilize.
+  const double r1 = influence[5] / influence[4];
+  const double r2 = influence[6] / influence[5];
+  const double r3 = influence[7] / influence[6];
+  EXPECT_LT(r1, 1.0);
+  EXPECT_NEAR(r1, r2, 0.1);
+  EXPECT_NEAR(r2, r3, 0.1);
+}
+
+}  // namespace
+}  // namespace lsample::inference
