@@ -10,7 +10,7 @@ namespace lsample::core {
 /// 2 + sqrt(2) ≈ 3.4142: the ideal-coupling threshold of Theorem 4.2.
 [[nodiscard]] double ideal_threshold() noexcept;
 
-/// alpha* ≈ 3.6343: the positive root of alpha = 2 e^{1/alpha} + 1, the
+/// alpha* ≈ 3.6336: the positive root of alpha = 2 e^{1/alpha} + 1, the
 /// threshold of the easy local coupling (Lemma 4.4).
 [[nodiscard]] double alpha_star() noexcept;
 

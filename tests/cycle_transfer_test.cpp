@@ -40,7 +40,7 @@ TEST(CycleTransfer, PairJointMatchesEnumeration) {
   const mrf::Mrf m = mrf::make_proper_coloring(g, 3);
   const StateSpace ss(6, 3);
   const auto mu = gibbs_distribution(m, ss);
-  for (const auto [u, v] : {std::pair{0, 3}, std::pair{1, 4}, std::pair{2, 3}}) {
+  for (const auto& [u, v] : {std::pair{0, 3}, std::pair{1, 4}, std::pair{2, 3}}) {
     std::vector<double> joint(9, 0.0);
     for (std::int64_t i = 0; i < ss.size(); ++i)
       joint[static_cast<std::size_t>(ss.spin_of(i, u) * 3 +
