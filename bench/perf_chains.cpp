@@ -1,12 +1,16 @@
 // Throughput of the chains (google-benchmark): cost of one round across
-// models and sizes, plus per-vertex-update normalization.
+// models and sizes, per-vertex-update normalization, the compiled-view vs
+// seed-path marginal kernel, and rounds under the ParallelEngine.
 #include <benchmark/benchmark.h>
 
+#include "chains/engine.hpp"
 #include "chains/glauber.hpp"
 #include "chains/init.hpp"
+#include "chains/kernels.hpp"
 #include "chains/local_metropolis.hpp"
 #include "chains/luby_glauber.hpp"
 #include "graph/generators.hpp"
+#include "mrf/compiled.hpp"
 #include "mrf/models.hpp"
 
 namespace {
@@ -86,5 +90,47 @@ void BM_MarginalComputation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MarginalComputation);
+
+void BM_CompiledMarginalComputation(benchmark::State& state) {
+  Fixture f = make_coloring_fixture(32);
+  const mrf::CompiledMrf cm(f.m);
+  std::vector<double> w;
+  int v = 0;
+  for (auto _ : state) {
+    cm.marginal_weights(v, f.x, w);
+    benchmark::DoNotOptimize(w.data());
+    v = (v + 1) % f.m.n();
+  }
+}
+BENCHMARK(BM_CompiledMarginalComputation);
+
+// Parallel rounds: Arg is the engine thread count on the 64x64 torus.
+void BM_LubyGlauberRoundThreaded(benchmark::State& state) {
+  Fixture f = make_coloring_fixture(64);
+  chains::ParallelEngine engine(static_cast<int>(state.range(0)));
+  chains::LubyGlauberChain chain(f.m, 1);
+  chain.set_engine(&engine);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    chain.step(f.x, t++);
+    benchmark::DoNotOptimize(f.x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.m.n());
+}
+BENCHMARK(BM_LubyGlauberRoundThreaded)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_LocalMetropolisRoundThreaded(benchmark::State& state) {
+  Fixture f = make_coloring_fixture(64);
+  chains::ParallelEngine engine(static_cast<int>(state.range(0)));
+  chains::LocalMetropolisChain chain(f.m, 1);
+  chain.set_engine(&engine);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    chain.step(f.x, t++);
+    benchmark::DoNotOptimize(f.x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.m.n());
+}
+BENCHMARK(BM_LocalMetropolisRoundThreaded)->Arg(1)->Arg(2)->Arg(4);
 
 }  // namespace

@@ -1,0 +1,254 @@
+// Machine-readable throughput emitter + microbenchmark guard.
+//
+// Measures steps/sec for every synchronous chain at several thread counts on
+// the E1 (LubyGlauber colorings, random regular graph) and E2
+// (LocalMetropolis colorings, Delta ~ sqrt(n)) workload shapes, plus the
+// compiled-view vs. seed-path sequential comparison, and writes everything to
+// BENCH_chains.json so the perf trajectory is tracked from PR to PR.
+//
+// Exit status is the guard: nonzero iff the compiled sequential path is
+// slower than the legacy seed path (gather_neighbor_spins +
+// heat_bath_resample on Mrf's per-edge ActivityMatrix storage) beyond a
+// 10% noise allowance on either workload.
+//
+//   $ ./perf_parallel_scaling [--quick] [--out PATH]
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "chains/engine.hpp"
+#include "chains/glauber.hpp"
+#include "chains/init.hpp"
+#include "chains/kernels.hpp"
+#include "chains/local_metropolis.hpp"
+#include "chains/luby_glauber.hpp"
+#include "chains/synchronous_glauber.hpp"
+#include "graph/generators.hpp"
+#include "mrf/compiled.hpp"
+#include "mrf/models.hpp"
+
+namespace {
+
+using namespace lsample;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Runs chain steps for ~min_time seconds (at least min_steps) and returns
+/// steps/sec.  Best of `reps` repetitions to shave scheduler noise.
+double measure_steps_per_sec(chains::Chain& chain, const mrf::Config& x0,
+                             double min_time, int min_steps, int reps) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    mrf::Config x = x0;
+    std::int64_t t = 0;
+    const auto start = Clock::now();
+    double elapsed = 0.0;
+    do {
+      for (int s = 0; s < min_steps; ++s) chain.step(x, t++);
+      elapsed = seconds_since(start);
+    } while (elapsed < min_time);
+    best = std::max(best, static_cast<double>(t) / elapsed);
+  }
+  return best;
+}
+
+struct Workload {
+  std::string name;
+  mrf::Mrf m;
+  mrf::Config x0;
+};
+
+Workload make_e1(util::Rng& grng) {
+  const int n = 400, delta = 8;
+  const auto g = graph::make_random_regular(n, delta, grng);
+  mrf::Mrf m = mrf::make_proper_coloring(g, 20);
+  mrf::Config x0 = chains::greedy_feasible_config(m);
+  return {"E1_coloring_regular_n400_d8_q20", std::move(m), std::move(x0)};
+}
+
+Workload make_e2(util::Rng& grng) {
+  const int n = 900, delta = 30;
+  const auto g = graph::make_random_regular(n, delta, grng);
+  mrf::Mrf m = mrf::make_proper_coloring(g, 108);
+  mrf::Config x0 = chains::greedy_feasible_config(m);
+  return {"E2_coloring_regular_n900_d30_q108", std::move(m), std::move(x0)};
+}
+
+/// The seed execution path, preserved verbatim for comparison: a full
+/// synchronous-Glauber-style sweep on Mrf's pointer-chasing storage.
+double measure_seed_path_sweeps(const Workload& w, double min_time, int reps) {
+  const util::CounterRng rng(1);
+  std::vector<double> weights;
+  std::vector<int> nbr_spins;
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    mrf::Config x = w.x0;
+    mrf::Config next = w.x0;
+    std::int64_t t = 0;
+    const auto start = Clock::now();
+    double elapsed = 0.0;
+    do {
+      for (int v = 0; v < w.m.n(); ++v) {
+        chains::gather_neighbor_spins(w.m, v, x, nbr_spins);
+        next[static_cast<std::size_t>(v)] = chains::heat_bath_resample(
+            w.m, rng, v, t, nbr_spins, weights,
+            x[static_cast<std::size_t>(v)]);
+      }
+      std::swap(x, next);
+      ++t;
+      elapsed = seconds_since(start);
+    } while (elapsed < min_time);
+    best = std::max(best, static_cast<double>(t) / elapsed);
+  }
+  return best;
+}
+
+/// The same sweep on the compiled view (single-threaded).
+double measure_compiled_path_sweeps(const Workload& w, double min_time,
+                                    int reps) {
+  const mrf::CompiledMrf cm(w.m);
+  const util::CounterRng rng(1);
+  std::vector<double> weights;
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    mrf::Config x = w.x0;
+    mrf::Config next = w.x0;
+    std::int64_t t = 0;
+    const auto start = Clock::now();
+    double elapsed = 0.0;
+    do {
+      for (int v = 0; v < w.m.n(); ++v)
+        next[static_cast<std::size_t>(v)] =
+            chains::heat_bath_kernel(cm, rng, v, t, x, weights);
+      std::swap(x, next);
+      ++t;
+      elapsed = seconds_since(start);
+    } while (elapsed < min_time);
+    best = std::max(best, static_cast<double>(t) / elapsed);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_chains.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+      out_path = argv[++i];
+  }
+  const double min_time = quick ? 0.05 : 0.4;
+  const int reps = quick ? 2 : 3;
+
+  util::Rng grng(1);
+  std::vector<Workload> workloads;
+  workloads.push_back(make_e1(grng));
+  workloads.push_back(make_e2(grng));
+
+  std::vector<int> thread_counts{1, 2, 4};
+  const int hw = chains::ParallelEngine::hardware_threads();
+  if (hw != 1 && hw != 2 && hw != 4) thread_counts.push_back(hw);
+
+  // workload -> chain -> threads -> steps/sec
+  std::map<std::string, std::map<std::string, std::map<int, double>>> results;
+  for (const auto& w : workloads) {
+    for (int threads : thread_counts) {
+      chains::ParallelEngine engine(threads);
+      {
+        chains::SynchronousGlauberChain chain(w.m, 1);
+        chain.set_engine(&engine);
+        results[w.name]["SynchronousGlauber"][threads] =
+            measure_steps_per_sec(chain, w.x0, min_time, 4, reps);
+      }
+      {
+        chains::LubyGlauberChain chain(w.m, 1);
+        chain.set_engine(&engine);
+        results[w.name]["LubyGlauber"][threads] =
+            measure_steps_per_sec(chain, w.x0, min_time, 4, reps);
+      }
+      {
+        chains::LocalMetropolisChain chain(w.m, 1);
+        chain.set_engine(&engine);
+        results[w.name]["LocalMetropolis"][threads] =
+            measure_steps_per_sec(chain, w.x0, min_time, 4, reps);
+      }
+    }
+  }
+
+  // Seed path vs compiled path, sequential, per workload.
+  std::map<std::string, std::pair<double, double>> seed_vs_compiled;
+  for (const auto& w : workloads) {
+    const double seed_sps = measure_seed_path_sweeps(w, min_time, reps);
+    const double comp_sps = measure_compiled_path_sweeps(w, min_time, reps);
+    seed_vs_compiled[w.name] = {seed_sps, comp_sps};
+  }
+
+  std::ofstream out(out_path);
+  out.precision(6);
+  out << "{\n  \"hardware_threads\": " << hw << ",\n  \"workloads\": {\n";
+  bool first_w = true;
+  for (const auto& [wname, chains_map] : results) {
+    if (!first_w) out << ",\n";
+    first_w = false;
+    out << "    \"" << wname << "\": {\n      \"steps_per_sec\": {\n";
+    bool first_c = true;
+    for (const auto& [cname, per_threads] : chains_map) {
+      if (!first_c) out << ",\n";
+      first_c = false;
+      out << "        \"" << cname << "\": {";
+      bool first_t = true;
+      for (const auto& [threads, sps] : per_threads) {
+        if (!first_t) out << ", ";
+        first_t = false;
+        out << "\"" << threads << "\": " << sps;
+      }
+      out << "}";
+    }
+    out << "\n      },\n";
+    const auto& [seed_sps, comp_sps] = seed_vs_compiled[wname];
+    out << "      \"seed_path_sweeps_per_sec\": " << seed_sps << ",\n"
+        << "      \"compiled_path_sweeps_per_sec\": " << comp_sps << ",\n"
+        << "      \"compiled_over_seed\": " << comp_sps / seed_sps << "\n"
+        << "    }";
+  }
+  out << "\n  }\n}\n";
+  out.close();
+
+  std::cout << "wrote " << out_path << " (hardware_threads=" << hw << ")\n";
+  for (const auto& [wname, chains_map] : results) {
+    std::cout << "\n" << wname << "\n";
+    const auto& [seed_sps, comp_sps] = seed_vs_compiled[wname];
+    std::cout << "  seed path:     " << seed_sps << " sweeps/sec\n"
+              << "  compiled path: " << comp_sps << " sweeps/sec ("
+              << comp_sps / seed_sps << "x)\n";
+    for (const auto& [cname, per_threads] : chains_map) {
+      std::cout << "  " << cname << ":";
+      for (const auto& [threads, sps] : per_threads)
+        std::cout << "  " << threads << "T=" << sps << " steps/s";
+      std::cout << "\n";
+    }
+  }
+
+  // Microbenchmark guard: the compiled sequential path must not be slower
+  // than the seed path (10% noise allowance).
+  int rc = 0;
+  for (const auto& [wname, sps] : seed_vs_compiled) {
+    if (sps.second < 0.9 * sps.first) {
+      std::cerr << "GUARD FAILED: compiled path slower than seed path on "
+                << wname << " (" << sps.second << " vs " << sps.first
+                << " sweeps/sec)\n";
+      rc = 1;
+    }
+  }
+  if (rc == 0) std::cout << "\nguard ok: compiled path >= seed path\n";
+  return rc;
+}

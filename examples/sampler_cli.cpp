@@ -1,11 +1,13 @@
 // Command-line sampler: pick a graph family, a model, and an algorithm, and
 // draw a sample with statistics.  Runs a sensible demo with no arguments.
 //
-//   $ ./example_sampler_cli [graph] [n] [model] [q_or_lambda] [alg] [seed]
-//     graph: cycle | grid | torus | regular4 | regular6
-//     model: coloring | listcoloring | hardcore | ising
-//     alg:   lm | lg
-//   e.g. ./example_sampler_cli torus 16 coloring 14 lm 7
+//   $ ./example_sampler_cli [graph] [n] [model] [q_or_lambda] [alg] [seed] [threads]
+//     graph:   cycle | grid | torus | regular4 | regular6
+//     model:   coloring | listcoloring | hardcore | ising
+//     alg:     lm | lg
+//     threads: worker threads per round (0 = all hardware threads); the
+//              sample is bit-identical at any thread count
+//   e.g. ./example_sampler_cli torus 16 coloring 14 lm 7 4
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -40,6 +42,7 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = argc > 6
                                  ? static_cast<std::uint64_t>(std::atoll(argv[6]))
                                  : 2024;
+  const int threads = argc > 7 ? std::atoi(argv[7]) : 1;
 
   util::Rng grng(seed);
   const auto g = build_graph(kind, n, grng);
@@ -49,6 +52,7 @@ int main(int argc, char** argv) {
                               : core::Algorithm::local_metropolis;
   opt.seed = seed;
   opt.epsilon = 0.01;
+  opt.num_threads = threads;
 
   core::SampleResult result;
   std::string verdict;
@@ -92,6 +96,7 @@ int main(int argc, char** argv) {
       opt.algorithm == core::Algorithm::luby_glauber ? "LubyGlauber"
                                                      : "LocalMetropolis");
   t.begin_row().cell("rounds").cell(result.rounds);
+  t.begin_row().cell("threads").cell(threads);
   t.begin_row().cell("feasible").cell(result.feasible ? "yes" : "no");
   t.begin_row().cell("constraint check").cell(verdict);
   if (result.theory_alpha >= 0.0)

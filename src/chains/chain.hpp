@@ -17,6 +17,8 @@ namespace lsample::chains {
 
 using mrf::Config;
 
+class ParallelEngine;
+
 class Chain {
  public:
   virtual ~Chain() = default;
@@ -25,6 +27,15 @@ class Chain {
   /// deterministic functions of (x, t, seed): calling step with the same
   /// arguments twice gives the same result.
   virtual void step(Config& x, std::int64_t t) = 0;
+
+  /// Attaches a ParallelEngine for the chain's rounds (nullptr restores
+  /// sequential execution).  The engine must outlive the chain or the next
+  /// set_engine call.  Chains that support parallel rounds override this;
+  /// the trajectory MUST be bit-identical with or without an engine, at any
+  /// thread count — the default ignores the engine, which is trivially
+  /// conforming (and the right behavior for inherently sequential chains
+  /// like the systematic scan).
+  virtual void set_engine(ParallelEngine* /*engine*/) {}
 
   /// Human-readable chain name for reports.
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;

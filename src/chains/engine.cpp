@@ -1,0 +1,73 @@
+#include "chains/engine.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace lsample::chains {
+
+ParallelEngine::ParallelEngine(int num_threads) : num_threads_(num_threads) {
+  LS_REQUIRE(num_threads >= 1, "engine needs at least one thread");
+  workers_.reserve(static_cast<std::size_t>(num_threads_ - 1));
+  for (int i = 1; i < num_threads_; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ParallelEngine::~ParallelEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+int ParallelEngine::hardware_threads() noexcept {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ParallelEngine::parallel_for(int n,
+                                  const std::function<void(int, int, int)>& fn) {
+  if (n <= 0) return;
+  if (num_threads_ == 1) {
+    fn(0, 0, n);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    job_n_ = n;
+    pending_ = num_threads_ - 1;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  fn(0, 0, slice_begin(n, 1, num_threads_));
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  job_ = nullptr;
+}
+
+void ParallelEngine::worker_loop(int thread) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int, int, int)>* job;
+    int n;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock,
+                     [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      job = job_;
+      n = job_n_;
+    }
+    (*job)(thread, slice_begin(n, thread, num_threads_),
+           slice_begin(n, thread + 1, num_threads_));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+}  // namespace lsample::chains

@@ -1,0 +1,80 @@
+// ParallelEngine — a persistent thread pool that partitions each round's
+// active vertex set across threads.
+//
+// Determinism contract: parallel_for(n, fn) invokes fn(thread, begin, end)
+// over a static contiguous partition of [0, n).  The engine never reorders,
+// splits dynamically, or work-steals, and the library's chains only pass
+// body functions where iteration i writes slot i from inputs fixed before
+// the call (the previous round's configuration plus counter-RNG draws keyed
+// by (i, t)).  Under that discipline the result is bit-identical to the
+// sequential loop at ANY thread count — which is exactly the "fully parallel
+// round" semantics of the paper's Algorithms 1 and 2, and what the
+// determinism tests assert.
+//
+// The pool is persistent: workers are spawned once and parked on a condition
+// variable between rounds, so a step() costs two notifications, not T thread
+// spawns.  The calling thread participates as thread 0.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lsample::chains {
+
+class ParallelEngine {
+ public:
+  /// Spawns num_threads - 1 workers (the caller is thread 0).
+  /// num_threads must be >= 1.
+  explicit ParallelEngine(int num_threads);
+  ~ParallelEngine();
+
+  ParallelEngine(const ParallelEngine&) = delete;
+  ParallelEngine& operator=(const ParallelEngine&) = delete;
+
+  [[nodiscard]] int num_threads() const noexcept { return num_threads_; }
+
+  /// Runs fn(thread, begin, end) for thread = 0..T-1 over the static
+  /// partition [floor(n*thread/T), floor(n*(thread+1)/T)); returns after all
+  /// threads finish.  With one thread (or n == 0) this is a plain call on the
+  /// caller.  Not reentrant: fn must not call parallel_for on this engine.
+  void parallel_for(int n, const std::function<void(int, int, int)>& fn);
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  [[nodiscard]] static int hardware_threads() noexcept;
+
+ private:
+  void worker_loop(int thread);
+  [[nodiscard]] static int slice_begin(int n, int thread, int threads) noexcept {
+    return static_cast<int>(static_cast<long long>(n) * thread / threads);
+  }
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int, int, int)>* job_ = nullptr;
+  int job_n_ = 0;
+  std::uint64_t generation_ = 0;
+  int pending_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Runs fn over [0, n): through the engine when one is attached, as a plain
+/// sequential call otherwise.  The single dispatch point the chains use, so
+/// "no engine" and "engine with one thread" are the same code path.
+inline void run_partitioned(ParallelEngine* engine, int n,
+                            const std::function<void(int, int, int)>& fn) {
+  if (engine != nullptr) {
+    engine->parallel_for(n, fn);
+  } else if (n > 0) {
+    fn(0, 0, n);
+  }
+}
+
+}  // namespace lsample::chains

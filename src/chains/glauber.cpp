@@ -1,5 +1,6 @@
 #include "chains/glauber.hpp"
 
+#include "chains/kernels.hpp"
 #include "util/require.hpp"
 
 namespace lsample::chains {
@@ -69,14 +70,12 @@ void gather_neighbor_spins(const mrf::Mrf& m, int v, const Config& x,
 }
 
 GlauberChain::GlauberChain(const mrf::Mrf& m, std::uint64_t seed)
-    : m_(m), rng_(seed) {}
+    : cm_(m), rng_(seed) {}
 
 void GlauberChain::step(Config& x, std::int64_t t) {
   const int v = rng_.uniform_int(util::RngDomain::global_choice, 0,
-                                 static_cast<std::uint64_t>(t), 0, m_.n());
-  gather_neighbor_spins(m_, v, x, nbr_spins_);
-  x[static_cast<std::size_t>(v)] = heat_bath_resample(
-      m_, rng_, v, t, nbr_spins_, weights_, x[static_cast<std::size_t>(v)]);
+                                 static_cast<std::uint64_t>(t), 0, cm_.n());
+  x[static_cast<std::size_t>(v)] = heat_bath_kernel(cm_, rng_, v, t, x, weights_);
 }
 
 }  // namespace lsample::chains

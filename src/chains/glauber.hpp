@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "chains/chain.hpp"
+#include "mrf/compiled.hpp"
 #include "util/rng.hpp"
 
 namespace lsample::chains {
@@ -52,10 +53,9 @@ class GlauberChain final : public Chain {
   }
 
  private:
-  const mrf::Mrf& m_;
+  mrf::CompiledMrf cm_;
   util::CounterRng rng_;
   std::vector<double> weights_;
-  std::vector<int> nbr_spins_;
 };
 
 }  // namespace lsample::chains

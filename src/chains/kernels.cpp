@@ -1,0 +1,75 @@
+#include "chains/kernels.hpp"
+
+#include "chains/glauber.hpp"
+#include "chains/local_metropolis.hpp"
+#include "util/require.hpp"
+
+namespace lsample::chains {
+
+int heat_bath_kernel(const mrf::CompiledMrf& cm, const util::CounterRng& rng,
+                     int v, std::int64_t t, const Config& x,
+                     std::vector<double>& scratch) {
+  cm.marginal_weights(v, x, scratch);
+  const int c =
+      shared_stream_sample(scratch, rng, util::RngDomain::vertex_update,
+                           static_cast<std::uint64_t>(v), t);
+  // Zero marginal: keep the current spin, as heat_bath_resample does.
+  return c >= 0 ? c : x[static_cast<std::size_t>(v)];
+}
+
+int proposal_kernel(const mrf::CompiledMrf& cm, const util::CounterRng& rng,
+                    int v, std::int64_t t) {
+  const double u = rng.u01(util::RngDomain::vertex_proposal,
+                           static_cast<std::uint64_t>(v),
+                           static_cast<std::uint64_t>(t));
+  const int c = util::categorical(cm.proposal_weights(v), u);
+  LS_ASSERT(c >= 0, "vertex activity must not be identically zero");
+  return c;
+}
+
+bool lm_accept_kernel(const mrf::CompiledMrf& cm, const util::CounterRng& rng,
+                      int v, std::int64_t t, const Config& proposal,
+                      const Config& x) {
+  const auto off = cm.csr_offsets();
+  const auto inc = cm.incident_edges_flat();
+  const int begin = off[static_cast<std::size_t>(v)];
+  const int end = off[static_cast<std::size_t>(v) + 1];
+  for (int i = begin; i < end; ++i) {
+    const int e = inc[static_cast<std::size_t>(i)];
+    const int eu = cm.edge_u(e);
+    const int ev = cm.edge_v(e);
+    const double p = cm.edge_pass_prob(e, proposal[static_cast<std::size_t>(eu)],
+                                       proposal[static_cast<std::size_t>(ev)],
+                                       x[static_cast<std::size_t>(eu)],
+                                       x[static_cast<std::size_t>(ev)]);
+    if (!(edge_coin(rng, e, t) < p)) return false;
+  }
+  return true;
+}
+
+bool lm_two_rule_accept_kernel(const mrf::CompiledMrf& cm,
+                               const util::CounterRng& /*rng*/, int v,
+                               std::int64_t /*t*/, const Config& proposal,
+                               const Config& x) {
+  // The two-rule filter is deterministic given hard-constraint activities;
+  // rng and t stay in the signature to mirror lm_accept_kernel.
+  const auto off = cm.csr_offsets();
+  const auto inc = cm.incident_edges_flat();
+  const auto nbr = cm.neighbors_flat();
+  const std::size_t q = static_cast<std::size_t>(cm.q());
+  const int sv = proposal[static_cast<std::size_t>(v)];
+  const int begin = off[static_cast<std::size_t>(v)];
+  const int end = off[static_cast<std::size_t>(v) + 1];
+  for (int i = begin; i < end; ++i) {
+    const int e = inc[static_cast<std::size_t>(i)];
+    const int u = nbr[static_cast<std::size_t>(i)];
+    const double* row = cm.table(e).data() + static_cast<std::size_t>(sv) * q;
+    if (row[static_cast<std::size_t>(
+            proposal[static_cast<std::size_t>(u)])] == 0.0 ||
+        row[static_cast<std::size_t>(x[static_cast<std::size_t>(u)])] == 0.0)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace lsample::chains

@@ -1,0 +1,58 @@
+// Per-vertex update kernels on the compiled model view.
+//
+// Each kernel is a pure function of (model, seed, vertex, t, input state):
+// it reads the previous round's configuration and counter-RNG streams and
+// returns one vertex's decision, touching no shared mutable state.  That is
+// the shape that makes the paper's "every vertex updates simultaneously"
+// semantics literal: the ParallelEngine maps a kernel over the active vertex
+// set and the result cannot depend on execution order or thread count.
+//
+// Every kernel is value-identical to the legacy gather-based helpers in
+// glauber.hpp / local_metropolis.hpp (same RNG tuples queried, same doubles
+// multiplied in the same order), so migrating a chain onto kernels preserves
+// its trajectory bit-for-bit — including against the LOCAL-model simulator,
+// whose node programs still call the legacy helpers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chains/chain.hpp"
+#include "mrf/compiled.hpp"
+#include "util/rng.hpp"
+
+namespace lsample::chains {
+
+/// Heat-bath resampling of v at time t against configuration x, reading
+/// neighbor spins through the CSR view.  Value-identical to
+/// gather_neighbor_spins + heat_bath_resample.  `scratch` holds the marginal
+/// weights; pass a per-thread buffer when running under an engine.
+[[nodiscard]] int heat_bath_kernel(const mrf::CompiledMrf& cm,
+                                   const util::CounterRng& rng, int v,
+                                   std::int64_t t, const Config& x,
+                                   std::vector<double>& scratch);
+
+/// LocalMetropolis proposal draw for v at time t; value-identical to
+/// metropolis_proposal.
+[[nodiscard]] int proposal_kernel(const mrf::CompiledMrf& cm,
+                                  const util::CounterRng& rng, int v,
+                                  std::int64_t t);
+
+/// LocalMetropolis accept decision for v: true iff every incident edge's
+/// shared-coin filter passes.  Both endpoints of an edge evaluate the same
+/// pure function of (edge id, t) and therefore see the same coin, so the
+/// per-vertex formulation equals the per-edge sweep of the sequential chain.
+[[nodiscard]] bool lm_accept_kernel(const mrf::CompiledMrf& cm,
+                                    const util::CounterRng& rng, int v,
+                                    std::int64_t t, const Config& proposal,
+                                    const Config& x);
+
+/// Accept decision for the two-rule negative control (drops the third filter
+/// rule); requires hard-constraint activities, like the chain it serves.
+[[nodiscard]] bool lm_two_rule_accept_kernel(const mrf::CompiledMrf& cm,
+                                             const util::CounterRng& rng, int v,
+                                             std::int64_t t,
+                                             const Config& proposal,
+                                             const Config& x);
+
+}  // namespace lsample::chains

@@ -1,5 +1,7 @@
 #include "chains/local_metropolis.hpp"
 
+#include "chains/engine.hpp"
+#include "chains/kernels.hpp"
 #include "util/require.hpp"
 
 namespace lsample::chains {
@@ -21,43 +23,48 @@ double edge_coin(const util::CounterRng& rng, int e, std::int64_t t) noexcept {
 
 LocalMetropolisChain::LocalMetropolisChain(const mrf::Mrf& m,
                                            std::uint64_t seed)
-    : m_(m), rng_(seed) {}
+    : cm_(m), rng_(seed), accepted_per_thread_(1) {}
+
+void LocalMetropolisChain::set_engine(ParallelEngine* engine) {
+  engine_ = engine;
+  accepted_per_thread_.resize(
+      engine_ != nullptr ? static_cast<std::size_t>(engine_->num_threads())
+                         : 1);
+}
 
 void LocalMetropolisChain::step(Config& x, std::int64_t t) {
-  const int n = m_.n();
+  const int n = cm_.n();
   proposal_.resize(static_cast<std::size_t>(n));
-  for (int v = 0; v < n; ++v)
-    proposal_[static_cast<std::size_t>(v)] =
-        metropolis_proposal(m_, rng_, v, t);
+  run_partitioned(engine_, n, [&](int /*thread*/, int begin, int end) {
+    for (int v = begin; v < end; ++v)
+      proposal_[static_cast<std::size_t>(v)] = proposal_kernel(cm_, rng_, v, t);
+  });
 
-  accept_.assign(static_cast<std::size_t>(n), 1);
-  for (int e = 0; e < m_.g().num_edges(); ++e) {
-    const graph::Edge& ed = m_.g().edge(e);
-    const int su = proposal_[static_cast<std::size_t>(ed.u)];
-    const int sv = proposal_[static_cast<std::size_t>(ed.v)];
-    const int xu = x[static_cast<std::size_t>(ed.u)];
-    const int xv = x[static_cast<std::size_t>(ed.v)];
-    const double p = m_.edge_pass_prob(e, su, sv, xu, xv);
-    // One shared coin per edge per step, as in the paper.
-    const bool pass = edge_coin(rng_, e, t) < p;
-    if (!pass) {
-      accept_[static_cast<std::size_t>(ed.u)] = 0;
-      accept_[static_cast<std::size_t>(ed.v)] = 0;
-    }
-  }
+  accept_.resize(static_cast<std::size_t>(n));
+  run_partitioned(engine_, n, [&](int /*thread*/, int begin, int end) {
+    for (int v = begin; v < end; ++v)
+      accept_[static_cast<std::size_t>(v)] =
+          lm_accept_kernel(cm_, rng_, v, t, proposal_, x) ? 1 : 0;
+  });
 
-  int accepted = 0;
-  for (int v = 0; v < n; ++v)
-    if (accept_[static_cast<std::size_t>(v)] != 0) {
-      x[static_cast<std::size_t>(v)] = proposal_[static_cast<std::size_t>(v)];
-      ++accepted;
-    }
+  for (auto& c : accepted_per_thread_) c = 0;
+  run_partitioned(engine_, n, [&](int thread, int begin, int end) {
+    long long accepted = 0;
+    for (int v = begin; v < end; ++v)
+      if (accept_[static_cast<std::size_t>(v)] != 0) {
+        x[static_cast<std::size_t>(v)] = proposal_[static_cast<std::size_t>(v)];
+        ++accepted;
+      }
+    accepted_per_thread_[static_cast<std::size_t>(thread)] = accepted;
+  });
+  long long accepted = 0;
+  for (long long c : accepted_per_thread_) accepted += c;
   last_accept_fraction_ = n > 0 ? static_cast<double>(accepted) / n : 0.0;
 }
 
 LocalMetropolisTwoRuleChain::LocalMetropolisTwoRuleChain(const mrf::Mrf& m,
                                                          std::uint64_t seed)
-    : m_(m), rng_(seed) {
+    : cm_(m), rng_(seed) {
   for (int e = 0; e < m.g().num_edges(); ++e) {
     const auto& a = m.edge_activity(e);
     for (int i = 0; i < m.q(); ++i)
@@ -67,34 +74,33 @@ LocalMetropolisTwoRuleChain::LocalMetropolisTwoRuleChain(const mrf::Mrf& m,
   }
 }
 
+void LocalMetropolisTwoRuleChain::set_engine(ParallelEngine* engine) {
+  engine_ = engine;
+}
+
 void LocalMetropolisTwoRuleChain::step(Config& x, std::int64_t t) {
-  const int n = m_.n();
+  const int n = cm_.n();
   proposal_.resize(static_cast<std::size_t>(n));
-  for (int v = 0; v < n; ++v)
-    proposal_[static_cast<std::size_t>(v)] =
-        metropolis_proposal(m_, rng_, v, t);
+  run_partitioned(engine_, n, [&](int /*thread*/, int begin, int end) {
+    for (int v = begin; v < end; ++v)
+      proposal_[static_cast<std::size_t>(v)] = proposal_kernel(cm_, rng_, v, t);
+  });
 
   // Per-vertex check with only the first two rules: v rejects iff some
   // incident edge has A(sigma_v, sigma_u) = 0 or A(sigma_v, X_u) = 0.  The
   // third rule A(sigma_u, X_v) is deliberately dropped.
-  accept_.assign(static_cast<std::size_t>(n), 1);
-  for (int v = 0; v < n; ++v) {
-    const auto inc = m_.g().incident_edges(v);
-    const auto nbr = m_.g().neighbors(v);
-    const int sv = proposal_[static_cast<std::size_t>(v)];
-    for (std::size_t i = 0; i < inc.size(); ++i) {
-      const auto& a = m_.edge_activity(inc[i]);
-      const int su = proposal_[static_cast<std::size_t>(nbr[i])];
-      const int xu = x[static_cast<std::size_t>(nbr[i])];
-      if (a.at(sv, su) == 0.0 || a.at(sv, xu) == 0.0) {
-        accept_[static_cast<std::size_t>(v)] = 0;
-        break;
-      }
-    }
-  }
-  for (int v = 0; v < n; ++v)
-    if (accept_[static_cast<std::size_t>(v)] != 0)
-      x[static_cast<std::size_t>(v)] = proposal_[static_cast<std::size_t>(v)];
+  accept_.resize(static_cast<std::size_t>(n));
+  run_partitioned(engine_, n, [&](int /*thread*/, int begin, int end) {
+    for (int v = begin; v < end; ++v)
+      accept_[static_cast<std::size_t>(v)] =
+          lm_two_rule_accept_kernel(cm_, rng_, v, t, proposal_, x) ? 1 : 0;
+  });
+
+  run_partitioned(engine_, n, [&](int /*thread*/, int begin, int end) {
+    for (int v = begin; v < end; ++v)
+      if (accept_[static_cast<std::size_t>(v)] != 0)
+        x[static_cast<std::size_t>(v)] = proposal_[static_cast<std::size_t>(v)];
+  });
 }
 
 }  // namespace lsample::chains

@@ -11,13 +11,20 @@
 // tau(eps) = O(log(n/eps)) independent of Delta.
 //
 // The shared edge coin is realized as a counter-RNG stream keyed by the edge
-// id: both endpoints (in the LOCAL simulator) evaluate the same pure function
-// and therefore see the same coin, exactly as the paper stipulates.
+// id: both endpoints (in the LOCAL simulator, and each thread of the
+// ParallelEngine) evaluate the same pure function and therefore see the same
+// coin, exactly as the paper stipulates.  Each of the step's three phases
+// (propose, filter, adopt) is a pure map over vertices, so an attached
+// engine partitions them across threads with a bit-identical trajectory; the
+// filter phase recomputes an edge's coin at both endpoints instead of
+// sharing a flag, trading two cheap hashes for the absence of any
+// cross-thread write.
 #pragma once
 
 #include <vector>
 
 #include "chains/chain.hpp"
+#include "mrf/compiled.hpp"
 #include "util/rng.hpp"
 
 namespace lsample::chains {
@@ -37,11 +44,12 @@ class LocalMetropolisChain final : public Chain {
   LocalMetropolisChain(const mrf::Mrf& m, std::uint64_t seed);
 
   void step(Config& x, std::int64_t t) override;
+  void set_engine(ParallelEngine* engine) override;
   [[nodiscard]] std::string_view name() const noexcept override {
     return "LocalMetropolis";
   }
   [[nodiscard]] double updates_per_step() const noexcept override {
-    return static_cast<double>(m_.n());
+    return static_cast<double>(cm_.n());
   }
 
   /// Fraction of vertices that accepted their proposal in the last step.
@@ -50,10 +58,12 @@ class LocalMetropolisChain final : public Chain {
   }
 
  private:
-  const mrf::Mrf& m_;
+  mrf::CompiledMrf cm_;
   util::CounterRng rng_;
-  std::vector<int> proposal_;
+  ParallelEngine* engine_ = nullptr;
+  Config proposal_;
   std::vector<char> accept_;
+  std::vector<long long> accepted_per_thread_;
   double last_accept_fraction_ = 0.0;
 };
 
@@ -68,17 +78,19 @@ class LocalMetropolisTwoRuleChain final : public Chain {
   LocalMetropolisTwoRuleChain(const mrf::Mrf& m, std::uint64_t seed);
 
   void step(Config& x, std::int64_t t) override;
+  void set_engine(ParallelEngine* engine) override;
   [[nodiscard]] std::string_view name() const noexcept override {
     return "LocalMetropolis-noRule3";
   }
   [[nodiscard]] double updates_per_step() const noexcept override {
-    return static_cast<double>(m_.n());
+    return static_cast<double>(cm_.n());
   }
 
  private:
-  const mrf::Mrf& m_;
+  mrf::CompiledMrf cm_;
   util::CounterRng rng_;
-  std::vector<int> proposal_;
+  ParallelEngine* engine_ = nullptr;
+  Config proposal_;
   std::vector<char> accept_;
 };
 

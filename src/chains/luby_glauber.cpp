@@ -1,6 +1,7 @@
 #include "chains/luby_glauber.hpp"
 
-#include "chains/glauber.hpp"
+#include "chains/engine.hpp"
+#include "chains/kernels.hpp"
 #include "util/require.hpp"
 
 namespace lsample::chains {
@@ -12,26 +13,36 @@ LubyGlauberChain::LubyGlauberChain(const mrf::Mrf& m, std::uint64_t seed)
 LubyGlauberChain::LubyGlauberChain(
     const mrf::Mrf& m, std::uint64_t seed,
     std::unique_ptr<IndependentSetScheduler> scheduler)
-    : m_(m), rng_(seed), scheduler_(std::move(scheduler)) {
+    : cm_(m), rng_(seed), scheduler_(std::move(scheduler)), scratch_(1) {
   LS_REQUIRE(scheduler_ != nullptr, "scheduler must not be null");
+}
+
+void LubyGlauberChain::set_engine(ParallelEngine* engine) {
+  engine_ = engine;
+  scheduler_->set_engine(engine);
+  scratch_.resize(engine_ != nullptr
+                      ? static_cast<std::size_t>(engine_->num_threads())
+                      : 1);
 }
 
 void LubyGlauberChain::step(Config& x, std::int64_t t) {
   scheduler_->select(t, selected_);
-  LS_ASSERT(selected_.size() == static_cast<std::size_t>(m_.n()),
+  LS_ASSERT(selected_.size() == static_cast<std::size_t>(cm_.n()),
             "scheduler produced wrong-size selection");
   // The selected set is independent, so updating in place is equivalent to
   // the parallel update: no resampled vertex reads another resampled vertex.
-  for (int v = 0; v < m_.n(); ++v) {
-    if (selected_[static_cast<std::size_t>(v)] == 0) continue;
-    gather_neighbor_spins(m_, v, x, nbr_spins_);
-    x[static_cast<std::size_t>(v)] = heat_bath_resample(
-        m_, rng_, v, t, nbr_spins_, weights_, x[static_cast<std::size_t>(v)]);
-  }
+  run_partitioned(engine_, cm_.n(), [&](int thread, int begin, int end) {
+    auto& scratch = scratch_[static_cast<std::size_t>(thread)];
+    for (int v = begin; v < end; ++v) {
+      if (selected_[static_cast<std::size_t>(v)] == 0) continue;
+      x[static_cast<std::size_t>(v)] =
+          heat_bath_kernel(cm_, rng_, v, t, x, scratch);
+    }
+  });
 }
 
 double LubyGlauberChain::updates_per_step() const noexcept {
-  return scheduler_->gamma_lower_bound() * m_.n();
+  return scheduler_->gamma_lower_bound() * cm_.n();
 }
 
 }  // namespace lsample::chains

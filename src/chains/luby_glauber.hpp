@@ -10,6 +10,12 @@
 // condition alpha < 1.  With a generalized scheduler of selection probability
 // gamma the rate is O(1/((1-alpha) gamma) * log(n/eps)) (Remark after
 // Thm 3.2) — pass any IndependentSetScheduler to explore this.
+//
+// With a ParallelEngine attached, both the scheduler's selection and the
+// resampling of I are partitioned across threads.  The in-place parallel
+// resample is exactly the paper's parallel round: I is independent, so no
+// updated vertex reads another updated vertex, and each new spin is a pure
+// function of (previous state, v, t) — bit-identical at any thread count.
 #pragma once
 
 #include <memory>
@@ -17,6 +23,7 @@
 
 #include "chains/chain.hpp"
 #include "chains/schedulers.hpp"
+#include "mrf/compiled.hpp"
 #include "util/rng.hpp"
 
 namespace lsample::chains {
@@ -31,6 +38,7 @@ class LubyGlauberChain final : public Chain {
                    std::unique_ptr<IndependentSetScheduler> scheduler);
 
   void step(Config& x, std::int64_t t) override;
+  void set_engine(ParallelEngine* engine) override;
   [[nodiscard]] std::string_view name() const noexcept override {
     return "LubyGlauber";
   }
@@ -46,12 +54,12 @@ class LubyGlauberChain final : public Chain {
   }
 
  private:
-  const mrf::Mrf& m_;
+  mrf::CompiledMrf cm_;
   util::CounterRng rng_;
   std::unique_ptr<IndependentSetScheduler> scheduler_;
+  ParallelEngine* engine_ = nullptr;
   std::vector<char> selected_;
-  std::vector<double> weights_;
-  std::vector<int> nbr_spins_;
+  std::vector<std::vector<double>> scratch_;  // marginal weights, per thread
 };
 
 }  // namespace lsample::chains

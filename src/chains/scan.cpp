@@ -1,18 +1,16 @@
 #include "chains/scan.hpp"
 
-#include "chains/glauber.hpp"
+#include "chains/kernels.hpp"
 
 namespace lsample::chains {
 
 SystematicScanChain::SystematicScanChain(const mrf::Mrf& m, std::uint64_t seed)
-    : m_(m), rng_(seed) {}
+    : cm_(m), rng_(seed) {}
 
 void SystematicScanChain::step(Config& x, std::int64_t t) {
-  for (int v = 0; v < m_.n(); ++v) {
-    gather_neighbor_spins(m_, v, x, nbr_spins_);
-    x[static_cast<std::size_t>(v)] = heat_bath_resample(
-        m_, rng_, v, t, nbr_spins_, weights_, x[static_cast<std::size_t>(v)]);
-  }
+  for (int v = 0; v < cm_.n(); ++v)
+    x[static_cast<std::size_t>(v)] =
+        heat_bath_kernel(cm_, rng_, v, t, x, weights_);
 }
 
 }  // namespace lsample::chains

@@ -3,11 +3,18 @@
 // as the ancestor of chromatic-scheduler parallelization; we include it as a
 // sequential baseline.  A scan sweep is stationary for the Gibbs distribution
 // but not reversible — the exact tests check stationarity only.
+//
+// The sweep runs on the same per-vertex heat-bath kernel as the parallel
+// chains but is inherently sequential: vertex v's update reads the updates of
+// all u < v from the same sweep.  set_engine is therefore a deliberate no-op
+// (the Chain default) — partitioning a scan would change the trajectory, not
+// just the schedule.
 #pragma once
 
 #include <vector>
 
 #include "chains/chain.hpp"
+#include "mrf/compiled.hpp"
 #include "util/rng.hpp"
 
 namespace lsample::chains {
@@ -21,14 +28,13 @@ class SystematicScanChain final : public Chain {
     return "SystematicScan";
   }
   [[nodiscard]] double updates_per_step() const noexcept override {
-    return static_cast<double>(m_.n());
+    return static_cast<double>(cm_.n());
   }
 
  private:
-  const mrf::Mrf& m_;
+  mrf::CompiledMrf cm_;
   util::CounterRng rng_;
   std::vector<double> weights_;
-  std::vector<int> nbr_spins_;
 };
 
 }  // namespace lsample::chains

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "chains/engine.hpp"
 #include "graph/properties.hpp"
 #include "util/require.hpp"
 
@@ -16,28 +17,33 @@ double luby_priority(const util::CounterRng& rng, int v,
 LubyScheduler::LubyScheduler(graph::GraphPtr g, std::uint64_t seed)
     : g_(std::move(g)), rng_(seed) {
   LS_REQUIRE(g_ != nullptr, "graph must not be null");
+  g_->finalize();
 }
 
 void LubyScheduler::select(std::int64_t t, std::vector<char>& selected) {
   const int n = g_->num_vertices();
   priorities_.resize(static_cast<std::size_t>(n));
-  for (int v = 0; v < n; ++v)
-    priorities_[static_cast<std::size_t>(v)] = luby_priority(rng_, v, t);
-  selected.assign(static_cast<std::size_t>(n), 0);
-  for (int v = 0; v < n; ++v) {
-    bool is_max = true;
-    for (int u : g_->neighbors(v)) {
-      // Lexicographic (priority, id) tie-break keeps the selected set a true
-      // independent set even in the measure-zero event of equal priorities.
-      const double pu = priorities_[static_cast<std::size_t>(u)];
-      const double pv = priorities_[static_cast<std::size_t>(v)];
-      if (pu > pv || (pu == pv && u > v)) {
-        is_max = false;
-        break;
+  run_partitioned(engine_, n, [&](int /*thread*/, int begin, int end) {
+    for (int v = begin; v < end; ++v)
+      priorities_[static_cast<std::size_t>(v)] = luby_priority(rng_, v, t);
+  });
+  selected.resize(static_cast<std::size_t>(n));
+  run_partitioned(engine_, n, [&](int /*thread*/, int begin, int end) {
+    for (int v = begin; v < end; ++v) {
+      bool is_max = true;
+      for (int u : g_->neighbors(v)) {
+        // Lexicographic (priority, id) tie-break keeps the selected set a true
+        // independent set even in the measure-zero event of equal priorities.
+        const double pu = priorities_[static_cast<std::size_t>(u)];
+        const double pv = priorities_[static_cast<std::size_t>(v)];
+        if (pu > pv || (pu == pv && u > v)) {
+          is_max = false;
+          break;
+        }
       }
+      selected[static_cast<std::size_t>(v)] = is_max ? 1 : 0;
     }
-    if (is_max) selected[static_cast<std::size_t>(v)] = 1;
-  }
+  });
 }
 
 double LubyScheduler::gamma_lower_bound() const noexcept {
@@ -50,29 +56,37 @@ SlackLubyScheduler::SlackLubyScheduler(graph::GraphPtr g,
     : g_(std::move(g)), p_(activation_prob), rng_(seed) {
   LS_REQUIRE(g_ != nullptr, "graph must not be null");
   LS_REQUIRE(p_ > 0.0 && p_ <= 1.0, "activation probability in (0,1]");
+  g_->finalize();
 }
 
 void SlackLubyScheduler::select(std::int64_t t, std::vector<char>& selected) {
   const int n = g_->num_vertices();
   activated_.resize(static_cast<std::size_t>(n));
-  for (int v = 0; v < n; ++v)
-    activated_[static_cast<std::size_t>(v)] =
-        rng_.u01(util::RngDomain::luby_priority,
-                 static_cast<std::uint64_t>(v),
-                 static_cast<std::uint64_t>(t)) < p_
-            ? 1
-            : 0;
-  selected.assign(static_cast<std::size_t>(n), 0);
-  for (int v = 0; v < n; ++v) {
-    if (activated_[static_cast<std::size_t>(v)] == 0) continue;
-    bool lonely = true;
-    for (int u : g_->neighbors(v))
-      if (activated_[static_cast<std::size_t>(u)] != 0) {
-        lonely = false;
-        break;
+  run_partitioned(engine_, n, [&](int /*thread*/, int begin, int end) {
+    for (int v = begin; v < end; ++v)
+      activated_[static_cast<std::size_t>(v)] =
+          rng_.u01(util::RngDomain::luby_priority,
+                   static_cast<std::uint64_t>(v),
+                   static_cast<std::uint64_t>(t)) < p_
+              ? 1
+              : 0;
+  });
+  selected.resize(static_cast<std::size_t>(n));
+  run_partitioned(engine_, n, [&](int /*thread*/, int begin, int end) {
+    for (int v = begin; v < end; ++v) {
+      if (activated_[static_cast<std::size_t>(v)] == 0) {
+        selected[static_cast<std::size_t>(v)] = 0;
+        continue;
       }
-    if (lonely) selected[static_cast<std::size_t>(v)] = 1;
-  }
+      bool lonely = true;
+      for (int u : g_->neighbors(v))
+        if (activated_[static_cast<std::size_t>(u)] != 0) {
+          lonely = false;
+          break;
+        }
+      selected[static_cast<std::size_t>(v)] = lonely ? 1 : 0;
+    }
+  });
 }
 
 double SlackLubyScheduler::gamma_lower_bound() const noexcept {
@@ -82,6 +96,7 @@ double SlackLubyScheduler::gamma_lower_bound() const noexcept {
 ChromaticScheduler::ChromaticScheduler(graph::GraphPtr g, std::uint64_t seed)
     : g_(std::move(g)), rng_(seed) {
   LS_REQUIRE(g_ != nullptr, "graph must not be null");
+  g_->finalize();
   class_of_ = graph::greedy_coloring(*g_);
   num_classes_ = graph::count_distinct(class_of_);
 }
@@ -91,10 +106,12 @@ void ChromaticScheduler::select(std::int64_t t, std::vector<char>& selected) {
   const int cls = rng_.uniform_int(util::RngDomain::global_choice, 0,
                                    static_cast<std::uint64_t>(t), 0,
                                    num_classes_);
-  selected.assign(static_cast<std::size_t>(n), 0);
-  for (int v = 0; v < n; ++v)
-    if (class_of_[static_cast<std::size_t>(v)] == cls)
-      selected[static_cast<std::size_t>(v)] = 1;
+  selected.resize(static_cast<std::size_t>(n));
+  run_partitioned(engine_, n, [&](int /*thread*/, int begin, int end) {
+    for (int v = begin; v < end; ++v)
+      selected[static_cast<std::size_t>(v)] =
+          class_of_[static_cast<std::size_t>(v)] == cls ? 1 : 0;
+  });
 }
 
 double ChromaticScheduler::gamma_lower_bound() const noexcept {

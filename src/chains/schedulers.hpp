@@ -22,18 +22,29 @@
 
 namespace lsample::chains {
 
+class ParallelEngine;
+
 class IndependentSetScheduler {
  public:
   virtual ~IndependentSetScheduler() = default;
 
   /// Fills `selected` (size n) with 1 for vertices in this step's independent
-  /// set.  Must be a deterministic function of (seed, t).
+  /// set.  Must be a deterministic function of (seed, t) — including under an
+  /// attached engine, at any thread count.
   virtual void select(std::int64_t t, std::vector<char>& selected) = 0;
+
+  /// Attaches a ParallelEngine for selection (nullptr = sequential).  All
+  /// schedulers here compute per-vertex pure functions of (seed, t), so the
+  /// parallel selection is bit-identical to the sequential one.
+  virtual void set_engine(ParallelEngine* engine) { engine_ = engine; }
 
   /// Lower bound gamma on Pr[v in I] (for round-budget formulas).
   [[nodiscard]] virtual double gamma_lower_bound() const noexcept = 0;
 
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+ protected:
+  ParallelEngine* engine_ = nullptr;
 };
 
 /// The Luby step, exposed so the LOCAL node program can reuse it verbatim.

@@ -1,21 +1,32 @@
 #include "chains/synchronous_glauber.hpp"
 
-#include "chains/glauber.hpp"
+#include <utility>
+
+#include "chains/engine.hpp"
+#include "chains/kernels.hpp"
 
 namespace lsample::chains {
 
 SynchronousGlauberChain::SynchronousGlauberChain(const mrf::Mrf& m,
                                                  std::uint64_t seed)
-    : m_(m), rng_(seed) {}
+    : cm_(m), rng_(seed), scratch_(1) {}
+
+void SynchronousGlauberChain::set_engine(ParallelEngine* engine) {
+  engine_ = engine;
+  scratch_.resize(engine_ != nullptr
+                      ? static_cast<std::size_t>(engine_->num_threads())
+                      : 1);
+}
 
 void SynchronousGlauberChain::step(Config& x, std::int64_t t) {
-  next_ = x;
-  for (int v = 0; v < m_.n(); ++v) {
-    gather_neighbor_spins(m_, v, x, nbr_spins_);
-    next_[static_cast<std::size_t>(v)] = heat_bath_resample(
-        m_, rng_, v, t, nbr_spins_, weights_, x[static_cast<std::size_t>(v)]);
-  }
-  x = next_;
+  next_.resize(x.size());
+  run_partitioned(engine_, cm_.n(), [&](int thread, int begin, int end) {
+    auto& scratch = scratch_[static_cast<std::size_t>(thread)];
+    for (int v = begin; v < end; ++v)
+      next_[static_cast<std::size_t>(v)] =
+          heat_bath_kernel(cm_, rng_, v, t, x, scratch);
+  });
+  std::swap(x, next_);
 }
 
 }  // namespace lsample::chains

@@ -10,11 +10,15 @@
 // away from zero on the same models where LubyGlauber is exact — and as the
 // synchronous baseline discussed in the related-work comparison (Hogwild!
 // samplers, De Sa et al.).
+//
+// The round is a pure map over vertices (double-buffered), so an attached
+// ParallelEngine partitions it across threads with a bit-identical result.
 #pragma once
 
 #include <vector>
 
 #include "chains/chain.hpp"
+#include "mrf/compiled.hpp"
 #include "util/rng.hpp"
 
 namespace lsample::chains {
@@ -24,19 +28,20 @@ class SynchronousGlauberChain final : public Chain {
   SynchronousGlauberChain(const mrf::Mrf& m, std::uint64_t seed);
 
   void step(Config& x, std::int64_t t) override;
+  void set_engine(ParallelEngine* engine) override;
   [[nodiscard]] std::string_view name() const noexcept override {
     return "SynchronousGlauber";
   }
   [[nodiscard]] double updates_per_step() const noexcept override {
-    return static_cast<double>(m_.n());
+    return static_cast<double>(cm_.n());
   }
 
  private:
-  const mrf::Mrf& m_;
+  mrf::CompiledMrf cm_;
   util::CounterRng rng_;
+  ParallelEngine* engine_ = nullptr;
   Config next_;
-  std::vector<double> weights_;
-  std::vector<int> nbr_spins_;
+  std::vector<std::vector<double>> scratch_;  // marginal weights, per thread
 };
 
 }  // namespace lsample::chains

@@ -1,6 +1,9 @@
 #include "core/sampler.hpp"
 
+#include <optional>
+
 #include "chains/chain.hpp"
+#include "chains/engine.hpp"
 #include "chains/init.hpp"
 #include "chains/local_metropolis.hpp"
 #include "chains/luby_glauber.hpp"
@@ -15,16 +18,26 @@ namespace {
 
 SampleResult run_chain(const mrf::Mrf& m, const SamplerOptions& options,
                        std::int64_t rounds, double alpha) {
+  LS_REQUIRE(options.num_threads >= 0, "num_threads must be >= 0");
   SampleResult result;
   result.rounds = rounds;
   result.theory_alpha = alpha;
   mrf::Config x = chains::greedy_feasible_config(m);
+  const int threads = options.num_threads == 0
+                          ? chains::ParallelEngine::hardware_threads()
+                          : options.num_threads;
+  std::optional<chains::ParallelEngine> engine;
+  if (threads > 1) engine.emplace(threads);
+  auto run_with = [&](chains::Chain& chain) {
+    if (engine.has_value()) chain.set_engine(&*engine);
+    chains::run(chain, x, 0, rounds);
+  };
   if (options.algorithm == Algorithm::luby_glauber) {
     chains::LubyGlauberChain chain(m, options.seed);
-    chains::run(chain, x, 0, rounds);
+    run_with(chain);
   } else {
     chains::LocalMetropolisChain chain(m, options.seed);
-    chains::run(chain, x, 0, rounds);
+    run_with(chain);
   }
   result.feasible = m.feasible(x);
   result.config = std::move(x);

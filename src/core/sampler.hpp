@@ -25,6 +25,11 @@ struct SamplerOptions {
   /// Override the theory-derived round budget (useful outside guaranteed
   /// regimes; required when no theorem applies to the instance).
   std::optional<std::int64_t> rounds;
+  /// Worker threads for each round's parallel update (>= 1).  The sampled
+  /// configuration is a pure function of (model, seed, rounds) and does NOT
+  /// depend on this — any thread count yields the bit-identical sample; 0
+  /// means "use all hardware threads".
+  int num_threads = 1;
 };
 
 struct SampleResult {

@@ -8,8 +8,7 @@ namespace lsample::graph {
 
 Graph::Graph(int num_vertices) {
   LS_REQUIRE(num_vertices >= 0, "vertex count must be non-negative");
-  incident_.resize(static_cast<std::size_t>(num_vertices));
-  neighbors_.resize(static_cast<std::size_t>(num_vertices));
+  degree_.assign(static_cast<std::size_t>(num_vertices), 0);
 }
 
 void Graph::check_vertex(int v) const {
@@ -22,12 +21,38 @@ int Graph::add_edge(int u, int v) {
   LS_REQUIRE(u != v, "self-loops are not supported");
   const int e = num_edges();
   edges_.push_back(Edge{u, v});
-  incident_[static_cast<std::size_t>(u)].push_back(e);
-  incident_[static_cast<std::size_t>(v)].push_back(e);
-  neighbors_[static_cast<std::size_t>(u)].push_back(v);
-  neighbors_[static_cast<std::size_t>(v)].push_back(u);
-  max_degree_ = std::max({max_degree_, degree(u), degree(v)});
+  ++degree_[static_cast<std::size_t>(u)];
+  ++degree_[static_cast<std::size_t>(v)];
+  max_degree_ = std::max({max_degree_, degree_[static_cast<std::size_t>(u)],
+                          degree_[static_cast<std::size_t>(v)]});
+  csr_valid_ = false;
   return e;
+}
+
+void Graph::finalize() const {
+  if (csr_valid_) return;
+  const int n = num_vertices();
+  const int m = num_edges();
+  offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (int v = 0; v < n; ++v)
+    offsets_[static_cast<std::size_t>(v) + 1] =
+        offsets_[static_cast<std::size_t>(v)] +
+        degree_[static_cast<std::size_t>(v)];
+  inc_flat_.resize(2 * static_cast<std::size_t>(m));
+  nbr_flat_.resize(2 * static_cast<std::size_t>(m));
+  // Filling in ascending edge-id order, endpoint u before v, reproduces the
+  // per-vertex insertion order the incremental adjacency lists had.
+  std::vector<int> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (int e = 0; e < m; ++e) {
+    const Edge& ed = edges_[static_cast<std::size_t>(e)];
+    const int cu = cursor[static_cast<std::size_t>(ed.u)]++;
+    inc_flat_[static_cast<std::size_t>(cu)] = e;
+    nbr_flat_[static_cast<std::size_t>(cu)] = ed.v;
+    const int cv = cursor[static_cast<std::size_t>(ed.v)]++;
+    inc_flat_[static_cast<std::size_t>(cv)] = e;
+    nbr_flat_[static_cast<std::size_t>(cv)] = ed.u;
+  }
+  csr_valid_ = true;
 }
 
 const Edge& Graph::edge(int e) const {
@@ -43,17 +68,38 @@ int Graph::other_endpoint(int e, int w) const {
 
 std::span<const int> Graph::incident_edges(int v) const {
   check_vertex(v);
-  return incident_[static_cast<std::size_t>(v)];
+  finalize();
+  return std::span<const int>(inc_flat_)
+      .subspan(static_cast<std::size_t>(offsets_[static_cast<std::size_t>(v)]),
+               static_cast<std::size_t>(degree_[static_cast<std::size_t>(v)]));
 }
 
 std::span<const int> Graph::neighbors(int v) const {
   check_vertex(v);
-  return neighbors_[static_cast<std::size_t>(v)];
+  finalize();
+  return std::span<const int>(nbr_flat_)
+      .subspan(static_cast<std::size_t>(offsets_[static_cast<std::size_t>(v)]),
+               static_cast<std::size_t>(degree_[static_cast<std::size_t>(v)]));
+}
+
+std::span<const int> Graph::csr_offsets() const {
+  finalize();
+  return offsets_;
+}
+
+std::span<const int> Graph::incident_edges_flat() const {
+  finalize();
+  return inc_flat_;
+}
+
+std::span<const int> Graph::neighbors_flat() const {
+  finalize();
+  return nbr_flat_;
 }
 
 int Graph::degree(int v) const {
   check_vertex(v);
-  return static_cast<int>(incident_[static_cast<std::size_t>(v)].size());
+  return degree_[static_cast<std::size_t>(v)];
 }
 
 int Graph::max_degree() const noexcept { return max_degree_; }
@@ -61,7 +107,7 @@ int Graph::max_degree() const noexcept { return max_degree_; }
 bool Graph::has_edge(int u, int v) const {
   check_vertex(u);
   check_vertex(v);
-  const auto& nb = neighbors_[static_cast<std::size_t>(u)];
+  const auto nb = neighbors(u);
   return std::find(nb.begin(), nb.end(), v) != nb.end();
 }
 

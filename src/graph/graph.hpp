@@ -5,6 +5,14 @@
 // LocalMetropolis filter flips an independent coin *per edge*, so parallel
 // edges are semantically distinct.  Self-loops are rejected — no model in the
 // paper uses them and they would break the Luby step.
+//
+// Storage is CSR (compressed sparse row): one contiguous edge-id array and
+// one contiguous neighbor array, indexed by a per-vertex offset table.  The
+// CSR arrays are rebuilt lazily after mutation; `incident_edges(v)` and
+// `neighbors(v)` return spans into them, index-aligned, with edges listed in
+// insertion order per vertex.  Sampling-side code (chains, the parallel
+// engine) only ever sees finalized graphs behind `GraphPtr =
+// shared_ptr<const Graph>`, so the hot path is pure contiguous reads.
 #pragma once
 
 #include <cstdint>
@@ -24,10 +32,11 @@ class Graph {
   explicit Graph(int num_vertices);
 
   /// Adds edge {u,v} (u != v) and returns its id.  Parallel edges allowed.
+  /// Invalidates the CSR arrays (and any spans into them).
   int add_edge(int u, int v);
 
   [[nodiscard]] int num_vertices() const noexcept {
-    return static_cast<int>(incident_.size());
+    return static_cast<int>(degree_.size());
   }
   [[nodiscard]] int num_edges() const noexcept {
     return static_cast<int>(edges_.size());
@@ -51,13 +60,35 @@ class Graph {
   /// True if some edge joins u and v.
   [[nodiscard]] bool has_edge(int u, int v) const;
 
+  /// Rebuilds the CSR arrays if stale.  Accessors call this lazily; call it
+  /// explicitly once before sharing a graph across threads — the lazy rebuild
+  /// mutates cached state and is not safe to race.
+  void finalize() const;
+
+  /// Per-vertex CSR offsets into incident_edges_flat()/neighbors_flat();
+  /// size num_vertices()+1.  Finalizes first.
+  [[nodiscard]] std::span<const int> csr_offsets() const;
+
+  /// All incident-edge ids, vertex-major (v's slice is
+  /// [offsets[v], offsets[v+1])).  Finalizes first.
+  [[nodiscard]] std::span<const int> incident_edges_flat() const;
+
+  /// All neighbor ids, vertex-major, index-aligned with
+  /// incident_edges_flat().  Finalizes first.
+  [[nodiscard]] std::span<const int> neighbors_flat() const;
+
  private:
   void check_vertex(int v) const;
 
   std::vector<Edge> edges_;
-  std::vector<std::vector<int>> incident_;   // vertex -> edge ids
-  std::vector<std::vector<int>> neighbors_;  // vertex -> neighbor ids
+  std::vector<int> degree_;  // vertex -> incident edge count
   int max_degree_ = 0;
+
+  // Lazily rebuilt CSR arrays; csr_valid_ flips false on add_edge.
+  mutable std::vector<int> offsets_;   // size n+1
+  mutable std::vector<int> inc_flat_;  // size 2m, edge ids
+  mutable std::vector<int> nbr_flat_;  // size 2m, neighbor ids
+  mutable bool csr_valid_ = false;
 };
 
 using GraphPtr = std::shared_ptr<const Graph>;

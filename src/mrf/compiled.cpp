@@ -1,0 +1,88 @@
+#include "mrf/compiled.hpp"
+
+#include <map>
+
+namespace lsample::mrf {
+
+CompiledMrf::CompiledMrf(const Mrf& m) : m_(&m), q_(m.q()), n_(m.n()) {
+  const graph::Graph& g = m.g();
+  g.finalize();
+  offsets_ = g.csr_offsets();
+  inc_flat_ = g.incident_edges_flat();
+  nbr_flat_ = g.neighbors_flat();
+
+  const int mm = g.num_edges();
+  edge_u_.resize(static_cast<std::size_t>(mm));
+  edge_v_.resize(static_cast<std::size_t>(mm));
+  table_of_edge_.resize(static_cast<std::size_t>(mm));
+
+  // Dedup tables on exact (bitwise-comparable) entries so two edges share a
+  // pooled block only when the kernels would read identical doubles.
+  std::map<std::vector<double>, int> pool;
+  const std::size_t stride = table_stride();
+  for (int e = 0; e < mm; ++e) {
+    const graph::Edge& ed = g.edge(e);
+    edge_u_[static_cast<std::size_t>(e)] = ed.u;
+    edge_v_[static_cast<std::size_t>(e)] = ed.v;
+
+    const ActivityMatrix& a = m.edge_activity(e);
+    std::vector<double> entries(stride);
+    for (int i = 0; i < q_; ++i)
+      for (int j = 0; j < q_; ++j)
+        entries[static_cast<std::size_t>(i) * static_cast<std::size_t>(q_) +
+                static_cast<std::size_t>(j)] = a.at(i, j);
+    auto [it, inserted] = pool.try_emplace(std::move(entries), num_tables());
+    if (inserted) {
+      tables_.insert(tables_.end(), it->first.begin(), it->first.end());
+      tables_t_.resize(tables_.size());
+      norm_tables_.resize(tables_.size());
+      const std::size_t base = static_cast<std::size_t>(it->second) * stride;
+      const double inv_max = 1.0 / a.max_entry();
+      for (int i = 0; i < q_; ++i)
+        for (int j = 0; j < q_; ++j) {
+          const std::size_t ij = static_cast<std::size_t>(i) *
+                                     static_cast<std::size_t>(q_) +
+                                 static_cast<std::size_t>(j);
+          const std::size_t ji = static_cast<std::size_t>(j) *
+                                     static_cast<std::size_t>(q_) +
+                                 static_cast<std::size_t>(i);
+          tables_t_[base + ji] = tables_[base + ij];
+          // Same expression as ActivityMatrix::normalized_at, so the pooled
+          // entry is the identical double.
+          norm_tables_[base + ij] = tables_[base + ij] * inv_max;
+        }
+    }
+    table_of_edge_[static_cast<std::size_t>(e)] = it->second;
+  }
+
+  vert_act_.resize(static_cast<std::size_t>(n_) * static_cast<std::size_t>(q_));
+  for (int v = 0; v < n_; ++v) {
+    const auto bv = m.vertex_activity(v);
+    for (int c = 0; c < q_; ++c)
+      vert_act_[static_cast<std::size_t>(v) * static_cast<std::size_t>(q_) +
+                static_cast<std::size_t>(c)] = bv[static_cast<std::size_t>(c)];
+  }
+}
+
+void CompiledMrf::marginal_weights(int v, const Config& x,
+                                   std::vector<double>& out) const {
+  const std::size_t q = static_cast<std::size_t>(q_);
+  out.resize(q);
+  const double* bv = vert_act_.data() + static_cast<std::size_t>(v) * q;
+  for (std::size_t c = 0; c < q; ++c) out[c] = bv[c];
+  const int begin = offsets_[static_cast<std::size_t>(v)];
+  const int end = offsets_[static_cast<std::size_t>(v) + 1];
+  // Edge-outer / color-inner keeps each out[c] accumulating its factors in
+  // incident-edge order — the exact product order of Mrf::marginal_weights —
+  // while every inner pass reads one contiguous transposed-table row.
+  for (int i = begin; i < end; ++i) {
+    const int e = inc_flat_[static_cast<std::size_t>(i)];
+    const int xu = x[static_cast<std::size_t>(
+        nbr_flat_[static_cast<std::size_t>(i)])];
+    const double* row = tables_t_.data() + table_offset(e) +
+                        static_cast<std::size_t>(xu) * q;
+    for (std::size_t c = 0; c < q; ++c) out[c] *= row[c];
+  }
+}
+
+}  // namespace lsample::mrf

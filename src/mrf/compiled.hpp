@@ -1,0 +1,139 @@
+// CompiledMrf — a flat, read-only execution view of an Mrf.
+//
+// The Mrf class stores one heap-allocated ActivityMatrix per edge and one
+// activity vector per vertex, which is the right shape for model *building*
+// but wrong for the sampling hot path: almost every model in the paper (and
+// every model the facade builds) shares a single activity matrix across all
+// edges, and the per-round kernels touch every edge of every updated vertex.
+//
+// Compiling an Mrf produces:
+//   * a deduplicated table pool — edges mapping to byte-identical activity
+//     matrices share one contiguous q*q block (a proper q-coloring compiles
+//     to exactly one table regardless of edge count);
+//   * for each pooled table, three layouts: raw row-major entries, a
+//     transposed copy (so the heat-bath kernel reads a contiguous row for a
+//     fixed neighbor spin), and precomputed normalized entries
+//     Ã(i,j) = A(i,j)/max A for the LocalMetropolis filter;
+//   * vertex activities packed into one n*q array;
+//   * edge endpoints packed into flat arrays, and the graph's CSR adjacency
+//     finalized.
+//
+// Every kernel here is value-identical (bit-for-bit, not just approximately)
+// to the corresponding Mrf method: the same doubles are multiplied in the
+// same order, so chains migrated onto the compiled view reproduce their
+// previous trajectories exactly — which the test suite asserts.
+//
+// The view borrows the Mrf and its graph; both must outlive it and must not
+// be mutated while the view is alive.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "mrf/mrf.hpp"
+
+namespace lsample::mrf {
+
+class CompiledMrf {
+ public:
+  /// Compiles m: dedups tables, packs activities, finalizes the graph CSR.
+  explicit CompiledMrf(const Mrf& m);
+
+  [[nodiscard]] const Mrf& mrf() const noexcept { return *m_; }
+  [[nodiscard]] const graph::Graph& g() const noexcept { return m_->g(); }
+  [[nodiscard]] int q() const noexcept { return q_; }
+  [[nodiscard]] int n() const noexcept { return n_; }
+  [[nodiscard]] int num_edges() const noexcept {
+    return static_cast<int>(edge_u_.size());
+  }
+
+  /// Number of distinct activity tables after deduplication.
+  [[nodiscard]] int num_tables() const noexcept {
+    return static_cast<int>(tables_.size() / table_stride());
+  }
+  [[nodiscard]] int table_index(int e) const noexcept {
+    return table_of_edge_[static_cast<std::size_t>(e)];
+  }
+
+  /// Raw row-major entries of edge e's table (q*q doubles, A(i,j) at i*q+j).
+  [[nodiscard]] std::span<const double> table(int e) const noexcept {
+    return {tables_.data() + table_offset(e), table_stride()};
+  }
+  /// Transposed entries of edge e's table (A(i,j) at j*q+i); row s is the
+  /// contiguous vector c -> A(c, s) the heat-bath kernel consumes.
+  [[nodiscard]] std::span<const double> table_transposed(int e) const noexcept {
+    return {tables_t_.data() + table_offset(e), table_stride()};
+  }
+  /// Normalized entries Ã(i,j) = A(i,j)/max A, row-major.
+  [[nodiscard]] std::span<const double> norm_table(int e) const noexcept {
+    return {norm_tables_.data() + table_offset(e), table_stride()};
+  }
+
+  [[nodiscard]] std::span<const double> vertex_activity(int v) const noexcept {
+    return {vert_act_.data() +
+                static_cast<std::size_t>(v) * static_cast<std::size_t>(q_),
+            static_cast<std::size_t>(q_)};
+  }
+  [[nodiscard]] std::span<const double> proposal_weights(int v) const noexcept {
+    return vertex_activity(v);
+  }
+
+  [[nodiscard]] int edge_u(int e) const noexcept {
+    return edge_u_[static_cast<std::size_t>(e)];
+  }
+  [[nodiscard]] int edge_v(int e) const noexcept {
+    return edge_v_[static_cast<std::size_t>(e)];
+  }
+
+  /// CSR adjacency (finalized at construction; safe for concurrent reads).
+  [[nodiscard]] std::span<const int> csr_offsets() const noexcept {
+    return offsets_;
+  }
+  [[nodiscard]] std::span<const int> incident_edges_flat() const noexcept {
+    return inc_flat_;
+  }
+  [[nodiscard]] std::span<const int> neighbors_flat() const noexcept {
+    return nbr_flat_;
+  }
+
+  /// Unnormalized heat-bath marginal of eq. (2), value-identical to
+  /// Mrf::marginal_weights: out[c] = b_v(c) * prod_{i} A_{e_i}(c, x_{u_i})
+  /// with factors multiplied in incident-edge order.  `out` is resized to q.
+  void marginal_weights(int v, const Config& x, std::vector<double>& out) const;
+
+  /// LocalMetropolis filter probability Ã(su,sv)·Ã(xu,sv)·Ã(su,xv),
+  /// value-identical to Mrf::edge_pass_prob.
+  [[nodiscard]] double edge_pass_prob(int e, int su, int sv, int xu,
+                                      int xv) const noexcept {
+    const double* nt = norm_tables_.data() + table_offset(e);
+    const std::size_t q = static_cast<std::size_t>(q_);
+    return nt[static_cast<std::size_t>(su) * q + static_cast<std::size_t>(sv)] *
+           nt[static_cast<std::size_t>(xu) * q + static_cast<std::size_t>(sv)] *
+           nt[static_cast<std::size_t>(su) * q + static_cast<std::size_t>(xv)];
+  }
+
+ private:
+  [[nodiscard]] std::size_t table_stride() const noexcept {
+    return static_cast<std::size_t>(q_) * static_cast<std::size_t>(q_);
+  }
+  [[nodiscard]] std::size_t table_offset(int e) const noexcept {
+    return static_cast<std::size_t>(table_of_edge_[static_cast<std::size_t>(e)]) *
+           table_stride();
+  }
+
+  const Mrf* m_;
+  int q_ = 0;
+  int n_ = 0;
+  std::vector<int> table_of_edge_;
+  std::vector<double> tables_;       // pooled, row-major
+  std::vector<double> tables_t_;     // pooled, transposed
+  std::vector<double> norm_tables_;  // pooled, row-major, / max entry
+  std::vector<double> vert_act_;     // n * q
+  std::vector<int> edge_u_;
+  std::vector<int> edge_v_;
+  std::span<const int> offsets_;
+  std::span<const int> inc_flat_;
+  std::span<const int> nbr_flat_;
+};
+
+}  // namespace lsample::mrf

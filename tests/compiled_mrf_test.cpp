@@ -1,0 +1,156 @@
+// CompiledMrf must be a *value-identical* view of Mrf: same marginal weight
+// vectors (bit-for-bit, since the sampling kernels compare doubles exactly),
+// same filter probabilities, plus actual table deduplication.  Also covers
+// the CSR accessors the view is built on.
+#include "mrf/compiled.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chains/glauber.hpp"
+#include "chains/kernels.hpp"
+#include "chains/local_metropolis.hpp"
+#include "graph/generators.hpp"
+#include "mrf/models.hpp"
+#include "util/rng.hpp"
+
+namespace lsample::mrf {
+namespace {
+
+Config random_config(const Mrf& m, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Config x(static_cast<std::size_t>(m.n()));
+  for (auto& s : x) s = rng.uniform_int(m.q());
+  return x;
+}
+
+TEST(CompiledMrf, DedupsSharedTables) {
+  const Mrf coloring =
+      make_proper_coloring(graph::make_torus(6, 6), 5);
+  const CompiledMrf cc(coloring);
+  EXPECT_EQ(cc.num_tables(), 1);  // all 72 edges share one table
+
+  // Distinct per-edge activities stay distinct.
+  auto g = graph::make_cycle(4);
+  Mrf m(g, 2);
+  for (int e = 0; e < g->num_edges(); ++e) {
+    ActivityMatrix a(2);
+    a.set(0, 0, 1.0 + e);
+    a.set(0, 1, 1.0);
+    a.set(1, 1, 1.0);
+    a.freeze();
+    m.set_edge_activity(e, a);
+  }
+  const CompiledMrf cm(m);
+  EXPECT_EQ(cm.num_tables(), g->num_edges());
+  for (int e = 0; e < g->num_edges(); ++e)
+    EXPECT_DOUBLE_EQ(cm.table(e)[0], 1.0 + e);
+}
+
+TEST(CompiledMrf, MarginalWeightsBitIdentical) {
+  util::Rng grng(3);
+  const auto g = graph::make_random_regular(30, 4, grng);
+  for (auto model :
+       {make_proper_coloring(g, 9), make_hardcore(g, 0.7), make_ising(g, 0.4)}) {
+    const CompiledMrf cm(model);
+    std::vector<double> want, got;
+    for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+      const Config x = random_config(model, seed);
+      for (int v = 0; v < model.n(); ++v) {
+        model.marginal_weights(v, x, want);
+        cm.marginal_weights(v, x, got);
+        ASSERT_EQ(want.size(), got.size());
+        for (std::size_t c = 0; c < want.size(); ++c)
+          ASSERT_EQ(want[c], got[c]) << "v=" << v << " c=" << c;  // exact
+      }
+    }
+  }
+}
+
+TEST(CompiledMrf, MarginalWeightsBitIdenticalWithAsymmetricTolerance) {
+  // ActivityMatrix accepts entries symmetric only up to 1e-12, so the
+  // compiled kernel must not substitute A(j,i) for A(i,j).
+  auto g = graph::make_path(3);
+  Mrf m(g, 2);
+  // Introduce a sub-tolerance asymmetry through the raw-entries constructor.
+  std::vector<double> entries = {0.25, 0.5, 0.5 * (1.0 + 1e-13), 1.0};
+  const ActivityMatrix asym(2, std::move(entries));
+  m.set_all_edge_activities(asym);
+  const CompiledMrf cm(m);
+  std::vector<double> want, got;
+  for (int s0 : {0, 1})
+    for (int s1 : {0, 1})
+      for (int s2 : {0, 1}) {
+        const Config x = {s0, s1, s2};
+        for (int v = 0; v < 3; ++v) {
+          m.marginal_weights(v, x, want);
+          cm.marginal_weights(v, x, got);
+          for (std::size_t c = 0; c < want.size(); ++c)
+            ASSERT_EQ(want[c], got[c]);
+        }
+      }
+}
+
+TEST(CompiledMrf, EdgePassProbBitIdentical) {
+  util::Rng grng(5);
+  const auto g = graph::make_erdos_renyi(24, 0.2, grng);
+  const Mrf m = make_proper_coloring(g, 6);
+  const CompiledMrf cm(m);
+  util::Rng rng(11);
+  for (int e = 0; e < g->num_edges(); ++e)
+    for (int rep = 0; rep < 8; ++rep) {
+      const int su = rng.uniform_int(6), sv = rng.uniform_int(6);
+      const int xu = rng.uniform_int(6), xv = rng.uniform_int(6);
+      ASSERT_EQ(m.edge_pass_prob(e, su, sv, xu, xv),
+                cm.edge_pass_prob(e, su, sv, xu, xv));
+    }
+}
+
+TEST(CompiledMrf, KernelsMatchLegacyHelpers) {
+  const auto g = graph::make_torus(5, 5);
+  const Mrf m = make_proper_coloring(g, 8);
+  const CompiledMrf cm(m);
+  const util::CounterRng rng(17);
+  std::vector<double> scratch_new;
+  std::vector<double> scratch_old;
+  std::vector<int> nbr_spins;
+  for (std::uint64_t seed : {4ull, 8ull}) {
+    const Config x = random_config(m, seed);
+    for (int v = 0; v < m.n(); ++v)
+      for (std::int64_t t = 0; t < 5; ++t) {
+        chains::gather_neighbor_spins(m, v, x, nbr_spins);
+        const int want = chains::heat_bath_resample(
+            m, rng, v, t, nbr_spins, scratch_old,
+            x[static_cast<std::size_t>(v)]);
+        const int got = chains::heat_bath_kernel(cm, rng, v, t, x, scratch_new);
+        ASSERT_EQ(want, got) << "v=" << v << " t=" << t;
+        ASSERT_EQ(chains::metropolis_proposal(m, rng, v, t),
+                  chains::proposal_kernel(cm, rng, v, t));
+      }
+  }
+}
+
+TEST(CompiledMrf, CsrMatchesSpanApi) {
+  util::Rng grng(9);
+  const auto g = graph::make_erdos_renyi(20, 0.3, grng);
+  g->finalize();
+  const auto off = g->csr_offsets();
+  const auto inc = g->incident_edges_flat();
+  const auto nbr = g->neighbors_flat();
+  ASSERT_EQ(off.size(), static_cast<std::size_t>(g->num_vertices()) + 1);
+  ASSERT_EQ(inc.size(), 2 * static_cast<std::size_t>(g->num_edges()));
+  for (int v = 0; v < g->num_vertices(); ++v) {
+    const auto inc_v = g->incident_edges(v);
+    const auto nbr_v = g->neighbors(v);
+    ASSERT_EQ(static_cast<int>(inc_v.size()), g->degree(v));
+    for (std::size_t i = 0; i < inc_v.size(); ++i) {
+      const std::size_t flat =
+          static_cast<std::size_t>(off[static_cast<std::size_t>(v)]) + i;
+      EXPECT_EQ(inc[flat], inc_v[i]);
+      EXPECT_EQ(nbr[flat], nbr_v[i]);
+      EXPECT_EQ(g->other_endpoint(inc_v[i], v), nbr_v[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lsample::mrf

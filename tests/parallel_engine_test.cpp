@@ -1,0 +1,208 @@
+// Determinism of the multi-threaded chain engine: every synchronous chain's
+// trajectory under a ParallelEngine is bit-for-bit identical to the
+// sequential trajectory, across seeds, models, and thread counts.  This is
+// the property the counter-RNG design buys (a trajectory is a pure function
+// of model, seed, t) and the contract Chain::set_engine documents.
+#include "chains/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "chains/init.hpp"
+#include "chains/local_metropolis.hpp"
+#include "chains/luby_glauber.hpp"
+#include "chains/schedulers.hpp"
+#include "chains/synchronous_glauber.hpp"
+#include "core/sampler.hpp"
+#include "graph/generators.hpp"
+#include "mrf/models.hpp"
+
+namespace lsample::chains {
+namespace {
+
+TEST(ParallelEngine, PartitionCoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 3, 4, 7}) {
+    ParallelEngine engine(threads);
+    for (int n : {0, 1, 2, 5, 17, 100}) {
+      std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+      engine.parallel_for(n, [&](int /*thread*/, int begin, int end) {
+        for (int i = begin; i < end; ++i)
+          hits[static_cast<std::size_t>(i)].fetch_add(1);
+      });
+      for (int i = 0; i < n; ++i)
+        EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1)
+            << "n=" << n << " threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(ParallelEngine, ReusableAcrossManyRounds) {
+  ParallelEngine engine(4);
+  std::vector<int> out(97, 0);
+  for (int round = 0; round < 200; ++round) {
+    engine.parallel_for(97, [&](int /*thread*/, int begin, int end) {
+      for (int i = begin; i < end; ++i) out[static_cast<std::size_t>(i)] = round;
+    });
+    for (int i = 0; i < 97; ++i) ASSERT_EQ(out[static_cast<std::size_t>(i)], round);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Chain determinism.
+// ---------------------------------------------------------------------------
+
+using ChainFactory =
+    std::function<std::unique_ptr<Chain>(const mrf::Mrf&, std::uint64_t)>;
+
+struct NamedFactory {
+  const char* label;
+  ChainFactory make;
+};
+
+std::vector<NamedFactory> synchronous_factories() {
+  return {
+      {"SynchronousGlauber",
+       [](const mrf::Mrf& m, std::uint64_t seed) -> std::unique_ptr<Chain> {
+         return std::make_unique<SynchronousGlauberChain>(m, seed);
+       }},
+      {"LubyGlauber",
+       [](const mrf::Mrf& m, std::uint64_t seed) -> std::unique_ptr<Chain> {
+         return std::make_unique<LubyGlauberChain>(m, seed);
+       }},
+      {"LubyGlauber/slack",
+       [](const mrf::Mrf& m, std::uint64_t seed) -> std::unique_ptr<Chain> {
+         return std::make_unique<LubyGlauberChain>(
+             m, seed,
+             std::make_unique<SlackLubyScheduler>(m.graph_ptr(), 0.2, seed));
+       }},
+      {"LubyGlauber/chromatic",
+       [](const mrf::Mrf& m, std::uint64_t seed) -> std::unique_ptr<Chain> {
+         return std::make_unique<LubyGlauberChain>(
+             m, seed,
+             std::make_unique<ChromaticScheduler>(m.graph_ptr(), seed));
+       }},
+      {"LocalMetropolis",
+       [](const mrf::Mrf& m, std::uint64_t seed) -> std::unique_ptr<Chain> {
+         return std::make_unique<LocalMetropolisChain>(m, seed);
+       }},
+  };
+}
+
+mrf::Config run_trajectory(Chain& chain, mrf::Config x, int steps) {
+  for (int t = 0; t < steps; ++t) chain.step(x, t);
+  return x;
+}
+
+std::vector<int> thread_counts() {
+  std::vector<int> counts{1, 2, 4};
+  const int hw = ParallelEngine::hardware_threads();
+  if (hw != 1 && hw != 2 && hw != 4) counts.push_back(hw);
+  return counts;
+}
+
+void expect_engine_matches_sequential(const mrf::Mrf& m,
+                                      const NamedFactory& factory,
+                                      std::uint64_t seed, int steps) {
+  const mrf::Config x0 = greedy_feasible_config(m);
+  auto reference_chain = factory.make(m, seed);
+  const mrf::Config reference = run_trajectory(*reference_chain, x0, steps);
+  for (int threads : thread_counts()) {
+    ParallelEngine engine(threads);
+    auto chain = factory.make(m, seed);
+    chain->set_engine(&engine);
+    const mrf::Config got = run_trajectory(*chain, x0, steps);
+    EXPECT_EQ(got, reference)
+        << factory.label << " seed=" << seed << " threads=" << threads;
+    chain->set_engine(nullptr);
+    const mrf::Config sequential_again = run_trajectory(*chain, x0, steps);
+    EXPECT_EQ(sequential_again, reference)
+        << factory.label << " after detaching the engine";
+  }
+}
+
+TEST(EngineDeterminism, ColoringTorus) {
+  const mrf::Mrf m =
+      mrf::make_proper_coloring(graph::make_torus(8, 8), 10);
+  for (const auto& factory : synchronous_factories())
+    for (std::uint64_t seed : {1ull, 42ull, 12345ull})
+      expect_engine_matches_sequential(m, factory, seed, 30);
+}
+
+TEST(EngineDeterminism, HardcoreRandomRegular) {
+  util::Rng grng(7);
+  const auto g = graph::make_random_regular(48, 4, grng);
+  const mrf::Mrf m = mrf::make_hardcore(g, 0.4);
+  for (const auto& factory : synchronous_factories())
+    for (std::uint64_t seed : {3ull, 99ull})
+      expect_engine_matches_sequential(m, factory, seed, 30);
+}
+
+TEST(EngineDeterminism, IsingWithMultigraphEdges) {
+  // Parallel edges exercise per-edge streams under the engine.
+  auto g = std::make_shared<graph::Graph>(10);
+  for (int v = 0; v < 10; ++v) {
+    g->add_edge(v, (v + 1) % 10);
+    if (v % 3 == 0) g->add_edge(v, (v + 1) % 10);  // parallel edge
+  }
+  const mrf::Mrf m = mrf::make_ising(g, 0.3);
+  for (const auto& factory : synchronous_factories())
+    for (std::uint64_t seed : {11ull, 77ull})
+      expect_engine_matches_sequential(m, factory, seed, 40);
+}
+
+TEST(EngineDeterminism, TwoRuleNegativeControl) {
+  const mrf::Mrf m = mrf::make_proper_coloring(graph::make_torus(6, 6), 9);
+  const NamedFactory factory{
+      "LocalMetropolis-noRule3",
+      [](const mrf::Mrf& mm, std::uint64_t seed) -> std::unique_ptr<Chain> {
+        return std::make_unique<LocalMetropolisTwoRuleChain>(mm, seed);
+      }};
+  for (std::uint64_t seed : {5ull, 21ull})
+    expect_engine_matches_sequential(m, factory, seed, 30);
+}
+
+TEST(EngineDeterminism, StepByStepIdenticalUnderEngine) {
+  // Stronger than final-state equality: every intermediate round matches.
+  const mrf::Mrf m = mrf::make_proper_coloring(graph::make_torus(6, 6), 10);
+  ParallelEngine engine(4);
+  LocalMetropolisChain sequential(m, 9);
+  LocalMetropolisChain parallel(m, 9);
+  parallel.set_engine(&engine);
+  mrf::Config xs = greedy_feasible_config(m);
+  mrf::Config xp = xs;
+  for (int t = 0; t < 25; ++t) {
+    sequential.step(xs, t);
+    parallel.step(xp, t);
+    ASSERT_EQ(xs, xp) << "diverged at t=" << t;
+    ASSERT_DOUBLE_EQ(sequential.last_acceptance_fraction(),
+                     parallel.last_acceptance_fraction());
+  }
+}
+
+TEST(EngineDeterminism, FacadeSampleIndependentOfThreadCount) {
+  const auto g = graph::make_torus(8, 8);
+  core::SamplerOptions opt;
+  opt.algorithm = core::Algorithm::luby_glauber;
+  opt.seed = 13;
+  opt.rounds = 50;
+  opt.num_threads = 1;
+  const auto reference = core::sample_coloring(g, 12, opt);
+  for (int threads : {2, 4, 0}) {  // 0 = all hardware threads
+    opt.num_threads = threads;
+    const auto got = core::sample_coloring(g, 12, opt);
+    EXPECT_EQ(got.config, reference.config) << "threads=" << threads;
+  }
+  opt.algorithm = core::Algorithm::local_metropolis;
+  opt.num_threads = 1;
+  const auto lm_reference = core::sample_coloring(g, 12, opt);
+  opt.num_threads = 4;
+  const auto lm_got = core::sample_coloring(g, 12, opt);
+  EXPECT_EQ(lm_got.config, lm_reference.config);
+}
+
+}  // namespace
+}  // namespace lsample::chains
