@@ -8,28 +8,37 @@
 #include "chains/init.hpp"
 #include "chains/local_metropolis.hpp"
 #include "chains/luby_glauber.hpp"
+#include "chains/replicas.hpp"
 #include "graph/generators.hpp"
+#include "mrf/compiled.hpp"
 #include "mrf/models.hpp"
 #include "util/table.hpp"
 
 namespace lsample::bench {
 
+// Both factories compile the model ONCE and share the view across every
+// trial replica (the factory is invoked concurrently from the replica pool;
+// chain construction only reads the shared view).
+
 inline chains::ChainFactory local_metropolis_factory(const mrf::Mrf& m) {
-  return [&m](std::uint64_t seed) {
+  auto cm = std::make_shared<const mrf::CompiledMrf>(m);
+  return [cm](std::uint64_t seed) {
     return std::unique_ptr<chains::Chain>(
-        new chains::LocalMetropolisChain(m, seed));
+        new chains::LocalMetropolisChain(cm, seed));
   };
 }
 
 inline chains::ChainFactory luby_glauber_factory(const mrf::Mrf& m) {
-  return [&m](std::uint64_t seed) {
+  auto cm = std::make_shared<const mrf::CompiledMrf>(m);
+  return [cm](std::uint64_t seed) {
     return std::unique_ptr<chains::Chain>(
-        new chains::LubyGlauberChain(m, seed));
+        new chains::LubyGlauberChain(cm, seed));
   };
 }
 
 /// Grand-coupling coalescence from the standard adversarial pair
-/// (all-zero vs greedy-feasible), mean rounds over `trials`.
+/// (all-zero vs greedy-feasible), trials run replica-parallel on all
+/// hardware threads (bit-identical to the sequential trial loop).
 inline chains::CoalescenceResult measure_coalescence(
     const mrf::Mrf& m, const chains::ChainFactory& factory, int trials,
     std::int64_t max_rounds, std::uint64_t seed) {
@@ -39,6 +48,7 @@ inline chains::CoalescenceResult measure_coalescence(
   opt.trials = trials;
   opt.max_rounds = max_rounds;
   opt.base_seed = seed;
+  opt.num_threads = 0;  // all hardware threads
   return chains::coalescence_time(factory, x0, y0, opt);
 }
 

@@ -3,8 +3,10 @@
 // l contributing (2/q)^{l-1}.  Lemma 4.12 bounds the resulting series by a
 // fixpoint; here we enumerate SSAWs on concrete graphs and compare the true
 // series with that bound across q/Delta ratios.
+#include <cmath>
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "graph/generators.hpp"
 #include "inference/ssaw.hpp"
 #include "util/rng.hpp"
@@ -69,6 +71,36 @@ int main_impl() {
   std::cout << "the enumerated series sits below the Lemma 4.12 fixpoint in "
                "its regime (3*Delta < q), with slack that shrinks as q/Delta "
                "decreases — the analysis is tight at the threshold.\n";
+
+  // The series is the combinatorial engine behind the coupling's contraction;
+  // here is the same regime measured pathwise.  Trials run replica-parallel
+  // (chains/replicas.hpp), and censored trials — pairs still disagreeing at
+  // the budget — are reported separately instead of being averaged in as if
+  // the budget were a coalescence time.
+  util::print_banner(std::cout,
+                     "measured LocalMetropolis coalescence across q/Delta "
+                     "(random 4-regular n=48, 8 trials)");
+  util::Table mt({"q/Delta", "q", "mean rounds (uncensored)",
+                  "p90 (uncensored)", "censored/trials"});
+  const std::int64_t budget = 4000;
+  for (double alpha : {3.2, 3.45, 3.7}) {
+    const int q = static_cast<int>(std::ceil(alpha * 4));
+    const mrf::Mrf m = mrf::make_proper_coloring(reg, q);
+    const auto res = bench::measure_coalescence(
+        m, bench::local_metropolis_factory(m), 8, budget, 41);
+    mt.begin_row()
+        .cell(alpha, 2)
+        .cell(q)
+        .cell(res.mean(), 1)
+        .cell(res.quantile(0.9), 1)
+        .cell(std::to_string(res.censored) + "/" +
+              std::to_string(res.trials()));
+  }
+  mt.print(std::cout);
+  std::cout << "coalescence shrinks as q/Delta grows, mirroring the series' "
+               "slack; a nonzero censored count means the budget of "
+            << budget << " rounds was exhausted, not that coalescence took "
+            << budget << " rounds.\n";
   return 0;
 }
 

@@ -2,14 +2,19 @@
 //
 // Measures steps/sec for every synchronous chain at several thread counts on
 // the E1 (LubyGlauber colorings, random regular graph) and E2
-// (LocalMetropolis colorings, Delta ~ sqrt(n)) workload shapes, plus the
-// compiled-view vs. seed-path sequential comparison, and writes everything to
+// (LocalMetropolis colorings, Delta ~ sqrt(n)) workload shapes, the
+// compiled-view vs. seed-path sequential comparison, and the replica layer's
+// trial-parallel throughput (R chains sharing one CompiledMrf over a
+// ReplicaRunner, per thread count), and writes everything to
 // BENCH_chains.json so the perf trajectory is tracked from PR to PR.
 //
-// Exit status is the guard: nonzero iff the compiled sequential path is
-// slower than the legacy seed path (gather_neighbor_spins +
-// heat_bath_resample on Mrf's per-edge ActivityMatrix storage) beyond a
-// 10% noise allowance on either workload.
+// Exit status is the guard: nonzero iff, beyond a noise allowance,
+//   (a) the compiled sequential path is slower than the legacy seed path
+//       (gather_neighbor_spins + heat_bath_resample on Mrf's per-edge
+//       ActivityMatrix storage) on either workload, or
+//   (b) the replica runner at one thread is slower than the plain sequential
+//       loop over the same replica batch (the layer must cost ~nothing when
+//       it cannot help).
 //
 //   $ ./perf_parallel_scaling [--quick] [--out PATH]
 #include <chrono>
@@ -17,6 +22,8 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -26,6 +33,7 @@
 #include "chains/kernels.hpp"
 #include "chains/local_metropolis.hpp"
 #include "chains/luby_glauber.hpp"
+#include "chains/replicas.hpp"
 #include "chains/synchronous_glauber.hpp"
 #include "graph/generators.hpp"
 #include "mrf/compiled.hpp"
@@ -136,6 +144,52 @@ double measure_compiled_path_sweeps(const Workload& w, double min_time,
   return best;
 }
 
+using ReplicaChainBuilder = std::function<std::unique_ptr<chains::Chain>(
+    std::shared_ptr<const mrf::CompiledMrf>, std::uint64_t)>;
+
+/// Aggregate steps/sec of a replica batch: R chains sharing one compiled
+/// view, each advancing its own trajectory.  threads == 0 measures the plain
+/// sequential loop (no runner); threads >= 1 runs trial-parallel over a
+/// ReplicaRunner.  Both orderings produce bit-identical trajectories — only
+/// throughput differs.
+double measure_replica_steps_per_sec(
+    const std::shared_ptr<const mrf::CompiledMrf>& cm, const mrf::Config& x0,
+    const ReplicaChainBuilder& build, int replicas, int threads,
+    double min_time, int steps_per_batch, int reps) {
+  double best = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    std::vector<std::unique_ptr<chains::Chain>> cs;
+    cs.reserve(static_cast<std::size_t>(replicas));
+    for (int r = 0; r < replicas; ++r)
+      cs.push_back(build(cm, chains::replica_seed(1, r)));
+    std::vector<mrf::Config> xs(static_cast<std::size_t>(replicas), x0);
+    std::vector<std::int64_t> ts(static_cast<std::size_t>(replicas), 0);
+    std::optional<chains::ReplicaRunner> runner;
+    if (threads > 0) runner.emplace(threads);
+    const auto job = [&](int r) {
+      auto& x = xs[static_cast<std::size_t>(r)];
+      std::int64_t t = ts[static_cast<std::size_t>(r)];
+      for (int s = 0; s < steps_per_batch; ++s)
+        cs[static_cast<std::size_t>(r)]->step(x, t++);
+      ts[static_cast<std::size_t>(r)] = t;
+    };
+    const auto start = Clock::now();
+    double elapsed = 0.0;
+    std::int64_t total = 0;
+    do {
+      if (runner.has_value()) {
+        runner->run(replicas, job);
+      } else {
+        for (int r = 0; r < replicas; ++r) job(r);
+      }
+      total += static_cast<std::int64_t>(replicas) * steps_per_batch;
+      elapsed = seconds_since(start);
+    } while (elapsed < min_time);
+    best = std::max(best, static_cast<double>(total) / elapsed);
+  }
+  return best;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -192,6 +246,38 @@ int main(int argc, char** argv) {
     seed_vs_compiled[w.name] = {seed_sps, comp_sps};
   }
 
+  // Replica-layer throughput: R chains sharing one compiled view, run as a
+  // plain sequential loop (key 0, the baseline the guard compares against)
+  // and trial-parallel at each thread count.
+  const int replicas = 8;
+  const std::vector<std::pair<std::string, ReplicaChainBuilder>>
+      replica_builders = {
+          {"LubyGlauber",
+           [](std::shared_ptr<const mrf::CompiledMrf> cm, std::uint64_t seed) {
+             return std::unique_ptr<chains::Chain>(
+                 new chains::LubyGlauberChain(std::move(cm), seed));
+           }},
+          {"LocalMetropolis",
+           [](std::shared_ptr<const mrf::CompiledMrf> cm, std::uint64_t seed) {
+             return std::unique_ptr<chains::Chain>(
+                 new chains::LocalMetropolisChain(std::move(cm), seed));
+           }},
+      };
+  // workload -> chain -> threads (0 = sequential loop) -> aggregate steps/sec
+  std::map<std::string, std::map<std::string, std::map<int, double>>>
+      replica_results;
+  for (const auto& w : workloads) {
+    const auto cm = std::make_shared<const mrf::CompiledMrf>(w.m);
+    for (const auto& [cname, build] : replica_builders) {
+      replica_results[w.name][cname][0] = measure_replica_steps_per_sec(
+          cm, w.x0, build, replicas, 0, min_time, 2, reps);
+      for (int threads : thread_counts)
+        replica_results[w.name][cname][threads] =
+            measure_replica_steps_per_sec(cm, w.x0, build, replicas, threads,
+                                          min_time, 2, reps);
+    }
+  }
+
   std::ofstream out(out_path);
   out.precision(6);
   out << "{\n  \"hardware_threads\": " << hw << ",\n  \"workloads\": {\n";
@@ -209,6 +295,23 @@ int main(int argc, char** argv) {
       for (const auto& [threads, sps] : per_threads) {
         if (!first_t) out << ", ";
         first_t = false;
+        out << "\"" << threads << "\": " << sps;
+      }
+      out << "}";
+    }
+    out << "\n      },\n";
+    out << "      \"replica_throughput\": {\n        \"replicas\": " << replicas
+        << ",\n";
+    bool first_r = true;
+    for (const auto& [cname, per_threads] : replica_results[wname]) {
+      if (!first_r) out << ",\n";
+      first_r = false;
+      out << "        \"" << cname << "\": {";
+      bool first_t = true;
+      for (const auto& [threads, sps] : per_threads) {
+        if (!first_t) out << ", ";
+        first_t = false;
+        // key 0 = plain sequential loop over the batch (no runner)
         out << "\"" << threads << "\": " << sps;
       }
       out << "}";
@@ -236,10 +339,21 @@ int main(int argc, char** argv) {
         std::cout << "  " << threads << "T=" << sps << " steps/s";
       std::cout << "\n";
     }
+    for (const auto& [cname, per_threads] : replica_results[wname]) {
+      std::cout << "  replicas(" << replicas << ") " << cname << ":";
+      for (const auto& [threads, sps] : per_threads)
+        std::cout << "  " << (threads == 0 ? "seq" : std::to_string(threads) + "T")
+                  << "=" << sps << " steps/s";
+      std::cout << "\n";
+    }
   }
 
-  // Microbenchmark guard: the compiled sequential path must not be slower
-  // than the seed path (10% noise allowance).
+  // Microbenchmark guards:
+  //  (a) the compiled sequential path must not be slower than the seed path
+  //      (10% noise allowance);
+  //  (b) the replica runner at one thread must not be slower than the plain
+  //      sequential loop over the same batch (15% allowance — a one-thread
+  //      runner is the caller plus one parallel_for per batch).
   int rc = 0;
   for (const auto& [wname, sps] : seed_vs_compiled) {
     if (sps.second < 0.9 * sps.first) {
@@ -249,6 +363,21 @@ int main(int argc, char** argv) {
       rc = 1;
     }
   }
-  if (rc == 0) std::cout << "\nguard ok: compiled path >= seed path\n";
+  for (const auto& [wname, per_chain] : replica_results) {
+    for (const auto& [cname, per_threads] : per_chain) {
+      const double seq = per_threads.at(0);
+      const double one_thread = per_threads.at(1);
+      if (one_thread < 0.85 * seq) {
+        std::cerr << "GUARD FAILED: replica runner (1 thread) slower than "
+                     "the sequential trial loop on "
+                  << wname << "/" << cname << " (" << one_thread << " vs "
+                  << seq << " steps/sec)\n";
+        rc = 1;
+      }
+    }
+  }
+  if (rc == 0)
+    std::cout << "\nguard ok: compiled path >= seed path, replica runner "
+                 ">= sequential trial loop\n";
   return rc;
 }

@@ -1,14 +1,37 @@
 #include "chains/coupling.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
 #include "chains/init.hpp"
+#include "chains/replicas.hpp"
 #include "util/require.hpp"
 #include "util/summary.hpp"
 
 namespace lsample::chains {
 
-double CoalescenceResult::mean() const { return util::mean(rounds); }
+double CoalescenceResult::mean() const {
+  if (rounds.empty()) return std::numeric_limits<double>::quiet_NaN();
+  return util::mean(rounds);
+}
+
+double CoalescenceResult::mean_lower_bound() const {
+  // A hand-built result with censored trials but max_rounds left at 0 would
+  // count them at 0 rounds and invert the lower-bound semantics.
+  LS_ASSERT(censored == 0 || max_rounds >= 1,
+            "censored trials require the max_rounds budget to be set");
+  const int total = trials();
+  if (total == 0) return std::numeric_limits<double>::quiet_NaN();
+  double sum = 0.0;
+  for (double r : rounds) sum += r;
+  sum += static_cast<double>(censored) * static_cast<double>(max_rounds);
+  return sum / total;
+}
 
 double CoalescenceResult::quantile(double p) const {
+  // Branch before calling util::quantile — it rejects empty samples.
+  if (rounds.empty()) return std::numeric_limits<double>::quiet_NaN();
   return util::quantile(rounds, p);
 }
 
@@ -17,10 +40,12 @@ CoalescenceResult coalescence_time(const ChainFactory& factory,
                                    const CoalescenceOptions& opt) {
   LS_REQUIRE(opt.trials >= 1, "need at least one trial");
   LS_REQUIRE(opt.max_rounds >= 1, "need a positive round budget");
-  CoalescenceResult result;
-  result.rounds.reserve(static_cast<std::size_t>(opt.trials));
-  for (int trial = 0; trial < opt.trials; ++trial) {
-    const std::uint64_t seed = opt.base_seed + static_cast<std::uint64_t>(trial);
+  std::vector<double> rounds(static_cast<std::size_t>(opt.trials), 0.0);
+  std::vector<char> censored(static_cast<std::size_t>(opt.trials), 0);
+  ReplicaRunner runner(opt.num_threads);
+  runner.run(opt.trials, [&](int trial) {
+    const std::uint64_t seed =
+        replica_seed(opt.base_seed, static_cast<std::uint64_t>(trial));
     auto cx = factory(seed);
     auto cy = factory(seed);
     Config x = x0;
@@ -31,8 +56,19 @@ CoalescenceResult coalescence_time(const ChainFactory& factory,
       cy->step(y, t);
       ++t;
     }
-    if (x != y) ++result.censored;
-    result.rounds.push_back(static_cast<double>(t));
+    censored[static_cast<std::size_t>(trial)] = x != y ? 1 : 0;
+    rounds[static_cast<std::size_t>(trial)] = static_cast<double>(t);
+  });
+  // Sequential assembly in trial order keeps the result independent of the
+  // replica partition.
+  CoalescenceResult result;
+  result.max_rounds = opt.max_rounds;
+  result.rounds.reserve(static_cast<std::size_t>(opt.trials));
+  for (int trial = 0; trial < opt.trials; ++trial) {
+    if (censored[static_cast<std::size_t>(trial)] != 0)
+      ++result.censored;
+    else
+      result.rounds.push_back(rounds[static_cast<std::size_t>(trial)]);
   }
   return result;
 }
@@ -40,21 +76,42 @@ CoalescenceResult coalescence_time(const ChainFactory& factory,
 std::vector<double> disagreement_curve(const ChainFactory& factory,
                                        const Config& x0, const Config& y0,
                                        int trials, std::int64_t rounds,
-                                       std::uint64_t base_seed) {
+                                       std::uint64_t base_seed,
+                                       int num_threads) {
   LS_REQUIRE(trials >= 1 && rounds >= 0, "invalid trial/round counts");
-  std::vector<double> curve(static_cast<std::size_t>(rounds) + 1, 0.0);
+  const std::size_t len = static_cast<std::size_t>(rounds) + 1;
   const double n = static_cast<double>(x0.size());
-  for (int trial = 0; trial < trials; ++trial) {
-    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(trial);
-    auto cx = factory(seed);
-    auto cy = factory(seed);
-    Config x = x0;
-    Config y = y0;
-    curve[0] += hamming_distance(x, y) / n;
-    for (std::int64_t t = 0; t < rounds; ++t) {
-      cx->step(x, t);
-      cy->step(y, t);
-      curve[static_cast<std::size_t>(t) + 1] += hamming_distance(x, y) / n;
+  ReplicaRunner runner(num_threads);
+  // Trials are processed in contiguous chunks through a bounded row buffer
+  // (memory stays O(chunk * rounds), not O(trials * rounds)), and every
+  // chunk is reduced into the curve sequentially in trial order.  Each row
+  // is a pure function of its trial, so the curve — including the
+  // floating-point sums — is bit-identical at any thread count and any
+  // chunk size: the summation order is always trial 0, 1, 2, ...
+  const int chunk =
+      std::max(1, std::min(trials, 8 * runner.num_threads()));
+  std::vector<double> rows(static_cast<std::size_t>(chunk) * len, 0.0);
+  std::vector<double> curve(len, 0.0);
+  for (int base = 0; base < trials; base += chunk) {
+    const int count = std::min(chunk, trials - base);
+    runner.run(count, [&](int i) {
+      const std::uint64_t seed =
+          replica_seed(base_seed, static_cast<std::uint64_t>(base + i));
+      auto cx = factory(seed);
+      auto cy = factory(seed);
+      Config x = x0;
+      Config y = y0;
+      double* row = rows.data() + static_cast<std::size_t>(i) * len;
+      row[0] = hamming_distance(x, y) / n;
+      for (std::int64_t t = 0; t < rounds; ++t) {
+        cx->step(x, t);
+        cy->step(y, t);
+        row[static_cast<std::size_t>(t) + 1] = hamming_distance(x, y) / n;
+      }
+    });
+    for (int i = 0; i < count; ++i) {
+      const double* row = rows.data() + static_cast<std::size_t>(i) * len;
+      for (std::size_t t = 0; t < len; ++t) curve[t] += row[t];
     }
   }
   for (double& c : curve) c /= trials;
@@ -64,16 +121,26 @@ std::vector<double> disagreement_curve(const ChainFactory& factory,
 std::vector<double> empirical_pmf(
     const ChainFactory& factory, const Config& x0, std::int64_t rounds,
     int runs, const std::function<int(const Config&)>& statistic,
-    int num_categories, std::uint64_t base_seed) {
+    int num_categories, std::uint64_t base_seed, int num_threads) {
   LS_REQUIRE(runs >= 1 && num_categories >= 1, "invalid run/category counts");
-  std::vector<double> pmf(static_cast<std::size_t>(num_categories), 0.0);
-  for (int r = 0; r < runs; ++r) {
-    auto chain = factory(base_seed + static_cast<std::uint64_t>(r));
+  std::vector<int> categories(static_cast<std::size_t>(runs), 0);
+  ReplicaRunner runner(num_threads);
+  runner.run(runs, [&](int r) {
+    auto chain =
+        factory(replica_seed(base_seed, static_cast<std::uint64_t>(r)));
     Config x = x0;
     for (std::int64_t t = 0; t < rounds; ++t) chain->step(x, t);
-    const int cat = statistic(x);
-    LS_ASSERT(cat >= 0 && cat < num_categories,
-              "statistic returned out-of-range category");
+    categories[static_cast<std::size_t>(r)] = statistic(x);
+  });
+  // Validate after the parallel region, in run order, with LS_REQUIRE: the
+  // statistic is caller-supplied input, and indexing with an unchecked
+  // out-of-range category would corrupt memory.  (The runner would also
+  // propagate a throw from inside a job, but which trial's error surfaces
+  // first would then depend on the partition.)
+  std::vector<double> pmf(static_cast<std::size_t>(num_categories), 0.0);
+  for (int cat : categories) {
+    LS_REQUIRE(cat >= 0 && cat < num_categories,
+               "statistic returned out-of-range category");
     pmf[static_cast<std::size_t>(cat)] += 1.0;
   }
   util::normalize(pmf);

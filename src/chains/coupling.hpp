@@ -7,6 +7,11 @@
 // time of the grand coupling upper-bounds the mixing time pathwise, and its
 // growth in (n, Delta, q) is how the benches reproduce the shapes of
 // Theorems 1.1, 1.2, 3.2 and 4.2.
+//
+// All three estimators run their independent trials over the replica layer
+// (chains/replicas.hpp): trial r is seeded by replica_seed(base_seed, r) and
+// trials are partitioned across a thread pool, with results bit-identical to
+// the sequential trial loop at any thread count.
 #pragma once
 
 #include <cstdint>
@@ -19,7 +24,9 @@
 namespace lsample::chains {
 
 /// Builds a fresh chain instance for a given seed; each coupling trial uses
-/// one seed for both replicas.
+/// one seed for both replicas.  Factories are invoked concurrently from the
+/// replica pool, so they must be safe to call from multiple threads (the
+/// library's chains are: construction only reads the shared model).
 using ChainFactory =
     std::function<std::unique_ptr<Chain>(std::uint64_t seed)>;
 
@@ -27,14 +34,35 @@ struct CoalescenceOptions {
   int trials = 20;
   std::int64_t max_rounds = 100000;
   std::uint64_t base_seed = 1;
+  /// Trial-parallel worker threads (0 = all hardware threads).  Results are
+  /// bit-identical at any value.
+  int num_threads = 1;
 };
 
 struct CoalescenceResult {
-  /// Rounds to coalescence per trial; censored trials report max_rounds.
+  /// Rounds to coalescence for the UNCENSORED trials only, in trial order.
+  /// Trials still disagreeing after max_rounds are counted in `censored`
+  /// instead of being pushed here — averaging the budget in as if it were a
+  /// coalescence time would bias every statistic downward.
   std::vector<double> rounds;
   int censored = 0;
+  std::int64_t max_rounds = 0;  ///< the per-trial round budget
 
+  [[nodiscard]] int trials() const noexcept {
+    return static_cast<int>(rounds.size()) + censored;
+  }
+
+  /// Mean over the uncensored trials (NaN if every trial was censored).
+  /// With censoring this is NOT an estimate of the true mean coalescence
+  /// time — see mean_lower_bound().
   [[nodiscard]] double mean() const;
+
+  /// Censored-aware lower bound on the true mean: censored trials counted at
+  /// max_rounds (each true coalescence time is >= the budget it exhausted).
+  [[nodiscard]] double mean_lower_bound() const;
+
+  /// p-quantile over the uncensored trials only (NaN if every trial was
+  /// censored).  Valid as stated whenever p < fraction uncensored.
   [[nodiscard]] double quantile(double p) const;
 };
 
@@ -48,14 +76,16 @@ struct CoalescenceResult {
 /// averaged over trials; curve[t] is the disagreement after t rounds.
 [[nodiscard]] std::vector<double> disagreement_curve(
     const ChainFactory& factory, const Config& x0, const Config& y0,
-    int trials, std::int64_t rounds, std::uint64_t base_seed);
+    int trials, std::int64_t rounds, std::uint64_t base_seed,
+    int num_threads = 1);
 
 /// Empirical probability mass function of a projection statistic of the
 /// chain's state after `rounds` steps, over `runs` independent runs.
-/// `statistic` must return a category in [0, num_categories).
+/// `statistic` must return a category in [0, num_categories) and be safe to
+/// call concurrently; a value out of range throws std::invalid_argument.
 [[nodiscard]] std::vector<double> empirical_pmf(
     const ChainFactory& factory, const Config& x0, std::int64_t rounds,
     int runs, const std::function<int(const Config&)>& statistic,
-    int num_categories, std::uint64_t base_seed);
+    int num_categories, std::uint64_t base_seed, int num_threads = 1);
 
 }  // namespace lsample::chains

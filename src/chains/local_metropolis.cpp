@@ -23,7 +23,15 @@ double edge_coin(const util::CounterRng& rng, int e, std::int64_t t) noexcept {
 
 LocalMetropolisChain::LocalMetropolisChain(const mrf::Mrf& m,
                                            std::uint64_t seed)
-    : cm_(m), rng_(seed), accepted_per_thread_(1) {}
+    : cm_(std::make_shared<const mrf::CompiledMrf>(m)),
+      rng_(seed),
+      accepted_per_thread_(1) {}
+
+LocalMetropolisChain::LocalMetropolisChain(
+    std::shared_ptr<const mrf::CompiledMrf> cm, std::uint64_t seed)
+    : cm_(std::move(cm)), rng_(seed), accepted_per_thread_(1) {
+  LS_REQUIRE(cm_ != nullptr, "compiled view must not be null");
+}
 
 void LocalMetropolisChain::set_engine(ParallelEngine* engine) {
   engine_ = engine;
@@ -33,18 +41,19 @@ void LocalMetropolisChain::set_engine(ParallelEngine* engine) {
 }
 
 void LocalMetropolisChain::step(Config& x, std::int64_t t) {
-  const int n = cm_.n();
+  const int n = cm_->n();
   proposal_.resize(static_cast<std::size_t>(n));
   run_partitioned(engine_, n, [&](int /*thread*/, int begin, int end) {
     for (int v = begin; v < end; ++v)
-      proposal_[static_cast<std::size_t>(v)] = proposal_kernel(cm_, rng_, v, t);
+      proposal_[static_cast<std::size_t>(v)] =
+          proposal_kernel(*cm_, rng_, v, t);
   });
 
   accept_.resize(static_cast<std::size_t>(n));
   run_partitioned(engine_, n, [&](int /*thread*/, int begin, int end) {
     for (int v = begin; v < end; ++v)
       accept_[static_cast<std::size_t>(v)] =
-          lm_accept_kernel(cm_, rng_, v, t, proposal_, x) ? 1 : 0;
+          lm_accept_kernel(*cm_, rng_, v, t, proposal_, x) ? 1 : 0;
   });
 
   for (auto& c : accepted_per_thread_) c = 0;

@@ -21,6 +21,7 @@
 // cross-thread write.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "chains/chain.hpp"
@@ -43,13 +44,19 @@ class LocalMetropolisChain final : public Chain {
  public:
   LocalMetropolisChain(const mrf::Mrf& m, std::uint64_t seed);
 
+  /// Shares a compiled view (read-only) instead of compiling its own — the
+  /// replica layer builds R chains against ONE view.  The view's Mrf and
+  /// graph must outlive the chain.
+  LocalMetropolisChain(std::shared_ptr<const mrf::CompiledMrf> cm,
+                       std::uint64_t seed);
+
   void step(Config& x, std::int64_t t) override;
   void set_engine(ParallelEngine* engine) override;
   [[nodiscard]] std::string_view name() const noexcept override {
     return "LocalMetropolis";
   }
   [[nodiscard]] double updates_per_step() const noexcept override {
-    return static_cast<double>(cm_.n());
+    return static_cast<double>(cm_->n());
   }
 
   /// Fraction of vertices that accepted their proposal in the last step.
@@ -58,7 +65,7 @@ class LocalMetropolisChain final : public Chain {
   }
 
  private:
-  mrf::CompiledMrf cm_;
+  std::shared_ptr<const mrf::CompiledMrf> cm_;
   util::CounterRng rng_;
   ParallelEngine* engine_ = nullptr;
   Config proposal_;

@@ -13,8 +13,19 @@ LubyGlauberChain::LubyGlauberChain(const mrf::Mrf& m, std::uint64_t seed)
 LubyGlauberChain::LubyGlauberChain(
     const mrf::Mrf& m, std::uint64_t seed,
     std::unique_ptr<IndependentSetScheduler> scheduler)
-    : cm_(m), rng_(seed), scheduler_(std::move(scheduler)), scratch_(1) {
+    : cm_(std::make_shared<const mrf::CompiledMrf>(m)),
+      rng_(seed),
+      scheduler_(std::move(scheduler)),
+      scratch_(1) {
   LS_REQUIRE(scheduler_ != nullptr, "scheduler must not be null");
+}
+
+LubyGlauberChain::LubyGlauberChain(std::shared_ptr<const mrf::CompiledMrf> cm,
+                                   std::uint64_t seed)
+    : cm_(std::move(cm)), rng_(seed), scratch_(1) {
+  LS_REQUIRE(cm_ != nullptr, "compiled view must not be null");
+  scheduler_ =
+      std::make_unique<LubyScheduler>(cm_->mrf().graph_ptr(), seed);
 }
 
 void LubyGlauberChain::set_engine(ParallelEngine* engine) {
@@ -27,22 +38,22 @@ void LubyGlauberChain::set_engine(ParallelEngine* engine) {
 
 void LubyGlauberChain::step(Config& x, std::int64_t t) {
   scheduler_->select(t, selected_);
-  LS_ASSERT(selected_.size() == static_cast<std::size_t>(cm_.n()),
+  LS_ASSERT(selected_.size() == static_cast<std::size_t>(cm_->n()),
             "scheduler produced wrong-size selection");
   // The selected set is independent, so updating in place is equivalent to
   // the parallel update: no resampled vertex reads another resampled vertex.
-  run_partitioned(engine_, cm_.n(), [&](int thread, int begin, int end) {
+  run_partitioned(engine_, cm_->n(), [&](int thread, int begin, int end) {
     auto& scratch = scratch_[static_cast<std::size_t>(thread)];
     for (int v = begin; v < end; ++v) {
       if (selected_[static_cast<std::size_t>(v)] == 0) continue;
       x[static_cast<std::size_t>(v)] =
-          heat_bath_kernel(cm_, rng_, v, t, x, scratch);
+          heat_bath_kernel(*cm_, rng_, v, t, x, scratch);
     }
   });
 }
 
 double LubyGlauberChain::updates_per_step() const noexcept {
-  return scheduler_->gamma_lower_bound() * cm_.n();
+  return scheduler_->gamma_lower_bound() * cm_->n();
 }
 
 }  // namespace lsample::chains

@@ -37,6 +37,12 @@ class LubyGlauberChain final : public Chain {
   LubyGlauberChain(const mrf::Mrf& m, std::uint64_t seed,
                    std::unique_ptr<IndependentSetScheduler> scheduler);
 
+  /// Shares a compiled view (read-only) instead of compiling its own — the
+  /// replica layer builds R chains against ONE view.  The view's Mrf and
+  /// graph must outlive the chain.
+  LubyGlauberChain(std::shared_ptr<const mrf::CompiledMrf> cm,
+                   std::uint64_t seed);
+
   void step(Config& x, std::int64_t t) override;
   void set_engine(ParallelEngine* engine) override;
   [[nodiscard]] std::string_view name() const noexcept override {
@@ -54,7 +60,7 @@ class LubyGlauberChain final : public Chain {
   }
 
  private:
-  mrf::CompiledMrf cm_;
+  std::shared_ptr<const mrf::CompiledMrf> cm_;
   util::CounterRng rng_;
   std::unique_ptr<IndependentSetScheduler> scheduler_;
   ParallelEngine* engine_ = nullptr;

@@ -1,0 +1,49 @@
+#include "chains/replicas.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+
+#include "util/require.hpp"
+
+namespace lsample::chains {
+
+namespace {
+
+int resolve_threads(int num_threads) {
+  LS_REQUIRE(num_threads >= 0, "num_threads must be >= 0 (0 = all hardware)");
+  return num_threads == 0 ? ParallelEngine::hardware_threads() : num_threads;
+}
+
+}  // namespace
+
+ReplicaRunner::ReplicaRunner(int num_threads)
+    : engine_(resolve_threads(num_threads)) {}
+
+void ReplicaRunner::run(int num_replicas,
+                        const std::function<void(int replica)>& job) {
+  LS_REQUIRE(num_replicas >= 0, "num_replicas must be >= 0");
+  // Exception barrier: a throw from a job must not escape a worker thread
+  // (std::terminate) or unwind the caller past the pool barrier while
+  // workers still run.  The first captured exception is rethrown on the
+  // caller after every thread finished; replicas not yet started when a
+  // failure is observed are skipped.
+  std::exception_ptr error = nullptr;
+  std::mutex error_mu;
+  std::atomic<bool> failed{false};
+  engine_.parallel_for(num_replicas, [&](int /*thread*/, int begin, int end) {
+    for (int r = begin; r < end; ++r) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      try {
+        job(r);
+      } catch (...) {
+        failed.store(true, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (error == nullptr) error = std::current_exception();
+      }
+    }
+  });
+  if (error != nullptr) std::rethrow_exception(error);
+}
+
+}  // namespace lsample::chains

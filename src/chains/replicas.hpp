@@ -1,0 +1,70 @@
+// Replica layer — trial-parallel execution of many independent chains (or
+// coupled chain pairs) over one ParallelEngine thread pool.
+//
+// The intra-chain engine (engine.hpp) parallelizes ONE round of ONE chain
+// across vertices; this layer parallelizes ACROSS chains: R replicas, each a
+// whole trajectory (or a coupled pair stepped in lockstep), partitioned
+// statically over the pool.  This is the shape every repeated-trial
+// measurement in the paper's experiments has (E1/E2 coalescence trials, the
+// E11 series, empirical stationarity checks), and also the shape of a
+// batched sampling service: many requests against one shared read-only
+// CompiledMrf.
+//
+// Determinism contract: replica r's work must be a pure function of
+// (shared read-only inputs, r) — in this library that means a chain seeded
+// by replica_seed(base_seed, r), which makes the trajectory a pure function
+// of (model, base_seed, r, x0).  Jobs write only their own result slots and
+// never touch another replica's state, so the static partition decides WHO
+// runs a replica, never WHAT it computes: results are bit-identical to the
+// sequential trial loop at any thread count and any replica-partition.
+//
+// Jobs may throw: run() catches on the worker, drains the pool, and
+// rethrows the first captured exception on the caller (replicas not yet
+// started when a failure is observed are skipped, so which replicas ran is
+// unspecified after a throw).  Jobs must not use the runner's pool
+// reentrantly — run intra-replica rounds sequentially.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "chains/engine.hpp"
+#include "util/rng.hpp"
+
+namespace lsample::chains {
+
+/// Derives the RNG seed for replica r of a trial batch from the batch's base
+/// seed, with SplitMix64 finalizer mixing on both words.  Unlike the additive
+/// `base_seed + r` scheme this replaces, nearby base seeds do not produce
+/// overlapping replica streams (`replica_seed(s, r) != replica_seed(s+1, r-1)`
+/// in general), so two measurements keyed by adjacent base seeds never share
+/// a trajectory.
+[[nodiscard]] constexpr std::uint64_t replica_seed(
+    std::uint64_t base_seed, std::uint64_t replica) noexcept {
+  // Distinct salt from CounterRng's internal seed whitening so the replica
+  // key schedule and the per-draw counter hash are independent functions.
+  return util::mix64(util::mix64(base_seed ^ 0xd1b54a32d192ed03ULL) ^ replica);
+}
+
+/// Runs R replica jobs over a persistent thread pool.
+class ReplicaRunner {
+ public:
+  /// num_threads >= 1, or 0 for all hardware threads.  With one thread the
+  /// runner degenerates to the plain sequential trial loop on the caller.
+  explicit ReplicaRunner(int num_threads = 1);
+
+  [[nodiscard]] int num_threads() const noexcept {
+    return engine_.num_threads();
+  }
+
+  /// Invokes job(r) once for every replica r in [0, num_replicas), replicas
+  /// partitioned statically over the pool (the caller participates as
+  /// thread 0).  Returns after every thread finished; if any job threw, the
+  /// first captured exception is rethrown here (see the header comment).
+  void run(int num_replicas, const std::function<void(int replica)>& job);
+
+ private:
+  ParallelEngine engine_;
+};
+
+}  // namespace lsample::chains

@@ -4,12 +4,21 @@
 
 #include "chains/engine.hpp"
 #include "chains/kernels.hpp"
+#include "util/require.hpp"
 
 namespace lsample::chains {
 
 SynchronousGlauberChain::SynchronousGlauberChain(const mrf::Mrf& m,
                                                  std::uint64_t seed)
-    : cm_(m), rng_(seed), scratch_(1) {}
+    : cm_(std::make_shared<const mrf::CompiledMrf>(m)),
+      rng_(seed),
+      scratch_(1) {}
+
+SynchronousGlauberChain::SynchronousGlauberChain(
+    std::shared_ptr<const mrf::CompiledMrf> cm, std::uint64_t seed)
+    : cm_(std::move(cm)), rng_(seed), scratch_(1) {
+  LS_REQUIRE(cm_ != nullptr, "compiled view must not be null");
+}
 
 void SynchronousGlauberChain::set_engine(ParallelEngine* engine) {
   engine_ = engine;
@@ -20,11 +29,11 @@ void SynchronousGlauberChain::set_engine(ParallelEngine* engine) {
 
 void SynchronousGlauberChain::step(Config& x, std::int64_t t) {
   next_.resize(x.size());
-  run_partitioned(engine_, cm_.n(), [&](int thread, int begin, int end) {
+  run_partitioned(engine_, cm_->n(), [&](int thread, int begin, int end) {
     auto& scratch = scratch_[static_cast<std::size_t>(thread)];
     for (int v = begin; v < end; ++v)
       next_[static_cast<std::size_t>(v)] =
-          heat_bath_kernel(cm_, rng_, v, t, x, scratch);
+          heat_bath_kernel(*cm_, rng_, v, t, x, scratch);
   });
   std::swap(x, next_);
 }

@@ -15,6 +15,7 @@
 // ParallelEngine partitions it across threads with a bit-identical result.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "chains/chain.hpp"
@@ -27,17 +28,23 @@ class SynchronousGlauberChain final : public Chain {
  public:
   SynchronousGlauberChain(const mrf::Mrf& m, std::uint64_t seed);
 
+  /// Shares a compiled view (read-only) instead of compiling its own — the
+  /// replica layer builds R chains against ONE view.  The view's Mrf and
+  /// graph must outlive the chain.
+  SynchronousGlauberChain(std::shared_ptr<const mrf::CompiledMrf> cm,
+                          std::uint64_t seed);
+
   void step(Config& x, std::int64_t t) override;
   void set_engine(ParallelEngine* engine) override;
   [[nodiscard]] std::string_view name() const noexcept override {
     return "SynchronousGlauber";
   }
   [[nodiscard]] double updates_per_step() const noexcept override {
-    return static_cast<double>(cm_.n());
+    return static_cast<double>(cm_->n());
   }
 
  private:
-  mrf::CompiledMrf cm_;
+  std::shared_ptr<const mrf::CompiledMrf> cm_;
   util::CounterRng rng_;
   ParallelEngine* engine_ = nullptr;
   Config next_;

@@ -1,5 +1,6 @@
 #include "core/sampler.hpp"
 
+#include <memory>
 #include <optional>
 
 #include "chains/chain.hpp"
@@ -7,6 +8,8 @@
 #include "chains/init.hpp"
 #include "chains/local_metropolis.hpp"
 #include "chains/luby_glauber.hpp"
+#include "chains/replicas.hpp"
+#include "mrf/compiled.hpp"
 #include "inference/influence.hpp"
 #include "core/theory.hpp"
 #include "mrf/models.hpp"
@@ -44,7 +47,76 @@ SampleResult run_chain(const mrf::Mrf& m, const SamplerOptions& options,
   return result;
 }
 
+BatchSampleResult run_replicas(const mrf::Mrf& m, const SamplerOptions& options,
+                               std::int64_t rounds, double alpha) {
+  LS_REQUIRE(options.num_replicas >= 1, "num_replicas must be >= 1");
+  LS_REQUIRE(options.num_threads >= 0, "num_threads must be >= 0");
+  const int replicas = options.num_replicas;
+  // One compiled view shared read-only by every replica; CompiledMrf
+  // construction also finalizes the graph CSR, so the concurrent reads
+  // below (including m.feasible) never race a lazy rebuild.
+  const auto cm = std::make_shared<const mrf::CompiledMrf>(m);
+  const mrf::Config x0 = chains::greedy_feasible_config(m);
+  BatchSampleResult result;
+  result.rounds = rounds;
+  result.theory_alpha = alpha;
+  result.configs.assign(static_cast<std::size_t>(replicas), mrf::Config{});
+  std::vector<char> feasible(static_cast<std::size_t>(replicas), 0);
+  chains::ReplicaRunner runner(options.num_threads);
+  runner.run(replicas, [&](int r) {
+    const std::uint64_t seed =
+        chains::replica_seed(options.seed, static_cast<std::uint64_t>(r));
+    std::unique_ptr<chains::Chain> chain;
+    if (options.algorithm == Algorithm::luby_glauber)
+      chain = std::make_unique<chains::LubyGlauberChain>(cm, seed);
+    else
+      chain = std::make_unique<chains::LocalMetropolisChain>(cm, seed);
+    mrf::Config x = x0;
+    chains::run(*chain, x, 0, rounds);
+    feasible[static_cast<std::size_t>(r)] = m.feasible(x) ? 1 : 0;
+    result.configs[static_cast<std::size_t>(r)] = std::move(x);
+  });
+  for (char f : feasible) result.feasible_count += f != 0 ? 1 : 0;
+  return result;
+}
+
+// The shared instance derivation for proper q-colorings, used by both the
+// single-sample and batch entry points so the regime rules can never drift
+// apart.
+struct ColoringPlan {
+  mrf::Mrf m;
+  std::int64_t rounds = 0;
+  double alpha = -1.0;
+};
+
+ColoringPlan plan_coloring(const graph::GraphPtr& g, int q,
+                           const SamplerOptions& options) {
+  LS_REQUIRE(g != nullptr, "graph must not be null");
+  const int delta = g->max_degree();
+  LS_REQUIRE(q >= delta + 1, "colorings need q >= Delta + 1 to be feasible");
+  ColoringPlan plan{mrf::make_proper_coloring(g, q), 0, -1.0};
+  plan.rounds = options.rounds.has_value()
+                    ? *options.rounds
+                    : coloring_round_budget(g->num_vertices(), delta, q,
+                                            options.algorithm, options.epsilon);
+  plan.alpha = q > 2 * delta ? coloring_dobrushin_alpha(q, delta) : -1.0;
+  return plan;
+}
+
 }  // namespace
+
+BatchSampleResult sample_many(const mrf::Mrf& m,
+                              const SamplerOptions& options) {
+  LS_REQUIRE(options.rounds.has_value(),
+             "sample_many needs an explicit round budget");
+  return run_replicas(m, options, *options.rounds, -1.0);
+}
+
+BatchSampleResult sample_many_colorings(graph::GraphPtr g, int q,
+                                        const SamplerOptions& options) {
+  const ColoringPlan plan = plan_coloring(g, q, options);
+  return run_replicas(plan.m, options, plan.rounds, plan.alpha);
+}
 
 std::int64_t coloring_round_budget(int n, int delta, int q,
                                    Algorithm algorithm, double epsilon) {
@@ -71,18 +143,8 @@ std::int64_t coloring_round_budget(int n, int delta, int q,
 
 SampleResult sample_coloring(graph::GraphPtr g, int q,
                              const SamplerOptions& options) {
-  LS_REQUIRE(g != nullptr, "graph must not be null");
-  const int delta = g->max_degree();
-  LS_REQUIRE(q >= delta + 1, "colorings need q >= Delta + 1 to be feasible");
-  const mrf::Mrf m = mrf::make_proper_coloring(g, q);
-  const std::int64_t rounds =
-      options.rounds.has_value()
-          ? *options.rounds
-          : coloring_round_budget(g->num_vertices(), delta, q,
-                                  options.algorithm, options.epsilon);
-  const double alpha =
-      q > 2 * delta ? coloring_dobrushin_alpha(q, delta) : -1.0;
-  return run_chain(m, options, rounds, alpha);
+  const ColoringPlan plan = plan_coloring(g, q, options);
+  return run_chain(plan.m, options, plan.rounds, plan.alpha);
 }
 
 SampleResult sample_list_coloring(graph::GraphPtr g, int q,

@@ -30,6 +30,11 @@ struct SamplerOptions {
   /// depend on this — any thread count yields the bit-identical sample; 0
   /// means "use all hardware threads".
   int num_threads = 1;
+  /// Independent samples per sample_many() call (>= 1).  Replica r runs with
+  /// seed chains::replica_seed(seed, r) against one shared compiled model
+  /// view; the batch is bit-identical at any num_threads.  The single-sample
+  /// facade functions ignore this field.
+  int num_replicas = 1;
 };
 
 struct SampleResult {
@@ -66,6 +71,31 @@ struct SampleResult {
 /// Samples from an arbitrary MRF with an explicit round budget.
 [[nodiscard]] SampleResult sample_mrf(const mrf::Mrf& m,
                                       const SamplerOptions& options);
+
+/// A batch of independent samples drawn in one call.
+struct BatchSampleResult {
+  std::vector<mrf::Config> configs;  ///< one per replica, in replica order
+  std::int64_t rounds = 0;           ///< rounds spent by EACH replica
+  int feasible_count = 0;            ///< replicas with w(config) > 0
+  double theory_alpha = -1;          ///< Dobrushin alpha used, if any
+};
+
+/// Draws options.num_replicas independent samples from m in one call — the
+/// batching primitive for a serving front end.  All replicas share one
+/// compiled model view and one thread pool (options.num_threads workers,
+/// 0 = all hardware threads); replica r's trajectory is seeded by
+/// chains::replica_seed(options.seed, r) and is bit-identical to
+/// sample_mrf(m, ...) with that seed — at any thread count and any replica
+/// batch size.  Requires an explicit round budget (options.rounds), like
+/// sample_mrf.
+[[nodiscard]] BatchSampleResult sample_many(const mrf::Mrf& m,
+                                            const SamplerOptions& options);
+
+/// sample_many for proper q-colorings, with the round budget derived from
+/// the paper's theorems when options.rounds is unset (same regime rules as
+/// sample_coloring).
+[[nodiscard]] BatchSampleResult sample_many_colorings(
+    graph::GraphPtr g, int q, const SamplerOptions& options);
 
 /// The round budget the library would use for a coloring instance (exposed
 /// for planning and for the benches).

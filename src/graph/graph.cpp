@@ -25,12 +25,14 @@ int Graph::add_edge(int u, int v) {
   ++degree_[static_cast<std::size_t>(v)];
   max_degree_ = std::max({max_degree_, degree_[static_cast<std::size_t>(u)],
                           degree_[static_cast<std::size_t>(v)]});
-  csr_valid_ = false;
+  csr_valid_.store(false, std::memory_order_release);
   return e;
 }
 
 void Graph::finalize() const {
-  if (csr_valid_) return;
+  if (csr_valid_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(csr_mutex_);
+  if (csr_valid_.load(std::memory_order_relaxed)) return;
   const int n = num_vertices();
   const int m = num_edges();
   offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
@@ -52,7 +54,7 @@ void Graph::finalize() const {
     inc_flat_[static_cast<std::size_t>(cv)] = e;
     nbr_flat_[static_cast<std::size_t>(cv)] = ed.u;
   }
-  csr_valid_ = true;
+  csr_valid_.store(true, std::memory_order_release);
 }
 
 const Edge& Graph::edge(int e) const {

@@ -15,8 +15,10 @@
 // shared_ptr<const Graph>`, so the hot path is pure contiguous reads.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -60,9 +62,10 @@ class Graph {
   /// True if some edge joins u and v.
   [[nodiscard]] bool has_edge(int u, int v) const;
 
-  /// Rebuilds the CSR arrays if stale.  Accessors call this lazily; call it
-  /// explicitly once before sharing a graph across threads — the lazy rebuild
-  /// mutates cached state and is not safe to race.
+  /// Rebuilds the CSR arrays if stale.  Accessors call this lazily; the
+  /// rebuild is double-checked behind a mutex, so concurrent readers may
+  /// race to trigger it safely (the replica layer constructs chains from
+  /// worker threads).  Mutation (add_edge) remains single-threaded-only.
   void finalize() const;
 
   /// Per-vertex CSR offsets into incident_edges_flat()/neighbors_flat();
@@ -84,11 +87,14 @@ class Graph {
   std::vector<int> degree_;  // vertex -> incident edge count
   int max_degree_ = 0;
 
-  // Lazily rebuilt CSR arrays; csr_valid_ flips false on add_edge.
+  // Lazily rebuilt CSR arrays; csr_valid_ flips false on add_edge.  The
+  // rebuild is guarded by csr_mutex_ with csr_valid_ as the double-checked
+  // publication flag (release store after the arrays are complete).
   mutable std::vector<int> offsets_;   // size n+1
   mutable std::vector<int> inc_flat_;  // size 2m, edge ids
   mutable std::vector<int> nbr_flat_;  // size 2m, neighbor ids
-  mutable bool csr_valid_ = false;
+  mutable std::mutex csr_mutex_;
+  mutable std::atomic<bool> csr_valid_{false};
 };
 
 using GraphPtr = std::shared_ptr<const Graph>;

@@ -1,12 +1,17 @@
 // Grand-coupling estimators: coalescence, disagreement decay, and empirical
-// projections against exact ground truth.
+// projections against exact ground truth — plus censored-trial accounting and
+// bit-identity of the trial-parallel replica path against the sequential
+// trial loop.
 #include "chains/coupling.hpp"
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "chains/init.hpp"
 #include "chains/local_metropolis.hpp"
 #include "chains/luby_glauber.hpp"
+#include "chains/replicas.hpp"
 #include "graph/generators.hpp"
 #include "inference/exact.hpp"
 #include "inference/tree_bp.hpp"
@@ -115,6 +120,108 @@ TEST(EmpiricalPmf, MatchesTreeBpOnPathColoring) {
   for (int c = 0; c < 4; ++c)
     EXPECT_NEAR(pmf[static_cast<std::size_t>(c)],
                 exact[static_cast<std::size_t>(c)], 0.03);
+}
+
+TEST(Coalescence, CensoredTrialsAreNotAveragedIn) {
+  // A 2-round budget cannot coalesce the adversarial pair on this model, so
+  // (essentially) every trial censors.  Censored trials must be counted
+  // separately — never pushed into `rounds` as if the budget were a
+  // coalescence time.
+  const auto g = graph::make_cycle(16);
+  const mrf::Mrf m = mrf::make_proper_coloring(g, 12);
+  const Config x0 = constant_config(m, 0);
+  const Config y0 = greedy_feasible_config(m);
+  CoalescenceOptions opt;
+  opt.trials = 6;
+  opt.max_rounds = 2;
+  const auto res = coalescence_time(lm_factory(m), x0, y0, opt);
+  EXPECT_GT(res.censored, 0);
+  EXPECT_EQ(res.trials(), opt.trials);
+  EXPECT_EQ(static_cast<int>(res.rounds.size()), opt.trials - res.censored);
+  EXPECT_EQ(res.max_rounds, opt.max_rounds);
+  for (double r : res.rounds)
+    EXPECT_LE(r, static_cast<double>(opt.max_rounds));
+  if (res.rounds.empty()) {
+    EXPECT_TRUE(std::isnan(res.mean()));
+    EXPECT_TRUE(std::isnan(res.quantile(0.5)));
+    EXPECT_DOUBLE_EQ(res.mean_lower_bound(),
+                     static_cast<double>(opt.max_rounds));
+  } else {
+    // The lower bound counts censored trials at the full budget, so it can
+    // only exceed the uncensored mean (censored trials ran max_rounds, the
+    // longest any uncensored trial can have run).
+    EXPECT_GE(res.mean_lower_bound(), res.mean());
+  }
+}
+
+TEST(Coalescence, FullyCensoredStatisticsAreNaNNotThrow) {
+  // Direct coverage of the all-censored corner: the uncensored statistics
+  // must report NaN (not throw from util::quantile's empty-sample check),
+  // and the lower-bound mean degenerates to the budget.
+  CoalescenceResult res;
+  res.censored = 3;
+  res.max_rounds = 100;
+  EXPECT_EQ(res.trials(), 3);
+  EXPECT_TRUE(std::isnan(res.mean()));
+  EXPECT_TRUE(std::isnan(res.quantile(0.5)));
+  EXPECT_DOUBLE_EQ(res.mean_lower_bound(), 100.0);
+}
+
+TEST(Coalescence, BitIdenticalAtAnyThreadCount) {
+  const auto g = graph::make_cycle(16);
+  const mrf::Mrf m = mrf::make_proper_coloring(g, 12);
+  const Config x0 = constant_config(m, 0);
+  const Config y0 = greedy_feasible_config(m);
+  CoalescenceOptions opt;
+  opt.trials = 8;
+  opt.max_rounds = 5000;
+  opt.num_threads = 1;
+  const auto ref = coalescence_time(lm_factory(m), x0, y0, opt);
+  for (int threads : {2, 4, 0}) {  // 0 = all hardware threads
+    opt.num_threads = threads;
+    const auto got = coalescence_time(lm_factory(m), x0, y0, opt);
+    EXPECT_EQ(got.rounds, ref.rounds) << "threads=" << threads;
+    EXPECT_EQ(got.censored, ref.censored) << "threads=" << threads;
+  }
+}
+
+TEST(DisagreementCurve, BitIdenticalAtAnyThreadCount) {
+  const auto g = graph::make_cycle(20);
+  const mrf::Mrf m = mrf::make_proper_coloring(g, 14);
+  const Config x0 = constant_config(m, 0);
+  const Config y0 = greedy_feasible_config(m);
+  const auto ref = disagreement_curve(lm_factory(m), x0, y0, 6, 40, 5, 1);
+  for (int threads : {2, 4, 0}) {
+    const auto got =
+        disagreement_curve(lm_factory(m), x0, y0, 6, 40, 5, threads);
+    EXPECT_EQ(got, ref) << "threads=" << threads;  // exact, incl. the fp sums
+  }
+}
+
+TEST(EmpiricalPmf, BitIdenticalAtAnyThreadCount) {
+  const auto g = graph::make_path(5);
+  const mrf::Mrf m = mrf::make_proper_coloring(g, 4);
+  const Config x0 = greedy_feasible_config(m);
+  const auto statistic = [](const Config& x) { return x[2]; };
+  const auto ref = empirical_pmf(lm_factory(m), x0, 40, 200, statistic, 4, 13, 1);
+  for (int threads : {2, 4, 0}) {
+    const auto got =
+        empirical_pmf(lm_factory(m), x0, 40, 200, statistic, 4, 13, threads);
+    EXPECT_EQ(got, ref) << "threads=" << threads;
+  }
+}
+
+TEST(EmpiricalPmf, RejectsOutOfRangeStatistic) {
+  // The category check guards a raw array index against caller-supplied
+  // input, so it must be LS_REQUIRE (alive in every build mode), not an
+  // internal assert.
+  const auto g = graph::make_path(3);
+  const mrf::Mrf m = mrf::make_hardcore(g, 1.0);
+  const Config x0 = constant_config(m, 0);
+  EXPECT_THROW(
+      (void)empirical_pmf(
+          lm_factory(m), x0, 3, 4, [](const Config&) { return 7; }, 2, 11),
+      std::invalid_argument);
 }
 
 TEST(CoalescenceOptions, ValidatesInput) {

@@ -1,0 +1,210 @@
+// The replica layer: trial partitioning, SplitMix64 seed derivation (the
+// regression against the old additive base_seed + trial scheme), shared
+// compiled views, and bitwise equality of core::sample_many batches with the
+// single-sample facade at every tested thread count.
+#include "chains/replicas.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "chains/init.hpp"
+#include "chains/local_metropolis.hpp"
+#include "chains/luby_glauber.hpp"
+#include "chains/synchronous_glauber.hpp"
+#include "core/sampler.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "mrf/compiled.hpp"
+#include "mrf/models.hpp"
+
+namespace lsample::chains {
+namespace {
+
+TEST(ReplicaRunner, EachReplicaRunsExactlyOnce) {
+  for (int threads : {1, 2, 3, 4, 0}) {
+    ReplicaRunner runner(threads);
+    for (int replicas : {0, 1, 2, 7, 33}) {
+      std::vector<std::atomic<int>> hits(static_cast<std::size_t>(replicas));
+      runner.run(replicas, [&](int r) {
+        hits[static_cast<std::size_t>(r)].fetch_add(1);
+      });
+      for (int r = 0; r < replicas; ++r)
+        EXPECT_EQ(hits[static_cast<std::size_t>(r)].load(), 1)
+            << "threads=" << threads << " replicas=" << replicas << " r=" << r;
+    }
+  }
+}
+
+TEST(ReplicaRunner, PropagatesJobExceptionsToCaller) {
+  // A throwing job must surface on the caller — even when it lands on a
+  // worker thread, where an uncaught exception would abort the process.
+  for (int threads : {1, 2, 4}) {
+    ReplicaRunner runner(threads);
+    EXPECT_THROW(runner.run(16,
+                            [](int r) {
+                              if (r % 2 == 1)
+                                throw std::runtime_error("replica failed");
+                            }),
+                 std::runtime_error)
+        << "threads=" << threads;
+    // The runner must stay usable after a failed batch.
+    std::atomic<int> ran{0};
+    runner.run(8, [&](int) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 8) << "threads=" << threads;
+  }
+}
+
+TEST(ReplicaRunner, ZeroThreadsMeansAllHardwareThreads) {
+  ReplicaRunner runner(0);
+  EXPECT_EQ(runner.num_threads(), ParallelEngine::hardware_threads());
+  EXPECT_THROW(ReplicaRunner(-1), std::invalid_argument);
+}
+
+TEST(ReplicaRunner, ConcurrentChainConstructionOnUnfinalizedGraphIsSafe) {
+  // Factories run on worker threads and may be the first thing to touch the
+  // graph's lazily-built CSR arrays: per-replica CompiledMrf construction
+  // races to trigger Graph::finalize, which is double-checked and must
+  // produce the same adjacency for every replica.
+  auto g = std::make_shared<graph::Graph>(24);
+  for (int v = 0; v < 24; ++v) g->add_edge(v, (v + 1) % 24);
+  const mrf::Mrf m = mrf::make_proper_coloring(g, 8);
+  const auto trajectory = [&m](int r) {
+    LocalMetropolisChain chain(m, replica_seed(9, static_cast<std::uint64_t>(r)));
+    mrf::Config x = constant_config(m, 0);
+    for (int t = 0; t < 5; ++t) chain.step(x, t);
+    return x;
+  };
+  // Parallel pass FIRST, while the graph is still unfinalized (a sequential
+  // reference pass beforehand would finalize it and defuse the race).
+  ReplicaRunner runner(4);
+  std::vector<mrf::Config> got(8);
+  runner.run(8, [&](int r) { got[static_cast<std::size_t>(r)] = trajectory(r); });
+  std::vector<mrf::Config> expected;
+  for (int r = 0; r < 8; ++r) expected.push_back(trajectory(r));
+  for (int r = 0; r < 8; ++r)
+    EXPECT_EQ(got[static_cast<std::size_t>(r)],
+              expected[static_cast<std::size_t>(r)])
+        << "r=" << r;
+}
+
+TEST(ReplicaSeed, NoCollisionsAcrossNearbyBasesAndTrials) {
+  // Regression for the additive scheme: with seed = base + trial, the trial
+  // streams of nearby base seeds overlap (base 1 trial 1 == base 2 trial 0),
+  // so two measurements keyed by adjacent seeds silently shared
+  // trajectories.  The mixed derivation must keep the whole grid distinct.
+  std::set<std::uint64_t> seen;
+  const int bases = 16, trials = 64;
+  for (std::uint64_t base = 1; base <= bases; ++base)
+    for (std::uint64_t trial = 0; trial < trials; ++trial)
+      seen.insert(replica_seed(base, trial));
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(bases) * trials);
+  EXPECT_NE(replica_seed(2, 0), replica_seed(1, 1));
+  EXPECT_NE(replica_seed(1, 0), 1u);  // not the identity on trial 0 either
+}
+
+// ---------------------------------------------------------------------------
+// Shared compiled views.
+// ---------------------------------------------------------------------------
+
+TEST(SharedCompiledView, ChainsMatchOwnedCompilation) {
+  const mrf::Mrf m = mrf::make_proper_coloring(graph::make_torus(6, 6), 9);
+  const auto cm = std::make_shared<const mrf::CompiledMrf>(m);
+  const mrf::Config x0 = greedy_feasible_config(m);
+  const auto run30 = [&](Chain& chain) {
+    mrf::Config x = x0;
+    for (int t = 0; t < 30; ++t) chain.step(x, t);
+    return x;
+  };
+  for (std::uint64_t seed : {1ull, 42ull}) {
+    {
+      LocalMetropolisChain owned(m, seed), shared(cm, seed);
+      EXPECT_EQ(run30(owned), run30(shared)) << "LM seed=" << seed;
+    }
+    {
+      LubyGlauberChain owned(m, seed), shared(cm, seed);
+      EXPECT_EQ(run30(owned), run30(shared)) << "LG seed=" << seed;
+    }
+    {
+      SynchronousGlauberChain owned(m, seed), shared(cm, seed);
+      EXPECT_EQ(run30(owned), run30(shared)) << "SG seed=" << seed;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// core::sample_many — the facade batching primitive.
+// ---------------------------------------------------------------------------
+
+TEST(SampleMany, BitIdenticalToSingleSamplesAtAnyThreadCount) {
+  struct Case {
+    const char* label;
+    mrf::Mrf m;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"coloring torus6 q10",
+                   mrf::make_proper_coloring(graph::make_torus(6, 6), 10)});
+  cases.push_back(
+      {"hardcore cycle12 l0.5", mrf::make_hardcore(graph::make_cycle(12), 0.5)});
+  for (const auto& c : cases) {
+    for (core::Algorithm alg : {core::Algorithm::luby_glauber,
+                                core::Algorithm::local_metropolis}) {
+      core::SamplerOptions opt;
+      opt.algorithm = alg;
+      opt.seed = 5;
+      opt.rounds = 40;
+      opt.num_replicas = 5;
+      // Reference: one sample_mrf call per replica seed, single-threaded.
+      std::vector<mrf::Config> expected;
+      for (int r = 0; r < opt.num_replicas; ++r) {
+        core::SamplerOptions single = opt;
+        single.num_replicas = 1;
+        single.num_threads = 1;
+        single.seed = replica_seed(opt.seed, static_cast<std::uint64_t>(r));
+        expected.push_back(core::sample_mrf(c.m, single).config);
+      }
+      for (int threads : {1, 2, 4, 0}) {  // 0 = all hardware threads
+        opt.num_threads = threads;
+        const auto batch = core::sample_many(c.m, opt);
+        ASSERT_EQ(batch.configs.size(), expected.size());
+        for (std::size_t r = 0; r < expected.size(); ++r)
+          EXPECT_EQ(batch.configs[r], expected[r])
+              << c.label << " alg=" << static_cast<int>(alg)
+              << " threads=" << threads << " replica=" << r;
+      }
+    }
+  }
+}
+
+TEST(SampleMany, ColoringsDeriveTheoremBudgetAndStayProper) {
+  const auto g = graph::make_torus(6, 6);
+  core::SamplerOptions opt;
+  opt.algorithm = core::Algorithm::luby_glauber;
+  opt.seed = 7;
+  opt.num_replicas = 4;
+  opt.num_threads = 0;
+  const auto batch = core::sample_many_colorings(g, 12, opt);  // q > 2*Delta
+  EXPECT_GT(batch.rounds, 0);
+  EXPECT_GT(batch.theory_alpha, 0.0);
+  EXPECT_EQ(batch.feasible_count, opt.num_replicas);
+  ASSERT_EQ(batch.configs.size(), static_cast<std::size_t>(opt.num_replicas));
+  for (const auto& cfg : batch.configs)
+    EXPECT_TRUE(graph::is_proper_coloring(*g, cfg));
+  // Distinct replicas must not be clones of one chain.
+  EXPECT_NE(batch.configs[0], batch.configs[1]);
+}
+
+TEST(SampleMany, ValidatesOptions) {
+  const mrf::Mrf m = mrf::make_proper_coloring(graph::make_cycle(6), 5);
+  core::SamplerOptions opt;
+  EXPECT_THROW((void)core::sample_many(m, opt), std::invalid_argument);
+  opt.rounds = 10;
+  opt.num_replicas = 0;
+  EXPECT_THROW((void)core::sample_many(m, opt), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lsample::chains
