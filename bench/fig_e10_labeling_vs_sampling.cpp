@@ -29,7 +29,8 @@ int main_impl() {
   const gadget::Gadget gad = gadget::make_random_gadget(blueprint, grng);
 
   util::Table t({"cycle m", "n", "diam lower bd (sampling rounds)",
-                 "Luby-MIS rounds (labeling)", "ratio"});
+                 "Luby-MIS rounds (labeling)", "ratio", "messages",
+                 "bits/msg"});
   for (int m : {4, 8, 16, 32}) {
     const gadget::LiftedCycle lifted = gadget::lift_on_cycle(gad, m);
     const int diam = graph::diameter_lower_bound(*lifted.g);
@@ -40,7 +41,10 @@ int main_impl() {
         .cell(lifted.g->num_vertices())
         .cell(diam)
         .cell(rounds)
-        .cell(static_cast<double>(diam) / static_cast<double>(rounds), 2);
+        .cell(static_cast<double>(diam) / static_cast<double>(rounds), 2)
+        .cell(net.stats().messages)
+        .cell(static_cast<std::int64_t>(net.stats().bits /
+                                        net.stats().messages));
   }
   t.print(std::cout);
   std::cout

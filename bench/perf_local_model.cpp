@@ -1,7 +1,11 @@
 // Overhead of the message-passing LOCAL simulator relative to the in-memory
-// reference chains (google-benchmark).
+// reference chains (google-benchmark), on the compiled arena runtime —
+// sequentially and node-parallel under a ParallelEngine.  The compiled-vs-
+// seed-simulator comparison (with the guard) lives in perf_parallel_scaling,
+// which preserves the seed implementation verbatim as its baseline.
 #include <benchmark/benchmark.h>
 
+#include "chains/engine.hpp"
 #include "chains/init.hpp"
 #include "chains/local_metropolis.hpp"
 #include "graph/generators.hpp"
@@ -25,6 +29,23 @@ void BM_SimulatorRound(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_SimulatorRound)->Arg(256)->Arg(1024);
+
+void BM_SimulatorRoundThreaded(benchmark::State& state) {
+  util::Rng grng(1);
+  const int n = 1024;
+  const int threads = static_cast<int>(state.range(0));
+  const auto g = graph::make_random_regular(n, 6, grng);
+  const mrf::Mrf m = mrf::make_proper_coloring(g, 24);
+  const mrf::Config x0 = chains::greedy_feasible_config(m);
+  chains::ParallelEngine engine(threads);
+  local::Network net = local::make_local_metropolis_network(m, x0, 3);
+  net.set_engine(&engine);
+  for (auto _ : state) {
+    net.run_round();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SimulatorRoundThreaded)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_ReferenceChainRound(benchmark::State& state) {
   util::Rng grng(1);

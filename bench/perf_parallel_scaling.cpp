@@ -3,10 +3,13 @@
 // Measures steps/sec for every synchronous chain at several thread counts on
 // the E1 (LubyGlauber colorings, random regular graph) and E2
 // (LocalMetropolis colorings, Delta ~ sqrt(n)) workload shapes, the
-// compiled-view vs. seed-path sequential comparison, and the replica layer's
+// compiled-view vs. seed-path sequential comparison, the replica layer's
 // trial-parallel throughput (R chains sharing one CompiledMrf over a
-// ReplicaRunner, per thread count), and writes everything to
-// BENCH_chains.json so the perf trajectory is tracked from PR to PR.
+// ReplicaRunner, per thread count), and the LOCAL-model simulator's rounds/sec
+// (the compiled message-arena runtime vs. the seed simulator with per-message
+// heap buffers, preserved verbatim below, plus node-parallel rounds per
+// thread count), and writes everything to BENCH_chains.json so the perf
+// trajectory is tracked from PR to PR.
 //
 // Exit status is the guard: nonzero iff, beyond a noise allowance,
 //   (a) the compiled sequential path is slower than the legacy seed path
@@ -14,7 +17,10 @@
 //       ActivityMatrix storage) on either workload, or
 //   (b) the replica runner at one thread is slower than the plain sequential
 //       loop over the same replica batch (the layer must cost ~nothing when
-//       it cannot help).
+//       it cannot help), or
+//   (c) the compiled LOCAL-model network is less than 2x the seed simulator
+//       sequentially, or the 1-thread engine runs the network slower than
+//       0.85x the engine-less sequential path.
 //
 //   $ ./perf_parallel_scaling [--quick] [--out PATH]
 #include <chrono>
@@ -36,6 +42,7 @@
 #include "chains/replicas.hpp"
 #include "chains/synchronous_glauber.hpp"
 #include "graph/generators.hpp"
+#include "local/node_programs.hpp"
 #include "mrf/compiled.hpp"
 #include "mrf/models.hpp"
 
@@ -140,6 +147,211 @@ double measure_compiled_path_sweeps(const Workload& w, double min_time,
       elapsed = seconds_since(start);
     } while (elapsed < min_time);
     best = std::max(best, static_cast<double>(t) / elapsed);
+  }
+  return best;
+}
+
+// --- The seed LOCAL simulator, preserved verbatim for comparison ----------
+// The pre-arena execution path: one heap-allocated program per vertex, one
+// std::vector per in-flight message, neighbor reads through Mrf's per-edge
+// ActivityMatrix storage.  This is the baseline the local_network guard
+// measures the compiled runtime against.
+namespace seed_local {
+
+struct Message {
+  std::vector<std::uint64_t> words;
+  int bits = 0;
+  bool present = false;
+};
+
+struct SeedStats {
+  std::int64_t rounds = 0;
+  std::int64_t messages = 0;
+  std::int64_t bits = 0;
+};
+
+class SeedNetwork;
+
+class SeedContext {
+ public:
+  SeedContext(SeedNetwork& net, int id) : net_(&net), id_(id) {}
+  [[nodiscard]] std::int64_t round() const noexcept;
+  [[nodiscard]] int degree() const;
+  [[nodiscard]] int edge_of_port(int port) const;
+  [[nodiscard]] int neighbor_of_port(int port) const;
+  void send(int port, std::span<const std::uint64_t> words, int bits);
+  [[nodiscard]] std::span<const std::uint64_t> received(int port) const;
+  [[nodiscard]] const util::CounterRng& rng() const noexcept;
+
+ private:
+  friend class SeedNetwork;
+  SeedNetwork* net_;
+  int id_;
+};
+
+class SeedProgram {
+ public:
+  virtual ~SeedProgram() = default;
+  virtual void on_round(SeedContext& ctx) = 0;
+};
+
+class SeedNetwork {
+ public:
+  SeedNetwork(graph::GraphPtr g,
+              const std::function<std::unique_ptr<SeedProgram>(int)>& make,
+              std::uint64_t seed)
+      : graph_(std::move(g)), rng_(seed) {
+    for (int v = 0; v < graph_->num_vertices(); ++v)
+      programs_.push_back(make(v));
+    cur_.assign(static_cast<std::size_t>(graph_->num_edges()) * 2, {});
+    next_.assign(static_cast<std::size_t>(graph_->num_edges()) * 2, {});
+  }
+
+  void run_round() {
+    for (auto& msg : next_) msg.present = false;
+    for (int v = 0; v < graph_->num_vertices(); ++v) {
+      SeedContext ctx(*this, v);
+      programs_[static_cast<std::size_t>(v)]->on_round(ctx);
+    }
+    std::swap(cur_, next_);
+    ++round_;
+    ++stats_.rounds;
+  }
+
+ private:
+  friend class SeedContext;
+  [[nodiscard]] std::size_t buffer_index(int e, int receiver) const {
+    const graph::Edge& ed = graph_->edge(e);
+    return static_cast<std::size_t>(e) * 2 + (ed.v == receiver ? 1 : 0);
+  }
+
+  graph::GraphPtr graph_;
+  util::CounterRng rng_;
+  std::vector<std::unique_ptr<SeedProgram>> programs_;
+  std::vector<Message> cur_;
+  std::vector<Message> next_;
+  std::int64_t round_ = 0;
+  SeedStats stats_;
+};
+
+std::int64_t SeedContext::round() const noexcept { return net_->round_; }
+int SeedContext::degree() const { return net_->graph_->degree(id_); }
+int SeedContext::edge_of_port(int port) const {
+  return net_->graph_->incident_edges(id_)[static_cast<std::size_t>(port)];
+}
+int SeedContext::neighbor_of_port(int port) const {
+  return net_->graph_->neighbors(id_)[static_cast<std::size_t>(port)];
+}
+void SeedContext::send(int port, std::span<const std::uint64_t> words,
+                       int bits) {
+  const int e = edge_of_port(port);
+  const int receiver = neighbor_of_port(port);
+  auto& msg = net_->next_[net_->buffer_index(e, receiver)];
+  msg.words.assign(words.begin(), words.end());
+  msg.bits = bits;
+  msg.present = true;
+  ++net_->stats_.messages;
+  net_->stats_.bits += bits;
+}
+std::span<const std::uint64_t> SeedContext::received(int port) const {
+  const int e = edge_of_port(port);
+  const auto& msg = net_->cur_[net_->buffer_index(e, id_)];
+  if (!msg.present) return {};
+  return msg.words;
+}
+const util::CounterRng& SeedContext::rng() const noexcept {
+  return net_->rng_;
+}
+
+/// The seed LocalMetropolisNode, verbatim: per-node heap object, Mrf-backed
+/// edge checks, no early exit.
+class SeedLocalMetropolisNode final : public SeedProgram {
+ public:
+  SeedLocalMetropolisNode(const mrf::Mrf& m, int vertex, int initial_spin)
+      : m_(m), v_(vertex), x_(initial_spin) {}
+
+  void on_round(SeedContext& ctx) override {
+    const std::int64_t r = ctx.round();
+    const int deg = ctx.degree();
+    if (r >= 1) {
+      const std::int64_t t = r - 1;
+      const int sv = pending_proposal_;
+      bool all_pass = true;
+      for (int port = 0; port < deg; ++port) {
+        const auto msg = ctx.received(port);
+        const int su = static_cast<int>(msg[0]);
+        const int xu = static_cast<int>(msg[1]);
+        const int e = ctx.edge_of_port(port);
+        const graph::Edge& ed = m_.g().edge(e);
+        const double p = (ed.u == v_) ? m_.edge_pass_prob(e, sv, su, x_, xu)
+                                      : m_.edge_pass_prob(e, su, sv, xu, x_);
+        if (!(chains::edge_coin(ctx.rng(), e, t) < p)) all_pass = false;
+      }
+      if (all_pass) x_ = sv;
+    }
+    pending_proposal_ = chains::metropolis_proposal(m_, ctx.rng(), v_, r);
+    const std::uint64_t words[2] = {
+        static_cast<std::uint64_t>(pending_proposal_),
+        static_cast<std::uint64_t>(x_)};
+    for (int port = 0; port < deg; ++port)
+      ctx.send(port, words, 2 * local::spin_bits(m_.q()));
+  }
+
+ private:
+  const mrf::Mrf& m_;
+  int v_;
+  int x_;
+  int pending_proposal_ = -1;
+};
+
+}  // namespace seed_local
+
+/// Rounds/sec of the seed LOCAL simulator (LocalMetropolis protocol).
+double measure_seed_network_rounds(const Workload& w, double min_time,
+                                   int reps) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    seed_local::SeedNetwork net(
+        w.m.graph_ptr(),
+        [&](int v) {
+          return std::make_unique<seed_local::SeedLocalMetropolisNode>(
+              w.m, v, w.x0[static_cast<std::size_t>(v)]);
+        },
+        3);
+    std::int64_t rounds = 0;
+    const auto start = Clock::now();
+    double elapsed = 0.0;
+    do {
+      for (int s = 0; s < 4; ++s) net.run_round();
+      rounds += 4;
+      elapsed = seconds_since(start);
+    } while (elapsed < min_time);
+    best = std::max(best, static_cast<double>(rounds) / elapsed);
+  }
+  return best;
+}
+
+/// Rounds/sec of the compiled arena runtime; threads == 0 means no engine
+/// attached (the pure sequential path), threads >= 1 attaches an engine.
+double measure_compiled_network_rounds(const Workload& w, int threads,
+                                       double min_time, int reps) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    std::optional<chains::ParallelEngine> engine;
+    local::Network net = local::make_local_metropolis_network(w.m, w.x0, 3);
+    if (threads > 0) {
+      engine.emplace(threads);
+      net.set_engine(&*engine);
+    }
+    std::int64_t rounds = 0;
+    const auto start = Clock::now();
+    double elapsed = 0.0;
+    do {
+      for (int s = 0; s < 4; ++s) net.run_round();
+      rounds += 4;
+      elapsed = seconds_since(start);
+    } while (elapsed < min_time);
+    best = std::max(best, static_cast<double>(rounds) / elapsed);
   }
   return best;
 }
@@ -278,6 +490,24 @@ int main(int argc, char** argv) {
     }
   }
 
+  // LOCAL-model simulator: seed implementation vs the compiled arena
+  // runtime, plus node-parallel rounds per thread count.
+  struct NetworkRows {
+    double seed = 0.0;
+    double compiled = 0.0;
+    std::map<int, double> engine;
+  };
+  std::map<std::string, NetworkRows> network_results;
+  for (const auto& w : workloads) {
+    NetworkRows rows;
+    rows.seed = measure_seed_network_rounds(w, min_time, reps);
+    rows.compiled = measure_compiled_network_rounds(w, 0, min_time, reps);
+    for (int threads : thread_counts)
+      rows.engine[threads] =
+          measure_compiled_network_rounds(w, threads, min_time, reps);
+    network_results[w.name] = std::move(rows);
+  }
+
   std::ofstream out(out_path);
   out.precision(6);
   out << "{\n  \"hardware_threads\": " << hw << ",\n  \"workloads\": {\n";
@@ -317,6 +547,21 @@ int main(int argc, char** argv) {
       out << "}";
     }
     out << "\n      },\n";
+    const auto& net_rows = network_results[wname];
+    out << "      \"local_network\": {\n"
+        << "        \"seed_rounds_per_sec\": " << net_rows.seed << ",\n"
+        << "        \"compiled_rounds_per_sec\": " << net_rows.compiled
+        << ",\n"
+        << "        \"compiled_over_seed\": "
+        << net_rows.compiled / net_rows.seed << ",\n"
+        << "        \"engine_rounds_per_sec\": {";
+    bool first_nt = true;
+    for (const auto& [threads, rps] : net_rows.engine) {
+      if (!first_nt) out << ", ";
+      first_nt = false;
+      out << "\"" << threads << "\": " << rps;
+    }
+    out << "}\n      },\n";
     const auto& [seed_sps, comp_sps] = seed_vs_compiled[wname];
     out << "      \"seed_path_sweeps_per_sec\": " << seed_sps << ",\n"
         << "      \"compiled_path_sweeps_per_sec\": " << comp_sps << ",\n"
@@ -346,6 +591,13 @@ int main(int argc, char** argv) {
                   << "=" << sps << " steps/s";
       std::cout << "\n";
     }
+    const auto& net_rows = network_results[wname];
+    std::cout << "  LOCAL network (LocalMetropolis):  seed=" << net_rows.seed
+              << "  compiled=" << net_rows.compiled << " rounds/s ("
+              << net_rows.compiled / net_rows.seed << "x)";
+    for (const auto& [threads, rps] : net_rows.engine)
+      std::cout << "  " << threads << "T=" << rps;
+    std::cout << "\n";
   }
 
   // Microbenchmark guards:
@@ -376,8 +628,29 @@ int main(int argc, char** argv) {
       }
     }
   }
+  //  (c) the compiled LOCAL-model network must be at least 2x the seed
+  //      simulator sequentially, and a 1-thread engine must cost at most 15%
+  //      over the engine-less sequential path.
+  for (const auto& [wname, rows] : network_results) {
+    if (rows.compiled < 2.0 * rows.seed) {
+      std::cerr << "GUARD FAILED: compiled LOCAL network below 2x the seed "
+                   "simulator on "
+                << wname << " (" << rows.compiled << " vs " << rows.seed
+                << " rounds/sec)\n";
+      rc = 1;
+    }
+    const double one_thread = rows.engine.at(1);
+    if (one_thread < 0.85 * rows.compiled) {
+      std::cerr << "GUARD FAILED: LOCAL network under a 1-thread engine "
+                   "slower than the sequential path on "
+                << wname << " (" << one_thread << " vs " << rows.compiled
+                << " rounds/sec)\n";
+      rc = 1;
+    }
+  }
   if (rc == 0)
     std::cout << "\nguard ok: compiled path >= seed path, replica runner "
-                 ">= sequential trial loop\n";
+                 ">= sequential trial loop, compiled LOCAL network >= 2x "
+                 "seed simulator (1-thread engine >= 0.85x sequential)\n";
   return rc;
 }

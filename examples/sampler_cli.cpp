@@ -1,7 +1,7 @@
 // Command-line sampler: pick a graph family, a model, and an algorithm, and
 // draw a sample with statistics.  Runs a sensible demo with no arguments.
 //
-//   $ ./example_sampler_cli [graph] [n] [model] [q_or_lambda] [alg] [seed] [threads] [replicas]
+//   $ ./example_sampler_cli [graph] [n] [model] [q_or_lambda] [alg] [seed] [threads] [replicas] [backend]
 //     graph:    cycle | grid | torus | regular4 | regular6
 //     model:    coloring | listcoloring | hardcore | ising
 //     alg:      lm | lg
@@ -9,7 +9,10 @@
 //               bit-identical at any thread count
 //     replicas: independent samples per call (> 1 batches them through
 //               core::sample_many over one shared compiled model)
-//   e.g. ./example_sampler_cli torus 16 coloring 14 lm 7 4 8
+//     backend:  chain (in-memory reference chains, default) | network (the
+//               message-passing LOCAL-model runtime; same bits, plus a
+//               communication profile)
+//   e.g. ./example_sampler_cli torus 16 coloring 14 lm 7 4 8 network
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -46,6 +49,11 @@ int main(int argc, char** argv) {
                                  : 2024;
   const int threads = argc > 7 ? std::atoi(argv[7]) : 1;
   const int replicas = argc > 8 ? std::atoi(argv[8]) : 1;
+  const std::string backend = argc > 9 ? argv[9] : "chain";
+  if (backend != "chain" && backend != "network") {
+    std::cerr << "unknown backend: " << backend << " (chain | network)\n";
+    return 1;
+  }
 
   util::Rng grng(seed);
   const auto g = build_graph(kind, n, grng);
@@ -53,6 +61,8 @@ int main(int argc, char** argv) {
   core::SamplerOptions opt;
   opt.algorithm = alg == "lg" ? core::Algorithm::luby_glauber
                               : core::Algorithm::local_metropolis;
+  opt.backend = backend == "network" ? core::Backend::local_network
+                                     : core::Backend::chain;
   opt.seed = seed;
   opt.epsilon = 0.01;
   opt.num_threads = threads;
@@ -91,8 +101,15 @@ int main(int argc, char** argv) {
     bt.begin_row().cell("model").cell(model);
     bt.begin_row().cell("replicas").cell(replicas);
     bt.begin_row().cell("rounds each").cell(batch.rounds);
+    bt.begin_row().cell("backend").cell(backend);
     bt.begin_row().cell("threads").cell(threads);
     bt.begin_row().cell("feasible replicas").cell(batch.feasible_count);
+    if (opt.backend == core::Backend::local_network) {
+      bt.begin_row().cell("simulated rounds (all replicas)").cell(
+          batch.message_stats.rounds);
+      bt.begin_row().cell("messages").cell(batch.message_stats.messages);
+      bt.begin_row().cell("total bits").cell(batch.message_stats.bits);
+    }
     if (constraint_ok >= 0)
       bt.begin_row().cell("constraint check").cell(
           std::to_string(constraint_ok) + "/" + std::to_string(replicas) +
@@ -146,9 +163,19 @@ int main(int argc, char** argv) {
   t.begin_row().cell("algorithm").cell(
       opt.algorithm == core::Algorithm::luby_glauber ? "LubyGlauber"
                                                      : "LocalMetropolis");
+  t.begin_row().cell("backend").cell(backend);
   t.begin_row().cell("rounds").cell(result.rounds);
   t.begin_row().cell("threads").cell(threads);
   t.begin_row().cell("feasible").cell(result.feasible ? "yes" : "no");
+  if (opt.backend == core::Backend::local_network) {
+    t.begin_row().cell("simulated rounds").cell(result.message_stats.rounds);
+    t.begin_row().cell("messages").cell(result.message_stats.messages);
+    t.begin_row().cell("total bits").cell(result.message_stats.bits);
+    if (result.message_stats.messages > 0)  // edgeless graphs send nothing
+      t.begin_row().cell("bits/message").cell(
+          static_cast<std::int64_t>(result.message_stats.bits /
+                                    result.message_stats.messages));
+  }
   t.begin_row().cell("constraint check").cell(verdict);
   if (result.theory_alpha >= 0.0)
     t.begin_row().cell("Dobrushin alpha").cell(result.theory_alpha, 3);

@@ -30,9 +30,10 @@ void ParallelEngine::parallel_for(int n,
                                   const std::function<void(int, int, int)>& fn) {
   if (n <= 0) return;
   if (num_threads_ == 1) {
-    fn(0, 0, n);
+    fn(0, 0, n);  // exceptions propagate directly on the caller
     return;
   }
+  errors_.assign(static_cast<std::size_t>(num_threads_), nullptr);
   {
     std::lock_guard<std::mutex> lock(mu_);
     job_ = &fn;
@@ -41,10 +42,23 @@ void ParallelEngine::parallel_for(int n,
     ++generation_;
   }
   start_cv_.notify_all();
-  fn(0, 0, slice_begin(n, 1, num_threads_));
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return pending_ == 0; });
-  job_ = nullptr;
+  try {
+    fn(0, 0, slice_begin(n, 1, num_threads_));
+  } catch (...) {
+    errors_[0] = std::current_exception();
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return pending_ == 0; });
+    job_ = nullptr;
+  }
+  for (auto& e : errors_) {
+    if (e != nullptr) {
+      const std::exception_ptr err = e;
+      errors_.clear();
+      std::rethrow_exception(err);
+    }
+  }
 }
 
 void ParallelEngine::worker_loop(int thread) {
@@ -61,8 +75,12 @@ void ParallelEngine::worker_loop(int thread) {
       job = job_;
       n = job_n_;
     }
-    (*job)(thread, slice_begin(n, thread, num_threads_),
-           slice_begin(n, thread + 1, num_threads_));
+    try {
+      (*job)(thread, slice_begin(n, thread, num_threads_),
+             slice_begin(n, thread + 1, num_threads_));
+    } catch (...) {
+      errors_[static_cast<std::size_t>(thread)] = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (--pending_ == 0) done_cv_.notify_one();

@@ -11,6 +11,12 @@
 // round" semantics of the paper's Algorithms 1 and 2, and what the
 // determinism tests assert.
 //
+// Job bodies may throw (the LOCAL-model runtime maps user node programs over
+// vertices, and their precondition checks are exceptions): parallel_for
+// catches on each worker, waits for the full barrier, and rethrows the
+// lowest-thread-index exception on the caller, so a throwing job can never
+// std::terminate a worker or unwind past the barrier while threads run.
+//
 // The pool is persistent: workers are spawned once and parked on a condition
 // variable between rounds, so a step() costs two notifications, not T thread
 // spawns.  The calling thread participates as thread 0.
@@ -18,6 +24,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -40,7 +47,9 @@ class ParallelEngine {
   /// Runs fn(thread, begin, end) for thread = 0..T-1 over the static
   /// partition [floor(n*thread/T), floor(n*(thread+1)/T)); returns after all
   /// threads finish.  With one thread (or n == 0) this is a plain call on the
-  /// caller.  Not reentrant: fn must not call parallel_for on this engine.
+  /// caller.  If any invocation throws, the exception of the lowest thread
+  /// index is rethrown here after every thread reached the barrier.  Not
+  /// reentrant: fn must not call parallel_for on this engine.
   void parallel_for(int n, const std::function<void(int, int, int)>& fn);
 
   /// std::thread::hardware_concurrency with a floor of 1.
@@ -63,6 +72,9 @@ class ParallelEngine {
   std::uint64_t generation_ = 0;
   int pending_ = 0;
   bool shutdown_ = false;
+  // One slot per thread; written only by that thread during a job, read by
+  // the caller after the barrier (the pending_-mutex handoff orders both).
+  std::vector<std::exception_ptr> errors_;
 };
 
 /// Runs fn over [0, n): through the engine when one is attached, as a plain

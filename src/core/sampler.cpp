@@ -9,6 +9,7 @@
 #include "chains/local_metropolis.hpp"
 #include "chains/luby_glauber.hpp"
 #include "chains/replicas.hpp"
+#include "local/node_programs.hpp"
 #include "mrf/compiled.hpp"
 #include "inference/influence.hpp"
 #include "core/theory.hpp"
@@ -18,6 +19,15 @@
 namespace lsample::core {
 
 namespace {
+
+/// Builds the LOCAL-model network for (algorithm, view, x0, seed).
+local::Network make_network(Algorithm algorithm,
+                            std::shared_ptr<const mrf::CompiledMrf> cm,
+                            const mrf::Config& x0, std::uint64_t seed) {
+  return algorithm == Algorithm::luby_glauber
+             ? local::make_luby_glauber_network(std::move(cm), x0, seed)
+             : local::make_local_metropolis_network(std::move(cm), x0, seed);
+}
 
 SampleResult run_chain(const mrf::Mrf& m, const SamplerOptions& options,
                        std::int64_t rounds, double alpha) {
@@ -31,6 +41,20 @@ SampleResult run_chain(const mrf::Mrf& m, const SamplerOptions& options,
                           : options.num_threads;
   std::optional<chains::ParallelEngine> engine;
   if (threads > 1) engine.emplace(threads);
+  if (options.backend == Backend::local_network) {
+    // The LOCAL runtime: R+1 simulated rounds complete R chain steps, and
+    // the outputs are bit-identical to the chain backend below — the
+    // contract the test suite asserts per algorithm and thread count.
+    local::Network net = make_network(
+        options.algorithm, std::make_shared<const mrf::CompiledMrf>(m), x,
+        options.seed);
+    if (engine.has_value()) net.set_engine(&*engine);
+    net.run_rounds(rounds + 1);
+    result.message_stats = net.stats();
+    result.config = net.outputs();
+    result.feasible = m.feasible(result.config);
+    return result;
+  }
   auto run_with = [&](chains::Chain& chain) {
     if (engine.has_value()) chain.set_engine(&*engine);
     chains::run(chain, x, 0, rounds);
@@ -62,21 +86,40 @@ BatchSampleResult run_replicas(const mrf::Mrf& m, const SamplerOptions& options,
   result.theory_alpha = alpha;
   result.configs.assign(static_cast<std::size_t>(replicas), mrf::Config{});
   std::vector<char> feasible(static_cast<std::size_t>(replicas), 0);
+  std::vector<local::MessageStats> net_stats(
+      static_cast<std::size_t>(replicas));
   chains::ReplicaRunner runner(options.num_threads);
   runner.run(replicas, [&](int r) {
     const std::uint64_t seed =
         chains::replica_seed(options.seed, static_cast<std::uint64_t>(r));
-    std::unique_ptr<chains::Chain> chain;
-    if (options.algorithm == Algorithm::luby_glauber)
-      chain = std::make_unique<chains::LubyGlauberChain>(cm, seed);
-    else
-      chain = std::make_unique<chains::LocalMetropolisChain>(cm, seed);
-    mrf::Config x = x0;
-    chains::run(*chain, x, 0, rounds);
+    mrf::Config x;
+    if (options.backend == Backend::local_network) {
+      // Replica r on the LOCAL runtime — bit-identical to sample_mrf with
+      // this replica's seed and backend (each network runs its rounds
+      // sequentially; the runner parallelizes across replicas).
+      local::Network net = make_network(options.algorithm, cm, x0, seed);
+      net.run_rounds(rounds + 1);
+      net_stats[static_cast<std::size_t>(r)] = net.stats();
+      x = net.outputs();
+    } else {
+      std::unique_ptr<chains::Chain> chain;
+      if (options.algorithm == Algorithm::luby_glauber)
+        chain = std::make_unique<chains::LubyGlauberChain>(cm, seed);
+      else
+        chain = std::make_unique<chains::LocalMetropolisChain>(cm, seed);
+      x = x0;
+      chains::run(*chain, x, 0, rounds);
+    }
     feasible[static_cast<std::size_t>(r)] = m.feasible(x) ? 1 : 0;
     result.configs[static_cast<std::size_t>(r)] = std::move(x);
   });
   for (char f : feasible) result.feasible_count += f != 0 ? 1 : 0;
+  // Deterministic reduction in replica order.
+  for (const auto& s : net_stats) {
+    result.message_stats.rounds += s.rounds;
+    result.message_stats.messages += s.messages;
+    result.message_stats.bits += s.bits;
+  }
   return result;
 }
 

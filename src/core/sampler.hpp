@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "local/message_stats.hpp"
 #include "mrf/mrf.hpp"
 
 namespace lsample::core {
@@ -18,8 +19,20 @@ enum class Algorithm {
   local_metropolis,  ///< Algorithm 2: O(log(n/eps)) under Thm 4.2 conditions
 };
 
+enum class Backend {
+  /// In-memory reference chains (chains/) — the fast default.
+  chain,
+  /// The message-passing LOCAL-model runtime (local/): every vertex runs as
+  /// a node program reading only its ports, one chain step per communication
+  /// round.  The sampled configuration is bit-identical to the chain backend
+  /// with the same (model, algorithm, seed, rounds) — at any thread count —
+  /// and the result carries the communication profile (MessageStats).
+  local_network,
+};
+
 struct SamplerOptions {
   Algorithm algorithm = Algorithm::local_metropolis;
+  Backend backend = Backend::chain;
   double epsilon = 0.01;       ///< target total-variation distance
   std::uint64_t seed = 1;
   /// Override the theory-derived round budget (useful outside guaranteed
@@ -39,9 +52,13 @@ struct SamplerOptions {
 
 struct SampleResult {
   mrf::Config config;
-  std::int64_t rounds = 0;   ///< communication rounds spent
+  std::int64_t rounds = 0;   ///< chain steps spent (= communication rounds)
   bool feasible = false;     ///< w(config) > 0
   double theory_alpha = -1;  ///< Dobrushin alpha used (LubyGlauber), if any
+  /// Communication profile when backend == local_network (all-zero for the
+  /// chain backend).  rounds here counts SIMULATED rounds: completing R
+  /// chain steps costs R+1 rounds (round 0 is the initial broadcast).
+  local::MessageStats message_stats;
 };
 
 /// Samples an approximately uniform proper q-coloring of g (Theorems 1.1 /
@@ -78,6 +95,9 @@ struct BatchSampleResult {
   std::int64_t rounds = 0;           ///< rounds spent by EACH replica
   int feasible_count = 0;            ///< replicas with w(config) > 0
   double theory_alpha = -1;          ///< Dobrushin alpha used, if any
+  /// Summed communication profile over all replicas when
+  /// backend == local_network (all-zero for the chain backend).
+  local::MessageStats message_stats;
 };
 
 /// Draws options.num_replicas independent samples from m in one call — the

@@ -1,89 +1,110 @@
 #include "local/csp_node_programs.hpp"
 
+#include "local/node_programs.hpp"
 #include "util/require.hpp"
 
 namespace lsample::local {
 
-CspLocalMetropolisNode::CspLocalMetropolisNode(const csp::FactorGraph& fg,
-                                               int vertex, int initial_spin)
-    : fg_(fg), v_(vertex), x_(initial_spin) {
-  LS_REQUIRE(initial_spin >= 0 && initial_spin < fg.q(), "spin out of range");
-  known_proposal_.assign(static_cast<std::size_t>(fg.n()), -1);
-  known_spin_.assign(static_cast<std::size_t>(fg.n()), -1);
+CspLocalMetropolisTable::CspLocalMetropolisTable(const csp::FactorGraph& fg,
+                                                const csp::Config& x0)
+    : fg_(&fg), x_(x0) {
+  csp::check_config(fg, x_);
+  pending_.assign(x_.size(), -1);
+  set_num_threads(1);
 }
 
-void CspLocalMetropolisNode::on_round(NodeContext& ctx) {
-  const std::int64_t r = ctx.round();
-  const int deg = ctx.degree();
-
-  if (r >= 1) {
-    const std::int64_t t = r - 1;
-    // Gather scope-mates' proposals and spins from the received messages.
-    for (int port = 0; port < deg; ++port) {
-      const auto msg = ctx.received(port);
-      LS_ASSERT(msg.size() == 2, "malformed CSP message");
-      const int u = ctx.neighbor_of_port(port);
-      known_proposal_[static_cast<std::size_t>(u)] = static_cast<int>(msg[0]);
-      known_spin_[static_cast<std::size_t>(u)] = static_cast<int>(msg[1]);
-    }
-    known_proposal_[static_cast<std::size_t>(v_)] = pending_proposal_;
-    known_spin_[static_cast<std::size_t>(v_)] = x_;
-
-    // Evaluate every incident constraint with its shared coin.  The
-    // constraint's scope is a subset of {v} + conflict neighbors, so all
-    // needed values are known locally.
-    bool all_pass = true;
-    csp::Config sigma(static_cast<std::size_t>(fg_.n()), 0);
-    csp::Config x(static_cast<std::size_t>(fg_.n()), 0);
-    for (int c : fg_.constraints_of(v_)) {
-      for (int w : fg_.constraint(c).scope) {
-        LS_ASSERT(known_proposal_[static_cast<std::size_t>(w)] >= 0,
-                  "scope-mate value missing: scope not within the conflict "
-                  "neighborhood");
-        sigma[static_cast<std::size_t>(w)] =
-            known_proposal_[static_cast<std::size_t>(w)];
-        x[static_cast<std::size_t>(w)] =
-            known_spin_[static_cast<std::size_t>(w)];
-      }
-      const double p = fg_.constraint_pass_prob(c, sigma, x);
-      const double u = ctx.rng().u01(util::RngDomain::constraint_coin,
-                                     static_cast<std::uint64_t>(c),
-                                     static_cast<std::uint64_t>(t));
-      if (!(u < p)) {
-        all_pass = false;
-        break;
-      }
-    }
-    if (all_pass) x_ = pending_proposal_;
+void CspLocalMetropolisTable::set_num_threads(int num_threads) {
+  scratch_.assign(static_cast<std::size_t>(num_threads), {});
+  const std::size_t n = static_cast<std::size_t>(fg_->n());
+  for (auto& sc : scratch_) {
+    sc.known_proposal.assign(n, -1);
+    sc.known_spin.assign(n, -1);
+    sc.stamp.assign(n, -1);
+    sc.sigma.assign(n, 0);
+    sc.x.assign(n, 0);
   }
+}
 
-  // Draw the proposal for step r and broadcast (proposal, spin).
-  {
-    const double u = ctx.rng().u01(util::RngDomain::vertex_proposal,
-                                   static_cast<std::uint64_t>(v_),
-                                   static_cast<std::uint64_t>(r));
-    pending_proposal_ = util::categorical(fg_.vertex_activity(v_), u);
-    LS_ASSERT(pending_proposal_ >= 0, "zero vertex activity");
+void CspLocalMetropolisTable::run_nodes(Network& net, int thread, int begin,
+                                        int end) {
+  const csp::FactorGraph& fg = *fg_;
+  const util::CounterRng& rng = net.rng();
+  const auto off = net.g().csr_offsets();
+  const auto nbr = net.g().neighbors_flat();
+  const std::int64_t r = net.round();
+  const int bits = 2 * spin_bits(fg.q());
+  auto& sc = scratch_[static_cast<std::size_t>(thread)];
+
+  for (int v = begin; v < end; ++v) {
+    NodeContext ctx = net.context(v, thread);
+    const int base = off[static_cast<std::size_t>(v)];
+    const int deg = off[static_cast<std::size_t>(v) + 1] - base;
+
+    if (r >= 1) {
+      const std::int64_t t = r - 1;
+      const std::int64_t token = ++sc.token;
+      // Gather scope-mates' proposals and spins from the received messages.
+      for (int port = 0; port < deg; ++port) {
+        const auto msg = ctx.received(port);
+        LS_ASSERT(msg.size() == 2, "malformed CSP message");
+        const auto u =
+            static_cast<std::size_t>(nbr[static_cast<std::size_t>(base + port)]);
+        sc.known_proposal[u] = static_cast<int>(msg[0]);
+        sc.known_spin[u] = static_cast<int>(msg[1]);
+        sc.stamp[u] = token;
+      }
+      sc.known_proposal[static_cast<std::size_t>(v)] =
+          pending_[static_cast<std::size_t>(v)];
+      sc.known_spin[static_cast<std::size_t>(v)] =
+          x_[static_cast<std::size_t>(v)];
+      sc.stamp[static_cast<std::size_t>(v)] = token;
+
+      // Evaluate every incident constraint with its shared coin.  The
+      // constraint's scope is a subset of {v} + conflict neighbors, so all
+      // needed values are known locally.
+      bool all_pass = true;
+      for (int c : fg.constraints_of(v)) {
+        for (int w : fg.constraint(c).scope) {
+          const auto wi = static_cast<std::size_t>(w);
+          LS_ASSERT(sc.stamp[wi] == token,
+                    "scope-mate value missing: scope not within the conflict "
+                    "neighborhood");
+          sc.sigma[wi] = sc.known_proposal[wi];
+          sc.x[wi] = sc.known_spin[wi];
+        }
+        const double p = fg.constraint_pass_prob(c, sc.sigma, sc.x);
+        const double u = rng.u01(util::RngDomain::constraint_coin,
+                                 static_cast<std::uint64_t>(c),
+                                 static_cast<std::uint64_t>(t));
+        if (!(u < p)) {
+          all_pass = false;
+          break;
+        }
+      }
+      if (all_pass)
+        x_[static_cast<std::size_t>(v)] = pending_[static_cast<std::size_t>(v)];
+    }
+
+    // Draw the proposal for step r and broadcast (proposal, spin).
+    const double u = rng.u01(util::RngDomain::vertex_proposal,
+                             static_cast<std::uint64_t>(v),
+                             static_cast<std::uint64_t>(r));
+    const int sv = util::categorical(fg.vertex_activity(v), u);
+    LS_ASSERT(sv >= 0, "zero vertex activity");
+    pending_[static_cast<std::size_t>(v)] = sv;
+    const std::uint64_t words[2] = {
+        static_cast<std::uint64_t>(sv),
+        static_cast<std::uint64_t>(x_[static_cast<std::size_t>(v)])};
+    ctx.broadcast(words, bits);
   }
-  const std::uint64_t words[2] = {static_cast<std::uint64_t>(pending_proposal_),
-                                  static_cast<std::uint64_t>(x_)};
-  const int bits = 2 * [&] {
-    int b = 1;
-    while ((1 << b) < fg_.q()) ++b;
-    return b;
-  }();
-  for (int port = 0; port < deg; ++port) ctx.send(port, words, bits);
 }
 
 Network make_csp_local_metropolis_network(const csp::FactorGraph& fg,
                                           const csp::Config& x0,
                                           std::uint64_t seed) {
-  csp::check_config(fg, x0);
   auto conflict = fg.make_conflict_graph();
-  return Network(std::move(conflict), seed, [&fg, &x0](int v) {
-    return std::make_unique<CspLocalMetropolisNode>(
-        fg, v, x0[static_cast<std::size_t>(v)]);
-  });
+  return Network(std::move(conflict), seed,
+                 std::make_unique<CspLocalMetropolisTable>(fg, x0));
 }
 
 }  // namespace lsample::local

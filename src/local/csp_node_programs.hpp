@@ -1,5 +1,5 @@
 // LOCAL-model execution of the CSP LocalMetropolis algorithm (the §4 remark
-// generalized to weighted local CSPs).
+// generalized to weighted local CSPs), as a value-type node-program table.
 //
 // The communication network is the *conflict graph* of the factor graph
 // (u ~ v iff they share a constraint): in the paper's model a local
@@ -7,9 +7,11 @@
 // neighbors.  Per step each vertex broadcasts (proposal, spin) to its
 // conflict neighbors; every vertex then evaluates each incident constraint
 // with a shared counter-RNG coin and accepts iff all of them pass —
-// reproducing csp::CspLocalMetropolisChain trajectory-exactly (tested).
+// reproducing csp::CspLocalMetropolisChain trajectory-exactly (tested),
+// sequentially and at any thread count of an attached engine.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "csp/csp_chains.hpp"
@@ -17,22 +19,38 @@
 
 namespace lsample::local {
 
-class CspLocalMetropolisNode final : public NodeProgram {
+class CspLocalMetropolisTable final : public NodeProgramTable {
  public:
-  CspLocalMetropolisNode(const csp::FactorGraph& fg, int vertex,
-                         int initial_spin);
+  /// fg must outlive the table.
+  CspLocalMetropolisTable(const csp::FactorGraph& fg, const csp::Config& x0);
 
-  void on_round(NodeContext& ctx) override;
-  [[nodiscard]] int output() const noexcept override { return x_; }
+  [[nodiscard]] int message_capacity_words() const noexcept override {
+    return 2;  // (proposal, spin)
+  }
+  void run_nodes(Network& net, int thread, int begin, int end) override;
+  [[nodiscard]] int output(int v) const override {
+    return x_[static_cast<std::size_t>(v)];
+  }
+  void set_num_threads(int num_threads) override;
 
  private:
-  const csp::FactorGraph& fg_;
-  int v_;
-  int x_;
-  int pending_proposal_ = -1;
-  // Scratch: latest known (proposal, spin) per vertex id we can hear from.
-  std::vector<int> known_proposal_;
-  std::vector<int> known_spin_;
+  struct Scratch {
+    // Latest known (proposal, spin) per vertex id, validated by a stamp so a
+    // value written for one node's round can never leak into another node's
+    // constraint evaluation (the seed simulator's per-node arrays made this
+    // structurally impossible; the stamp keeps the same detection exact).
+    std::vector<int> known_proposal;
+    std::vector<int> known_spin;
+    std::vector<std::int64_t> stamp;
+    std::int64_t token = 0;
+    csp::Config sigma;
+    csp::Config x;
+  };
+
+  const csp::FactorGraph* fg_;
+  std::vector<int> x_;
+  std::vector<int> pending_;  // proposal drawn when the last message was sent
+  std::vector<Scratch> scratch_;
 };
 
 /// Builds the conflict-graph network running CSP LocalMetropolis from x0.

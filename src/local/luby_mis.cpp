@@ -7,47 +7,56 @@
 
 namespace lsample::local {
 
-void LubyMisNode::on_round(NodeContext& ctx) {
-  const std::int64_t r = ctx.round();
-  const int deg = ctx.degree();
+void LubyMisTable::run_nodes(Network& net, int thread, int begin, int end) {
+  const util::CounterRng& rng = net.rng();
+  const auto off = net.g().csr_offsets();
+  const auto nbr = net.g().neighbors_flat();
+  const std::int64_t r = net.round();
   // Phases of two rounds: even round = publish (priority, state); odd round
   // = decide from received priorities, publish (priority unused, state).
   const bool publish_round = (r % 2) == 0;
 
-  if (!publish_round && state_ == undecided) {
-    // Decide using the priorities published last round.
-    const std::int64_t phase = r / 2;
-    const double mine = chains::luby_priority(ctx.rng(), v_, phase);
-    bool is_max = true;
-    bool neighbor_joined = false;
-    for (int port = 0; port < deg; ++port) {
-      const auto msg = ctx.received(port);
-      LS_ASSERT(msg.size() == 2, "malformed MIS message");
-      const auto their_state = static_cast<State>(msg[1]);
-      if (their_state == in_mis) neighbor_joined = true;
-      if (their_state != undecided) continue;  // decided nodes don't compete
-      const double theirs = std::bit_cast<double>(msg[0]);
-      const int u = ctx.neighbor_of_port(port);
-      if (theirs > mine || (theirs == mine && u > v_)) is_max = false;
-    }
-    if (neighbor_joined)
-      state_ = out_mis;
-    else if (is_max)
-      state_ = in_mis;
-  }
+  for (int v = begin; v < end; ++v) {
+    NodeContext ctx = net.context(v, thread);
+    const int base = off[static_cast<std::size_t>(v)];
+    const int deg = off[static_cast<std::size_t>(v) + 1] - base;
+    auto& state = state_[static_cast<std::size_t>(v)];
 
-  // Publish this phase's priority and current state.
-  const std::int64_t phase = (r + 1) / 2;
-  const double priority = chains::luby_priority(ctx.rng(), v_, phase);
-  const std::uint64_t words[2] = {std::bit_cast<std::uint64_t>(priority),
-                                  static_cast<std::uint64_t>(state_)};
-  for (int port = 0; port < deg; ++port) ctx.send(port, words, 64 + 2);
+    if (!publish_round && state == undecided) {
+      // Decide using the priorities published last round.
+      const std::int64_t phase = r / 2;
+      const double mine = chains::luby_priority(rng, v, phase);
+      bool is_max = true;
+      bool neighbor_joined = false;
+      for (int port = 0; port < deg; ++port) {
+        const auto msg = ctx.received(port);
+        LS_ASSERT(msg.size() == 2, "malformed MIS message");
+        const auto their_state = static_cast<State>(msg[1]);
+        if (their_state == in_mis) neighbor_joined = true;
+        if (their_state != undecided) continue;  // decided don't compete
+        const double theirs = std::bit_cast<double>(msg[0]);
+        const int u = nbr[static_cast<std::size_t>(base + port)];
+        if (theirs > mine || (theirs == mine && u > v)) is_max = false;
+      }
+      if (neighbor_joined)
+        state = out_mis;
+      else if (is_max)
+        state = in_mis;
+    }
+
+    // Publish this phase's priority and current state.
+    const std::int64_t phase = (r + 1) / 2;
+    const double priority = chains::luby_priority(rng, v, phase);
+    const std::uint64_t words[2] = {std::bit_cast<std::uint64_t>(priority),
+                                    static_cast<std::uint64_t>(state)};
+    ctx.broadcast(words, 64 + 2);
+  }
 }
 
 Network make_luby_mis_network(graph::GraphPtr g, std::uint64_t seed) {
-  return Network(std::move(g), seed, [](int v) {
-    return std::make_unique<LubyMisNode>(v);
-  });
+  LS_REQUIRE(g != nullptr, "graph must not be null");
+  const int n = g->num_vertices();
+  return Network(std::move(g), seed, std::make_unique<LubyMisTable>(n));
 }
 
 std::int64_t run_luby_mis(Network& net, std::int64_t max_rounds) {

@@ -1,5 +1,5 @@
 // Luby's classic distributed Maximal Independent Set protocol, as a LOCAL
-// node program.
+// node-program table.
 //
 // Included for the paper's headline separation (discussion after Thm 1.3):
 // *constructing* an independent set locally is trivial, and even a maximal
@@ -13,29 +13,37 @@
 //            drop out.
 #pragma once
 
+#include <vector>
+
 #include "local/network.hpp"
 
 namespace lsample::local {
 
-class LubyMisNode final : public NodeProgram {
+/// The per-node protocol state, in one structure-of-arrays table.
+class LubyMisTable final : public NodeProgramTable {
  public:
   enum State : int { undecided = 0, in_mis = 1, out_mis = 2 };
 
-  explicit LubyMisNode(int vertex) : v_(vertex) {}
+  explicit LubyMisTable(int num_vertices)
+      : state_(static_cast<std::size_t>(num_vertices), undecided) {}
 
-  void on_round(NodeContext& ctx) override;
+  [[nodiscard]] int message_capacity_words() const noexcept override {
+    return 2;  // (priority, state)
+  }
+  void run_nodes(Network& net, int thread, int begin, int end) override;
 
   /// 1 if the node decided to join the MIS, 0 otherwise (including still
   /// undecided).
-  [[nodiscard]] int output() const noexcept override {
-    return state_ == in_mis ? 1 : 0;
+  [[nodiscard]] int output(int v) const override {
+    return state_[static_cast<std::size_t>(v)] == in_mis ? 1 : 0;
   }
 
-  [[nodiscard]] State state() const noexcept { return state_; }
+  [[nodiscard]] State state(int v) const noexcept {
+    return static_cast<State>(state_[static_cast<std::size_t>(v)]);
+  }
 
  private:
-  int v_;
-  State state_ = undecided;
+  std::vector<int> state_;
 };
 
 /// Builds a Luby-MIS network over g.

@@ -1,0 +1,22 @@
+// Communication accounting for the LOCAL-model simulator: rounds executed,
+// messages delivered, and semantic bits transmitted (experiment E9 measures
+// the paper's end-of-§1.1 "O(log n) bits per message" claim with these).
+// Split out of network.hpp so the core facade can carry a MessageStats in
+// its results without pulling in the whole runtime.
+#pragma once
+
+#include <cstdint>
+
+namespace lsample::local {
+
+struct MessageStats {
+  std::int64_t rounds = 0;
+  std::int64_t messages = 0;
+  std::int64_t bits = 0;
+
+  friend bool operator==(const MessageStats& a, const MessageStats& b) {
+    return a.rounds == b.rounds && a.messages == b.messages && a.bits == b.bits;
+  }
+};
+
+}  // namespace lsample::local

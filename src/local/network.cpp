@@ -1,53 +1,20 @@
 #include "local/network.hpp"
 
+#include "chains/engine.hpp"
 #include "util/require.hpp"
 
 namespace lsample::local {
 
-std::int64_t NodeContext::round() const noexcept { return net_->round_; }
-
-int NodeContext::degree() const { return net_->g().degree(id_); }
-
-int NodeContext::edge_of_port(int port) const {
-  const auto inc = net_->g().incident_edges(id_);
-  LS_REQUIRE(port >= 0 && port < static_cast<int>(inc.size()),
-             "port out of range");
-  return inc[static_cast<std::size_t>(port)];
-}
-
-int NodeContext::neighbor_of_port(int port) const {
-  const auto nbr = net_->g().neighbors(id_);
-  LS_REQUIRE(port >= 0 && port < static_cast<int>(nbr.size()),
-             "port out of range");
-  return nbr[static_cast<std::size_t>(port)];
-}
-
-void NodeContext::send(int port, std::span<const std::uint64_t> words,
-                       int bits) {
-  LS_REQUIRE(bits >= 0, "negative bit count");
-  const int e = edge_of_port(port);
-  const int receiver = neighbor_of_port(port);
-  auto& msg = net_->next_[net_->buffer_index(e, receiver)];
-  msg.words.assign(words.begin(), words.end());
-  msg.bits = bits;
-  msg.present = true;
-  ++net_->stats_.messages;
-  net_->stats_.bits += bits;
-}
-
-std::span<const std::uint64_t> NodeContext::received(int port) const {
-  const int e = edge_of_port(port);
-  const auto& msg = net_->cur_[net_->buffer_index(e, id_)];
-  if (!msg.present) return {};
-  return msg.words;
-}
-
-const util::CounterRng& NodeContext::rng() const noexcept {
-  return net_->rng_;
+void NodeContext::fail_port(int port, const char* what) const {
+  util::throw_requirement_failure(
+      "0 <= port && port < degree()", __FILE__, __LINE__,
+      std::string(what) + ": node " + std::to_string(id_) + ": port " +
+          std::to_string(port) + " out of range [0, " +
+          std::to_string(degree()) + ")");
 }
 
 Network::Network(graph::GraphPtr g, std::uint64_t seed,
-                 const ProgramFactory& make)
+                 const ProgramFactory& make, int message_capacity_words)
     : graph_(std::move(g)), rng_(seed) {
   LS_REQUIRE(graph_ != nullptr, "graph must not be null");
   programs_.reserve(static_cast<std::size_t>(graph_->num_vertices()));
@@ -56,25 +23,90 @@ Network::Network(graph::GraphPtr g, std::uint64_t seed,
     LS_REQUIRE(p != nullptr, "program factory returned null");
     programs_.push_back(std::move(p));
   }
-  cur_.assign(static_cast<std::size_t>(graph_->num_edges()) * 2, {});
-  next_.assign(static_cast<std::size_t>(graph_->num_edges()) * 2, {});
+  init_arena(message_capacity_words);
 }
 
-std::size_t Network::buffer_index(int e, int receiver) const {
-  const graph::Edge& ed = graph_->edge(e);
-  LS_ASSERT(ed.u == receiver || ed.v == receiver, "receiver not on edge");
-  return static_cast<std::size_t>(e) * 2 + (ed.v == receiver ? 1 : 0);
+Network::Network(graph::GraphPtr g, std::uint64_t seed,
+                 std::unique_ptr<NodeProgramTable> table)
+    : graph_(std::move(g)), rng_(seed), table_(std::move(table)) {
+  LS_REQUIRE(graph_ != nullptr, "graph must not be null");
+  LS_REQUIRE(table_ != nullptr, "program table must not be null");
+  init_arena(table_->message_capacity_words());
+  table_->set_num_threads(1);
+}
+
+void Network::init_arena(int message_capacity_words) {
+  LS_REQUIRE(message_capacity_words >= 1,
+             "message capacity must be at least one word");
+  cap_ = message_capacity_words;
+  graph_->finalize();
+  off_ = graph_->csr_offsets();
+  inc_ = graph_->incident_edges_flat();
+  nbr_ = graph_->neighbors_flat();
+
+  // Every edge id appears exactly once in each endpoint's incident list
+  // (self-loops are rejected by Graph), so pairing the two directed CSR
+  // positions of each edge yields the mirror index received() follows.
+  const std::size_t slots = inc_.size();
+  mirror_.assign(slots, -1);
+  std::vector<int> first_pos(static_cast<std::size_t>(graph_->num_edges()), -1);
+  for (std::size_t p = 0; p < slots; ++p) {
+    const auto e = static_cast<std::size_t>(inc_[p]);
+    if (first_pos[e] < 0) {
+      first_pos[e] = static_cast<int>(p);
+    } else {
+      mirror_[p] = first_pos[e];
+      mirror_[static_cast<std::size_t>(first_pos[e])] = static_cast<int>(p);
+    }
+  }
+  for (std::size_t p = 0; p < slots; ++p)
+    LS_ASSERT(mirror_[p] >= 0, "unpaired directed edge slot");
+
+  cur_words_.assign(slots * static_cast<std::size_t>(cap_), 0);
+  next_words_.assign(slots * static_cast<std::size_t>(cap_), 0);
+  cur_meta_.assign(slots, {});
+  next_meta_.assign(slots, {});
+  worker_stats_.assign(1, {});
+}
+
+void Network::set_engine(chains::ParallelEngine* engine) {
+  engine_ = engine;
+  const int threads = engine_ != nullptr ? engine_->num_threads() : 1;
+  worker_stats_.assign(static_cast<std::size_t>(threads), {});
+  if (table_ != nullptr) table_->set_num_threads(threads);
 }
 
 void Network::run_round() {
-  for (auto& msg : next_) msg.present = false;
-  for (int v = 0; v < graph_->num_vertices(); ++v) {
-    NodeContext ctx(*this, v);
-    programs_[static_cast<std::size_t>(v)]->on_round(ctx);
-  }
-  std::swap(cur_, next_);
+  const int n = graph_->num_vertices();
+  for (auto& ws : worker_stats_) ws = {};
+  const auto job = [&](int thread, int begin, int end) {
+    // Clear this slice's out-slots: vertex slices partition the directed
+    // slots, so each slot is cleared by exactly the thread that may write it.
+    const auto slot_begin = static_cast<std::size_t>(
+        off_[static_cast<std::size_t>(begin)]);
+    const auto slot_end =
+        static_cast<std::size_t>(off_[static_cast<std::size_t>(end)]);
+    for (std::size_t s = slot_begin; s < slot_end; ++s) next_meta_[s] = {};
+    if (table_ != nullptr) {
+      table_->run_nodes(*this, thread, begin, end);
+    } else {
+      for (int v = begin; v < end; ++v) {
+        NodeContext ctx(*this, v, thread);
+        programs_[static_cast<std::size_t>(v)]->on_round(ctx);
+      }
+    }
+  };
+  chains::run_partitioned(engine_, n, job);
+  std::swap(cur_words_, next_words_);
+  std::swap(cur_meta_, next_meta_);
   ++round_;
   ++stats_.rounds;
+  // Deterministic reduction in thread order (integer sums, so any order
+  // would agree — the fixed order keeps the contract obvious).
+  for (const auto& ws : worker_stats_) {
+    stats_.messages += ws.messages;
+    stats_.bits += ws.bits;
+  }
 }
 
 void Network::run_rounds(std::int64_t rounds) {
@@ -83,9 +115,14 @@ void Network::run_rounds(std::int64_t rounds) {
 
 mrf::Config Network::outputs() const {
   mrf::Config x(static_cast<std::size_t>(graph_->num_vertices()));
-  for (int v = 0; v < graph_->num_vertices(); ++v)
-    x[static_cast<std::size_t>(v)] =
-        programs_[static_cast<std::size_t>(v)]->output();
+  if (table_ != nullptr) {
+    for (int v = 0; v < graph_->num_vertices(); ++v)
+      x[static_cast<std::size_t>(v)] = table_->output(v);
+  } else {
+    for (int v = 0; v < graph_->num_vertices(); ++v)
+      x[static_cast<std::size_t>(v)] =
+          programs_[static_cast<std::size_t>(v)]->output();
+  }
   return x;
 }
 

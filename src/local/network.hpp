@@ -12,25 +12,49 @@
 // and shared per-edge streams (the paper's shared edge coins).  Because the
 // reference chains in chains/ draw from the same streams, the simulator must
 // reproduce their trajectories bit for bit — asserted by tests.
+//
+// Execution model.  Messages live in a double-buffered contiguous arena: one
+// fixed-capacity slot per directed edge, indexed by the graph's CSR ports
+// (the slot for the message v sends on port i is csr_offsets[v] + i, so a
+// node's outgoing messages are one contiguous slab; received() follows a
+// precomputed mirror index into the sender's slot).  A round maps node
+// programs over the vertex set — sequentially, or partitioned across a
+// chains::ParallelEngine.  Because a node writes only its own out-slots and
+// its own program state, and reads only the immutable previous-round buffer,
+// the trajectory AND the message statistics are bit-identical at any thread
+// count.  Per-worker MessageStats are reduced in thread order after each
+// round.
+//
+// Two program representations are supported:
+//   * NodeProgramTable (preferred) — ONE value-type object owning the state
+//     of every node in structure-of-arrays form; the network makes one
+//     virtual call per thread-slice per round, so the per-node loop
+//     devirtualizes.  The tables in node_programs.hpp / luby_mis.hpp /
+//     csp_node_programs.hpp run on compiled model views (mrf::CompiledMrf).
+//   * NodeProgram + ProgramFactory (fallback) — one heap-allocated program
+//     per vertex with a virtual call per node per round; the extension point
+//     for user programs.  Under an engine a program may touch only its own
+//     state (the library's tables obey this by construction).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "local/message_stats.hpp"
 #include "mrf/mrf.hpp"
+#include "util/require.hpp"
 #include "util/rng.hpp"
 
-namespace lsample::local {
+namespace lsample::chains {
+class ParallelEngine;
+}  // namespace lsample::chains
 
-struct MessageStats {
-  std::int64_t rounds = 0;
-  std::int64_t messages = 0;
-  std::int64_t bits = 0;
-};
+namespace lsample::local {
 
 class Network;
 
@@ -39,7 +63,7 @@ class NodeContext {
  public:
   [[nodiscard]] int id() const noexcept { return id_; }
   [[nodiscard]] std::int64_t round() const noexcept;
-  [[nodiscard]] int degree() const;
+  [[nodiscard]] int degree() const noexcept;
 
   /// Edge id behind a port (ports number v's incident edges 0..deg-1).
   [[nodiscard]] int edge_of_port(int port) const;
@@ -48,7 +72,13 @@ class NodeContext {
 
   /// Sends `words` to the neighbor behind `port`; `bits` is the semantic
   /// message size used for accounting (may be smaller than 64*words).
+  /// words.size() must not exceed the network's per-message word capacity.
   void send(int port, std::span<const std::uint64_t> words, int bits);
+
+  /// Sends the same `words` on EVERY port (degree() messages of `bits` bits
+  /// each) — equivalent to send() per port, but validated once and written
+  /// as one contiguous slab pass.  All of the paper's protocols broadcast.
+  void broadcast(std::span<const std::uint64_t> words, int bits);
 
   /// Message received from `port`'s neighbor this round (sent by it last
   /// round); empty in round 0.
@@ -60,12 +90,18 @@ class NodeContext {
 
  private:
   friend class Network;
-  NodeContext(Network& net, int id) : net_(&net), id_(id) {}
+  NodeContext(Network& net, int id, int thread) noexcept
+      : net_(&net), id_(id), thread_(thread) {}
+
+  [[noreturn]] void fail_port(int port, const char* what) const;
+
   Network* net_;
   int id_;
+  int thread_;  ///< worker slot for stats accounting
 };
 
-/// A distributed program executed by one node.
+/// A distributed program executed by one node (the user-extension fallback;
+/// the library's own protocols use NodeProgramTable).
 class NodeProgram {
  public:
   virtual ~NodeProgram() = default;
@@ -79,9 +115,54 @@ class NodeProgram {
 
 using ProgramFactory = std::function<std::unique_ptr<NodeProgram>(int vertex)>;
 
+/// Value-type program storage: one object owns the per-node state of EVERY
+/// node (structure-of-arrays), and executes whole vertex ranges per virtual
+/// call.  run_nodes(net, thread, begin, end) must run each node exactly as a
+/// NodeProgram would — reading only received messages and its own state, and
+/// writing only its own state and out-ports — so that a table is
+/// thread-count-invariant by construction.
+class NodeProgramTable {
+ public:
+  virtual ~NodeProgramTable() = default;
+
+  /// Largest message (in 64-bit words) any node of this program ever sends;
+  /// the network sizes its arena slots to this capacity.
+  [[nodiscard]] virtual int message_capacity_words() const noexcept = 0;
+
+  /// Executes one round for vertices [begin, end); `thread` identifies the
+  /// worker slot (for per-thread scratch).  Obtain contexts from
+  /// Network::context(v, thread).
+  virtual void run_nodes(Network& net, int thread, int begin, int end) = 0;
+
+  /// The node's current output spin.
+  [[nodiscard]] virtual int output(int v) const = 0;
+
+  /// Called when the network's thread count changes; size per-thread scratch
+  /// here.  Always called at least once (with 1) before the first round.
+  virtual void set_num_threads(int /*num_threads*/) {}
+};
+
+/// Arena slot capacity for the ProgramFactory fallback when no table
+/// negotiates one (all library protocols send 2-word messages).
+inline constexpr int kDefaultMessageCapacityWords = 4;
+
 class Network {
  public:
-  Network(graph::GraphPtr g, std::uint64_t seed, const ProgramFactory& make);
+  /// Fallback path: one heap-allocated NodeProgram per vertex.  Messages of
+  /// more than `message_capacity_words` words are rejected with LS_REQUIRE.
+  Network(graph::GraphPtr g, std::uint64_t seed, const ProgramFactory& make,
+          int message_capacity_words = kDefaultMessageCapacityWords);
+
+  /// Compiled path: a single NodeProgramTable owning all node state; the
+  /// arena capacity is negotiated from the table.
+  Network(graph::GraphPtr g, std::uint64_t seed,
+          std::unique_ptr<NodeProgramTable> table);
+
+  /// Attaches a ParallelEngine: run_round() partitions the node map across
+  /// its threads with a bit-identical trajectory and identical MessageStats
+  /// at any thread count.  nullptr restores sequential execution.  The
+  /// engine must outlive the network or the next set_engine call.
+  void set_engine(chains::ParallelEngine* engine);
 
   /// Executes one synchronous round for all nodes.
   void run_round();
@@ -91,31 +172,145 @@ class Network {
   [[nodiscard]] const MessageStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const util::CounterRng& rng() const noexcept { return rng_; }
   [[nodiscard]] const graph::Graph& g() const noexcept { return *graph_; }
+  [[nodiscard]] int message_capacity_words() const noexcept { return cap_; }
 
   /// Current outputs of all nodes.
   [[nodiscard]] mrf::Config outputs() const;
 
+  /// The per-node view for tables (thread = worker slot passed to
+  /// run_nodes).
+  [[nodiscard]] NodeContext context(int v, int thread = 0) noexcept {
+    return NodeContext(*this, v, thread);
+  }
+
+  /// The table driving this network, or nullptr on the fallback path.
+  [[nodiscard]] NodeProgramTable* table() noexcept { return table_.get(); }
+  [[nodiscard]] const NodeProgramTable* table() const noexcept {
+    return table_.get();
+  }
+
  private:
   friend class NodeContext;
 
-  struct Message {
-    std::vector<std::uint64_t> words;
-    int bits = 0;
-    bool present = false;
+  struct SlotMeta {
+    std::int32_t words = -1;  ///< -1 = no message present
+    std::int32_t bits = 0;
+  };
+  struct WorkerStats {
+    std::int64_t messages = 0;
+    std::int64_t bits = 0;
   };
 
-  /// Buffer index for the message traveling over edge e toward vertex
-  /// `receiver`.
-  [[nodiscard]] std::size_t buffer_index(int e, int receiver) const;
+  void init_arena(int message_capacity_words);
 
   graph::GraphPtr graph_;
   util::CounterRng rng_;
-  std::vector<std::unique_ptr<NodeProgram>> programs_;
-  // Two directions per edge; cur = readable this round, next = being written.
-  std::vector<Message> cur_;
-  std::vector<Message> next_;
+  std::unique_ptr<NodeProgramTable> table_;             // compiled path
+  std::vector<std::unique_ptr<NodeProgram>> programs_;  // fallback path
+  chains::ParallelEngine* engine_ = nullptr;
+
+  // CSR views into *graph_ (finalized at construction; stable thereafter).
+  std::span<const int> off_;
+  std::span<const int> inc_;
+  std::span<const int> nbr_;
+  // mirror_[p] is the directed slot of the same edge on the other endpoint:
+  // node v receives on port i from slot mirror_[off_[v] + i] of the previous
+  // round's buffer.
+  std::vector<int> mirror_;
+
+  // Double-buffered message arena: cap_ words per directed slot; cur_ is
+  // readable this round, next_ is being written.
+  int cap_ = 0;
+  std::vector<std::uint64_t> cur_words_;
+  std::vector<std::uint64_t> next_words_;
+  std::vector<SlotMeta> cur_meta_;
+  std::vector<SlotMeta> next_meta_;
+
+  std::vector<WorkerStats> worker_stats_;  // reduced in thread order
   std::int64_t round_ = 0;
   MessageStats stats_;
 };
+
+inline std::int64_t NodeContext::round() const noexcept { return net_->round_; }
+
+inline int NodeContext::degree() const noexcept {
+  return net_->off_[static_cast<std::size_t>(id_) + 1] -
+         net_->off_[static_cast<std::size_t>(id_)];
+}
+
+inline int NodeContext::edge_of_port(int port) const {
+  if (port < 0 || port >= degree()) fail_port(port, "edge_of_port");
+  return net_->inc_[static_cast<std::size_t>(
+      net_->off_[static_cast<std::size_t>(id_)] + port)];
+}
+
+inline int NodeContext::neighbor_of_port(int port) const {
+  if (port < 0 || port >= degree()) fail_port(port, "neighbor_of_port");
+  return net_->nbr_[static_cast<std::size_t>(
+      net_->off_[static_cast<std::size_t>(id_)] + port)];
+}
+
+inline void NodeContext::send(int port, std::span<const std::uint64_t> words,
+                              int bits) {
+  Network& net = *net_;
+  if (port < 0 || port >= degree()) fail_port(port, "send");
+  LS_REQUIRE(bits >= 0, "node " + std::to_string(id_) + ": negative bit count");
+  LS_REQUIRE(static_cast<int>(words.size()) <= net.cap_,
+             "node " + std::to_string(id_) + ", port " + std::to_string(port) +
+                 ": message of " + std::to_string(words.size()) +
+                 " words exceeds the arena capacity of " +
+                 std::to_string(net.cap_) + " words per message");
+  const std::size_t slot =
+      static_cast<std::size_t>(net.off_[static_cast<std::size_t>(id_)] + port);
+  std::uint64_t* dst =
+      net.next_words_.data() + slot * static_cast<std::size_t>(net.cap_);
+  for (std::size_t i = 0; i < words.size(); ++i) dst[i] = words[i];
+  net.next_meta_[slot] = {static_cast<std::int32_t>(words.size()), bits};
+  auto& ws = net.worker_stats_[static_cast<std::size_t>(thread_)];
+  ++ws.messages;
+  ws.bits += bits;
+}
+
+inline void NodeContext::broadcast(std::span<const std::uint64_t> words,
+                                   int bits) {
+  Network& net = *net_;
+  const int deg = degree();
+  LS_REQUIRE(bits >= 0, "node " + std::to_string(id_) + ": negative bit count");
+  LS_REQUIRE(static_cast<int>(words.size()) <= net.cap_,
+             "node " + std::to_string(id_) + ": broadcast message of " +
+                 std::to_string(words.size()) +
+                 " words exceeds the arena capacity of " +
+                 std::to_string(net.cap_) + " words per message");
+  const auto base =
+      static_cast<std::size_t>(net.off_[static_cast<std::size_t>(id_)]);
+  const auto cap = static_cast<std::size_t>(net.cap_);
+  std::uint64_t* dst = net.next_words_.data() + base * cap;
+  const auto meta =
+      Network::SlotMeta{static_cast<std::int32_t>(words.size()), bits};
+  for (int port = 0; port < deg; ++port) {
+    for (std::size_t i = 0; i < words.size(); ++i) dst[i] = words[i];
+    dst += cap;
+    net.next_meta_[base + static_cast<std::size_t>(port)] = meta;
+  }
+  auto& ws = net.worker_stats_[static_cast<std::size_t>(thread_)];
+  ws.messages += deg;
+  ws.bits += static_cast<std::int64_t>(deg) * bits;
+}
+
+inline std::span<const std::uint64_t> NodeContext::received(int port) const {
+  const Network& net = *net_;
+  if (port < 0 || port >= degree()) fail_port(port, "received");
+  const std::size_t slot = static_cast<std::size_t>(
+      net.mirror_[static_cast<std::size_t>(
+          net.off_[static_cast<std::size_t>(id_)] + port)]);
+  const auto meta = net.cur_meta_[slot];
+  if (meta.words < 0) return {};
+  return {net.cur_words_.data() + slot * static_cast<std::size_t>(net.cap_),
+          static_cast<std::size_t>(meta.words)};
+}
+
+inline const util::CounterRng& NodeContext::rng() const noexcept {
+  return net_->rng_;
+}
 
 }  // namespace lsample::local

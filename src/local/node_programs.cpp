@@ -9,114 +9,229 @@
 
 namespace lsample::local {
 
+namespace {
+
+/// Quantize a priority in [0,1) to `bits` bits (the value a node would
+/// transmit under the O(log n)-bit budget).
+[[nodiscard]] std::uint64_t quantize_priority(double p, int bits) noexcept {
+  return static_cast<std::uint64_t>(p * static_cast<double>(1ULL << bits));
+}
+
+}  // namespace
+
 int spin_bits(int q) noexcept {
   int b = 1;
   while ((1 << b) < q) ++b;
   return b;
 }
 
-LubyGlauberNode::LubyGlauberNode(const mrf::Mrf& m, int vertex,
-                                 int initial_spin)
-    : m_(m), v_(vertex), x_(initial_spin) {
-  LS_REQUIRE(initial_spin >= 0 && initial_spin < m.q(), "spin out of range");
+int discretized_priority_bits(int n) noexcept {
+  // Still O(log n): a union bound over the ~2|E| * tau(eps) = poly(n)
+  // priority comparisons of a run needs a constant multiple of log2 n bits
+  // for all of them to resolve as they would at full precision w.h.p.; two
+  // log-factors plus constant slack cover every experiment in this repo.
+  // The flips counter in LubyGlauberTable measures whether the budget
+  // sufficed on a given run instead of assuming it.
+  return 2 * spin_bits(n) + 8;
 }
 
-void LubyGlauberNode::on_round(NodeContext& ctx) {
-  const std::int64_t r = ctx.round();
-  const int deg = ctx.degree();
-
-  if (r >= 1) {
-    // Complete Markov-chain step t = r-1 using last round's messages.
-    const std::int64_t t = r - 1;
-    const double my_priority = chains::luby_priority(ctx.rng(), v_, t);
-    bool selected = true;
-    nbr_spins_.resize(static_cast<std::size_t>(deg));
-    for (int port = 0; port < deg; ++port) {
-      const auto msg = ctx.received(port);
-      LS_ASSERT(msg.size() == 2, "malformed LubyGlauber message");
-      const double their_priority = std::bit_cast<double>(msg[0]);
-      nbr_spins_[static_cast<std::size_t>(port)] = static_cast<int>(msg[1]);
-      const int u = ctx.neighbor_of_port(port);
-      if (their_priority > my_priority ||
-          (their_priority == my_priority && u > v_))
-        selected = false;
-    }
-    if (selected)
-      x_ = chains::heat_bath_resample(m_, ctx.rng(), v_, t, nbr_spins_,
-                                      weights_, x_);
-  }
-
-  // Send this round's priority and current spin for step r.
-  const double priority = chains::luby_priority(ctx.rng(), v_, r);
-  const std::uint64_t words[2] = {std::bit_cast<std::uint64_t>(priority),
-                                  static_cast<std::uint64_t>(x_)};
-  for (int port = 0; port < deg; ++port)
-    ctx.send(port, words, kPriorityBits + spin_bits(m_.q()));
+LubyGlauberTable::LubyGlauberTable(std::shared_ptr<const mrf::CompiledMrf> cm,
+                                   const mrf::Config& x0,
+                                   LubyGlauberNetOptions options)
+    : cm_(std::move(cm)), opt_(options), x_(x0), scratch_(1) {
+  LS_REQUIRE(cm_ != nullptr, "compiled view must not be null");
+  LS_REQUIRE(opt_.priority_bits >= 1 && opt_.priority_bits <= kPriorityBits,
+             "priority_bits must lie in [1, 64]");
+  mrf::check_config(cm_->mrf(), x_);
 }
 
-LocalMetropolisNode::LocalMetropolisNode(const mrf::Mrf& m, int vertex,
-                                         int initial_spin)
-    : m_(m), v_(vertex), x_(initial_spin) {
-  LS_REQUIRE(initial_spin >= 0 && initial_spin < m.q(), "spin out of range");
+void LubyGlauberTable::set_num_threads(int num_threads) {
+  // Per-thread scratch only; flip counts already accumulated are folded into
+  // slot 0 so quantized_comparison_flips() survives engine changes.
+  std::int64_t flips = 0;
+  for (const auto& sc : scratch_) flips += sc.flips;
+  scratch_.assign(static_cast<std::size_t>(num_threads), {});
+  scratch_[0].flips = flips;
 }
 
-void LocalMetropolisNode::on_round(NodeContext& ctx) {
-  const std::int64_t r = ctx.round();
-  const int deg = ctx.degree();
+std::int64_t LubyGlauberTable::quantized_comparison_flips() const {
+  std::int64_t flips = 0;
+  for (const auto& sc : scratch_) flips += sc.flips;
+  return flips;
+}
 
-  if (r >= 1) {
-    // Complete step t = r-1: check all incident edges with the shared coins.
-    const std::int64_t t = r - 1;
-    const int sv = pending_proposal_;
-    LS_ASSERT(sv >= 0, "missing pending proposal");
-    bool all_pass = true;
-    for (int port = 0; port < deg; ++port) {
-      const auto msg = ctx.received(port);
-      LS_ASSERT(msg.size() == 2, "malformed LocalMetropolis message");
-      const int su = static_cast<int>(msg[0]);
-      const int xu = static_cast<int>(msg[1]);
-      const int e = ctx.edge_of_port(port);
-      // edge_pass_prob takes spins in the edge's stored (u,v) orientation;
-      // the product is invariant under swapping because A is symmetric.
-      const graph::Edge& ed = m_.g().edge(e);
-      const double p = (ed.u == v_) ? m_.edge_pass_prob(e, sv, su, x_, xu)
-                                    : m_.edge_pass_prob(e, su, sv, xu, x_);
-      const bool pass = chains::edge_coin(ctx.rng(), e, t) < p;
-      if (!pass) {
-        all_pass = false;
-        // Keep reading the remaining ports so the message protocol stays in
-        // lockstep, but the decision is already made.
+void LubyGlauberTable::run_nodes(Network& net, int thread, int begin,
+                                 int end) {
+  const mrf::CompiledMrf& cm = *cm_;
+  const util::CounterRng& rng = net.rng();
+  const auto off = cm.csr_offsets();
+  const auto nbr = cm.neighbors_flat();
+  const auto inc = cm.incident_edges_flat();
+  const std::size_t q = static_cast<std::size_t>(cm.q());
+  const std::int64_t r = net.round();
+  const int msg_bits = opt_.priority_bits + spin_bits(cm.q());
+  const bool discretized = opt_.priority_bits < kPriorityBits;
+  auto& sc = scratch_[static_cast<std::size_t>(thread)];
+
+  for (int v = begin; v < end; ++v) {
+    NodeContext ctx = net.context(v, thread);
+    const int base = off[static_cast<std::size_t>(v)];
+    const int deg = off[static_cast<std::size_t>(v) + 1] - base;
+
+    if (r >= 1) {
+      // Complete Markov-chain step t = r-1 using last round's messages.
+      const std::int64_t t = r - 1;
+      const double mine = chains::luby_priority(rng, v, t);
+      bool selected = true;
+      sc.spins.resize(static_cast<std::size_t>(deg));
+      for (int port = 0; port < deg; ++port) {
+        const auto msg = ctx.received(port);
+        LS_ASSERT(msg.size() == 2, "malformed LubyGlauber message");
+        const double theirs = std::bit_cast<double>(msg[0]);
+        sc.spins[static_cast<std::size_t>(port)] = static_cast<int>(msg[1]);
+        const int u = nbr[static_cast<std::size_t>(base + port)];
+        const bool beaten = theirs > mine || (theirs == mine && u > v);
+        if (beaten) selected = false;
+        if (discretized) {
+          // Measure (don't apply) the O(log n)-bit discretization: would
+          // this comparison have resolved differently on quantized values?
+          const std::uint64_t qm = quantize_priority(mine, opt_.priority_bits);
+          const std::uint64_t qt =
+              quantize_priority(theirs, opt_.priority_bits);
+          const bool q_beaten = qt > qm || (qt == qm && u > v);
+          if (q_beaten != beaten) ++sc.flips;
+        } else if (beaten) {
+          // Not selected and no accounting to finish: the remaining spins
+          // would only feed a resample that will not happen.
+          break;
+        }
+      }
+      if (selected) {
+        // Heat-bath marginal from the RECEIVED spins, multiplying the same
+        // pooled transposed-table rows in the same incident-edge order as
+        // CompiledMrf::marginal_weights — so the resample is bit-identical
+        // to chains::heat_bath_kernel on the reference chain.
+        sc.weights.resize(q);
+        const auto bv = cm.vertex_activity(v);
+        for (std::size_t c = 0; c < q; ++c) sc.weights[c] = bv[c];
+        for (int port = 0; port < deg; ++port) {
+          const int e = inc[static_cast<std::size_t>(base + port)];
+          const auto xu =
+              static_cast<std::size_t>(sc.spins[static_cast<std::size_t>(port)]);
+          const double* row = cm.table_transposed(e).data() + xu * q;
+          for (std::size_t c = 0; c < q; ++c) sc.weights[c] *= row[c];
+        }
+        const int c = chains::shared_stream_sample(
+            sc.weights, rng, util::RngDomain::vertex_update,
+            static_cast<std::uint64_t>(v), t);
+        if (c >= 0) x_[static_cast<std::size_t>(v)] = c;
       }
     }
-    if (all_pass) x_ = sv;
-  }
 
-  // Draw and broadcast the proposal for step r together with the current
-  // spin.
-  pending_proposal_ = chains::metropolis_proposal(m_, ctx.rng(), v_, r);
-  const std::uint64_t words[2] = {
-      static_cast<std::uint64_t>(pending_proposal_),
-      static_cast<std::uint64_t>(x_)};
-  for (int port = 0; port < deg; ++port)
-    ctx.send(port, words, 2 * spin_bits(m_.q()));
+    // Send this round's priority and current spin for step r.
+    const double priority = chains::luby_priority(rng, v, r);
+    const std::uint64_t words[2] = {
+        std::bit_cast<std::uint64_t>(priority),
+        static_cast<std::uint64_t>(x_[static_cast<std::size_t>(v)])};
+    ctx.broadcast(words, msg_bits);
+  }
+}
+
+LocalMetropolisTable::LocalMetropolisTable(
+    std::shared_ptr<const mrf::CompiledMrf> cm, const mrf::Config& x0)
+    : cm_(std::move(cm)), x_(x0) {
+  LS_REQUIRE(cm_ != nullptr, "compiled view must not be null");
+  mrf::check_config(cm_->mrf(), x_);
+  pending_.assign(x_.size(), -1);
+}
+
+void LocalMetropolisTable::run_nodes(Network& net, int thread, int begin,
+                                     int end) {
+  const mrf::CompiledMrf& cm = *cm_;
+  const util::CounterRng& rng = net.rng();
+  const auto off = cm.csr_offsets();
+  const auto inc = cm.incident_edges_flat();
+  const std::int64_t r = net.round();
+  const int msg_bits = 2 * spin_bits(cm.q());
+
+  for (int v = begin; v < end; ++v) {
+    NodeContext ctx = net.context(v, thread);
+    const int base = off[static_cast<std::size_t>(v)];
+    const int deg = off[static_cast<std::size_t>(v) + 1] - base;
+    const int xv = x_[static_cast<std::size_t>(v)];
+
+    if (r >= 1) {
+      // Complete step t = r-1: check all incident edges with shared coins.
+      const std::int64_t t = r - 1;
+      const int sv = pending_[static_cast<std::size_t>(v)];
+      LS_ASSERT(sv >= 0, "missing pending proposal");
+      bool all_pass = true;
+      for (int port = 0; port < deg; ++port) {
+        const auto msg = ctx.received(port);
+        LS_ASSERT(msg.size() == 2, "malformed LocalMetropolis message");
+        const int su = static_cast<int>(msg[0]);
+        const int xu = static_cast<int>(msg[1]);
+        const int e = inc[static_cast<std::size_t>(base + port)];
+        // edge_pass_prob takes spins in the edge's stored (u,v) orientation;
+        // the product is invariant under swapping because A is symmetric.
+        const double p = cm.edge_u(e) == v
+                             ? cm.edge_pass_prob(e, sv, su, xv, xu)
+                             : cm.edge_pass_prob(e, su, sv, xu, xv);
+        if (!(chains::edge_coin(rng, e, t) < p)) {
+          all_pass = false;
+          // Stop early, like the reference kernel: every edge coin is a pure
+          // function of (e, t), so skipping the unread draws and messages
+          // cannot change any other decision.
+          break;
+        }
+      }
+      if (all_pass) x_[static_cast<std::size_t>(v)] = sv;
+    }
+
+    // Draw and broadcast the proposal for step r with the current spin.
+    const double u = rng.u01(util::RngDomain::vertex_proposal,
+                             static_cast<std::uint64_t>(v),
+                             static_cast<std::uint64_t>(r));
+    const int sv = util::categorical(cm.proposal_weights(v), u);
+    LS_ASSERT(sv >= 0, "zero vertex activity");
+    pending_[static_cast<std::size_t>(v)] = sv;
+    const std::uint64_t words[2] = {
+        static_cast<std::uint64_t>(sv),
+        static_cast<std::uint64_t>(x_[static_cast<std::size_t>(v)])};
+    ctx.broadcast(words, msg_bits);
+  }
 }
 
 Network make_luby_glauber_network(const mrf::Mrf& m, const mrf::Config& x0,
-                                  std::uint64_t seed) {
-  mrf::check_config(m, x0);
-  return Network(m.graph_ptr(), seed, [&m, &x0](int v) {
-    return std::make_unique<LubyGlauberNode>(
-        m, v, x0[static_cast<std::size_t>(v)]);
-  });
+                                  std::uint64_t seed,
+                                  LubyGlauberNetOptions options) {
+  return make_luby_glauber_network(std::make_shared<const mrf::CompiledMrf>(m),
+                                   x0, seed, options);
+}
+
+Network make_luby_glauber_network(std::shared_ptr<const mrf::CompiledMrf> cm,
+                                  const mrf::Config& x0, std::uint64_t seed,
+                                  LubyGlauberNetOptions options) {
+  LS_REQUIRE(cm != nullptr, "compiled view must not be null");
+  auto g = cm->mrf().graph_ptr();
+  return Network(std::move(g), seed,
+                 std::make_unique<LubyGlauberTable>(std::move(cm), x0,
+                                                    options));
 }
 
 Network make_local_metropolis_network(const mrf::Mrf& m, const mrf::Config& x0,
                                       std::uint64_t seed) {
-  mrf::check_config(m, x0);
-  return Network(m.graph_ptr(), seed, [&m, &x0](int v) {
-    return std::make_unique<LocalMetropolisNode>(
-        m, v, x0[static_cast<std::size_t>(v)]);
-  });
+  return make_local_metropolis_network(
+      std::make_shared<const mrf::CompiledMrf>(m), x0, seed);
+}
+
+Network make_local_metropolis_network(
+    std::shared_ptr<const mrf::CompiledMrf> cm, const mrf::Config& x0,
+    std::uint64_t seed) {
+  LS_REQUIRE(cm != nullptr, "compiled view must not be null");
+  auto g = cm->mrf().graph_ptr();
+  return Network(std::move(g), seed,
+                 std::make_unique<LocalMetropolisTable>(std::move(cm), x0));
 }
 
 }  // namespace lsample::local

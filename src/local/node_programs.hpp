@@ -1,5 +1,6 @@
 // Distributed node programs implementing Algorithm 1 (LubyGlauber) and
-// Algorithm 2 (LocalMetropolis) in the LOCAL model.
+// Algorithm 2 (LocalMetropolis) in the LOCAL model, as value-type program
+// tables over compiled model views (mrf::CompiledMrf).
 //
 // Each Markov-chain step t costs exactly one communication round: at round r
 // every node sends the randomness and state needed for step r (its Luby
@@ -7,16 +8,21 @@
 // step r using the received messages.  After R simulated rounds, R-1 chain
 // steps are complete, and the outputs equal the corresponding reference chain
 // (chains::LubyGlauberChain / chains::LocalMetropolisChain) run for R-1 steps
-// with the same seed — a bit-exact equivalence asserted by the test suite.
+// with the same seed — a bit-exact equivalence asserted by the test suite, at
+// any thread count of an attached ParallelEngine.
 //
-// A node program holds a reference to the Mrf but touches only vertex-local
-// data (its own activity vector and the activities of incident edges),
-// mirroring the paper's input model where v receives {A_uv} and b_v.
+// A table touches only vertex-local data: its own per-node state arrays, the
+// compiled view's activity tables for incident edges, and the received
+// messages — mirroring the paper's input model where v receives {A_uv} and
+// b_v and everything else arrives over the wire.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "local/network.hpp"
+#include "mrf/compiled.hpp"
 #include "mrf/mrf.hpp"
 
 namespace lsample::local {
@@ -24,47 +30,103 @@ namespace lsample::local {
 /// Bits needed to transmit one spin in [0,q).
 [[nodiscard]] int spin_bits(int q) noexcept;
 
-/// Bits used to transmit one Luby priority (we send the full double; the
-/// paper discretizes to O(log n) bits).
+/// Bits used to transmit one Luby priority when sending the full double (the
+/// paper discretizes to O(log n) bits; see discretized_priority_bits).
 inline constexpr int kPriorityBits = 64;
 
-class LubyGlauberNode final : public NodeProgram {
- public:
-  LubyGlauberNode(const mrf::Mrf& m, int vertex, int initial_spin);
+/// The paper's O(log n)-bit budget for one discretized Luby priority
+/// (end of §1.1): ceil(log2 n) bits plus a small constant slack so that
+/// priority comparisons still resolve w.h.p.
+[[nodiscard]] int discretized_priority_bits(int n) noexcept;
 
-  void on_round(NodeContext& ctx) override;
-  [[nodiscard]] int output() const noexcept override { return x_; }
-
- private:
-  const mrf::Mrf& m_;
-  int v_;
-  int x_;
-  std::vector<int> nbr_spins_;
-  std::vector<double> weights_;
+struct LubyGlauberNetOptions {
+  /// Bits accounted per transmitted priority.  kPriorityBits (default)
+  /// models sending the full double — the seed simulator's accounting.  A
+  /// smaller budget models the paper's O(log n)-bit discretization: the
+  /// trajectory is still driven by the full-precision priorities (so it
+  /// stays bit-identical to the reference chain), message bits are accounted
+  /// at the budget, and quantized_comparison_flips() measures how many
+  /// priority comparisons would have resolved differently had only
+  /// priority_bits bits been transmitted — the end-of-§1.1 claim, measured.
+  int priority_bits = kPriorityBits;
 };
 
-class LocalMetropolisNode final : public NodeProgram {
+/// Algorithm 1 as a node-program table.
+class LubyGlauberTable final : public NodeProgramTable {
  public:
-  LocalMetropolisNode(const mrf::Mrf& m, int vertex, int initial_spin);
+  /// The view's Mrf and graph must outlive the table.
+  LubyGlauberTable(std::shared_ptr<const mrf::CompiledMrf> cm,
+                   const mrf::Config& x0, LubyGlauberNetOptions options = {});
 
-  void on_round(NodeContext& ctx) override;
-  [[nodiscard]] int output() const noexcept override { return x_; }
+  [[nodiscard]] int message_capacity_words() const noexcept override {
+    return 2;  // (priority, spin)
+  }
+  void run_nodes(Network& net, int thread, int begin, int end) override;
+  [[nodiscard]] int output(int v) const override {
+    return x_[static_cast<std::size_t>(v)];
+  }
+  void set_num_threads(int num_threads) override;
+
+  /// Number of priority comparisons (summed over nodes, ports, and rounds)
+  /// whose outcome under priority_bits-bit quantization differs from the
+  /// full-precision outcome.  Always 0 when priority_bits == kPriorityBits.
+  [[nodiscard]] std::int64_t quantized_comparison_flips() const;
 
  private:
-  const mrf::Mrf& m_;
-  int v_;
-  int x_;
-  int pending_proposal_ = -1;  // proposal drawn when the last message was sent
+  struct Scratch {
+    std::vector<double> weights;  // heat-bath marginal
+    std::vector<int> spins;       // received neighbor spins, port-aligned
+    std::int64_t flips = 0;
+  };
+
+  std::shared_ptr<const mrf::CompiledMrf> cm_;
+  LubyGlauberNetOptions opt_;
+  std::vector<int> x_;
+  std::vector<Scratch> scratch_;  // one per worker thread
 };
 
-/// Convenience: builds a network of LubyGlauber nodes over m's graph.
-[[nodiscard]] Network make_luby_glauber_network(const mrf::Mrf& m,
-                                                const mrf::Config& x0,
-                                                std::uint64_t seed);
+/// Algorithm 2 as a node-program table.
+class LocalMetropolisTable final : public NodeProgramTable {
+ public:
+  /// The view's Mrf and graph must outlive the table.
+  LocalMetropolisTable(std::shared_ptr<const mrf::CompiledMrf> cm,
+                       const mrf::Config& x0);
 
-/// Convenience: builds a network of LocalMetropolis nodes over m's graph.
+  [[nodiscard]] int message_capacity_words() const noexcept override {
+    return 2;  // (proposal, spin)
+  }
+  void run_nodes(Network& net, int thread, int begin, int end) override;
+  [[nodiscard]] int output(int v) const override {
+    return x_[static_cast<std::size_t>(v)];
+  }
+
+ private:
+  std::shared_ptr<const mrf::CompiledMrf> cm_;
+  std::vector<int> x_;
+  std::vector<int> pending_;  // proposal drawn when the last message was sent
+};
+
+/// Convenience: builds a network of LubyGlauber nodes over m's graph,
+/// compiling a fresh view (m must outlive the network).
+[[nodiscard]] Network make_luby_glauber_network(
+    const mrf::Mrf& m, const mrf::Config& x0, std::uint64_t seed,
+    LubyGlauberNetOptions options = {});
+
+/// Same over a shared compiled view (the facade's replica batches reuse ONE
+/// view across networks).
+[[nodiscard]] Network make_luby_glauber_network(
+    std::shared_ptr<const mrf::CompiledMrf> cm, const mrf::Config& x0,
+    std::uint64_t seed, LubyGlauberNetOptions options = {});
+
+/// Convenience: builds a network of LocalMetropolis nodes over m's graph,
+/// compiling a fresh view (m must outlive the network).
 [[nodiscard]] Network make_local_metropolis_network(const mrf::Mrf& m,
                                                     const mrf::Config& x0,
                                                     std::uint64_t seed);
+
+/// Same over a shared compiled view.
+[[nodiscard]] Network make_local_metropolis_network(
+    std::shared_ptr<const mrf::CompiledMrf> cm, const mrf::Config& x0,
+    std::uint64_t seed);
 
 }  // namespace lsample::local

@@ -1,0 +1,392 @@
+// The compiled LOCAL-model runtime: node-parallel rounds must reproduce the
+// reference chains bit for bit at any thread count, MessageStats must be
+// exactly thread-count-invariant and equal to the seed simulator's counts,
+// the NodeContext port API must reject misuse with named errors, and the
+// facade's local_network backend must equal the chain backend bitwise.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "chains/chain.hpp"
+#include "chains/engine.hpp"
+#include "chains/init.hpp"
+#include "chains/local_metropolis.hpp"
+#include "chains/luby_glauber.hpp"
+#include "chains/replicas.hpp"
+#include "core/sampler.hpp"
+#include "csp/csp_chains.hpp"
+#include "csp/csp_models.hpp"
+#include "graph/generators.hpp"
+#include "local/csp_node_programs.hpp"
+#include "local/luby_mis.hpp"
+#include "local/node_programs.hpp"
+#include "mrf/models.hpp"
+
+namespace lsample::local {
+namespace {
+
+std::vector<int> test_thread_counts() {
+  std::vector<int> counts{1, 2, 4};
+  const int hw = chains::ParallelEngine::hardware_threads();
+  if (std::find(counts.begin(), counts.end(), hw) == counts.end())
+    counts.push_back(hw);
+  return counts;
+}
+
+TEST(NetworkEngine, LubyGlauberBitIdenticalToChainAtAnyThreadCount) {
+  util::Rng grng(3);
+  const auto g = graph::make_random_regular(18, 4, grng);
+  const mrf::Mrf m = mrf::make_proper_coloring(g, 9);
+  const mrf::Config x0 = chains::greedy_feasible_config(m);
+  const int rounds = 25;
+  for (std::uint64_t seed : {1ull, 42ull}) {
+    chains::LubyGlauberChain chain(m, seed);
+    mrf::Config x = x0;
+    chains::run(chain, x, 0, rounds - 1);
+    MessageStats reference_stats;
+    bool have_reference = false;
+    for (int threads : test_thread_counts()) {
+      chains::ParallelEngine engine(threads);
+      Network net = make_luby_glauber_network(m, x0, seed);
+      net.set_engine(&engine);
+      net.run_rounds(rounds);
+      EXPECT_EQ(net.outputs(), x) << "seed " << seed << ", " << threads
+                                  << " threads";
+      if (!have_reference) {
+        reference_stats = net.stats();
+        have_reference = true;
+        // The 1-thread stats must equal the seed simulator's accounting:
+        // one message per directed edge per round, 64+spin bits each.
+        EXPECT_EQ(reference_stats.rounds, rounds);
+        EXPECT_EQ(reference_stats.messages,
+                  static_cast<std::int64_t>(rounds) * 2 * g->num_edges());
+        EXPECT_EQ(reference_stats.bits,
+                  reference_stats.messages * (64 + spin_bits(9)));
+      } else {
+        EXPECT_TRUE(net.stats() == reference_stats)
+            << "MessageStats changed at " << threads << " threads";
+      }
+    }
+  }
+}
+
+TEST(NetworkEngine, LocalMetropolisBitIdenticalToChainAtAnyThreadCount) {
+  util::Rng grng(5);
+  const auto g = graph::make_erdos_renyi(16, 0.25, grng);
+  const mrf::Mrf m = mrf::make_proper_coloring(g, g->max_degree() + 3);
+  const mrf::Config x0 = chains::greedy_feasible_config(m);
+  const int rounds = 25;
+  chains::LocalMetropolisChain chain(m, 11);
+  mrf::Config x = x0;
+  chains::run(chain, x, 0, rounds - 1);
+  MessageStats reference_stats;
+  bool have_reference = false;
+  for (int threads : test_thread_counts()) {
+    chains::ParallelEngine engine(threads);
+    Network net = make_local_metropolis_network(m, x0, 11);
+    net.set_engine(&engine);
+    net.run_rounds(rounds);
+    EXPECT_EQ(net.outputs(), x) << threads << " threads";
+    if (!have_reference) {
+      reference_stats = net.stats();
+      have_reference = true;
+      EXPECT_EQ(reference_stats.messages,
+                static_cast<std::int64_t>(rounds) * 2 * g->num_edges());
+      EXPECT_EQ(reference_stats.bits,
+                reference_stats.messages *
+                    (2 * spin_bits(g->max_degree() + 3)));
+    } else {
+      EXPECT_TRUE(net.stats() == reference_stats)
+          << "MessageStats changed at " << threads << " threads";
+    }
+  }
+}
+
+TEST(NetworkEngine, MultigraphBitIdenticalToChainAtAnyThreadCount) {
+  // Parallel edges carry independent coins; the arena must keep several
+  // ports to the same neighbor distinct, in parallel too.
+  auto g = std::make_shared<graph::Graph>(4);
+  g->add_edge(0, 1);
+  g->add_edge(0, 1);
+  g->add_edge(1, 2);
+  g->add_edge(2, 3);
+  g->add_edge(3, 0);
+  const mrf::Mrf m = mrf::make_proper_coloring(g, 6);
+  const mrf::Config x0 = chains::greedy_feasible_config(m);
+  const int rounds = 30;
+  chains::LocalMetropolisChain chain(m, 21);
+  mrf::Config x = x0;
+  chains::run(chain, x, 0, rounds - 1);
+  for (int threads : test_thread_counts()) {
+    chains::ParallelEngine engine(threads);
+    Network net = make_local_metropolis_network(m, x0, 21);
+    net.set_engine(&engine);
+    net.run_rounds(rounds);
+    EXPECT_EQ(net.outputs(), x) << threads << " threads";
+  }
+}
+
+TEST(NetworkEngine, LubyMisBitIdenticalAcrossThreadCounts) {
+  util::Rng grng(7);
+  const auto g = graph::make_erdos_renyi(40, 0.12, grng);
+  Network reference = make_luby_mis_network(g, 11);
+  const auto reference_rounds = run_luby_mis(reference);
+  for (int threads : test_thread_counts()) {
+    chains::ParallelEngine engine(threads);
+    Network net = make_luby_mis_network(g, 11);
+    net.set_engine(&engine);
+    const auto rounds = run_luby_mis(net);
+    EXPECT_EQ(rounds, reference_rounds) << threads << " threads";
+    EXPECT_EQ(net.outputs(), reference.outputs()) << threads << " threads";
+    EXPECT_TRUE(net.stats() == reference.stats()) << threads << " threads";
+  }
+}
+
+TEST(NetworkEngine, CspNetworkBitIdenticalToChainAtAnyThreadCount) {
+  const auto g = graph::make_grid(4, 4);
+  const csp::FactorGraph fg = csp::make_dominating_set(*g, 0.8);
+  const csp::Config x0(16, 1);
+  const int rounds = 25;
+  csp::CspLocalMetropolisChain chain(fg, 21);
+  csp::Config x = x0;
+  for (int t = 0; t < rounds - 1; ++t) chain.step(x, t);
+  MessageStats reference_stats;
+  bool have_reference = false;
+  for (int threads : test_thread_counts()) {
+    chains::ParallelEngine engine(threads);
+    Network net = make_csp_local_metropolis_network(fg, x0, 21);
+    net.set_engine(&engine);
+    net.run_rounds(rounds);
+    EXPECT_EQ(net.outputs(), x) << threads << " threads";
+    if (!have_reference) {
+      reference_stats = net.stats();
+      have_reference = true;
+    } else {
+      EXPECT_TRUE(net.stats() == reference_stats) << threads << " threads";
+    }
+  }
+}
+
+// --- NodeContext port API misuse -> LS_REQUIRE with node/port named ------
+
+/// A deliberately misbehaving user program for the virtual-fallback path.
+class MisbehavingProgram final : public NodeProgram {
+ public:
+  enum class Mode {
+    send_bad_port,
+    receive_bad_port,
+    oversized_message,
+    query_bad_edge,
+    query_bad_neighbor,
+    behave,
+  };
+
+  MisbehavingProgram(int vertex, Mode mode) : v_(vertex), mode_(mode) {}
+
+  void on_round(NodeContext& ctx) override {
+    const std::uint64_t word = static_cast<std::uint64_t>(v_);
+    switch (v_ == 0 ? mode_ : Mode::behave) {
+      case Mode::send_bad_port:
+        ctx.send(ctx.degree(), {&word, 1}, 1);
+        break;
+      case Mode::receive_bad_port:
+        (void)ctx.received(-1);
+        break;
+      case Mode::oversized_message: {
+        const std::vector<std::uint64_t> words(
+            static_cast<std::size_t>(kDefaultMessageCapacityWords) + 1, 0);
+        ctx.send(0, words, 1);
+        break;
+      }
+      case Mode::query_bad_edge:
+        (void)ctx.edge_of_port(ctx.degree() + 3);
+        break;
+      case Mode::query_bad_neighbor:
+        (void)ctx.neighbor_of_port(-2);
+        break;
+      case Mode::behave:
+        for (int port = 0; port < ctx.degree(); ++port)
+          ctx.send(port, {&word, 1}, 1);
+        break;
+    }
+  }
+
+  [[nodiscard]] int output() const noexcept override { return 0; }
+
+ private:
+  int v_;
+  Mode mode_;
+};
+
+Network make_misbehaving_network(MisbehavingProgram::Mode mode) {
+  return Network(graph::make_cycle(6), 1, [mode](int v) {
+    return std::make_unique<MisbehavingProgram>(v, mode);
+  });
+}
+
+TEST(NetworkBoundsChecks, PortMisusePromotesToNamedRequire) {
+  using Mode = MisbehavingProgram::Mode;
+  for (Mode mode : {Mode::send_bad_port, Mode::receive_bad_port,
+                    Mode::query_bad_edge, Mode::query_bad_neighbor}) {
+    Network net = make_misbehaving_network(mode);
+    try {
+      net.run_round();
+      FAIL() << "port misuse must throw";
+    } catch (const std::invalid_argument& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("node 0"), std::string::npos) << what;
+      EXPECT_NE(what.find("port"), std::string::npos) << what;
+      EXPECT_NE(what.find("out of range"), std::string::npos) << what;
+    }
+  }
+}
+
+TEST(NetworkBoundsChecks, OversizedMessagePromotesToNamedRequire) {
+  Network net = make_misbehaving_network(
+      MisbehavingProgram::Mode::oversized_message);
+  try {
+    net.run_round();
+    FAIL() << "oversized message must throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("node 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("exceeds the arena capacity"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(NetworkBoundsChecks, WorkerThreadMisuseRethrownOnCaller) {
+  // A node program throwing inside an engine worker must surface as the same
+  // exception on run_round's caller, not std::terminate.
+  chains::ParallelEngine engine(2);
+  Network net = make_misbehaving_network(
+      MisbehavingProgram::Mode::send_bad_port);
+  net.set_engine(&engine);
+  EXPECT_THROW(net.run_round(), std::invalid_argument);
+}
+
+TEST(NetworkFallback, VirtualProgramsMatchSequentialUnderEngine) {
+  // The ProgramFactory fallback also runs node-parallel and keeps identical
+  // stats.
+  Network reference = make_misbehaving_network(
+      MisbehavingProgram::Mode::behave);
+  reference.run_rounds(5);
+  chains::ParallelEngine engine(3);
+  Network net = make_misbehaving_network(MisbehavingProgram::Mode::behave);
+  net.set_engine(&engine);
+  net.run_rounds(5);
+  EXPECT_EQ(net.outputs(), reference.outputs());
+  EXPECT_TRUE(net.stats() == reference.stats());
+}
+
+// --- discretized-priority accounting (E9 satellite) ----------------------
+
+TEST(DiscretizedPriorities, BudgetAccountingKeepsTrajectoryAndCountsFlips) {
+  util::Rng grng(9);
+  const auto g = graph::make_random_regular(32, 4, grng);
+  const int q = 8;
+  const mrf::Mrf m = mrf::make_proper_coloring(g, q);
+  const mrf::Config x0 = chains::greedy_feasible_config(m);
+  const int rounds = 20;
+
+  Network full = make_luby_glauber_network(m, x0, 5);
+  full.run_rounds(rounds);
+
+  LubyGlauberNetOptions opt;
+  opt.priority_bits = discretized_priority_bits(g->num_vertices());
+  Network budget = make_luby_glauber_network(m, x0, 5, opt);
+  budget.run_rounds(rounds);
+
+  // Same trajectory (the budget only changes accounting), fewer bits.
+  EXPECT_EQ(budget.outputs(), full.outputs());
+  EXPECT_EQ(budget.stats().messages, full.stats().messages);
+  EXPECT_EQ(budget.stats().bits,
+            budget.stats().messages * (opt.priority_bits + spin_bits(q)));
+  EXPECT_LT(budget.stats().bits, full.stats().bits);
+
+  // The measured number of comparisons that would resolve differently at the
+  // O(log n) budget: 0 on this run (the paper's w.h.p. claim).
+  auto* table = dynamic_cast<LubyGlauberTable*>(budget.table());
+  ASSERT_NE(table, nullptr);
+  EXPECT_EQ(table->quantized_comparison_flips(), 0);
+}
+
+}  // namespace
+}  // namespace lsample::local
+
+// --- facade backend -------------------------------------------------------
+
+namespace lsample::core {
+namespace {
+
+TEST(FacadeBackend, LocalNetworkSampleEqualsChainSample) {
+  util::Rng grng(13);
+  const auto g = graph::make_random_regular(24, 4, grng);
+  const mrf::Mrf m = mrf::make_proper_coloring(g, 12);
+  for (Algorithm alg :
+       {Algorithm::luby_glauber, Algorithm::local_metropolis}) {
+    SamplerOptions chain_opt;
+    chain_opt.algorithm = alg;
+    chain_opt.seed = 7;
+    chain_opt.rounds = 40;
+    const SampleResult reference = sample_mrf(m, chain_opt);
+    for (int threads : {1, 2, 4}) {
+      SamplerOptions net_opt = chain_opt;
+      net_opt.backend = Backend::local_network;
+      net_opt.num_threads = threads;
+      const SampleResult result = sample_mrf(m, net_opt);
+      EXPECT_EQ(result.config, reference.config)
+          << (alg == Algorithm::luby_glauber ? "LubyGlauber"
+                                             : "LocalMetropolis")
+          << " at " << threads << " threads";
+      EXPECT_EQ(result.rounds, reference.rounds);
+      // R chain steps cost R+1 simulated rounds; messages flow every round.
+      EXPECT_EQ(result.message_stats.rounds, reference.rounds + 1);
+      EXPECT_EQ(result.message_stats.messages,
+                result.message_stats.rounds * 2 * g->num_edges());
+    }
+  }
+}
+
+TEST(FacadeBackend, SampleManyLocalNetworkMatchesPerReplicaSamples) {
+  const auto g = graph::make_torus(4, 4);
+  const mrf::Mrf m = mrf::make_ising(g, 0.3);
+  SamplerOptions opt;
+  opt.backend = Backend::local_network;
+  opt.rounds = 30;
+  opt.seed = 19;
+  opt.num_replicas = 4;
+  opt.num_threads = 2;
+  const BatchSampleResult batch = sample_many(m, opt);
+  ASSERT_EQ(batch.configs.size(), 4u);
+  std::int64_t total_messages = 0;
+  for (int r = 0; r < 4; ++r) {
+    SamplerOptions single = opt;
+    single.num_replicas = 1;
+    single.num_threads = 1;
+    single.seed = chains::replica_seed(19, static_cast<std::uint64_t>(r));
+    const SampleResult one = sample_mrf(m, single);
+    EXPECT_EQ(batch.configs[static_cast<std::size_t>(r)], one.config)
+        << "replica " << r;
+    total_messages += one.message_stats.messages;
+  }
+  EXPECT_EQ(batch.message_stats.messages, total_messages);
+  EXPECT_EQ(batch.message_stats.rounds, 4 * (opt.rounds.value() + 1));
+}
+
+TEST(FacadeBackend, ColoringSamplerSupportsLocalNetwork) {
+  const auto g = graph::make_cycle(12);
+  SamplerOptions opt;
+  opt.algorithm = Algorithm::luby_glauber;
+  opt.seed = 3;
+  const SampleResult chain_result = sample_coloring(g, 6, opt);
+  opt.backend = Backend::local_network;
+  const SampleResult net_result = sample_coloring(g, 6, opt);
+  EXPECT_EQ(net_result.config, chain_result.config);
+  EXPECT_TRUE(net_result.feasible);
+  EXPECT_GT(net_result.message_stats.messages, 0);
+}
+
+}  // namespace
+}  // namespace lsample::core
