@@ -8,7 +8,10 @@
 // ReplicaRunner, per thread count), and the LOCAL-model simulator's rounds/sec
 // (the compiled message-arena runtime vs. the seed simulator with per-message
 // heap buffers, preserved verbatim below, plus node-parallel rounds per
-// thread count), and writes everything to BENCH_chains.json so the perf
+// thread count), the CSP workloads (all three CSP chains: the seed
+// FactorGraph execution path, preserved verbatim below, vs. the compiled
+// CompiledFactorGraph runtime, per thread count, plus replica-batch
+// throughput), and writes everything to BENCH_chains.json so the perf
 // trajectory is tracked from PR to PR.
 //
 // Exit status is the guard: nonzero iff, beyond a noise allowance,
@@ -20,7 +23,10 @@
 //       it cannot help), or
 //   (c) the compiled LOCAL-model network is less than 2x the seed simulator
 //       sequentially, or the 1-thread engine runs the network slower than
-//       0.85x the engine-less sequential path.
+//       0.85x the engine-less sequential path, or
+//   (d) a compiled CSP chain is less than 2x its seed path (virtual dispatch
+//       over FactorGraph with scratch Config copies per local evaluation)
+//       sequentially on any CSP workload.
 //
 //   $ ./perf_parallel_scaling [--quick] [--out PATH]
 #include <chrono>
@@ -41,6 +47,9 @@
 #include "chains/luby_glauber.hpp"
 #include "chains/replicas.hpp"
 #include "chains/synchronous_glauber.hpp"
+#include "csp/compiled.hpp"
+#include "csp/csp_chains.hpp"
+#include "csp/csp_models.hpp"
 #include "graph/generators.hpp"
 #include "local/node_programs.hpp"
 #include "mrf/compiled.hpp"
@@ -356,6 +365,224 @@ double measure_compiled_network_rounds(const Workload& w, int threads,
   return best;
 }
 
+// --- CSP workloads: seed FactorGraph path vs the compiled runtime ---------
+
+struct CspWorkload {
+  std::string name;
+  csp::FactorGraph fg;
+  csp::Config x0;
+};
+
+CspWorkload make_e8a() {
+  const auto g = graph::make_grid(80, 80);
+  csp::FactorGraph fg = csp::make_dominating_set(*g, 1.0);
+  return {"E8a_dominating_grid80x80", std::move(fg),
+          csp::Config(6400, 1)};  // all-chosen: trivially dominating
+}
+
+CspWorkload make_e8b(util::Rng& grng) {
+  const int n = 8000, hyperedges = 10000;
+  std::vector<std::vector<int>> triples;
+  triples.reserve(hyperedges);
+  while (static_cast<int>(triples.size()) < hyperedges) {
+    std::vector<int> t{grng.uniform_int(n), grng.uniform_int(n),
+                       grng.uniform_int(n)};
+    if (t[0] == t[1] || t[0] == t[2] || t[1] == t[2]) continue;
+    triples.push_back(std::move(t));
+  }
+  csp::FactorGraph fg = csp::make_hypergraph_nae(n, 3, triples);
+  csp::Config x0(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) x0[static_cast<std::size_t>(v)] = v % 3;
+  return {"E8b_nae3_n8000_m10000", std::move(fg), std::move(x0)};
+}
+
+/// The seed CSP execution paths, preserved verbatim for comparison: virtual
+/// dispatch over the FactorGraph, a per-chain conflict graph, and scratch
+/// Config copies inside marginal_weights / constraint_pass_prob.
+double measure_seed_csp_glauber(const CspWorkload& w, double min_time,
+                                int reps) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const util::CounterRng rng(1);
+    std::vector<double> weights;
+    csp::Config x = w.x0;
+    std::int64_t t = 0;
+    const auto start = Clock::now();
+    double elapsed = 0.0;
+    do {
+      for (int s = 0; s < 64; ++s) {
+        const int v = rng.uniform_int(util::RngDomain::global_choice, 0,
+                                      static_cast<std::uint64_t>(t), 0,
+                                      w.fg.n());
+        x[static_cast<std::size_t>(v)] =
+            csp::csp_heat_bath_resample(w.fg, rng, v, t, x, weights);
+        ++t;
+      }
+      elapsed = seconds_since(start);
+    } while (elapsed < min_time);
+    best = std::max(best, static_cast<double>(t) / elapsed);
+  }
+  return best;
+}
+
+double measure_seed_csp_luby(const CspWorkload& w, double min_time, int reps) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const util::CounterRng rng(1);
+    const auto conflict = w.fg.make_conflict_graph();
+    std::vector<double> priorities(static_cast<std::size_t>(w.fg.n()));
+    std::vector<double> weights;
+    csp::Config x = w.x0;
+    std::int64_t t = 0;
+    const auto start = Clock::now();
+    double elapsed = 0.0;
+    do {
+      for (int s = 0; s < 4; ++s) {
+        const int n = w.fg.n();
+        for (int v = 0; v < n; ++v)
+          priorities[static_cast<std::size_t>(v)] =
+              chains::luby_priority(rng, v, t);
+        for (int v = 0; v < n; ++v) {
+          bool is_max = true;
+          for (int u : conflict->neighbors(v)) {
+            const double pu = priorities[static_cast<std::size_t>(u)];
+            const double pv = priorities[static_cast<std::size_t>(v)];
+            if (pu > pv || (pu == pv && u > v)) {
+              is_max = false;
+              break;
+            }
+          }
+          if (is_max)
+            x[static_cast<std::size_t>(v)] =
+                csp::csp_heat_bath_resample(w.fg, rng, v, t, x, weights);
+        }
+        ++t;
+      }
+      elapsed = seconds_since(start);
+    } while (elapsed < min_time);
+    best = std::max(best, static_cast<double>(t) / elapsed);
+  }
+  return best;
+}
+
+double measure_seed_csp_lm(const CspWorkload& w, double min_time, int reps) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const util::CounterRng rng(1);
+    csp::Config proposal(static_cast<std::size_t>(w.fg.n()));
+    std::vector<char> pass(static_cast<std::size_t>(w.fg.num_constraints()));
+    csp::Config x = w.x0;
+    std::int64_t t = 0;
+    const auto start = Clock::now();
+    double elapsed = 0.0;
+    do {
+      for (int s = 0; s < 4; ++s) {
+        const int n = w.fg.n();
+        for (int v = 0; v < n; ++v) {
+          const double u = rng.u01(util::RngDomain::vertex_proposal,
+                                   static_cast<std::uint64_t>(v),
+                                   static_cast<std::uint64_t>(t));
+          proposal[static_cast<std::size_t>(v)] =
+              util::categorical(w.fg.vertex_activity(v), u);
+        }
+        const int nc = w.fg.num_constraints();
+        for (int c = 0; c < nc; ++c) {
+          const double p = w.fg.constraint_pass_prob(c, proposal, x);
+          const double u = rng.u01(util::RngDomain::constraint_coin,
+                                   static_cast<std::uint64_t>(c),
+                                   static_cast<std::uint64_t>(t));
+          pass[static_cast<std::size_t>(c)] = u < p ? 1 : 0;
+        }
+        for (int v = 0; v < n; ++v) {
+          bool accept = true;
+          for (int c : w.fg.constraints_of(v))
+            if (pass[static_cast<std::size_t>(c)] == 0) {
+              accept = false;
+              break;
+            }
+          if (accept)
+            x[static_cast<std::size_t>(v)] =
+                proposal[static_cast<std::size_t>(v)];
+        }
+        ++t;
+      }
+      elapsed = seconds_since(start);
+    } while (elapsed < min_time);
+    best = std::max(best, static_cast<double>(t) / elapsed);
+  }
+  return best;
+}
+
+using CspChainBuilder = std::function<std::unique_ptr<csp::CspChain>(
+    std::shared_ptr<const csp::CompiledFactorGraph>, std::uint64_t)>;
+
+/// Steps/sec of a compiled CSP chain; threads == 0 means no engine attached
+/// (the pure sequential path), threads >= 1 attaches an engine.
+double measure_compiled_csp_steps(
+    const std::shared_ptr<const csp::CompiledFactorGraph>& cfg,
+    const csp::Config& x0, const CspChainBuilder& build, int threads,
+    int steps_per_batch, double min_time, int reps) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    std::optional<chains::ParallelEngine> engine;
+    const auto chain = build(cfg, 1);
+    if (threads > 0) {
+      engine.emplace(threads);
+      chain->set_engine(&*engine);
+    }
+    csp::Config x = x0;
+    std::int64_t t = 0;
+    const auto start = Clock::now();
+    double elapsed = 0.0;
+    do {
+      for (int s = 0; s < steps_per_batch; ++s) chain->step(x, t++);
+      elapsed = seconds_since(start);
+    } while (elapsed < min_time);
+    best = std::max(best, static_cast<double>(t) / elapsed);
+  }
+  return best;
+}
+
+/// Aggregate steps/sec of a CSP replica batch sharing one compiled view;
+/// threads == 0 measures the plain sequential loop (no runner).
+double measure_csp_replica_steps(
+    const std::shared_ptr<const csp::CompiledFactorGraph>& cfg,
+    const csp::Config& x0, const CspChainBuilder& build, int replicas,
+    int threads, double min_time, int steps_per_batch, int reps) {
+  double best = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    std::vector<std::unique_ptr<csp::CspChain>> cs;
+    cs.reserve(static_cast<std::size_t>(replicas));
+    for (int r = 0; r < replicas; ++r)
+      cs.push_back(build(cfg, chains::replica_seed(1, r)));
+    std::vector<csp::Config> xs(static_cast<std::size_t>(replicas), x0);
+    std::vector<std::int64_t> ts(static_cast<std::size_t>(replicas), 0);
+    std::optional<chains::ReplicaRunner> runner;
+    if (threads > 0) runner.emplace(threads);
+    const auto job = [&](int r) {
+      auto& x = xs[static_cast<std::size_t>(r)];
+      std::int64_t t = ts[static_cast<std::size_t>(r)];
+      for (int s = 0; s < steps_per_batch; ++s)
+        cs[static_cast<std::size_t>(r)]->step(x, t++);
+      ts[static_cast<std::size_t>(r)] = t;
+    };
+    const auto start = Clock::now();
+    double elapsed = 0.0;
+    std::int64_t total = 0;
+    do {
+      if (runner.has_value()) {
+        runner->run(replicas, job);
+      } else {
+        for (int r = 0; r < replicas; ++r) job(r);
+      }
+      total += static_cast<std::int64_t>(replicas) * steps_per_batch;
+      elapsed = seconds_since(start);
+    } while (elapsed < min_time);
+    best = std::max(best, static_cast<double>(total) / elapsed);
+  }
+  return best;
+}
+
 using ReplicaChainBuilder = std::function<std::unique_ptr<chains::Chain>(
     std::shared_ptr<const mrf::CompiledMrf>, std::uint64_t)>;
 
@@ -490,6 +717,61 @@ int main(int argc, char** argv) {
     }
   }
 
+  // CSP workloads: seed FactorGraph path vs the compiled runtime per chain,
+  // per thread count (0 = no engine), plus replica-batch throughput for the
+  // two parallel chains.
+  struct CspRows {
+    std::map<std::string, double> seed;                     // chain -> sps
+    std::map<std::string, std::map<int, double>> compiled;  // chain -> T -> sps
+    std::map<std::string, std::map<int, double>> replica;   // chain -> T -> sps
+  };
+  std::vector<CspWorkload> csp_workloads;
+  csp_workloads.push_back(make_e8a());
+  csp_workloads.push_back(make_e8b(grng));
+  const std::vector<std::pair<std::string, CspChainBuilder>> csp_builders = {
+      {"CspLubyGlauber",
+       [](std::shared_ptr<const csp::CompiledFactorGraph> cfg,
+          std::uint64_t seed) {
+         return std::unique_ptr<csp::CspChain>(
+             new csp::CspLubyGlauberChain(std::move(cfg), seed));
+       }},
+      {"CspLocalMetropolis",
+       [](std::shared_ptr<const csp::CompiledFactorGraph> cfg,
+          std::uint64_t seed) {
+         return std::unique_ptr<csp::CspChain>(
+             new csp::CspLocalMetropolisChain(std::move(cfg), seed));
+       }},
+  };
+  std::map<std::string, CspRows> csp_results;
+  for (const auto& w : csp_workloads) {
+    CspRows rows;
+    const auto cfg = std::make_shared<const csp::CompiledFactorGraph>(w.fg);
+    rows.seed["CspGlauber"] = measure_seed_csp_glauber(w, min_time, reps);
+    rows.seed["CspLubyGlauber"] = measure_seed_csp_luby(w, min_time, reps);
+    rows.seed["CspLocalMetropolis"] = measure_seed_csp_lm(w, min_time, reps);
+    rows.compiled["CspGlauber"][0] = measure_compiled_csp_steps(
+        cfg, w.x0,
+        [](std::shared_ptr<const csp::CompiledFactorGraph> v,
+           std::uint64_t seed) {
+          return std::unique_ptr<csp::CspChain>(
+              new csp::CspGlauberChain(std::move(v), seed));
+        },
+        0, 64, min_time, reps);
+    for (const auto& [cname, build] : csp_builders) {
+      rows.compiled[cname][0] =
+          measure_compiled_csp_steps(cfg, w.x0, build, 0, 4, min_time, reps);
+      for (int threads : thread_counts)
+        rows.compiled[cname][threads] = measure_compiled_csp_steps(
+            cfg, w.x0, build, threads, 4, min_time, reps);
+      rows.replica[cname][0] = measure_csp_replica_steps(
+          cfg, w.x0, build, replicas, 0, min_time, 2, reps);
+      for (int threads : thread_counts)
+        rows.replica[cname][threads] = measure_csp_replica_steps(
+            cfg, w.x0, build, replicas, threads, min_time, 2, reps);
+    }
+    csp_results[w.name] = std::move(rows);
+  }
+
   // LOCAL-model simulator: seed implementation vs the compiled arena
   // runtime, plus node-parallel rounds per thread count.
   struct NetworkRows {
@@ -568,6 +850,54 @@ int main(int argc, char** argv) {
         << "      \"compiled_over_seed\": " << comp_sps / seed_sps << "\n"
         << "    }";
   }
+  out << "\n  },\n  \"csp_workloads\": {\n";
+  bool first_cw = true;
+  for (const auto& [wname, rows] : csp_results) {
+    if (!first_cw) out << ",\n";
+    first_cw = false;
+    out << "    \"" << wname << "\": {\n      \"seed_steps_per_sec\": {";
+    bool first = true;
+    for (const auto& [cname, sps] : rows.seed) {
+      if (!first) out << ", ";
+      first = false;
+      out << "\"" << cname << "\": " << sps;
+    }
+    out << "},\n      \"compiled_steps_per_sec\": {\n";
+    first = true;
+    for (const auto& [cname, per_threads] : rows.compiled) {
+      if (!first) out << ",\n";
+      first = false;
+      out << "        \"" << cname << "\": {";
+      bool first_t = true;
+      for (const auto& [threads, sps] : per_threads) {
+        if (!first_t) out << ", ";
+        first_t = false;
+        // key 0 = no engine attached (pure sequential path)
+        out << "\"" << threads << "\": " << sps;
+      }
+      out << "}";
+    }
+    out << "\n      },\n      \"compiled_over_seed\": {";
+    first = true;
+    for (const auto& [cname, sps] : rows.seed) {
+      if (!first) out << ", ";
+      first = false;
+      out << "\"" << cname << "\": " << rows.compiled.at(cname).at(0) / sps;
+    }
+    out << "},\n      \"replica_throughput\": {\n        \"replicas\": "
+        << replicas;
+    for (const auto& [cname, per_threads] : rows.replica) {
+      out << ",\n        \"" << cname << "\": {";
+      bool first_t = true;
+      for (const auto& [threads, sps] : per_threads) {
+        if (!first_t) out << ", ";
+        first_t = false;
+        out << "\"" << threads << "\": " << sps;
+      }
+      out << "}";
+    }
+    out << "\n      }\n    }";
+  }
   out << "\n  }\n}\n";
   out.close();
 
@@ -598,6 +928,26 @@ int main(int argc, char** argv) {
     for (const auto& [threads, rps] : net_rows.engine)
       std::cout << "  " << threads << "T=" << rps;
     std::cout << "\n";
+  }
+  for (const auto& [wname, rows] : csp_results) {
+    std::cout << "\n" << wname << " (CSP)\n";
+    for (const auto& [cname, seed_sps] : rows.seed) {
+      std::cout << "  " << cname << ":  seed=" << seed_sps
+                << "  compiled=" << rows.compiled.at(cname).at(0)
+                << " steps/s (" << rows.compiled.at(cname).at(0) / seed_sps
+                << "x)";
+      for (const auto& [threads, sps] : rows.compiled.at(cname))
+        if (threads > 0) std::cout << "  " << threads << "T=" << sps;
+      std::cout << "\n";
+    }
+    for (const auto& [cname, per_threads] : rows.replica) {
+      std::cout << "  replicas(" << replicas << ") " << cname << ":";
+      for (const auto& [threads, sps] : per_threads)
+        std::cout << "  "
+                  << (threads == 0 ? "seq" : std::to_string(threads) + "T")
+                  << "=" << sps << " steps/s";
+      std::cout << "\n";
+    }
   }
 
   // Microbenchmark guards:
@@ -648,9 +998,24 @@ int main(int argc, char** argv) {
       rc = 1;
     }
   }
+  //  (d) every compiled CSP chain must be at least 2x its seed FactorGraph
+  //      path sequentially.
+  for (const auto& [wname, rows] : csp_results) {
+    for (const auto& [cname, seed_sps] : rows.seed) {
+      const double compiled_sps = rows.compiled.at(cname).at(0);
+      if (compiled_sps < 2.0 * seed_sps) {
+        std::cerr << "GUARD FAILED: compiled CSP chain below 2x the seed "
+                     "path on "
+                  << wname << "/" << cname << " (" << compiled_sps << " vs "
+                  << seed_sps << " steps/sec)\n";
+        rc = 1;
+      }
+    }
+  }
   if (rc == 0)
     std::cout << "\nguard ok: compiled path >= seed path, replica runner "
                  ">= sequential trial loop, compiled LOCAL network >= 2x "
-                 "seed simulator (1-thread engine >= 0.85x sequential)\n";
+                 "seed simulator (1-thread engine >= 0.85x sequential), "
+                 "compiled CSP chains >= 2x seed paths\n";
   return rc;
 }

@@ -4,6 +4,7 @@
 //
 //   $ ./example_csp_dominating_set
 #include <iostream>
+#include <memory>
 
 #include "csp/csp_chains.hpp"
 #include "csp/csp_models.hpp"
@@ -18,6 +19,8 @@ int main() {
   util::Table t({"lambda", "chain", "mean |S|", "min |S| seen"});
   for (double lambda : {0.3, 1.0}) {
     const csp::FactorGraph fg = csp::make_dominating_set(*g, lambda);
+    // All runs of both chains share one compiled view of this model.
+    const auto cfg = std::make_shared<const csp::CompiledFactorGraph>(fg);
     for (const std::string which : {"LubyGlauber", "LocalMetropolis"}) {
       double total = 0.0;
       int best = fg.n();
@@ -25,10 +28,11 @@ int main() {
       for (int r = 0; r < runs; ++r) {
         csp::Config x(static_cast<std::size_t>(fg.n()), 1);
         if (which == "LubyGlauber") {
-          csp::CspLubyGlauberChain chain(fg, 7 + static_cast<std::uint64_t>(r));
+          csp::CspLubyGlauberChain chain(cfg,
+                                         7 + static_cast<std::uint64_t>(r));
           for (int s = 0; s < 500; ++s) chain.step(x, s);
         } else {
-          csp::CspLocalMetropolisChain chain(fg,
+          csp::CspLocalMetropolisChain chain(cfg,
                                              7 + static_cast<std::uint64_t>(r));
           for (int s = 0; s < 200; ++s) chain.step(x, s);
         }

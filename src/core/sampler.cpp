@@ -9,6 +9,8 @@
 #include "chains/local_metropolis.hpp"
 #include "chains/luby_glauber.hpp"
 #include "chains/replicas.hpp"
+#include "csp/compiled.hpp"
+#include "csp/csp_chains.hpp"
 #include "local/node_programs.hpp"
 #include "mrf/compiled.hpp"
 #include "inference/influence.hpp"
@@ -146,7 +148,79 @@ ColoringPlan plan_coloring(const graph::GraphPtr& g, int q,
   return plan;
 }
 
+/// Builds the selected CSP chain against a shared compiled view.
+std::unique_ptr<csp::CspChain> make_csp_chain(
+    Algorithm algorithm, std::shared_ptr<const csp::CompiledFactorGraph> cfg,
+    std::uint64_t seed) {
+  if (algorithm == Algorithm::luby_glauber)
+    return std::make_unique<csp::CspLubyGlauberChain>(std::move(cfg), seed);
+  return std::make_unique<csp::CspLocalMetropolisChain>(std::move(cfg), seed);
+}
+
+void check_csp_options(const SamplerOptions& options) {
+  LS_REQUIRE(options.rounds.has_value(),
+             "CSP sampling needs an explicit round budget (no theorem budget "
+             "applies to a general weighted local CSP)");
+  LS_REQUIRE(options.backend == Backend::chain,
+             "CSP sampling supports the chain backend only");
+  LS_REQUIRE(options.num_threads >= 0, "num_threads must be >= 0");
+}
+
 }  // namespace
+
+SampleResult sample_csp(const csp::FactorGraph& fg, const csp::Config& x0,
+                        const SamplerOptions& options) {
+  check_csp_options(options);
+  csp::check_config(fg, x0);
+  const std::int64_t rounds = *options.rounds;
+  SampleResult result;
+  result.rounds = rounds;
+  const auto cfg = std::make_shared<const csp::CompiledFactorGraph>(fg);
+  const auto chain = make_csp_chain(options.algorithm, cfg, options.seed);
+  const int threads = options.num_threads == 0
+                          ? chains::ParallelEngine::hardware_threads()
+                          : options.num_threads;
+  std::optional<chains::ParallelEngine> engine;
+  if (threads > 1) {
+    engine.emplace(threads);
+    chain->set_engine(&*engine);
+  }
+  csp::Config x = x0;
+  for (std::int64_t t = 0; t < rounds; ++t) chain->step(x, t);
+  result.feasible = fg.feasible(x);
+  result.config = std::move(x);
+  return result;
+}
+
+BatchSampleResult sample_many_csp(const csp::FactorGraph& fg,
+                                  const csp::Config& x0,
+                                  const SamplerOptions& options) {
+  check_csp_options(options);
+  LS_REQUIRE(options.num_replicas >= 1, "num_replicas must be >= 1");
+  csp::check_config(fg, x0);
+  const std::int64_t rounds = *options.rounds;
+  const int replicas = options.num_replicas;
+  // One compiled view shared read-only by every replica (it also finalizes
+  // the conflict graph, so worker-thread chain construction never races a
+  // lazy CSR rebuild).
+  const auto cfg = std::make_shared<const csp::CompiledFactorGraph>(fg);
+  BatchSampleResult result;
+  result.rounds = rounds;
+  result.configs.assign(static_cast<std::size_t>(replicas), csp::Config{});
+  std::vector<char> feasible(static_cast<std::size_t>(replicas), 0);
+  chains::ReplicaRunner runner(options.num_threads);
+  runner.run(replicas, [&](int r) {
+    const std::uint64_t seed =
+        chains::replica_seed(options.seed, static_cast<std::uint64_t>(r));
+    const auto chain = make_csp_chain(options.algorithm, cfg, seed);
+    csp::Config x = x0;
+    for (std::int64_t t = 0; t < rounds; ++t) chain->step(x, t);
+    feasible[static_cast<std::size_t>(r)] = fg.feasible(x) ? 1 : 0;
+    result.configs[static_cast<std::size_t>(r)] = std::move(x);
+  });
+  for (char f : feasible) result.feasible_count += f != 0 ? 1 : 0;
+  return result;
+}
 
 BatchSampleResult sample_many(const mrf::Mrf& m,
                               const SamplerOptions& options) {

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "csp/factor_graph.hpp"
 #include "local/message_stats.hpp"
 #include "mrf/mrf.hpp"
 
@@ -116,6 +117,29 @@ struct BatchSampleResult {
 /// sample_coloring).
 [[nodiscard]] BatchSampleResult sample_many_colorings(
     graph::GraphPtr g, int q, const SamplerOptions& options);
+
+/// Samples from a weighted local CSP (§4's generalization beyond pairwise
+/// MRFs) with an explicit round budget and initial configuration.  x0 is
+/// explicit because finding any feasible configuration of a general CSP is
+/// itself NP-hard — the caller knows the trivially feasible state of their
+/// model (e.g. the all-chosen dominating set).  options.algorithm selects
+/// CspLubyGlauber (the Luby step on the conflict graph, §3's remark) or
+/// CspLocalMetropolis (one shared coin per constraint, §4's remark); both
+/// run on one CompiledFactorGraph view, node-parallel at
+/// options.num_threads with a bit-identical sample at any thread count.
+/// Supports the chain backend only.
+[[nodiscard]] SampleResult sample_csp(const csp::FactorGraph& fg,
+                                      const csp::Config& x0,
+                                      const SamplerOptions& options);
+
+/// Draws options.num_replicas independent CSP samples in one call.  All
+/// replicas share one compiled view and one thread pool; replica r's
+/// trajectory is seeded by chains::replica_seed(options.seed, r) and is
+/// bit-identical to sample_csp with that seed — at any thread count and any
+/// replica batch size.
+[[nodiscard]] BatchSampleResult sample_many_csp(const csp::FactorGraph& fg,
+                                                const csp::Config& x0,
+                                                const SamplerOptions& options);
 
 /// The round budget the library would use for a coloring instance (exposed
 /// for planning and for the benches).

@@ -1,0 +1,148 @@
+#include "csp/compiled.hpp"
+
+#include <map>
+#include <string>
+
+#include "util/require.hpp"
+
+namespace lsample::csp {
+
+CompiledFactorGraph::CompiledFactorGraph(const FactorGraph& fg)
+    : n_(fg.n()), q_(fg.q()), nc_(fg.num_constraints()) {
+  // Vertex activities, packed — and re-validated as intentional
+  // defense-in-depth: FactorGraph::set_vertex_activity already rejects
+  // identically-zero rows, but the proposal kernel assumes every row has a
+  // positive total, so the view re-checks the property it depends on and
+  // names the offending vertex, guarding against any future FactorGraph
+  // construction path that might skip the setter.
+  vert_act_.resize(static_cast<std::size_t>(n_) * static_cast<std::size_t>(q_));
+  for (int v = 0; v < n_; ++v) {
+    const auto b = fg.vertex_activity(v);
+    double total = 0.0;
+    for (int s = 0; s < q_; ++s) {
+      vert_act_[static_cast<std::size_t>(v) * static_cast<std::size_t>(q_) +
+                static_cast<std::size_t>(s)] = b[static_cast<std::size_t>(s)];
+      total += b[static_cast<std::size_t>(s)];
+    }
+    LS_REQUIRE(total > 0.0, "vertex activity of vertex " + std::to_string(v) +
+                                " must not be identically zero");
+  }
+
+  // Variable → constraint and constraint → scope incidence, flattened.
+  var_offsets_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  scope_offsets_.assign(static_cast<std::size_t>(nc_) + 1, 0);
+  for (int v = 0; v < n_; ++v)
+    var_offsets_[static_cast<std::size_t>(v) + 1] =
+        var_offsets_[static_cast<std::size_t>(v)] +
+        static_cast<int>(fg.constraints_of(v).size());
+  cons_flat_.reserve(static_cast<std::size_t>(var_offsets_.back()));
+  for (int v = 0; v < n_; ++v)
+    for (int c : fg.constraints_of(v)) cons_flat_.push_back(c);
+  for (int c = 0; c < nc_; ++c)
+    scope_offsets_[static_cast<std::size_t>(c) + 1] =
+        scope_offsets_[static_cast<std::size_t>(c)] +
+        static_cast<int>(fg.constraint(c).scope.size());
+  scope_flat_.reserve(static_cast<std::size_t>(scope_offsets_.back()));
+  for (int c = 0; c < nc_; ++c)
+    for (int v : fg.constraint(c).scope) scope_flat_.push_back(v);
+
+  // Table pool: byte-identical tables collapse to one block (raw entries
+  // plus the normalized f̃ = f / max f quotients the LocalMetropolis filter
+  // divides out per factor in the reference implementation).
+  table_of_.resize(static_cast<std::size_t>(nc_));
+  std::map<std::vector<double>, int> pool_ids;
+  for (int c = 0; c < nc_; ++c) {
+    const Constraint& con = fg.constraint(c);
+    const auto [it, inserted] =
+        pool_ids.emplace(con.table, static_cast<int>(pool_offsets_.size()));
+    table_of_[static_cast<std::size_t>(c)] = it->second;
+    if (!inserted) continue;
+    pool_offsets_.push_back(tables_.size());
+    pool_sizes_.push_back(con.table.size());
+    for (double x : con.table) {
+      tables_.push_back(x);
+      norm_tables_.push_back(x / con.max_entry);
+    }
+  }
+
+  // The shared conflict graph, finalized once so chains and replicas built
+  // on this view only ever do contiguous concurrent reads.
+  auto conflict = fg.make_conflict_graph();
+  conflict->finalize();
+  conflict_ = std::move(conflict);
+  conflict_offsets_ = conflict_->csr_offsets();
+  conflict_nbr_flat_ = conflict_->neighbors_flat();
+}
+
+void CompiledFactorGraph::marginal_weights(int v, const Config& x,
+                                           std::vector<double>& out) const {
+  // Reference order (FactorGraph::marginal_weights): for each spin s the
+  // product starts at b_v(s) and multiplies the constraint tables in
+  // incidence order, stopping once the partial product is nonpositive.
+  // Iterating constraints in the OUTER loop multiplies the same doubles in
+  // the same order per spin (a spin whose product went nonpositive is
+  // skipped from then on, which is exactly what the reference's break
+  // produces), but computes each constraint's base table index once instead
+  // of once per spin — and never copies the configuration.
+  out.assign(static_cast<std::size_t>(q_), 0.0);
+  const double* b = vert_act_.data() +
+                    static_cast<std::size_t>(v) * static_cast<std::size_t>(q_);
+  for (int s = 0; s < q_; ++s) out[static_cast<std::size_t>(s)] = b[s];
+  for (int c : constraints_of(v)) {
+    std::size_t base = 0;    // index contribution of the non-v scope spins
+    std::size_t mult = 1;
+    std::size_t mult_v = 0;  // q^position(v) in c's scope
+    for (int u : scope(c)) {
+      if (u == v)
+        mult_v = mult;
+      else
+        base += static_cast<std::size_t>(x[static_cast<std::size_t>(u)]) * mult;
+      mult *= static_cast<std::size_t>(q_);
+    }
+    const double* tab =
+        tables_.data() +
+        pool_offsets_[static_cast<std::size_t>(
+            table_of_[static_cast<std::size_t>(c)])];
+    for (int s = 0; s < q_; ++s) {
+      double& w = out[static_cast<std::size_t>(s)];
+      if (w <= 0.0) continue;
+      w *= tab[base + static_cast<std::size_t>(s) * mult_v];
+    }
+  }
+}
+
+double CompiledFactorGraph::constraint_pass_prob(
+    int c, const Config& sigma, const Config& x) const {
+  const auto sc = scope(c);
+  const std::size_t k = sc.size();
+  LS_ASSERT(k <= 16, "arity too large");
+  const double* nt =
+      norm_tables_.data() +
+      pool_offsets_[static_cast<std::size_t>(table_of_[static_cast<std::size_t>(c)])];
+  // Per-position index contributions, precomputed so each of the 2^k - 1
+  // subsets only sums deltas instead of re-multiplying spins by q^i.
+  long long base = 0;
+  long long delta[16];  // (sigma_u - x_u) * q^position
+  long long mult = 1;
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto u = static_cast<std::size_t>(sc[i]);
+    base += static_cast<long long>(x[u]) * mult;
+    delta[i] = (static_cast<long long>(sigma[u]) -
+                static_cast<long long>(x[u])) *
+               mult;
+    mult *= q_;
+  }
+  double p = 1.0;
+  const std::uint32_t combos = 1u << k;
+  // Subset T of scope positions that take the proposal; T = 0 (all-X) is
+  // excluded per the paper's remark.
+  for (std::uint32_t t = 1; t < combos && p > 0.0; ++t) {
+    long long idx = base;
+    for (std::size_t i = 0; i < k; ++i)
+      if ((t >> i) & 1u) idx += delta[i];
+    p *= nt[idx];
+  }
+  return p;
+}
+
+}  // namespace lsample::csp

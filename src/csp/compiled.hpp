@@ -1,0 +1,136 @@
+// CompiledFactorGraph — a flat, read-only execution view of a FactorGraph,
+// mirroring mrf::CompiledMrf for weighted local CSPs (§4's generalization).
+//
+// FactorGraph stores one heap-allocated table per constraint and one
+// activity vector per vertex, and its evaluation helpers copy the whole
+// configuration per call (marginal_weights builds a scratch Config y = x;
+// constraint_pass_prob builds a scratch Config tau = x).  That is the right
+// shape for model *building* but O(n) per local evaluation on the sampling
+// hot path.  Compiling a FactorGraph produces:
+//   * CSR variable→constraint incidence (insertion order preserved) and
+//     constraint→variable scopes, both contiguous;
+//   * a deduplicated table pool — constraints with byte-identical tables
+//     share one contiguous block (a dominating-set model on a regular graph
+//     compiles to one table regardless of vertex count) — in two layouts:
+//     raw entries for the heat-bath marginal and precomputed normalized
+//     entries f̃_c = f_c / max f_c for the LocalMetropolis constraint
+//     pass-probability product (the 2^k − 1 mixings of §4's remark);
+//   * vertex activities packed into one n*q array;
+//   * ONE finalized conflict graph (u ~ v iff they share a constraint),
+//     shared by every chain and replica built on the view — previously
+//     CspLubyGlauberChain rebuilt its own per instance.
+//
+// Every evaluation here is value-identical (bit-for-bit, not just
+// approximately) to the corresponding FactorGraph method: the same doubles
+// are multiplied in the same order, only without the scratch copies — so
+// chains migrated onto the view reproduce their previous trajectories
+// exactly, which the test suite asserts.
+//
+// The view copies everything it evaluates with, so it is self-contained: the
+// source FactorGraph may go out of scope once construction returns.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "csp/factor_graph.hpp"
+
+namespace lsample::csp {
+
+class CompiledFactorGraph {
+ public:
+  /// Compiles fg: flattens incidences, dedups tables, packs activities, and
+  /// finalizes the shared conflict graph.  Re-validates the user-constructed
+  /// input (vertex activities must not be identically zero, naming the
+  /// offending vertex) so the kernels can assume well-formed proposals.
+  explicit CompiledFactorGraph(const FactorGraph& fg);
+
+  [[nodiscard]] int n() const noexcept { return n_; }
+  [[nodiscard]] int q() const noexcept { return q_; }
+  [[nodiscard]] int num_constraints() const noexcept { return nc_; }
+
+  /// Number of distinct constraint tables after deduplication.
+  [[nodiscard]] int num_tables() const noexcept {
+    return static_cast<int>(pool_offsets_.size());
+  }
+  [[nodiscard]] int table_index(int c) const noexcept {
+    return table_of_[static_cast<std::size_t>(c)];
+  }
+
+  /// Ids of constraints containing v, in FactorGraph insertion order.
+  [[nodiscard]] std::span<const int> constraints_of(int v) const noexcept {
+    const auto b = static_cast<std::size_t>(var_offsets_[v]);
+    const auto e = static_cast<std::size_t>(var_offsets_[v + 1]);
+    return {cons_flat_.data() + b, e - b};
+  }
+  /// Scope of constraint c (distinct vertex ids, table-index order).
+  [[nodiscard]] std::span<const int> scope(int c) const noexcept {
+    const auto b = static_cast<std::size_t>(scope_offsets_[c]);
+    const auto e = static_cast<std::size_t>(scope_offsets_[c + 1]);
+    return {scope_flat_.data() + b, e - b};
+  }
+  /// Raw entries of c's table (q^|scope| doubles, FactorGraph indexing).
+  [[nodiscard]] std::span<const double> table(int c) const noexcept {
+    const auto t = static_cast<std::size_t>(table_of_[c]);
+    return {tables_.data() + pool_offsets_[t], pool_sizes_[t]};
+  }
+  /// Normalized entries f̃_c = f_c / max f_c, same indexing.
+  [[nodiscard]] std::span<const double> norm_table(int c) const noexcept {
+    const auto t = static_cast<std::size_t>(table_of_[c]);
+    return {norm_tables_.data() + pool_offsets_[t], pool_sizes_[t]};
+  }
+
+  [[nodiscard]] std::span<const double> vertex_activity(int v) const noexcept {
+    return {vert_act_.data() +
+                static_cast<std::size_t>(v) * static_cast<std::size_t>(q_),
+            static_cast<std::size_t>(q_)};
+  }
+
+  /// The finalized conflict graph the CSP Luby step runs on (shared across
+  /// chains and replicas; safe for concurrent reads).
+  [[nodiscard]] const graph::Graph& conflict_graph() const noexcept {
+    return *conflict_;
+  }
+  [[nodiscard]] graph::GraphPtr conflict_graph_ptr() const noexcept {
+    return conflict_;
+  }
+  /// v's conflict-graph neighbors through the CSR spans cached at
+  /// construction — pure contiguous reads, no per-call revalidation.
+  [[nodiscard]] std::span<const int> conflict_neighbors(int v) const noexcept {
+    const auto b = static_cast<std::size_t>(conflict_offsets_[v]);
+    const auto e = static_cast<std::size_t>(conflict_offsets_[v + 1]);
+    return {conflict_nbr_flat_.data() + b, e - b};
+  }
+
+  /// Heat-bath marginal weights at v, value-identical to
+  /// FactorGraph::marginal_weights (same factors in the same order) but
+  /// reading only v's scope-mates instead of copying the configuration.
+  void marginal_weights(int v, const Config& x, std::vector<double>& out) const;
+
+  /// LocalMetropolis constraint filter — the product over the 2^k − 1
+  /// non-(all-X) mixings of sigma and x on c's scope — value-identical to
+  /// FactorGraph::constraint_pass_prob (f̃ entries are the same precomputed
+  /// quotients the reference divides out per factor).
+  [[nodiscard]] double constraint_pass_prob(int c, const Config& sigma,
+                                            const Config& x) const;
+
+ private:
+  int n_ = 0;
+  int q_ = 0;
+  int nc_ = 0;
+  std::vector<int> var_offsets_;    // n+1: variable → constraint CSR
+  std::vector<int> cons_flat_;
+  std::vector<int> scope_offsets_;  // nc+1: constraint → scope CSR
+  std::vector<int> scope_flat_;
+  std::vector<int> table_of_;                // constraint → pooled table id
+  std::vector<std::size_t> pool_offsets_;    // pooled id → offset into pools
+  std::vector<std::size_t> pool_sizes_;      // pooled id → q^arity
+  std::vector<double> tables_;               // pooled raw entries
+  std::vector<double> norm_tables_;          // pooled entries / max entry
+  std::vector<double> vert_act_;             // n * q
+  graph::GraphPtr conflict_;
+  std::span<const int> conflict_offsets_;    // conflict CSR, cached
+  std::span<const int> conflict_nbr_flat_;
+};
+
+}  // namespace lsample::csp

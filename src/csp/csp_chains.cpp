@@ -1,5 +1,6 @@
 #include "csp/csp_chains.hpp"
 
+#include "chains/engine.hpp"
 #include "chains/glauber.hpp"
 #include "chains/schedulers.hpp"
 #include "util/require.hpp"
@@ -18,78 +19,152 @@ int csp_heat_bath_resample(const FactorGraph& fg, const util::CounterRng& rng,
   return s >= 0 ? s : x[static_cast<std::size_t>(v)];
 }
 
+int csp_heat_bath_kernel(const CompiledFactorGraph& cfg,
+                         const util::CounterRng& rng, int v, std::int64_t t,
+                         const Config& x, std::vector<double>& scratch) {
+  cfg.marginal_weights(v, x, scratch);
+  const int s = chains::shared_stream_sample(scratch, rng,
+                                             util::RngDomain::vertex_update,
+                                             static_cast<std::uint64_t>(v), t);
+  return s >= 0 ? s : x[static_cast<std::size_t>(v)];
+}
+
+int csp_proposal_kernel(const CompiledFactorGraph& cfg,
+                        const util::CounterRng& rng, int v, std::int64_t t) {
+  const double u = rng.u01(util::RngDomain::vertex_proposal,
+                           static_cast<std::uint64_t>(v),
+                           static_cast<std::uint64_t>(t));
+  // Never -1: the view rejects identically-zero vertex activities at
+  // construction (naming the vertex), so the weight total is positive.
+  return util::categorical(cfg.vertex_activity(v), u);
+}
+
+bool csp_constraint_coin_kernel(const CompiledFactorGraph& cfg,
+                                const util::CounterRng& rng, int c,
+                                std::int64_t t, const Config& proposal,
+                                const Config& x) {
+  const double p = cfg.constraint_pass_prob(c, proposal, x);
+  const double u = rng.u01(util::RngDomain::constraint_coin,
+                           static_cast<std::uint64_t>(c),
+                           static_cast<std::uint64_t>(t));
+  return u < p;
+}
+
 CspGlauberChain::CspGlauberChain(const FactorGraph& fg, std::uint64_t seed)
-    : fg_(fg), rng_(seed) {}
+    : CspGlauberChain(std::make_shared<const CompiledFactorGraph>(fg), seed) {}
+
+CspGlauberChain::CspGlauberChain(
+    std::shared_ptr<const CompiledFactorGraph> cfg, std::uint64_t seed)
+    : cfg_(std::move(cfg)), rng_(seed) {
+  LS_REQUIRE(cfg_ != nullptr, "compiled view must not be null");
+}
 
 void CspGlauberChain::step(Config& x, std::int64_t t) {
   const int v = rng_.uniform_int(util::RngDomain::global_choice, 0,
-                                 static_cast<std::uint64_t>(t), 0, fg_.n());
+                                 static_cast<std::uint64_t>(t), 0, cfg_->n());
   x[static_cast<std::size_t>(v)] =
-      csp_heat_bath_resample(fg_, rng_, v, t, x, weights_);
+      csp_heat_bath_kernel(*cfg_, rng_, v, t, x, weights_);
 }
 
 CspLubyGlauberChain::CspLubyGlauberChain(const FactorGraph& fg,
                                          std::uint64_t seed)
-    : fg_(fg), rng_(seed), conflict_(fg.make_conflict_graph()) {}
+    : CspLubyGlauberChain(std::make_shared<const CompiledFactorGraph>(fg),
+                          seed) {}
+
+CspLubyGlauberChain::CspLubyGlauberChain(
+    std::shared_ptr<const CompiledFactorGraph> cfg, std::uint64_t seed)
+    : cfg_(std::move(cfg)), rng_(seed), scratch_(1) {
+  LS_REQUIRE(cfg_ != nullptr, "compiled view must not be null");
+}
+
+void CspLubyGlauberChain::set_engine(chains::ParallelEngine* engine) {
+  engine_ = engine;
+  scratch_.resize(engine_ != nullptr
+                      ? static_cast<std::size_t>(engine_->num_threads())
+                      : 1);
+}
 
 void CspLubyGlauberChain::step(Config& x, std::int64_t t) {
-  const int n = fg_.n();
+  const int n = cfg_->n();
   priorities_.resize(static_cast<std::size_t>(n));
-  for (int v = 0; v < n; ++v)
-    priorities_[static_cast<std::size_t>(v)] =
-        chains::luby_priority(rng_, v, t);
-  // Strongly independent set: local maxima of the conflict graph.  No two
-  // selected vertices share a constraint, so in-place updates are parallel.
-  for (int v = 0; v < n; ++v) {
-    bool is_max = true;
-    for (int u : conflict_->neighbors(v)) {
-      const double pu = priorities_[static_cast<std::size_t>(u)];
-      const double pv = priorities_[static_cast<std::size_t>(v)];
-      if (pu > pv || (pu == pv && u > v)) {
-        is_max = false;
-        break;
+  chains::run_partitioned(engine_, n, [&](int /*thread*/, int begin, int end) {
+    for (int v = begin; v < end; ++v)
+      priorities_[static_cast<std::size_t>(v)] =
+          chains::luby_priority(rng_, v, t);
+  });
+  // Strongly independent set: local maxima of the conflict graph.  A pure
+  // predicate of the fixed priority vector, so selection is node-parallel.
+  selected_.resize(static_cast<std::size_t>(n));
+  chains::run_partitioned(engine_, n, [&](int /*thread*/, int begin, int end) {
+    for (int v = begin; v < end; ++v) {
+      bool is_max = true;
+      for (int u : cfg_->conflict_neighbors(v)) {
+        const double pu = priorities_[static_cast<std::size_t>(u)];
+        const double pv = priorities_[static_cast<std::size_t>(v)];
+        if (pu > pv || (pu == pv && u > v)) {
+          is_max = false;
+          break;
+        }
       }
+      selected_[static_cast<std::size_t>(v)] = is_max ? 1 : 0;
     }
-    if (is_max)
+  });
+  // No two selected vertices share a constraint, so the in-place update is
+  // the paper's parallel round: no resampled vertex reads a slot another
+  // resampled vertex writes.
+  chains::run_partitioned(engine_, n, [&](int thread, int begin, int end) {
+    auto& scratch = scratch_[static_cast<std::size_t>(thread)];
+    for (int v = begin; v < end; ++v) {
+      if (selected_[static_cast<std::size_t>(v)] == 0) continue;
       x[static_cast<std::size_t>(v)] =
-          csp_heat_bath_resample(fg_, rng_, v, t, x, weights_);
-  }
+          csp_heat_bath_kernel(*cfg_, rng_, v, t, x, scratch);
+    }
+  });
 }
 
 CspLocalMetropolisChain::CspLocalMetropolisChain(const FactorGraph& fg,
                                                  std::uint64_t seed)
-    : fg_(fg), rng_(seed) {}
+    : CspLocalMetropolisChain(std::make_shared<const CompiledFactorGraph>(fg),
+                              seed) {}
+
+CspLocalMetropolisChain::CspLocalMetropolisChain(
+    std::shared_ptr<const CompiledFactorGraph> cfg, std::uint64_t seed)
+    : cfg_(std::move(cfg)), rng_(seed) {
+  LS_REQUIRE(cfg_ != nullptr, "compiled view must not be null");
+}
+
+void CspLocalMetropolisChain::set_engine(chains::ParallelEngine* engine) {
+  engine_ = engine;
+}
 
 void CspLocalMetropolisChain::step(Config& x, std::int64_t t) {
-  const int n = fg_.n();
+  const int n = cfg_->n();
   proposal_.resize(static_cast<std::size_t>(n));
-  for (int v = 0; v < n; ++v) {
-    const double u = rng_.u01(util::RngDomain::vertex_proposal,
-                              static_cast<std::uint64_t>(v),
-                              static_cast<std::uint64_t>(t));
-    const int s = util::categorical(fg_.vertex_activity(v), u);
-    LS_ASSERT(s >= 0, "vertex activity must not be identically zero");
-    proposal_[static_cast<std::size_t>(v)] = s;
-  }
-  const int nc = fg_.num_constraints();
+  chains::run_partitioned(engine_, n, [&](int /*thread*/, int begin, int end) {
+    for (int v = begin; v < end; ++v)
+      proposal_[static_cast<std::size_t>(v)] =
+          csp_proposal_kernel(*cfg_, rng_, v, t);
+  });
+  const int nc = cfg_->num_constraints();
   pass_.resize(static_cast<std::size_t>(nc));
-  for (int c = 0; c < nc; ++c) {
-    const double p = fg_.constraint_pass_prob(c, proposal_, x);
-    const double u = rng_.u01(util::RngDomain::constraint_coin,
-                              static_cast<std::uint64_t>(c),
-                              static_cast<std::uint64_t>(t));
-    pass_[static_cast<std::size_t>(c)] = u < p ? 1 : 0;
-  }
-  for (int v = 0; v < n; ++v) {
-    bool accept = true;
-    for (int c : fg_.constraints_of(v))
-      if (pass_[static_cast<std::size_t>(c)] == 0) {
-        accept = false;
-        break;
-      }
-    if (accept)
-      x[static_cast<std::size_t>(v)] = proposal_[static_cast<std::size_t>(v)];
-  }
+  chains::run_partitioned(engine_, nc, [&](int /*thread*/, int begin, int end) {
+    for (int c = begin; c < end; ++c)
+      pass_[static_cast<std::size_t>(c)] =
+          csp_constraint_coin_kernel(*cfg_, rng_, c, t, proposal_, x) ? 1 : 0;
+  });
+  chains::run_partitioned(engine_, n, [&](int /*thread*/, int begin, int end) {
+    for (int v = begin; v < end; ++v) {
+      bool accept = true;
+      for (int c : cfg_->constraints_of(v))
+        if (pass_[static_cast<std::size_t>(c)] == 0) {
+          accept = false;
+          break;
+        }
+      if (accept)
+        x[static_cast<std::size_t>(v)] =
+            proposal_[static_cast<std::size_t>(v)];
+    }
+  });
 }
 
 }  // namespace lsample::csp

@@ -1,5 +1,17 @@
 // The paper's two algorithms generalized to weighted local CSPs, plus the
-// single-site Glauber baseline on CSPs.
+// single-site Glauber baseline on CSPs — running on the compiled runtime.
+//
+// All three chains execute on a CompiledFactorGraph view (CSR incidence,
+// deduplicated tables, packed activities, one shared finalized conflict
+// graph) through per-vertex / per-constraint kernels that are pure functions
+// of (model, seed, id, t, previous state).  With a ParallelEngine attached,
+// each phase of a step is partitioned across threads; because every kernel
+// writes only its own slot and counter-RNG draws are pure functions, the
+// trajectory is bit-identical to the sequential path at any thread count —
+// and bit-identical to the pre-compiled reference implementations on the
+// FactorGraph itself, which the test suite asserts.  Chains constructed from
+// a shared view (the replica layer builds R chains against ONE view) are
+// bit-identical to chains that compiled their own.
 #pragma once
 
 #include <cstdint>
@@ -7,8 +19,13 @@
 #include <string_view>
 #include <vector>
 
+#include "csp/compiled.hpp"
 #include "csp/factor_graph.hpp"
 #include "util/rng.hpp"
+
+namespace lsample::chains {
+class ParallelEngine;
+}  // namespace lsample::chains
 
 namespace lsample::csp {
 
@@ -17,6 +34,12 @@ class CspChain {
  public:
   virtual ~CspChain() = default;
   virtual void step(Config& x, std::int64_t t) = 0;
+  /// Attaches a ParallelEngine for the chain's rounds (nullptr restores
+  /// sequential execution).  The engine must outlive the chain or the next
+  /// set_engine call; the trajectory MUST be bit-identical with or without
+  /// an engine, at any thread count.  The default ignores the engine, which
+  /// is trivially conforming (and right for single-site Glauber).
+  virtual void set_engine(chains::ParallelEngine* /*engine*/) {}
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
 };
 
@@ -24,56 +47,110 @@ class CspChain {
 class CspGlauberChain final : public CspChain {
  public:
   CspGlauberChain(const FactorGraph& fg, std::uint64_t seed);
+  /// Shares a compiled view (read-only) instead of compiling its own.
+  CspGlauberChain(std::shared_ptr<const CompiledFactorGraph> cfg,
+                  std::uint64_t seed);
   void step(Config& x, std::int64_t t) override;
   [[nodiscard]] std::string_view name() const noexcept override {
     return "CspGlauber";
   }
 
  private:
-  const FactorGraph& fg_;
+  std::shared_ptr<const CompiledFactorGraph> cfg_;
   util::CounterRng rng_;
   std::vector<double> weights_;
 };
 
 /// LubyGlauber on a CSP: the Luby step runs on the conflict graph, so the
 /// selected set is strongly independent in the constraint hypergraph and the
-/// parallel heat-bath update is well defined (Remark in §3).
+/// parallel heat-bath update is well defined (Remark in §3).  The conflict
+/// graph comes finalized from the compiled view (one per view, not one per
+/// chain).  Priority draw, selection, and the resampling of the strongly
+/// independent set are each node-parallel under an attached engine.
 class CspLubyGlauberChain final : public CspChain {
  public:
   CspLubyGlauberChain(const FactorGraph& fg, std::uint64_t seed);
+  /// Shares a compiled view (read-only) instead of compiling its own.
+  CspLubyGlauberChain(std::shared_ptr<const CompiledFactorGraph> cfg,
+                      std::uint64_t seed);
   void step(Config& x, std::int64_t t) override;
+  void set_engine(chains::ParallelEngine* engine) override;
   [[nodiscard]] std::string_view name() const noexcept override {
     return "CspLubyGlauber";
   }
 
+  /// The strongly independent set selected at the previous step.
+  [[nodiscard]] const std::vector<char>& last_selected() const noexcept {
+    return selected_;
+  }
+
  private:
-  const FactorGraph& fg_;
+  std::shared_ptr<const CompiledFactorGraph> cfg_;
   util::CounterRng rng_;
-  std::shared_ptr<graph::Graph> conflict_;
+  chains::ParallelEngine* engine_ = nullptr;
   std::vector<double> priorities_;
-  std::vector<double> weights_;
+  std::vector<char> selected_;
+  std::vector<std::vector<double>> scratch_;  // marginal weights, per thread
 };
 
 /// LocalMetropolis on a CSP: every vertex proposes from b_v; every k-ary
 /// constraint flips one shared coin that passes with probability equal to
 /// the product of the 2^k - 1 mixed normalized factors (Remark in §4); a
-/// vertex accepts iff all constraints containing it pass.
+/// vertex accepts iff all constraints containing it pass.  Propose (over
+/// vertices), coin (over constraints), and accept (over vertices) are each
+/// parallel phases writing only their own slots.
 class CspLocalMetropolisChain final : public CspChain {
  public:
   CspLocalMetropolisChain(const FactorGraph& fg, std::uint64_t seed);
+  /// Shares a compiled view (read-only) instead of compiling its own.
+  CspLocalMetropolisChain(std::shared_ptr<const CompiledFactorGraph> cfg,
+                          std::uint64_t seed);
   void step(Config& x, std::int64_t t) override;
+  void set_engine(chains::ParallelEngine* engine) override;
   [[nodiscard]] std::string_view name() const noexcept override {
     return "CspLocalMetropolis";
   }
 
  private:
-  const FactorGraph& fg_;
+  std::shared_ptr<const CompiledFactorGraph> cfg_;
   util::CounterRng rng_;
+  chains::ParallelEngine* engine_ = nullptr;
   Config proposal_;
   std::vector<char> pass_;
 };
 
-/// Heat-bath resample of vertex v on a CSP (shared by the chains above).
+// --- Per-vertex / per-constraint kernels on the compiled view -------------
+// Pure functions of (view, seed, id, t, previous state); each is
+// value-identical to the FactorGraph-based reference path (same RNG tuples
+// queried, same doubles multiplied in the same order).
+
+/// Heat-bath resample of vertex v; value-identical to
+/// csp_heat_bath_resample on the underlying FactorGraph.  `scratch` holds
+/// the marginal weights; pass a per-thread buffer when running under an
+/// engine.
+[[nodiscard]] int csp_heat_bath_kernel(const CompiledFactorGraph& cfg,
+                                       const util::CounterRng& rng, int v,
+                                       std::int64_t t, const Config& x,
+                                       std::vector<double>& scratch);
+
+/// LocalMetropolis proposal draw for v at time t (a spin ~ b_v).  The
+/// compiled view validated at construction that no vertex activity is
+/// identically zero, so the draw always succeeds.
+[[nodiscard]] int csp_proposal_kernel(const CompiledFactorGraph& cfg,
+                                      const util::CounterRng& rng, int v,
+                                      std::int64_t t);
+
+/// The shared coin of constraint c at time t: true iff the coin passes the
+/// 2^k - 1 mixed-factor filter.  A pure function of (c, t), so any thread
+/// (or any scope member) evaluating it sees the same outcome.
+[[nodiscard]] bool csp_constraint_coin_kernel(const CompiledFactorGraph& cfg,
+                                              const util::CounterRng& rng,
+                                              int c, std::int64_t t,
+                                              const Config& proposal,
+                                              const Config& x);
+
+/// Heat-bath resample of vertex v on a CSP (the pre-compiled reference,
+/// kept for the LOCAL node programs and as the seed comparison path).
 [[nodiscard]] int csp_heat_bath_resample(const FactorGraph& fg,
                                          const util::CounterRng& rng, int v,
                                          std::int64_t t, const Config& x,

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <set>
+#include <string>
 
 #include "util/require.hpp"
 
@@ -50,7 +51,8 @@ void FactorGraph::set_vertex_activity(int v, std::vector<double> b) {
     LS_REQUIRE(x >= 0.0 && std::isfinite(x), "activities non-negative");
     total += x;
   }
-  LS_REQUIRE(total > 0.0, "vertex activity must not be identically zero");
+  LS_REQUIRE(total > 0.0, "vertex activity of vertex " + std::to_string(v) +
+                              " must not be identically zero");
   vertex_acts_[static_cast<std::size_t>(v)] = std::move(b);
 }
 

@@ -1,6 +1,7 @@
 #include "gadget/tempering.hpp"
 
 #include <cmath>
+#include <string>
 
 #include "chains/init.hpp"
 #include "mrf/models.hpp"
@@ -13,10 +14,52 @@ ParallelTempering::ParallelTempering(std::vector<mrf::Mrf> ladder,
                                      std::uint64_t seed)
     : ladder_(std::move(ladder)), rng_(seed) {
   LS_REQUIRE(!ladder_.empty(), "ladder must not be empty");
-  const int n = ladder_.front().n();
-  const int q = ladder_.front().q();
+  const mrf::Mrf& ref = ladder_.front();
+  const int n = ref.n();
+  const int q = ref.q();
   for (const auto& m : ladder_)
     LS_REQUIRE(m.n() == n && m.q() == q, "ladder rungs must share (n, q)");
+  // The documented precondition: feasibility must be equivalent across
+  // rungs, or swap weights become ill-defined.  MRF feasibility is local —
+  // w(x) > 0 iff every vertex and edge activity is positive at x — so the
+  // zero patterns of the activities determine the feasible set exactly, and
+  // comparing them rung by rung enforces the precondition in full.  Edge
+  // patterns are only comparable edge-for-edge, hence the shared-edge-list
+  // requirement (a ladder is built on one graph in every use here).
+  for (std::size_t r = 1; r < ladder_.size(); ++r) {
+    const mrf::Mrf& m = ladder_[r];
+    LS_REQUIRE(m.g().num_edges() == ref.g().num_edges(),
+               "ladder rungs must share one edge list (rung " +
+                   std::to_string(r) + " differs)");
+    for (int v = 0; v < n; ++v) {
+      const auto ba = ref.vertex_activity(v);
+      const auto bb = m.vertex_activity(v);
+      for (int s = 0; s < q; ++s)
+        LS_REQUIRE((ba[static_cast<std::size_t>(s)] == 0.0) ==
+                       (bb[static_cast<std::size_t>(s)] == 0.0),
+                   "ladder rungs must have equivalent feasibility (same zero "
+                   "pattern); rung " +
+                       std::to_string(r) + " differs at vertex " +
+                       std::to_string(v));
+    }
+    for (int e = 0; e < ref.g().num_edges(); ++e) {
+      const graph::Edge& ea = ref.g().edge(e);
+      const graph::Edge& eb = m.g().edge(e);
+      LS_REQUIRE(ea.u == eb.u && ea.v == eb.v,
+                 "ladder rungs must share one edge list (rung " +
+                     std::to_string(r) + " differs at edge " +
+                     std::to_string(e) + ")");
+      const auto& aa = ref.edge_activity(e);
+      const auto& ab = m.edge_activity(e);
+      for (int i = 0; i < q; ++i)
+        for (int j = 0; j < q; ++j)
+          LS_REQUIRE((aa.at(i, j) == 0.0) == (ab.at(i, j) == 0.0),
+                     "ladder rungs must have equivalent feasibility (same "
+                     "zero pattern); rung " +
+                         std::to_string(r) + " differs at edge " +
+                         std::to_string(e));
+    }
+  }
   configs_.reserve(ladder_.size());
   for (const auto& m : ladder_)
     configs_.push_back(chains::greedy_feasible_config(m));
@@ -40,8 +83,10 @@ void ParallelTempering::glauber_sweep(int rung) {
     const int v = rng_.uniform_int(m.n());
     m.marginal_weights(v, x, weights_);
     const int c = util::categorical(weights_, rng_.u01());
-    LS_ASSERT(c >= 0, "tempering heat-bath marginal is zero");
-    x[static_cast<std::size_t>(v)] = c;
+    // All-zero marginal (only possible at an infeasible state): keep the
+    // current spin, as csp_heat_bath_resample documents, rather than dying
+    // mid-sweep.
+    if (c >= 0) x[static_cast<std::size_t>(v)] = c;
   }
 }
 
@@ -51,8 +96,13 @@ void ParallelTempering::try_swap(int low) {
   mrf::Config& xa = configs_[static_cast<std::size_t>(low)];
   mrf::Config& xb = configs_[static_cast<std::size_t>(low + 1)];
   ++swaps_attempted_;
-  const double log_ratio = ma.log_weight(xb) + mb.log_weight(xa) -
-                           ma.log_weight(xa) - mb.log_weight(xb);
+  const double current = ma.log_weight(xa) + mb.log_weight(xb);
+  // A -infinity current-rung weight makes the ratio NaN (inf - inf); the
+  // swap is then ill-defined, so reject it outright instead of letting the
+  // NaN reach the accept comparison (where IEEE ordering happens to reject
+  // today, but only by accident).
+  if (std::isinf(current)) return;
+  const double log_ratio = ma.log_weight(xb) + mb.log_weight(xa) - current;
   if (std::log(std::max(rng_.u01(), 1e-300)) < log_ratio) {
     std::swap(xa, xb);
     ++swaps_accepted_;

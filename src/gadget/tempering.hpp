@@ -20,7 +20,10 @@ class ParallelTempering {
  public:
   /// ladder[0] is the easiest rung (fast mixing), ladder.back() the target.
   /// All rungs must share n and q, and feasibility must be equivalent (same
-  /// zero pattern), or swap weights become ill-defined.
+  /// zero pattern), or swap weights become ill-defined.  Both conditions are
+  /// enforced here: MRF feasibility is determined exactly by the activity
+  /// zero patterns, which are compared rung by rung (rungs must share one
+  /// edge list for the edge patterns to be comparable).
   ParallelTempering(std::vector<mrf::Mrf> ladder, std::uint64_t seed);
 
   /// One sweep: n Glauber updates at every rung followed by one pass of

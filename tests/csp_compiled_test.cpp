@@ -1,0 +1,456 @@
+// The compiled CSP runtime: CompiledFactorGraph structure, bitwise equality
+// of the migrated chains against the pre-compiled seed implementations,
+// sequential-vs-threaded determinism at several thread counts, replica
+// batches vs the sequential loop, shared-vs-owned compiled views, and the
+// construction-time validation errors (by message).
+#include "csp/compiled.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chains/engine.hpp"
+#include "chains/glauber.hpp"
+#include "chains/replicas.hpp"
+#include "chains/schedulers.hpp"
+#include "core/sampler.hpp"
+#include "csp/csp_chains.hpp"
+#include "csp/csp_models.hpp"
+#include "graph/generators.hpp"
+#include "mrf/models.hpp"
+
+namespace lsample::csp {
+namespace {
+
+// --- Seed reference implementations ---------------------------------------
+// Verbatim copies of the pre-compiled chains (virtual dispatch over the
+// FactorGraph, per-chain conflict graph, scratch Config copies inside
+// marginal_weights / constraint_pass_prob).  The migrated chains must
+// reproduce these bit for bit.
+
+class SeedGlauber {
+ public:
+  SeedGlauber(const FactorGraph& fg, std::uint64_t seed)
+      : fg_(fg), rng_(seed) {}
+  void step(Config& x, std::int64_t t) {
+    const int v = rng_.uniform_int(util::RngDomain::global_choice, 0,
+                                   static_cast<std::uint64_t>(t), 0, fg_.n());
+    x[static_cast<std::size_t>(v)] =
+        csp_heat_bath_resample(fg_, rng_, v, t, x, weights_);
+  }
+
+ private:
+  const FactorGraph& fg_;
+  util::CounterRng rng_;
+  std::vector<double> weights_;
+};
+
+class SeedLubyGlauber {
+ public:
+  SeedLubyGlauber(const FactorGraph& fg, std::uint64_t seed)
+      : fg_(fg), rng_(seed), conflict_(fg.make_conflict_graph()) {}
+  void step(Config& x, std::int64_t t) {
+    const int n = fg_.n();
+    priorities_.resize(static_cast<std::size_t>(n));
+    for (int v = 0; v < n; ++v)
+      priorities_[static_cast<std::size_t>(v)] =
+          chains::luby_priority(rng_, v, t);
+    for (int v = 0; v < n; ++v) {
+      bool is_max = true;
+      for (int u : conflict_->neighbors(v)) {
+        const double pu = priorities_[static_cast<std::size_t>(u)];
+        const double pv = priorities_[static_cast<std::size_t>(v)];
+        if (pu > pv || (pu == pv && u > v)) {
+          is_max = false;
+          break;
+        }
+      }
+      if (is_max)
+        x[static_cast<std::size_t>(v)] =
+            csp_heat_bath_resample(fg_, rng_, v, t, x, weights_);
+    }
+  }
+
+ private:
+  const FactorGraph& fg_;
+  util::CounterRng rng_;
+  std::shared_ptr<graph::Graph> conflict_;
+  std::vector<double> priorities_;
+  std::vector<double> weights_;
+};
+
+class SeedLocalMetropolis {
+ public:
+  SeedLocalMetropolis(const FactorGraph& fg, std::uint64_t seed)
+      : fg_(fg), rng_(seed) {}
+  void step(Config& x, std::int64_t t) {
+    const int n = fg_.n();
+    proposal_.resize(static_cast<std::size_t>(n));
+    for (int v = 0; v < n; ++v) {
+      const double u = rng_.u01(util::RngDomain::vertex_proposal,
+                                static_cast<std::uint64_t>(v),
+                                static_cast<std::uint64_t>(t));
+      proposal_[static_cast<std::size_t>(v)] =
+          util::categorical(fg_.vertex_activity(v), u);
+    }
+    const int nc = fg_.num_constraints();
+    pass_.resize(static_cast<std::size_t>(nc));
+    for (int c = 0; c < nc; ++c) {
+      const double p = fg_.constraint_pass_prob(c, proposal_, x);
+      const double u = rng_.u01(util::RngDomain::constraint_coin,
+                                static_cast<std::uint64_t>(c),
+                                static_cast<std::uint64_t>(t));
+      pass_[static_cast<std::size_t>(c)] = u < p ? 1 : 0;
+    }
+    for (int v = 0; v < n; ++v) {
+      bool accept = true;
+      for (int c : fg_.constraints_of(v))
+        if (pass_[static_cast<std::size_t>(c)] == 0) {
+          accept = false;
+          break;
+        }
+      if (accept)
+        x[static_cast<std::size_t>(v)] =
+            proposal_[static_cast<std::size_t>(v)];
+    }
+  }
+
+ private:
+  const FactorGraph& fg_;
+  util::CounterRng rng_;
+  Config proposal_;
+  std::vector<char> pass_;
+};
+
+// --- Instances ------------------------------------------------------------
+
+/// Two constraints on the SAME variable pair (a "multi-edge" of the
+/// constraint hypergraph, deduplicated to one conflict edge) plus
+/// overlapping triples sharing scope vertices, mixed soft/hard tables, and
+/// non-uniform vertex activities.
+FactorGraph make_shared_constraint_instance() {
+  FactorGraph fg(5, 3);
+  std::vector<double> soft_neq(9, 1.0);
+  for (int s = 0; s < 3; ++s)
+    soft_neq[static_cast<std::size_t>(s) * 3 + static_cast<std::size_t>(s)] =
+        0.25;
+  std::vector<double> asym(9);
+  for (int i = 0; i < 9; ++i) asym[static_cast<std::size_t>(i)] = 0.3 + 0.1 * i;
+  fg.add_constraint({0, 1}, soft_neq);
+  fg.add_constraint({0, 1}, asym);  // same scope, different table
+  std::vector<double> nae3(27, 1.0);
+  for (int s = 0; s < 3; ++s)
+    nae3[static_cast<std::size_t>(s) * (1 + 3 + 9)] = 0.0;  // all-equal -> 0
+  fg.add_constraint({1, 2, 3}, nae3);
+  fg.add_constraint({2, 3, 4}, nae3);
+  fg.set_vertex_activity(0, {1.0, 2.0, 0.5});
+  fg.set_vertex_activity(3, {0.7, 1.3, 1.0});
+  return fg;
+}
+
+struct Instance {
+  std::string name;
+  std::function<FactorGraph()> make;
+  Config x0;
+};
+
+std::vector<Instance> instances() {
+  return {
+      {"dominating_grid4", [] {
+         return make_dominating_set(*graph::make_grid(4, 4), 1.2);
+       }, Config(16, 1)},
+      {"nae_hypergraph", [] {
+         return make_hypergraph_nae(6, 3, {{0, 1, 2}, {2, 3, 4}, {4, 5, 0}});
+       }, Config{0, 1, 2, 0, 1, 2}},
+      {"shared_constraint", make_shared_constraint_instance,
+       Config{0, 1, 2, 1, 0}},
+      {"mrf_embedding", [] {
+         return make_mrf_as_csp(
+             mrf::make_proper_coloring(graph::make_cycle(6), 4));
+       }, Config{0, 1, 2, 3, 0, 1}},
+  };
+}
+
+constexpr std::int64_t kSteps = 60;
+
+// --- Compiled view structure ----------------------------------------------
+
+TEST(CspCompiledView, DedupsTablesAndSharesConflictGraph) {
+  const FactorGraph fg = make_dominating_set(*graph::make_cycle(8), 1.0);
+  const CompiledFactorGraph cfg(fg);
+  // Every cover constraint of a cycle has arity 3 and the same table.
+  EXPECT_EQ(cfg.num_constraints(), 8);
+  EXPECT_EQ(cfg.num_tables(), 1);
+  // The conflict graph is finalized and matches the per-chain construction.
+  const auto own = fg.make_conflict_graph();
+  ASSERT_EQ(cfg.conflict_graph().num_vertices(), own->num_vertices());
+  EXPECT_EQ(cfg.conflict_graph().num_edges(), own->num_edges());
+  for (int v = 0; v < own->num_vertices(); ++v) {
+    const auto a = cfg.conflict_graph().neighbors(v);
+    const auto b = own->neighbors(v);
+    ASSERT_EQ(a.size(), b.size()) << "vertex " << v;
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(CspCompiledView, EvaluationsMatchFactorGraphBitwise) {
+  for (const auto& inst : instances()) {
+    const FactorGraph fg = inst.make();
+    const CompiledFactorGraph cfg(fg);
+    Config x = inst.x0;
+    Config sigma = inst.x0;
+    // Perturb sigma deterministically so sigma != x.
+    for (std::size_t i = 0; i < sigma.size(); ++i)
+      sigma[i] = (sigma[i] + static_cast<int>(i)) % fg.q();
+    std::vector<double> a, b;
+    for (int v = 0; v < fg.n(); ++v) {
+      fg.marginal_weights(v, x, a);
+      cfg.marginal_weights(v, x, b);
+      EXPECT_EQ(a, b) << inst.name << " vertex " << v;
+    }
+    for (int c = 0; c < fg.num_constraints(); ++c)
+      EXPECT_EQ(fg.constraint_pass_prob(c, sigma, x),
+                cfg.constraint_pass_prob(c, sigma, x))
+          << inst.name << " constraint " << c;
+  }
+}
+
+// --- Bitwise equality with the seed implementations -----------------------
+
+TEST(CspSeedEquivalence, GlauberMatchesSeedBitwise) {
+  for (const auto& inst : instances()) {
+    const FactorGraph fg = inst.make();
+    SeedGlauber ref(fg, 11);
+    CspGlauberChain chain(fg, 11);
+    Config xr = inst.x0, xc = inst.x0;
+    for (std::int64_t t = 0; t < kSteps; ++t) {
+      ref.step(xr, t);
+      chain.step(xc, t);
+      ASSERT_EQ(xr, xc) << inst.name << " t=" << t;
+    }
+  }
+}
+
+TEST(CspSeedEquivalence, LubyGlauberMatchesSeedBitwise) {
+  for (const auto& inst : instances()) {
+    const FactorGraph fg = inst.make();
+    SeedLubyGlauber ref(fg, 12);
+    CspLubyGlauberChain chain(fg, 12);
+    Config xr = inst.x0, xc = inst.x0;
+    for (std::int64_t t = 0; t < kSteps; ++t) {
+      ref.step(xr, t);
+      chain.step(xc, t);
+      ASSERT_EQ(xr, xc) << inst.name << " t=" << t;
+    }
+  }
+}
+
+TEST(CspSeedEquivalence, LocalMetropolisMatchesSeedBitwise) {
+  for (const auto& inst : instances()) {
+    const FactorGraph fg = inst.make();
+    SeedLocalMetropolis ref(fg, 13);
+    CspLocalMetropolisChain chain(fg, 13);
+    Config xr = inst.x0, xc = inst.x0;
+    for (std::int64_t t = 0; t < kSteps; ++t) {
+      ref.step(xr, t);
+      chain.step(xc, t);
+      ASSERT_EQ(xr, xc) << inst.name << " t=" << t;
+    }
+  }
+}
+
+// The selected set exposed by last_selected() must be strongly independent
+// in the constraint hypergraph (no two selected vertices share a
+// constraint, Remark in §3) and nonempty (a finite priority vector always
+// has local maxima).
+TEST(CspSeedEquivalence, LastSelectedIsStronglyIndependent) {
+  const FactorGraph fg = make_shared_constraint_instance();
+  CspLubyGlauberChain chain(fg, 31);
+  Config x{0, 1, 2, 1, 0};
+  for (std::int64_t t = 0; t < 20; ++t) {
+    chain.step(x, t);
+    const auto& sel = chain.last_selected();
+    ASSERT_EQ(sel.size(), static_cast<std::size_t>(fg.n()));
+    int count = 0;
+    for (char s : sel) count += s != 0 ? 1 : 0;
+    EXPECT_GT(count, 0) << "t=" << t;
+    for (int c = 0; c < fg.num_constraints(); ++c) {
+      int in_scope = 0;
+      for (int v : fg.constraint(c).scope)
+        in_scope += sel[static_cast<std::size_t>(v)] != 0 ? 1 : 0;
+      EXPECT_LE(in_scope, 1) << "constraint " << c << " t=" << t;
+    }
+  }
+}
+
+// --- Sequential vs threaded determinism -----------------------------------
+
+std::vector<int> thread_counts() {
+  std::vector<int> counts{1, 2, 4};
+  const int hw = chains::ParallelEngine::hardware_threads();
+  if (hw != 1 && hw != 2 && hw != 4) counts.push_back(hw);
+  return counts;
+}
+
+template <typename ChainT>
+void expect_thread_count_invariant(const Instance& inst, std::uint64_t seed) {
+  const FactorGraph fg = inst.make();
+  Config x_seq = inst.x0;
+  {
+    ChainT chain(fg, seed);
+    for (std::int64_t t = 0; t < kSteps; ++t) chain.step(x_seq, t);
+  }
+  for (int threads : thread_counts()) {
+    chains::ParallelEngine engine(threads);
+    ChainT chain(fg, seed);
+    chain.set_engine(&engine);
+    Config x = inst.x0;
+    for (std::int64_t t = 0; t < kSteps; ++t) chain.step(x, t);
+    EXPECT_EQ(x_seq, x) << inst.name << " threads=" << threads;
+  }
+}
+
+TEST(CspEngineDeterminism, GlauberIndependentOfThreadCount) {
+  for (const auto& inst : instances())
+    expect_thread_count_invariant<CspGlauberChain>(inst, 21);
+}
+
+TEST(CspEngineDeterminism, LubyGlauberIndependentOfThreadCount) {
+  for (const auto& inst : instances())
+    expect_thread_count_invariant<CspLubyGlauberChain>(inst, 22);
+}
+
+TEST(CspEngineDeterminism, LocalMetropolisIndependentOfThreadCount) {
+  for (const auto& inst : instances())
+    expect_thread_count_invariant<CspLocalMetropolisChain>(inst, 23);
+}
+
+// --- Shared vs owned compiled views ---------------------------------------
+
+TEST(CspSharedView, SharedAndOwnedViewsAgreeBitwise) {
+  const FactorGraph fg = make_shared_constraint_instance();
+  const auto shared = std::make_shared<const CompiledFactorGraph>(fg);
+  const Config x0{0, 1, 2, 1, 0};
+  {
+    CspLubyGlauberChain owned(fg, 5);
+    CspLubyGlauberChain shared_chain(shared, 5);
+    Config xa = x0, xb = x0;
+    for (std::int64_t t = 0; t < kSteps; ++t) {
+      owned.step(xa, t);
+      shared_chain.step(xb, t);
+      ASSERT_EQ(xa, xb) << "t=" << t;
+    }
+  }
+  {
+    CspLocalMetropolisChain owned(fg, 6);
+    CspLocalMetropolisChain shared_chain(shared, 6);
+    Config xa = x0, xb = x0;
+    for (std::int64_t t = 0; t < kSteps; ++t) {
+      owned.step(xa, t);
+      shared_chain.step(xb, t);
+      ASSERT_EQ(xa, xb) << "t=" << t;
+    }
+  }
+}
+
+// --- Facade: sample_csp / sample_many_csp ---------------------------------
+
+TEST(CspFacade, SampleCspIndependentOfThreadCount) {
+  const auto g = graph::make_grid(4, 4);
+  const FactorGraph fg = make_dominating_set(*g, 0.8);
+  const Config x0(16, 1);
+  core::SamplerOptions opt;
+  opt.rounds = 40;
+  opt.seed = 99;
+  for (const auto algorithm : {core::Algorithm::luby_glauber,
+                               core::Algorithm::local_metropolis}) {
+    opt.algorithm = algorithm;
+    opt.num_threads = 1;
+    const auto base = core::sample_csp(fg, x0, opt);
+    EXPECT_EQ(base.rounds, 40);
+    EXPECT_TRUE(base.feasible);
+    for (int threads : thread_counts()) {
+      opt.num_threads = threads;
+      const auto r = core::sample_csp(fg, x0, opt);
+      EXPECT_EQ(base.config, r.config) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(CspFacade, ReplicaBatchMatchesSequentialLoop) {
+  const FactorGraph fg = make_dominating_set(*graph::make_cycle(10), 1.1);
+  const Config x0(10, 1);
+  core::SamplerOptions opt;
+  opt.algorithm = core::Algorithm::local_metropolis;
+  opt.rounds = 30;
+  opt.seed = 7;
+  opt.num_replicas = 6;
+  opt.num_threads = 1;
+  const auto batch = core::sample_many_csp(fg, x0, opt);
+  ASSERT_EQ(batch.configs.size(), 6u);
+  int feasible = 0;
+  for (int r = 0; r < 6; ++r) {
+    core::SamplerOptions single = opt;
+    single.num_replicas = 1;
+    single.seed = chains::replica_seed(7, static_cast<std::uint64_t>(r));
+    const auto one = core::sample_csp(fg, x0, single);
+    EXPECT_EQ(one.config, batch.configs[static_cast<std::size_t>(r)])
+        << "replica " << r;
+    feasible += one.feasible ? 1 : 0;
+  }
+  EXPECT_EQ(batch.feasible_count, feasible);
+  // And the whole batch is thread-count invariant.
+  for (int threads : thread_counts()) {
+    core::SamplerOptions threaded = opt;
+    threaded.num_threads = threads;
+    const auto b = core::sample_many_csp(fg, x0, threaded);
+    EXPECT_EQ(batch.configs, b.configs) << "threads=" << threads;
+    EXPECT_EQ(batch.feasible_count, b.feasible_count);
+  }
+}
+
+// --- Validation errors, by message ----------------------------------------
+
+template <typename F>
+std::string thrown_message(F&& f) {
+  try {
+    f();
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(CspValidation, ZeroVertexActivityNamesTheVertexAtConstruction) {
+  FactorGraph fg(4, 2);
+  const std::string msg = thrown_message(
+      [&] { fg.set_vertex_activity(2, {0.0, 0.0}); });
+  EXPECT_NE(msg.find("vertex activity of vertex 2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("identically zero"), std::string::npos) << msg;
+}
+
+TEST(CspValidation, FacadeRequiresRoundsAndChainBackend) {
+  const FactorGraph fg = make_dominating_set(*graph::make_path(3), 1.0);
+  const Config x0(3, 1);
+  core::SamplerOptions opt;
+  const std::string no_rounds =
+      thrown_message([&] { (void)core::sample_csp(fg, x0, opt); });
+  EXPECT_NE(no_rounds.find("explicit round budget"), std::string::npos)
+      << no_rounds;
+  opt.rounds = 10;
+  opt.backend = core::Backend::local_network;
+  const std::string backend =
+      thrown_message([&] { (void)core::sample_many_csp(fg, x0, opt); });
+  EXPECT_NE(backend.find("chain backend"), std::string::npos) << backend;
+  opt.backend = core::Backend::chain;
+  const std::string bad_config = thrown_message(
+      [&] { (void)core::sample_csp(fg, Config(2, 0), opt); });
+  EXPECT_NE(bad_config.find("config size mismatch"), std::string::npos)
+      << bad_config;
+}
+
+}  // namespace
+}  // namespace lsample::csp

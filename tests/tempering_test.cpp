@@ -69,5 +69,47 @@ TEST(ParallelTempering, RequiresCompatibleRungs) {
   EXPECT_THROW(ParallelTempering(std::move(mixed), 1), std::invalid_argument);
 }
 
+// The header's documented precondition — equivalent feasibility across rungs
+// ("same zero pattern ... or swap weights become ill-defined") — must be
+// enforced at construction, not discovered as a NaN swap ratio mid-run.
+TEST(ParallelTempering, RejectsMismatchedFeasibilityLadder) {
+  const auto g = graph::make_cycle(4);
+  // Hardcore forbids adjacent occupied pairs; the soft Ising rung forbids
+  // nothing: same (n, q), same graph, different feasible sets.
+  std::vector<mrf::Mrf> mixed;
+  mixed.push_back(mrf::make_hardcore(g, 1.0));
+  mixed.push_back(mrf::make_ising(g, 0.5));
+  try {
+    ParallelTempering pt(std::move(mixed), 1);
+    FAIL() << "mismatched-feasibility ladder must be rejected";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("equivalent feasibility"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ParallelTempering, RejectsLaddersOnDifferentEdgeLists) {
+  // Same n and q, different graphs: the edge zero patterns are not
+  // comparable, so the construction must refuse.
+  std::vector<mrf::Mrf> mixed;
+  mixed.push_back(mrf::make_hardcore(graph::make_path(4), 1.0));
+  mixed.push_back(mrf::make_hardcore(graph::make_cycle(4), 1.0));
+  try {
+    ParallelTempering pt(std::move(mixed), 1);
+    FAIL() << "different-edge-list ladder must be rejected";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("share one edge list"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ParallelTempering, AcceptsEquivalentFeasibilityLadder) {
+  // All hardcore rungs share the zero pattern regardless of fugacity.
+  const auto g = graph::make_cycle(6);
+  EXPECT_NO_THROW(ParallelTempering(hardcore_ladder(g, 0.2, 2.0, 4), 3));
+}
+
 }  // namespace
 }  // namespace lsample::gadget
