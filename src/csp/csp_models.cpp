@@ -1,6 +1,7 @@
 #include "csp/csp_models.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <set>
 
 #include "util/require.hpp"
@@ -60,6 +61,99 @@ FactorGraph make_hypergraph_independent_set(
     std::vector<double> table(entries, 1.0);
     table[entries - 1] = 0.0;  // all-chosen violates independence
     fg.add_constraint(he, std::move(table));
+  }
+  return fg;
+}
+
+FactorGraph make_monomer_dimer(const graph::Graph& g, double dimer_weight) {
+  LS_REQUIRE(dimer_weight > 0.0, "dimer weight must be positive");
+  LS_REQUIRE(g.num_edges() >= 1, "monomer-dimer needs at least one edge");
+  FactorGraph fg(g.num_edges(), 2);
+  for (int e = 0; e < g.num_edges(); ++e)
+    fg.set_vertex_activity(e, {1.0, dimer_weight});
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    const auto inc = g.incident_edges(v);
+    if (inc.empty()) continue;  // isolated vertices constrain nothing
+    LS_REQUIRE(inc.size() <= 16, "degree too large for a matching constraint");
+    std::vector<int> scope(inc.begin(), inc.end());
+    const std::size_t entries = std::size_t{1} << scope.size();
+    std::vector<double> table(entries, 0.0);
+    // At most one incident dimer: the all-zero assignment plus each single.
+    table[0] = 1.0;
+    for (std::size_t i = 0; i < scope.size(); ++i)
+      table[std::size_t{1} << i] = 1.0;
+    fg.add_constraint(std::move(scope), std::move(table));
+  }
+  return fg;
+}
+
+FactorGraph make_hypergraph_coloring(
+    int n, int q, const std::vector<std::vector<int>>& hyperedges,
+    bool strong) {
+  FactorGraph fg(n, q);
+  for (const auto& he : hyperedges) {
+    LS_REQUIRE(he.size() >= 2 && he.size() <= 8, "hyperedge arity in [2,8]");
+    LS_REQUIRE(!strong || static_cast<std::size_t>(q) >= he.size(),
+               "strong coloring needs q >= hyperedge arity");
+    std::size_t entries = 1;
+    for (std::size_t i = 0; i < he.size(); ++i)
+      entries *= static_cast<std::size_t>(q);
+    std::vector<double> table(entries);
+    std::vector<int> colors(he.size());
+    for (std::size_t idx = 0; idx < entries; ++idx) {
+      std::size_t rest = idx;
+      for (std::size_t i = 0; i < he.size(); ++i) {
+        colors[i] = static_cast<int>(rest % static_cast<std::size_t>(q));
+        rest /= static_cast<std::size_t>(q);
+      }
+      bool ok;
+      if (strong) {
+        ok = true;
+        for (std::size_t i = 0; i < colors.size() && ok; ++i)
+          for (std::size_t j = i + 1; j < colors.size(); ++j)
+            if (colors[i] == colors[j]) {
+              ok = false;
+              break;
+            }
+      } else {
+        ok = false;
+        for (std::size_t i = 1; i < colors.size(); ++i)
+          if (colors[i] != colors[0]) {
+            ok = true;
+            break;
+          }
+      }
+      table[idx] = ok ? 1.0 : 0.0;
+    }
+    fg.add_constraint(he, std::move(table));
+  }
+  return fg;
+}
+
+FactorGraph make_ksat(int num_vars,
+                      const std::vector<std::vector<int>>& clauses,
+                      double lambda) {
+  LS_REQUIRE(lambda > 0.0, "lambda must be positive");
+  FactorGraph fg(num_vars, 2);
+  for (int v = 0; v < num_vars; ++v) fg.set_vertex_activity(v, {1.0, lambda});
+  for (const auto& clause : clauses) {
+    LS_REQUIRE(!clause.empty() && clause.size() <= 16,
+               "clause width in [1,16]");
+    std::vector<int> scope;
+    scope.reserve(clause.size());
+    std::size_t falsifying = 0;
+    for (std::size_t i = 0; i < clause.size(); ++i) {
+      const int lit = clause[i];
+      LS_REQUIRE(lit != 0 && std::abs(lit) <= num_vars,
+                 "literal out of range (DIMACS-style, nonzero, <= num_vars)");
+      scope.push_back(std::abs(lit) - 1);
+      // The clause is false iff every positive literal is 0 and every
+      // negative literal is 1.
+      if (lit < 0) falsifying |= std::size_t{1} << i;
+    }
+    std::vector<double> table(std::size_t{1} << clause.size(), 1.0);
+    table[falsifying] = 0.0;
+    fg.add_constraint(std::move(scope), std::move(table));
   }
   return fg;
 }

@@ -31,4 +31,31 @@ namespace lsample::csp {
 /// machinery strictly generalizes the MRF machinery.
 [[nodiscard]] FactorGraph make_mrf_as_csp(const mrf::Mrf& m);
 
+/// Monomer-dimer / weighted-matchings model of g (§2.2 covers any weighted
+/// local CSP; matchings are the classic non-pairwise example): one binary
+/// variable per EDGE of g (spin 1 = "dimer placed"), weight
+/// dimer_weight^|M|, and for every vertex an at-most-one constraint over its
+/// incident edge variables.  Requires at least one edge and max degree <= 16.
+[[nodiscard]] FactorGraph make_monomer_dimer(const graph::Graph& g,
+                                             double dimer_weight);
+
+/// Uniform distribution over proper colorings of a hypergraph with q colors.
+/// weak (strong = false, the standard notion): a hyperedge only forbids
+/// monochromatic assignments — the constraint of make_hypergraph_nae;
+/// strong = true: the colors inside every hyperedge must be pairwise
+/// distinct, which requires q >= the hyperedge's arity.
+[[nodiscard]] FactorGraph make_hypergraph_coloring(
+    int n, int q, const std::vector<std::vector<int>>& hyperedges,
+    bool strong = false);
+
+/// k-SAT solution sampling: the distribution over assignments of num_vars
+/// boolean variables proportional to lambda^{#true} restricted to models of
+/// the CNF formula (lambda = 1 is uniform over solutions).  Clauses are
+/// DIMACS-style signed 1-based literals (+v = variable v-1 true, -v =
+/// false); each clause becomes one constraint zeroing exactly its single
+/// falsifying assignment.  Variables inside a clause must be distinct.
+[[nodiscard]] FactorGraph make_ksat(int num_vars,
+                                    const std::vector<std::vector<int>>& clauses,
+                                    double lambda = 1.0);
+
 }  // namespace lsample::csp

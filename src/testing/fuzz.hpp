@@ -1,0 +1,192 @@
+// Continuous randomized correctness fuzzing for every execution path in the
+// library (ROADMAP item "scenario breadth + a correctness fuzzer that scales
+// with it").
+//
+// The harness generates random small instances across every model family the
+// paper's framework covers (§2.2 MRFs, §2.2/§4 weighted local CSPs) and runs
+// a cross-check matrix per instance:
+//
+//   * seed-vs-compiled — the compiled chains (CompiledMrf /
+//     CompiledFactorGraph kernels) against direct reference steppers built
+//     from the legacy helpers, bitwise, step by step;
+//   * sequential-vs-threaded — bit-identical trajectories at 1/2/4/hw
+//     threads under a ParallelEngine;
+//   * chain-vs-LOCAL-network — the message-passing runtime against the
+//     in-memory chain, bitwise (R+1 simulated rounds = R chain steps);
+//   * replica streams — sample_many / sample_many_csp batches against the
+//     sequential replica_seed loop, bitwise, plus thread-count invariance;
+//   * empirical-vs-exact — TV distance between the sampled empirical
+//     distribution and the exact Gibbs distribution by full enumeration,
+//     on instances whose feasible state space is small enough (the
+//     tolerance adapts to support size and sample count);
+//   * tempering ground truth on torpid instances — in the non-uniqueness
+//     regime of §5 (hardcore on K_{b,b} above lambda_c) the harness checks
+//     that ParallelTempering still matches exact enumeration while the
+//     budgeted local chain is measurably far from it (the lower bound
+//     regime actually bites).
+//
+// Failures are minimized (the instance size rank is shrunk while the same
+// check still fails) and carry a reproducer snippet: family, parameters,
+// instance seed, and the fuzz_driver command line that replays the case.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/sampler.hpp"
+
+namespace lsample::testing {
+
+/// Every model family the fuzzer exercises.  The first seven are pairwise
+/// MRFs (§2.2), the rest weighted local CSPs (§2.2 examples / §4).
+enum class Family : int {
+  coloring = 0,
+  list_coloring,
+  hardcore,
+  ising,
+  potts,
+  widom_rowlinson,
+  homomorphism,
+  dominating_set,
+  nae_hypergraph,
+  hypergraph_independent_set,
+  monomer_dimer,
+  hypergraph_coloring,
+  ksat,
+};
+
+inline constexpr int kNumFamilies = 13;
+
+/// All families, in declaration order.
+[[nodiscard]] const std::array<Family, kNumFamilies>& all_families() noexcept;
+
+[[nodiscard]] std::string_view family_name(Family f) noexcept;
+
+/// Inverse of family_name; nullopt for unknown names.
+[[nodiscard]] std::optional<Family> parse_family(std::string_view name) noexcept;
+
+[[nodiscard]] bool family_is_csp(Family f) noexcept;
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;  ///< base seed; instance i of family f derives from it
+  int iterations = 3;      ///< instances generated per family
+  /// Families to fuzz; empty means all of them.
+  std::vector<Family> families;
+  /// Steps for the bitwise trajectory-equality checks.
+  std::int64_t equality_steps = 48;
+  /// Replicas per batch-vs-loop check.
+  int replica_batch = 5;
+  /// Samples for the empirical-vs-exact TV check.
+  int tv_samples = 6000;
+  /// Chain steps per TV sample (the mixing budget for these tiny instances;
+  /// sized for the slowest case, LocalMetropolis on hard-constraint CSPs,
+  /// whose per-vertex acceptance is throttled by every incident constraint).
+  std::int64_t tv_rounds = 240;
+  /// Base TV tolerance; the effective tolerance per instance is
+  /// tv_tolerance + 0.9 * sqrt(support / tv_samples) (sampling noise).
+  double tv_tolerance = 0.06;
+  /// Feasible-support cap for TV checks; larger instances skip the check.
+  std::int64_t tv_max_support = 300;
+  bool check_exact_tv = true;
+  /// Torpid-instance tempering cross-check (hardcore above lambda_c).
+  bool check_tempering = true;
+  int tempering_sweeps = 4000;
+  int tempering_burnin = 400;
+  /// Attempt to shrink a failing instance's size rank before reporting.
+  bool minimize = true;
+  /// Progress / failure stream (nullptr = silent).
+  std::ostream* log = nullptr;
+};
+
+struct FuzzFailure {
+  Family family{};
+  std::uint64_t instance_seed = 0;
+  int size_rank = 0;
+  std::string check;   ///< which cross-check failed
+  std::string params;  ///< human-readable instance description
+  std::string detail;  ///< what differed
+  /// A ready-to-paste snippet (and fuzz_driver command) replaying the case.
+  [[nodiscard]] std::string reproducer() const;
+};
+
+struct FuzzReport {
+  int instances = 0;
+  std::int64_t checks = 0;
+  std::vector<Family> families_covered;
+  std::vector<FuzzFailure> failures;
+  [[nodiscard]] bool ok() const noexcept { return failures.empty(); }
+  [[nodiscard]] std::string summary() const;
+};
+
+class FuzzHarness {
+ public:
+  explicit FuzzHarness(FuzzOptions options);
+
+  /// The full cross-check matrix over options.iterations instances per
+  /// family (plus the torpid tempering checks when enabled).
+  [[nodiscard]] FuzzReport run();
+
+  /// Only the thread-count / replica / network determinism checks — the
+  /// subset CI runs under ThreadSanitizer (reference steppers and TV
+  /// sampling add nothing under TSan and would dominate its runtime).
+  [[nodiscard]] FuzzReport run_determinism_subset();
+
+  /// Replays one instance: every applicable check for (family,
+  /// instance_seed, size_rank).  This is what reproducer snippets call.
+  [[nodiscard]] std::vector<FuzzFailure> run_instance(Family f,
+                                                      std::uint64_t instance_seed,
+                                                      int size_rank);
+
+  /// The torpid-instance check (tempering-vs-exact + chain torpidity),
+  /// exposed for reproducers; rank scales the gadget size.
+  [[nodiscard]] std::vector<FuzzFailure> run_torpid_instance(
+      std::uint64_t instance_seed, int size_rank);
+
+ private:
+  [[nodiscard]] FuzzReport run_mode(bool determinism_only);
+  FuzzOptions options_;
+};
+
+/// The derived per-instance seed the harness feeds run_instance for
+/// iteration i of family f under base seed `base` (exposed so reproducers
+/// and golden tests can name instances stably).
+[[nodiscard]] std::uint64_t instance_seed(std::uint64_t base, Family f,
+                                          int iteration) noexcept;
+
+/// FNV-1a hash of the whole trajectory (every config after every step) of
+/// the generated instance (f, seed, size_rank) under the given algorithm.
+/// MRF families run LubyGlauberChain / LocalMetropolisChain; CSP families
+/// run CspLubyGlauberChain / CspLocalMetropolisChain.  Golden values of this
+/// hash pin the RNG stream layout: any accidental change to seed derivation,
+/// draw ordering, or instance generation fails the pin loudly instead of
+/// silently shifting statistics.
+[[nodiscard]] std::uint64_t trajectory_hash(Family f, core::Algorithm algorithm,
+                                            std::uint64_t seed,
+                                            std::int64_t steps,
+                                            int size_rank = 0);
+
+/// TV distance between the empirical distribution of `samples` facade
+/// samples (seeded replica streams, `rounds` steps each) and the exact Gibbs
+/// distribution by enumeration.  Shared by the fuzzer and the model-zoo
+/// exactness tests.  Requires q^n within StateSpace limits.
+[[nodiscard]] double empirical_tv_vs_exact(const mrf::Mrf& m,
+                                           core::Algorithm algorithm,
+                                           std::uint64_t seed, int samples,
+                                           std::int64_t rounds);
+[[nodiscard]] double empirical_tv_vs_exact(const csp::FactorGraph& fg,
+                                           const csp::Config& x0,
+                                           core::Algorithm algorithm,
+                                           std::uint64_t seed, int samples,
+                                           std::int64_t rounds);
+
+/// Number of configurations with positive weight (the feasible support of
+/// the Gibbs distribution), by enumeration.
+[[nodiscard]] std::int64_t feasible_support(const mrf::Mrf& m);
+[[nodiscard]] std::int64_t feasible_support(const csp::FactorGraph& fg);
+
+}  // namespace lsample::testing

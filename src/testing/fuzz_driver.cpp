@@ -1,0 +1,146 @@
+// Standalone fuzzing entry point for long randomized runs.
+//
+//   fuzz_driver [--seed=N] [--iterations=N] [--families=a,b,c]
+//               [--determinism-only] [--no-tv] [--no-tempering]
+//               [--family=F --instance-seed=N [--rank=R]]   (replay one case)
+//               [--goldens]                                  (print hash table)
+//
+// Exit status: 0 when every check passed, 1 on any failure (each failure
+// prints a reproducer snippet), 2 on bad usage.
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "testing/fuzz.hpp"
+
+namespace {
+
+using lsample::testing::Family;
+using lsample::testing::FuzzHarness;
+using lsample::testing::FuzzOptions;
+
+[[nodiscard]] bool parse_u64(std::string_view s, std::uint64_t* out) {
+  if (s.empty()) return false;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+[[nodiscard]] int usage() {
+  std::cerr
+      << "usage: fuzz_driver [--seed=N] [--iterations=N] [--families=a,b,c]\n"
+         "                   [--determinism-only] [--no-tv] [--no-tempering]\n"
+         "                   [--family=F --instance-seed=N [--rank=R]]\n"
+         "                   [--goldens]\n"
+         "families:";
+  for (Family f : lsample::testing::all_families())
+    std::cerr << " " << lsample::testing::family_name(f);
+  std::cerr << "\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FuzzOptions options;
+  options.log = &std::cout;
+  bool determinism_only = false;
+  bool goldens = false;
+  std::optional<Family> replay_family;
+  std::optional<std::uint64_t> replay_seed;
+  int replay_rank = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto value = [&](std::string_view prefix) {
+      return arg.substr(prefix.size());
+    };
+    std::uint64_t v = 0;
+    if (arg.rfind("--seed=", 0) == 0 && parse_u64(value("--seed="), &v)) {
+      options.seed = v;
+    } else if (arg.rfind("--iterations=", 0) == 0 &&
+               parse_u64(value("--iterations="), &v) && v >= 1) {
+      options.iterations = static_cast<int>(v);
+    } else if (arg.rfind("--families=", 0) == 0) {
+      std::istringstream is{std::string(value("--families="))};
+      std::string name;
+      while (std::getline(is, name, ',')) {
+        const auto f = lsample::testing::parse_family(name);
+        if (!f) {
+          std::cerr << "unknown family: " << name << "\n";
+          return usage();
+        }
+        options.families.push_back(*f);
+      }
+    } else if (arg == "--determinism-only") {
+      determinism_only = true;
+    } else if (arg == "--no-tv") {
+      options.check_exact_tv = false;
+    } else if (arg == "--no-tempering") {
+      options.check_tempering = false;
+    } else if (arg.rfind("--family=", 0) == 0) {
+      replay_family = lsample::testing::parse_family(value("--family="));
+      if (!replay_family) {
+        std::cerr << "unknown family: " << value("--family=") << "\n";
+        return usage();
+      }
+    } else if (arg.rfind("--instance-seed=", 0) == 0 &&
+               parse_u64(value("--instance-seed="), &v)) {
+      replay_seed = v;
+    } else if (arg.rfind("--rank=", 0) == 0 &&
+               parse_u64(value("--rank="), &v)) {
+      replay_rank = static_cast<int>(v);
+    } else if (arg == "--goldens") {
+      goldens = true;
+    } else {
+      std::cerr << "bad argument: " << arg << "\n";
+      return usage();
+    }
+  }
+
+  if (goldens) {
+    // Prints the table tests/golden_trajectory_test.cpp pins; regenerate
+    // after an INTENTIONAL RNG-stream or generator change and paste it in.
+    for (Family f : lsample::testing::all_families())
+      for (auto alg : {lsample::core::Algorithm::luby_glauber,
+                       lsample::core::Algorithm::local_metropolis}) {
+        const std::uint64_t h =
+            lsample::testing::trajectory_hash(f, alg, 1234, 32, 0);
+        std::cout << "    {Family::" << lsample::testing::family_name(f)
+                  << ", Algorithm::"
+                  << (alg == lsample::core::Algorithm::luby_glauber
+                          ? "luby_glauber"
+                          : "local_metropolis")
+                  << ", " << h << "ULL},\n";
+      }
+    return 0;
+  }
+
+  if (replay_family || replay_seed) {
+    if (!replay_family || !replay_seed) {
+      std::cerr << "--family and --instance-seed must be given together\n";
+      return usage();
+    }
+    FuzzHarness harness(options);
+    const auto failures =
+        harness.run_instance(*replay_family, *replay_seed, replay_rank);
+    for (const auto& f : failures) std::cout << f.reproducer();
+    std::cout << (failures.empty() ? "replay: all checks passed\n"
+                                   : "replay: checks FAILED\n");
+    return failures.empty() ? 0 : 1;
+  }
+
+  FuzzHarness harness(options);
+  const auto report =
+      determinism_only ? harness.run_determinism_subset() : harness.run();
+  return report.ok() ? 0 : 1;
+}

@@ -1,0 +1,128 @@
+// Exhaustive option-validation coverage for the CSP facade entry points:
+// every LS_REQUIRE path in sample_csp / sample_many_csp asserted by its
+// message, plus the accepted boundary values right next to each rejection.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/sampler.hpp"
+#include "csp/csp_models.hpp"
+#include "graph/generators.hpp"
+
+namespace lsample::core {
+namespace {
+
+using csp::Config;
+using csp::FactorGraph;
+
+template <typename F>
+std::string thrown_message(F&& f) {
+  try {
+    f();
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+  return "";
+}
+
+// Smallest convenient model: dominating sets of a 3-path (q = 2, all-chosen
+// is always feasible).
+FactorGraph tiny_model() {
+  return csp::make_dominating_set(*graph::make_path(3), 1.0);
+}
+
+SamplerOptions valid_options() {
+  SamplerOptions opt;
+  opt.rounds = 8;
+  return opt;
+}
+
+TEST(FacadeCspValidation, MissingRoundBudgetIsRejectedByBothEntryPoints) {
+  const FactorGraph fg = tiny_model();
+  const Config x0(3, 1);
+  SamplerOptions opt;  // rounds unset — no theorem budget applies to a CSP
+  for (const std::string& msg :
+       {thrown_message([&] { (void)sample_csp(fg, x0, opt); }),
+        thrown_message([&] { (void)sample_many_csp(fg, x0, opt); })}) {
+    EXPECT_NE(msg.find("explicit round budget"), std::string::npos) << msg;
+  }
+}
+
+TEST(FacadeCspValidation, LocalNetworkBackendIsRejectedByBothEntryPoints) {
+  const FactorGraph fg = tiny_model();
+  const Config x0(3, 1);
+  SamplerOptions opt = valid_options();
+  opt.backend = Backend::local_network;
+  for (const std::string& msg :
+       {thrown_message([&] { (void)sample_csp(fg, x0, opt); }),
+        thrown_message([&] { (void)sample_many_csp(fg, x0, opt); })}) {
+    EXPECT_NE(msg.find("chain backend"), std::string::npos) << msg;
+  }
+}
+
+TEST(FacadeCspValidation, NegativeThreadCountIsRejectedByBothEntryPoints) {
+  const FactorGraph fg = tiny_model();
+  const Config x0(3, 1);
+  SamplerOptions opt = valid_options();
+  opt.num_threads = -1;
+  for (const std::string& msg :
+       {thrown_message([&] { (void)sample_csp(fg, x0, opt); }),
+        thrown_message([&] { (void)sample_many_csp(fg, x0, opt); })}) {
+    EXPECT_NE(msg.find("num_threads must be >= 0"), std::string::npos) << msg;
+  }
+}
+
+TEST(FacadeCspValidation, NonPositiveReplicaCountIsRejectedByTheBatchCall) {
+  const FactorGraph fg = tiny_model();
+  const Config x0(3, 1);
+  SamplerOptions opt = valid_options();
+  opt.num_replicas = 0;
+  const std::string msg =
+      thrown_message([&] { (void)sample_many_csp(fg, x0, opt); });
+  EXPECT_NE(msg.find("num_replicas must be >= 1"), std::string::npos) << msg;
+  // The single-sample call ignores num_replicas entirely.
+  EXPECT_EQ(thrown_message([&] { (void)sample_csp(fg, x0, opt); }), "");
+}
+
+TEST(FacadeCspValidation, WrongSizeInitialConfigIsRejectedByBothEntryPoints) {
+  const FactorGraph fg = tiny_model();
+  const SamplerOptions opt = valid_options();
+  const Config too_short(2, 1);
+  for (const std::string& msg :
+       {thrown_message([&] { (void)sample_csp(fg, too_short, opt); }),
+        thrown_message([&] { (void)sample_many_csp(fg, too_short, opt); })}) {
+    EXPECT_NE(msg.find("config size mismatch"), std::string::npos) << msg;
+  }
+}
+
+TEST(FacadeCspValidation, OutOfRangeSpinIsRejectedByBothEntryPoints) {
+  const FactorGraph fg = tiny_model();  // q = 2, so spin 2 is out of range
+  const SamplerOptions opt = valid_options();
+  const Config bad_spin = {1, 2, 1};
+  for (const std::string& msg :
+       {thrown_message([&] { (void)sample_csp(fg, bad_spin, opt); }),
+        thrown_message([&] { (void)sample_many_csp(fg, bad_spin, opt); })}) {
+    EXPECT_NE(msg.find("spin out of range"), std::string::npos) << msg;
+  }
+}
+
+TEST(FacadeCspValidation, BoundaryValuesNextToEachRejectionAreAccepted) {
+  const FactorGraph fg = tiny_model();
+  const Config x0(3, 1);
+  // num_threads = 0 ("all hardware threads") and num_replicas = 1 are the
+  // accepted boundaries; both calls succeed and the zero-thread sample is
+  // bit-identical to the sequential one.
+  SamplerOptions opt = valid_options();
+  opt.num_threads = 0;
+  opt.num_replicas = 1;
+  const SampleResult hw = sample_csp(fg, x0, opt);
+  opt.num_threads = 1;
+  const SampleResult seq = sample_csp(fg, x0, opt);
+  EXPECT_EQ(hw.config, seq.config);
+  EXPECT_EQ(hw.rounds, 8);
+  const BatchSampleResult batch = sample_many_csp(fg, x0, opt);
+  ASSERT_EQ(batch.configs.size(), 1u);
+}
+
+}  // namespace
+}  // namespace lsample::core

@@ -1,0 +1,86 @@
+// Bounded, fixed-seed run of the randomized correctness fuzzer — the
+// `fuzz_smoke` CTest entry CI runs on every push.  One instance per family
+// through the full cross-check matrix (seed-vs-compiled, thread invariance,
+// chain-vs-network, replica streams, empirical-vs-exact TV, and the torpid
+// tempering check), plus the determinism-only subset used under TSan.
+//
+// The seed is fixed so CI is reproducible; the standalone fuzz_driver binary
+// is the entry point for long randomized soaks with fresh seeds.
+#include "testing/fuzz.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+namespace lsample::testing {
+namespace {
+
+[[nodiscard]] std::string describe(const FuzzReport& report) {
+  std::ostringstream os;
+  os << report.summary() << "\n";
+  for (const auto& f : report.failures) os << f.reproducer();
+  return os.str();
+}
+
+TEST(FuzzSmoke, FullMatrixPassesOnEveryFamily) {
+  FuzzOptions options;
+  options.seed = 20260808;
+  options.iterations = 1;
+  FuzzHarness harness(options);
+  const FuzzReport report = harness.run();
+  EXPECT_TRUE(report.ok()) << describe(report);
+  EXPECT_EQ(static_cast<int>(report.families_covered.size()), kNumFamilies);
+  EXPECT_GE(report.instances, kNumFamilies);
+  EXPECT_GT(report.checks, 0);
+}
+
+TEST(FuzzSmoke, FamilyFilterRestrictsCoverage) {
+  FuzzOptions options;
+  options.seed = 7;
+  options.iterations = 1;
+  options.families = {Family::hardcore, Family::ksat};
+  options.check_tempering = false;
+  FuzzHarness harness(options);
+  const FuzzReport report = harness.run();
+  EXPECT_TRUE(report.ok()) << describe(report);
+  ASSERT_EQ(report.families_covered.size(), 2u);
+  EXPECT_EQ(report.families_covered[0], Family::hardcore);
+  EXPECT_EQ(report.families_covered[1], Family::ksat);
+}
+
+TEST(FuzzSmoke, ReplayReproducesACleanInstance) {
+  // The reproducer pathway run_instance() must agree with the sweep: a seed
+  // the sweep passed on replays clean too.
+  FuzzOptions options;
+  options.seed = 20260808;
+  FuzzHarness harness(options);
+  const std::uint64_t seed = instance_seed(options.seed, Family::potts, 0);
+  const auto failures = harness.run_instance(Family::potts, seed, 0);
+  std::string detail;
+  for (const auto& f : failures) detail += f.reproducer();
+  EXPECT_TRUE(failures.empty()) << detail;
+}
+
+// Named to match the ThreadSanitizer job's ctest regex: only the
+// thread-count / replica / network determinism checks, where data races
+// would actually surface.  Reference steppers and TV sampling are excluded
+// (sequential, and they would dominate TSan runtime).
+TEST(FuzzDeterminism, SubsetPassesAndIsRepeatable) {
+  FuzzOptions options;
+  options.seed = 971;
+  options.iterations = 1;
+  FuzzHarness harness(options);
+  const FuzzReport first = harness.run_determinism_subset();
+  EXPECT_TRUE(first.ok()) << describe(first);
+  EXPECT_EQ(static_cast<int>(first.families_covered.size()), kNumFamilies);
+  // Same options => bit-identical outcome (the fuzzer itself is a pure
+  // function of its seed).
+  const FuzzReport second = FuzzHarness(options).run_determinism_subset();
+  EXPECT_EQ(first.instances, second.instances);
+  EXPECT_EQ(first.checks, second.checks);
+  EXPECT_TRUE(second.ok()) << describe(second);
+}
+
+}  // namespace
+}  // namespace lsample::testing

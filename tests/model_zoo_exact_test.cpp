@@ -1,0 +1,166 @@
+// Model-zoo exactness: the newest builders checked against closed-form
+// enumeration, and the Widom-Rowlinson / homomorphism samplers checked
+// against the exact Gibbs distribution via the fuzzer's shared TV machinery
+// (testing::empirical_tv_vs_exact / feasible_support).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/sampler.hpp"
+#include "csp/csp_models.hpp"
+#include "graph/generators.hpp"
+#include "mrf/models.hpp"
+#include "testing/fuzz.hpp"
+
+namespace lsample {
+namespace {
+
+using core::Algorithm;
+using csp::Config;
+using csp::FactorGraph;
+
+/// Visits every configuration of [q]^n in counting order.
+template <typename F>
+void for_each_config(int n, int q, F&& f) {
+  Config x(static_cast<std::size_t>(n), 0);
+  while (true) {
+    f(x);
+    int i = 0;
+    while (i < n && ++x[static_cast<std::size_t>(i)] == q) {
+      x[static_cast<std::size_t>(i)] = 0;
+      ++i;
+    }
+    if (i == n) break;
+  }
+}
+
+[[nodiscard]] double partition_function(const FactorGraph& fg) {
+  double z = 0.0;
+  for_each_config(fg.n(), fg.q(), [&](const Config& x) {
+    const double lw = fg.log_weight(x);
+    if (lw > -std::numeric_limits<double>::infinity()) z += std::exp(lw);
+  });
+  return z;
+}
+
+/// The fuzzer's adaptive TV tolerance: base + sampling noise that scales
+/// with sqrt(support / samples).
+[[nodiscard]] double tv_tolerance(std::int64_t support, int samples) {
+  return 0.06 + 0.9 * std::sqrt(static_cast<double>(support) /
+                                static_cast<double>(samples));
+}
+
+constexpr int kSamples = 6000;
+constexpr std::int64_t kRounds = 200;
+
+// --- Widom-Rowlinson and homomorphism vs exact enumeration ----------------
+
+TEST(ModelZooExact, WidomRowlinsonMatchesExactGibbsUnderBothAlgorithms) {
+  const mrf::Mrf m = mrf::make_widom_rowlinson(graph::make_path(4), 0.8);
+  const std::int64_t support = testing::feasible_support(m);
+  EXPECT_EQ(support, 41);  // 1^T M^3 1 for the P4 transfer matrix
+  const double tol = tv_tolerance(support, kSamples);
+  for (const Algorithm alg :
+       {Algorithm::luby_glauber, Algorithm::local_metropolis}) {
+    const double tv =
+        testing::empirical_tv_vs_exact(m, alg, 81, kSamples, kRounds);
+    EXPECT_LT(tv, tol) << (alg == Algorithm::luby_glauber
+                               ? "luby_glauber"
+                               : "local_metropolis");
+  }
+}
+
+TEST(ModelZooExact, WeightedHomomorphismMatchesExactGibbs) {
+  // H on 3 spins with loops everywhere except the forbidden pair {1,2};
+  // spin 0 is compatible with everything, so single-flip moves stay ergodic,
+  // and non-uniform vertex weights exercise the weighted path.
+  const std::vector<int> h = {1, 1, 1,  //
+                              1, 1, 0,  //
+                              1, 0, 1};
+  const mrf::Mrf m =
+      mrf::make_homomorphism(graph::make_cycle(4), 3, h, {1.0, 1.5, 0.7});
+  const std::int64_t support = testing::feasible_support(m);
+  EXPECT_GT(support, 0);
+  const double tv = testing::empirical_tv_vs_exact(
+      m, Algorithm::luby_glauber, 82, kSamples, kRounds);
+  EXPECT_LT(tv, tv_tolerance(support, kSamples));
+}
+
+// --- Monomer-dimer vs the matching polynomial -----------------------------
+
+TEST(ModelZooExact, MonomerDimerPartitionFunctionIsTheMatchingPolynomial) {
+  // C4: m(C4, w) = 1 + 4w + 2w^2 (empty, four single edges, two perfect
+  // matchings).  K_{1,3}: 1 + 3w (no two star edges are disjoint).
+  for (const double w : {0.5, 1.0, 1.7}) {
+    const FactorGraph cycle = csp::make_monomer_dimer(*graph::make_cycle(4), w);
+    EXPECT_NEAR(partition_function(cycle), 1.0 + 4.0 * w + 2.0 * w * w,
+                1e-12 * (1.0 + 4.0 * w + 2.0 * w * w));
+    const FactorGraph star = csp::make_monomer_dimer(*graph::make_star(3), w);
+    EXPECT_NEAR(partition_function(star), 1.0 + 3.0 * w, 1e-12 * (1 + 3 * w));
+  }
+  const FactorGraph fg = csp::make_monomer_dimer(*graph::make_cycle(4), 1.0);
+  EXPECT_EQ(testing::feasible_support(fg), 7);
+  // Two dimers sharing a vertex violate the at-most-one constraint.  Edges
+  // of C4 are 0-1, 1-2, 2-3, 3-0 in insertion order, so edge variables 0
+  // and 1 share vertex 1.
+  EXPECT_FALSE(fg.feasible({1, 1, 0, 0}));
+  EXPECT_TRUE(fg.feasible({1, 0, 1, 0}));
+}
+
+TEST(ModelZooExact, MonomerDimerSamplerMatchesExactGibbs) {
+  const FactorGraph fg = csp::make_monomer_dimer(*graph::make_cycle(4), 1.3);
+  const Config empty_matching(4, 0);
+  const std::int64_t support = testing::feasible_support(fg);
+  const double tv = testing::empirical_tv_vs_exact(
+      fg, empty_matching, Algorithm::luby_glauber, 83, kSamples, kRounds);
+  EXPECT_LT(tv, tv_tolerance(support, kSamples));
+}
+
+// --- Hypergraph coloring: weak vs strong ----------------------------------
+
+TEST(ModelZooExact, HypergraphColoringWeakAndStrongCountsOnOneHyperedge) {
+  // One hyperedge {0,1,2}, q = 3.  Weak forbids only the 3 monochromatic
+  // assignments (27 - 3); strong demands pairwise-distinct colors (3!).
+  const std::vector<std::vector<int>> edge = {{0, 1, 2}};
+  const FactorGraph weak = csp::make_hypergraph_coloring(3, 3, edge, false);
+  const FactorGraph strong = csp::make_hypergraph_coloring(3, 3, edge, true);
+  EXPECT_EQ(testing::feasible_support(weak), 24);
+  EXPECT_EQ(testing::feasible_support(strong), 6);
+  EXPECT_FALSE(weak.feasible({2, 2, 2}));
+  EXPECT_TRUE(weak.feasible({2, 2, 1}));   // repeat allowed weakly...
+  EXPECT_FALSE(strong.feasible({2, 2, 1}));  // ...but not strongly
+  EXPECT_TRUE(strong.feasible({0, 2, 1}));
+}
+
+// --- k-SAT: DIMACS semantics and lambda weighting -------------------------
+
+TEST(ModelZooExact, KsatFeasibilityMatchesBooleanSemantics) {
+  // (x1 v x2) & (!x1 v x3), spin 1 = true.
+  const FactorGraph fg = csp::make_ksat(3, {{1, 2}, {-1, 3}});
+  for_each_config(3, 2, [&](const Config& x) {
+    const bool sat = (x[0] == 1 || x[1] == 1) && (x[0] == 0 || x[2] == 1);
+    EXPECT_EQ(fg.feasible(x), sat)
+        << x[0] << x[1] << x[2];
+  });
+}
+
+TEST(ModelZooExact, KsatLambdaWeightsCountTrueVariables) {
+  const double lambda = 0.5;
+  const FactorGraph fg = csp::make_ksat(3, {{1, 2}, {-1, 3}}, lambda);
+  double z = 0.0;
+  for_each_config(3, 2, [&](const Config& x) {
+    const bool sat = (x[0] == 1 || x[1] == 1) && (x[0] == 0 || x[2] == 1);
+    const int ones = x[0] + x[1] + x[2];
+    if (sat) {
+      z += std::pow(lambda, ones);
+      EXPECT_NEAR(fg.log_weight(x), ones * std::log(lambda), 1e-12);
+    } else {
+      EXPECT_EQ(fg.log_weight(x), -std::numeric_limits<double>::infinity());
+    }
+  });
+  EXPECT_NEAR(partition_function(fg), z, 1e-12);
+}
+
+}  // namespace
+}  // namespace lsample
