@@ -1,0 +1,160 @@
+// Kernel microbenchmark: isolates the per-vertex hot kernels from the chain
+// and engine machinery, so a regression in one kernel is visible without
+// being averaged into whole-round throughput.
+//
+// Measured per (tier, reorder) compiled-view variant where the variant
+// matters (marginal_weights / heat_bath_kernel), and per reorder variant for
+// the LocalMetropolis filter kernels (which have no fast_math tier):
+//   * CompiledMrf::marginal_weights — the heat-bath inner product;
+//   * chains::proposal_kernel        — categorical draw from vertex activity;
+//   * chains::lm_accept_kernel       — per-edge shared-coin filter;
+//   * chains::lm_two_rule_accept_kernel — the two-rule negative control.
+// All rows are best-of-reps calls/sec over full vertex sweeps (the sweep
+// follows the view's order() so reorder variants see their intended access
+// pattern).  Reporting only — the guard lives in perf_parallel_scaling.
+//
+//   $ ./perf_kernels [--quick]
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "chains/init.hpp"
+#include "chains/kernels.hpp"
+#include "graph/generators.hpp"
+#include "mrf/compiled.hpp"
+#include "mrf/models.hpp"
+
+namespace {
+
+using namespace lsample;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct Workload {
+  std::string name;
+  mrf::Mrf m;
+  mrf::Config x0;
+};
+
+Workload make_coloring(util::Rng& grng, int n, int delta, int q,
+                       const std::string& name) {
+  const auto g = graph::make_random_regular(n, delta, grng);
+  mrf::Mrf m = mrf::make_proper_coloring(g, q);
+  mrf::Config x0 = chains::greedy_feasible_config(m);
+  return {name, std::move(m), std::move(x0)};
+}
+
+/// Best-of-reps calls/sec of `body(v)` swept over the view's order.
+template <typename Body>
+double sweep_calls_per_sec(const mrf::CompiledMrf& cm, double min_time,
+                           int reps, const Body& body) {
+  const auto order = cm.order();
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    std::int64_t calls = 0;
+    const auto start = Clock::now();
+    double elapsed = 0.0;
+    do {
+      for (const int v : order) body(v);
+      calls += cm.n();
+      elapsed = seconds_since(start);
+    } while (elapsed < min_time);
+    best = std::max(best, static_cast<double>(calls) / elapsed);
+  }
+  return best;
+}
+
+void print_row(const std::string& kernel, const std::string& variant,
+               double cps) {
+  std::cout << "  " << kernel << " [" << variant << "]: " << cps / 1e6
+            << " Mcalls/s\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  const double min_time = quick ? 0.05 : 0.4;
+  const int reps = quick ? 2 : 3;
+
+  util::Rng grng(1);
+  std::vector<Workload> workloads;
+  workloads.push_back(make_coloring(grng, 400, 8, 20, "coloring_n400_d8_q20"));
+  workloads.push_back(
+      make_coloring(grng, 900, 30, 108, "coloring_n900_d30_q108"));
+
+  using Tier = mrf::CompiledMrf::Tier;
+  const std::vector<std::pair<std::string, mrf::CompiledMrf::Options>>
+      variants = {
+          {"exact/none", {graph::VertexOrder::none, Tier::exact}},
+          {"exact/rcm", {graph::VertexOrder::rcm, Tier::exact}},
+          {"fast_math/none", {graph::VertexOrder::none, Tier::fast_math}},
+          {"fast_math/rcm", {graph::VertexOrder::rcm, Tier::fast_math}},
+      };
+
+  const util::CounterRng rng(1);
+  // Accumulators the optimizer must respect, so kernels are not elided.
+  double fsink = 0.0;
+  std::int64_t isink = 0;
+
+  for (const auto& w : workloads) {
+    std::cout << w.name << "\n";
+    std::vector<double> weights;
+
+    for (const auto& [vname, opts] : variants) {
+      const mrf::CompiledMrf cm(w.m, opts);
+      print_row("marginal_weights", vname,
+                sweep_calls_per_sec(cm, min_time, reps, [&](int v) {
+                  cm.marginal_weights(v, w.x0, weights);
+                  fsink += weights[0];
+                }));
+      print_row("heat_bath_kernel", vname,
+                sweep_calls_per_sec(cm, min_time, reps, [&](int v) {
+                  isink += chains::heat_bath_kernel(cm, rng, v, 7, w.x0,
+                                                    weights);
+                }));
+    }
+
+    // The filter kernels read norm-table entries only — no fast_math tier —
+    // so just the reorder axis.  A proposal per vertex feeds the filters.
+    for (const auto reorder :
+         {graph::VertexOrder::none, graph::VertexOrder::rcm}) {
+      const mrf::CompiledMrf cm(w.m, {reorder, Tier::exact});
+      const std::string vname = graph::vertex_order_name(reorder);
+      mrf::Config proposal = w.x0;
+      for (int v = 0; v < cm.n(); ++v)
+        proposal[static_cast<std::size_t>(v)] =
+            chains::proposal_kernel(cm, rng, v, 7);
+      print_row("proposal_kernel", vname,
+                sweep_calls_per_sec(cm, min_time, reps, [&](int v) {
+                  isink += chains::proposal_kernel(cm, rng, v, 7);
+                }));
+      print_row("lm_accept_kernel", vname,
+                sweep_calls_per_sec(cm, min_time, reps, [&](int v) {
+                  isink += chains::lm_accept_kernel(cm, rng, v, 7, proposal,
+                                                    w.x0)
+                               ? 1
+                               : 0;
+                }));
+      print_row("lm_two_rule_accept_kernel", vname,
+                sweep_calls_per_sec(cm, min_time, reps, [&](int v) {
+                  isink += chains::lm_two_rule_accept_kernel(cm, rng, v, 7,
+                                                             proposal, w.x0)
+                               ? 1
+                               : 0;
+                }));
+    }
+    std::cout << "\n";
+  }
+
+  // Keep the sinks live without polluting normal output.
+  if (fsink == -1.0 && isink == -1) std::cerr << "";
+  return 0;
+}

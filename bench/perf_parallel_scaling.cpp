@@ -23,20 +23,40 @@
 //       it cannot help), or
 //   (c) the compiled LOCAL-model network is less than 2x the seed simulator
 //       sequentially, or the 1-thread engine runs the network slower than
-//       0.85x the engine-less sequential path, or
+//       0.95x the engine-less sequential path, or
 //   (d) a compiled CSP chain is less than 2x its seed path (virtual dispatch
 //       over FactorGraph with scratch Config copies per local evaluation)
-//       sequentially on any CSP workload.
+//       sequentially on any CSP workload, or
+//   (e) a 1-thread engine runs any synchronous MRF chain slower than 0.95x
+//       the engine-less sequential path (spin barriers + the fixed job slot
+//       must make the engine nearly free when it cannot help), or
+//   (f) the fast_math marginal kernel is slower than 0.9x the exact tier
+//       (the reassociated product exists only to be faster).
+//
+// Every row is a best-of-N-repetitions measurement (max throughput = min
+// time), EXCEPT the engine-overhead pairs, which are medians over windows
+// that alternate between the two sides on one shared instance: at one thread
+// both sides execute identical code, so the pair ratio is a pure noise
+// measurement, and best-of is the wrong statistic for it (a single upside
+// outlier on one side fakes an overhead that more sampling can never
+// retract, while the median converges to 1x).  A pair that still misses its
+// bound is re-measured once before the failure counts.  The JSON records
+// hardware_threads plus a caveat: rows at thread counts above
+// hardware_threads are oversubscribed and measure scheduling overhead, not
+// scaling.
 //
 //   $ ./perf_parallel_scaling [--quick] [--out PATH]
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "chains/engine.hpp"
@@ -157,6 +177,35 @@ double measure_compiled_path_sweeps(const Workload& w, double min_time,
     } while (elapsed < min_time);
     best = std::max(best, static_cast<double>(t) / elapsed);
   }
+  return best;
+}
+
+/// Heat-bath marginal calls/sec for one compiled-view configuration
+/// (tier x reorder) — the kernel-tier rows.  Sweeps every vertex so the
+/// reorder variants see their intended access pattern.
+double measure_marginal_calls_per_sec(const Workload& w,
+                                      const mrf::CompiledMrf::Options& opts,
+                                      double min_time, int reps) {
+  const mrf::CompiledMrf cm(w.m, opts);
+  const auto order = cm.order();
+  std::vector<double> weights;
+  double sink = 0.0;
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    std::int64_t calls = 0;
+    const auto start = Clock::now();
+    double elapsed = 0.0;
+    do {
+      for (const int v : order) {
+        cm.marginal_weights(v, w.x0, weights);
+        sink += weights[0];
+      }
+      calls += cm.n();
+      elapsed = seconds_since(start);
+    } while (elapsed < min_time);
+    best = std::max(best, static_cast<double>(calls) / elapsed);
+  }
+  if (sink == -1.0) std::cerr << "";  // keep the sweep observable
   return best;
 }
 
@@ -363,6 +412,48 @@ double measure_compiled_network_rounds(const Workload& w, int threads,
     best = std::max(best, static_cast<double>(rounds) / elapsed);
   }
   return best;
+}
+
+/// Median of a sample of window throughputs.  The engine-overhead pairs use
+/// medians, not best-of: on a shared box individual windows swing by ±25%
+/// in BOTH directions, and a single upside outlier on one side of a pair of
+/// identical code paths fakes an overhead that best-of can never retract.
+double median_of(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const auto k = v.size() / 2;
+  return v.size() % 2 != 0 ? v[k] : 0.5 * (v[k - 1] + v[k]);
+}
+
+/// Measures the engine-overhead pair (sequential vs 1-thread engine) for the
+/// LOCAL network on ONE network instance, alternating windows rep by rep and
+/// returning the median per side.  Building a fresh instance per side lets
+/// allocation/huge-page placement luck between two multi-megabyte message
+/// arenas masquerade as engine overhead; on the same arena the two sides
+/// execute identical code.
+std::pair<double, double> measure_network_overhead_pair(const Workload& w,
+                                                        double min_time,
+                                                        int pair_reps) {
+  local::Network net = local::make_local_metropolis_network(w.m, w.x0, 3);
+  chains::ParallelEngine engine(1);
+  const auto window = [&] {
+    std::int64_t rounds = 0;
+    const auto start = Clock::now();
+    double elapsed = 0.0;
+    do {
+      for (int s = 0; s < 4; ++s) net.run_round();
+      rounds += 4;
+      elapsed = seconds_since(start);
+    } while (elapsed < min_time);
+    return static_cast<double>(rounds) / elapsed;
+  };
+  std::vector<double> seq, one;
+  for (int r = 0; r < pair_reps; ++r) {
+    net.set_engine(nullptr);
+    seq.push_back(window());
+    net.set_engine(&engine);
+    one.push_back(window());
+  }
+  return {median_of(std::move(seq)), median_of(std::move(one))};
 }
 
 // --- CSP workloads: seed FactorGraph path vs the compiled runtime ---------
@@ -639,8 +730,11 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
       out_path = argv[++i];
   }
-  const double min_time = quick ? 0.05 : 0.4;
-  const int reps = quick ? 2 : 3;
+  // Best-of-reps over windows of min_time seconds.  The quick windows are
+  // sized so the 0.95x engine-overhead guard is below measurement noise on a
+  // loaded single-core CI runner (0.05s/2-rep windows flaked at ~10% drift).
+  const double min_time = quick ? 0.1 : 0.4;
+  const int reps = quick ? 3 : 3;
 
   util::Rng grng(1);
   std::vector<Workload> workloads;
@@ -651,30 +745,65 @@ int main(int argc, char** argv) {
   const int hw = chains::ParallelEngine::hardware_threads();
   if (hw != 1 && hw != 2 && hw != 4) thread_counts.push_back(hw);
 
-  // workload -> chain -> threads -> steps/sec
+  // workload -> chain -> threads -> steps/sec.  Key 0 = no engine attached
+  // (the pure sequential path); key 1 onward runs under an engine.  The
+  // 0-vs-1 pair is the engine-overhead row the guard checks, so its two
+  // sides alternate measurement windows rep by rep — measuring all seq reps
+  // minutes before the 1T reps lets clock/thermal drift over a long run
+  // masquerade as engine overhead.
+  using ChainFactory = std::function<std::unique_ptr<chains::Chain>()>;
+  // (workload, chain) -> factory, kept so the guard can re-measure a
+  // failing overhead pair once before declaring a regression.
+  std::map<std::string, std::map<std::string, ChainFactory>> chain_factories;
+  const auto measure_overhead_pair = [&](const mrf::Config& x0,
+                                         const ChainFactory& make_chain,
+                                         int pair_reps) {
+    // One chain instance serves both sides (set_engine toggles the path):
+    // a fresh chain per side would let allocation placement luck in the
+    // compiled view masquerade as engine overhead.  Median per side — see
+    // median_of for why best-of is the wrong statistic here.
+    auto chain = make_chain();
+    chains::ParallelEngine engine(1);
+    std::vector<double> seq, one;
+    for (int r = 0; r < pair_reps; ++r) {
+      chain->set_engine(nullptr);
+      seq.push_back(measure_steps_per_sec(*chain, x0, min_time, 4, 1));
+      chain->set_engine(&engine);
+      one.push_back(measure_steps_per_sec(*chain, x0, min_time, 4, 1));
+    }
+    return std::pair<double, double>{median_of(std::move(seq)),
+                                     median_of(std::move(one))};
+  };
   std::map<std::string, std::map<std::string, std::map<int, double>>> results;
   for (const auto& w : workloads) {
-    for (int threads : thread_counts) {
-      chains::ParallelEngine engine(threads);
-      {
-        chains::SynchronousGlauberChain chain(w.m, 1);
-        chain.set_engine(&engine);
-        results[w.name]["SynchronousGlauber"][threads] =
-            measure_steps_per_sec(chain, w.x0, min_time, 4, reps);
+    const auto measure_chain = [&](const std::string& cname,
+                                   const ChainFactory& make_chain) {
+      chain_factories[w.name][cname] = make_chain;
+      const auto [seq, one] =
+          measure_overhead_pair(w.x0, make_chain, reps + 2);
+      results[w.name][cname][0] = seq;
+      results[w.name][cname][1] = one;
+      for (int threads : thread_counts) {
+        if (threads == 1) continue;
+        chains::ParallelEngine engine(threads);
+        auto chain = make_chain();
+        chain->set_engine(&engine);
+        results[w.name][cname][threads] =
+            measure_steps_per_sec(*chain, w.x0, min_time, 4, reps);
       }
-      {
-        chains::LubyGlauberChain chain(w.m, 1);
-        chain.set_engine(&engine);
-        results[w.name]["LubyGlauber"][threads] =
-            measure_steps_per_sec(chain, w.x0, min_time, 4, reps);
-      }
-      {
-        chains::LocalMetropolisChain chain(w.m, 1);
-        chain.set_engine(&engine);
-        results[w.name]["LocalMetropolis"][threads] =
-            measure_steps_per_sec(chain, w.x0, min_time, 4, reps);
-      }
-    }
+    };
+    measure_chain("SynchronousGlauber", [&w] {
+      return std::unique_ptr<chains::Chain>(
+          new chains::SynchronousGlauberChain(w.m, 1));
+    });
+    measure_chain("LubyGlauber", [&w] {
+      return std::unique_ptr<chains::Chain>(
+          new chains::LubyGlauberChain(w.m, 1));
+    });
+    measure_chain("LocalMetropolis", [&w] {
+      return std::unique_ptr<chains::Chain>(
+          new chains::LocalMetropolisChain(w.m, 1));
+    });
   }
 
   // Seed path vs compiled path, sequential, per workload.
@@ -684,6 +813,22 @@ int main(int argc, char** argv) {
     const double comp_sps = measure_compiled_path_sweeps(w, min_time, reps);
     seed_vs_compiled[w.name] = {seed_sps, comp_sps};
   }
+
+  // Kernel tiers: marginal_weights calls/sec per (tier, reorder) variant.
+  using MrfTier = mrf::CompiledMrf::Tier;
+  const std::vector<std::pair<std::string, mrf::CompiledMrf::Options>>
+      tier_variants = {
+          {"exact_none", {graph::VertexOrder::none, MrfTier::exact}},
+          {"exact_rcm", {graph::VertexOrder::rcm, MrfTier::exact}},
+          {"fast_math_none", {graph::VertexOrder::none, MrfTier::fast_math}},
+          {"fast_math_rcm", {graph::VertexOrder::rcm, MrfTier::fast_math}},
+      };
+  // workload -> variant -> marginal calls/sec
+  std::map<std::string, std::map<std::string, double>> tier_results;
+  for (const auto& w : workloads)
+    for (const auto& [vname, opts] : tier_variants)
+      tier_results[w.name][vname] =
+          measure_marginal_calls_per_sec(w, opts, min_time, reps);
 
   // Replica-layer throughput: R chains sharing one compiled view, run as a
   // plain sequential loop (key 0, the baseline the guard compares against)
@@ -783,16 +928,33 @@ int main(int argc, char** argv) {
   for (const auto& w : workloads) {
     NetworkRows rows;
     rows.seed = measure_seed_network_rounds(w, min_time, reps);
-    rows.compiled = measure_compiled_network_rounds(w, 0, min_time, reps);
-    for (int threads : thread_counts)
+    // The compiled/1T pair feeds the engine-overhead guard: one arena, one
+    // set of alternating windows (same drift argument as the chain rows).
+    const auto [net_seq, net_one] =
+        measure_network_overhead_pair(w, min_time, reps + 2);
+    rows.compiled = net_seq;
+    rows.engine[1] = net_one;
+    for (int threads : thread_counts) {
+      if (threads == 1) continue;
       rows.engine[threads] =
           measure_compiled_network_rounds(w, threads, min_time, reps);
+    }
     network_results[w.name] = std::move(rows);
   }
 
+  // The JSON is emitted AFTER the guard pass below, so a guard re-measure
+  // (which can only raise a row's best-of value) is reflected in the file —
+  // the committed JSON and the guard verdict always agree.
+  const auto write_json = [&] {
   std::ofstream out(out_path);
   out.precision(6);
-  out << "{\n  \"hardware_threads\": " << hw << ",\n  \"workloads\": {\n";
+  out << "{\n  \"hardware_threads\": " << hw
+      << ",\n  \"reps\": " << reps
+      << ",\n  \"caveat\": \"rows at thread counts above hardware_threads "
+         "are oversubscribed; each row is best-of-reps except the "
+         "engine-overhead pairs (threads 0 vs 1), which are medians over "
+         "alternating windows on one shared instance\",\n"
+         "  \"workloads\": {\n";
   bool first_w = true;
   for (const auto& [wname, chains_map] : results) {
     if (!first_w) out << ",\n";
@@ -844,6 +1006,14 @@ int main(int argc, char** argv) {
       out << "\"" << threads << "\": " << rps;
     }
     out << "}\n      },\n";
+    out << "      \"kernel_tiers_marginal_calls_per_sec\": {";
+    bool first_kt = true;
+    for (const auto& [vname, cps] : tier_results[wname]) {
+      if (!first_kt) out << ", ";
+      first_kt = false;
+      out << "\"" << vname << "\": " << cps;
+    }
+    out << "},\n";
     const auto& [seed_sps, comp_sps] = seed_vs_compiled[wname];
     out << "      \"seed_path_sweeps_per_sec\": " << seed_sps << ",\n"
         << "      \"compiled_path_sweeps_per_sec\": " << comp_sps << ",\n"
@@ -900,8 +1070,9 @@ int main(int argc, char** argv) {
   }
   out << "\n  }\n}\n";
   out.close();
-
   std::cout << "wrote " << out_path << " (hardware_threads=" << hw << ")\n";
+  };
+
   for (const auto& [wname, chains_map] : results) {
     std::cout << "\n" << wname << "\n";
     const auto& [seed_sps, comp_sps] = seed_vs_compiled[wname];
@@ -911,9 +1082,15 @@ int main(int argc, char** argv) {
     for (const auto& [cname, per_threads] : chains_map) {
       std::cout << "  " << cname << ":";
       for (const auto& [threads, sps] : per_threads)
-        std::cout << "  " << threads << "T=" << sps << " steps/s";
+        std::cout << "  "
+                  << (threads == 0 ? "seq" : std::to_string(threads) + "T")
+                  << "=" << sps << " steps/s";
       std::cout << "\n";
     }
+    std::cout << "  marginal kernel tiers:";
+    for (const auto& [vname, cps] : tier_results[wname])
+      std::cout << "  " << vname << "=" << cps / 1e6 << " Mcalls/s";
+    std::cout << "\n";
     for (const auto& [cname, per_threads] : replica_results[wname]) {
       std::cout << "  replicas(" << replicas << ") " << cname << ":";
       for (const auto& [threads, sps] : per_threads)
@@ -979,9 +1156,10 @@ int main(int argc, char** argv) {
     }
   }
   //  (c) the compiled LOCAL-model network must be at least 2x the seed
-  //      simulator sequentially, and a 1-thread engine must cost at most 15%
-  //      over the engine-less sequential path.
-  for (const auto& [wname, rows] : network_results) {
+  //      simulator sequentially, and a 1-thread engine must cost at most 5%
+  //      over the engine-less sequential path (the spin-barrier engine's
+  //      single-thread mode short-circuits to a direct call).
+  for (auto& [wname, rows] : network_results) {
     if (rows.compiled < 2.0 * rows.seed) {
       std::cerr << "GUARD FAILED: compiled LOCAL network below 2x the seed "
                    "simulator on "
@@ -989,12 +1167,75 @@ int main(int argc, char** argv) {
                 << " rounds/sec)\n";
       rc = 1;
     }
-    const double one_thread = rows.engine.at(1);
-    if (one_thread < 0.85 * rows.compiled) {
+    double compiled = rows.compiled;
+    double one_thread = rows.engine.at(1);
+    if (one_thread < 0.95 * compiled) {
+      // Same re-measure-once policy as guard (e): both sides run identical
+      // code at one thread, so only a reproducible shortfall counts.
+      const auto wit =
+          std::find_if(workloads.begin(), workloads.end(),
+                       [&](const auto& w) { return w.name == wname; });
+      const auto [c2, o2] =
+          measure_network_overhead_pair(*wit, min_time, reps + 4);
+      compiled = std::max(compiled, c2);
+      one_thread = std::max(one_thread, o2);
+      std::cout << "note: re-measured " << wname
+                << " LOCAL-network overhead pair after a transient dip ("
+                << one_thread << " vs " << compiled
+                << " rounds/sec best-of-all)\n";
+      rows.compiled = compiled;
+      rows.engine[1] = one_thread;
+    }
+    if (one_thread < 0.95 * compiled) {
       std::cerr << "GUARD FAILED: LOCAL network under a 1-thread engine "
-                   "slower than the sequential path on "
-                << wname << " (" << one_thread << " vs " << rows.compiled
+                   "slower than 0.95x the sequential path on "
+                << wname << " (" << one_thread << " vs " << compiled
                 << " rounds/sec)\n";
+      rc = 1;
+    }
+  }
+  //  (e) a 1-thread engine must run every synchronous MRF chain at >= 0.95x
+  //      the engine-less sequential path, per workload row.  Both sides run
+  //      the exact same code (the 1-thread engine short-circuits to a direct
+  //      call), so a shortfall here is measurement noise unless it survives a
+  //      fresh interleaved re-measure — on a loaded box a single window can
+  //      absorb a background burst, and that is not an engine regression.
+  for (auto& [wname, per_chain] : results) {
+    for (auto& [cname, per_threads] : per_chain) {
+      double seq = per_threads.at(0);
+      double one_thread = per_threads.at(1);
+      if (one_thread < 0.95 * seq) {
+        const auto wit =
+            std::find_if(workloads.begin(), workloads.end(),
+                         [&](const auto& w) { return w.name == wname; });
+        const auto [seq2, one2] = measure_overhead_pair(
+            wit->x0, chain_factories.at(wname).at(cname), reps + 4);
+        seq = std::max(seq, seq2);
+        one_thread = std::max(one_thread, one2);
+        std::cout << "note: re-measured " << wname << "/" << cname
+                  << " overhead pair after a transient dip (" << one_thread
+                  << " vs " << seq << " steps/sec best-of-all)\n";
+        per_threads[0] = seq;
+        per_threads[1] = one_thread;
+      }
+      if (one_thread < 0.95 * seq) {
+        std::cerr << "GUARD FAILED: 1-thread engine below 0.95x the "
+                     "sequential path on "
+                  << wname << "/" << cname << " (" << one_thread << " vs "
+                  << seq << " steps/sec)\n";
+        rc = 1;
+      }
+    }
+  }
+  //  (f) the fast_math marginal kernel must not be slower than 0.9x exact
+  //      (identity order; the reassociated product exists to be faster).
+  for (const auto& [wname, per_variant] : tier_results) {
+    const double exact = per_variant.at("exact_none");
+    const double fast = per_variant.at("fast_math_none");
+    if (fast < 0.9 * exact) {
+      std::cerr << "GUARD FAILED: fast_math marginal kernel below 0.9x the "
+                   "exact tier on "
+                << wname << " (" << fast << " vs " << exact << " calls/sec)\n";
       rc = 1;
     }
   }
@@ -1012,10 +1253,12 @@ int main(int argc, char** argv) {
       }
     }
   }
+  write_json();
   if (rc == 0)
     std::cout << "\nguard ok: compiled path >= seed path, replica runner "
                  ">= sequential trial loop, compiled LOCAL network >= 2x "
-                 "seed simulator (1-thread engine >= 0.85x sequential), "
-                 "compiled CSP chains >= 2x seed paths\n";
+                 "seed simulator, 1-thread engine >= 0.95x sequential "
+                 "(chains and network), compiled CSP chains >= 2x seed "
+                 "paths, fast_math marginal >= 0.9x exact\n";
   return rc;
 }

@@ -5,20 +5,36 @@
 #include "util/require.hpp"
 
 namespace lsample::chains {
+namespace {
+
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#endif
+}
+
+// Bounded spin before parking in std::atomic::wait.  A few thousand pause
+// iterations (~1-2 us) cover the inter-phase gap of a chain round on
+// multicore hardware; past that the futex wake cost is the cheaper option
+// (and the only sane one on an oversubscribed core).
+constexpr int kSpinIters = 1 << 12;
+
+}  // namespace
 
 ParallelEngine::ParallelEngine(int num_threads) : num_threads_(num_threads) {
   LS_REQUIRE(num_threads >= 1, "engine needs at least one thread");
+  errors_.assign(static_cast<std::size_t>(num_threads_), nullptr);
   workers_.reserve(static_cast<std::size_t>(num_threads_ - 1));
   for (int i = 1; i < num_threads_; ++i)
     workers_.emplace_back([this, i] { worker_loop(i); });
 }
 
 ParallelEngine::~ParallelEngine() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    shutdown_ = true;
-  }
-  start_cv_.notify_all();
+  shutdown_ = true;
+  generation_.fetch_add(1, std::memory_order_release);
+  generation_.notify_all();
   for (auto& w : workers_) w.join();
 }
 
@@ -26,65 +42,91 @@ int ParallelEngine::hardware_threads() noexcept {
   return std::max(1u, std::thread::hardware_concurrency());
 }
 
-void ParallelEngine::parallel_for(int n,
-                                  const std::function<void(int, int, int)>& fn) {
-  if (n <= 0) return;
-  if (num_threads_ == 1) {
-    fn(0, 0, n);  // exceptions propagate directly on the caller
-    return;
-  }
-  errors_.assign(static_cast<std::size_t>(num_threads_), nullptr);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    job_ = &fn;
-    job_n_ = n;
-    pending_ = num_threads_ - 1;
-    ++generation_;
-  }
-  start_cv_.notify_all();
-  try {
-    fn(0, 0, slice_begin(n, 1, num_threads_));
-  } catch (...) {
-    errors_[0] = std::current_exception();
-  }
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [this] { return pending_ == 0; });
-    job_ = nullptr;
-  }
-  for (auto& e : errors_) {
-    if (e != nullptr) {
-      const std::exception_ptr err = e;
-      errors_.clear();
-      std::rethrow_exception(err);
+void ParallelEngine::drain(int thread) noexcept {
+  const int n = job_n_;
+  const int chunk = chunk_;
+  const RawFn fn = job_fn_;
+  const void* ctx = job_ctx_;
+  for (;;) {
+    // After a throw anywhere, skip the round's remaining chunks: the caller
+    // is about to rethrow, so partial results are dead anyway.
+    if (has_error_.load(std::memory_order_relaxed)) return;
+    const int begin = cursor_.fetch_add(chunk, std::memory_order_relaxed);
+    if (begin >= n) return;
+    const int end = std::min(n, begin + chunk);
+    try {
+      fn(ctx, thread, begin, end);
+    } catch (...) {
+      errors_[static_cast<std::size_t>(thread)] = std::current_exception();
+      has_error_.store(true, std::memory_order_relaxed);
     }
+  }
+}
+
+void ParallelEngine::dispatch(int n, const void* ctx, RawFn fn) {
+  job_ctx_ = ctx;
+  job_fn_ = fn;
+  job_n_ = n;
+  // Chunks small enough that dynamic assignment load-balances uneven
+  // per-vertex work, large enough that the cursor is claimed O(8T) times
+  // per round.  Boundaries depend only on (n, T), never on timing.
+  chunk_ = std::max(1, n / (num_threads_ * 8));
+  cursor_.store(0, std::memory_order_relaxed);
+  pending_.store(static_cast<std::uint32_t>(num_threads_ - 1),
+                 std::memory_order_relaxed);
+  // Release-publishes every plain job field to workers that acquire the new
+  // generation value.
+  generation_.fetch_add(1, std::memory_order_release);
+  generation_.notify_all();
+
+  drain(0);  // caller participates as thread 0
+
+  // Completion barrier: spin briefly, then park on the countdown word.
+  std::uint32_t left = pending_.load(std::memory_order_acquire);
+  int spins = kSpinIters;
+  while (left != 0) {
+    if (spins-- > 0) {
+      cpu_relax();
+    } else {
+      pending_.wait(left, std::memory_order_acquire);
+    }
+    left = pending_.load(std::memory_order_acquire);
+  }
+
+  if (has_error_.load(std::memory_order_relaxed)) {
+    has_error_.store(false, std::memory_order_relaxed);
+    std::exception_ptr err;
+    for (auto& e : errors_) {
+      if (e != nullptr) {
+        if (err == nullptr) err = e;
+        e = nullptr;  // leave the preallocated slots clean for the next round
+      }
+    }
+    std::rethrow_exception(err);
   }
 }
 
 void ParallelEngine::worker_loop(int thread) {
   std::uint64_t seen = 0;
   for (;;) {
-    const std::function<void(int, int, int)>* job;
-    int n;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      start_cv_.wait(lock,
-                     [&] { return shutdown_ || generation_ != seen; });
-      if (shutdown_) return;
-      seen = generation_;
-      job = job_;
-      n = job_n_;
+    // Start barrier: spin on the generation word, then park in the futex.
+    std::uint64_t gen = generation_.load(std::memory_order_acquire);
+    int spins = kSpinIters;
+    while (gen == seen) {
+      if (spins-- > 0) {
+        cpu_relax();
+      } else {
+        generation_.wait(seen, std::memory_order_acquire);
+      }
+      gen = generation_.load(std::memory_order_acquire);
     }
-    try {
-      (*job)(thread, slice_begin(n, thread, num_threads_),
-             slice_begin(n, thread + 1, num_threads_));
-    } catch (...) {
-      errors_[static_cast<std::size_t>(thread)] = std::current_exception();
-    }
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--pending_ == 0) done_cv_.notify_one();
-    }
+    seen = gen;
+    if (shutdown_) return;
+
+    drain(thread);
+
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1)
+      pending_.notify_one();
   }
 }
 

@@ -2,31 +2,42 @@
 // active vertex set across threads.
 //
 // Determinism contract: parallel_for(n, fn) invokes fn(thread, begin, end)
-// over a static contiguous partition of [0, n).  The engine never reorders,
-// splits dynamically, or work-steals, and the library's chains only pass
-// body functions where iteration i writes slot i from inputs fixed before
-// the call (the previous round's configuration plus counter-RNG draws keyed
-// by (i, t)).  Under that discipline the result is bit-identical to the
-// sequential loop at ANY thread count — which is exactly the "fully parallel
-// round" semantics of the paper's Algorithms 1 and 2, and what the
-// determinism tests assert.
+// over chunks that exactly tile [0, n).  Chunk boundaries are a fixed
+// function of n and the thread count; WHICH thread runs a chunk is decided
+// dynamically by an atomic cursor.  The library's chains only pass body
+// functions where iteration i writes slot i from inputs fixed before the
+// call (the previous round's configuration plus counter-RNG draws keyed by
+// (i, t)), so the result is independent of the chunk-to-thread assignment
+// and bit-identical to the sequential loop at ANY thread count — exactly
+// the "fully parallel round" semantics of the paper's Algorithms 1 and 2,
+// and what the determinism tests assert.  Per-thread accumulators (the
+// `thread` argument) may be visited for several chunks per round, so bodies
+// must combine with `+=`-style updates, never `=`.
 //
-// Job bodies may throw (the LOCAL-model runtime maps user node programs over
-// vertices, and their precondition checks are exceptions): parallel_for
-// catches on each worker, waits for the full barrier, and rethrows the
-// lowest-thread-index exception on the caller, so a throwing job can never
-// std::terminate a worker or unwind past the barrier while threads run.
+// Hand-off is a generation-counter barrier, not a mutex/condvar pair: the
+// caller publishes the job in a fixed slot (raw function pointer + context
+// pointer — no std::function, no per-call allocation), bumps an atomic
+// generation and notifies; workers spin briefly on the generation and then
+// park in std::atomic::wait (a futex on Linux).  Completion is an atomic
+// countdown the caller spins/waits on.  A round therefore costs two futex
+// words in the common case, with zero heap traffic.
 //
-// The pool is persistent: workers are spawned once and parked on a condition
-// variable between rounds, so a step() costs two notifications, not T thread
-// spawns.  The calling thread participates as thread 0.
+// Job bodies may throw (the LOCAL-model runtime maps user node programs
+// over vertices, and their precondition checks are exceptions): each chunk
+// runs under a catch-all that stores into a preallocated per-thread error
+// slot and stops that round's remaining chunks; after the barrier the
+// caller rethrows the lowest-thread-index exception.  A throwing job can
+// never std::terminate a worker or unwind past the barrier while threads
+// run.
+//
+// The calling thread participates as thread 0 and drains chunks like any
+// worker.
 #pragma once
 
-#include <condition_variable>
+#include <atomic>
 #include <cstdint>
 #include <exception>
-#include <functional>
-#include <mutex>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -44,44 +55,71 @@ class ParallelEngine {
 
   [[nodiscard]] int num_threads() const noexcept { return num_threads_; }
 
-  /// Runs fn(thread, begin, end) for thread = 0..T-1 over the static
-  /// partition [floor(n*thread/T), floor(n*(thread+1)/T)); returns after all
-  /// threads finish.  With one thread (or n == 0) this is a plain call on the
-  /// caller.  If any invocation throws, the exception of the lowest thread
-  /// index is rethrown here after every thread reached the barrier.  Not
-  /// reentrant: fn must not call parallel_for on this engine.
-  void parallel_for(int n, const std::function<void(int, int, int)>& fn);
+  /// Runs fn(thread, begin, end) over chunks tiling [0, n); returns after
+  /// all threads finish.  With one thread (or n <= 0) this is a plain call
+  /// on the caller.  fn must be const-invocable; a given thread index may
+  /// receive several (begin, end) chunks per call.  If any invocation
+  /// throws, the exception of the lowest thread index is rethrown here
+  /// after every thread reached the barrier.  Not reentrant: fn must not
+  /// call parallel_for on this engine.
+  template <typename F>
+  void parallel_for(int n, const F& fn) {
+    if (n <= 0) return;
+    if (num_threads_ == 1) {
+      fn(0, 0, n);  // exceptions propagate directly on the caller
+      return;
+    }
+    dispatch(n, std::addressof(fn),
+             [](const void* ctx, int thread, int begin, int end) {
+               (*static_cast<const F*>(ctx))(thread, begin, end);
+             });
+  }
 
   /// std::thread::hardware_concurrency with a floor of 1.
   [[nodiscard]] static int hardware_threads() noexcept;
 
  private:
+  using RawFn = void (*)(const void* ctx, int thread, int begin, int end);
+
   void worker_loop(int thread);
-  [[nodiscard]] static int slice_begin(int n, int thread, int threads) noexcept {
-    return static_cast<int>(static_cast<long long>(n) * thread / threads);
-  }
+  // Publishes the job, runs the barrier round, rethrows errors.
+  void dispatch(int n, const void* ctx, RawFn fn);
+  // Drains chunks from cursor_ as the given thread; never throws (errors
+  // land in errors_[thread]).
+  void drain(int thread) noexcept;
 
   int num_threads_;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(int, int, int)>* job_ = nullptr;
+  // Job slot: written by the caller before the generation bump, read by
+  // workers after they observe the new generation (release/acquire on
+  // generation_ orders the plain fields).
+  const void* job_ctx_ = nullptr;
+  RawFn job_fn_ = nullptr;
   int job_n_ = 0;
-  std::uint64_t generation_ = 0;
-  int pending_ = 0;
+  int chunk_ = 1;
   bool shutdown_ = false;
+
+  // Hot atomics on separate cache lines: generation_ is the start barrier
+  // workers spin/wait on, cursor_ is contended by every chunk claim, and
+  // pending_ is the completion countdown the caller spins/waits on.
+  alignas(64) std::atomic<std::uint64_t> generation_{0};
+  alignas(64) std::atomic<int> cursor_{0};
+  alignas(64) std::atomic<std::uint32_t> pending_{0};
+
   // One slot per thread; written only by that thread during a job, read by
-  // the caller after the barrier (the pending_-mutex handoff orders both).
+  // the caller after the barrier (pending_ release/acquire orders both).
+  // Preallocated in the constructor — steady-state rounds never touch the
+  // allocator.
   std::vector<std::exception_ptr> errors_;
+  std::atomic<bool> has_error_{false};
 };
 
 /// Runs fn over [0, n): through the engine when one is attached, as a plain
 /// sequential call otherwise.  The single dispatch point the chains use, so
 /// "no engine" and "engine with one thread" are the same code path.
-inline void run_partitioned(ParallelEngine* engine, int n,
-                            const std::function<void(int, int, int)>& fn) {
+template <typename F>
+inline void run_partitioned(ParallelEngine* engine, int n, const F& fn) {
   if (engine != nullptr) {
     engine->parallel_for(n, fn);
   } else if (n > 0) {

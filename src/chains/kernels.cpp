@@ -30,12 +30,11 @@ int proposal_kernel(const mrf::CompiledMrf& cm, const util::CounterRng& rng,
 bool lm_accept_kernel(const mrf::CompiledMrf& cm, const util::CounterRng& rng,
                       int v, std::int64_t t, const Config& proposal,
                       const Config& x) {
-  const auto off = cm.csr_offsets();
-  const auto inc = cm.incident_edges_flat();
-  const int begin = off[static_cast<std::size_t>(v)];
-  const int end = off[static_cast<std::size_t>(v) + 1];
-  for (int i = begin; i < end; ++i) {
-    const int e = inc[static_cast<std::size_t>(i)];
+  // Rows come from the cache-aware layout; per-row edge order matches the
+  // graph's insertion order, so the coins are checked in the same sequence
+  // as the seed chain (and the early exit skips only pure, keyed draws —
+  // skipping them changes nothing downstream).
+  for (const int e : cm.incident_row(v)) {
     const int eu = cm.edge_u(e);
     const int ev = cm.edge_v(e);
     const double p = cm.edge_pass_prob(e, proposal[static_cast<std::size_t>(eu)],
@@ -53,16 +52,13 @@ bool lm_two_rule_accept_kernel(const mrf::CompiledMrf& cm,
                                const Config& x) {
   // The two-rule filter is deterministic given hard-constraint activities;
   // rng and t stay in the signature to mirror lm_accept_kernel.
-  const auto off = cm.csr_offsets();
-  const auto inc = cm.incident_edges_flat();
-  const auto nbr = cm.neighbors_flat();
+  const auto inc = cm.incident_row(v);
+  const auto nbr = cm.neighbor_row(v);
   const std::size_t q = static_cast<std::size_t>(cm.q());
   const int sv = proposal[static_cast<std::size_t>(v)];
-  const int begin = off[static_cast<std::size_t>(v)];
-  const int end = off[static_cast<std::size_t>(v) + 1];
-  for (int i = begin; i < end; ++i) {
-    const int e = inc[static_cast<std::size_t>(i)];
-    const int u = nbr[static_cast<std::size_t>(i)];
+  for (std::size_t i = 0; i < inc.size(); ++i) {
+    const int e = inc[i];
+    const int u = nbr[i];
     const double* row = cm.table(e).data() + static_cast<std::size_t>(sv) * q;
     if (row[static_cast<std::size_t>(
             proposal[static_cast<std::size_t>(u)])] == 0.0 ||

@@ -1,5 +1,7 @@
 #include "chains/local_metropolis.hpp"
 
+#include <utility>
+
 #include "chains/engine.hpp"
 #include "chains/kernels.hpp"
 #include "util/require.hpp"
@@ -42,30 +44,37 @@ void LocalMetropolisChain::set_engine(ParallelEngine* engine) {
 
 void LocalMetropolisChain::step(Config& x, std::int64_t t) {
   const int n = cm_->n();
+  const auto order = cm_->order();
   proposal_.resize(static_cast<std::size_t>(n));
   run_partitioned(engine_, n, [&](int /*thread*/, int begin, int end) {
-    for (int v = begin; v < end; ++v)
+    for (int i = begin; i < end; ++i) {
+      const int v = order[static_cast<std::size_t>(i)];
       proposal_[static_cast<std::size_t>(v)] =
           proposal_kernel(*cm_, rng_, v, t);
+    }
   });
 
-  accept_.resize(static_cast<std::size_t>(n));
-  run_partitioned(engine_, n, [&](int /*thread*/, int begin, int end) {
-    for (int v = begin; v < end; ++v)
-      accept_[static_cast<std::size_t>(v)] =
-          lm_accept_kernel(*cm_, rng_, v, t, proposal_, x) ? 1 : 0;
-  });
-
+  // Fused filter + adopt: the accept decision reads only (proposal_, x), so
+  // each vertex can write its next spin immediately — into next_, not x,
+  // because other vertices' filters still read x this pass.  One barrier
+  // instead of two; contents are identical to the unfused sweep.  The
+  // accepted counters are integer and accumulated with += (a thread may run
+  // several chunks), so the total is independent of partitioning.
+  next_.resize(static_cast<std::size_t>(n));
   for (auto& c : accepted_per_thread_) c = 0;
   run_partitioned(engine_, n, [&](int thread, int begin, int end) {
     long long accepted = 0;
-    for (int v = begin; v < end; ++v)
-      if (accept_[static_cast<std::size_t>(v)] != 0) {
-        x[static_cast<std::size_t>(v)] = proposal_[static_cast<std::size_t>(v)];
-        ++accepted;
-      }
-    accepted_per_thread_[static_cast<std::size_t>(thread)] = accepted;
+    for (int i = begin; i < end; ++i) {
+      const int v = order[static_cast<std::size_t>(i)];
+      const bool a = lm_accept_kernel(*cm_, rng_, v, t, proposal_, x);
+      next_[static_cast<std::size_t>(v)] =
+          a ? proposal_[static_cast<std::size_t>(v)]
+            : x[static_cast<std::size_t>(v)];
+      accepted += a ? 1 : 0;
+    }
+    accepted_per_thread_[static_cast<std::size_t>(thread)] += accepted;
   });
+  std::swap(x, next_);
   long long accepted = 0;
   for (long long c : accepted_per_thread_) accepted += c;
   last_accept_fraction_ = n > 0 ? static_cast<double>(accepted) / n : 0.0;
@@ -97,19 +106,17 @@ void LocalMetropolisTwoRuleChain::step(Config& x, std::int64_t t) {
 
   // Per-vertex check with only the first two rules: v rejects iff some
   // incident edge has A(sigma_v, sigma_u) = 0 or A(sigma_v, X_u) = 0.  The
-  // third rule A(sigma_u, X_v) is deliberately dropped.
-  accept_.resize(static_cast<std::size_t>(n));
+  // third rule A(sigma_u, X_v) is deliberately dropped.  Fused with the
+  // adopt phase through the next_ buffer, as in LocalMetropolisChain.
+  next_.resize(static_cast<std::size_t>(n));
   run_partitioned(engine_, n, [&](int /*thread*/, int begin, int end) {
     for (int v = begin; v < end; ++v)
-      accept_[static_cast<std::size_t>(v)] =
-          lm_two_rule_accept_kernel(cm_, rng_, v, t, proposal_, x) ? 1 : 0;
+      next_[static_cast<std::size_t>(v)] =
+          lm_two_rule_accept_kernel(cm_, rng_, v, t, proposal_, x)
+              ? proposal_[static_cast<std::size_t>(v)]
+              : x[static_cast<std::size_t>(v)];
   });
-
-  run_partitioned(engine_, n, [&](int /*thread*/, int begin, int end) {
-    for (int v = begin; v < end; ++v)
-      if (accept_[static_cast<std::size_t>(v)] != 0)
-        x[static_cast<std::size_t>(v)] = proposal_[static_cast<std::size_t>(v)];
-  });
+  std::swap(x, next_);
 }
 
 }  // namespace lsample::chains

@@ -13,12 +13,13 @@
 // The shared edge coin is realized as a counter-RNG stream keyed by the edge
 // id: both endpoints (in the LOCAL simulator, and each thread of the
 // ParallelEngine) evaluate the same pure function and therefore see the same
-// coin, exactly as the paper stipulates.  Each of the step's three phases
-// (propose, filter, adopt) is a pure map over vertices, so an attached
-// engine partitions them across threads with a bit-identical trajectory; the
-// filter phase recomputes an edge's coin at both endpoints instead of
-// sharing a flag, trading two cheap hashes for the absence of any
-// cross-thread write.
+// coin, exactly as the paper stipulates.  The step runs as TWO engine
+// passes: propose, then a fused filter+adopt pass that writes the next
+// configuration into a scratch buffer (swapped in afterwards) — each phase
+// is a pure map over vertices, so an attached engine partitions them across
+// threads with a bit-identical trajectory; the filter recomputes an edge's
+// coin at both endpoints instead of sharing a flag, trading two cheap
+// hashes for the absence of any cross-thread write.
 #pragma once
 
 #include <memory>
@@ -69,7 +70,7 @@ class LocalMetropolisChain final : public Chain {
   util::CounterRng rng_;
   ParallelEngine* engine_ = nullptr;
   Config proposal_;
-  std::vector<char> accept_;
+  Config next_;  // fused filter+adopt writes here, then swaps into x
   std::vector<long long> accepted_per_thread_;
   double last_accept_fraction_ = 0.0;
 };
@@ -98,7 +99,7 @@ class LocalMetropolisTwoRuleChain final : public Chain {
   util::CounterRng rng_;
   ParallelEngine* engine_ = nullptr;
   Config proposal_;
-  std::vector<char> accept_;
+  Config next_;
 };
 
 }  // namespace lsample::chains

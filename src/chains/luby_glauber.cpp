@@ -37,17 +37,24 @@ void LubyGlauberChain::set_engine(ParallelEngine* engine) {
 }
 
 void LubyGlauberChain::step(Config& x, std::int64_t t) {
-  scheduler_->select(t, selected_);
-  LS_ASSERT(selected_.size() == static_cast<std::size_t>(cm_->n()),
-            "scheduler produced wrong-size selection");
-  // The selected set is independent, so updating in place is equivalent to
-  // the parallel update: no resampled vertex reads another resampled vertex.
-  run_partitioned(engine_, cm_->n(), [&](int thread, int begin, int end) {
+  const int n = cm_->n();
+  // Fused round: prepare(t) draws the scheduler's randomness (at most one
+  // barrier), then ONE pass both evaluates the membership predicate and
+  // resamples — in_set reads only prepare's state, and the selected set is
+  // independent, so no resampled vertex reads another resampled vertex and
+  // the in-place parallel update equals the paper's synchronous one.
+  scheduler_->prepare(t);
+  selected_.resize(static_cast<std::size_t>(n));
+  const auto order = cm_->order();
+  run_partitioned(engine_, n, [&](int thread, int begin, int end) {
     auto& scratch = scratch_[static_cast<std::size_t>(thread)];
-    for (int v = begin; v < end; ++v) {
-      if (selected_[static_cast<std::size_t>(v)] == 0) continue;
-      x[static_cast<std::size_t>(v)] =
-          heat_bath_kernel(*cm_, rng_, v, t, x, scratch);
+    for (int i = begin; i < end; ++i) {
+      const int v = order[static_cast<std::size_t>(i)];
+      const char s = scheduler_->in_set(v) ? 1 : 0;
+      selected_[static_cast<std::size_t>(v)] = s;
+      if (s != 0)
+        x[static_cast<std::size_t>(v)] =
+            heat_bath_kernel(*cm_, rng_, v, t, x, scratch);
     }
   });
 }

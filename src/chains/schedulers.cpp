@@ -20,29 +20,33 @@ LubyScheduler::LubyScheduler(graph::GraphPtr g, std::uint64_t seed)
   g_->finalize();
 }
 
-void LubyScheduler::select(std::int64_t t, std::vector<char>& selected) {
+void LubyScheduler::prepare(std::int64_t t) {
   const int n = g_->num_vertices();
   priorities_.resize(static_cast<std::size_t>(n));
   run_partitioned(engine_, n, [&](int /*thread*/, int begin, int end) {
     for (int v = begin; v < end; ++v)
       priorities_[static_cast<std::size_t>(v)] = luby_priority(rng_, v, t);
   });
+}
+
+bool LubyScheduler::in_set(int v) const {
+  const double pv = priorities_[static_cast<std::size_t>(v)];
+  for (int u : g_->neighbors(v)) {
+    // Lexicographic (priority, id) tie-break keeps the selected set a true
+    // independent set even in the measure-zero event of equal priorities.
+    const double pu = priorities_[static_cast<std::size_t>(u)];
+    if (pu > pv || (pu == pv && u > v)) return false;
+  }
+  return true;
+}
+
+void LubyScheduler::select(std::int64_t t, std::vector<char>& selected) {
+  const int n = g_->num_vertices();
+  prepare(t);
   selected.resize(static_cast<std::size_t>(n));
   run_partitioned(engine_, n, [&](int /*thread*/, int begin, int end) {
-    for (int v = begin; v < end; ++v) {
-      bool is_max = true;
-      for (int u : g_->neighbors(v)) {
-        // Lexicographic (priority, id) tie-break keeps the selected set a true
-        // independent set even in the measure-zero event of equal priorities.
-        const double pu = priorities_[static_cast<std::size_t>(u)];
-        const double pv = priorities_[static_cast<std::size_t>(v)];
-        if (pu > pv || (pu == pv && u > v)) {
-          is_max = false;
-          break;
-        }
-      }
-      selected[static_cast<std::size_t>(v)] = is_max ? 1 : 0;
-    }
+    for (int v = begin; v < end; ++v)
+      selected[static_cast<std::size_t>(v)] = in_set(v) ? 1 : 0;
   });
 }
 
@@ -59,7 +63,7 @@ SlackLubyScheduler::SlackLubyScheduler(graph::GraphPtr g,
   g_->finalize();
 }
 
-void SlackLubyScheduler::select(std::int64_t t, std::vector<char>& selected) {
+void SlackLubyScheduler::prepare(std::int64_t t) {
   const int n = g_->num_vertices();
   activated_.resize(static_cast<std::size_t>(n));
   run_partitioned(engine_, n, [&](int /*thread*/, int begin, int end) {
@@ -71,21 +75,22 @@ void SlackLubyScheduler::select(std::int64_t t, std::vector<char>& selected) {
               ? 1
               : 0;
   });
+}
+
+bool SlackLubyScheduler::in_set(int v) const {
+  if (activated_[static_cast<std::size_t>(v)] == 0) return false;
+  for (int u : g_->neighbors(v))
+    if (activated_[static_cast<std::size_t>(u)] != 0) return false;
+  return true;
+}
+
+void SlackLubyScheduler::select(std::int64_t t, std::vector<char>& selected) {
+  const int n = g_->num_vertices();
+  prepare(t);
   selected.resize(static_cast<std::size_t>(n));
   run_partitioned(engine_, n, [&](int /*thread*/, int begin, int end) {
-    for (int v = begin; v < end; ++v) {
-      if (activated_[static_cast<std::size_t>(v)] == 0) {
-        selected[static_cast<std::size_t>(v)] = 0;
-        continue;
-      }
-      bool lonely = true;
-      for (int u : g_->neighbors(v))
-        if (activated_[static_cast<std::size_t>(u)] != 0) {
-          lonely = false;
-          break;
-        }
-      selected[static_cast<std::size_t>(v)] = lonely ? 1 : 0;
-    }
+    for (int v = begin; v < end; ++v)
+      selected[static_cast<std::size_t>(v)] = in_set(v) ? 1 : 0;
   });
 }
 
@@ -101,16 +106,22 @@ ChromaticScheduler::ChromaticScheduler(graph::GraphPtr g, std::uint64_t seed)
   num_classes_ = graph::count_distinct(class_of_);
 }
 
+void ChromaticScheduler::prepare(std::int64_t t) {
+  cls_ = rng_.uniform_int(util::RngDomain::global_choice, 0,
+                          static_cast<std::uint64_t>(t), 0, num_classes_);
+}
+
+bool ChromaticScheduler::in_set(int v) const {
+  return class_of_[static_cast<std::size_t>(v)] == cls_;
+}
+
 void ChromaticScheduler::select(std::int64_t t, std::vector<char>& selected) {
   const int n = g_->num_vertices();
-  const int cls = rng_.uniform_int(util::RngDomain::global_choice, 0,
-                                   static_cast<std::uint64_t>(t), 0,
-                                   num_classes_);
+  prepare(t);
   selected.resize(static_cast<std::size_t>(n));
   run_partitioned(engine_, n, [&](int /*thread*/, int begin, int end) {
     for (int v = begin; v < end; ++v)
-      selected[static_cast<std::size_t>(v)] =
-          class_of_[static_cast<std::size_t>(v)] == cls ? 1 : 0;
+      selected[static_cast<std::size_t>(v)] = in_set(v) ? 1 : 0;
   });
 }
 

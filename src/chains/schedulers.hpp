@@ -33,6 +33,17 @@ class IndependentSetScheduler {
   /// attached engine, at any thread count.
   virtual void select(std::int64_t t, std::vector<char>& selected) = 0;
 
+  /// Split protocol for fused chain rounds: prepare(t) draws/derives this
+  /// step's randomness (one engine pass at most); afterwards in_set(v) must
+  /// be a pure thread-safe predicate over that state, so the chain can
+  /// evaluate membership and resample in the SAME pass.  Membership must
+  /// match what select(t, ...) would produce.  The default bridges
+  /// subclasses that only implement select().
+  virtual void prepare(std::int64_t t) { select(t, prepared_); }
+  [[nodiscard]] virtual bool in_set(int v) const {
+    return prepared_[static_cast<std::size_t>(v)] != 0;
+  }
+
   /// Attaches a ParallelEngine for selection (nullptr = sequential).  All
   /// schedulers here compute per-vertex pure functions of (seed, t), so the
   /// parallel selection is bit-identical to the sequential one.
@@ -45,6 +56,9 @@ class IndependentSetScheduler {
 
  protected:
   ParallelEngine* engine_ = nullptr;
+
+ private:
+  std::vector<char> prepared_;  // only used by the default prepare/in_set
 };
 
 /// The Luby step, exposed so the LOCAL node program can reuse it verbatim.
@@ -55,6 +69,8 @@ class LubyScheduler final : public IndependentSetScheduler {
  public:
   LubyScheduler(graph::GraphPtr g, std::uint64_t seed);
   void select(std::int64_t t, std::vector<char>& selected) override;
+  void prepare(std::int64_t t) override;
+  [[nodiscard]] bool in_set(int v) const override;
   [[nodiscard]] double gamma_lower_bound() const noexcept override;
   [[nodiscard]] std::string_view name() const noexcept override {
     return "luby";
@@ -71,6 +87,8 @@ class SlackLubyScheduler final : public IndependentSetScheduler {
   SlackLubyScheduler(graph::GraphPtr g, double activation_prob,
                      std::uint64_t seed);
   void select(std::int64_t t, std::vector<char>& selected) override;
+  void prepare(std::int64_t t) override;
+  [[nodiscard]] bool in_set(int v) const override;
   [[nodiscard]] double gamma_lower_bound() const noexcept override;
   [[nodiscard]] std::string_view name() const noexcept override {
     return "slack-luby";
@@ -88,6 +106,8 @@ class ChromaticScheduler final : public IndependentSetScheduler {
   /// Classes come from a greedy coloring of the graph.
   ChromaticScheduler(graph::GraphPtr g, std::uint64_t seed);
   void select(std::int64_t t, std::vector<char>& selected) override;
+  void prepare(std::int64_t t) override;
+  [[nodiscard]] bool in_set(int v) const override;
   [[nodiscard]] double gamma_lower_bound() const noexcept override;
   [[nodiscard]] std::string_view name() const noexcept override {
     return "chromatic";
@@ -99,6 +119,7 @@ class ChromaticScheduler final : public IndependentSetScheduler {
   util::CounterRng rng_;
   std::vector<int> class_of_;
   int num_classes_ = 0;
+  int cls_ = -1;  // the class drawn by the latest prepare(t)
 };
 
 }  // namespace lsample::chains

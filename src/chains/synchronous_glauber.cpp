@@ -29,11 +29,14 @@ void SynchronousGlauberChain::set_engine(ParallelEngine* engine) {
 
 void SynchronousGlauberChain::step(Config& x, std::int64_t t) {
   next_.resize(x.size());
+  const auto order = cm_->order();
   run_partitioned(engine_, cm_->n(), [&](int thread, int begin, int end) {
     auto& scratch = scratch_[static_cast<std::size_t>(thread)];
-    for (int v = begin; v < end; ++v)
+    for (int i = begin; i < end; ++i) {
+      const int v = order[static_cast<std::size_t>(i)];
       next_[static_cast<std::size_t>(v)] =
           heat_bath_kernel(*cm_, rng_, v, t, x, scratch);
+    }
   });
   std::swap(x, next_);
 }

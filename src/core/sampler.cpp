@@ -22,6 +22,13 @@ namespace lsample::core {
 
 namespace {
 
+/// Compile options for the MRF view derived from the facade options.
+mrf::CompiledMrf::Options mrf_compile_options(const SamplerOptions& options) {
+  return {options.reorder, options.fast_math
+                               ? mrf::CompiledMrf::Tier::fast_math
+                               : mrf::CompiledMrf::Tier::exact};
+}
+
 /// Builds the LOCAL-model network for (algorithm, view, x0, seed).
 local::Network make_network(Algorithm algorithm,
                             std::shared_ptr<const mrf::CompiledMrf> cm,
@@ -46,10 +53,15 @@ SampleResult run_chain(const mrf::Mrf& m, const SamplerOptions& options,
   if (options.backend == Backend::local_network) {
     // The LOCAL runtime: R+1 simulated rounds complete R chain steps, and
     // the outputs are bit-identical to the chain backend below — the
-    // contract the test suite asserts per algorithm and thread count.
+    // contract the test suite asserts per algorithm and thread count.  The
+    // node programs inline the exact product order, so fast_math is not
+    // forwarded (reorder is pure layout and safe on either backend).
     local::Network net = make_network(
-        options.algorithm, std::make_shared<const mrf::CompiledMrf>(m), x,
-        options.seed);
+        options.algorithm,
+        std::make_shared<const mrf::CompiledMrf>(
+            m, mrf::CompiledMrf::Options{options.reorder,
+                                         mrf::CompiledMrf::Tier::exact}),
+        x, options.seed);
     if (engine.has_value()) net.set_engine(&*engine);
     net.run_rounds(rounds + 1);
     result.message_stats = net.stats();
@@ -57,15 +69,20 @@ SampleResult run_chain(const mrf::Mrf& m, const SamplerOptions& options,
     result.feasible = m.feasible(result.config);
     return result;
   }
+  // One shared view per call so the facade options (reorder, fast_math)
+  // reach the kernels; the shared-view constructors are bit-identical to
+  // the compile-their-own ones, which the view tests assert.
+  const auto cm =
+      std::make_shared<const mrf::CompiledMrf>(m, mrf_compile_options(options));
   auto run_with = [&](chains::Chain& chain) {
     if (engine.has_value()) chain.set_engine(&*engine);
     chains::run(chain, x, 0, rounds);
   };
   if (options.algorithm == Algorithm::luby_glauber) {
-    chains::LubyGlauberChain chain(m, options.seed);
+    chains::LubyGlauberChain chain(cm, options.seed);
     run_with(chain);
   } else {
-    chains::LocalMetropolisChain chain(m, options.seed);
+    chains::LocalMetropolisChain chain(cm, options.seed);
     run_with(chain);
   }
   result.feasible = m.feasible(x);
@@ -81,7 +98,8 @@ BatchSampleResult run_replicas(const mrf::Mrf& m, const SamplerOptions& options,
   // One compiled view shared read-only by every replica; CompiledMrf
   // construction also finalizes the graph CSR, so the concurrent reads
   // below (including m.feasible) never race a lazy rebuild.
-  const auto cm = std::make_shared<const mrf::CompiledMrf>(m);
+  const auto cm =
+      std::make_shared<const mrf::CompiledMrf>(m, mrf_compile_options(options));
   const mrf::Config x0 = chains::greedy_feasible_config(m);
   BatchSampleResult result;
   result.rounds = rounds;
@@ -175,7 +193,8 @@ SampleResult sample_csp(const csp::FactorGraph& fg, const csp::Config& x0,
   const std::int64_t rounds = *options.rounds;
   SampleResult result;
   result.rounds = rounds;
-  const auto cfg = std::make_shared<const csp::CompiledFactorGraph>(fg);
+  const auto cfg = std::make_shared<const csp::CompiledFactorGraph>(
+      fg, csp::CompiledFactorGraph::Options{options.reorder});
   const auto chain = make_csp_chain(options.algorithm, cfg, options.seed);
   const int threads = options.num_threads == 0
                           ? chains::ParallelEngine::hardware_threads()
@@ -203,7 +222,8 @@ BatchSampleResult sample_many_csp(const csp::FactorGraph& fg,
   // One compiled view shared read-only by every replica (it also finalizes
   // the conflict graph, so worker-thread chain construction never races a
   // lazy CSR rebuild).
-  const auto cfg = std::make_shared<const csp::CompiledFactorGraph>(fg);
+  const auto cfg = std::make_shared<const csp::CompiledFactorGraph>(
+      fg, csp::CompiledFactorGraph::Options{options.reorder});
   BatchSampleResult result;
   result.rounds = rounds;
   result.configs.assign(static_cast<std::size_t>(replicas), csp::Config{});

@@ -10,6 +10,7 @@
 #include <optional>
 
 #include "csp/factor_graph.hpp"
+#include "graph/reorder.hpp"
 #include "local/message_stats.hpp"
 #include "mrf/mrf.hpp"
 
@@ -49,6 +50,19 @@ struct SamplerOptions {
   /// view; the batch is bit-identical at any num_threads.  The single-sample
   /// facade functions ignore this field.
   int num_replicas = 1;
+  /// Cache-aware vertex reordering for the compiled model views (pure
+  /// layout: the sample is bit-identical for ANY choice, which the reorder
+  /// tests assert).
+  graph::VertexOrder reorder = graph::VertexOrder::none;
+  /// Enables CompiledMrf::Tier::fast_math for the chain backend's MRF
+  /// kernels: the heat-bath marginal accumulates edge factors pairwise
+  /// (reassociated — faster, same stationary law, validated by the fuzzer's
+  /// TV checks) so trajectories are no longer bit-identical to the seed
+  /// path.  The default keeps every bit-identity guarantee.  Ignored by the
+  /// local_network backend (its node programs keep the exact product order,
+  /// so backend bit-equality holds only with fast_math off) and by the CSP
+  /// entry points.
+  bool fast_math = false;
 };
 
 struct SampleResult {

@@ -8,36 +8,59 @@
 namespace lsample::csp {
 
 CompiledFactorGraph::CompiledFactorGraph(const FactorGraph& fg)
-    : n_(fg.n()), q_(fg.q()), nc_(fg.num_constraints()) {
-  // Vertex activities, packed — and re-validated as intentional
-  // defense-in-depth: FactorGraph::set_vertex_activity already rejects
-  // identically-zero rows, but the proposal kernel assumes every row has a
-  // positive total, so the view re-checks the property it depends on and
-  // names the offending vertex, guarding against any future FactorGraph
-  // construction path that might skip the setter.
+    : CompiledFactorGraph(fg, Options()) {}
+
+CompiledFactorGraph::CompiledFactorGraph(const FactorGraph& fg,
+                                         const Options& options)
+    : n_(fg.n()), q_(fg.q()), nc_(fg.num_constraints()),
+      reorder_(options.reorder) {
+  // The shared conflict graph, finalized once so chains and replicas built
+  // on this view only ever do contiguous concurrent reads.  Built first
+  // because the cache-aware ordering is computed on it.
+  auto conflict = fg.make_conflict_graph();
+  conflict->finalize();
+  conflict_ = std::move(conflict);
+  order_ = graph::compute_vertex_order(*conflict_, reorder_);
+  rank_ = graph::invert_order(order_);
+
+  // Vertex activities, packed in rank order — and re-validated as
+  // intentional defense-in-depth: FactorGraph::set_vertex_activity already
+  // rejects identically-zero rows, but the proposal kernel assumes every
+  // row has a positive total, so the view re-checks the property it depends
+  // on and names the offending vertex, guarding against any future
+  // FactorGraph construction path that might skip the setter.
   vert_act_.resize(static_cast<std::size_t>(n_) * static_cast<std::size_t>(q_));
   for (int v = 0; v < n_; ++v) {
     const auto b = fg.vertex_activity(v);
+    const std::size_t slot =
+        static_cast<std::size_t>(rank_[static_cast<std::size_t>(v)]) *
+        static_cast<std::size_t>(q_);
     double total = 0.0;
     for (int s = 0; s < q_; ++s) {
-      vert_act_[static_cast<std::size_t>(v) * static_cast<std::size_t>(q_) +
-                static_cast<std::size_t>(s)] = b[static_cast<std::size_t>(s)];
+      vert_act_[slot + static_cast<std::size_t>(s)] =
+          b[static_cast<std::size_t>(s)];
       total += b[static_cast<std::size_t>(s)];
     }
     LS_REQUIRE(total > 0.0, "vertex activity of vertex " + std::to_string(v) +
                                 " must not be identically zero");
   }
 
-  // Variable → constraint and constraint → scope incidence, flattened.
-  var_offsets_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  // Variable → constraint rows, flattened in rank order (per-row constraint
+  // order stays FactorGraph insertion order), and constraint → scope CSR.
+  var_begin_.assign(static_cast<std::size_t>(n_), 0);
+  var_end_.assign(static_cast<std::size_t>(n_), 0);
   scope_offsets_.assign(static_cast<std::size_t>(nc_) + 1, 0);
-  for (int v = 0; v < n_; ++v)
-    var_offsets_[static_cast<std::size_t>(v) + 1] =
-        var_offsets_[static_cast<std::size_t>(v)] +
-        static_cast<int>(fg.constraints_of(v).size());
-  cons_flat_.reserve(static_cast<std::size_t>(var_offsets_.back()));
-  for (int v = 0; v < n_; ++v)
+  {
+    std::size_t total = 0;
+    for (int v = 0; v < n_; ++v) total += fg.constraints_of(v).size();
+    cons_flat_.reserve(total);
+  }
+  for (int i = 0; i < n_; ++i) {
+    const int v = order_[static_cast<std::size_t>(i)];
+    var_begin_[static_cast<std::size_t>(v)] = static_cast<int>(cons_flat_.size());
     for (int c : fg.constraints_of(v)) cons_flat_.push_back(c);
+    var_end_[static_cast<std::size_t>(v)] = static_cast<int>(cons_flat_.size());
+  }
   for (int c = 0; c < nc_; ++c)
     scope_offsets_[static_cast<std::size_t>(c) + 1] =
         scope_offsets_[static_cast<std::size_t>(c)] +
@@ -65,13 +88,34 @@ CompiledFactorGraph::CompiledFactorGraph(const FactorGraph& fg)
     }
   }
 
-  // The shared conflict graph, finalized once so chains and replicas built
-  // on this view only ever do contiguous concurrent reads.
-  auto conflict = fg.make_conflict_graph();
-  conflict->finalize();
-  conflict_ = std::move(conflict);
-  conflict_offsets_ = conflict_->csr_offsets();
-  conflict_nbr_flat_ = conflict_->neighbors_flat();
+  // Conflict rows: alias the conflict CSR for the identity order, otherwise
+  // copy each row into rank order (row contents keep CSR order).
+  const auto coff = conflict_->csr_offsets();
+  const auto cnbr = conflict_->neighbors_flat();
+  conflict_begin_.resize(static_cast<std::size_t>(n_));
+  conflict_end_.resize(static_cast<std::size_t>(n_));
+  if (reorder_ == graph::VertexOrder::none) {
+    for (int v = 0; v < n_; ++v) {
+      conflict_begin_[static_cast<std::size_t>(v)] =
+          coff[static_cast<std::size_t>(v)];
+      conflict_end_[static_cast<std::size_t>(v)] =
+          coff[static_cast<std::size_t>(v) + 1];
+    }
+    conflict_rows_ = cnbr;
+  } else {
+    own_conflict_.resize(cnbr.size());
+    int pos = 0;
+    for (int i = 0; i < n_; ++i) {
+      const int v = order_[static_cast<std::size_t>(i)];
+      conflict_begin_[static_cast<std::size_t>(v)] = pos;
+      for (int k = coff[static_cast<std::size_t>(v)];
+           k < coff[static_cast<std::size_t>(v) + 1]; ++k, ++pos)
+        own_conflict_[static_cast<std::size_t>(pos)] =
+            cnbr[static_cast<std::size_t>(k)];
+      conflict_end_[static_cast<std::size_t>(v)] = pos;
+    }
+    conflict_rows_ = own_conflict_;
+  }
 }
 
 void CompiledFactorGraph::marginal_weights(int v, const Config& x,
@@ -85,8 +129,10 @@ void CompiledFactorGraph::marginal_weights(int v, const Config& x,
   // produces), but computes each constraint's base table index once instead
   // of once per spin — and never copies the configuration.
   out.assign(static_cast<std::size_t>(q_), 0.0);
-  const double* b = vert_act_.data() +
-                    static_cast<std::size_t>(v) * static_cast<std::size_t>(q_);
+  const double* b =
+      vert_act_.data() +
+      static_cast<std::size_t>(rank_[static_cast<std::size_t>(v)]) *
+          static_cast<std::size_t>(q_);
   for (int s = 0; s < q_; ++s) out[static_cast<std::size_t>(s)] = b[s];
   for (int c : constraints_of(v)) {
     std::size_t base = 0;    // index contribution of the non-v scope spins

@@ -34,16 +34,25 @@
 #include <vector>
 
 #include "csp/factor_graph.hpp"
+#include "graph/reorder.hpp"
 
 namespace lsample::csp {
 
 class CompiledFactorGraph {
  public:
+  struct Options {
+    /// Cache-aware vertex ordering, computed on the CONFLICT graph (the
+    /// structure the CSP chains sweep).  Pure layout: external ids, RNG
+    /// keys, per-row incidence order and hence trajectories are unchanged.
+    graph::VertexOrder reorder = graph::VertexOrder::none;
+  };
+
   /// Compiles fg: flattens incidences, dedups tables, packs activities, and
   /// finalizes the shared conflict graph.  Re-validates the user-constructed
   /// input (vertex activities must not be identically zero, naming the
   /// offending vertex) so the kernels can assume well-formed proposals.
   explicit CompiledFactorGraph(const FactorGraph& fg);
+  CompiledFactorGraph(const FactorGraph& fg, const Options& options);
 
   [[nodiscard]] int n() const noexcept { return n_; }
   [[nodiscard]] int q() const noexcept { return q_; }
@@ -57,10 +66,19 @@ class CompiledFactorGraph {
     return table_of_[static_cast<std::size_t>(c)];
   }
 
-  /// Ids of constraints containing v, in FactorGraph insertion order.
+  [[nodiscard]] graph::VertexOrder reorder() const noexcept {
+    return reorder_;
+  }
+  /// The sweep order over variables: order()[i] is the external id at layout
+  /// position i (identity when reorder == none); rank() is the inverse.
+  [[nodiscard]] std::span<const int> order() const noexcept { return order_; }
+  [[nodiscard]] std::span<const int> rank() const noexcept { return rank_; }
+
+  /// Ids of constraints containing v, in FactorGraph insertion order (rows
+  /// stored in rank order for locality).
   [[nodiscard]] std::span<const int> constraints_of(int v) const noexcept {
-    const auto b = static_cast<std::size_t>(var_offsets_[v]);
-    const auto e = static_cast<std::size_t>(var_offsets_[v + 1]);
+    const auto b = static_cast<std::size_t>(var_begin_[v]);
+    const auto e = static_cast<std::size_t>(var_end_[v]);
     return {cons_flat_.data() + b, e - b};
   }
   /// Scope of constraint c (distinct vertex ids, table-index order).
@@ -82,7 +100,8 @@ class CompiledFactorGraph {
 
   [[nodiscard]] std::span<const double> vertex_activity(int v) const noexcept {
     return {vert_act_.data() +
-                static_cast<std::size_t>(v) * static_cast<std::size_t>(q_),
+                static_cast<std::size_t>(rank_[static_cast<std::size_t>(v)]) *
+                    static_cast<std::size_t>(q_),
             static_cast<std::size_t>(q_)};
   }
 
@@ -94,12 +113,13 @@ class CompiledFactorGraph {
   [[nodiscard]] graph::GraphPtr conflict_graph_ptr() const noexcept {
     return conflict_;
   }
-  /// v's conflict-graph neighbors through the CSR spans cached at
-  /// construction — pure contiguous reads, no per-call revalidation.
+  /// v's conflict-graph neighbors through row spans cached at construction
+  /// (rank-ordered rows when reordered) — pure contiguous reads, no per-call
+  /// revalidation.
   [[nodiscard]] std::span<const int> conflict_neighbors(int v) const noexcept {
-    const auto b = static_cast<std::size_t>(conflict_offsets_[v]);
-    const auto e = static_cast<std::size_t>(conflict_offsets_[v + 1]);
-    return {conflict_nbr_flat_.data() + b, e - b};
+    const auto b = static_cast<std::size_t>(conflict_begin_[v]);
+    const auto e = static_cast<std::size_t>(conflict_end_[v]);
+    return conflict_rows_.subspan(b, e - b);
   }
 
   /// Heat-bath marginal weights at v, value-identical to
@@ -118,7 +138,11 @@ class CompiledFactorGraph {
   int n_ = 0;
   int q_ = 0;
   int nc_ = 0;
-  std::vector<int> var_offsets_;    // n+1: variable → constraint CSR
+  graph::VertexOrder reorder_ = graph::VertexOrder::none;
+  std::vector<int> order_;
+  std::vector<int> rank_;
+  std::vector<int> var_begin_;      // variable → constraint rows (rank order)
+  std::vector<int> var_end_;
   std::vector<int> cons_flat_;
   std::vector<int> scope_offsets_;  // nc+1: constraint → scope CSR
   std::vector<int> scope_flat_;
@@ -127,10 +151,12 @@ class CompiledFactorGraph {
   std::vector<std::size_t> pool_sizes_;      // pooled id → q^arity
   std::vector<double> tables_;               // pooled raw entries
   std::vector<double> norm_tables_;          // pooled entries / max entry
-  std::vector<double> vert_act_;             // n * q
+  std::vector<double> vert_act_;             // n * q, packed in rank order
   graph::GraphPtr conflict_;
-  std::span<const int> conflict_offsets_;    // conflict CSR, cached
-  std::span<const int> conflict_nbr_flat_;
+  std::vector<int> conflict_begin_;          // conflict rows per external id
+  std::vector<int> conflict_end_;
+  std::vector<int> own_conflict_;            // owned permuted rows (reordered)
+  std::span<const int> conflict_rows_;       // CSR alias or own_conflict_
 };
 
 }  // namespace lsample::csp

@@ -86,38 +86,39 @@ void CspLubyGlauberChain::set_engine(chains::ParallelEngine* engine) {
 
 void CspLubyGlauberChain::step(Config& x, std::int64_t t) {
   const int n = cfg_->n();
+  const auto order = cfg_->order();
   priorities_.resize(static_cast<std::size_t>(n));
   chains::run_partitioned(engine_, n, [&](int /*thread*/, int begin, int end) {
-    for (int v = begin; v < end; ++v)
+    for (int i = begin; i < end; ++i) {
+      const int v = order[static_cast<std::size_t>(i)];
       priorities_[static_cast<std::size_t>(v)] =
           chains::luby_priority(rng_, v, t);
+    }
   });
-  // Strongly independent set: local maxima of the conflict graph.  A pure
-  // predicate of the fixed priority vector, so selection is node-parallel.
+  // Fused selection + resample.  Strongly independent set: local maxima of
+  // the conflict graph — a pure predicate of the fixed priority vector, so
+  // it can be evaluated in the SAME pass as the resample: no two selected
+  // vertices share a constraint, hence no resampled vertex reads a slot
+  // another resampled vertex writes, and the predicate itself reads only
+  // priorities_.  Two barriers per round instead of three.
   selected_.resize(static_cast<std::size_t>(n));
-  chains::run_partitioned(engine_, n, [&](int /*thread*/, int begin, int end) {
-    for (int v = begin; v < end; ++v) {
+  chains::run_partitioned(engine_, n, [&](int thread, int begin, int end) {
+    auto& scratch = scratch_[static_cast<std::size_t>(thread)];
+    for (int i = begin; i < end; ++i) {
+      const int v = order[static_cast<std::size_t>(i)];
+      const double pv = priorities_[static_cast<std::size_t>(v)];
       bool is_max = true;
       for (int u : cfg_->conflict_neighbors(v)) {
         const double pu = priorities_[static_cast<std::size_t>(u)];
-        const double pv = priorities_[static_cast<std::size_t>(v)];
         if (pu > pv || (pu == pv && u > v)) {
           is_max = false;
           break;
         }
       }
       selected_[static_cast<std::size_t>(v)] = is_max ? 1 : 0;
-    }
-  });
-  // No two selected vertices share a constraint, so the in-place update is
-  // the paper's parallel round: no resampled vertex reads a slot another
-  // resampled vertex writes.
-  chains::run_partitioned(engine_, n, [&](int thread, int begin, int end) {
-    auto& scratch = scratch_[static_cast<std::size_t>(thread)];
-    for (int v = begin; v < end; ++v) {
-      if (selected_[static_cast<std::size_t>(v)] == 0) continue;
-      x[static_cast<std::size_t>(v)] =
-          csp_heat_bath_kernel(*cfg_, rng_, v, t, x, scratch);
+      if (is_max)
+        x[static_cast<std::size_t>(v)] =
+            csp_heat_bath_kernel(*cfg_, rng_, v, t, x, scratch);
     }
   });
 }
@@ -138,12 +139,19 @@ void CspLocalMetropolisChain::set_engine(chains::ParallelEngine* engine) {
 }
 
 void CspLocalMetropolisChain::step(Config& x, std::int64_t t) {
+  // Three barriers by necessity: the constraint coins are shared across
+  // their whole scope, so the coin phase must complete before any vertex
+  // can decide acceptance (unlike the MRF chain, whose per-edge coins are
+  // recomputed at both endpoints and admit a fused filter+adopt pass).
   const int n = cfg_->n();
+  const auto order = cfg_->order();
   proposal_.resize(static_cast<std::size_t>(n));
   chains::run_partitioned(engine_, n, [&](int /*thread*/, int begin, int end) {
-    for (int v = begin; v < end; ++v)
+    for (int i = begin; i < end; ++i) {
+      const int v = order[static_cast<std::size_t>(i)];
       proposal_[static_cast<std::size_t>(v)] =
           csp_proposal_kernel(*cfg_, rng_, v, t);
+    }
   });
   const int nc = cfg_->num_constraints();
   pass_.resize(static_cast<std::size_t>(nc));
@@ -153,7 +161,8 @@ void CspLocalMetropolisChain::step(Config& x, std::int64_t t) {
           csp_constraint_coin_kernel(*cfg_, rng_, c, t, proposal_, x) ? 1 : 0;
   });
   chains::run_partitioned(engine_, n, [&](int /*thread*/, int begin, int end) {
-    for (int v = begin; v < end; ++v) {
+    for (int i = begin; i < end; ++i) {
+      const int v = order[static_cast<std::size_t>(i)];
       bool accept = true;
       for (int c : cfg_->constraints_of(v))
         if (pass_[static_cast<std::size_t>(c)] == 0) {

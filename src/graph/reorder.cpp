@@ -1,0 +1,110 @@
+#include "graph/reorder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/require.hpp"
+
+namespace lsample::graph {
+namespace {
+
+// BFS from `root`, appending visited vertices to `order`.  When
+// `degree_sorted` (Cuthill–McKee), each vertex's unvisited neighbors are
+// enqueued in increasing (degree, id) order; otherwise in row order.
+void bfs_component(const Graph& g, int root, bool degree_sorted,
+                   std::vector<char>& visited, std::vector<int>& order,
+                   std::vector<int>& frontier_scratch) {
+  const std::size_t head0 = order.size();
+  visited[static_cast<std::size_t>(root)] = 1;
+  order.push_back(root);
+  for (std::size_t head = head0; head < order.size(); ++head) {
+    const int v = order[head];
+    auto& fresh = frontier_scratch;
+    fresh.clear();
+    for (int u : g.neighbors(v)) {
+      if (visited[static_cast<std::size_t>(u)] != 0) continue;
+      visited[static_cast<std::size_t>(u)] = 1;
+      fresh.push_back(u);
+    }
+    if (degree_sorted) {
+      std::sort(fresh.begin(), fresh.end(), [&g](int a, int b) {
+        const int da = g.degree(a);
+        const int db = g.degree(b);
+        return da != db ? da < db : a < b;
+      });
+    }
+    order.insert(order.end(), fresh.begin(), fresh.end());
+  }
+}
+
+}  // namespace
+
+const char* vertex_order_name(VertexOrder kind) noexcept {
+  switch (kind) {
+    case VertexOrder::none:
+      return "none";
+    case VertexOrder::bfs:
+      return "bfs";
+    case VertexOrder::rcm:
+      return "rcm";
+  }
+  return "?";
+}
+
+std::vector<int> compute_vertex_order(const Graph& g, VertexOrder kind) {
+  const int n = g.num_vertices();
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n));
+  if (kind == VertexOrder::none) {
+    for (int v = 0; v < n; ++v) order.push_back(v);
+    return order;
+  }
+  g.finalize();
+  // Roots in increasing (degree, id): peripheral low-degree starts give
+  // Cuthill–McKee its narrow bands, and make the root choice deterministic.
+  std::vector<int> by_degree(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) by_degree[static_cast<std::size_t>(v)] = v;
+  std::sort(by_degree.begin(), by_degree.end(), [&g](int a, int b) {
+    const int da = g.degree(a);
+    const int db = g.degree(b);
+    return da != db ? da < db : a < b;
+  });
+  std::vector<char> visited(static_cast<std::size_t>(n), 0);
+  std::vector<int> scratch;
+  for (int root : by_degree) {
+    if (visited[static_cast<std::size_t>(root)] != 0) continue;
+    bfs_component(g, root, /*degree_sorted=*/kind == VertexOrder::rcm, visited,
+                  order, scratch);
+  }
+  LS_ASSERT(order.size() == static_cast<std::size_t>(n),
+            "ordering must cover every vertex");
+  if (kind == VertexOrder::rcm) std::reverse(order.begin(), order.end());
+  return order;
+}
+
+std::vector<int> invert_order(const std::vector<int>& order) {
+  std::vector<int> rank(order.size(), -1);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const int v = order[i];
+    LS_REQUIRE(v >= 0 && static_cast<std::size_t>(v) < order.size() &&
+                   rank[static_cast<std::size_t>(v)] == -1,
+               "order must be a permutation");
+    rank[static_cast<std::size_t>(v)] = static_cast<int>(i);
+  }
+  return rank;
+}
+
+double mean_edge_span(const Graph& g, const std::vector<int>& rank) {
+  const int m = g.num_edges();
+  if (m == 0) return 0.0;
+  double total = 0.0;
+  for (int e = 0; e < m; ++e) {
+    const Edge& ed = g.edge(e);
+    total += std::abs(rank[static_cast<std::size_t>(ed.u)] -
+                      rank[static_cast<std::size_t>(ed.v)]);
+  }
+  return total / m;
+}
+
+}  // namespace lsample::graph

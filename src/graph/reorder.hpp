@@ -1,0 +1,44 @@
+// Cache-aware vertex orderings for the compiled views.
+//
+// The compiled MRF/CSP views store their per-vertex rows (incident edges,
+// neighbor ids, activities) in a flat layout and the chains sweep every
+// vertex each round, so the memory-access pattern is fixed at compile time.
+// Laying rows out in a bandwidth-reducing order (BFS or reverse
+// Cuthill–McKee) keeps a vertex's neighbors' state in nearby cache lines
+// during the sweep.  The ordering is pure layout: external vertex ids, edge
+// ids, RNG keys, and trajectories are unchanged — the views keep an
+// explicit order/rank permutation pair and translate internally.
+//
+// All tie-breaks are by vertex id, so an ordering is a deterministic
+// function of the graph alone.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lsample::graph {
+
+enum class VertexOrder {
+  none,  // identity: rows stay in external-id order
+  bfs,   // breadth-first order from a min-degree root per component
+  rcm,   // reverse Cuthill–McKee (BFS with degree-sorted fronts, reversed)
+};
+
+[[nodiscard]] const char* vertex_order_name(VertexOrder kind) noexcept;
+
+/// Returns a permutation `order` of [0, n): order[i] is the external id of
+/// the vertex placed at position i.  Identity for VertexOrder::none.
+/// Deterministic; covers disconnected graphs component by component.
+[[nodiscard]] std::vector<int> compute_vertex_order(const Graph& g,
+                                                    VertexOrder kind);
+
+/// Inverse permutation: rank[order[i]] == i.
+[[nodiscard]] std::vector<int> invert_order(const std::vector<int>& order);
+
+/// Mean |rank[u] - rank[v]| over edges — the locality figure of merit the
+/// orderings try to shrink (used by tests and the kernel bench).
+[[nodiscard]] double mean_edge_span(const Graph& g,
+                                    const std::vector<int>& rank);
+
+}  // namespace lsample::graph

@@ -4,7 +4,14 @@
 
 namespace lsample::mrf {
 
-CompiledMrf::CompiledMrf(const Mrf& m) : m_(&m), q_(m.q()), n_(m.n()) {
+CompiledMrf::CompiledMrf(const Mrf& m) : CompiledMrf(m, Options()) {}
+
+CompiledMrf::CompiledMrf(const Mrf& m, const Options& options)
+    : m_(&m),
+      q_(m.q()),
+      n_(m.n()),
+      tier_(options.tier),
+      reorder_(options.reorder) {
   const graph::Graph& g = m.g();
   g.finalize();
   offsets_ = g.csr_offsets();
@@ -55,12 +62,51 @@ CompiledMrf::CompiledMrf(const Mrf& m) : m_(&m), q_(m.q()), n_(m.n()) {
     table_of_edge_[static_cast<std::size_t>(e)] = it->second;
   }
 
+  // Sweep order + row layout.  For the identity order the rows alias the
+  // graph CSR; a real reorder copies each row (edge order within a row
+  // preserved) so that rows appear consecutively in rank order.
+  order_ = graph::compute_vertex_order(g, reorder_);
+  rank_ = graph::invert_order(order_);
+  row_begin_.resize(static_cast<std::size_t>(n_));
+  row_end_.resize(static_cast<std::size_t>(n_));
+  if (reorder_ == graph::VertexOrder::none) {
+    for (int v = 0; v < n_; ++v) {
+      row_begin_[static_cast<std::size_t>(v)] =
+          offsets_[static_cast<std::size_t>(v)];
+      row_end_[static_cast<std::size_t>(v)] =
+          offsets_[static_cast<std::size_t>(v) + 1];
+    }
+    inc_rows_ = inc_flat_;
+    nbr_rows_ = nbr_flat_;
+  } else {
+    own_inc_.resize(inc_flat_.size());
+    own_nbr_.resize(nbr_flat_.size());
+    int pos = 0;
+    for (int i = 0; i < n_; ++i) {
+      const int v = order_[static_cast<std::size_t>(i)];
+      row_begin_[static_cast<std::size_t>(v)] = pos;
+      for (int k = offsets_[static_cast<std::size_t>(v)];
+           k < offsets_[static_cast<std::size_t>(v) + 1]; ++k, ++pos) {
+        own_inc_[static_cast<std::size_t>(pos)] =
+            inc_flat_[static_cast<std::size_t>(k)];
+        own_nbr_[static_cast<std::size_t>(pos)] =
+            nbr_flat_[static_cast<std::size_t>(k)];
+      }
+      row_end_[static_cast<std::size_t>(v)] = pos;
+    }
+    inc_rows_ = own_inc_;
+    nbr_rows_ = own_nbr_;
+  }
+
   vert_act_.resize(static_cast<std::size_t>(n_) * static_cast<std::size_t>(q_));
   for (int v = 0; v < n_; ++v) {
     const auto bv = m.vertex_activity(v);
+    const std::size_t slot =
+        static_cast<std::size_t>(rank_[static_cast<std::size_t>(v)]) *
+        static_cast<std::size_t>(q_);
     for (int c = 0; c < q_; ++c)
-      vert_act_[static_cast<std::size_t>(v) * static_cast<std::size_t>(q_) +
-                static_cast<std::size_t>(c)] = bv[static_cast<std::size_t>(c)];
+      vert_act_[slot + static_cast<std::size_t>(c)] =
+          bv[static_cast<std::size_t>(c)];
   }
 }
 
@@ -68,20 +114,47 @@ void CompiledMrf::marginal_weights(int v, const Config& x,
                                    std::vector<double>& out) const {
   const std::size_t q = static_cast<std::size_t>(q_);
   out.resize(q);
-  const double* bv = vert_act_.data() + static_cast<std::size_t>(v) * q;
-  for (std::size_t c = 0; c < q; ++c) out[c] = bv[c];
-  const int begin = offsets_[static_cast<std::size_t>(v)];
-  const int end = offsets_[static_cast<std::size_t>(v) + 1];
+  double* __restrict o = out.data();
+  const double* __restrict bv =
+      vert_act_.data() +
+      static_cast<std::size_t>(rank_[static_cast<std::size_t>(v)]) * q;
+  for (std::size_t c = 0; c < q; ++c) o[c] = bv[c];
+  const int begin = row_begin_[static_cast<std::size_t>(v)];
+  const int end = row_end_[static_cast<std::size_t>(v)];
+  const int* inc = inc_rows_.data();
+  const int* nbr = nbr_rows_.data();
+  const double* tt = tables_t_.data();
+  if (tier_ == Tier::fast_math) {
+    // Pairwise accumulation: two independent transposed rows per inner pass
+    // (better ILP and wider SIMD).  Reassociates (o*r0)*r1 into o*(r0*r1) —
+    // same product up to rounding, hence statistical (not bitwise)
+    // equivalence with the seed chain.
+    int i = begin;
+    for (; i + 1 < end; i += 2) {
+      const int x0 = x[static_cast<std::size_t>(nbr[i])];
+      const int x1 = x[static_cast<std::size_t>(nbr[i + 1])];
+      const double* __restrict r0 =
+          tt + table_offset(inc[i]) + static_cast<std::size_t>(x0) * q;
+      const double* __restrict r1 =
+          tt + table_offset(inc[i + 1]) + static_cast<std::size_t>(x1) * q;
+      for (std::size_t c = 0; c < q; ++c) o[c] *= r0[c] * r1[c];
+    }
+    if (i < end) {
+      const int xu = x[static_cast<std::size_t>(nbr[i])];
+      const double* __restrict row =
+          tt + table_offset(inc[i]) + static_cast<std::size_t>(xu) * q;
+      for (std::size_t c = 0; c < q; ++c) o[c] *= row[c];
+    }
+    return;
+  }
   // Edge-outer / color-inner keeps each out[c] accumulating its factors in
   // incident-edge order — the exact product order of Mrf::marginal_weights —
   // while every inner pass reads one contiguous transposed-table row.
   for (int i = begin; i < end; ++i) {
-    const int e = inc_flat_[static_cast<std::size_t>(i)];
-    const int xu = x[static_cast<std::size_t>(
-        nbr_flat_[static_cast<std::size_t>(i)])];
-    const double* row = tables_t_.data() + table_offset(e) +
-                        static_cast<std::size_t>(xu) * q;
-    for (std::size_t c = 0; c < q; ++c) out[c] *= row[c];
+    const int xu = x[static_cast<std::size_t>(nbr[i])];
+    const double* __restrict row =
+        tt + table_offset(inc[i]) + static_cast<std::size_t>(xu) * q;
+    for (std::size_t c = 0; c < q; ++c) o[c] *= row[c];
   }
 }
 

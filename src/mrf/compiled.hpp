@@ -18,10 +18,24 @@
 //   * edge endpoints packed into flat arrays, and the graph's CSR adjacency
 //     finalized.
 //
-// Every kernel here is value-identical (bit-for-bit, not just approximately)
-// to the corresponding Mrf method: the same doubles are multiplied in the
-// same order, so chains migrated onto the compiled view reproduce their
-// previous trajectories exactly — which the test suite asserts.
+// Options add two compile-time layout/codegen choices:
+//   * reorder — a cache-aware vertex ordering (graph/reorder.hpp).  The
+//     per-vertex rows and packed activities are laid out in that order and
+//     the chains sweep vertices as v = order()[i], so a vertex's row and its
+//     neighbors' state live in nearby cache lines.  Pure layout: external
+//     vertex ids, edge ids, RNG keys, per-row edge order, and hence whole
+//     trajectories are unchanged for ANY ordering (the reorder tests assert
+//     bitwise equality).  The ORIGINAL graph CSR stays exposed through
+//     csr_offsets()/..._flat() because the LOCAL runtime's port layout is
+//     defined on it.
+//   * tier — kernel tier.  Tier::exact (default) keeps every kernel
+//     value-identical (bit-for-bit) to the corresponding Mrf method: the
+//     same doubles multiplied in the same order, so chains on the compiled
+//     view reproduce their seed trajectories exactly.  Tier::fast_math lets
+//     the heat-bath marginal reassociate the per-edge factor products
+//     (pairwise accumulation, better ILP/SIMD); trajectories then differ in
+//     rounding but the stationary law does not — the fuzzer's TV checker
+//     validates the tier statistically instead of bitwise.
 //
 // The view borrows the Mrf and its graph; both must outlive it and must not
 // be mutated while the view is alive.
@@ -30,14 +44,27 @@
 #include <span>
 #include <vector>
 
+#include "graph/reorder.hpp"
 #include "mrf/mrf.hpp"
 
 namespace lsample::mrf {
 
 class CompiledMrf {
  public:
-  /// Compiles m: dedups tables, packs activities, finalizes the graph CSR.
+  enum class Tier {
+    exact,      // bit-identical to Mrf methods (default)
+    fast_math,  // reassociated marginal products; statistical equivalence
+  };
+
+  struct Options {
+    graph::VertexOrder reorder = graph::VertexOrder::none;
+    Tier tier = Tier::exact;
+  };
+
+  /// Compiles m: dedups tables, packs activities, finalizes the graph CSR,
+  /// and lays rows out per `options`.
   explicit CompiledMrf(const Mrf& m);
+  CompiledMrf(const Mrf& m, const Options& options);
 
   [[nodiscard]] const Mrf& mrf() const noexcept { return *m_; }
   [[nodiscard]] const graph::Graph& g() const noexcept { return m_->g(); }
@@ -45,6 +72,33 @@ class CompiledMrf {
   [[nodiscard]] int n() const noexcept { return n_; }
   [[nodiscard]] int num_edges() const noexcept {
     return static_cast<int>(edge_u_.size());
+  }
+
+  [[nodiscard]] Tier tier() const noexcept { return tier_; }
+  [[nodiscard]] graph::VertexOrder reorder() const noexcept { return reorder_; }
+
+  /// The sweep order: order()[i] is the external id of the vertex whose row
+  /// sits at layout position i (identity when reorder == none).  Chains
+  /// iterate i = begin..end and update v = order()[i]; since every slot
+  /// write is keyed by the external id, the sweep order is invisible in the
+  /// trajectory.
+  [[nodiscard]] std::span<const int> order() const noexcept { return order_; }
+  /// Inverse permutation: rank()[order()[i]] == i.
+  [[nodiscard]] std::span<const int> rank() const noexcept { return rank_; }
+
+  /// Incident edge ids of external vertex v in the (possibly permuted) row
+  /// layout.  Entry order within the row is ALWAYS the graph's insertion
+  /// order, so kernels accumulate factors identically for any reorder.
+  [[nodiscard]] std::span<const int> incident_row(int v) const noexcept {
+    const auto b = static_cast<std::size_t>(row_begin_[static_cast<std::size_t>(v)]);
+    const auto e = static_cast<std::size_t>(row_end_[static_cast<std::size_t>(v)]);
+    return inc_rows_.subspan(b, e - b);
+  }
+  /// Neighbor ids aligned index-for-index with incident_row(v).
+  [[nodiscard]] std::span<const int> neighbor_row(int v) const noexcept {
+    const auto b = static_cast<std::size_t>(row_begin_[static_cast<std::size_t>(v)]);
+    const auto e = static_cast<std::size_t>(row_end_[static_cast<std::size_t>(v)]);
+    return nbr_rows_.subspan(b, e - b);
   }
 
   /// Number of distinct activity tables after deduplication.
@@ -71,7 +125,8 @@ class CompiledMrf {
 
   [[nodiscard]] std::span<const double> vertex_activity(int v) const noexcept {
     return {vert_act_.data() +
-                static_cast<std::size_t>(v) * static_cast<std::size_t>(q_),
+                static_cast<std::size_t>(rank_[static_cast<std::size_t>(v)]) *
+                    static_cast<std::size_t>(q_),
             static_cast<std::size_t>(q_)};
   }
   [[nodiscard]] std::span<const double> proposal_weights(int v) const noexcept {
@@ -85,7 +140,10 @@ class CompiledMrf {
     return edge_v_[static_cast<std::size_t>(e)];
   }
 
-  /// CSR adjacency (finalized at construction; safe for concurrent reads).
+  /// ORIGINAL (external-id order) CSR adjacency, finalized at construction;
+  /// safe for concurrent reads.  The LOCAL runtime's message-port layout is
+  /// defined on these arrays, so they are never permuted — kernels use
+  /// incident_row()/neighbor_row() for the cache-aware layout instead.
   [[nodiscard]] std::span<const int> csr_offsets() const noexcept {
     return offsets_;
   }
@@ -96,9 +154,11 @@ class CompiledMrf {
     return nbr_flat_;
   }
 
-  /// Unnormalized heat-bath marginal of eq. (2), value-identical to
-  /// Mrf::marginal_weights: out[c] = b_v(c) * prod_{i} A_{e_i}(c, x_{u_i})
-  /// with factors multiplied in incident-edge order.  `out` is resized to q.
+  /// Unnormalized heat-bath marginal of eq. (2).  Tier::exact is
+  /// value-identical to Mrf::marginal_weights: out[c] = b_v(c) * prod_i
+  /// A_{e_i}(c, x_{u_i}) with factors multiplied in incident-edge order.
+  /// Tier::fast_math accumulates edge factors pairwise (reassociated — same
+  /// product up to rounding).  `out` is resized to q.
   void marginal_weights(int v, const Config& x, std::vector<double>& out) const;
 
   /// LocalMetropolis filter probability Ã(su,sv)·Ã(xu,sv)·Ã(su,xv),
@@ -124,16 +184,34 @@ class CompiledMrf {
   const Mrf* m_;
   int q_ = 0;
   int n_ = 0;
+  Tier tier_ = Tier::exact;
+  graph::VertexOrder reorder_ = graph::VertexOrder::none;
   std::vector<int> table_of_edge_;
   std::vector<double> tables_;       // pooled, row-major
   std::vector<double> tables_t_;     // pooled, transposed
   std::vector<double> norm_tables_;  // pooled, row-major, / max entry
-  std::vector<double> vert_act_;     // n * q
+  std::vector<double> vert_act_;     // n * q, packed in rank order
   std::vector<int> edge_u_;
   std::vector<int> edge_v_;
-  std::span<const int> offsets_;
+  std::span<const int> offsets_;   // original graph CSR (borrowed)
   std::span<const int> inc_flat_;
   std::span<const int> nbr_flat_;
+
+  // Row layout: external vertex v's row is inc_rows_[row_begin_[v] ..
+  // row_end_[v]).  Aliases the graph CSR when reorder == none; otherwise
+  // owned copies permuted so that rows appear in rank order.
+  std::vector<int> order_;
+  std::vector<int> rank_;
+  std::vector<int> row_begin_;  // indexed by external id
+  std::vector<int> row_end_;
+  std::vector<int> own_inc_;
+  std::vector<int> own_nbr_;
+  std::span<const int> inc_rows_;
+  std::span<const int> nbr_rows_;
 };
+
+[[nodiscard]] constexpr const char* tier_name(CompiledMrf::Tier t) noexcept {
+  return t == CompiledMrf::Tier::fast_math ? "fast_math" : "exact";
+}
 
 }  // namespace lsample::mrf

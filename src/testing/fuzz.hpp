@@ -173,11 +173,16 @@ class FuzzHarness {
 /// TV distance between the empirical distribution of `samples` facade
 /// samples (seeded replica streams, `rounds` steps each) and the exact Gibbs
 /// distribution by enumeration.  Shared by the fuzzer and the model-zoo
-/// exactness tests.  Requires q^n within StateSpace limits.
+/// exactness tests.  Requires q^n within StateSpace limits.  `fast_math`
+/// runs the batch on the reassociated CompiledMrf::Tier::fast_math kernels
+/// (with RCM layout, covering the combined configuration) — the statistical
+/// check that validates the tier, since its trajectories are deliberately
+/// not bit-comparable to the exact path.
 [[nodiscard]] double empirical_tv_vs_exact(const mrf::Mrf& m,
                                            core::Algorithm algorithm,
                                            std::uint64_t seed, int samples,
-                                           std::int64_t rounds);
+                                           std::int64_t rounds,
+                                           bool fast_math = false);
 [[nodiscard]] double empirical_tv_vs_exact(const csp::FactorGraph& fg,
                                            const csp::Config& x0,
                                            core::Algorithm algorithm,

@@ -10,6 +10,7 @@
 #include <atomic>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "chains/init.hpp"
@@ -49,6 +50,47 @@ TEST(ParallelEngine, ReusableAcrossManyRounds) {
     });
     for (int i = 0; i < 97; ++i) ASSERT_EQ(out[static_cast<std::size_t>(i)], round);
   }
+}
+
+TEST(ParallelEngine, RethrowsWorkerExceptionAndStaysUsable) {
+  ParallelEngine engine(4);
+  for (int round = 0; round < 5; ++round) {
+    EXPECT_THROW(
+        engine.parallel_for(1000,
+                            [&](int /*thread*/, int begin, int /*end*/) {
+                              if (begin == 0) throw std::runtime_error("boom");
+                            }),
+        std::runtime_error);
+    // The engine must come back clean: error slots cleared, barriers
+    // re-armed, every index covered on the next dispatch.
+    std::vector<std::atomic<int>> hits(1000);
+    engine.parallel_for(1000, [&](int /*thread*/, int begin, int end) {
+      for (int i = begin; i < end; ++i)
+        hits[static_cast<std::size_t>(i)].fetch_add(1);
+    });
+    for (int i = 0; i < 1000; ++i)
+      ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1)
+          << "round=" << round << " i=" << i;
+  }
+}
+
+TEST(ParallelEngine, SingleThreadEngineRunsInline) {
+  // num_threads == 1 must not spawn workers or touch the barrier path —
+  // the guard in perf_parallel_scaling relies on this being free.
+  ParallelEngine engine(1);
+  int calls = 0;
+  engine.parallel_for(50, [&](int thread, int begin, int end) {
+    EXPECT_EQ(thread, 0);
+    EXPECT_EQ(begin, 0);
+    EXPECT_EQ(end, 50);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_THROW(engine.parallel_for(
+                   1, [&](int, int, int) { throw std::logic_error("x"); }),
+               std::logic_error);
+  engine.parallel_for(50, [&](int, int, int) { ++calls; });
+  EXPECT_EQ(calls, 2);
 }
 
 // ---------------------------------------------------------------------------

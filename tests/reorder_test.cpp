@@ -1,0 +1,322 @@
+// Cache-aware vertex reordering is pure layout: a compiled view built with
+// ANY VertexOrder must give bit-identical trajectories to the identity
+// layout, across chains, thread counts, and both model families (MRF and
+// CSP).  These tests pin that contract, the structural round-trip of the
+// permuted rows, and the fast_math tier's numerical envelope.
+#include "graph/reorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "chains/engine.hpp"
+#include "chains/init.hpp"
+#include "chains/local_metropolis.hpp"
+#include "chains/luby_glauber.hpp"
+#include "chains/synchronous_glauber.hpp"
+#include "core/sampler.hpp"
+#include "csp/compiled.hpp"
+#include "csp/csp_chains.hpp"
+#include "csp/csp_models.hpp"
+#include "graph/generators.hpp"
+#include "mrf/compiled.hpp"
+#include "mrf/models.hpp"
+
+namespace lsample {
+namespace {
+
+const std::vector<graph::VertexOrder> kOrders{
+    graph::VertexOrder::none, graph::VertexOrder::bfs,
+    graph::VertexOrder::rcm};
+
+// ---------------------------------------------------------------------------
+// Ordering computation.
+// ---------------------------------------------------------------------------
+
+TEST(Reorder, OrderIsAPermutationAndRankInverts) {
+  util::Rng grng(3);
+  const auto g = graph::make_random_regular(60, 4, grng);
+  for (const auto kind : kOrders) {
+    const auto order = graph::compute_vertex_order(*g, kind);
+    ASSERT_EQ(static_cast<int>(order.size()), g->num_vertices());
+    std::vector<char> seen(order.size(), 0);
+    for (const int v : order) {
+      ASSERT_GE(v, 0);
+      ASSERT_LT(v, g->num_vertices());
+      ASSERT_EQ(seen[static_cast<std::size_t>(v)], 0)
+          << "duplicate vertex in " << graph::vertex_order_name(kind);
+      seen[static_cast<std::size_t>(v)] = 1;
+    }
+    const auto rank = graph::invert_order(order);
+    for (int i = 0; i < g->num_vertices(); ++i)
+      EXPECT_EQ(rank[static_cast<std::size_t>(
+                    order[static_cast<std::size_t>(i)])],
+                i);
+  }
+}
+
+TEST(Reorder, IdentityForNoneAndDeterministic) {
+  const auto g = graph::make_torus(6, 6);
+  const auto none = graph::compute_vertex_order(*g, graph::VertexOrder::none);
+  for (int i = 0; i < g->num_vertices(); ++i)
+    EXPECT_EQ(none[static_cast<std::size_t>(i)], i);
+  for (const auto kind : kOrders)
+    EXPECT_EQ(graph::compute_vertex_order(*g, kind),
+              graph::compute_vertex_order(*g, kind));
+}
+
+TEST(Reorder, CoversDisconnectedComponents) {
+  auto g = std::make_shared<graph::Graph>(9);  // triangle + path + isolated
+  g->add_edge(0, 1);
+  g->add_edge(1, 2);
+  g->add_edge(2, 0);
+  g->add_edge(4, 5);
+  g->add_edge(5, 6);
+  for (const auto kind : kOrders) {
+    const auto order = graph::compute_vertex_order(*g, kind);
+    const auto rank = graph::invert_order(order);  // throws if not a perm
+    EXPECT_EQ(static_cast<int>(rank.size()), 9);
+  }
+}
+
+TEST(Reorder, BandwidthOrdersShrinkEdgeSpan) {
+  // Random-regular external ids are information-free, so a BFS/RCM layout
+  // should bring endpoints closer on average than the identity layout.
+  util::Rng grng(11);
+  const auto g = graph::make_random_regular(300, 6, grng);
+  std::vector<int> identity(300);
+  for (int i = 0; i < 300; ++i) identity[static_cast<std::size_t>(i)] = i;
+  const double base = graph::mean_edge_span(*g, identity);
+  for (const auto kind : {graph::VertexOrder::bfs, graph::VertexOrder::rcm}) {
+    const auto rank =
+        graph::invert_order(graph::compute_vertex_order(*g, kind));
+    EXPECT_LT(graph::mean_edge_span(*g, rank), base)
+        << graph::vertex_order_name(kind);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Structural round-trip through the compiled views.
+// ---------------------------------------------------------------------------
+
+TEST(Reorder, CompiledMrfRowsMatchOriginalCsrPerVertex) {
+  util::Rng grng(5);
+  const auto g = graph::make_random_regular(40, 5, grng);
+  const mrf::Mrf m = mrf::make_proper_coloring(g, 8);
+  for (const auto kind : kOrders) {
+    const mrf::CompiledMrf cm(m, {kind, mrf::CompiledMrf::Tier::exact});
+    for (int v = 0; v < m.n(); ++v) {
+      // Row contents AND per-row entry order must match the original CSR —
+      // that is what makes the factor accumulation order reorder-invariant.
+      const auto inc = cm.incident_row(v);
+      const auto nbr = cm.neighbor_row(v);
+      const auto ref_inc = g->incident_edges(v);
+      const auto ref_nbr = g->neighbors(v);
+      ASSERT_EQ(inc.size(), ref_inc.size());
+      for (std::size_t i = 0; i < inc.size(); ++i) {
+        EXPECT_EQ(inc[i], ref_inc[i]) << "v=" << v;
+        EXPECT_EQ(nbr[i], ref_nbr[i]) << "v=" << v;
+      }
+      // Activities travel with the row.
+      const auto act = cm.vertex_activity(v);
+      const auto ref_act = m.vertex_activity(v);
+      for (int c = 0; c < m.q(); ++c)
+        EXPECT_EQ(act[static_cast<std::size_t>(c)],
+                  ref_act[static_cast<std::size_t>(c)]);
+    }
+    // The LOCAL runtime's port layout must never be permuted.
+    const auto off = cm.csr_offsets();
+    for (int v = 0; v < m.n(); ++v) {
+      const auto ref_inc = g->incident_edges(v);
+      const int b = off[static_cast<std::size_t>(v)];
+      for (std::size_t i = 0; i < ref_inc.size(); ++i)
+        EXPECT_EQ(cm.incident_edges_flat()[static_cast<std::size_t>(b) + i],
+                  ref_inc[i]);
+    }
+  }
+}
+
+TEST(Reorder, CompiledFactorGraphRowsMatchOriginalPerVertex) {
+  const auto g = graph::make_grid(7, 7);
+  const csp::FactorGraph fg = csp::make_dominating_set(*g, 1.0);
+  for (const auto kind : kOrders) {
+    const csp::CompiledFactorGraph cfg(fg, {kind});
+    const auto& conflict = cfg.conflict_graph();
+    for (int v = 0; v < fg.n(); ++v) {
+      const auto cons = cfg.constraints_of(v);
+      const auto ref_cons = fg.constraints_of(v);
+      ASSERT_EQ(cons.size(), ref_cons.size());
+      for (std::size_t i = 0; i < cons.size(); ++i)
+        EXPECT_EQ(cons[i], ref_cons[i]) << "v=" << v;
+      const auto nbrs = cfg.conflict_neighbors(v);
+      const auto ref_nbrs = conflict.neighbors(v);
+      ASSERT_EQ(nbrs.size(), ref_nbrs.size());
+      for (std::size_t i = 0; i < nbrs.size(); ++i)
+        EXPECT_EQ(nbrs[i], ref_nbrs[i]) << "v=" << v;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bitwise trajectory invariance, per chain x order x thread count.
+// ---------------------------------------------------------------------------
+
+std::vector<int> engine_thread_counts() { return {1, 2, 4}; }
+
+template <typename ChainT, typename ViewT, typename MakeView,
+          typename ConfigT>
+void expect_reorder_invariant_trajectories(
+    const std::shared_ptr<const ViewT>& identity_view,
+    const MakeView& make_view, const ConfigT& x0, int steps,
+    const char* label) {
+  ConfigT reference = x0;
+  {
+    ChainT chain(identity_view, 17);
+    for (int t = 0; t < steps; ++t) chain.step(reference, t);
+  }
+  for (const auto kind : {graph::VertexOrder::bfs, graph::VertexOrder::rcm}) {
+    const auto view = make_view(kind);
+    {
+      ChainT chain(view, 17);
+      ConfigT x = x0;
+      for (int t = 0; t < steps; ++t) chain.step(x, t);
+      EXPECT_EQ(x, reference)
+          << label << " " << graph::vertex_order_name(kind) << " sequential";
+    }
+    for (const int threads : engine_thread_counts()) {
+      chains::ParallelEngine engine(threads);
+      ChainT chain(view, 17);
+      chain.set_engine(&engine);
+      ConfigT x = x0;
+      for (int t = 0; t < steps; ++t) chain.step(x, t);
+      EXPECT_EQ(x, reference) << label << " "
+                              << graph::vertex_order_name(kind)
+                              << " threads=" << threads;
+    }
+  }
+}
+
+TEST(Reorder, MrfChainTrajectoriesAreLayoutInvariant) {
+  util::Rng grng(9);
+  const auto g = graph::make_random_regular(48, 4, grng);
+  const mrf::Mrf m = mrf::make_proper_coloring(g, 10);
+  const mrf::Config x0 = chains::greedy_feasible_config(m);
+  const auto make_view = [&](graph::VertexOrder kind) {
+    return std::make_shared<const mrf::CompiledMrf>(
+        m, mrf::CompiledMrf::Options{kind, mrf::CompiledMrf::Tier::exact});
+  };
+  const auto identity = make_view(graph::VertexOrder::none);
+  expect_reorder_invariant_trajectories<chains::SynchronousGlauberChain>(
+      identity, make_view, x0, 25, "SynchronousGlauber");
+  expect_reorder_invariant_trajectories<chains::LubyGlauberChain>(
+      identity, make_view, x0, 25, "LubyGlauber");
+  expect_reorder_invariant_trajectories<chains::LocalMetropolisChain>(
+      identity, make_view, x0, 25, "LocalMetropolis");
+}
+
+TEST(Reorder, CspChainTrajectoriesAreLayoutInvariant) {
+  const auto g = graph::make_grid(6, 6);
+  const csp::FactorGraph fg = csp::make_dominating_set(*g, 1.0);
+  const csp::Config x0(static_cast<std::size_t>(fg.n()), 1);
+  const auto make_view = [&](graph::VertexOrder kind) {
+    return std::make_shared<const csp::CompiledFactorGraph>(
+        fg, csp::CompiledFactorGraph::Options{kind});
+  };
+  const auto identity = make_view(graph::VertexOrder::none);
+  expect_reorder_invariant_trajectories<csp::CspGlauberChain>(
+      identity, make_view, x0, 40, "CspGlauber");
+  expect_reorder_invariant_trajectories<csp::CspLubyGlauberChain>(
+      identity, make_view, x0, 25, "CspLubyGlauber");
+  expect_reorder_invariant_trajectories<csp::CspLocalMetropolisChain>(
+      identity, make_view, x0, 25, "CspLocalMetropolis");
+}
+
+// ---------------------------------------------------------------------------
+// fast_math tier: reassociated, so equal up to rounding — never exact-path
+// semantics.
+// ---------------------------------------------------------------------------
+
+TEST(Reorder, FastMathMarginalsMatchExactUpToRounding) {
+  util::Rng grng(13);
+  const auto g = graph::make_random_regular(40, 6, grng);
+  const mrf::Mrf m = mrf::make_proper_coloring(g, 12);
+  const mrf::Config x = chains::greedy_feasible_config(m);
+  const mrf::CompiledMrf exact(
+      m, {graph::VertexOrder::none, mrf::CompiledMrf::Tier::exact});
+  const mrf::CompiledMrf fast(
+      m, {graph::VertexOrder::none, mrf::CompiledMrf::Tier::fast_math});
+  std::vector<double> we, wf;
+  for (int v = 0; v < m.n(); ++v) {
+    exact.marginal_weights(v, x, we);
+    fast.marginal_weights(v, x, wf);
+    ASSERT_EQ(we.size(), wf.size());
+    for (std::size_t c = 0; c < we.size(); ++c) {
+      const double tol = 1e-12 * std::max(1.0, std::abs(we[c]));
+      EXPECT_NEAR(we[c], wf[c], tol) << "v=" << v << " c=" << c;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Facade plumbing.
+// ---------------------------------------------------------------------------
+
+TEST(Reorder, FacadeSampleIsReorderInvariantOnBothBackends) {
+  const auto g = graph::make_torus(7, 7);
+  core::SamplerOptions opt;
+  opt.algorithm = core::Algorithm::local_metropolis;
+  opt.seed = 23;
+  opt.rounds = 40;
+  const auto reference = core::sample_coloring(g, 12, opt);
+  for (const auto backend :
+       {core::Backend::chain, core::Backend::local_network}) {
+    for (const auto kind :
+         {graph::VertexOrder::bfs, graph::VertexOrder::rcm}) {
+      opt.backend = backend;
+      opt.reorder = kind;
+      const auto got = core::sample_coloring(g, 12, opt);
+      EXPECT_EQ(got.config, reference.config)
+          << "backend=" << (backend == core::Backend::chain ? "chain" : "net")
+          << " order=" << graph::vertex_order_name(kind);
+    }
+  }
+}
+
+TEST(Reorder, FacadeCspSampleIsReorderInvariant) {
+  const auto g = graph::make_grid(6, 6);
+  const csp::FactorGraph fg = csp::make_dominating_set(*g, 1.0);
+  const csp::Config x0(static_cast<std::size_t>(fg.n()), 1);
+  core::SamplerOptions opt;
+  opt.algorithm = core::Algorithm::luby_glauber;
+  opt.seed = 31;
+  opt.rounds = 30;
+  const auto reference = core::sample_csp(fg, x0, opt);
+  for (const auto kind : {graph::VertexOrder::bfs, graph::VertexOrder::rcm}) {
+    opt.reorder = kind;
+    const auto got = core::sample_csp(fg, x0, opt);
+    EXPECT_EQ(got.config, reference.config)
+        << graph::vertex_order_name(kind);
+  }
+}
+
+TEST(Reorder, FacadeFastMathSamplesStayFeasible) {
+  // fast_math trajectories may differ bitwise from the exact tier (that is
+  // the point), but the sampled coloring must still be proper.
+  const auto g = graph::make_torus(7, 7);
+  core::SamplerOptions opt;
+  opt.algorithm = core::Algorithm::luby_glauber;
+  opt.seed = 41;
+  opt.rounds = 40;
+  opt.fast_math = true;
+  for (const auto kind : kOrders) {
+    opt.reorder = kind;
+    const auto got = core::sample_coloring(g, 12, opt);
+    EXPECT_TRUE(got.feasible) << graph::vertex_order_name(kind);
+  }
+}
+
+}  // namespace
+}  // namespace lsample
