@@ -10,12 +10,20 @@
 // and the "flips" column counts how many priority comparisons would have
 // resolved differently had only the budgeted bits been transmitted (0 means
 // the discretized protocol takes the exact same trajectory).
+//
+// The sharded section puts the same budget on an actual wire: the network is
+// partitioned into shards exchanging only boundary ("halo") slots, and the
+// serialized bytes per round per cut edge are measured against the O(log n)
+// budget.  The driver exits non-zero if any priority comparison flips or the
+// sharded trajectory diverges from the unsharded one, so CI enforces both
+// claims.
 #include <cmath>
 #include <iostream>
 
 #include "chains/init.hpp"
 #include "graph/generators.hpp"
 #include "local/node_programs.hpp"
+#include "local/sharding.hpp"
 #include "mrf/models.hpp"
 #include "util/table.hpp"
 
@@ -25,6 +33,7 @@ using namespace lsample;
 
 int main_impl() {
   std::cout << "Experiment E9 — message complexity in the LOCAL model\n";
+  int failures = 0;
 
   util::Rng grng(3);
   const auto g = graph::make_random_regular(64, 4, grng);
@@ -49,6 +58,8 @@ int main_impl() {
     lgd.run_rounds(10);
     const auto* table =
         dynamic_cast<const local::LubyGlauberTable*>(lgd.table());
+    if (table != nullptr && table->quantized_comparison_flips() != 0)
+      ++failures;
     t.begin_row()
         .cell(q)
         .cell(static_cast<std::int64_t>(lm.stats().bits / lm.stats().messages))
@@ -82,7 +93,66 @@ int main_impl() {
         .cell(static_cast<std::int64_t>(2 * gg->num_edges()));
   }
   t2.print(std::cout);
-  return 0;
+
+  util::print_banner(std::cout,
+                     "sharded halo traffic at the O(log n)-bit budget "
+                     "(LubyGlauber, discretized priority, 4 shards)");
+  util::Table t3({"n", "shards", "cut edges", "halo B/round",
+                  "B/round/cut-edge", "sem bits/msg", "budget bits", "flips",
+                  "bitwise == unsharded"});
+  for (int n : {1024, 4096}) {
+    const auto gg = graph::make_random_regular(n, 6, grng);
+    const int budget = local::discretized_priority_bits(n);
+    const mrf::Mrf m = mrf::make_proper_coloring(gg, 20);
+    const mrf::Config x0 = chains::greedy_feasible_config(m);
+    local::LubyGlauberNetOptions disc;
+    disc.priority_bits = budget;
+    const std::int64_t rounds = 10;
+
+    local::Network flat = local::make_luby_glauber_network(m, x0, 11, disc);
+    flat.run_rounds(rounds);
+
+    local::ShardedNetwork::Options opt;
+    opt.partition.num_shards = 4;
+    local::ShardedNetwork net = local::make_sharded_luby_glauber_network(
+        m, x0, 11, std::move(opt), disc);
+    net.run_rounds(rounds);
+
+    const local::HaloStats& halo = net.halo_stats();
+    const auto* table =
+        dynamic_cast<const local::LubyGlauberTable*>(net.table());
+    const std::int64_t flips =
+        table != nullptr ? table->quantized_comparison_flips() : -1;
+    const bool bitwise_equal = net.outputs() == flat.outputs() &&
+                               net.stats() == flat.stats();
+    if (flips != 0 || !bitwise_equal) ++failures;
+    t3.begin_row()
+        .cell(n)
+        .cell(net.num_shards())
+        .cell(net.quality().cut_edges)
+        .cell(halo.wire_bytes / rounds)
+        .cell(static_cast<double>(halo.wire_bytes) /
+                  (static_cast<double>(rounds) * halo.cut_slots),
+              2)
+        .cell(halo.halo_messages > 0
+                  ? static_cast<std::int64_t>(halo.semantic_bits /
+                                              halo.halo_messages)
+                  : 0)
+        .cell(budget)
+        .cell(flips)
+        .cell(bitwise_equal ? "yes" : "NO");
+  }
+  t3.print(std::cout);
+  std::cout << "Each directed cut slot ships an 8-byte frame header plus its "
+               "payload words every round, so bytes/round/cut-edge is flat in "
+               "n while the O(log n) budget grows — the distributed message "
+               "size the paper promises, measured on serialized bytes.  The "
+               "sharded trajectory stays bit-identical to the unsharded "
+               "network (and any flip or divergence fails this driver).\n";
+  if (failures != 0)
+    std::cout << "E9 FAILED: " << failures
+              << " section(s) saw comparison flips or sharded divergence\n";
+  return failures == 0 ? 0 : 1;
 }
 
 }  // namespace

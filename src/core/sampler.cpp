@@ -12,6 +12,7 @@
 #include "csp/compiled.hpp"
 #include "csp/csp_chains.hpp"
 #include "local/node_programs.hpp"
+#include "local/sharding.hpp"
 #include "mrf/compiled.hpp"
 #include "inference/influence.hpp"
 #include "core/theory.hpp"
@@ -41,6 +42,10 @@ local::Network make_network(Algorithm algorithm,
 SampleResult run_chain(const mrf::Mrf& m, const SamplerOptions& options,
                        std::int64_t rounds, double alpha) {
   LS_REQUIRE(options.num_threads >= 0, "num_threads must be >= 0");
+  LS_REQUIRE(options.num_shards >= 1, "num_shards must be >= 1");
+  LS_REQUIRE(options.num_shards == 1 || options.backend == Backend::local_network,
+             "num_shards > 1 requires the local_network backend (the chain "
+             "backend has no network to shard)");
   SampleResult result;
   result.rounds = rounds;
   result.theory_alpha = alpha;
@@ -50,6 +55,31 @@ SampleResult run_chain(const mrf::Mrf& m, const SamplerOptions& options,
                           : options.num_threads;
   std::optional<chains::ParallelEngine> engine;
   if (threads > 1) engine.emplace(threads);
+  if (options.backend == Backend::local_network &&
+      options.num_shards > 1) {
+    // The SHARDED LOCAL runtime: same bit-identical contract as the
+    // single-arena branch below (at any shard count and thread count), plus
+    // the halo traffic profile.  The partition follows the BFS order with
+    // greedy edge-cut refinement — pure layout, like `reorder`.
+    local::ShardedNetwork::Options net_options;
+    net_options.partition.num_shards = options.num_shards;
+    const auto cm = std::make_shared<const mrf::CompiledMrf>(
+        m, mrf::CompiledMrf::Options{options.reorder,
+                                     mrf::CompiledMrf::Tier::exact});
+    local::ShardedNetwork net =
+        options.algorithm == Algorithm::luby_glauber
+            ? local::make_sharded_luby_glauber_network(cm, x, options.seed,
+                                                       std::move(net_options))
+            : local::make_sharded_local_metropolis_network(
+                  cm, x, options.seed, std::move(net_options));
+    if (engine.has_value()) net.set_engine(&*engine);
+    net.run_rounds(rounds + 1);
+    result.message_stats = net.stats();
+    result.halo_stats = net.halo_stats();
+    result.config = net.outputs();
+    result.feasible = m.feasible(result.config);
+    return result;
+  }
   if (options.backend == Backend::local_network) {
     // The LOCAL runtime: R+1 simulated rounds complete R chain steps, and
     // the outputs are bit-identical to the chain backend below — the
@@ -94,6 +124,11 @@ BatchSampleResult run_replicas(const mrf::Mrf& m, const SamplerOptions& options,
                                std::int64_t rounds, double alpha) {
   LS_REQUIRE(options.num_replicas >= 1, "num_replicas must be >= 1");
   LS_REQUIRE(options.num_threads >= 0, "num_threads must be >= 0");
+  LS_REQUIRE(options.num_shards == 1,
+             "sample_many does not support sharded networks (num_shards > 1); "
+             "replicas already parallelize across whole networks — draw "
+             "sharded samples one at a time via the single-sample entry "
+             "points");
   const int replicas = options.num_replicas;
   // One compiled view shared read-only by every replica; CompiledMrf
   // construction also finalizes the graph CSR, so the concurrent reads
@@ -182,6 +217,8 @@ void check_csp_options(const SamplerOptions& options) {
   LS_REQUIRE(options.backend == Backend::chain,
              "CSP sampling supports the chain backend only");
   LS_REQUIRE(options.num_threads >= 0, "num_threads must be >= 0");
+  LS_REQUIRE(options.num_shards == 1,
+             "CSP sampling does not support sharded networks");
 }
 
 }  // namespace

@@ -54,6 +54,15 @@ struct SamplerOptions {
   /// layout: the sample is bit-identical for ANY choice, which the reorder
   /// tests assert).
   graph::VertexOrder reorder = graph::VertexOrder::none;
+  /// Shards for the local_network backend (>= 1).  With num_shards > 1 the
+  /// network is partitioned (contiguous-by-BFS-order with greedy edge-cut
+  /// refinement) into per-shard message arenas that exchange only boundary
+  /// ("halo") slots each round; the sampled configuration and MessageStats
+  /// stay bit-identical to the unsharded run at any shard count, and the
+  /// result's halo_stats reports the bytes that crossed shard boundaries.
+  /// Single-sample entry points only; rejected by the chain backend and by
+  /// sample_many.
+  int num_shards = 1;
   /// Enables CompiledMrf::Tier::fast_math for the chain backend's MRF
   /// kernels: the heat-bath marginal accumulates edge factors pairwise
   /// (reassociated — faster, same stationary law, validated by the fuzzer's
@@ -74,6 +83,9 @@ struct SampleResult {
   /// chain backend).  rounds here counts SIMULATED rounds: completing R
   /// chain steps costs R+1 rounds (round 0 is the initial broadcast).
   local::MessageStats message_stats;
+  /// Shard-boundary traffic when backend == local_network and
+  /// options.num_shards > 1 (all-zero otherwise).
+  local::HaloStats halo_stats;
 };
 
 /// Samples an approximately uniform proper q-coloring of g (Theorems 1.1 /

@@ -1,6 +1,7 @@
 #include "graph/graph.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/require.hpp"
 
@@ -35,6 +36,15 @@ void Graph::finalize() const {
   if (csr_valid_.load(std::memory_order_relaxed)) return;
   const int n = num_vertices();
   const int m = num_edges();
+  // The CSR stores offsets, edge ids, and directed-slot positions as int:
+  // 2m directed slots must fit a 32-bit signed index.  (Arena WORD indices
+  // downstream are std::size_t, so slot-count times message capacity is not
+  // limited by this.)
+  LS_REQUIRE(2ll * m <= std::numeric_limits<int>::max(),
+             "graph has " + std::to_string(2ll * m) +
+                 " directed edge slots, exceeding the 32-bit CSR slot-index "
+                 "limit of " +
+                 std::to_string(std::numeric_limits<int>::max()));
   offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
   for (int v = 0; v < n; ++v)
     offsets_[static_cast<std::size_t>(v) + 1] =

@@ -1,0 +1,178 @@
+#include "graph/partition.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/require.hpp"
+
+namespace lsample::graph {
+
+namespace {
+
+[[nodiscard]] int ideal_shard_size(int n, int num_shards) noexcept {
+  return (n + num_shards - 1) / num_shards;  // ceil(n / S)
+}
+
+void fill_shard_lists(Partition& part) {
+  part.shards.assign(static_cast<std::size_t>(part.num_shards), {});
+  for (std::size_t v = 0; v < part.shard_of.size(); ++v)
+    part.shards[static_cast<std::size_t>(part.shard_of[v])].push_back(
+        static_cast<int>(v));
+}
+
+/// One greedy sweep: move each vertex (ascending id) to the shard holding
+/// the plurality of its incident edges when that strictly reduces the cut
+/// and both shards stay within [1, max_size].  Returns the number of moves.
+int refine_sweep(const Graph& g, std::vector<int>& shard_of,
+                 std::vector<int>& sizes, int num_shards, int max_size) {
+  const int n = g.num_vertices();
+  const auto off = g.csr_offsets();
+  const auto nbr = g.neighbors_flat();
+  // Per-shard incident-edge counts for the current vertex, reset via the
+  // touched list (degree, not num_shards, bounds the reset cost).
+  std::vector<std::int64_t> count(static_cast<std::size_t>(num_shards), 0);
+  std::vector<int> touched;
+  int moves = 0;
+  for (int v = 0; v < n; ++v) {
+    const int cur = shard_of[static_cast<std::size_t>(v)];
+    if (sizes[static_cast<std::size_t>(cur)] <= 1) continue;  // never empty
+    touched.clear();
+    const int begin = off[static_cast<std::size_t>(v)];
+    const int end = off[static_cast<std::size_t>(v) + 1];
+    for (int p = begin; p < end; ++p) {
+      const int s = shard_of[static_cast<std::size_t>(
+          nbr[static_cast<std::size_t>(p)])];
+      if (count[static_cast<std::size_t>(s)] == 0) touched.push_back(s);
+      ++count[static_cast<std::size_t>(s)];  // parallel edges count twice
+    }
+    // Plurality shard, lowest id on ties (deterministic).
+    int best = cur;
+    std::int64_t best_count = count[static_cast<std::size_t>(cur)];
+    std::sort(touched.begin(), touched.end());
+    for (const int s : touched) {
+      if (count[static_cast<std::size_t>(s)] > best_count) {
+        best = s;
+        best_count = count[static_cast<std::size_t>(s)];
+      }
+    }
+    const bool fits = sizes[static_cast<std::size_t>(best)] + 1 <= max_size;
+    if (best != cur && best_count > count[static_cast<std::size_t>(cur)] &&
+        fits) {
+      shard_of[static_cast<std::size_t>(v)] = best;
+      --sizes[static_cast<std::size_t>(cur)];
+      ++sizes[static_cast<std::size_t>(best)];
+      ++moves;
+    }
+    for (const int s : touched) count[static_cast<std::size_t>(s)] = 0;
+  }
+  return moves;
+}
+
+}  // namespace
+
+Partition make_partition(const Graph& g, const PartitionOptions& options) {
+  const int n = g.num_vertices();
+  const int num_shards = options.num_shards;
+  LS_REQUIRE(num_shards >= 1, "num_shards must be at least 1, got " +
+                                  std::to_string(num_shards));
+  LS_REQUIRE(n == 0 || num_shards <= n,
+             "num_shards (" + std::to_string(num_shards) +
+                 ") must not exceed the number of vertices (" +
+                 std::to_string(n) + ")");
+  LS_REQUIRE(options.balance_factor >= 1.0,
+             "balance_factor must be at least 1");
+
+  Partition part;
+  part.num_shards = num_shards;
+  part.shard_of.assign(static_cast<std::size_t>(n), 0);
+
+  // Contiguous chunks of the chosen order: the first n % S shards get one
+  // extra vertex.
+  const std::vector<int> order = compute_vertex_order(g, options.order);
+  const int base = num_shards > 0 ? n / num_shards : 0;
+  const int extra = num_shards > 0 ? n % num_shards : 0;
+  int pos = 0;
+  std::vector<int> sizes(static_cast<std::size_t>(num_shards), 0);
+  for (int s = 0; s < num_shards; ++s) {
+    const int size = base + (s < extra ? 1 : 0);
+    for (int i = 0; i < size; ++i)
+      part.shard_of[static_cast<std::size_t>(order[static_cast<std::size_t>(
+          pos + i)])] = s;
+    sizes[static_cast<std::size_t>(s)] = size;
+    pos += size;
+  }
+
+  if (options.refine && num_shards > 1 && n > 0) {
+    const int ideal = ideal_shard_size(n, num_shards);
+    const int max_size = std::max(
+        ideal, static_cast<int>(options.balance_factor *
+                                static_cast<double>(ideal)));
+    for (int pass = 0; pass < options.refine_passes; ++pass)
+      if (refine_sweep(g, part.shard_of, sizes, num_shards, max_size) == 0)
+        break;
+  }
+
+  fill_shard_lists(part);
+  return part;
+}
+
+Partition partition_from_assignment(int num_shards,
+                                    std::vector<int> shard_of) {
+  LS_REQUIRE(num_shards >= 1, "num_shards must be at least 1, got " +
+                                  std::to_string(num_shards));
+  for (const int s : shard_of)
+    LS_REQUIRE(s >= 0 && s < num_shards, "shard assignment out of range");
+  Partition part;
+  part.num_shards = num_shards;
+  part.shard_of = std::move(shard_of);
+  fill_shard_lists(part);
+  return part;
+}
+
+PartitionQuality partition_quality(const Graph& g, const Partition& part) {
+  const int n = g.num_vertices();
+  LS_REQUIRE(static_cast<int>(part.shard_of.size()) == n,
+             "partition does not cover this graph's vertex set");
+  LS_REQUIRE(part.num_shards >= 1, "partition has no shards");
+
+  PartitionQuality q;
+  q.num_shards = part.num_shards;
+  for (int e = 0; e < g.num_edges(); ++e) {
+    const Edge& ed = g.edge(e);
+    if (part.shard_of[static_cast<std::size_t>(ed.u)] !=
+        part.shard_of[static_cast<std::size_t>(ed.v)])
+      ++q.cut_edges;
+    else
+      ++q.internal_edges;
+  }
+  std::vector<int> sizes(static_cast<std::size_t>(part.num_shards), 0);
+  for (const int s : part.shard_of) ++sizes[static_cast<std::size_t>(s)];
+  q.min_shard_size = n;
+  for (const int size : sizes) {
+    q.min_shard_size = std::min(q.min_shard_size, size);
+    q.max_shard_size = std::max(q.max_shard_size, size);
+  }
+  if (n == 0) q.min_shard_size = 0;
+  const int ideal = n > 0 ? ideal_shard_size(n, part.num_shards) : 1;
+  q.balance = static_cast<double>(q.max_shard_size) /
+              static_cast<double>(ideal);
+  q.cut_fraction = g.num_edges() > 0
+                       ? static_cast<double>(q.cut_edges) /
+                             static_cast<double>(g.num_edges())
+                       : 0.0;
+  return q;
+}
+
+std::string describe(const PartitionQuality& q) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%d shard(s): sizes [%d, %d], balance %.2f; cut %lld/%lld "
+                "edges (%.1f%%)",
+                q.num_shards, q.min_shard_size, q.max_shard_size, q.balance,
+                static_cast<long long>(q.cut_edges),
+                static_cast<long long>(q.cut_edges + q.internal_edges),
+                100.0 * q.cut_fraction);
+  return std::string(buf);
+}
+
+}  // namespace lsample::graph

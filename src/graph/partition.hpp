@@ -1,0 +1,82 @@
+// Graph partitioning for the sharded LOCAL runtime.
+//
+// A partition assigns every vertex to one of `num_shards` shards.  The
+// sharded network (local/sharding.hpp) gives each shard its own message
+// arena and exchanges only the boundary-edge ("halo") slots per round, so
+// the quality figure that matters is the edge cut: every cut edge costs two
+// directed halo slots per round.  Shard sizes should stay balanced because a
+// round is as slow as its largest shard.
+//
+// The seed partition cuts a bandwidth-reducing vertex order (the PR 7 BFS /
+// RCM orders from reorder.hpp) into contiguous chunks — neighbors sit close
+// in those orders, so contiguous chunks already keep most edges internal.  A
+// greedy refinement pass then moves individual vertices to the neighboring
+// shard holding the plurality of their edges when that strictly reduces the
+// cut and respects the balance bound.
+//
+// Everything here is deterministic: orders break ties by vertex id, chunk
+// boundaries are arithmetic, and refinement sweeps vertices in ascending id
+// with lowest-shard-wins tie-breaks.  The same graph and options always
+// yield the same partition — a prerequisite for the sharded runtime's
+// bit-identical trajectories and for rebuilding the identical partition
+// inside shard worker processes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/reorder.hpp"
+
+namespace lsample::graph {
+
+struct PartitionOptions {
+  int num_shards = 1;
+  /// Vertex order whose contiguous chunks seed the shards.
+  VertexOrder order = VertexOrder::bfs;
+  /// Greedy edge-cut refinement (never increases the cut).
+  bool refine = true;
+  /// Maximum refinement sweeps over the vertex set (stops early when a
+  /// sweep moves nothing).
+  int refine_passes = 4;
+  /// A shard may grow to balance_factor * ceil(n / num_shards) vertices
+  /// during refinement (>= 1).
+  double balance_factor = 1.10;
+};
+
+/// A vertex -> shard assignment plus the per-shard vertex lists (ascending
+/// vertex ids; every vertex appears in exactly one list).
+struct Partition {
+  int num_shards = 1;
+  std::vector<int> shard_of;
+  std::vector<std::vector<int>> shards;
+};
+
+struct PartitionQuality {
+  int num_shards = 0;
+  std::int64_t cut_edges = 0;       ///< edges with endpoints in two shards
+  std::int64_t internal_edges = 0;  ///< cut_edges + internal_edges == |E|
+  int min_shard_size = 0;
+  int max_shard_size = 0;
+  double balance = 1.0;       ///< max_shard_size / ceil(n / num_shards)
+  double cut_fraction = 0.0;  ///< cut_edges / |E| (0 when |E| == 0)
+};
+
+/// Deterministically partitions g per `options`.
+[[nodiscard]] Partition make_partition(const Graph& g,
+                                       const PartitionOptions& options = {});
+
+/// Rebuilds a Partition from a vertex -> shard assignment (validates it and
+/// fills the per-shard lists).  Used by shard workers, which receive only
+/// shard_of over the wire.
+[[nodiscard]] Partition partition_from_assignment(int num_shards,
+                                                  std::vector<int> shard_of);
+
+[[nodiscard]] PartitionQuality partition_quality(const Graph& g,
+                                                 const Partition& part);
+
+/// One-line human-readable summary (sampler_cli's shard report).
+[[nodiscard]] std::string describe(const PartitionQuality& q);
+
+}  // namespace lsample::graph

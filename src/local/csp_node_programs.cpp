@@ -25,8 +25,8 @@ void CspLocalMetropolisTable::set_num_threads(int num_threads) {
   }
 }
 
-void CspLocalMetropolisTable::run_nodes(Network& net, int thread, int begin,
-                                        int end) {
+void CspLocalMetropolisTable::run_nodes(Network& net, int thread,
+                                        std::span<const int> vertices) {
   const csp::FactorGraph& fg = *fg_;
   const util::CounterRng& rng = net.rng();
   const auto off = net.g().csr_offsets();
@@ -35,7 +35,7 @@ void CspLocalMetropolisTable::run_nodes(Network& net, int thread, int begin,
   const int bits = 2 * spin_bits(fg.q());
   auto& sc = scratch_[static_cast<std::size_t>(thread)];
 
-  for (int v = begin; v < end; ++v) {
+  for (const int v : vertices) {
     NodeContext ctx = net.context(v, thread);
     const int base = off[static_cast<std::size_t>(v)];
     const int deg = off[static_cast<std::size_t>(v) + 1] - base;

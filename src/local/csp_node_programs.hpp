@@ -27,7 +27,8 @@ class CspLocalMetropolisTable final : public NodeProgramTable {
   [[nodiscard]] int message_capacity_words() const noexcept override {
     return 2;  // (proposal, spin)
   }
-  void run_nodes(Network& net, int thread, int begin, int end) override;
+  void run_nodes(Network& net, int thread,
+                 std::span<const int> vertices) override;
   [[nodiscard]] int output(int v) const override {
     return x_[static_cast<std::size_t>(v)];
   }

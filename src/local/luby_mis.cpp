@@ -7,7 +7,8 @@
 
 namespace lsample::local {
 
-void LubyMisTable::run_nodes(Network& net, int thread, int begin, int end) {
+void LubyMisTable::run_nodes(Network& net, int thread,
+                             std::span<const int> vertices) {
   const util::CounterRng& rng = net.rng();
   const auto off = net.g().csr_offsets();
   const auto nbr = net.g().neighbors_flat();
@@ -16,7 +17,7 @@ void LubyMisTable::run_nodes(Network& net, int thread, int begin, int end) {
   // = decide from received priorities, publish (priority unused, state).
   const bool publish_round = (r % 2) == 0;
 
-  for (int v = begin; v < end; ++v) {
+  for (const int v : vertices) {
     NodeContext ctx = net.context(v, thread);
     const int base = off[static_cast<std::size_t>(v)];
     const int deg = off[static_cast<std::size_t>(v) + 1] - base;

@@ -30,7 +30,8 @@ class LubyMisTable final : public NodeProgramTable {
   [[nodiscard]] int message_capacity_words() const noexcept override {
     return 2;  // (priority, state)
   }
-  void run_nodes(Network& net, int thread, int begin, int end) override;
+  void run_nodes(Network& net, int thread,
+                 std::span<const int> vertices) override;
 
   /// 1 if the node decided to join the MIS, 0 otherwise (including still
   /// undecided).

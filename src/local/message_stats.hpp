@@ -19,4 +19,18 @@ struct MessageStats {
   }
 };
 
+/// Halo (boundary) traffic of a SHARDED network (local/sharding.hpp): the
+/// subset of the message volume that actually crosses a shard boundary.
+/// `wire_bytes` counts what a transport serializes — an 8-byte (words, bits)
+/// frame header per boundary slot per round plus 8 bytes per payload word —
+/// while `semantic_bits` counts the accounted message bits that crossed (the
+/// paper's §1.1 unit).
+struct HaloStats {
+  std::int64_t rounds = 0;
+  std::int64_t cut_slots = 0;      ///< directed boundary slots per round
+  std::int64_t halo_messages = 0;  ///< non-empty boundary messages (total)
+  std::int64_t wire_bytes = 0;     ///< serialized bytes (total)
+  std::int64_t semantic_bits = 0;  ///< accounted bits moved (total)
+};
+
 }  // namespace lsample::local

@@ -1,5 +1,7 @@
 #include "local/network.hpp"
 
+#include <numeric>
+
 #include "chains/engine.hpp"
 #include "util/require.hpp"
 
@@ -23,7 +25,11 @@ Network::Network(graph::GraphPtr g, std::uint64_t seed,
     LS_REQUIRE(p != nullptr, "program factory returned null");
     programs_.push_back(std::move(p));
   }
-  init_arena(message_capacity_words);
+  init_csr_views();
+  build_mirror();
+  init_arena(static_cast<std::int64_t>(inc_.size()), message_capacity_words);
+  all_vertices_.resize(static_cast<std::size_t>(graph_->num_vertices()));
+  std::iota(all_vertices_.begin(), all_vertices_.end(), 0);
 }
 
 Network::Network(graph::GraphPtr g, std::uint64_t seed,
@@ -31,72 +37,118 @@ Network::Network(graph::GraphPtr g, std::uint64_t seed,
     : graph_(std::move(g)), rng_(seed), table_(std::move(table)) {
   LS_REQUIRE(graph_ != nullptr, "graph must not be null");
   LS_REQUIRE(table_ != nullptr, "program table must not be null");
-  init_arena(table_->message_capacity_words());
+  init_csr_views();
+  build_mirror();
+  init_arena(static_cast<std::int64_t>(inc_.size()),
+             table_->message_capacity_words());
+  all_vertices_.resize(static_cast<std::size_t>(graph_->num_vertices()));
+  std::iota(all_vertices_.begin(), all_vertices_.end(), 0);
   table_->set_num_threads(1);
 }
 
-void Network::init_arena(int message_capacity_words) {
-  LS_REQUIRE(message_capacity_words >= 1,
-             "message capacity must be at least one word");
-  cap_ = message_capacity_words;
+Network::Network(graph::GraphPtr g, std::uint64_t seed,
+                 const ShardBinding& binding)
+    : graph_(std::move(g)), rng_(seed) {
+  LS_REQUIRE(graph_ != nullptr, "graph must not be null");
+  LS_REQUIRE(binding.table != nullptr,
+             "shard-mode networks require a shared program table");
+  shard_mode_ = true;
+  shared_table_ = binding.table;
+  owned_vertices_ = binding.owned_vertices;
+  out_local64_ = binding.out_local64;
+  in_local64_ = binding.in_local64;
+  out_local32_ = binding.out_local32;
+  in_local32_ = binding.in_local32;
+  init_csr_views();
+  mirror_ = binding.mirror;
+  LS_REQUIRE(mirror_.size() == inc_.size(),
+             "shard mirror does not match this graph");
+  init_arena(binding.local_slots, shared_table_->message_capacity_words());
+}
+
+void Network::init_csr_views() {
   graph_->finalize();
   off_ = graph_->csr_offsets();
   inc_ = graph_->incident_edges_flat();
   nbr_ = graph_->neighbors_flat();
+}
 
+std::vector<int> make_mirror_index(const graph::Graph& g) {
   // Every edge id appears exactly once in each endpoint's incident list
   // (self-loops are rejected by Graph), so pairing the two directed CSR
   // positions of each edge yields the mirror index received() follows.
-  const std::size_t slots = inc_.size();
-  mirror_.assign(slots, -1);
-  std::vector<int> first_pos(static_cast<std::size_t>(graph_->num_edges()), -1);
+  g.finalize();
+  const auto inc = g.incident_edges_flat();
+  const std::size_t slots = inc.size();
+  std::vector<int> mirror(slots, -1);
+  std::vector<int> first_pos(static_cast<std::size_t>(g.num_edges()), -1);
   for (std::size_t p = 0; p < slots; ++p) {
-    const auto e = static_cast<std::size_t>(inc_[p]);
+    const auto e = static_cast<std::size_t>(inc[p]);
     if (first_pos[e] < 0) {
       first_pos[e] = static_cast<int>(p);
     } else {
-      mirror_[p] = first_pos[e];
-      mirror_[static_cast<std::size_t>(first_pos[e])] = static_cast<int>(p);
+      mirror[p] = first_pos[e];
+      mirror[static_cast<std::size_t>(first_pos[e])] = static_cast<int>(p);
     }
   }
   for (std::size_t p = 0; p < slots; ++p)
-    LS_ASSERT(mirror_[p] >= 0, "unpaired directed edge slot");
+    LS_ASSERT(mirror[p] >= 0, "unpaired directed edge slot");
+  return mirror;
+}
 
-  cur_words_.assign(slots * static_cast<std::size_t>(cap_), 0);
-  next_words_.assign(slots * static_cast<std::size_t>(cap_), 0);
-  cur_meta_.assign(slots, {});
-  next_meta_.assign(slots, {});
+void Network::build_mirror() {
+  mirror_storage_ = make_mirror_index(*graph_);
+  mirror_ = mirror_storage_;
+}
+
+void Network::init_arena(std::int64_t slots, int message_capacity_words) {
+  LS_REQUIRE(message_capacity_words >= 1,
+             "message capacity must be at least one word");
+  LS_REQUIRE(slots >= 0, "negative slot count");
+  cap_ = message_capacity_words;
+  // Word indices are computed as slot * cap_ in std::size_t; this arena is
+  // allocated up front, so the only scale limit is address space.
+  const auto words =
+      static_cast<std::size_t>(slots) * static_cast<std::size_t>(cap_);
+  cur_words_.assign(words, 0);
+  next_words_.assign(words, 0);
+  cur_meta_.assign(static_cast<std::size_t>(slots), {});
+  next_meta_.assign(static_cast<std::size_t>(slots), {});
   worker_stats_.assign(1, {});
 }
 
 void Network::set_engine(chains::ParallelEngine* engine) {
+  LS_REQUIRE(!shard_mode_,
+             "a shard-mode network is driven by its sharded runtime; attach "
+             "the engine to the ShardedNetwork instead");
   engine_ = engine;
   const int threads = engine_ != nullptr ? engine_->num_threads() : 1;
   worker_stats_.assign(static_cast<std::size_t>(threads), {});
   if (table_ != nullptr) table_->set_num_threads(threads);
 }
 
-void Network::run_round() {
-  const int n = graph_->num_vertices();
-  for (auto& ws : worker_stats_) ws = {};
-  const auto job = [&](int thread, int begin, int end) {
-    // Clear this slice's out-slots: vertex slices partition the directed
-    // slots, so each slot is cleared by exactly the thread that may write it.
-    const auto slot_begin = static_cast<std::size_t>(
-        off_[static_cast<std::size_t>(begin)]);
-    const auto slot_end =
-        static_cast<std::size_t>(off_[static_cast<std::size_t>(end)]);
-    for (std::size_t s = slot_begin; s < slot_end; ++s) next_meta_[s] = {};
-    if (table_ != nullptr) {
-      table_->run_nodes(*this, thread, begin, end);
-    } else {
-      for (int v = begin; v < end; ++v) {
-        NodeContext ctx(*this, v, thread);
-        programs_[static_cast<std::size_t>(v)]->on_round(ctx);
-      }
+void Network::run_vertex_list(int thread, std::span<const int> vertices) {
+  // Clear these vertices' out-slots: vertex lists partition the directed
+  // slots, so each slot is cleared by exactly the call that may write it.
+  for (const int v : vertices) {
+    const auto begin = static_cast<std::size_t>(off_[static_cast<std::size_t>(v)]);
+    const auto end =
+        static_cast<std::size_t>(off_[static_cast<std::size_t>(v) + 1]);
+    // Owned slots are consecutive in the local arena, so translate once.
+    const std::size_t base = out_local(begin);
+    for (std::size_t s = 0; s < end - begin; ++s) next_meta_[base + s] = {};
+  }
+  if (NodeProgramTable* table = table_ptr(); table != nullptr) {
+    table->run_nodes(*this, thread, vertices);
+  } else {
+    for (const int v : vertices) {
+      NodeContext ctx(*this, v, thread);
+      programs_[static_cast<std::size_t>(v)]->on_round(ctx);
     }
-  };
-  chains::run_partitioned(engine_, n, job);
+  }
+}
+
+void Network::finish_round() {
   std::swap(cur_words_, next_words_);
   std::swap(cur_meta_, next_meta_);
   ++round_;
@@ -109,21 +161,54 @@ void Network::run_round() {
   }
 }
 
+void Network::run_round() {
+  LS_REQUIRE(!shard_mode_,
+             "a shard-mode network is driven by its sharded runtime; call "
+             "ShardedNetwork::run_round instead");
+  const int n = graph_->num_vertices();
+  for (auto& ws : worker_stats_) ws = {};
+  const auto job = [&](int thread, int begin, int end) {
+    run_vertex_list(thread, std::span<const int>(all_vertices_)
+                                .subspan(static_cast<std::size_t>(begin),
+                                         static_cast<std::size_t>(end - begin)));
+  };
+  chains::run_partitioned(engine_, n, job);
+  finish_round();
+}
+
 void Network::run_rounds(std::int64_t rounds) {
   for (std::int64_t r = 0; r < rounds; ++r) run_round();
 }
 
 mrf::Config Network::outputs() const {
   mrf::Config x(static_cast<std::size_t>(graph_->num_vertices()));
-  if (table_ != nullptr) {
+  if (const NodeProgramTable* table = table_ptr(); table != nullptr) {
     for (int v = 0; v < graph_->num_vertices(); ++v)
-      x[static_cast<std::size_t>(v)] = table_->output(v);
+      x[static_cast<std::size_t>(v)] = table->output(v);
   } else {
     for (int v = 0; v < graph_->num_vertices(); ++v)
       x[static_cast<std::size_t>(v)] =
           programs_[static_cast<std::size_t>(v)]->output();
   }
   return x;
+}
+
+MemoryReport Network::memory_report() const noexcept {
+  MemoryReport r;
+  r.slots = static_cast<std::int64_t>(cur_meta_.size());
+  r.capacity_words = cap_;
+  r.arena_bytes =
+      static_cast<std::int64_t>((cur_words_.size() + next_words_.size()) *
+                                sizeof(std::uint64_t)) +
+      static_cast<std::int64_t>((cur_meta_.size() + next_meta_.size()) *
+                                sizeof(SlotMeta));
+  r.mirror_bytes =
+      static_cast<std::int64_t>(mirror_storage_.size() * sizeof(int));
+  r.vertex_list_bytes =
+      static_cast<std::int64_t>(all_vertices_.size() * sizeof(int));
+  r.graph_csr_bytes = static_cast<std::int64_t>(
+      (off_.size() + inc_.size() + nbr_.size()) * sizeof(int));
+  return r;
 }
 
 }  // namespace lsample::local

@@ -25,6 +25,17 @@
 // count.  Per-worker MessageStats are reduced in thread order after each
 // round.
 //
+// Sharding.  A Network can also act as ONE shard of a sharded runtime
+// (local/sharding.hpp): it then owns the arena slots of its shard's
+// vertices plus the halo slots it reads from other shards, and global
+// CSR slot indices are translated into the local arena through compact
+// translation tables.  All slot arithmetic goes through out_local()/
+// in_local() on std::size_t, so nothing overflows at n·Δ scale; the
+// translation tables come in a 64-bit and a 32-bit compact variant (the
+// latter rejected with a named error when a shard needs more local slots
+// than 32 bits can index).  A shard-mode network cannot run rounds on its
+// own — halo exchange is the ShardedNetwork's job.
+//
 // Two program representations are supported:
 //   * NodeProgramTable (preferred) — ONE value-type object owning the state
 //     of every node in structure-of-arrays form; the network makes one
@@ -57,6 +68,7 @@ class ParallelEngine;
 namespace lsample::local {
 
 class Network;
+struct ShardAccess;
 
 /// Per-node view of the network for a single round.
 class NodeContext {
@@ -116,11 +128,13 @@ class NodeProgram {
 using ProgramFactory = std::function<std::unique_ptr<NodeProgram>(int vertex)>;
 
 /// Value-type program storage: one object owns the per-node state of EVERY
-/// node (structure-of-arrays), and executes whole vertex ranges per virtual
-/// call.  run_nodes(net, thread, begin, end) must run each node exactly as a
-/// NodeProgram would — reading only received messages and its own state, and
-/// writing only its own state and out-ports — so that a table is
-/// thread-count-invariant by construction.
+/// node (structure-of-arrays), and executes whole vertex lists per virtual
+/// call.  run_nodes(net, thread, vertices) must run each listed node exactly
+/// as a NodeProgram would — reading only received messages and its own
+/// state, and writing only its own state and out-ports — so that a table is
+/// invariant to thread count AND to how the vertex set is sliced into lists
+/// (the sharded runtime passes per-shard vertex lists instead of contiguous
+/// ranges).
 class NodeProgramTable {
  public:
   virtual ~NodeProgramTable() = default;
@@ -129,10 +143,11 @@ class NodeProgramTable {
   /// the network sizes its arena slots to this capacity.
   [[nodiscard]] virtual int message_capacity_words() const noexcept = 0;
 
-  /// Executes one round for vertices [begin, end); `thread` identifies the
-  /// worker slot (for per-thread scratch).  Obtain contexts from
-  /// Network::context(v, thread).
-  virtual void run_nodes(Network& net, int thread, int begin, int end) = 0;
+  /// Executes one round for the listed vertices (ascending ids); `thread`
+  /// identifies the worker slot (for per-thread scratch).  Obtain contexts
+  /// from Network::context(v, thread).
+  virtual void run_nodes(Network& net, int thread,
+                         std::span<const int> vertices) = 0;
 
   /// The node's current output spin.
   [[nodiscard]] virtual int output(int v) const = 0;
@@ -145,6 +160,29 @@ class NodeProgramTable {
 /// Arena slot capacity for the ProgramFactory fallback when no table
 /// negotiates one (all library protocols send 2-word messages).
 inline constexpr int kDefaultMessageCapacityWords = 4;
+
+/// mirror[p] = the directed CSR slot of the same edge at the other
+/// endpoint (received() follows it into the sender's slot).  One mirror
+/// serves every shard of a sharded network.
+[[nodiscard]] std::vector<int> make_mirror_index(const graph::Graph& g);
+
+/// Byte-level footprint of one network arena (Network::memory_report), so
+/// n = 10^7-vertex instances can be sized before they are built.  A sharded
+/// network aggregates its shards' reports and adds the translation tables.
+struct MemoryReport {
+  std::int64_t slots = 0;             ///< directed slots in this arena
+  std::int64_t capacity_words = 0;    ///< words per slot
+  std::int64_t arena_bytes = 0;       ///< double-buffered words + slot meta
+  std::int64_t mirror_bytes = 0;      ///< mirror index owned by this network
+  std::int64_t vertex_list_bytes = 0; ///< identity / shard vertex lists
+  std::int64_t translation_bytes = 0; ///< global->local slot tables (sharded)
+  std::int64_t graph_csr_bytes = 0;   ///< shared CSR views (graph-owned)
+
+  [[nodiscard]] std::int64_t total_bytes() const noexcept {
+    return arena_bytes + mirror_bytes + vertex_list_bytes +
+           translation_bytes + graph_csr_bytes;
+  }
+};
 
 class Network {
  public:
@@ -177,20 +215,25 @@ class Network {
   /// Current outputs of all nodes.
   [[nodiscard]] mrf::Config outputs() const;
 
+  /// Byte-level footprint of this network's arena and index structures.
+  [[nodiscard]] MemoryReport memory_report() const noexcept;
+
   /// The per-node view for tables (thread = worker slot passed to
   /// run_nodes).
   [[nodiscard]] NodeContext context(int v, int thread = 0) noexcept {
     return NodeContext(*this, v, thread);
   }
 
-  /// The table driving this network, or nullptr on the fallback path.
-  [[nodiscard]] NodeProgramTable* table() noexcept { return table_.get(); }
+  /// The table driving this network (the shared table in shard mode), or
+  /// nullptr on the fallback path.
+  [[nodiscard]] NodeProgramTable* table() noexcept { return table_ptr(); }
   [[nodiscard]] const NodeProgramTable* table() const noexcept {
-    return table_.get();
+    return table_ptr();
   }
 
  private:
   friend class NodeContext;
+  friend struct ShardAccess;  // sharded-runtime bridge (local/sharding.hpp)
 
   struct SlotMeta {
     std::int32_t words = -1;  ///< -1 = no message present
@@ -201,7 +244,50 @@ class Network {
     std::int64_t bits = 0;
   };
 
-  void init_arena(int message_capacity_words);
+  /// Wiring for one shard of a sharded network: the vertices this arena
+  /// owns, the global-slot -> local-arena translations (at most one of the
+  /// 32/64-bit pairs non-empty; both empty = identity), the shared mirror
+  /// index, and the externally-owned shared program table.  All spans must
+  /// outlive the network.
+  struct ShardBinding {
+    std::span<const int> owned_vertices;
+    std::span<const int> mirror;
+    std::span<const std::int64_t> out_local64, in_local64;
+    std::span<const std::int32_t> out_local32, in_local32;
+    std::int64_t local_slots = 0;  ///< owned + halo slots
+    NodeProgramTable* table = nullptr;
+  };
+
+  /// Shard-mode constructor (driven only through ShardAccess).
+  Network(graph::GraphPtr g, std::uint64_t seed, const ShardBinding& binding);
+
+  void init_csr_views();
+  void init_arena(std::int64_t slots, int message_capacity_words);
+  void build_mirror();
+
+  /// Local arena index of a global directed slot this network WRITES
+  /// (identity unless shard translations are bound).
+  [[nodiscard]] std::size_t out_local(std::size_t p) const noexcept {
+    if (!out_local32_.empty()) return static_cast<std::size_t>(out_local32_[p]);
+    if (!out_local64_.empty()) return static_cast<std::size_t>(out_local64_[p]);
+    return p;
+  }
+  /// Local arena index of a global directed slot this network READS.
+  [[nodiscard]] std::size_t in_local(std::size_t p) const noexcept {
+    if (!in_local32_.empty()) return static_cast<std::size_t>(in_local32_[p]);
+    if (!in_local64_.empty()) return static_cast<std::size_t>(in_local64_[p]);
+    return p;
+  }
+
+  [[nodiscard]] NodeProgramTable* table_ptr() const noexcept {
+    return shared_table_ != nullptr ? shared_table_ : table_.get();
+  }
+
+  /// Clears the listed vertices' out-slots and runs their programs.  Every
+  /// directed slot is cleared by exactly the one call that may write it.
+  void run_vertex_list(int thread, std::span<const int> vertices);
+  /// Swaps buffers, advances the round, folds worker stats in thread order.
+  void finish_round();
 
   graph::GraphPtr graph_;
   util::CounterRng rng_;
@@ -215,8 +301,21 @@ class Network {
   std::span<const int> nbr_;
   // mirror_[p] is the directed slot of the same edge on the other endpoint:
   // node v receives on port i from slot mirror_[off_[v] + i] of the previous
-  // round's buffer.
-  std::vector<int> mirror_;
+  // round's buffer.  Owned by mirror_storage_, or shared by the sharded
+  // runtime (one mirror serves every shard).
+  std::vector<int> mirror_storage_;
+  std::span<const int> mirror_;
+
+  // Shard mode (see ShardBinding).
+  bool shard_mode_ = false;
+  NodeProgramTable* shared_table_ = nullptr;
+  std::span<const int> owned_vertices_;
+  std::span<const std::int64_t> out_local64_, in_local64_;
+  std::span<const std::int32_t> out_local32_, in_local32_;
+
+  // Identity vertex list [0, n) sliced by run_round's partitions (empty in
+  // shard mode — the sharded runtime supplies its own lists).
+  std::vector<int> all_vertices_;
 
   // Double-buffered message arena: cap_ words per directed slot; cur_ is
   // readable this round, next_ is being written.
@@ -260,8 +359,8 @@ inline void NodeContext::send(int port, std::span<const std::uint64_t> words,
                  ": message of " + std::to_string(words.size()) +
                  " words exceeds the arena capacity of " +
                  std::to_string(net.cap_) + " words per message");
-  const std::size_t slot =
-      static_cast<std::size_t>(net.off_[static_cast<std::size_t>(id_)] + port);
+  const std::size_t slot = net.out_local(
+      static_cast<std::size_t>(net.off_[static_cast<std::size_t>(id_)] + port));
   std::uint64_t* dst =
       net.next_words_.data() + slot * static_cast<std::size_t>(net.cap_);
   for (std::size_t i = 0; i < words.size(); ++i) dst[i] = words[i];
@@ -281,8 +380,11 @@ inline void NodeContext::broadcast(std::span<const std::uint64_t> words,
                  std::to_string(words.size()) +
                  " words exceeds the arena capacity of " +
                  std::to_string(net.cap_) + " words per message");
-  const auto base =
-      static_cast<std::size_t>(net.off_[static_cast<std::size_t>(id_)]);
+  // A vertex's owned slots stay consecutive in shard arenas (the plan
+  // assigns local indices in global-slot order), so the slab write survives
+  // translation of the base slot alone.
+  const std::size_t base = net.out_local(
+      static_cast<std::size_t>(net.off_[static_cast<std::size_t>(id_)]));
   const auto cap = static_cast<std::size_t>(net.cap_);
   std::uint64_t* dst = net.next_words_.data() + base * cap;
   const auto meta =
@@ -300,9 +402,9 @@ inline void NodeContext::broadcast(std::span<const std::uint64_t> words,
 inline std::span<const std::uint64_t> NodeContext::received(int port) const {
   const Network& net = *net_;
   if (port < 0 || port >= degree()) fail_port(port, "received");
-  const std::size_t slot = static_cast<std::size_t>(
-      net.mirror_[static_cast<std::size_t>(
-          net.off_[static_cast<std::size_t>(id_)] + port)]);
+  const std::size_t slot =
+      net.in_local(static_cast<std::size_t>(net.mirror_[static_cast<std::size_t>(
+          net.off_[static_cast<std::size_t>(id_)] + port)]));
   const auto meta = net.cur_meta_[slot];
   if (meta.words < 0) return {};
   return {net.cur_words_.data() + slot * static_cast<std::size_t>(net.cap_),

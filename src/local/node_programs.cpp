@@ -60,8 +60,8 @@ std::int64_t LubyGlauberTable::quantized_comparison_flips() const {
   return flips;
 }
 
-void LubyGlauberTable::run_nodes(Network& net, int thread, int begin,
-                                 int end) {
+void LubyGlauberTable::run_nodes(Network& net, int thread,
+                                 std::span<const int> vertices) {
   const mrf::CompiledMrf& cm = *cm_;
   const util::CounterRng& rng = net.rng();
   const auto off = cm.csr_offsets();
@@ -73,7 +73,7 @@ void LubyGlauberTable::run_nodes(Network& net, int thread, int begin,
   const bool discretized = opt_.priority_bits < kPriorityBits;
   auto& sc = scratch_[static_cast<std::size_t>(thread)];
 
-  for (int v = begin; v < end; ++v) {
+  for (const int v : vertices) {
     NodeContext ctx = net.context(v, thread);
     const int base = off[static_cast<std::size_t>(v)];
     const int deg = off[static_cast<std::size_t>(v) + 1] - base;
@@ -145,8 +145,8 @@ LocalMetropolisTable::LocalMetropolisTable(
   pending_.assign(x_.size(), -1);
 }
 
-void LocalMetropolisTable::run_nodes(Network& net, int thread, int begin,
-                                     int end) {
+void LocalMetropolisTable::run_nodes(Network& net, int thread,
+                                     std::span<const int> vertices) {
   const mrf::CompiledMrf& cm = *cm_;
   const util::CounterRng& rng = net.rng();
   const auto off = cm.csr_offsets();
@@ -154,7 +154,7 @@ void LocalMetropolisTable::run_nodes(Network& net, int thread, int begin,
   const std::int64_t r = net.round();
   const int msg_bits = 2 * spin_bits(cm.q());
 
-  for (int v = begin; v < end; ++v) {
+  for (const int v : vertices) {
     NodeContext ctx = net.context(v, thread);
     const int base = off[static_cast<std::size_t>(v)];
     const int deg = off[static_cast<std::size_t>(v) + 1] - base;

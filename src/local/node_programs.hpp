@@ -61,7 +61,8 @@ class LubyGlauberTable final : public NodeProgramTable {
   [[nodiscard]] int message_capacity_words() const noexcept override {
     return 2;  // (priority, spin)
   }
-  void run_nodes(Network& net, int thread, int begin, int end) override;
+  void run_nodes(Network& net, int thread,
+                 std::span<const int> vertices) override;
   [[nodiscard]] int output(int v) const override {
     return x_[static_cast<std::size_t>(v)];
   }
@@ -95,7 +96,8 @@ class LocalMetropolisTable final : public NodeProgramTable {
   [[nodiscard]] int message_capacity_words() const noexcept override {
     return 2;  // (proposal, spin)
   }
-  void run_nodes(Network& net, int thread, int begin, int end) override;
+  void run_nodes(Network& net, int thread,
+                 std::span<const int> vertices) override;
   [[nodiscard]] int output(int v) const override {
     return x_[static_cast<std::size_t>(v)];
   }

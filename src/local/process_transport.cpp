@@ -1,0 +1,432 @@
+// ProcessTransport: one shard_worker OS process per shard, wired to the
+// parent over Unix socketpairs in a star topology.  The parent never holds
+// shard arenas — each worker rebuilds the graph, partition, plan, and
+// program table from the setup frame (activities travel as raw IEEE-754
+// bit patterns, so the rebuild is bit-exact) and the parent only routes
+// halo frames between workers.
+//
+// Per-round protocol (deadlock-free by ordered blocking I/O: the parent
+// writes RUN to every worker before reading any reply, so all workers
+// compute concurrently; socketpair buffers hold the small command frames):
+//
+//   parent -> all workers : RUN
+//   worker -> parent      : halo buffers destined for each peer
+//   parent -> all workers : DELIVER (the buffers routed from its peers)
+//   worker                : scatter + buffer swap, round advances
+//
+// STATS / OUTPUTS / MEMORY are synchronous queries; QUIT ends the worker.
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+
+#include "local/shard_wire.hpp"
+#include "local/sharding.hpp"
+#include "util/require.hpp"
+
+namespace lsample::local {
+
+namespace {
+
+enum class Cmd : std::int32_t {
+  run = 1,
+  deliver = 2,
+  stats = 3,
+  outputs = 4,
+  memory = 5,
+  quit = 6,
+};
+
+void write_all(int fd, const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (len > 0) {
+    // MSG_NOSIGNAL: a dead worker surfaces as EPIPE, not SIGPIPE.
+    const ssize_t k = ::send(fd, p, len, MSG_NOSIGNAL);
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      LS_REQUIRE(false, std::string("shard transport write failed: ") +
+                            std::strerror(errno));
+    }
+    p += k;
+    len -= static_cast<std::size_t>(k);
+  }
+}
+
+void read_all(int fd, void* data, std::size_t len) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  while (len > 0) {
+    const ssize_t k = ::recv(fd, p, len, 0);
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      LS_REQUIRE(false, std::string("shard transport read failed: ") +
+                            std::strerror(errno));
+    }
+    LS_REQUIRE(k > 0, "shard worker closed its transport socket");
+    p += k;
+    len -= static_cast<std::size_t>(k);
+  }
+}
+
+void write_frame(int fd, const std::vector<std::uint8_t>& buf) {
+  const auto len = static_cast<std::int64_t>(buf.size());
+  write_all(fd, &len, sizeof(len));
+  if (!buf.empty()) write_all(fd, buf.data(), buf.size());
+}
+
+std::vector<std::uint8_t> read_frame(int fd) {
+  std::int64_t len = 0;
+  read_all(fd, &len, sizeof(len));
+  LS_REQUIRE(len >= 0, "malformed shard frame: negative length");
+  std::vector<std::uint8_t> buf(static_cast<std::size_t>(len));
+  if (len > 0) read_all(fd, buf.data(), buf.size());
+  return buf;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Parent side
+// ---------------------------------------------------------------------------
+
+class ProcessTransport final : public Transport {
+ public:
+  explicit ProcessTransport(ProcessTransportOptions options)
+      : options_(std::move(options)) {}
+
+  ~ProcessTransport() override {
+    std::vector<std::uint8_t> quit;
+    wire::put<std::int32_t>(quit, static_cast<std::int32_t>(Cmd::quit));
+    for (std::size_t s = 0; s < fds_.size(); ++s) {
+      if (fds_[s] < 0) continue;
+      // Best effort — a crashed worker must not turn teardown into a throw.
+      const auto len = static_cast<std::int64_t>(quit.size());
+      (void)::send(fds_[s], &len, sizeof(len), MSG_NOSIGNAL);
+      (void)::send(fds_[s], quit.data(), quit.size(), MSG_NOSIGNAL);
+      ::close(fds_[s]);
+    }
+    for (const pid_t pid : pids_)
+      if (pid > 0) ::waitpid(pid, nullptr, 0);
+  }
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return "process";
+  }
+  [[nodiscard]] bool remote() const noexcept override { return true; }
+
+  void attach(ShardedNetwork& net) override {
+    LS_REQUIRE(net.options().program_spec.has_value(),
+               "the process transport needs a serialized program "
+               "(ShardedNetwork::Options.program_spec); the factory fills it "
+               "for Luby-Glauber and LocalMetropolis tables — CSP and MIS "
+               "programs are in-process only");
+    std::string path = options_.worker_path;
+    if (path.empty()) {
+      const char* env = std::getenv("LSAMPLE_SHARD_WORKER");
+      if (env != nullptr) path = env;
+    }
+    LS_REQUIRE(!path.empty(),
+               "the process transport needs the shard_worker binary: set "
+               "ProcessTransportOptions.worker_path or $LSAMPLE_SHARD_WORKER");
+
+    const ShardPlan& plan = net.plan();
+    const int S = plan.num_shards();
+    fds_.assign(static_cast<std::size_t>(S), -1);
+    pids_.assign(static_cast<std::size_t>(S), -1);
+    for (int s = 0; s < S; ++s) spawn_worker(path, s);
+    for (int s = 0; s < S; ++s) send_setup(net, s);
+    for (int s = 0; s < S; ++s) {
+      // Workers reply READY (an empty frame) once the shard is built; a
+      // failed rebuild surfaces here instead of deadlocking the first round.
+      const auto ready = read_frame(fds_[static_cast<std::size_t>(s)]);
+      LS_REQUIRE(ready.empty(), "shard worker sent an unexpected READY frame");
+    }
+  }
+
+  void set_engine(ShardedNetwork&, chains::ParallelEngine* engine) override {
+    LS_REQUIRE(engine == nullptr,
+               "the process transport runs one OS process per shard; a "
+               "ParallelEngine cannot drive remote shards — use the "
+               "in-process transport for engine-threaded sharding");
+  }
+
+  void run_round(ShardedNetwork& net) override {
+    const int S = net.plan().num_shards();
+    std::vector<std::uint8_t> run;
+    wire::put<std::int32_t>(run, static_cast<std::int32_t>(Cmd::run));
+    for (int s = 0; s < S; ++s)
+      write_frame(fds_[static_cast<std::size_t>(s)], run);
+
+    // route[t][s]: bytes from shard s destined for shard t.
+    std::vector<std::vector<std::vector<std::uint8_t>>> route(
+        static_cast<std::size_t>(S),
+        std::vector<std::vector<std::uint8_t>>(static_cast<std::size_t>(S)));
+    for (int s = 0; s < S; ++s) {
+      const auto reply = read_frame(fds_[static_cast<std::size_t>(s)]);
+      wire::Reader reader(reply);
+      for (int t = 0; t < S; ++t) {
+        if (t == s) continue;
+        auto buf = reader.get_vector<std::uint8_t>();
+        accumulate_halo_frames(buf, net.halo_);
+        route[static_cast<std::size_t>(t)][static_cast<std::size_t>(s)] =
+            std::move(buf);
+      }
+      LS_REQUIRE(reader.remaining() == 0,
+                 "shard worker round reply has trailing bytes");
+    }
+    for (int t = 0; t < S; ++t) {
+      std::vector<std::uint8_t> deliver;
+      wire::put<std::int32_t>(deliver, static_cast<std::int32_t>(Cmd::deliver));
+      for (int s = 0; s < S; ++s) {
+        if (s == t) continue;
+        wire::put_vector(deliver,
+                         route[static_cast<std::size_t>(t)]
+                              [static_cast<std::size_t>(s)]);
+      }
+      write_frame(fds_[static_cast<std::size_t>(t)], deliver);
+    }
+  }
+
+  void fill_outputs(const ShardedNetwork& net, mrf::Config& x) override {
+    const ShardPlan& plan = net.plan();
+    std::vector<std::uint8_t> cmd;
+    wire::put<std::int32_t>(cmd, static_cast<std::int32_t>(Cmd::outputs));
+    for (int s = 0; s < plan.num_shards(); ++s) {
+      write_frame(fds_[static_cast<std::size_t>(s)], cmd);
+      const auto reply = read_frame(fds_[static_cast<std::size_t>(s)]);
+      wire::Reader reader(reply);
+      const auto spins = reader.get_vector<std::int32_t>();
+      const auto& owned = plan.part.shards[static_cast<std::size_t>(s)];
+      LS_REQUIRE(spins.size() == owned.size(),
+                 "shard worker returned the wrong number of outputs");
+      for (std::size_t i = 0; i < owned.size(); ++i)
+        x[static_cast<std::size_t>(owned[i])] = spins[i];
+    }
+  }
+
+  [[nodiscard]] MessageStats program_stats(
+      const ShardedNetwork& net) const override {
+    // Logically const: a pure query round-trip on the sockets.
+    auto* self = const_cast<ProcessTransport*>(this);
+    MessageStats total;
+    std::vector<std::uint8_t> cmd;
+    wire::put<std::int32_t>(cmd, static_cast<std::int32_t>(Cmd::stats));
+    for (int s = 0; s < net.plan().num_shards(); ++s) {
+      write_frame(self->fds_[static_cast<std::size_t>(s)], cmd);
+      const auto reply = read_frame(self->fds_[static_cast<std::size_t>(s)]);
+      wire::Reader reader(reply);
+      total.messages += reader.get<std::int64_t>();
+      total.bits += reader.get<std::int64_t>();
+    }
+    return total;
+  }
+
+  [[nodiscard]] MemoryReport memory_report(
+      const ShardedNetwork& net) const override {
+    auto* self = const_cast<ProcessTransport*>(this);
+    MemoryReport r;
+    std::vector<std::uint8_t> cmd;
+    wire::put<std::int32_t>(cmd, static_cast<std::int32_t>(Cmd::memory));
+    for (int s = 0; s < net.plan().num_shards(); ++s) {
+      write_frame(self->fds_[static_cast<std::size_t>(s)], cmd);
+      const auto reply = read_frame(self->fds_[static_cast<std::size_t>(s)]);
+      wire::Reader reader(reply);
+      r.slots += reader.get<std::int64_t>();
+      r.capacity_words = reader.get<std::int64_t>();
+      r.arena_bytes += reader.get<std::int64_t>();
+    }
+    return r;
+  }
+
+ private:
+  void spawn_worker(const std::string& path, int shard) {
+    int pair[2];
+    LS_REQUIRE(::socketpair(AF_UNIX, SOCK_STREAM, 0, pair) == 0,
+               std::string("socketpair failed: ") + std::strerror(errno));
+    const pid_t pid = ::fork();
+    LS_REQUIRE(pid >= 0, std::string("fork failed: ") + std::strerror(errno));
+    if (pid == 0) {
+      ::close(pair[0]);
+      // Drop the parent ends of earlier workers' sockets.
+      for (const int fd : fds_)
+        if (fd >= 0) ::close(fd);
+      char fd_arg[16];
+      std::snprintf(fd_arg, sizeof(fd_arg), "%d", pair[1]);
+      ::execl(path.c_str(), path.c_str(), fd_arg,
+              static_cast<char*>(nullptr));
+      std::fprintf(stderr, "shard_worker exec failed: %s: %s\n", path.c_str(),
+                   std::strerror(errno));
+      ::_exit(127);
+    }
+    ::close(pair[1]);
+    fds_[static_cast<std::size_t>(shard)] = pair[0];
+    pids_[static_cast<std::size_t>(shard)] = pid;
+  }
+
+  void send_setup(const ShardedNetwork& net, int shard) {
+    const graph::Graph& g = net.g();
+    const ShardPlan& plan = net.plan();
+    const ShardProgramSpec& spec = *net.options().program_spec;
+
+    std::vector<std::uint8_t> buf;
+    wire::put<std::uint64_t>(buf, net.seed());
+    wire::put<std::int32_t>(buf, shard);
+    wire::put<std::int32_t>(buf, plan.num_shards());
+    wire::put<std::int32_t>(buf, g.num_vertices());
+    // Edges in id order: re-adding them yields the identical CSR, hence the
+    // identical slots, mirror, and plan on the worker side.
+    std::vector<std::int32_t> edges;
+    edges.reserve(2 * static_cast<std::size_t>(g.num_edges()));
+    for (int e = 0; e < g.num_edges(); ++e) {
+      edges.push_back(g.edge(e).u);
+      edges.push_back(g.edge(e).v);
+    }
+    wire::put_vector(buf, edges);
+    wire::put_vector(buf, plan.part.shard_of);
+    wire::put<std::int32_t>(buf, net.options().plan.compact_indices ? 1 : 0);
+    wire::put<std::int64_t>(buf, net.options().plan.compact_index_limit);
+    wire::put<std::int32_t>(buf, static_cast<std::int32_t>(spec.kind));
+    wire::put<std::int32_t>(buf, spec.q);
+    wire::put<std::int32_t>(buf, spec.priority_bits);
+    wire::put_vector(buf, spec.vertex_activity);
+    wire::put_vector(buf, spec.edge_activity);
+    wire::put_vector(buf, spec.x0);
+    write_frame(fds_[static_cast<std::size_t>(shard)], buf);
+  }
+
+  ProcessTransportOptions options_;
+  std::vector<int> fds_;
+  std::vector<pid_t> pids_;
+};
+
+std::unique_ptr<Transport> make_process_transport(
+    ProcessTransportOptions options) {
+  return std::make_unique<ProcessTransport>(std::move(options));
+}
+
+// ---------------------------------------------------------------------------
+// Worker side (the shard_worker binary's whole logic)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+int serve_shard(int fd) {
+  // --- setup frame ---
+  const auto setup = read_frame(fd);
+  wire::Reader reader(setup);
+  const auto seed = reader.get<std::uint64_t>();
+  const auto shard = reader.get<std::int32_t>();
+  const auto num_shards = reader.get<std::int32_t>();
+  const auto n = reader.get<std::int32_t>();
+  const auto edges = reader.get_vector<std::int32_t>();
+  const auto shard_of = reader.get_vector<std::int32_t>();
+  ShardPlanOptions plan_options;
+  plan_options.compact_indices = reader.get<std::int32_t>() != 0;
+  plan_options.compact_index_limit = reader.get<std::int64_t>();
+  ShardProgramSpec spec;
+  spec.kind = static_cast<ShardProgramSpec::Kind>(reader.get<std::int32_t>());
+  spec.q = reader.get<std::int32_t>();
+  spec.priority_bits = reader.get<std::int32_t>();
+  spec.vertex_activity = reader.get_vector<std::uint64_t>();
+  spec.edge_activity = reader.get_vector<std::uint64_t>();
+  spec.x0 = reader.get_vector<std::int32_t>();
+  LS_REQUIRE(reader.remaining() == 0, "setup frame has trailing bytes");
+
+  auto g = std::make_shared<graph::Graph>(n);
+  LS_REQUIRE(edges.size() % 2 == 0, "setup frame edge list has odd length");
+  for (std::size_t i = 0; i < edges.size(); i += 2)
+    g->add_edge(edges[i], edges[i + 1]);
+  const graph::GraphPtr gp = g;
+
+  const graph::Partition part = graph::partition_from_assignment(
+      num_shards, std::vector<int>(shard_of.begin(), shard_of.end()));
+  const ShardPlan plan = make_shard_plan(*gp, part, plan_options);
+  const std::vector<int> mirror = make_mirror_index(*gp);
+  SpecProgram prog = instantiate_spec(spec, gp);
+  prog.table->set_num_threads(1);
+
+  Network net =
+      ShardAccess::make_shard(gp, seed, plan, shard, mirror, prog.table.get());
+  const auto& owned = plan.part.shards[static_cast<std::size_t>(shard)];
+
+  write_frame(fd, {});  // READY
+
+  std::vector<std::vector<std::uint8_t>> send_bufs(
+      static_cast<std::size_t>(num_shards));
+  std::vector<std::vector<std::uint8_t>> recv_bufs(
+      static_cast<std::size_t>(num_shards));
+  for (;;) {
+    const auto frame = read_frame(fd);
+    wire::Reader cmd_reader(frame);
+    const auto cmd = static_cast<Cmd>(cmd_reader.get<std::int32_t>());
+    switch (cmd) {
+      case Cmd::run: {
+        ShardAccess::begin_round(net);
+        ShardAccess::run_vertices(net, 0, owned);
+        ShardAccess::gather_halo(plan, shard, net, send_bufs, nullptr);
+        std::vector<std::uint8_t> reply;
+        for (int t = 0; t < num_shards; ++t)
+          if (t != shard)
+            wire::put_vector(reply, send_bufs[static_cast<std::size_t>(t)]);
+        write_frame(fd, reply);
+        break;
+      }
+      case Cmd::deliver: {
+        for (int s = 0; s < num_shards; ++s)
+          if (s != shard)
+            recv_bufs[static_cast<std::size_t>(s)] =
+                cmd_reader.get_vector<std::uint8_t>();
+        LS_REQUIRE(cmd_reader.remaining() == 0,
+                   "deliver frame has trailing bytes");
+        ShardAccess::scatter_halo(plan, shard, net, recv_bufs);
+        ShardAccess::finish_round(net);
+        break;
+      }
+      case Cmd::stats: {
+        std::vector<std::uint8_t> reply;
+        wire::put<std::int64_t>(reply, ShardAccess::stats(net).messages);
+        wire::put<std::int64_t>(reply, ShardAccess::stats(net).bits);
+        write_frame(fd, reply);
+        break;
+      }
+      case Cmd::outputs: {
+        std::vector<std::int32_t> spins;
+        spins.reserve(owned.size());
+        for (const int v : owned)
+          spins.push_back(prog.table->output(v));
+        std::vector<std::uint8_t> reply;
+        wire::put_vector(reply, spins);
+        write_frame(fd, reply);
+        break;
+      }
+      case Cmd::memory: {
+        const MemoryReport r = net.memory_report();
+        std::vector<std::uint8_t> reply;
+        wire::put<std::int64_t>(reply, r.slots);
+        wire::put<std::int64_t>(reply, r.capacity_words);
+        wire::put<std::int64_t>(reply, r.arena_bytes);
+        write_frame(fd, reply);
+        break;
+      }
+      case Cmd::quit:
+        return 0;
+    }
+  }
+}
+
+}  // namespace
+
+int run_shard_worker(int fd) {
+  try {
+    return serve_shard(fd);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "shard_worker: %s\n", e.what());
+    return 1;
+  }
+}
+
+}  // namespace lsample::local

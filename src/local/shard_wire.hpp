@@ -1,0 +1,80 @@
+// Internal byte-packing primitives shared by the sharded runtime's halo
+// frames (sharding.cpp) and the process transport's socket protocol
+// (process_transport.cpp / shard_worker).  Little-endian, memcpy-based —
+// parent and workers run on the same host, so no byte-order translation.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace lsample::local::wire {
+
+inline void put_bytes(std::vector<std::uint8_t>& buf, const void* data,
+                      std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  buf.insert(buf.end(), p, p + len);
+}
+
+template <typename T>
+inline void put(std::vector<std::uint8_t>& buf, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  put_bytes(buf, &value, sizeof(T));
+}
+
+template <typename T>
+inline void put_vector(std::vector<std::uint8_t>& buf,
+                       const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  put<std::int64_t>(buf, static_cast<std::int64_t>(v.size()));
+  put_bytes(buf, v.data(), v.size() * sizeof(T));
+}
+
+/// Bounds-checked sequential reader over a received buffer.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> buf)
+      : p_(buf.data()), end_(buf.data() + buf.size()) {}
+
+  template <typename T>
+  [[nodiscard]] T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value;
+    take(&value, sizeof(T));
+    return value;
+  }
+
+  template <typename T>
+  [[nodiscard]] std::vector<T> get_vector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto size = get<std::int64_t>();
+    LS_REQUIRE(size >= 0, "malformed shard frame: negative vector size");
+    std::vector<T> v(static_cast<std::size_t>(size));
+    take(v.data(), v.size() * sizeof(T));
+    return v;
+  }
+
+  void take(void* dst, std::size_t len) {
+    LS_REQUIRE(remaining() >= len, "malformed shard frame: truncated");
+    std::memcpy(dst, p_, len);
+    p_ += len;
+  }
+
+  void skip(std::size_t len) {
+    LS_REQUIRE(remaining() >= len, "malformed shard frame: truncated");
+    p_ += len;
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return static_cast<std::size_t>(end_ - p_);
+  }
+
+ private:
+  const std::uint8_t* p_;
+  const std::uint8_t* end_;
+};
+
+}  // namespace lsample::local::wire

@@ -1,0 +1,24 @@
+// shard_worker: serves one shard of a sharded LOCAL network for the
+// process transport.  Spawned by the parent with the worker end of a
+// socketpair as argv[1]; everything else (graph, partition, program)
+// arrives over the socket.  See process_transport.cpp for the protocol.
+#include <cstdio>
+#include <cstdlib>
+
+#include "local/sharding.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr,
+                 "usage: shard_worker <socket-fd>\n"
+                 "(spawned by the process transport, not run by hand)\n");
+    return 2;
+  }
+  char* end = nullptr;
+  const long fd = std::strtol(argv[1], &end, 10);
+  if (end == argv[1] || *end != '\0' || fd < 0) {
+    std::fprintf(stderr, "shard_worker: bad socket fd '%s'\n", argv[1]);
+    return 2;
+  }
+  return lsample::local::run_shard_worker(static_cast<int>(fd));
+}

@@ -1,0 +1,567 @@
+#include "local/sharding.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "chains/engine.hpp"
+#include "local/shard_wire.hpp"
+#include "util/require.hpp"
+
+namespace lsample::local {
+
+// ---------------------------------------------------------------------------
+// ShardPlan
+// ---------------------------------------------------------------------------
+
+ShardPlan make_shard_plan(const graph::Graph& g, graph::Partition part,
+                          const ShardPlanOptions& options) {
+  g.finalize();
+  const auto off = g.csr_offsets();
+  const auto nbr = g.neighbors_flat();
+  const int n = g.num_vertices();
+  const int S = part.num_shards;
+  LS_REQUIRE(static_cast<int>(part.shard_of.size()) == n,
+             "partition does not cover this graph's vertex set");
+
+  ShardPlan plan;
+  plan.part = std::move(part);
+  const auto slots = static_cast<std::int64_t>(g.incident_edges_flat().size());
+  plan.owned_slots.assign(static_cast<std::size_t>(S), 0);
+  plan.halo_slots.assign(static_cast<std::size_t>(S), 0);
+  plan.send_slots.assign(
+      static_cast<std::size_t>(S),
+      std::vector<std::vector<int>>(static_cast<std::size_t>(S)));
+  if (S == 1) {
+    // Identity wiring: empty translations, no boundary.
+    plan.owned_slots[0] = slots;
+    return plan;
+  }
+
+  const auto& shard_of = plan.part.shard_of;
+
+  // Owned local indices: vertices ascending, so each vertex's slot slab is
+  // contiguous in its shard arena and the owned region is in ascending
+  // global slot order (broadcast() and the halo gather both rely on this).
+  std::vector<std::int64_t> out64(static_cast<std::size_t>(slots), 0);
+  std::vector<std::int64_t> in64(static_cast<std::size_t>(slots), 0);
+  for (int v = 0; v < n; ++v) {
+    const auto s = static_cast<std::size_t>(shard_of[static_cast<std::size_t>(v)]);
+    for (int p = off[static_cast<std::size_t>(v)];
+         p < off[static_cast<std::size_t>(v) + 1]; ++p)
+      out64[static_cast<std::size_t>(p)] = plan.owned_slots[s]++;
+  }
+
+  // Reader-side indices: slot p, written by the vertex whose slab holds it,
+  // is read by the shard of nbr[p], the vertex at the other end of the
+  // edge.  Cross-shard slots land in the reader's halo region, after its
+  // owned slots, in ascending global slot order — the same order
+  // gather/scatter walk send_slots in.
+  for (int v = 0; v < n; ++v) {
+    const int owner = shard_of[static_cast<std::size_t>(v)];
+    for (int p = off[static_cast<std::size_t>(v)];
+         p < off[static_cast<std::size_t>(v) + 1]; ++p) {
+      const int reader = shard_of[static_cast<std::size_t>(
+          nbr[static_cast<std::size_t>(p)])];
+      if (owner == reader) {
+        in64[static_cast<std::size_t>(p)] = out64[static_cast<std::size_t>(p)];
+      } else {
+        in64[static_cast<std::size_t>(p)] =
+            plan.owned_slots[static_cast<std::size_t>(reader)] +
+            plan.halo_slots[static_cast<std::size_t>(reader)]++;
+        plan.send_slots[static_cast<std::size_t>(owner)]
+                       [static_cast<std::size_t>(reader)]
+                           .push_back(p);
+        ++plan.cut_slots;
+      }
+    }
+  }
+
+  if (options.compact_indices) {
+    for (int s = 0; s < S; ++s) {
+      const std::int64_t local =
+          plan.owned_slots[static_cast<std::size_t>(s)] +
+          plan.halo_slots[static_cast<std::size_t>(s)];
+      LS_REQUIRE(
+          local <= options.compact_index_limit,
+          "32-bit compact slot indices requested but shard " +
+              std::to_string(s) + " needs " + std::to_string(local) +
+              " local arena slots, exceeding the compact-index limit of " +
+              std::to_string(options.compact_index_limit) +
+              "; use 64-bit indices (compact_indices = false)");
+    }
+    plan.out_local32.assign(out64.begin(), out64.end());
+    plan.in_local32.assign(in64.begin(), in64.end());
+  } else {
+    plan.out_local64 = std::move(out64);
+    plan.in_local64 = std::move(in64);
+  }
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Program specs (process-transport serialization)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void fill_model_spec(ShardProgramSpec& spec, const mrf::Mrf& m,
+                     const mrf::Config& x0) {
+  const int n = m.n();
+  const int q = m.q();
+  spec.q = q;
+  spec.vertex_activity.reserve(static_cast<std::size_t>(n) *
+                               static_cast<std::size_t>(q));
+  for (int v = 0; v < n; ++v)
+    for (const double b : m.vertex_activity(v))
+      spec.vertex_activity.push_back(std::bit_cast<std::uint64_t>(b));
+  spec.edge_activity.reserve(static_cast<std::size_t>(m.g().num_edges()) *
+                             static_cast<std::size_t>(q) *
+                             static_cast<std::size_t>(q));
+  for (int e = 0; e < m.g().num_edges(); ++e) {
+    const mrf::ActivityMatrix& a = m.edge_activity(e);
+    for (int i = 0; i < q; ++i)
+      for (int j = 0; j < q; ++j)
+        spec.edge_activity.push_back(std::bit_cast<std::uint64_t>(a.at(i, j)));
+  }
+  spec.x0.assign(x0.begin(), x0.end());
+}
+
+}  // namespace
+
+ShardProgramSpec make_luby_glauber_spec(const mrf::Mrf& m,
+                                        const mrf::Config& x0,
+                                        LubyGlauberNetOptions options) {
+  ShardProgramSpec spec;
+  spec.kind = ShardProgramSpec::Kind::luby_glauber;
+  spec.priority_bits = options.priority_bits;
+  fill_model_spec(spec, m, x0);
+  return spec;
+}
+
+ShardProgramSpec make_local_metropolis_spec(const mrf::Mrf& m,
+                                            const mrf::Config& x0) {
+  ShardProgramSpec spec;
+  spec.kind = ShardProgramSpec::Kind::local_metropolis;
+  fill_model_spec(spec, m, x0);
+  return spec;
+}
+
+SpecProgram instantiate_spec(const ShardProgramSpec& spec, graph::GraphPtr g) {
+  LS_REQUIRE(g != nullptr, "graph must not be null");
+  const int n = g->num_vertices();
+  const int q = spec.q;
+  LS_REQUIRE(q >= 1, "program spec has no spin domain");
+  LS_REQUIRE(spec.vertex_activity.size() ==
+                 static_cast<std::size_t>(n) * static_cast<std::size_t>(q),
+             "program spec vertex activities do not match the graph");
+  LS_REQUIRE(spec.edge_activity.size() ==
+                 static_cast<std::size_t>(g->num_edges()) *
+                     static_cast<std::size_t>(q) * static_cast<std::size_t>(q),
+             "program spec edge activities do not match the graph");
+  LS_REQUIRE(spec.x0.size() == static_cast<std::size_t>(n),
+             "program spec initial configuration does not match the graph");
+
+  auto m = std::make_unique<mrf::Mrf>(g, q);
+  {
+    std::vector<double> b(static_cast<std::size_t>(q));
+    for (int v = 0; v < n; ++v) {
+      for (int c = 0; c < q; ++c)
+        b[static_cast<std::size_t>(c)] = std::bit_cast<double>(
+            spec.vertex_activity[static_cast<std::size_t>(v) *
+                                     static_cast<std::size_t>(q) +
+                                 static_cast<std::size_t>(c)]);
+      m->set_vertex_activity(v, b);
+    }
+    std::vector<double> entries(static_cast<std::size_t>(q) *
+                                static_cast<std::size_t>(q));
+    for (int e = 0; e < g->num_edges(); ++e) {
+      const std::size_t base = static_cast<std::size_t>(e) * entries.size();
+      for (std::size_t k = 0; k < entries.size(); ++k)
+        entries[k] = std::bit_cast<double>(spec.edge_activity[base + k]);
+      m->set_edge_activity(e, mrf::ActivityMatrix(q, entries));
+    }
+  }
+  mrf::Config x0(spec.x0.begin(), spec.x0.end());
+  auto cm = std::make_shared<const mrf::CompiledMrf>(*m);
+
+  SpecProgram out;
+  switch (spec.kind) {
+    case ShardProgramSpec::Kind::luby_glauber: {
+      LubyGlauberNetOptions opt;
+      opt.priority_bits = spec.priority_bits;
+      out.table = std::make_unique<LubyGlauberTable>(std::move(cm), x0, opt);
+      break;
+    }
+    case ShardProgramSpec::Kind::local_metropolis:
+      out.table = std::make_unique<LocalMetropolisTable>(std::move(cm), x0);
+      break;
+    default:
+      LS_REQUIRE(false, "unknown program spec kind");
+  }
+  out.mrf = std::move(m);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ShardAccess — the Network shard-mode bridge
+// ---------------------------------------------------------------------------
+
+Network ShardAccess::make_shard(graph::GraphPtr g, std::uint64_t seed,
+                                const ShardPlan& plan, int shard,
+                                std::span<const int> mirror,
+                                NodeProgramTable* table) {
+  LS_REQUIRE(shard >= 0 && shard < plan.num_shards(), "shard id out of range");
+  Network::ShardBinding binding;
+  binding.owned_vertices =
+      plan.part.shards[static_cast<std::size_t>(shard)];
+  binding.mirror = mirror;
+  binding.out_local64 = plan.out_local64;
+  binding.in_local64 = plan.in_local64;
+  binding.out_local32 = plan.out_local32;
+  binding.in_local32 = plan.in_local32;
+  binding.local_slots = plan.owned_slots[static_cast<std::size_t>(shard)] +
+                        plan.halo_slots[static_cast<std::size_t>(shard)];
+  binding.table = table;
+  return Network(std::move(g), seed, binding);
+}
+
+void ShardAccess::set_threads(Network& net, int threads) {
+  net.worker_stats_.assign(static_cast<std::size_t>(threads), {});
+}
+
+void ShardAccess::begin_round(Network& net) {
+  for (auto& ws : net.worker_stats_) ws = {};
+}
+
+void ShardAccess::run_vertices(Network& net, int thread,
+                               std::span<const int> vertices) {
+  net.run_vertex_list(thread, vertices);
+}
+
+void ShardAccess::finish_round(Network& net) { net.finish_round(); }
+
+const MessageStats& ShardAccess::stats(const Network& net) {
+  return net.stats_;
+}
+
+void ShardAccess::gather_halo(const ShardPlan& plan, int shard,
+                              const Network& net,
+                              std::vector<std::vector<std::uint8_t>>& bufs,
+                              HaloStats* halo) {
+  const int S = plan.num_shards();
+  const auto cap = static_cast<std::size_t>(net.cap_);
+  for (int t = 0; t < S; ++t) {
+    if (t == shard) continue;
+    auto& buf = bufs[static_cast<std::size_t>(t)];
+    buf.clear();
+    for (const int p : plan.send_slots[static_cast<std::size_t>(shard)]
+                                      [static_cast<std::size_t>(t)]) {
+      const std::size_t lp = net.out_local(static_cast<std::size_t>(p));
+      const auto meta = net.next_meta_[lp];
+      wire::put<std::int32_t>(buf, meta.words);
+      wire::put<std::int32_t>(buf, meta.bits);
+      if (meta.words > 0)
+        wire::put_bytes(buf, net.next_words_.data() + lp * cap,
+                        static_cast<std::size_t>(meta.words) *
+                            sizeof(std::uint64_t));
+      if (halo != nullptr) {
+        halo->wire_bytes +=
+            8 + (meta.words > 0 ? std::int64_t{8} * meta.words : 0);
+        if (meta.words >= 0) {
+          ++halo->halo_messages;
+          halo->semantic_bits += meta.bits;
+        }
+      }
+    }
+  }
+}
+
+void ShardAccess::scatter_halo(
+    const ShardPlan& plan, int shard, Network& net,
+    const std::vector<std::vector<std::uint8_t>>& bufs) {
+  const int S = plan.num_shards();
+  const auto cap = static_cast<std::size_t>(net.cap_);
+  for (int s = 0; s < S; ++s) {
+    if (s == shard) continue;
+    wire::Reader reader(bufs[static_cast<std::size_t>(s)]);
+    for (const int p : plan.send_slots[static_cast<std::size_t>(s)]
+                                      [static_cast<std::size_t>(shard)]) {
+      const auto words = reader.get<std::int32_t>();
+      const auto bits = reader.get<std::int32_t>();
+      LS_REQUIRE(words <= net.cap_,
+                 "halo frame exceeds this arena's message capacity");
+      const std::size_t lp = net.in_local(static_cast<std::size_t>(p));
+      net.next_meta_[lp] = {words, bits};
+      if (words > 0)
+        reader.take(net.next_words_.data() + lp * cap,
+                    static_cast<std::size_t>(words) * sizeof(std::uint64_t));
+    }
+    LS_REQUIRE(reader.remaining() == 0,
+               "halo frame has trailing bytes: sender/receiver plans differ");
+  }
+}
+
+void accumulate_halo_frames(std::span<const std::uint8_t> buf,
+                            HaloStats& halo) {
+  wire::Reader reader(buf);
+  while (reader.remaining() > 0) {
+    const auto words = reader.get<std::int32_t>();
+    const auto bits = reader.get<std::int32_t>();
+    if (words > 0)
+      reader.skip(static_cast<std::size_t>(words) * sizeof(std::uint64_t));
+    halo.wire_bytes += 8 + (words > 0 ? std::int64_t{8} * words : 0);
+    if (words >= 0) {
+      ++halo.halo_messages;
+      halo.semantic_bits += bits;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// InProcessTransport — shards as engine jobs in one address space
+// ---------------------------------------------------------------------------
+
+class InProcessTransport final : public Transport {
+ public:
+  [[nodiscard]] const char* name() const noexcept override {
+    return "in_process";
+  }
+
+  void attach(ShardedNetwork& net) override {
+    const ShardPlan& plan = net.plan();
+    const int S = plan.num_shards();
+    shards_.reserve(static_cast<std::size_t>(S));
+    for (int s = 0; s < S; ++s)
+      shards_.push_back(ShardAccess::make_shard(
+          net.graph_ptr(), net.seed(), plan, s, net.mirror(), net.table()));
+    send_.assign(static_cast<std::size_t>(S),
+                 std::vector<std::vector<std::uint8_t>>(
+                     static_cast<std::size_t>(S)));
+    recv_ = send_;
+    starts_.assign(static_cast<std::size_t>(S) + 1, 0);
+    for (int s = 0; s < S; ++s)
+      starts_[static_cast<std::size_t>(s) + 1] =
+          starts_[static_cast<std::size_t>(s)] +
+          static_cast<int>(plan.part.shards[static_cast<std::size_t>(s)].size());
+    net.table()->set_num_threads(1);
+  }
+
+  void set_engine(ShardedNetwork& net,
+                  chains::ParallelEngine* engine) override {
+    engine_ = engine;
+    const int threads = engine_ != nullptr ? engine_->num_threads() : 1;
+    for (auto& shard : shards_) ShardAccess::set_threads(shard, threads);
+    net.table()->set_num_threads(threads);
+  }
+
+  void run_round(ShardedNetwork& net) override {
+    const ShardPlan& plan = net.plan();
+    const int S = plan.num_shards();
+    for (auto& shard : shards_) ShardAccess::begin_round(shard);
+
+    // One engine job over the concatenation of the shard vertex lists —
+    // "shards as engine jobs".  Chunk boundaries are deterministic, every
+    // write is slot- or vertex-owned, and per-(shard, thread) stats are
+    // integer sums, so the trajectory and MessageStats are thread-count
+    // invariant exactly as in the single-arena network.
+    const int total = starts_[static_cast<std::size_t>(S)];
+    const auto job = [&](int thread, int begin, int end) {
+      int pos = begin;
+      while (pos < end) {
+        const auto it =
+            std::upper_bound(starts_.begin(), starts_.end(), pos);
+        const int s = static_cast<int>(it - starts_.begin()) - 1;
+        const int run_end =
+            std::min(end, starts_[static_cast<std::size_t>(s) + 1]);
+        const auto& verts = plan.part.shards[static_cast<std::size_t>(s)];
+        ShardAccess::run_vertices(
+            shards_[static_cast<std::size_t>(s)], thread,
+            std::span<const int>(verts).subspan(
+                static_cast<std::size_t>(pos -
+                                         starts_[static_cast<std::size_t>(s)]),
+                static_cast<std::size_t>(run_end - pos)));
+        pos = run_end;
+      }
+    };
+    chains::run_partitioned(engine_, total, job);
+
+    if (S > 1) {
+      for (int s = 0; s < S; ++s)
+        ShardAccess::gather_halo(plan, s, shards_[static_cast<std::size_t>(s)],
+                                 send_[static_cast<std::size_t>(s)],
+                                 &net.halo_);
+      // The in-process "wire" is a buffer swap; byte accounting above is
+      // what a real transport would serialize.
+      for (int t = 0; t < S; ++t)
+        for (int s = 0; s < S; ++s)
+          if (s != t)
+            recv_[static_cast<std::size_t>(t)][static_cast<std::size_t>(s)]
+                .swap(send_[static_cast<std::size_t>(s)]
+                           [static_cast<std::size_t>(t)]);
+      for (int t = 0; t < S; ++t)
+        ShardAccess::scatter_halo(plan, t,
+                                  shards_[static_cast<std::size_t>(t)],
+                                  recv_[static_cast<std::size_t>(t)]);
+    }
+    for (auto& shard : shards_) ShardAccess::finish_round(shard);
+  }
+
+  void fill_outputs(const ShardedNetwork& net, mrf::Config& x) override {
+    const NodeProgramTable* table = net.table();
+    for (std::size_t v = 0; v < x.size(); ++v)
+      x[v] = table->output(static_cast<int>(v));
+  }
+
+  [[nodiscard]] MessageStats program_stats(
+      const ShardedNetwork&) const override {
+    MessageStats s;
+    for (const auto& shard : shards_) {
+      s.messages += ShardAccess::stats(shard).messages;
+      s.bits += ShardAccess::stats(shard).bits;
+    }
+    return s;
+  }
+
+  [[nodiscard]] MemoryReport memory_report(
+      const ShardedNetwork&) const override {
+    MemoryReport r;
+    for (const auto& shard : shards_) {
+      const MemoryReport sr = shard.memory_report();
+      r.slots += sr.slots;
+      r.capacity_words = sr.capacity_words;
+      r.arena_bytes += sr.arena_bytes;
+    }
+    return r;
+  }
+
+ private:
+  std::vector<Network> shards_;
+  std::vector<std::vector<std::vector<std::uint8_t>>> send_, recv_;
+  std::vector<int> starts_;  ///< concat offsets of the shard vertex lists
+  chains::ParallelEngine* engine_ = nullptr;
+};
+
+std::unique_ptr<Transport> make_in_process_transport() {
+  return std::make_unique<InProcessTransport>();
+}
+
+// ---------------------------------------------------------------------------
+// ShardedNetwork
+// ---------------------------------------------------------------------------
+
+ShardedNetwork::ShardedNetwork(graph::GraphPtr g, std::uint64_t seed,
+                               std::unique_ptr<NodeProgramTable> table,
+                               Options options,
+                               std::unique_ptr<Transport> transport)
+    : graph_(std::move(g)),
+      seed_(seed),
+      table_(std::move(table)),
+      options_(std::move(options)) {
+  LS_REQUIRE(graph_ != nullptr, "graph must not be null");
+  LS_REQUIRE(table_ != nullptr, "sharded networks require a program table");
+  plan_ = make_shard_plan(
+      *graph_, graph::make_partition(*graph_, options_.partition),
+      options_.plan);
+  quality_ = graph::partition_quality(*graph_, plan_.part);
+  mirror_ = make_mirror_index(*graph_);
+  halo_.cut_slots = plan_.cut_slots;
+  transport_ =
+      transport != nullptr ? std::move(transport) : make_in_process_transport();
+  transport_->attach(*this);
+}
+
+void ShardedNetwork::set_engine(chains::ParallelEngine* engine) {
+  transport_->set_engine(*this, engine);
+  engine_ = engine;
+}
+
+void ShardedNetwork::run_round() {
+  transport_->run_round(*this);
+  ++round_;
+  ++halo_.rounds;
+}
+
+void ShardedNetwork::run_rounds(std::int64_t rounds) {
+  for (std::int64_t r = 0; r < rounds; ++r) run_round();
+}
+
+MessageStats ShardedNetwork::stats() const {
+  MessageStats s = transport_->program_stats(*this);
+  s.rounds = round_;
+  return s;
+}
+
+mrf::Config ShardedNetwork::outputs() const {
+  mrf::Config x(static_cast<std::size_t>(graph_->num_vertices()));
+  transport_->fill_outputs(*this, x);
+  return x;
+}
+
+MemoryReport ShardedNetwork::memory_report() const {
+  MemoryReport r = transport_->memory_report(*this);
+  r.mirror_bytes +=
+      static_cast<std::int64_t>(mirror_.size() * sizeof(int));
+  r.translation_bytes += plan_.translation_bytes();
+  std::int64_t vertex_list = static_cast<std::int64_t>(
+      plan_.part.shard_of.size() * sizeof(int));
+  for (const auto& verts : plan_.part.shards)
+    vertex_list += static_cast<std::int64_t>(verts.size() * sizeof(int));
+  r.vertex_list_bytes += vertex_list;
+  r.graph_csr_bytes = static_cast<std::int64_t>(
+      (graph_->csr_offsets().size() + graph_->incident_edges_flat().size() +
+       graph_->neighbors_flat().size()) *
+      sizeof(int));
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Factories
+// ---------------------------------------------------------------------------
+
+ShardedNetwork make_sharded_luby_glauber_network(
+    std::shared_ptr<const mrf::CompiledMrf> cm, const mrf::Config& x0,
+    std::uint64_t seed, ShardedNetwork::Options options,
+    LubyGlauberNetOptions net_options, std::unique_ptr<Transport> transport) {
+  LS_REQUIRE(cm != nullptr, "compiled view must not be null");
+  auto g = cm->mrf().graph_ptr();
+  if (transport != nullptr && transport->remote() &&
+      !options.program_spec.has_value())
+    options.program_spec = make_luby_glauber_spec(cm->mrf(), x0, net_options);
+  auto table = std::make_unique<LubyGlauberTable>(std::move(cm), x0,
+                                                  net_options);
+  return ShardedNetwork(std::move(g), seed, std::move(table),
+                        std::move(options), std::move(transport));
+}
+
+ShardedNetwork make_sharded_luby_glauber_network(
+    const mrf::Mrf& m, const mrf::Config& x0, std::uint64_t seed,
+    ShardedNetwork::Options options, LubyGlauberNetOptions net_options,
+    std::unique_ptr<Transport> transport) {
+  return make_sharded_luby_glauber_network(
+      std::make_shared<const mrf::CompiledMrf>(m), x0, seed,
+      std::move(options), net_options, std::move(transport));
+}
+
+ShardedNetwork make_sharded_local_metropolis_network(
+    std::shared_ptr<const mrf::CompiledMrf> cm, const mrf::Config& x0,
+    std::uint64_t seed, ShardedNetwork::Options options,
+    std::unique_ptr<Transport> transport) {
+  LS_REQUIRE(cm != nullptr, "compiled view must not be null");
+  auto g = cm->mrf().graph_ptr();
+  if (transport != nullptr && transport->remote() &&
+      !options.program_spec.has_value())
+    options.program_spec = make_local_metropolis_spec(cm->mrf(), x0);
+  auto table = std::make_unique<LocalMetropolisTable>(std::move(cm), x0);
+  return ShardedNetwork(std::move(g), seed, std::move(table),
+                        std::move(options), std::move(transport));
+}
+
+ShardedNetwork make_sharded_local_metropolis_network(
+    const mrf::Mrf& m, const mrf::Config& x0, std::uint64_t seed,
+    ShardedNetwork::Options options, std::unique_ptr<Transport> transport) {
+  return make_sharded_local_metropolis_network(
+      std::make_shared<const mrf::CompiledMrf>(m), x0, seed,
+      std::move(options), std::move(transport));
+}
+
+}  // namespace lsample::local

@@ -1,0 +1,325 @@
+// Sharded LOCAL runtime: the network partitioned into per-shard message
+// arenas exchanging only boundary-edge ("halo") slots per round.
+//
+// The paper's model IS a distributed system; this module makes the
+// simulator one.  A graph::Partition assigns every vertex to a shard; each
+// shard owns the arena slots of its vertices (a contiguous re-indexing of
+// the global CSR slots) plus a halo region holding the boundary slots it
+// reads from other shards.  One round is:
+//
+//   1. every shard runs its vertices' node programs (writes land in the
+//      shard's own next-round buffer),
+//   2. HALO EXCHANGE: for every ordered shard pair (s, t), the boundary
+//      slots owned by s and read by t are gathered into a byte buffer,
+//      moved by the Transport, and scattered into t's halo region,
+//   3. every shard swaps buffers and the round advances.
+//
+// Because slots are CSR-indexed, the gather/scatter walks a precomputed
+// ascending slot list per pair — no per-message routing.  And because every
+// counter-RNG draw is a pure function of (node/edge id, round), the sharded
+// trajectory is BIT-IDENTICAL to the single-arena local::Network at any
+// shard count and any thread count, with identical MessageStats — the tests
+// assert both.  What sharding adds is an honest measurement: HaloStats
+// counts the bytes that actually cross a shard boundary, which is the
+// paper's end-of-§1.1 O(log n)-bits-per-message claim measured on the wire
+// (bench/fig_e9_message_bits).
+//
+// Transports:
+//   * InProcessTransport (default) — shards share one address space and one
+//     program table; rounds run as ParallelEngine jobs over the
+//     concatenated shard vertex lists; the halo exchange is a buffer swap.
+//   * ProcessTransport — one shard_worker process per shard over
+//     socketpairs; workers rebuild the graph, partition, and program from a
+//     serialized ShardProgramSpec bit-exactly, and the parent routes halo
+//     frames between them (star topology).  MRF tables only (CSP and MIS
+//     state is not serialized); incompatible with an attached engine.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/partition.hpp"
+#include "local/network.hpp"
+#include "local/node_programs.hpp"
+#include "mrf/compiled.hpp"
+#include "mrf/mrf.hpp"
+
+namespace lsample::chains {
+class ParallelEngine;
+}  // namespace lsample::chains
+
+namespace lsample::local {
+
+class ShardedNetwork;
+class InProcessTransport;
+class ProcessTransport;
+
+struct ShardPlanOptions {
+  /// Store the global->local slot translations as 32-bit ints (halves the
+  /// plan's footprint at n·Δ scale); rejected with a named error when a
+  /// shard's arena needs more local slots than the limit below.
+  bool compact_indices = false;
+  /// The largest local arena 32-bit compact indices may address.  A test
+  /// hook — leave at the default (2^31 - 1) in real use.
+  std::int64_t compact_index_limit = std::numeric_limits<std::int32_t>::max();
+};
+
+/// Global wiring of one partition: local arena sizes, the global-slot ->
+/// local-arena translations, and the per-ordered-pair boundary slot lists
+/// the halo exchange walks.  Deterministic function of (graph, partition,
+/// options) — shard worker processes rebuild the identical plan from the
+/// shard assignment alone.
+struct ShardPlan {
+  graph::Partition part;
+  /// Per shard: owned directed slots / halo slots read from other shards.
+  /// A shard's arena holds owned_slots[s] + halo_slots[s] slots: owned
+  /// slots first (ascending global slot id, so a vertex's slab stays
+  /// contiguous), then halo slots (ascending global slot id).
+  std::vector<std::int64_t> owned_slots;
+  std::vector<std::int64_t> halo_slots;
+  /// Translations, global slot -> local arena index; exactly one pair is
+  /// populated when num_shards > 1 (both empty = identity, the single-shard
+  /// case).  out_local indexes the OWNER shard's arena, in_local the READER
+  /// shard's arena.
+  std::vector<std::int64_t> out_local64, in_local64;
+  std::vector<std::int32_t> out_local32, in_local32;
+  /// send_slots[s][t]: global slots owned by shard s and read by shard t,
+  /// ascending (empty when s == t).  Gather and scatter walk the same list,
+  /// so frames need no addressing.
+  std::vector<std::vector<std::vector<int>>> send_slots;
+  std::int64_t cut_slots = 0;  ///< total directed boundary slots
+
+  [[nodiscard]] int num_shards() const noexcept { return part.num_shards; }
+  [[nodiscard]] std::int64_t translation_bytes() const noexcept {
+    return static_cast<std::int64_t>(
+        (out_local64.size() + in_local64.size()) * sizeof(std::int64_t) +
+        (out_local32.size() + in_local32.size()) * sizeof(std::int32_t));
+  }
+};
+
+[[nodiscard]] ShardPlan make_shard_plan(const graph::Graph& g,
+                                        graph::Partition part,
+                                        const ShardPlanOptions& options = {});
+
+/// Everything a shard_worker process needs to rebuild the model and program
+/// table bit-exactly: q, the program kind and parameters, activities as raw
+/// IEEE-754 bit patterns (no decimal round-trip), and the initial spins.
+/// The graph's edge list and the shard assignment travel separately.
+struct ShardProgramSpec {
+  enum class Kind : std::int32_t {
+    luby_glauber = 1,
+    local_metropolis = 2,
+  };
+  Kind kind = Kind::luby_glauber;
+  std::int32_t q = 0;
+  std::int32_t priority_bits = kPriorityBits;  ///< luby_glauber only
+  std::vector<std::uint64_t> vertex_activity;  ///< n*q doubles, bit-cast
+  std::vector<std::uint64_t> edge_activity;    ///< m*q*q doubles, bit-cast
+  std::vector<std::int32_t> x0;
+};
+
+[[nodiscard]] ShardProgramSpec make_luby_glauber_spec(
+    const mrf::Mrf& m, const mrf::Config& x0,
+    LubyGlauberNetOptions options = {});
+[[nodiscard]] ShardProgramSpec make_local_metropolis_spec(
+    const mrf::Mrf& m, const mrf::Config& x0);
+
+/// A spec instantiated in this process: the rebuilt Mrf must outlive the
+/// table's compiled view, so both travel together.
+struct SpecProgram {
+  std::unique_ptr<mrf::Mrf> mrf;
+  std::unique_ptr<NodeProgramTable> table;
+};
+[[nodiscard]] SpecProgram instantiate_spec(const ShardProgramSpec& spec,
+                                           graph::GraphPtr g);
+
+/// Strategy executing rounds of a ShardedNetwork: run every shard's node
+/// programs, move the halo bytes, advance the round.  Implementations live
+/// behind make_in_process_transport / make_process_transport.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+  /// True when shard state lives outside this process.
+  [[nodiscard]] virtual bool remote() const noexcept { return false; }
+
+  /// Called once, from the ShardedNetwork constructor.
+  virtual void attach(ShardedNetwork& net) = 0;
+  virtual void run_round(ShardedNetwork& net) = 0;
+  /// Writes every vertex's current output spin into x (sized n).
+  virtual void fill_outputs(const ShardedNetwork& net, mrf::Config& x) = 0;
+  /// Messages/bits sent by node programs so far (rounds left at 0; the
+  /// network fills it).
+  [[nodiscard]] virtual MessageStats program_stats(
+      const ShardedNetwork& net) const = 0;
+  virtual void set_engine(ShardedNetwork& net,
+                          chains::ParallelEngine* engine) = 0;
+  [[nodiscard]] virtual MemoryReport memory_report(
+      const ShardedNetwork& net) const = 0;
+};
+
+[[nodiscard]] std::unique_ptr<Transport> make_in_process_transport();
+
+struct ProcessTransportOptions {
+  /// Path to the shard_worker binary; empty = $LSAMPLE_SHARD_WORKER.
+  std::string worker_path;
+};
+[[nodiscard]] std::unique_ptr<Transport> make_process_transport(
+    ProcessTransportOptions options = {});
+
+/// The sharded counterpart of local::Network: same observable behavior
+/// (round-for-round bit-identical trajectory and MessageStats), plus
+/// HaloStats and a partition quality report.  Table programs only — the
+/// per-vertex NodeProgram fallback stays on the single-arena Network.
+class ShardedNetwork {
+ public:
+  struct Options {
+    graph::PartitionOptions partition;
+    ShardPlanOptions plan;
+    /// Required by the process transport (ignored in-process): the
+    /// serialized program the shard workers rebuild.
+    std::optional<ShardProgramSpec> program_spec;
+  };
+
+  /// Builds the partition, plan, and shards, and attaches the transport
+  /// (in-process when null).  The table must not be null.
+  ShardedNetwork(graph::GraphPtr g, std::uint64_t seed,
+                 std::unique_ptr<NodeProgramTable> table, Options options,
+                 std::unique_ptr<Transport> transport = nullptr);
+
+  ShardedNetwork(ShardedNetwork&&) = default;
+  ShardedNetwork& operator=(ShardedNetwork&&) = delete;
+
+  /// Attaches a ParallelEngine (in-process transport only): shards run as
+  /// engine jobs over the concatenated shard vertex lists, bit-identical at
+  /// any thread count.  nullptr restores sequential execution.
+  void set_engine(chains::ParallelEngine* engine);
+
+  void run_round();
+  void run_rounds(std::int64_t rounds);
+
+  [[nodiscard]] std::int64_t round() const noexcept { return round_; }
+  /// Bit-identical to the single-arena Network's stats after the same
+  /// number of rounds.
+  [[nodiscard]] MessageStats stats() const;
+  [[nodiscard]] const HaloStats& halo_stats() const noexcept { return halo_; }
+  [[nodiscard]] mrf::Config outputs() const;
+
+  [[nodiscard]] const graph::Graph& g() const noexcept { return *graph_; }
+  [[nodiscard]] graph::GraphPtr graph_ptr() const noexcept { return graph_; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] int num_shards() const noexcept { return plan_.num_shards(); }
+  [[nodiscard]] const ShardPlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] const graph::PartitionQuality& quality() const noexcept {
+    return quality_;
+  }
+  [[nodiscard]] std::span<const int> mirror() const noexcept {
+    return mirror_;
+  }
+  [[nodiscard]] NodeProgramTable* table() noexcept { return table_.get(); }
+  [[nodiscard]] const NodeProgramTable* table() const noexcept {
+    return table_.get();
+  }
+  [[nodiscard]] const Options& options() const noexcept { return options_; }
+  [[nodiscard]] chains::ParallelEngine* engine() const noexcept {
+    return engine_;
+  }
+  [[nodiscard]] const char* transport_name() const noexcept {
+    return transport_->name();
+  }
+
+  /// Aggregate footprint: every shard arena (in-process), the shared mirror
+  /// and translation tables, and the graph CSR counted once.  With the
+  /// process transport, worker-side arenas are not visible here.
+  [[nodiscard]] MemoryReport memory_report() const;
+
+ private:
+  friend class InProcessTransport;
+  friend class ProcessTransport;
+
+  graph::GraphPtr graph_;
+  std::uint64_t seed_ = 0;
+  std::unique_ptr<NodeProgramTable> table_;
+  Options options_;
+  ShardPlan plan_;
+  graph::PartitionQuality quality_;
+  std::vector<int> mirror_;  ///< one mirror index shared by every shard
+  std::unique_ptr<Transport> transport_;
+  chains::ParallelEngine* engine_ = nullptr;
+  std::int64_t round_ = 0;
+  HaloStats halo_;
+};
+
+/// Internal bridge giving the sharded runtime (and shard workers) access to
+/// Network's shard mode.  Not for general use.
+struct ShardAccess {
+  /// Builds shard `shard`'s Network over the plan (arena sized owned +
+  /// halo, translations bound, mirror shared, table externally owned).
+  [[nodiscard]] static Network make_shard(graph::GraphPtr g,
+                                          std::uint64_t seed,
+                                          const ShardPlan& plan, int shard,
+                                          std::span<const int> mirror,
+                                          NodeProgramTable* table);
+  static void set_threads(Network& net, int threads);
+  /// Resets per-round worker stats; call once per shard per round before
+  /// any run_vertices call.
+  static void begin_round(Network& net);
+  static void run_vertices(Network& net, int thread,
+                           std::span<const int> vertices);
+  static void finish_round(Network& net);
+  [[nodiscard]] static const MessageStats& stats(const Network& net);
+
+  /// Serializes shard `shard`'s outgoing boundary slots (this round's
+  /// writes) into bufs[t] for every peer t; accumulates into *halo when
+  /// non-null.  Frame per slot: int32 words (-1 = empty), int32 bits, then
+  /// words * 8 payload bytes.
+  static void gather_halo(const ShardPlan& plan, int shard,
+                          const Network& net,
+                          std::vector<std::vector<std::uint8_t>>& bufs,
+                          HaloStats* halo);
+  /// Writes the frames received from each peer s (bufs[s]) into shard
+  /// `shard`'s halo region.
+  static void scatter_halo(const ShardPlan& plan, int shard, Network& net,
+                           const std::vector<std::vector<std::uint8_t>>& bufs);
+};
+
+/// Walks a gather_halo byte buffer and accumulates its traffic into halo
+/// (the process transport's parent-side accounting).
+void accumulate_halo_frames(std::span<const std::uint8_t> buf,
+                            HaloStats& halo);
+
+/// The shard_worker binary's entry point: serves one shard over the given
+/// socket until the parent sends quit.  Returns a process exit code.
+int run_shard_worker(int fd);
+
+/// Factories mirroring make_luby_glauber_network /
+/// make_local_metropolis_network.  The Mrf (or the shared view's Mrf) must
+/// outlive the network.  When the transport is remote, the program spec is
+/// filled automatically.
+[[nodiscard]] ShardedNetwork make_sharded_luby_glauber_network(
+    std::shared_ptr<const mrf::CompiledMrf> cm, const mrf::Config& x0,
+    std::uint64_t seed, ShardedNetwork::Options options = {},
+    LubyGlauberNetOptions net_options = {},
+    std::unique_ptr<Transport> transport = nullptr);
+[[nodiscard]] ShardedNetwork make_sharded_luby_glauber_network(
+    const mrf::Mrf& m, const mrf::Config& x0, std::uint64_t seed,
+    ShardedNetwork::Options options = {},
+    LubyGlauberNetOptions net_options = {},
+    std::unique_ptr<Transport> transport = nullptr);
+[[nodiscard]] ShardedNetwork make_sharded_local_metropolis_network(
+    std::shared_ptr<const mrf::CompiledMrf> cm, const mrf::Config& x0,
+    std::uint64_t seed, ShardedNetwork::Options options = {},
+    std::unique_ptr<Transport> transport = nullptr);
+[[nodiscard]] ShardedNetwork make_sharded_local_metropolis_network(
+    const mrf::Mrf& m, const mrf::Config& x0, std::uint64_t seed,
+    ShardedNetwork::Options options = {},
+    std::unique_ptr<Transport> transport = nullptr);
+
+}  // namespace lsample::local

@@ -1,0 +1,526 @@
+// The sharded LOCAL runtime: partitions must be well-formed, the shard plan
+// must be a per-shard bijection, and — the load-bearing contract — the
+// sharded network must reproduce the single-arena network BIT FOR BIT (same
+// trajectory, same MessageStats) at every tested shard count and thread
+// count, for every node-program table.  Also covers the 32-bit compact
+// index option, the memory report, the facade's num_shards path with its
+// named validation errors, and a ProcessTransport round-trip smoke test.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <numeric>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "chains/engine.hpp"
+#include "chains/init.hpp"
+#include "core/sampler.hpp"
+#include "csp/csp_models.hpp"
+#include "graph/generators.hpp"
+#include "graph/partition.hpp"
+#include "local/csp_node_programs.hpp"
+#include "local/luby_mis.hpp"
+#include "local/node_programs.hpp"
+#include "local/sharding.hpp"
+#include "mrf/models.hpp"
+
+namespace lsample::local {
+namespace {
+
+template <typename F>
+std::string thrown_message(F&& f) {
+  try {
+    f();
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+  return "";
+}
+
+std::vector<graph::GraphPtr> test_graphs() {
+  util::Rng rng(17);
+  return {graph::make_torus(6, 6), graph::make_random_regular(30, 4, rng),
+          graph::make_path(13)};
+}
+
+// ---------------------------------------------------------------------------
+// Partition invariants
+// ---------------------------------------------------------------------------
+
+TEST(ShardedPartition, InvariantsAcrossGraphsAndShardCounts) {
+  for (const auto& g : test_graphs()) {
+    const int n = g->num_vertices();
+    for (int S : {1, 2, 4, 7}) {
+      graph::PartitionOptions opt;
+      opt.num_shards = S;
+      const graph::Partition part = graph::make_partition(*g, opt);
+      ASSERT_EQ(part.num_shards, S);
+      ASSERT_EQ(static_cast<int>(part.shard_of.size()), n);
+      ASSERT_EQ(static_cast<int>(part.shards.size()), S);
+      // The shard lists are ascending, disjoint, and cover [0, n).
+      std::set<int> seen;
+      for (int s = 0; s < S; ++s) {
+        ASSERT_FALSE(part.shards[s].empty()) << "empty shard " << s;
+        ASSERT_TRUE(std::is_sorted(part.shards[s].begin(),
+                                   part.shards[s].end()));
+        for (int v : part.shards[s]) {
+          EXPECT_EQ(part.shard_of[static_cast<std::size_t>(v)], s);
+          EXPECT_TRUE(seen.insert(v).second) << "vertex " << v << " twice";
+        }
+      }
+      EXPECT_EQ(static_cast<int>(seen.size()), n);
+      const graph::PartitionQuality q = graph::partition_quality(*g, part);
+      EXPECT_EQ(q.cut_edges + q.internal_edges, g->num_edges());
+      EXPECT_GE(q.min_shard_size, 1);
+      if (S == 1) {
+        EXPECT_EQ(q.cut_edges, 0);
+        EXPECT_DOUBLE_EQ(q.balance, 1.0);
+      }
+      EXPECT_FALSE(graph::describe(q).empty());
+    }
+  }
+}
+
+TEST(ShardedPartition, RefinementDoesNotWorsenTheContiguousCut) {
+  util::Rng rng(5);
+  const auto g = graph::make_random_regular(48, 6, rng);
+  graph::PartitionOptions raw;
+  raw.num_shards = 4;
+  raw.refine = false;
+  graph::PartitionOptions refined = raw;
+  refined.refine = true;
+  const auto q_raw = graph::partition_quality(*g, graph::make_partition(*g, raw));
+  const auto q_ref =
+      graph::partition_quality(*g, graph::make_partition(*g, refined));
+  EXPECT_LE(q_ref.cut_edges, q_raw.cut_edges);
+}
+
+TEST(ShardedPartition, NamedValidationErrors) {
+  const auto g = graph::make_cycle(8);
+  graph::PartitionOptions zero;
+  zero.num_shards = 0;
+  EXPECT_NE(thrown_message([&] { (void)graph::make_partition(*g, zero); })
+                .find("num_shards must be at least 1"),
+            std::string::npos);
+  graph::PartitionOptions too_many;
+  too_many.num_shards = 9;
+  EXPECT_NE(thrown_message([&] { (void)graph::make_partition(*g, too_many); })
+                .find("must not exceed the number of vertices"),
+            std::string::npos);
+}
+
+TEST(ShardedPartition, AssignmentRoundTripRebuildsTheSameShards) {
+  const auto g = graph::make_torus(5, 5);
+  graph::PartitionOptions opt;
+  opt.num_shards = 3;
+  const graph::Partition part = graph::make_partition(*g, opt);
+  const graph::Partition again =
+      graph::partition_from_assignment(part.num_shards, part.shard_of);
+  EXPECT_EQ(again.shard_of, part.shard_of);
+  EXPECT_EQ(again.shards, part.shards);
+}
+
+// ---------------------------------------------------------------------------
+// Shard plan invariants
+// ---------------------------------------------------------------------------
+
+TEST(ShardedPlan, TranslationsArePerShardBijections) {
+  const auto g = graph::make_torus(6, 6);
+  graph::PartitionOptions popt;
+  popt.num_shards = 3;
+  const ShardPlan plan =
+      make_shard_plan(*g, graph::make_partition(*g, popt));
+  const auto off = g->csr_offsets();
+  const auto nbr = g->neighbors_flat();
+  const auto slots = static_cast<std::int64_t>(g->incident_edges_flat().size());
+  ASSERT_EQ(std::accumulate(plan.owned_slots.begin(), plan.owned_slots.end(),
+                            std::int64_t{0}),
+            slots);
+  ASSERT_EQ(std::accumulate(plan.halo_slots.begin(), plan.halo_slots.end(),
+                            std::int64_t{0}),
+            plan.cut_slots);
+  ASSERT_EQ(static_cast<std::int64_t>(plan.out_local64.size()), slots);
+  // Every shard's arena indices [0, owned + halo) are hit exactly once: by
+  // out_local for the slots its vertices own, by in_local for its halo.
+  for (int s = 0; s < plan.num_shards(); ++s) {
+    std::vector<char> hit(static_cast<std::size_t>(plan.owned_slots[s] +
+                                                   plan.halo_slots[s]),
+                          0);
+    for (int v : plan.part.shards[s])
+      for (int p = off[v]; p < off[v + 1]; ++p) {
+        const auto lp = static_cast<std::size_t>(plan.out_local64[p]);
+        ASSERT_LT(lp, static_cast<std::size_t>(plan.owned_slots[s]));
+        ASSERT_EQ(hit[lp], 0);
+        hit[lp] = 1;
+      }
+    for (std::int64_t p = 0; p < slots; ++p) {
+      if (plan.part.shard_of[static_cast<std::size_t>(nbr[p])] != s) continue;
+      const auto lp = static_cast<std::size_t>(plan.in_local64[p]);
+      ASSERT_LT(lp, hit.size());
+      if (lp >= static_cast<std::size_t>(plan.owned_slots[s])) {
+        ASSERT_EQ(hit[lp], 0);  // halo region: first (and only) reader
+        hit[lp] = 1;
+      }
+    }
+    EXPECT_TRUE(std::all_of(hit.begin(), hit.end(),
+                            [](char c) { return c == 1; }));
+  }
+  // send_slots lists are ascending and their total is the directed cut.
+  std::int64_t listed = 0;
+  for (const auto& row : plan.send_slots)
+    for (const auto& list : row) {
+      EXPECT_TRUE(std::is_sorted(list.begin(), list.end()));
+      listed += static_cast<std::int64_t>(list.size());
+    }
+  EXPECT_EQ(listed, plan.cut_slots);
+}
+
+TEST(ShardedPlan, SingleShardIsTheIdentityFastPath) {
+  const auto g = graph::make_cycle(10);
+  const ShardPlan plan = make_shard_plan(*g, graph::make_partition(*g, {}));
+  EXPECT_EQ(plan.cut_slots, 0);
+  EXPECT_TRUE(plan.out_local64.empty());
+  EXPECT_TRUE(plan.in_local64.empty());
+  EXPECT_EQ(plan.translation_bytes(), 0);
+}
+
+TEST(ShardedPlan, CompactIndexLimitIsANamedError) {
+  const auto g = graph::make_torus(4, 4);
+  graph::PartitionOptions popt;
+  popt.num_shards = 2;
+  ShardPlanOptions small;
+  small.compact_indices = true;
+  small.compact_index_limit = 4;  // any shard needs far more local slots
+  const std::string msg = thrown_message([&] {
+    (void)make_shard_plan(*g, graph::make_partition(*g, popt), small);
+  });
+  EXPECT_NE(msg.find("compact-index limit"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("32-bit"), std::string::npos) << msg;
+}
+
+// ---------------------------------------------------------------------------
+// Bitwise determinism: sharded == unsharded, at any (shards, threads)
+// ---------------------------------------------------------------------------
+
+struct Reference {
+  mrf::Config outputs;
+  MessageStats stats;
+};
+
+template <typename MakeSharded>
+void expect_sharded_bitwise_equal(const Reference& ref, std::int64_t rounds,
+                                  MakeSharded&& make_sharded) {
+  for (int S : {1, 2, 4}) {
+    for (int threads : {1, 2, 4}) {
+      ShardedNetwork::Options opt;
+      opt.partition.num_shards = S;
+      ShardedNetwork net = make_sharded(std::move(opt));
+      std::optional<chains::ParallelEngine> engine;
+      if (threads > 1) {
+        engine.emplace(threads);
+        net.set_engine(&*engine);
+      }
+      net.run_rounds(rounds);
+      EXPECT_EQ(net.outputs(), ref.outputs)
+          << S << " shards, " << threads << " threads";
+      EXPECT_TRUE(net.stats() == ref.stats)
+          << "MessageStats changed at " << S << " shards, " << threads
+          << " threads";
+      const HaloStats& halo = net.halo_stats();
+      EXPECT_EQ(halo.rounds, rounds);
+      if (S == 1) {
+        EXPECT_EQ(halo.cut_slots, 0);
+        EXPECT_EQ(halo.wire_bytes, 0);
+      } else {
+        EXPECT_GT(halo.cut_slots, 0);
+        // Every boundary slot ships a frame header every round, plus any
+        // payload words.
+        EXPECT_GE(halo.wire_bytes, 8 * halo.cut_slots * rounds);
+      }
+    }
+  }
+}
+
+TEST(ShardedDeterminism, LubyGlauberMatchesUnshardedBitwise) {
+  const auto g = graph::make_torus(6, 6);
+  const mrf::Mrf m = mrf::make_proper_coloring(g, 11);
+  const mrf::Config x0 = chains::greedy_feasible_config(m);
+  const std::int64_t rounds = 20;
+  Network ref_net = make_luby_glauber_network(m, x0, 7);
+  ref_net.run_rounds(rounds);
+  const Reference ref{ref_net.outputs(), ref_net.stats()};
+  expect_sharded_bitwise_equal(ref, rounds, [&](ShardedNetwork::Options opt) {
+    return make_sharded_luby_glauber_network(m, x0, 7, std::move(opt));
+  });
+}
+
+TEST(ShardedDeterminism, LocalMetropolisMatchesUnshardedBitwise) {
+  util::Rng rng(23);
+  const auto g = graph::make_random_regular(30, 4, rng);
+  const mrf::Mrf m = mrf::make_proper_coloring(g, 9);
+  const mrf::Config x0 = chains::greedy_feasible_config(m);
+  const std::int64_t rounds = 20;
+  Network ref_net = make_local_metropolis_network(m, x0, 13);
+  ref_net.run_rounds(rounds);
+  const Reference ref{ref_net.outputs(), ref_net.stats()};
+  expect_sharded_bitwise_equal(ref, rounds, [&](ShardedNetwork::Options opt) {
+    return make_sharded_local_metropolis_network(m, x0, 13, std::move(opt));
+  });
+}
+
+TEST(ShardedDeterminism, LubyMisMatchesUnshardedBitwise) {
+  util::Rng rng(3);
+  const auto g = graph::make_random_regular(28, 4, rng);
+  const std::int64_t rounds = 24;
+  Network ref_net = make_luby_mis_network(g, 5);
+  ref_net.run_rounds(rounds);
+  const Reference ref{ref_net.outputs(), ref_net.stats()};
+  expect_sharded_bitwise_equal(ref, rounds, [&](ShardedNetwork::Options opt) {
+    return ShardedNetwork(
+        g, 5, std::make_unique<LubyMisTable>(g->num_vertices()),
+        std::move(opt));
+  });
+}
+
+TEST(ShardedDeterminism, CspLocalMetropolisMatchesUnshardedBitwise) {
+  const auto base = graph::make_torus(5, 5);
+  const csp::FactorGraph fg = csp::make_dominating_set(*base, 1.5);
+  const csp::Config x0(static_cast<std::size_t>(fg.n()), 1);
+  const std::int64_t rounds = 20;
+  Network ref_net = make_csp_local_metropolis_network(fg, x0, 31);
+  ref_net.run_rounds(rounds);
+  const Reference ref{ref_net.outputs(), ref_net.stats()};
+  const graph::GraphPtr conflict = fg.make_conflict_graph();
+  expect_sharded_bitwise_equal(ref, rounds, [&](ShardedNetwork::Options opt) {
+    return ShardedNetwork(conflict, 31,
+                          std::make_unique<CspLocalMetropolisTable>(fg, x0),
+                          std::move(opt));
+  });
+}
+
+TEST(ShardedDeterminism, LubyGlauberHaloCarriesEveryBoundarySlotEveryRound) {
+  // LubyGlauber broadcasts every round, so every directed cut slot moves a
+  // non-empty message each round — the strongest halo accounting identity.
+  const auto g = graph::make_torus(6, 6);
+  const mrf::Mrf m = mrf::make_proper_coloring(g, 11);
+  const mrf::Config x0 = chains::greedy_feasible_config(m);
+  ShardedNetwork::Options opt;
+  opt.partition.num_shards = 4;
+  ShardedNetwork net = make_sharded_luby_glauber_network(m, x0, 7,
+                                                         std::move(opt));
+  const std::int64_t rounds = 10;
+  net.run_rounds(rounds);
+  const HaloStats& halo = net.halo_stats();
+  EXPECT_EQ(halo.halo_messages, halo.cut_slots * rounds);
+  EXPECT_GT(halo.semantic_bits, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Compact indices and the memory report
+// ---------------------------------------------------------------------------
+
+TEST(ShardedMemory, CompactIndicesAreBitwiseEquivalent) {
+  const auto g = graph::make_torus(6, 6);
+  const mrf::Mrf m = mrf::make_proper_coloring(g, 11);
+  const mrf::Config x0 = chains::greedy_feasible_config(m);
+  ShardedNetwork::Options wide;
+  wide.partition.num_shards = 3;
+  ShardedNetwork::Options compact = wide;
+  compact.plan.compact_indices = true;
+  ShardedNetwork a = make_sharded_luby_glauber_network(m, x0, 7, std::move(wide));
+  ShardedNetwork b =
+      make_sharded_luby_glauber_network(m, x0, 7, std::move(compact));
+  a.run_rounds(12);
+  b.run_rounds(12);
+  EXPECT_EQ(a.outputs(), b.outputs());
+  EXPECT_TRUE(a.stats() == b.stats());
+  EXPECT_EQ(b.plan().translation_bytes() * 2, a.plan().translation_bytes());
+}
+
+TEST(ShardedMemory, ReportAccountsArenasTranslationsAndSharedStructures) {
+  const auto g = graph::make_torus(6, 6);
+  const mrf::Mrf m = mrf::make_proper_coloring(g, 11);
+  const mrf::Config x0 = chains::greedy_feasible_config(m);
+  const auto slots = static_cast<std::int64_t>(g->incident_edges_flat().size());
+
+  Network flat = make_luby_glauber_network(m, x0, 7);
+  const MemoryReport fr = flat.memory_report();
+  EXPECT_EQ(fr.slots, slots);
+  EXPECT_GT(fr.arena_bytes, 0);
+  EXPECT_EQ(fr.translation_bytes, 0);
+  EXPECT_GT(fr.total_bytes(), 0);
+
+  ShardedNetwork::Options opt;
+  opt.partition.num_shards = 3;
+  ShardedNetwork net = make_sharded_luby_glauber_network(m, x0, 7,
+                                                         std::move(opt));
+  const MemoryReport sr = net.memory_report();
+  // Shard arenas replicate the boundary slots (the halo), nothing else.
+  EXPECT_EQ(sr.slots, slots + net.plan().cut_slots);
+  EXPECT_GT(sr.translation_bytes, 0);
+  EXPECT_GT(sr.mirror_bytes, 0);
+  EXPECT_EQ(sr.graph_csr_bytes, fr.graph_csr_bytes);
+  EXPECT_GT(sr.total_bytes(), fr.total_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// Facade integration
+// ---------------------------------------------------------------------------
+
+TEST(ShardedFacade, ShardedSampleEqualsUnshardedBitwise) {
+  const auto g = graph::make_torus(6, 6);
+  core::SamplerOptions opt;
+  opt.backend = core::Backend::local_network;
+  opt.algorithm = core::Algorithm::luby_glauber;
+  opt.seed = 11;
+  opt.rounds = 30;
+  const core::SampleResult flat = core::sample_coloring(g, 11, opt);
+  EXPECT_EQ(flat.halo_stats.wire_bytes, 0);
+  for (int S : {2, 4}) {
+    core::SamplerOptions sopt = opt;
+    sopt.num_shards = S;
+    const core::SampleResult sharded = core::sample_coloring(g, 11, sopt);
+    EXPECT_EQ(sharded.config, flat.config) << S << " shards";
+    EXPECT_TRUE(sharded.message_stats == flat.message_stats) << S << " shards";
+    EXPECT_GT(sharded.halo_stats.wire_bytes, 0);
+  }
+}
+
+TEST(ShardedFacade, NamedValidationErrors) {
+  const auto g = graph::make_cycle(8);
+  core::SamplerOptions opt;
+  opt.rounds = 4;
+  opt.num_shards = 0;
+  EXPECT_NE(thrown_message([&] { (void)core::sample_coloring(g, 5, opt); })
+                .find("num_shards must be >= 1"),
+            std::string::npos);
+  opt.num_shards = 2;  // still the default chain backend
+  EXPECT_NE(thrown_message([&] { (void)core::sample_coloring(g, 5, opt); })
+                .find("requires the local_network backend"),
+            std::string::npos);
+  opt.backend = core::Backend::local_network;
+  opt.num_replicas = 2;
+  EXPECT_NE(
+      thrown_message([&] {
+        (void)core::sample_many(mrf::make_proper_coloring(g, 5), opt);
+      }).find("does not support sharded networks"),
+      std::string::npos);
+  const csp::FactorGraph fg = csp::make_dominating_set(*g, 1.0);
+  const csp::Config x0(static_cast<std::size_t>(fg.n()), 1);
+  core::SamplerOptions copt;
+  copt.rounds = 4;
+  copt.num_shards = 2;
+  EXPECT_NE(thrown_message([&] { (void)core::sample_csp(fg, x0, copt); })
+                .find("does not support sharded networks"),
+            std::string::npos);
+}
+
+TEST(ShardedFacade, ShardModeNetworkRejectsDirectDriving) {
+  // A shard's Network belongs to its sharded runtime: the un-sharded entry
+  // points must fail with a named error rather than corrupt the round.
+  const auto g = graph::make_torus(4, 4);
+  const mrf::Mrf m = mrf::make_proper_coloring(g, 9);
+  const mrf::Config x0 = chains::greedy_feasible_config(m);
+  auto table = std::make_unique<LubyGlauberTable>(
+      std::make_shared<const mrf::CompiledMrf>(m), x0, LubyGlauberNetOptions{});
+  graph::PartitionOptions popt;
+  popt.num_shards = 2;
+  const graph::Partition part = graph::make_partition(*g, popt);
+  const ShardPlan plan = make_shard_plan(*g, part);
+  const std::vector<int> mirror = make_mirror_index(*g);
+  Network shard = ShardAccess::make_shard(g, 7, plan, 0, mirror, table.get());
+  EXPECT_NE(thrown_message([&] { shard.run_round(); })
+                .find("driven by its sharded runtime"),
+            std::string::npos);
+  chains::ParallelEngine engine(2);
+  EXPECT_NE(thrown_message([&] { shard.set_engine(&engine); })
+                .find("driven by its sharded runtime"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// ProcessTransport
+// ---------------------------------------------------------------------------
+
+std::string shard_worker_path() {
+#ifdef LSAMPLE_SHARD_WORKER_PATH
+  return LSAMPLE_SHARD_WORKER_PATH;
+#else
+  const char* env = std::getenv("LSAMPLE_SHARD_WORKER");
+  return env != nullptr ? env : "";
+#endif
+}
+
+TEST(ProcessTransport, RoundTripMatchesInProcessBitwise) {
+  const std::string worker = shard_worker_path();
+  if (worker.empty())
+    GTEST_SKIP() << "shard_worker binary not available "
+                    "(LSAMPLE_SHARD_WORKER unset)";
+  const auto g = graph::make_torus(5, 5);
+  const mrf::Mrf m = mrf::make_proper_coloring(g, 9);
+  const mrf::Config x0 = chains::greedy_feasible_config(m);
+  const std::int64_t rounds = 12;
+
+  Network flat = make_luby_glauber_network(m, x0, 3);
+  flat.run_rounds(rounds);
+
+  ShardedNetwork::Options opt;
+  opt.partition.num_shards = 2;
+  ShardedNetwork net = make_sharded_luby_glauber_network(
+      m, x0, 3, std::move(opt), {}, make_process_transport({worker}));
+  EXPECT_STREQ(net.transport_name(), "process");
+  net.run_rounds(rounds);
+  EXPECT_EQ(net.outputs(), flat.outputs());
+  EXPECT_TRUE(net.stats() == flat.stats());
+  EXPECT_GT(net.halo_stats().wire_bytes, 0);
+  // Worker arenas are real: the memory report sums them over the wire.
+  EXPECT_GT(net.memory_report().arena_bytes, 0);
+  // One process per shard: an engine cannot drive remote shards.
+  chains::ParallelEngine engine(2);
+  EXPECT_NE(thrown_message([&] { net.set_engine(&engine); })
+                .find("cannot drive remote shards"),
+            std::string::npos);
+}
+
+TEST(ProcessTransport, LocalMetropolisRoundTripMatchesInProcessBitwise) {
+  const std::string worker = shard_worker_path();
+  if (worker.empty())
+    GTEST_SKIP() << "shard_worker binary not available "
+                    "(LSAMPLE_SHARD_WORKER unset)";
+  util::Rng rng(9);
+  const auto g = graph::make_random_regular(24, 4, rng);
+  const mrf::Mrf m = mrf::make_proper_coloring(g, 9);
+  const mrf::Config x0 = chains::greedy_feasible_config(m);
+  const std::int64_t rounds = 10;
+  Network flat = make_local_metropolis_network(m, x0, 21);
+  flat.run_rounds(rounds);
+  ShardedNetwork::Options opt;
+  opt.partition.num_shards = 3;
+  ShardedNetwork net = make_sharded_local_metropolis_network(
+      m, x0, 21, std::move(opt), make_process_transport({worker}));
+  net.run_rounds(rounds);
+  EXPECT_EQ(net.outputs(), flat.outputs());
+  EXPECT_TRUE(net.stats() == flat.stats());
+}
+
+TEST(ProcessTransport, MissingProgramSpecIsANamedError) {
+  // Non-serializable tables (here: Luby-MIS) must be rejected up front —
+  // before any worker is spawned — with an error naming the limitation.
+  const auto g = graph::make_cycle(8);
+  const std::string msg = thrown_message([&] {
+    ShardedNetwork::Options opt;
+    opt.partition.num_shards = 2;
+    (void)ShardedNetwork(g, 5,
+                         std::make_unique<LubyMisTable>(g->num_vertices()),
+                         std::move(opt),
+                         make_process_transport({"/nonexistent/worker"}));
+  });
+  EXPECT_NE(msg.find("program_spec"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("in-process only"), std::string::npos) << msg;
+}
+
+}  // namespace
+}  // namespace lsample::local
