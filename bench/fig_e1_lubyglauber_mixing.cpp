@@ -78,9 +78,24 @@ void sweep_n() {
 
 }  // namespace
 
+// What the Theorem 1.1 budget charges vs what mixing actually costs on the
+// guarded E1 workload (n=400, Delta=8, q=20) — and what the facade's
+// adaptive stopping rules pay in its place.
+void budget_vs_empirical() {
+  util::Rng grng(99);
+  const int n = 400, delta = 8, q = 20;
+  const auto g = graph::make_random_regular(n, delta, grng);
+  const mrf::Mrf m = mrf::make_proper_coloring(g, q);
+  const auto budget = core::coloring_round_budget(
+      n, delta, q, core::Algorithm::luby_glauber, 0.01);
+  bench::print_budget_vs_empirical(m, core::Algorithm::luby_glauber, budget,
+                                   bench::luby_glauber_factory(m), 6, 41);
+}
+
 int main() {
   std::cout << "Experiment E1 — LubyGlauber mixing (Thm 1.1 / Cor 3.4)\n";
   sweep_delta();
   sweep_n();
+  budget_vs_empirical();
   return 0;
 }

@@ -74,11 +74,27 @@ void fixed_delta_log_n() {
   std::cout << "expect rounds/ln(n) approximately constant (Thm 1.2).\n";
 }
 
+// What the Theorem 1.2 budget charges vs what mixing actually costs on the
+// guarded E2 workload (n=900, Delta=30, q=108) — and what the facade's
+// adaptive stopping rules pay in its place.
+void budget_vs_empirical() {
+  util::Rng grng(7);
+  const int n = 900, delta = 30, q = 108;
+  const auto g = graph::make_random_regular(n, delta, grng);
+  const mrf::Mrf m = mrf::make_proper_coloring(g, q);
+  const auto budget = core::coloring_round_budget(
+      n, delta, q, core::Algorithm::local_metropolis, 0.01);
+  bench::print_budget_vs_empirical(m, core::Algorithm::local_metropolis,
+                                   budget,
+                                   bench::local_metropolis_factory(m), 6, 43);
+}
+
 }  // namespace
 
 int main() {
   std::cout << "Experiment E2 — LocalMetropolis O(log n) mixing (Thm 1.2)\n";
   growing_delta();
   fixed_delta_log_n();
+  budget_vs_empirical();
   return 0;
 }

@@ -49,6 +49,17 @@ int main() {
   options.backend = core::Backend::chain;
   options.num_shards = 1;
 
+  // Adaptive stopping: pay measured mixing instead of the worst-case theory
+  // budget.  stop=auto picks a rule per model class (grand-coupling
+  // coalescence here); the budget stays as a hard cap.
+  options.stop = chains::StopRule::automatic;
+  const auto ad = core::sample_coloring(g, q, options);
+  std::cout << "stop=auto:       " << ad.rounds_used << " of "
+            << ad.budget_rounds << " budgeted rounds (rule "
+            << chains::stop_rule_name(ad.stop_rule)
+            << ", stopped early = " << ad.stopped_early << ")\n";
+  options.stop = chains::StopRule::fixed;
+
   // Print a corner of the sampled coloring.
   std::cout << "sample (top-left 6x6 corner):\n";
   for (int r = 0; r < 6; ++r) {

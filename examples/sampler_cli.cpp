@@ -1,7 +1,7 @@
 // Command-line sampler: pick a graph family, a model, and an algorithm, and
 // draw a sample with statistics.  Runs a sensible demo with no arguments.
 //
-//   $ ./example_sampler_cli [graph] [n] [model] [q_or_lambda] [alg] [seed] [threads] [replicas] [backend] [shards]
+//   $ ./example_sampler_cli [graph] [n] [model] [q_or_lambda] [alg] [seed] [threads] [replicas] [backend] [shards] [stop=rule]
 //     graph:    cycle | grid | torus | regular4 | regular6
 //     model:    coloring | listcoloring | hardcore | ising | dominating
 //               (dominating = the weighted dominating-set CSP with activity
@@ -19,8 +19,13 @@
 //               boundary ("halo") messages (network backend, replicas = 1);
 //               the sample is bit-identical at any shard count, and the
 //               report adds the partition quality and halo traffic
+//     stop=:    adaptive stopping rule, anywhere on the line (chain backend):
+//               stop=fixed | stop=coupling | stop=cftp | stop=rhat |
+//               stop=auto.  Adaptive rules pay the MEASURED mixing and the
+//               report shows rounds used vs the theory budget (the savings).
 //   e.g. ./example_sampler_cli torus 16 coloring 14 lm 7 4 8 network
 //   e.g. ./example_sampler_cli torus 16 coloring 14 lg 7 1 1 network 4
+//   e.g. ./example_sampler_cli torus 16 coloring 14 lg 7 stop=auto
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -49,22 +54,42 @@ graph::GraphPtr build_graph(const std::string& kind, int n, util::Rng& rng) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string kind = argc > 1 ? argv[1] : "torus";
-  const int n = argc > 2 ? std::atoi(argv[2]) : 12;
-  const std::string model = argc > 3 ? argv[3] : "coloring";
-  const double param = argc > 4 ? std::atof(argv[4]) : 16.0;
-  const std::string alg = argc > 5 ? argv[5] : "lm";
-  const std::uint64_t seed = argc > 6
-                                 ? static_cast<std::uint64_t>(std::atoll(argv[6]))
-                                 : 2024;
-  const int threads = argc > 7 ? std::atoi(argv[7]) : 1;
-  const int replicas = argc > 8 ? std::atoi(argv[8]) : 1;
-  const std::string backend = argc > 9 ? argv[9] : "chain";
+  // The stop=<rule> keyword may appear anywhere; everything else is
+  // positional in the documented order.
+  chains::StopRule stop = chains::StopRule::fixed;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("stop=", 0) == 0) {
+      const auto rule = chains::parse_stop_rule(a.substr(5));
+      if (!rule.has_value()) {
+        std::cerr << "unknown stop rule: " << a.substr(5)
+                  << " (fixed | coupling | cftp | rhat | auto)\n";
+        return 1;
+      }
+      stop = *rule;
+    } else {
+      args.push_back(a);
+    }
+  }
+  const auto arg = [&](std::size_t i) -> const char* {
+    return args.size() > i ? args[i].c_str() : nullptr;
+  };
+  const std::string kind = arg(0) ? arg(0) : "torus";
+  const int n = arg(1) ? std::atoi(arg(1)) : 12;
+  const std::string model = arg(2) ? arg(2) : "coloring";
+  const double param = arg(3) ? std::atof(arg(3)) : 16.0;
+  const std::string alg = arg(4) ? arg(4) : "lm";
+  const std::uint64_t seed =
+      arg(5) ? static_cast<std::uint64_t>(std::atoll(arg(5))) : 2024;
+  const int threads = arg(6) ? std::atoi(arg(6)) : 1;
+  const int replicas = arg(7) ? std::atoi(arg(7)) : 1;
+  const std::string backend = arg(8) ? arg(8) : "chain";
   if (backend != "chain" && backend != "network") {
     std::cerr << "unknown backend: " << backend << " (chain | network)\n";
     return 1;
   }
-  const int shards = argc > 10 ? std::atoi(argv[10]) : 1;
+  const int shards = arg(9) ? std::atoi(arg(9)) : 1;
   if (shards < 1) {
     std::cerr << "shards must be >= 1\n";
     return 1;
@@ -87,6 +112,12 @@ int main(int argc, char** argv) {
   opt.num_threads = threads;
   opt.num_replicas = replicas;
   opt.num_shards = shards;
+  opt.stop = stop;
+  if (stop != chains::StopRule::fixed && backend != "chain") {
+    std::cerr << "stop=" << chains::stop_rule_name(stop)
+              << " needs the chain backend\n";
+    return 1;
+  }
 
   if (replicas > 1) {
     // Batch mode: R independent samples in one facade call, all replicas
@@ -134,6 +165,20 @@ int main(int argc, char** argv) {
     bt.begin_row().cell("model").cell(model);
     bt.begin_row().cell("replicas").cell(replicas);
     bt.begin_row().cell("rounds each").cell(batch.rounds);
+    if (batch.stop_rule != chains::StopRule::fixed) {
+      bt.begin_row().cell("stop rule").cell(
+          std::string(chains::stop_rule_name(batch.stop_rule)) +
+          (batch.stopped_early ? " (converged)" : " (fell back to budget)"));
+      bt.begin_row().cell("rounds used / budget").cell(
+          std::to_string(batch.rounds_used) + " / " +
+          std::to_string(batch.budget_rounds));
+      if (batch.stopped_early && batch.rounds_used > 0 &&
+          batch.budget_rounds > 0)
+        bt.begin_row().cell("savings vs budget").cell(
+            static_cast<double>(batch.budget_rounds) /
+                static_cast<double>(batch.rounds_used),
+            2);
+    }
     bt.begin_row().cell("backend").cell(backend);
     bt.begin_row().cell("threads").cell(threads);
     bt.begin_row().cell("feasible replicas").cell(batch.feasible_count);
@@ -208,6 +253,20 @@ int main(int argc, char** argv) {
                                                      : "LocalMetropolis");
   t.begin_row().cell("backend").cell(backend);
   t.begin_row().cell("rounds").cell(result.rounds);
+  if (result.stop_rule != chains::StopRule::fixed) {
+    t.begin_row().cell("stop rule").cell(
+        std::string(chains::stop_rule_name(result.stop_rule)) +
+        (result.stopped_early ? " (converged)" : " (fell back to budget)"));
+    t.begin_row().cell("rounds used / budget").cell(
+        std::to_string(result.rounds_used) + " / " +
+        std::to_string(result.budget_rounds));
+    if (result.stopped_early && result.rounds_used > 0 &&
+        result.budget_rounds > 0)
+      t.begin_row().cell("savings vs budget").cell(
+          static_cast<double>(result.budget_rounds) /
+              static_cast<double>(result.rounds_used),
+          2);
+  }
   t.begin_row().cell("threads").cell(threads);
   t.begin_row().cell("feasible").cell(result.feasible ? "yes" : "no");
   if (opt.backend == core::Backend::local_network) {

@@ -1,0 +1,309 @@
+#include "chains/stopping.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "chains/replicas.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace lsample::chains {
+
+namespace {
+
+// Seed salts keeping the diagnostic streams disjoint from every payload
+// stream (which use the base seed directly or replica_seed(base, r)).
+constexpr std::uint64_t kRhatSeedSalt = 0x5b4ac1f3a0e9d287ULL;
+constexpr std::uint64_t kCouplingSeedSalt = 0x7fb5d329728ea185ULL;
+constexpr std::uint64_t kObservableSalt = 0x1f83d9abfb41bd6bULL;
+
+/// Shortest half-chain the split-R-hat estimate may decide on.  With fewer
+/// samples the variance estimates are noise and the diagnostic passes
+/// spuriously (the fuzzer's TV gate catches exactly this at half-length 2),
+/// so earlier checkpoints report "not yet decidable".
+constexpr std::int64_t kRhatMinHalfChain = 4;
+
+/// Split potential scale reduction factor over the window [T/2, T) of each
+/// replica's observable history.  Each replica's window is split into two
+/// half-chains (Gelman et al.'s split-R-hat), so a within-chain burn-in
+/// trend inflates the between-chain variance and delays stopping even when
+/// all replicas share one initial configuration (the CSP case).  With W =
+/// mean within-half-chain variance and B/m = between-half-chain variance of
+/// the means, var+ = (m-1)/m W + B/m and R-hat = sqrt(var+ / W).
+/// Degenerate W == 0 (a frozen observable) counts as converged only if the
+/// half-chains also agree (B == 0).
+double rhat_over_window(const std::vector<std::vector<double>>& obs,
+                        std::int64_t checkpoint) {
+  const std::int64_t lo = checkpoint / 2;
+  const std::int64_t nw = checkpoint - lo;
+  const std::int64_t m = nw / 2;
+  if (m < kRhatMinHalfChain) return std::numeric_limits<double>::infinity();
+  const int replicas = static_cast<int>(obs.size());
+  const int halves = 2 * replicas;
+  // Half-chain h of replica r covers [start, start + m) with the odd
+  // leftover sample (if any) dropped at the front of the window.
+  const std::int64_t base = checkpoint - 2 * m;
+  double w_acc = 0.0;
+  double grand = 0.0;
+  std::vector<double> means(static_cast<std::size_t>(halves), 0.0);
+  for (int r = 0; r < replicas; ++r) {
+    const auto& o = obs[static_cast<std::size_t>(r)];
+    for (int h = 0; h < 2; ++h) {
+      const std::int64_t start = base + h * m;
+      double s = 0.0;
+      for (std::int64_t t = start; t < start + m; ++t)
+        s += o[static_cast<std::size_t>(t)];
+      const double mean = s / static_cast<double>(m);
+      means[static_cast<std::size_t>(2 * r + h)] = mean;
+      grand += mean;
+      double v = 0.0;
+      for (std::int64_t t = start; t < start + m; ++t) {
+        const double d = o[static_cast<std::size_t>(t)] - mean;
+        v += d * d;
+      }
+      w_acc += v / static_cast<double>(m - 1);
+    }
+  }
+  const double w_mean = w_acc / halves;
+  grand /= halves;
+  double b = 0.0;
+  for (double mean : means) {
+    const double d = mean - grand;
+    b += d * d;
+  }
+  b *= static_cast<double>(m) / (halves - 1);
+  if (w_mean <= 0.0)
+    return b <= 0.0 ? 1.0 : std::numeric_limits<double>::infinity();
+  const double var_plus =
+      (static_cast<double>(m - 1) / static_cast<double>(m)) * w_mean +
+      b / static_cast<double>(m);
+  return std::sqrt(var_plus / w_mean);
+}
+
+}  // namespace
+
+std::string_view stop_rule_name(StopRule rule) noexcept {
+  switch (rule) {
+    case StopRule::fixed: return "fixed";
+    case StopRule::coupling: return "coupling";
+    case StopRule::cftp: return "cftp";
+    case StopRule::rhat: return "rhat";
+    case StopRule::automatic: return "auto";
+  }
+  return "?";
+}
+
+std::optional<StopRule> parse_stop_rule(std::string_view name) noexcept {
+  if (name == "fixed") return StopRule::fixed;
+  if (name == "coupling") return StopRule::coupling;
+  if (name == "cftp") return StopRule::cftp;
+  if (name == "rhat") return StopRule::rhat;
+  if (name == "auto" || name == "automatic") return StopRule::automatic;
+  return std::nullopt;
+}
+
+std::vector<std::int64_t> checkpoint_schedule(std::int64_t first,
+                                              std::int64_t max_rounds) {
+  LS_REQUIRE(first >= 1, "checkpoint schedule needs first >= 1");
+  LS_REQUIRE(max_rounds >= 1, "checkpoint schedule needs max_rounds >= 1");
+  std::vector<std::int64_t> schedule;
+  for (std::int64_t t = first; t < max_rounds; t *= 2) schedule.push_back(t);
+  schedule.push_back(max_rounds);
+  return schedule;
+}
+
+StopDecision coupling_fleet_stop(const CouplingPairFactory& factory,
+                                 std::uint64_t base_seed,
+                                 const StoppingOptions& opt) {
+  LS_REQUIRE(opt.coupling_pairs >= 1,
+             "coupling_fleet_stop needs >= 1 coupled pair");
+  LS_REQUIRE(opt.max_rounds >= 1, "coupling_fleet_stop needs max_rounds >= 1");
+  const int pairs = opt.coupling_pairs;
+  const std::uint64_t diag_base = util::mix64(base_seed ^ kCouplingSeedSalt);
+  std::vector<CouplingPair> fleet;
+  fleet.reserve(static_cast<std::size_t>(pairs));
+  for (int p = 0; p < pairs; ++p)
+    fleet.push_back(
+        factory(p, replica_seed(diag_base, static_cast<std::uint64_t>(p))));
+  for (const auto& pair : fleet)
+    LS_REQUIRE(pair.x.size() == pair.y.size(),
+               "coupling pair needs configurations of equal size");
+  std::vector<char> met(static_cast<std::size_t>(pairs), 0);
+  ReplicaRunner runner(opt.num_threads);
+  StopDecision decision;
+  decision.rule = StopRule::coupling;
+  std::int64_t done = 0;
+  for (const std::int64_t checkpoint :
+       checkpoint_schedule(opt.first_checkpoint, opt.max_rounds)) {
+    // Each job touches only its own pair and met flag, so the coalescence
+    // pattern — and hence the decision — is bit-identical at any thread
+    // count.  A coalesced pair shares every subsequent draw and can never
+    // split again, so it is not re-stepped.
+    runner.run(pairs, [&](int p) {
+      if (met[static_cast<std::size_t>(p)] != 0) return;
+      auto& pair = fleet[static_cast<std::size_t>(p)];
+      for (std::int64_t t = done; t < checkpoint; ++t)
+        pair.step(pair.x, pair.y, t);
+      if (pair.x == pair.y) met[static_cast<std::size_t>(p)] = 1;
+    });
+    done = checkpoint;
+    bool all_met = true;
+    for (const char f : met) all_met = all_met && f != 0;
+    if (all_met) {
+      decision.rounds_used = checkpoint;
+      decision.converged = true;
+      return decision;
+    }
+  }
+  decision.rounds_used = opt.max_rounds;
+  decision.converged = false;
+  return decision;
+}
+
+bool is_hardcore_shaped(const mrf::Mrf& m) {
+  if (m.q() != 2) return false;
+  for (int v = 0; v < m.n(); ++v) {
+    const auto b = m.vertex_activity(v);
+    if (!(b[0] > 0.0) || !(b[1] > 0.0)) return false;
+  }
+  for (int e = 0; e < m.g().num_edges(); ++e) {
+    const auto& a = m.edge_activity(e);
+    if (a.at(1, 1) != 0.0) return false;
+    const double base = a.at(0, 0);
+    if (!(base > 0.0)) return false;
+    if (a.at(0, 1) != base || a.at(1, 0) != base) return false;
+  }
+  return true;
+}
+
+CftpResult cftp_hardcore(const mrf::Mrf& m, std::uint64_t seed,
+                         std::int64_t first_horizon,
+                         std::int64_t max_horizon) {
+  LS_REQUIRE(is_hardcore_shaped(m),
+             "cftp_hardcore requires a hardcore-shaped model "
+             "(q = 2, A = c*[[1,1],[1,0]], positive vertex activities)");
+  LS_REQUIRE(first_horizon >= 1, "cftp needs first_horizon >= 1");
+  LS_REQUIRE(max_horizon >= first_horizon,
+             "cftp needs max_horizon >= first_horizon");
+  const int n = m.n();
+  // Per-vertex occupancy probability when no neighbor is occupied:
+  // p_v = b_v(1) / (b_v(0) + b_v(1)) (= lambda/(1+lambda) for
+  // make_hardcore).  Edge scalings cancel between the two spins.
+  std::vector<double> p(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    const auto b = m.vertex_activity(v);
+    p[static_cast<std::size_t>(v)] = b[1] / (b[0] + b[1]);
+  }
+  const graph::Graph& g = m.g();
+  const util::CounterRng rng(seed);
+  // Bounding-chain sandwich (Häggström–Nelander): lower chain L starts
+  // empty, upper chain U fully occupied; the heat-bath update at v is
+  // anti-monotone, so U updates against L's neighborhood and vice versa,
+  // and every true trajectory started in between stays bracketed.  The
+  // update at absolute time t for vertex v draws
+  // u = rng.u01(aux, v, bits(t)); "occupied" iff u < p_v and no neighbor
+  // occupied in the OTHER bound.  Keying by absolute (negative) time makes
+  // the randomness reuse that CFTP's correctness requires automatic when
+  // the horizon doubles.
+  Config lower(static_cast<std::size_t>(n), 0);
+  Config upper(static_cast<std::size_t>(n), 1);
+  CftpResult result;
+  for (std::int64_t horizon = first_horizon;; horizon *= 2) {
+    std::fill(lower.begin(), lower.end(), 0);
+    std::fill(upper.begin(), upper.end(), 1);
+    for (std::int64_t t = -horizon; t < 0; ++t) {
+      for (int v = 0; v < n; ++v) {
+        const double u = rng.u01(util::RngDomain::aux,
+                                 static_cast<std::uint64_t>(v),
+                                 static_cast<std::uint64_t>(t));
+        const bool want = u < p[static_cast<std::size_t>(v)];
+        bool lower_neighbor_occupied = false;
+        bool upper_neighbor_occupied = false;
+        for (const int nbr : g.neighbors(v)) {
+          if (lower[static_cast<std::size_t>(nbr)] != 0)
+            lower_neighbor_occupied = true;
+          if (upper[static_cast<std::size_t>(nbr)] != 0)
+            upper_neighbor_occupied = true;
+        }
+        upper[static_cast<std::size_t>(v)] =
+            want && !lower_neighbor_occupied ? 1 : 0;
+        lower[static_cast<std::size_t>(v)] =
+            want && !upper_neighbor_occupied ? 1 : 0;
+      }
+    }
+    result.sweeps += horizon;
+    if (lower == upper) {
+      result.config = lower;
+      result.horizon = horizon;
+      return result;
+    }
+    if (horizon * 2 > max_horizon)
+      throw StoppingError(
+          "cftp_hardcore: sandwich still apart at the horizon cap (" +
+          std::to_string(horizon) + " sweeps; cap " +
+          std::to_string(max_horizon) +
+          ") — the instance is likely outside the fast-coalescence regime "
+          "(Theorem 1.3 territory); use a fixed budget you trust");
+  }
+}
+
+StopDecision rhat_stop(const DiagnosticFactory& factory,
+                       std::uint64_t base_seed, const StoppingOptions& opt) {
+  LS_REQUIRE(opt.rhat_replicas >= 2, "rhat_stop needs >= 2 replicas");
+  LS_REQUIRE(opt.max_rounds >= 1, "rhat_stop needs max_rounds >= 1");
+  const int replicas = opt.rhat_replicas;
+  const std::uint64_t diag_base = util::mix64(base_seed ^ kRhatSeedSalt);
+  std::vector<DiagnosticReplica> fleet;
+  fleet.reserve(static_cast<std::size_t>(replicas));
+  for (int r = 0; r < replicas; ++r)
+    fleet.push_back(
+        factory(r, replica_seed(diag_base, static_cast<std::uint64_t>(r))));
+  const std::size_t n = fleet.front().x.size();
+  LS_REQUIRE(n > 0, "rhat_stop needs a non-empty configuration");
+  // A fixed pseudo-random linear observable h(x) = sum_v w_v x_v with
+  // w_v in [1,2): breaks spin symmetries a plain sum would be blind to,
+  // and is a pure function of v, so decisions cannot drift across runs.
+  std::vector<double> weights(n);
+  for (std::size_t v = 0; v < n; ++v)
+    weights[v] =
+        1.0 + static_cast<double>(util::mix64(kObservableSalt ^ v) >> 11) *
+                  0x1.0p-53;
+  std::vector<std::vector<double>> obs(static_cast<std::size_t>(replicas));
+  for (auto& o : obs) o.reserve(static_cast<std::size_t>(opt.max_rounds));
+  ReplicaRunner runner(opt.num_threads);
+  StopDecision decision;
+  decision.rule = StopRule::rhat;
+  std::int64_t done = 0;
+  for (const std::int64_t checkpoint :
+       checkpoint_schedule(opt.first_checkpoint, opt.max_rounds)) {
+    // Advance every replica to the checkpoint, replica-parallel.  Each job
+    // touches only its own replica and observable slot, and the per-round
+    // observable is accumulated in fixed vertex order, so the recorded
+    // histories are bit-identical at any thread count.
+    runner.run(replicas, [&](int r) {
+      auto& rep = fleet[static_cast<std::size_t>(r)];
+      auto& o = obs[static_cast<std::size_t>(r)];
+      for (std::int64_t t = done; t < checkpoint; ++t) {
+        rep.step(rep.x, t);
+        double s = 0.0;
+        for (std::size_t v = 0; v < n; ++v)
+          s += weights[v] * static_cast<double>(rep.x[v]);
+        o.push_back(s);
+      }
+    });
+    done = checkpoint;
+    decision.diagnostic = rhat_over_window(obs, checkpoint);
+    if (decision.diagnostic <= opt.rhat_threshold) {
+      decision.rounds_used = checkpoint;
+      decision.converged = true;
+      return decision;
+    }
+  }
+  decision.rounds_used = opt.max_rounds;
+  decision.converged = false;
+  return decision;
+}
+
+}  // namespace lsample::chains

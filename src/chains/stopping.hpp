@@ -1,0 +1,203 @@
+// Online stopping rules — pay measured mixing instead of worst-case budgets.
+//
+// The facade's theory budgets (core::luby_glauber_round_budget,
+// local_metropolis_round_budget) are worst-case over all instances AND all
+// initial configurations; fig_e1/e2 measure actual coalescence a factor
+// 3–7x below them on the guarded workloads.  This module turns that gap
+// into per-sample savings by running a convergence diagnostic INSIDE the
+// sampler and stopping at the first checkpoint that certifies mixing.
+//
+// Three rules behind one interface, all on a doubling checkpoint schedule
+// (decisions at rounds k, 2k, 4k, ..., so diagnostic cost is amortized O(1)
+// per round):
+//
+//  (1) coupling_fleet_stop — grand-coupling coalescence.  A coupled pair is
+//      two chain instances built with the SAME seed, sharing every
+//      counter-based draw (exactly the Lemma 4.4 local coupling realized by
+//      coupling.cpp); started from the payload init and an adversarial
+//      extremal init, their agreement is a pathwise "the chain has
+//      forgotten its starting point" event.  The rule runs a small fleet of
+//      such pairs on seeds salted AWAY from the payload stream and stops
+//      when ALL pairs have coalesced; the payload then runs that many
+//      rounds on its own stream.  The decoupling matters: stopping a chain
+//      at ITS OWN coalescence time is the classic naive-forward-coupling
+//      bias (the stopping time is correlated with the trajectory — Propp &
+//      Wilson's motivating example), which the fuzzer's TV gate catches on
+//      small instances.  With independent diagnostic streams the payload is
+//      an ordinary fixed-round run whose round count carries no information
+//      about its own randomness.
+//
+//  (2) cftp_hardcore — coupling from the past (Propp & Wilson 1996) with
+//      the Häggström–Nelander bounding-chain sandwich for the hardcore
+//      model (heat-bath hardcore dynamics are anti-monotone: a lower/upper
+//      pair run with each other's neighborhoods brackets every trajectory).
+//      Returns a PERFECT sample from the hardcore distribution — no
+//      epsilon at all — whenever the sandwich coalesces within the horizon
+//      cap, and throws StoppingError (a named error, never a hang)
+//      otherwise.
+//
+//  (3) rhat_stop — cross-replica disagreement in the spirit of
+//      Gelman–Rubin R-hat, over a small fixed fleet of diagnostic replicas
+//      (ReplicaRunner-parallel, seeds split from the base seed).  The
+//      fallback when no coupling structure applies (CSP chains, general
+//      MRFs).  Heuristic rather than a certificate; the fuzzer validates
+//      it against exact enumeration on small instances.
+//
+// Determinism contract (same as every other knob in the library): each
+// decision is a pure function of (model, seed, rule) — bit-identical at
+// any thread count and independent of the caller's replica batch size (the
+// diagnostic fleet size is fixed, not options.num_replicas).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <string_view>
+#include <vector>
+
+#include "chains/chain.hpp"
+
+namespace lsample::chains {
+
+/// Stopping policy for the facade (SamplerOptions.stop).  `automatic`
+/// resolves to the strongest applicable rule: cftp for hardcore-shaped
+/// models, coupling for other pairwise MRFs, rhat for CSPs.  ("auto" on the
+/// CLI; it is a C++ keyword.)
+enum class StopRule { fixed, coupling, cftp, rhat, automatic };
+
+[[nodiscard]] std::string_view stop_rule_name(StopRule rule) noexcept;
+
+/// Parses "fixed" / "coupling" / "cftp" / "rhat" / "auto" (also accepts
+/// "automatic"); nullopt on anything else.
+[[nodiscard]] std::optional<StopRule> parse_stop_rule(
+    std::string_view name) noexcept;
+
+/// Named error for never-converged adaptive runs (e.g. the CFTP sandwich
+/// still apart at the horizon cap).  Rules throw this instead of spinning
+/// forever — an adaptive sampler must fail loudly, not hang.
+class StoppingError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct StoppingOptions {
+  /// Hard cap on rounds for coupling_fleet_stop / rhat_stop (the theory
+  /// budget or the caller's explicit budget).  Reaching it uncoalesced is
+  /// NOT an error: the rule reports converged = false and the sampler falls
+  /// back to the full fixed budget it would have paid anyway.
+  std::int64_t max_rounds = 0;
+  /// First checkpoint k of the doubling schedule k, 2k, 4k, ...
+  std::int64_t first_checkpoint = 8;
+  /// Worker threads for the diagnostic fleets (coupling pairs and rhat
+  /// replicas); 0 = all hardware threads.  Decisions are bit-identical at
+  /// any value.
+  int num_threads = 1;
+  /// Coupled pairs for coupling_fleet_stop (>= 1).  More pairs sharpen the
+  /// implicit tail estimate (stop only when every pair has coalesced) at
+  /// proportional diagnostic cost.
+  int coupling_pairs = 4;
+  /// Diagnostic replicas for rhat_stop (>= 2).  Deliberately NOT tied to
+  /// SamplerOptions.num_replicas: the decision must not change with the
+  /// caller's batch size.
+  int rhat_replicas = 4;
+  /// Stop when the potential-scale-reduction estimate drops below this.
+  /// 1.05 is between the classic 1.1 and the modern conservative 1.01.
+  double rhat_threshold = 1.05;
+  /// CFTP horizon cap in SWEEPS (one sweep = n single-site updates).  The
+  /// sandwich doubles its from-the-past horizon until coalescence; a
+  /// horizon beyond this throws StoppingError.
+  std::int64_t cftp_max_horizon = 1 << 16;
+};
+
+/// Outcome of a stopping decision.
+struct StopDecision {
+  StopRule rule = StopRule::fixed;  ///< the rule that decided (never automatic)
+  std::int64_t rounds_used = 0;     ///< rounds the payload chain must run
+  bool converged = false;           ///< false => fell back to max_rounds
+  double diagnostic = 0.0;          ///< last R-hat value (rhat rule only)
+};
+
+/// The doubling checkpoint schedule: first, 2*first, 4*first, ... capped at
+/// max_rounds, with max_rounds always included as the final checkpoint.
+[[nodiscard]] std::vector<std::int64_t> checkpoint_schedule(
+    std::int64_t first, std::int64_t max_rounds);
+
+/// One coupled pair for coupling_fleet_stop: the two bracketing states plus
+/// a stepper advancing BOTH by one round on the pair's shared randomness
+/// (build both underlying chains with the same seed).  Type-erased so any
+/// chain family plugs in.
+struct CouplingPair {
+  Config x;  ///< started from the payload init
+  Config y;  ///< started from the adversarial extremal init
+  std::function<void(Config&, Config&, std::int64_t)> step;
+};
+
+/// Builds coupled pair p with the given (already salted) RNG seed.  Invoked
+/// concurrently from the replica pool; must only read shared state.
+using CouplingPairFactory =
+    std::function<CouplingPair(int p, std::uint64_t seed)>;
+
+/// Rule (1): advances opt.coupling_pairs independent coupled pairs in
+/// lockstep (pair-parallel over ReplicaRunner) and stops at the first
+/// checkpoint where EVERY pair has coalesced (x == y; under the grand
+/// coupling a coalesced pair stays coalesced, so met pairs are not
+/// re-stepped).  Pair p is seeded replica_seed(salted base_seed, p) —
+/// deliberately disjoint from the payload stream, so the returned
+/// rounds_used is a data-independent round count for the payload to run.
+/// If any pair never agrees, rounds_used = opt.max_rounds and
+/// converged = false.
+[[nodiscard]] StopDecision coupling_fleet_stop(
+    const CouplingPairFactory& factory, std::uint64_t base_seed,
+    const StoppingOptions& opt);
+
+/// True iff m is "hardcore-shaped": q = 2, every edge activity has
+/// A(1,1) = 0 and A(0,0) = A(0,1) = A(1,0) > 0, and every vertex activity
+/// is strictly positive — i.e. the weighted-independent-set models
+/// cftp_hardcore's sandwich is exact for (mrf::make_hardcore and scalings).
+[[nodiscard]] bool is_hardcore_shaped(const mrf::Mrf& m);
+
+struct CftpResult {
+  Config config;              ///< the perfect sample
+  std::int64_t sweeps = 0;    ///< total sweeps over all horizons (the work)
+  std::int64_t horizon = 0;   ///< the coalesced from-the-past horizon
+};
+
+/// Rule (2): monotone-sandwich coupling from the past for hardcore-shaped
+/// models.  Runs lower (empty) and upper (fully occupied) bounding chains
+/// from time -T with T doubling per attempt; randomness is keyed by
+/// absolute time through the counter RNG, so the suffix reuse CFTP requires
+/// is automatic.  When the sandwich closes at time 0 the returned
+/// configuration is an EXACT draw from the Gibbs distribution.  Throws
+/// std::invalid_argument if !is_hardcore_shaped(m) and StoppingError if the
+/// horizon cap is exceeded.  Sequential by construction — the decision and
+/// sample are pure functions of (m, seed).
+[[nodiscard]] CftpResult cftp_hardcore(const mrf::Mrf& m, std::uint64_t seed,
+                                       std::int64_t first_horizon,
+                                       std::int64_t max_horizon);
+
+/// One diagnostic replica for rhat_stop: a state plus a stepper that
+/// advances it by one round.  The stepper owns whatever chain object drives
+/// it (type-erased so mrf chains and csp chains both plug in).
+struct DiagnosticReplica {
+  Config x;
+  std::function<void(Config&, std::int64_t)> step;
+};
+
+/// Builds diagnostic replica r with the given RNG seed.  Invoked
+/// concurrently from the replica pool; must only read shared state.
+using DiagnosticFactory =
+    std::function<DiagnosticReplica(int r, std::uint64_t seed)>;
+
+/// Rule (3): advances opt.rhat_replicas independent diagnostic replicas in
+/// checkpoint segments (replica-parallel over ReplicaRunner) and stops at
+/// the first checkpoint where the potential scale reduction factor of a
+/// fixed pseudo-random linear observable, computed over the second half of
+/// each trajectory, drops below opt.rhat_threshold.  Replica r is seeded by
+/// replica_seed(salted base_seed, r); the decision is a pure function of
+/// (factory semantics, base_seed, opt) — independent of thread count.
+[[nodiscard]] StopDecision rhat_stop(const DiagnosticFactory& factory,
+                                     std::uint64_t base_seed,
+                                     const StoppingOptions& opt);
+
+}  // namespace lsample::chains

@@ -30,6 +30,102 @@ mrf::CompiledMrf::Options mrf_compile_options(const SamplerOptions& options) {
                                : mrf::CompiledMrf::Tier::exact};
 }
 
+/// Resolves StopRule::automatic to the strongest applicable rule for an
+/// MRF: perfect sampling (cftp) when the sandwich structure exists,
+/// otherwise the grand-coupling certificate.  (CSP entry points resolve
+/// automatic to rhat — no coupling structure on a general CSP.)
+chains::StopRule resolve_stop_rule(chains::StopRule rule, const mrf::Mrf& m) {
+  if (rule != chains::StopRule::automatic) return rule;
+  return chains::is_hardcore_shaped(m) ? chains::StopRule::cftp
+                                       : chains::StopRule::coupling;
+}
+
+/// Adversarial twin init for the coupling rule: the extremal configuration
+/// farthest from the library's canonical payload init (greedy assigns the
+/// lowest feasible spins, so all-(q-1) maximizes Hamming distance; for
+/// hardcore it is the fully-occupied upper extreme).
+mrf::Config adversarial_config(const mrf::Mrf& m, const mrf::Config& x0) {
+  mrf::Config y = chains::constant_config(m, m.q() - 1);
+  if (y == x0) y = chains::constant_config(m, 0);
+  return y;
+}
+
+std::unique_ptr<chains::Chain> make_mrf_chain(
+    Algorithm algorithm, std::shared_ptr<const mrf::CompiledMrf> cm,
+    std::uint64_t seed) {
+  if (algorithm == Algorithm::luby_glauber)
+    return std::make_unique<chains::LubyGlauberChain>(std::move(cm), seed);
+  return std::make_unique<chains::LocalMetropolisChain>(std::move(cm), seed);
+}
+
+/// CFTP horizon cap in sweeps: the round budget when one exists (generous —
+/// the sandwich closes in O(log n) sweeps in-regime while budgets are
+/// Omega(Delta log n) rounds), else the module default backstop.
+std::int64_t cftp_horizon_cap(std::int64_t budget_rounds) {
+  return budget_rounds > 0
+             ? std::max<std::int64_t>(std::int64_t{64}, budget_rounds)
+             : chains::StoppingOptions{}.cftp_max_horizon;
+}
+
+/// The coupling stopping decision for an MRF: a fixed fleet of 4 coupled
+/// pairs (payload init vs adversarial extremal init, each pair sharing its
+/// own salted seed so coalescence realizes the Lemma 4.4 grand coupling),
+/// stopped at the first checkpoint where every pair has coalesced.  The
+/// diagnostic seeds are disjoint from the payload stream on purpose — the
+/// payload must not be stopped at its OWN coalescence time (naive forward
+/// coupling is biased; the fuzzer's TV gate demonstrates it).  Pure
+/// function of (m, algorithm, seed, max_rounds).
+chains::StopDecision coupling_decision_mrf(
+    const std::shared_ptr<const mrf::CompiledMrf>& cm, const mrf::Mrf& m,
+    const mrf::Config& x0, Algorithm algorithm, std::uint64_t seed,
+    std::int64_t max_rounds, int num_threads) {
+  chains::StoppingOptions sopt;
+  sopt.max_rounds = max_rounds;
+  sopt.num_threads = num_threads;
+  const mrf::Config y0 = adversarial_config(m, x0);
+  const auto factory = [&](int, std::uint64_t pseed) -> chains::CouplingPair {
+    chains::CouplingPair pair;
+    pair.x = x0;
+    pair.y = y0;
+    const std::shared_ptr<chains::Chain> cx =
+        make_mrf_chain(algorithm, cm, pseed);
+    const std::shared_ptr<chains::Chain> cy =
+        make_mrf_chain(algorithm, cm, pseed);
+    pair.step = [cx, cy](mrf::Config& x, mrf::Config& y, std::int64_t t) {
+      cx->step(x, t);
+      cy->step(y, t);
+    };
+    return pair;
+  };
+  return chains::coupling_fleet_stop(factory, seed, sopt);
+}
+
+/// The R-hat stopping decision for an MRF: a fixed fleet of 4 diagnostic
+/// replicas on the shared compiled view — replica 0 from the payload init,
+/// the rest from iid-uniform random configurations (overdispersed relative
+/// to the Gibbs law) — advanced in doubling checkpoints.  Pure function of
+/// (m, algorithm, seed, max_rounds): independent of num_threads (asserted
+/// by the stopping tests) and of the caller's replica batch size.
+chains::StopDecision rhat_decision_mrf(
+    const std::shared_ptr<const mrf::CompiledMrf>& cm, const mrf::Mrf& m,
+    const mrf::Config& x0, Algorithm algorithm, std::uint64_t seed,
+    std::int64_t max_rounds, int num_threads) {
+  chains::StoppingOptions sopt;
+  sopt.max_rounds = max_rounds;
+  sopt.num_threads = num_threads;
+  const auto factory = [&](int r,
+                           std::uint64_t rseed) -> chains::DiagnosticReplica {
+    chains::DiagnosticReplica rep;
+    rep.x = r == 0 ? x0
+                   : chains::random_config(
+                         m, util::mix64(rseed ^ 0x243f6a8885a308d3ULL));
+    std::shared_ptr<chains::Chain> chain = make_mrf_chain(algorithm, cm, rseed);
+    rep.step = [chain](mrf::Config& x, std::int64_t t) { chain->step(x, t); };
+    return rep;
+  };
+  return chains::rhat_stop(factory, seed, sopt);
+}
+
 /// Builds the LOCAL-model network for (algorithm, view, x0, seed).
 local::Network make_network(Algorithm algorithm,
                             std::shared_ptr<const mrf::CompiledMrf> cm,
@@ -46,8 +142,14 @@ SampleResult run_chain(const mrf::Mrf& m, const SamplerOptions& options,
   LS_REQUIRE(options.num_shards == 1 || options.backend == Backend::local_network,
              "num_shards > 1 requires the local_network backend (the chain "
              "backend has no network to shard)");
+  LS_REQUIRE(
+      options.stop == chains::StopRule::fixed ||
+          options.backend == Backend::chain,
+      "adaptive stopping (options.stop != fixed) requires the chain backend");
   SampleResult result;
   result.rounds = rounds;
+  result.rounds_used = rounds;
+  result.budget_rounds = rounds;
   result.theory_alpha = alpha;
   mrf::Config x = chains::greedy_feasible_config(m);
   const int threads = options.num_threads == 0
@@ -99,22 +201,49 @@ SampleResult run_chain(const mrf::Mrf& m, const SamplerOptions& options,
     result.feasible = m.feasible(result.config);
     return result;
   }
+  const chains::StopRule rule = resolve_stop_rule(options.stop, m);
+  result.stop_rule = rule;
+  if (rule == chains::StopRule::cftp) {
+    // Perfect sampling: no payload chain at all.  rounds_used counts CFTP
+    // sweeps (n single-site updates each); the budget is kept for the
+    // savings report and as a generous horizon cap.
+    LS_REQUIRE(chains::is_hardcore_shaped(m),
+               "stop = cftp requires a hardcore-shaped model (q = 2, "
+               "A = c*[[1,1],[1,0]]); use stop = coupling or rhat");
+    const chains::CftpResult perfect = chains::cftp_hardcore(
+        m, options.seed, /*first_horizon=*/8, cftp_horizon_cap(rounds));
+    result.config = perfect.config;
+    result.feasible = m.feasible(result.config);
+    result.rounds = perfect.sweeps;
+    result.rounds_used = perfect.sweeps;
+    result.stopped_early = true;
+    return result;
+  }
   // One shared view per call so the facade options (reorder, fast_math)
   // reach the kernels; the shared-view constructors are bit-identical to
   // the compile-their-own ones, which the view tests assert.
   const auto cm =
       std::make_shared<const mrf::CompiledMrf>(m, mrf_compile_options(options));
-  auto run_with = [&](chains::Chain& chain) {
-    if (engine.has_value()) chain.set_engine(&*engine);
-    chains::run(chain, x, 0, rounds);
-  };
-  if (options.algorithm == Algorithm::luby_glauber) {
-    chains::LubyGlauberChain chain(cm, options.seed);
-    run_with(chain);
-  } else {
-    chains::LocalMetropolisChain chain(cm, options.seed);
-    run_with(chain);
+  std::int64_t payload_rounds = rounds;
+  if (rule == chains::StopRule::coupling ||
+      rule == chains::StopRule::rhat) {
+    // The diagnostic fleets run on their own salted streams; the payload
+    // below is an ordinary fixed-round run for the decided round count —
+    // identical to stop = fixed with rounds = rounds_used.
+    const chains::StopDecision decision =
+        rule == chains::StopRule::coupling
+            ? coupling_decision_mrf(cm, m, x, options.algorithm, options.seed,
+                                    rounds, options.num_threads)
+            : rhat_decision_mrf(cm, m, x, options.algorithm, options.seed,
+                                rounds, options.num_threads);
+    payload_rounds = decision.rounds_used;
+    result.rounds = payload_rounds;
+    result.rounds_used = payload_rounds;
+    result.stopped_early = decision.converged;
   }
+  auto chain = make_mrf_chain(options.algorithm, cm, options.seed);
+  if (engine.has_value()) chain->set_engine(&*engine);
+  chains::run(*chain, x, 0, payload_rounds);
   result.feasible = m.feasible(x);
   result.config = std::move(x);
   return result;
@@ -129,6 +258,10 @@ BatchSampleResult run_replicas(const mrf::Mrf& m, const SamplerOptions& options,
              "replicas already parallelize across whole networks — draw "
              "sharded samples one at a time via the single-sample entry "
              "points");
+  LS_REQUIRE(
+      options.stop == chains::StopRule::fixed ||
+          options.backend == Backend::chain,
+      "adaptive stopping (options.stop != fixed) requires the chain backend");
   const int replicas = options.num_replicas;
   // One compiled view shared read-only by every replica; CompiledMrf
   // construction also finalizes the graph CSR, so the concurrent reads
@@ -138,7 +271,58 @@ BatchSampleResult run_replicas(const mrf::Mrf& m, const SamplerOptions& options,
   const mrf::Config x0 = chains::greedy_feasible_config(m);
   BatchSampleResult result;
   result.rounds = rounds;
+  result.rounds_used = rounds;
+  result.budget_rounds = rounds;
   result.theory_alpha = alpha;
+  const chains::StopRule rule = resolve_stop_rule(options.stop, m);
+  result.stop_rule = rule;
+  if (rule == chains::StopRule::cftp) {
+    // Each replica draws its own PERFECT sample (CFTP horizons differ per
+    // replica; rounds_used reports the largest).  Replica r is a pure
+    // function of (m, options.seed, r), so batches of any size agree.
+    LS_REQUIRE(chains::is_hardcore_shaped(m),
+               "stop = cftp requires a hardcore-shaped model (q = 2, "
+               "A = c*[[1,1],[1,0]]); use stop = coupling or rhat");
+    const std::int64_t cap = cftp_horizon_cap(rounds);
+    result.configs.assign(static_cast<std::size_t>(replicas), mrf::Config{});
+    std::vector<std::int64_t> sweeps(static_cast<std::size_t>(replicas), 0);
+    std::vector<char> ok(static_cast<std::size_t>(replicas), 0);
+    chains::ReplicaRunner runner(options.num_threads);
+    runner.run(replicas, [&](int r) {
+      const chains::CftpResult perfect = chains::cftp_hardcore(
+          m, chains::replica_seed(options.seed, static_cast<std::uint64_t>(r)),
+          /*first_horizon=*/8, cap);
+      sweeps[static_cast<std::size_t>(r)] = perfect.sweeps;
+      ok[static_cast<std::size_t>(r)] =
+          m.feasible(perfect.config) ? 1 : 0;
+      result.configs[static_cast<std::size_t>(r)] = perfect.config;
+    });
+    result.rounds_used = 0;
+    for (const std::int64_t s : sweeps)
+      result.rounds_used = std::max(result.rounds_used, s);
+    result.rounds = result.rounds_used;
+    result.stopped_early = true;
+    for (const char f : ok) result.feasible_count += f != 0 ? 1 : 0;
+    return result;
+  }
+  std::int64_t effective_rounds = rounds;
+  if (rule == chains::StopRule::coupling ||
+      rule == chains::StopRule::rhat) {
+    // ONE stopping decision for the whole batch, keyed to the BASE seed —
+    // so the decision cannot depend on the batch size, and batches of any
+    // num_replicas run the same rounds.
+    const chains::StopDecision decision =
+        rule == chains::StopRule::coupling
+            ? coupling_decision_mrf(cm, m, x0, options.algorithm,
+                                    options.seed, rounds, options.num_threads)
+            : rhat_decision_mrf(cm, m, x0, options.algorithm, options.seed,
+                                rounds, options.num_threads);
+    effective_rounds = decision.rounds_used;
+    result.stopped_early = decision.converged;
+  }
+  result.rounds = effective_rounds;
+  result.rounds_used = effective_rounds;
+  rounds = effective_rounds;
   result.configs.assign(static_cast<std::size_t>(replicas), mrf::Config{});
   std::vector<char> feasible(static_cast<std::size_t>(replicas), 0);
   std::vector<local::MessageStats> net_stats(
@@ -221,17 +405,63 @@ void check_csp_options(const SamplerOptions& options) {
              "CSP sampling does not support sharded networks");
 }
 
+/// Resolves the stopping rule for CSP entry points: automatic means rhat
+/// (a general CSP has neither the grand-coupling adversarial-init story —
+/// finding a second feasible config is itself NP-hard — nor a monotone
+/// sandwich), and coupling/cftp are rejected with a named error.
+chains::StopRule resolve_csp_stop_rule(chains::StopRule rule) {
+  if (rule == chains::StopRule::automatic) return chains::StopRule::rhat;
+  LS_REQUIRE(rule == chains::StopRule::fixed || rule == chains::StopRule::rhat,
+             "CSP sampling supports stop = fixed, rhat, or auto (no "
+             "coupling/cftp structure on a general CSP)");
+  return rule;
+}
+
+/// The R-hat stopping decision for a CSP: like rhat_decision_mrf, but every
+/// diagnostic replica starts from the caller's x0 (the one configuration
+/// known to be feasible) and dispersion comes from the independent replica
+/// streams.
+chains::StopDecision rhat_decision_csp(
+    const std::shared_ptr<const csp::CompiledFactorGraph>& cfg,
+    const csp::Config& x0, Algorithm algorithm, std::uint64_t seed,
+    std::int64_t max_rounds, int num_threads) {
+  chains::StoppingOptions sopt;
+  sopt.max_rounds = max_rounds;
+  sopt.num_threads = num_threads;
+  const auto factory = [&](int /*r*/,
+                           std::uint64_t rseed) -> chains::DiagnosticReplica {
+    chains::DiagnosticReplica rep;
+    rep.x = x0;
+    std::shared_ptr<csp::CspChain> chain = make_csp_chain(algorithm, cfg, rseed);
+    rep.step = [chain](csp::Config& x, std::int64_t t) { chain->step(x, t); };
+    return rep;
+  };
+  return chains::rhat_stop(factory, seed, sopt);
+}
+
 }  // namespace
 
 SampleResult sample_csp(const csp::FactorGraph& fg, const csp::Config& x0,
                         const SamplerOptions& options) {
   check_csp_options(options);
   csp::check_config(fg, x0);
-  const std::int64_t rounds = *options.rounds;
+  const std::int64_t budget = *options.rounds;
+  const chains::StopRule rule = resolve_csp_stop_rule(options.stop);
   SampleResult result;
-  result.rounds = rounds;
+  result.budget_rounds = budget;
+  result.stop_rule = rule;
   const auto cfg = std::make_shared<const csp::CompiledFactorGraph>(
       fg, csp::CompiledFactorGraph::Options{options.reorder});
+  std::int64_t rounds = budget;
+  if (rule == chains::StopRule::rhat) {
+    const chains::StopDecision decision =
+        rhat_decision_csp(cfg, x0, options.algorithm, options.seed, budget,
+                          options.num_threads);
+    rounds = decision.rounds_used;
+    result.stopped_early = decision.converged;
+  }
+  result.rounds = rounds;
+  result.rounds_used = rounds;
   const auto chain = make_csp_chain(options.algorithm, cfg, options.seed);
   const int threads = options.num_threads == 0
                           ? chains::ParallelEngine::hardware_threads()
@@ -254,7 +484,8 @@ BatchSampleResult sample_many_csp(const csp::FactorGraph& fg,
   check_csp_options(options);
   LS_REQUIRE(options.num_replicas >= 1, "num_replicas must be >= 1");
   csp::check_config(fg, x0);
-  const std::int64_t rounds = *options.rounds;
+  const std::int64_t budget = *options.rounds;
+  const chains::StopRule rule = resolve_csp_stop_rule(options.stop);
   const int replicas = options.num_replicas;
   // One compiled view shared read-only by every replica (it also finalizes
   // the conflict graph, so worker-thread chain construction never races a
@@ -262,7 +493,20 @@ BatchSampleResult sample_many_csp(const csp::FactorGraph& fg,
   const auto cfg = std::make_shared<const csp::CompiledFactorGraph>(
       fg, csp::CompiledFactorGraph::Options{options.reorder});
   BatchSampleResult result;
+  result.budget_rounds = budget;
+  result.stop_rule = rule;
+  std::int64_t rounds = budget;
+  if (rule == chains::StopRule::rhat) {
+    // One decision for the whole batch, keyed to the base seed — batches of
+    // any size run the same rounds (asserted by the stopping tests).
+    const chains::StopDecision decision =
+        rhat_decision_csp(cfg, x0, options.algorithm, options.seed, budget,
+                          options.num_threads);
+    rounds = decision.rounds_used;
+    result.stopped_early = decision.converged;
+  }
   result.rounds = rounds;
+  result.rounds_used = rounds;
   result.configs.assign(static_cast<std::size_t>(replicas), csp::Config{});
   std::vector<char> feasible(static_cast<std::size_t>(replicas), 0);
   chains::ReplicaRunner runner(options.num_threads);
@@ -367,10 +611,18 @@ SampleResult sample_hardcore(graph::GraphPtr g, double lambda,
     // the hardcore marginal is at most lambda/(1+lambda); the total influence
     // is below 1 when Delta * lambda / (1 + lambda) < 1.
     alpha = delta * lambda / (1.0 + lambda);
-    LS_REQUIRE(alpha < 1.0,
-               "no mixing guarantee for this (Delta, lambda); Theorem 1.3 "
-               "shows none can exist in the non-uniqueness regime — set "
-               "options.rounds explicitly");
+    if (alpha >= 1.0) {
+      // CFTP needs no a-priori budget: it either returns a perfect sample
+      // or throws chains::StoppingError at the horizon cap — so stop =
+      // cftp/auto is the one budget-free path outside the guaranteed
+      // regime.  Everything else keeps the strict refusal.
+      LS_REQUIRE(resolve_stop_rule(options.stop, m) == chains::StopRule::cftp,
+                 "no mixing guarantee for this (Delta, lambda); Theorem 1.3 "
+                 "shows none can exist in the non-uniqueness regime — set "
+                 "options.rounds explicitly, or use stop = cftp / auto for a "
+                 "perfect sample that fails loudly instead of mixing slowly");
+      return run_chain(m, options, 0, alpha);
+    }
     const double gamma = 1.0 / (delta + 1.0);
     rounds = luby_glauber_round_budget(g->num_vertices(), gamma, alpha,
                                        options.epsilon);

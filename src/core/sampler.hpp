@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "chains/stopping.hpp"
 #include "csp/factor_graph.hpp"
 #include "graph/reorder.hpp"
 #include "local/message_stats.hpp"
@@ -72,6 +73,23 @@ struct SamplerOptions {
   /// so backend bit-equality holds only with fast_math off) and by the CSP
   /// entry points.
   bool fast_math = false;
+  /// Stopping policy (chains/stopping.hpp): `fixed` runs the full round
+  /// budget; `coupling` stops at the first doubling checkpoint where a
+  /// fleet of independently-seeded grand-coupled pairs (payload init vs
+  /// adversarial init) has fully coalesced, then runs the payload that many
+  /// rounds on its own stream; `cftp`
+  /// returns a PERFECT hardcore sample via sandwich coupling from the past
+  /// (hardcore-shaped models only; throws chains::StoppingError instead of
+  /// hanging when the sandwich cannot close); `rhat` stops when a
+  /// cross-replica Gelman–Rubin diagnostic over a fixed fleet of 4
+  /// diagnostic replicas converges; `automatic` picks cftp for
+  /// hardcore-shaped models, coupling for other MRFs, rhat for CSPs.  The
+  /// round budget (theory-derived or options.rounds) becomes the hard cap:
+  /// adaptive runs never exceed it, and an unconverged diagnostic falls
+  /// back to it (result.stopped_early == false).  The decision is a pure
+  /// function of (model, seed, rule): bit-identical at any num_threads and
+  /// independent of num_replicas.  Chain backend only.
+  chains::StopRule stop = chains::StopRule::fixed;
 };
 
 struct SampleResult {
@@ -86,6 +104,18 @@ struct SampleResult {
   /// Shard-boundary traffic when backend == local_network and
   /// options.num_shards > 1 (all-zero otherwise).
   local::HaloStats halo_stats;
+  /// Rounds the payload chain actually ran (== rounds; for stop == cftp,
+  /// total CFTP sweeps — one sweep is n single-site updates).
+  std::int64_t rounds_used = 0;
+  /// The budget the fixed policy would have paid (theory-derived or
+  /// options.rounds; 0 when cftp runs without any applicable budget).
+  std::int64_t budget_rounds = 0;
+  /// True iff an adaptive rule certified convergence within the budget
+  /// (rounds_used < budget_rounds implies actual savings; false means the
+  /// diagnostic never converged and the full fixed budget was paid).
+  bool stopped_early = false;
+  /// The rule that actually decided (automatic resolved; fixed otherwise).
+  chains::StopRule stop_rule = chains::StopRule::fixed;
 };
 
 /// Samples an approximately uniform proper q-coloring of g (Theorems 1.1 /
@@ -125,6 +155,12 @@ struct BatchSampleResult {
   /// Summed communication profile over all replicas when
   /// backend == local_network (all-zero for the chain backend).
   local::MessageStats message_stats;
+  /// Rounds each replica actually ran (cftp: max sweeps over replicas —
+  /// each replica's perfect sampler stops on its own).
+  std::int64_t rounds_used = 0;
+  std::int64_t budget_rounds = 0;  ///< the fixed policy's budget
+  bool stopped_early = false;      ///< adaptive rule converged under budget
+  chains::StopRule stop_rule = chains::StopRule::fixed;  ///< resolved rule
 };
 
 /// Draws options.num_replicas independent samples from m in one call — the

@@ -872,6 +872,78 @@ void check_empirical_vs_exact(const Instance& inst, const FuzzOptions& opt,
   }
 }
 
+// Adaptive stopping must not bias the sample: batches drawn with
+// stop = coupling (MRFs), stop = cftp (hardcore-shaped MRFs) and
+// stop = rhat (CSPs) face the SAME empirical-vs-exact TV gate as the
+// fixed-budget path.  This is the honesty check for the whole stopping
+// subsystem — a rule that stops before mixing shows up here as excess TV
+// on instances where enumeration is the ground truth.  CFTP additionally
+// claims PERFECT samples, so its gate doubles as an exactness test.
+void check_adaptive_stopping(const Instance& inst, const FuzzOptions& opt,
+                             Collector& col) {
+  const int n = inst.m ? inst.m->n() : inst.fg->n();
+  const int q = inst.m ? inst.m->q() : inst.fg->q();
+  const inference::StateSpace ss(n, q);
+  const std::vector<double> mu =
+      inst.m ? inference::gibbs_distribution(*inst.m, ss)
+             : csp::csp_gibbs_distribution(*inst.fg, ss);
+  std::int64_t support = 0;
+  for (double p : mu) support += p > 0.0 ? 1 : 0;
+  if (support > opt.tv_max_support) return;
+  if (!single_flip_connected(mu, ss, n, q)) return;
+  const double tol =
+      opt.tv_tolerance +
+      0.9 * std::sqrt(static_cast<double>(support) /
+                      static_cast<double>(opt.tv_samples));
+  const auto gate = [&](chains::StopRule rule, std::uint64_t s,
+                        std::int64_t budget, const char* name) {
+    core::SamplerOptions o;
+    o.algorithm = core::Algorithm::luby_glauber;
+    o.seed = s;
+    o.rounds = budget;
+    o.num_replicas = opt.tv_samples;
+    o.num_threads = 0;
+    o.stop = rule;
+    std::vector<double> counts(static_cast<std::size_t>(ss.size()), 0.0);
+    std::int64_t rounds_used = 0;
+    try {
+      if (inst.m) {
+        const auto batch = core::sample_many(*inst.m, o);
+        for (const auto& c : batch.configs)
+          counts[static_cast<std::size_t>(ss.encode(c))] += 1.0;
+        rounds_used = batch.rounds_used;
+      } else {
+        const auto batch = core::sample_many_csp(*inst.fg, inst.x0, o);
+        for (const auto& c : batch.configs)
+          counts[static_cast<std::size_t>(ss.encode(c))] += 1.0;
+        rounds_used = batch.rounds_used;
+      }
+    } catch (const chains::StoppingError& e) {
+      col.expect(false, name,
+                 std::string("StoppingError on a tiny instance: ") + e.what());
+      return;
+    }
+    const double tv = util::total_variation(counts, mu);
+    std::ostringstream os;
+    os << "TV(adaptive, exact) = " << tv << " > tol " << tol << " (rule "
+       << chains::stop_rule_name(rule) << ", rounds_used " << rounds_used
+       << " of budget " << budget << ", support " << support << ", "
+       << opt.tv_samples << " samples)";
+    col.expect(tv <= tol && rounds_used <= budget, name, os.str());
+  };
+  if (inst.m) {
+    gate(chains::StopRule::coupling, chain_seed(inst.seed, 13), opt.tv_rounds,
+         "adaptive_coupling_tv");
+    // The sandwich cap only bounds the failure mode; generosity is free.
+    if (chains::is_hardcore_shaped(*inst.m))
+      gate(chains::StopRule::cftp, chain_seed(inst.seed, 14),
+           4 * opt.tv_rounds, "adaptive_cftp_tv");
+  } else {
+    gate(chains::StopRule::rhat, chain_seed(inst.seed, 15), opt.tv_rounds,
+         "adaptive_rhat_tv");
+  }
+}
+
 void run_instance_checks(const Instance& inst, const FuzzOptions& opt,
                          Collector& col, bool determinism_only) {
   if (!determinism_only) check_seed_equivalence(inst, opt, col);
@@ -879,8 +951,10 @@ void run_instance_checks(const Instance& inst, const FuzzOptions& opt,
   check_network_equivalence(inst, opt, col, /*with_engine=*/false);
   check_network_equivalence(inst, opt, col, /*with_engine=*/true);
   check_replica_streams(inst, opt, col);
-  if (!determinism_only && opt.check_exact_tv)
+  if (!determinism_only && opt.check_exact_tv) {
     check_empirical_vs_exact(inst, opt, col);
+    check_adaptive_stopping(inst, opt, col);
+  }
 }
 
 // ---------------------------------------------------------------------------

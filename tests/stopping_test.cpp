@@ -1,0 +1,294 @@
+// Adaptive stopping (chains/stopping.hpp + the facade's SamplerOptions.stop):
+// unit behavior of the schedule/parser, the determinism contract (decisions
+// bit-identical at any thread count and any replica batch size), CFTP
+// exactness against exact enumeration, trajectory-prefix semantics of the
+// coupling rule, and the never-hang guarantee (named StoppingError).
+#include "chains/stopping.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "chains/replicas.hpp"
+#include "core/sampler.hpp"
+#include "csp/csp_models.hpp"
+#include "graph/generators.hpp"
+#include "inference/exact.hpp"
+#include "inference/state_space.hpp"
+#include "mrf/models.hpp"
+#include "util/summary.hpp"
+
+namespace lsample::chains {
+namespace {
+
+TEST(CheckpointSchedule, DoublesAndAlwaysEndsAtMax) {
+  const auto s = checkpoint_schedule(8, 100);
+  const std::vector<std::int64_t> want{8, 16, 32, 64, 100};
+  EXPECT_EQ(s, want);
+  // max_rounds below the first checkpoint: a single decision at the budget.
+  const auto tiny = checkpoint_schedule(8, 5);
+  const std::vector<std::int64_t> want_tiny{5};
+  EXPECT_EQ(tiny, want_tiny);
+  // Exact power-of-two budget must not duplicate the final checkpoint.
+  const auto pow2 = checkpoint_schedule(8, 32);
+  const std::vector<std::int64_t> want_pow2{8, 16, 32};
+  EXPECT_EQ(pow2, want_pow2);
+  EXPECT_THROW((void)checkpoint_schedule(0, 10), std::invalid_argument);
+  EXPECT_THROW((void)checkpoint_schedule(8, 0), std::invalid_argument);
+}
+
+TEST(ParseStopRule, RoundTripsEveryName) {
+  for (const StopRule rule : {StopRule::fixed, StopRule::coupling,
+                              StopRule::cftp, StopRule::rhat,
+                              StopRule::automatic}) {
+    const auto parsed = parse_stop_rule(stop_rule_name(rule));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, rule);
+  }
+  EXPECT_EQ(parse_stop_rule("automatic"), StopRule::automatic);
+  EXPECT_FALSE(parse_stop_rule("adaptive").has_value());
+  EXPECT_FALSE(parse_stop_rule("").has_value());
+}
+
+TEST(IsHardcoreShaped, AcceptsHardcoreRejectsOthers) {
+  const auto g = graph::make_cycle(5);
+  EXPECT_TRUE(is_hardcore_shaped(mrf::make_hardcore(g, 0.7)));
+  EXPECT_FALSE(is_hardcore_shaped(mrf::make_proper_coloring(g, 3)));
+  EXPECT_FALSE(is_hardcore_shaped(mrf::make_ising(g, 0.2, 0.0)));
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: the stopping decision (rule, rounds_used, stopped_early) and
+// the sampled configuration are pure functions of (model, seed, rule) —
+// bit-identical at any num_threads.
+
+struct Decision {
+  StopRule rule;
+  std::int64_t rounds_used;
+  std::int64_t budget;
+  bool early;
+  mrf::Config config;
+  bool operator==(const Decision&) const = default;
+};
+
+Decision decide_coloring(int num_threads, StopRule rule, std::uint64_t seed) {
+  util::Rng grng(11);
+  const auto g = graph::make_random_regular(48, 4, grng);
+  core::SamplerOptions opt;
+  opt.algorithm = core::Algorithm::luby_glauber;
+  opt.seed = seed;
+  opt.stop = rule;
+  opt.num_threads = num_threads;
+  const auto res = core::sample_coloring(g, 16, opt);
+  return {res.stop_rule, res.rounds_used, res.budget_rounds,
+          res.stopped_early, res.config};
+}
+
+TEST(StoppingDeterminism, ColoringDecisionsThreadInvariant) {
+  for (const StopRule rule :
+       {StopRule::coupling, StopRule::rhat, StopRule::automatic}) {
+    const Decision base = decide_coloring(1, rule, 7);
+    EXPECT_GT(base.rounds_used, 0);
+    EXPECT_LE(base.rounds_used, base.budget);
+    for (const int threads : {2, 4, 0})
+      EXPECT_EQ(decide_coloring(threads, rule, 7), base)
+          << "rule " << stop_rule_name(rule) << " threads " << threads;
+  }
+}
+
+Decision decide_hardcore(int num_threads, std::uint64_t seed) {
+  const auto g = graph::make_grid(4, 4);
+  core::SamplerOptions opt;
+  opt.seed = seed;
+  opt.stop = StopRule::cftp;
+  opt.num_threads = num_threads;
+  const auto res = core::sample_hardcore(g, 0.5, opt);
+  return {res.stop_rule, res.rounds_used, res.budget_rounds,
+          res.stopped_early, res.config};
+}
+
+TEST(StoppingDeterminism, CftpDecisionThreadInvariant) {
+  const Decision base = decide_hardcore(1, 21);
+  EXPECT_EQ(base.rule, StopRule::cftp);
+  EXPECT_TRUE(base.early);
+  EXPECT_GT(base.rounds_used, 0);
+  for (const int threads : {2, 4, 0})
+    EXPECT_EQ(decide_hardcore(threads, 21), base);
+}
+
+// The decision must not change with the caller's replica batch size: the
+// diagnostic fleet is fixed, so sample_many at R = 1, 2, 4 reports one and
+// the same (rounds_used, stopped_early), and replica r's sample matches the
+// single-sample call with replica_seed(seed, r).
+TEST(StoppingDeterminism, BatchSizeInvariant) {
+  util::Rng grng(13);
+  const auto g = graph::make_random_regular(36, 4, grng);
+  for (const StopRule rule : {StopRule::coupling, StopRule::rhat}) {
+    std::int64_t rounds_used = -1;
+    bool early = false;
+    std::vector<mrf::Config> first_config;
+    for (const int replicas : {1, 2, 4}) {
+      core::SamplerOptions opt;
+      opt.algorithm = core::Algorithm::luby_glauber;
+      opt.seed = 31;
+      opt.stop = rule;
+      opt.num_replicas = replicas;
+      const auto batch = core::sample_many_colorings(g, 14, opt);
+      if (rounds_used < 0) {
+        rounds_used = batch.rounds_used;
+        early = batch.stopped_early;
+        first_config.push_back(batch.configs[0]);
+      }
+      EXPECT_EQ(batch.rounds_used, rounds_used)
+          << "rule " << stop_rule_name(rule) << " R=" << replicas;
+      EXPECT_EQ(batch.stopped_early, early);
+      EXPECT_EQ(batch.configs[0], first_config[0]);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Semantics: the coupling rule's payload trajectory is the fixed-budget
+// trajectory truncated at rounds_used — early stopping changes WHEN you
+// stop, never WHAT chain you run.
+
+TEST(StoppingSemantics, CouplingIsPrefixOfFixedTrajectory) {
+  util::Rng grng(17);
+  const auto g = graph::make_random_regular(40, 4, grng);
+  core::SamplerOptions opt;
+  opt.algorithm = core::Algorithm::luby_glauber;
+  opt.seed = 9;
+  opt.stop = StopRule::coupling;
+  const auto adaptive = core::sample_coloring(g, 16, opt);
+  ASSERT_GT(adaptive.rounds_used, 0);
+  opt.stop = StopRule::fixed;
+  opt.rounds = adaptive.rounds_used;
+  const auto fixed = core::sample_coloring(g, 16, opt);
+  EXPECT_EQ(adaptive.config, fixed.config);
+}
+
+// ---------------------------------------------------------------------------
+// CFTP exactness: empirical distribution over many perfect samples matches
+// exact enumeration in total variation.
+
+TEST(StoppingCftp, MatchesExactEnumeration) {
+  const auto g = graph::make_path(5);
+  const mrf::Mrf m = mrf::make_hardcore(g, 0.8);
+  const inference::StateSpace ss(m.n(), m.q());
+  const auto mu = inference::gibbs_distribution(m, ss);
+  const int samples = 6000;
+  std::vector<double> hist(mu.size(), 0.0);
+  std::int64_t max_horizon_seen = 0;
+  for (int s = 0; s < samples; ++s) {
+    const auto r = cftp_hardcore(m, replica_seed(555, s), 4, 1 << 12);
+    hist[static_cast<std::size_t>(ss.encode(r.config))] += 1.0 / samples;
+    max_horizon_seen = std::max(max_horizon_seen, r.horizon);
+  }
+  const double tv = util::total_variation(hist, mu);
+  // Noise floor ~ sqrt(|support|/samples) / 2 = 0.026 for 16 feasible
+  // states at 6000 samples; a biased sampler sits well above 0.05.
+  EXPECT_LT(tv, 0.05);
+  EXPECT_LT(max_horizon_seen, 1 << 10);
+}
+
+// ---------------------------------------------------------------------------
+// Never-hang: an instance outside the fast-coalescence regime throws the
+// named StoppingError at the horizon cap instead of spinning.
+
+TEST(StoppingCftp, TorpidInstanceThrowsNamedError) {
+  util::Rng grng(23);
+  const auto g = graph::make_random_regular(60, 5, grng);
+  const mrf::Mrf m = mrf::make_hardcore(g, 6.0);  // far above lambda_c
+  EXPECT_THROW((void)cftp_hardcore(m, 3, 4, 64), StoppingError);
+  // Through the facade: rounds supplies the cap.
+  core::SamplerOptions opt;
+  opt.seed = 3;
+  opt.stop = StopRule::cftp;
+  opt.rounds = 64;
+  EXPECT_THROW((void)core::sample_hardcore(g, 6.0, opt), StoppingError);
+}
+
+// ---------------------------------------------------------------------------
+// Facade plumbing: rule resolution, regime validation, CSP entry points.
+
+TEST(StoppingFacade, AutomaticResolvesPerModelClass) {
+  const auto g = graph::make_grid(3, 3);
+  core::SamplerOptions opt;
+  opt.algorithm = core::Algorithm::luby_glauber;
+  opt.seed = 5;
+  opt.stop = StopRule::automatic;
+  EXPECT_EQ(core::sample_hardcore(g, 0.4, opt).stop_rule, StopRule::cftp);
+  EXPECT_EQ(core::sample_coloring(g, 9, opt).stop_rule, StopRule::coupling);
+  const auto fg = csp::make_dominating_set(*graph::make_cycle(8), 1.0);
+  const csp::Config x0(8, 1);
+  opt.rounds = 200;
+  EXPECT_EQ(core::sample_csp(fg, x0, opt).stop_rule, StopRule::rhat);
+}
+
+TEST(StoppingFacade, CspRejectsCouplingRules) {
+  const auto fg = csp::make_dominating_set(*graph::make_path(4), 1.0);
+  const csp::Config x0(4, 1);
+  core::SamplerOptions opt;
+  opt.rounds = 100;
+  for (const StopRule rule : {StopRule::coupling, StopRule::cftp}) {
+    opt.stop = rule;
+    EXPECT_THROW((void)core::sample_csp(fg, x0, opt), std::invalid_argument);
+    EXPECT_THROW((void)core::sample_many_csp(fg, x0, opt),
+                 std::invalid_argument);
+  }
+}
+
+TEST(StoppingFacade, CspDecisionsThreadAndBatchInvariant) {
+  const auto fg = csp::make_dominating_set(*graph::make_cycle(12), 1.5);
+  const csp::Config x0(12, 1);
+  core::SamplerOptions opt;
+  opt.rounds = 400;
+  opt.seed = 77;
+  opt.stop = StopRule::rhat;
+  const auto base = core::sample_csp(fg, x0, opt);
+  EXPECT_GT(base.rounds_used, 0);
+  EXPECT_LE(base.rounds_used, base.budget_rounds);
+  for (const int threads : {2, 0}) {
+    opt.num_threads = threads;
+    const auto res = core::sample_csp(fg, x0, opt);
+    EXPECT_EQ(res.rounds_used, base.rounds_used);
+    EXPECT_EQ(res.config, base.config);
+  }
+  // Batch replica r is seeded replica_seed(seed, r) (not the base seed), so
+  // configs[0] is compared across batch sizes; the DECISION stays keyed to
+  // the base seed and must match the single-sample call exactly.
+  opt.num_threads = 1;
+  std::vector<mrf::Config> replica0;
+  for (const int replicas : {1, 3}) {
+    opt.num_replicas = replicas;
+    const auto batch = core::sample_many_csp(fg, x0, opt);
+    EXPECT_EQ(batch.rounds_used, base.rounds_used);
+    replica0.push_back(batch.configs[0]);
+  }
+  EXPECT_EQ(replica0[0], replica0[1]);
+}
+
+TEST(StoppingFacade, FixedRuleReportsNoSavings) {
+  const auto g = graph::make_cycle(10);
+  core::SamplerOptions opt;
+  opt.algorithm = core::Algorithm::luby_glauber;
+  opt.seed = 2;
+  const auto res = core::sample_coloring(g, 6, opt);
+  EXPECT_EQ(res.stop_rule, StopRule::fixed);
+  EXPECT_FALSE(res.stopped_early);
+  EXPECT_EQ(res.rounds_used, res.rounds);
+  EXPECT_EQ(res.budget_rounds, res.rounds);
+}
+
+TEST(StoppingFacade, LocalNetworkBackendRejectsAdaptive) {
+  const auto g = graph::make_cycle(8);
+  core::SamplerOptions opt;
+  opt.backend = core::Backend::local_network;
+  opt.stop = StopRule::coupling;
+  EXPECT_THROW((void)core::sample_coloring(g, 6, opt), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lsample::chains
