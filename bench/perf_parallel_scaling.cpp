@@ -52,9 +52,10 @@
 // hardware_threads are oversubscribed and measure scheduling overhead, not
 // scaling.
 //
-//   $ ./perf_parallel_scaling [--quick] [--out PATH]
+//   $ ./perf_parallel_scaling [--quick] [--out PATH] [--baseline PATH]
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <functional>
@@ -62,6 +63,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -786,10 +788,13 @@ double measure_replica_steps_per_sec(
 int main(int argc, char** argv) {
   bool quick = false;
   std::string out_path = "BENCH_chains.json";
+  std::string baseline_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
       out_path = argv[++i];
+    if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc)
+      baseline_path = argv[++i];
   }
   // Best-of-reps over windows of min_time seconds.  The quick windows are
   // sized so the 0.95x engine-overhead guard is below measurement noise on a
@@ -1441,6 +1446,99 @@ int main(int argc, char** argv) {
       }
     }
   }
+  //  (i) determinism-audit guards, two halves:
+  //      (i-a) in an audited build (LSAMPLE_AUDIT=ON), turning the write-set
+  //            auditor ON must not change a single bit of any chain
+  //            trajectory — the hooks observe, they never perturb.  The
+  //            verdict is exact (bitwise config compare), so no noise
+  //            allowance and no re-measure.  Vacuously skipped in default
+  //            builds, where the hooks compile to ((void)0).
+  //      (i-b) with --baseline PATH, this run's compiled-over-seed speedup
+  //            ratio must stay above 0.8x the committed BENCH_chains.json
+  //            ratio per workload.  In the default build the audit hooks
+  //            claim zero overhead; the seed path is uninstrumented, so any
+  //            real hook cost in the compiled path shows up as a ratio drop.
+  //            The ratio — not absolute sweeps/sec — is what transfers
+  //            across machines and load levels (a CI runner is neither as
+  //            fast nor as idle as the box that produced the baseline).
+  if (chains::audit::compiled_in()) {
+    for (const auto& w : workloads) {
+      for (const auto& [cname, make_chain] : chain_factories[w.name]) {
+        constexpr int kAuditSteps = 8;
+        chains::ParallelEngine engine(2);
+        auto plain = make_chain();
+        plain->set_engine(&engine);
+        mrf::Config a = w.x0;
+        std::int64_t t = 0;
+        for (int s = 0; s < kAuditSteps; ++s) plain->step(a, t++);
+        auto audited = make_chain();
+        audited->set_engine(&engine);
+        mrf::Config b = w.x0;
+        chains::audit::reset_totals();
+        chains::audit::set_enabled(true);
+        t = 0;
+        for (int s = 0; s < kAuditSteps; ++s) audited->step(b, t++);
+        chains::audit::set_enabled(false);
+        if (chains::audit::totals().writes == 0) {
+          std::cerr << "GUARD FAILED: audited run of " << w.name << "/"
+                    << cname
+                    << " recorded no writes — the audit hooks are inert\n";
+          rc = 1;
+        }
+        if (a != b) {
+          std::cerr << "GUARD FAILED: enabling the write-set auditor changed "
+                       "the trajectory of "
+                    << w.name << "/" << cname << "\n";
+          rc = 1;
+        }
+      }
+    }
+    if (rc == 0)
+      std::cout << "audit guard: trajectories bit-identical with the "
+                   "write-set auditor enabled, on every chain row\n";
+  }
+  if (!baseline_path.empty()) {
+    std::ifstream bin(baseline_path);
+    if (!bin) {
+      std::cerr << "GUARD FAILED: --baseline " << baseline_path
+                << " is unreadable\n";
+      rc = 1;
+    } else {
+      std::stringstream buf;
+      buf << bin.rdbuf();
+      const std::string text = buf.str();
+      // Anchor on the path row, then read the adjacent ratio — local_network
+      // and the CSP section carry compiled_over_seed keys of their own.
+      constexpr const char* kAnchor = "\"compiled_path_sweeps_per_sec\": ";
+      constexpr const char* kKey = "\"compiled_over_seed\": ";
+      for (const auto& [wname, sps] : seed_vs_compiled) {
+        const auto wpos = text.find("\"" + wname + "\"");
+        const auto apos = wpos == std::string::npos ? std::string::npos
+                                                    : text.find(kAnchor, wpos);
+        const auto kpos = apos == std::string::npos ? std::string::npos
+                                                    : text.find(kKey, apos);
+        if (kpos == std::string::npos) {
+          std::cerr << "GUARD FAILED: baseline " << baseline_path
+                    << " has no compiled_over_seed path row for " << wname
+                    << "\n";
+          rc = 1;
+          continue;
+        }
+        const double base_ratio =
+            std::strtod(text.c_str() + kpos + std::strlen(kKey), nullptr);
+        const double ratio = sps.second / sps.first;
+        if (ratio < 0.8 * base_ratio) {
+          std::cerr << "GUARD FAILED: compiled-over-seed ratio on " << wname
+                    << " fell below 0.8x the committed baseline (" << ratio
+                    << "x vs " << base_ratio << "x)\n";
+          rc = 1;
+        } else {
+          std::cout << "baseline guard: " << wname << " compiled-over-seed "
+                    << ratio << "x vs committed " << base_ratio << "x\n";
+        }
+      }
+    }
+  }
   write_json();
   if (rc == 0)
     std::cout << "\nguard ok: compiled path >= seed path, replica runner "
@@ -1448,6 +1546,9 @@ int main(int argc, char** argv) {
                  "seed simulator, 1-thread engine >= 0.95x sequential "
                  "(chains and network), compiled CSP chains >= 2x seed "
                  "paths, fast_math marginal >= 0.9x exact, 1-shard sharded "
-                 "network >= 0.9x unsharded, adaptive stopping <= budget\n";
+                 "network >= 0.9x unsharded, adaptive stopping <= budget"
+                 ", audited trajectories bit-identical (audited builds)"
+                 ", compiled path within noise of the committed baseline "
+                 "(with --baseline)\n";
   return rc;
 }

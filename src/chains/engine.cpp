@@ -1,6 +1,7 @@
 #include "chains/engine.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "util/require.hpp"
 
@@ -47,6 +48,12 @@ void ParallelEngine::drain(int thread) noexcept {
   const int chunk = chunk_;
   const RawFn fn = job_fn_;
   const void* ctx = job_ctx_;
+#if defined(LSAMPLE_AUDIT)
+  // Audited rounds record into this thread's epoch buffer; the scope restores
+  // any enclosing buffer when the round's chunks are drained.
+  std::optional<audit::BufferScope> audit_scope;
+  if (audit_active_) audit_scope.emplace(audit_ctx_->buffer(thread));
+#endif
   for (;;) {
     // After a throw anywhere, skip the round's remaining chunks: the caller
     // is about to rethrow, so partial results are dead anyway.
@@ -105,6 +112,36 @@ void ParallelEngine::dispatch(int n, const void* ctx, RawFn fn) {
     std::rethrow_exception(err);
   }
 }
+
+#if defined(LSAMPLE_AUDIT)
+void ParallelEngine::dispatch_audited(int n, const void* ctx, RawFn fn) {
+  if (audit_ctx_ == nullptr)
+    audit_ctx_ = std::make_unique<audit::EpochContext>(num_threads_);
+  audit_ctx_->begin();
+  if (num_threads_ == 1) {
+    audit::BufferScope scope(audit_ctx_->buffer(0));
+    try {
+      fn(ctx, 0, 0, n);
+    } catch (...) {
+      audit_ctx_->abandon();
+      throw;
+    }
+  } else {
+    audit_active_ = true;  // published to workers by the generation bump
+    try {
+      dispatch(n, ctx, fn);
+    } catch (...) {
+      audit_active_ = false;
+      audit_ctx_->abandon();
+      throw;
+    }
+    audit_active_ = false;
+  }
+  // Workers are quiescent after the completion barrier, so the merge reads
+  // their buffers race-free.  Throws AuditError naming the conflict.
+  audit_ctx_->check_and_clear();
+}
+#endif
 
 void ParallelEngine::worker_loop(int thread) {
   std::uint64_t seen = 0;

@@ -41,6 +41,8 @@
 #include <thread>
 #include <vector>
 
+#include "chains/write_audit.hpp"
+
 namespace lsample::chains {
 
 class ParallelEngine {
@@ -65,6 +67,17 @@ class ParallelEngine {
   template <typename F>
   void parallel_for(int n, const F& fn) {
     if (n <= 0) return;
+#if defined(LSAMPLE_AUDIT)
+    if (audit::enabled()) {
+      // Audited dispatch: per-thread recording buffers are installed for the
+      // round and the write/read sets are verified at the closing barrier.
+      dispatch_audited(n, std::addressof(fn),
+                       [](const void* ctx, int thread, int begin, int end) {
+                         (*static_cast<const F*>(ctx))(thread, begin, end);
+                       });
+      return;
+    }
+#endif
     if (num_threads_ == 1) {
       fn(0, 0, n);  // exceptions propagate directly on the caller
       return;
@@ -84,6 +97,11 @@ class ParallelEngine {
   void worker_loop(int thread);
   // Publishes the job, runs the barrier round, rethrows errors.
   void dispatch(int n, const void* ctx, RawFn fn);
+#if defined(LSAMPLE_AUDIT)
+  // dispatch plus write-set recording and the closing-barrier ownership
+  // check; throws audit::AuditError on a violation.
+  void dispatch_audited(int n, const void* ctx, RawFn fn);
+#endif
   // Drains chunks from cursor_ as the given thread; never throws (errors
   // land in errors_[thread]).
   void drain(int thread) noexcept;
@@ -113,6 +131,14 @@ class ParallelEngine {
   // allocator.
   std::vector<std::exception_ptr> errors_;
   std::atomic<bool> has_error_{false};
+
+#if defined(LSAMPLE_AUDIT)
+  // Lazily created per-thread recording buffers; audit_active_ is a plain
+  // job field (published by the generation bump, like job_fn_) telling
+  // drain() to install this round's buffer on its thread.
+  std::unique_ptr<audit::EpochContext> audit_ctx_;
+  bool audit_active_ = false;
+#endif
 };
 
 /// Runs fn over [0, n): through the engine when one is attached, as a plain
@@ -122,9 +148,21 @@ template <typename F>
 inline void run_partitioned(ParallelEngine* engine, int n, const F& fn) {
   if (engine != nullptr) {
     engine->parallel_for(n, fn);
-  } else if (n > 0) {
-    fn(0, 0, n);
+    return;
   }
+  if (n <= 0) return;
+#if defined(LSAMPLE_AUDIT)
+  if (audit::enabled()) {
+    // The engine-less path is still one barrier epoch: the ownership
+    // discipline must hold whether or not threads happen to be attached,
+    // so sequential runs audit (and fail) exactly like parallel ones.
+    audit::SequentialEpoch epoch;
+    fn(0, 0, n);
+    epoch.check();
+    return;
+  }
+#endif
+  fn(0, 0, n);
 }
 
 }  // namespace lsample::chains

@@ -2,6 +2,7 @@
 
 #include "chains/glauber.hpp"
 #include "chains/local_metropolis.hpp"
+#include "chains/write_audit.hpp"
 #include "util/require.hpp"
 
 namespace lsample::chains {
@@ -9,6 +10,11 @@ namespace lsample::chains {
 int heat_bath_kernel(const mrf::CompiledMrf& cm, const util::CounterRng& rng,
                      int v, std::int64_t t, const Config& x,
                      std::vector<double>& scratch) {
+  // marginal_weights reads the neighbors' current spins; declaring the reads
+  // is what lets the auditor catch a scheduler whose selected set is not
+  // independent (a selected neighbor's same-epoch write would conflict).
+  LS_AUDIT_ONLY(for (const int u : cm.neighbor_row(v)) LS_AUDIT_READ(
+      config, u, &x[static_cast<std::size_t>(u)], sizeof(x[0])););
   cm.marginal_weights(v, x, scratch);
   const int c =
       shared_stream_sample(scratch, rng, util::RngDomain::vertex_update,
@@ -34,6 +40,11 @@ bool lm_accept_kernel(const mrf::CompiledMrf& cm, const util::CounterRng& rng,
   // graph's insertion order, so the coins are checked in the same sequence
   // as the seed chain (and the early exit skips only pure, keyed draws —
   // skipping them changes nothing downstream).
+  LS_AUDIT_ONLY(for (const int u : cm.neighbor_row(v)) {
+    LS_AUDIT_READ(proposal, u, &proposal[static_cast<std::size_t>(u)],
+                  sizeof(proposal[0]));
+    LS_AUDIT_READ(config, u, &x[static_cast<std::size_t>(u)], sizeof(x[0]));
+  });
   for (const int e : cm.incident_row(v)) {
     const int eu = cm.edge_u(e);
     const int ev = cm.edge_v(e);
@@ -54,6 +65,11 @@ bool lm_two_rule_accept_kernel(const mrf::CompiledMrf& cm,
   // rng and t stay in the signature to mirror lm_accept_kernel.
   const auto inc = cm.incident_row(v);
   const auto nbr = cm.neighbor_row(v);
+  LS_AUDIT_ONLY(for (const int u : nbr) {
+    LS_AUDIT_READ(proposal, u, &proposal[static_cast<std::size_t>(u)],
+                  sizeof(proposal[0]));
+    LS_AUDIT_READ(config, u, &x[static_cast<std::size_t>(u)], sizeof(x[0]));
+  });
   const std::size_t q = static_cast<std::size_t>(cm.q());
   const int sv = proposal[static_cast<std::size_t>(v)];
   for (std::size_t i = 0; i < inc.size(); ++i) {

@@ -46,13 +46,19 @@ void LocalMetropolisChain::step(Config& x, std::int64_t t) {
   const int n = cm_->n();
   const auto order = cm_->order();
   proposal_.resize(static_cast<std::size_t>(n));
-  run_partitioned(engine_, n, [&](int /*thread*/, int begin, int end) {
-    for (int i = begin; i < end; ++i) {
-      const int v = order[static_cast<std::size_t>(i)];
-      proposal_[static_cast<std::size_t>(v)] =
-          proposal_kernel(*cm_, rng_, v, t);
-    }
-  });
+  {
+    LS_AUDIT_SCOPE("LocalMetropolis.propose");
+    run_partitioned(engine_, n, [&](int /*thread*/, int begin, int end) {
+      for (int i = begin; i < end; ++i) {
+        const int v = order[static_cast<std::size_t>(i)];
+        LS_AUDIT_UNIT(v);
+        proposal_[static_cast<std::size_t>(v)] =
+            proposal_kernel(*cm_, rng_, v, t);
+        LS_AUDIT_WRITE(proposal, v, &proposal_[static_cast<std::size_t>(v)],
+                       sizeof(proposal_[0]));
+      }
+    });
+  }
 
   // Fused filter + adopt: the accept decision reads only (proposal_, x), so
   // each vertex can write its next spin immediately — into next_, not x,
@@ -62,14 +68,18 @@ void LocalMetropolisChain::step(Config& x, std::int64_t t) {
   // several chunks), so the total is independent of partitioning.
   next_.resize(static_cast<std::size_t>(n));
   for (auto& c : accepted_per_thread_) c = 0;
+  LS_AUDIT_SCOPE("LocalMetropolis.accept");
   run_partitioned(engine_, n, [&](int thread, int begin, int end) {
     long long accepted = 0;
     for (int i = begin; i < end; ++i) {
       const int v = order[static_cast<std::size_t>(i)];
+      LS_AUDIT_UNIT(v);
       const bool a = lm_accept_kernel(*cm_, rng_, v, t, proposal_, x);
       next_[static_cast<std::size_t>(v)] =
           a ? proposal_[static_cast<std::size_t>(v)]
             : x[static_cast<std::size_t>(v)];
+      LS_AUDIT_WRITE(next_config, v, &next_[static_cast<std::size_t>(v)],
+                     sizeof(next_[0]));
       accepted += a ? 1 : 0;
     }
     accepted_per_thread_[static_cast<std::size_t>(thread)] += accepted;
@@ -99,22 +109,35 @@ void LocalMetropolisTwoRuleChain::set_engine(ParallelEngine* engine) {
 void LocalMetropolisTwoRuleChain::step(Config& x, std::int64_t t) {
   const int n = cm_.n();
   proposal_.resize(static_cast<std::size_t>(n));
-  run_partitioned(engine_, n, [&](int /*thread*/, int begin, int end) {
-    for (int v = begin; v < end; ++v)
-      proposal_[static_cast<std::size_t>(v)] = proposal_kernel(cm_, rng_, v, t);
-  });
+  {
+    LS_AUDIT_SCOPE("LocalMetropolisTwoRule.propose");
+    run_partitioned(engine_, n, [&](int /*thread*/, int begin, int end) {
+      for (int v = begin; v < end; ++v) {
+        LS_AUDIT_UNIT(v);
+        proposal_[static_cast<std::size_t>(v)] =
+            proposal_kernel(cm_, rng_, v, t);
+        LS_AUDIT_WRITE(proposal, v, &proposal_[static_cast<std::size_t>(v)],
+                       sizeof(proposal_[0]));
+      }
+    });
+  }
 
   // Per-vertex check with only the first two rules: v rejects iff some
   // incident edge has A(sigma_v, sigma_u) = 0 or A(sigma_v, X_u) = 0.  The
   // third rule A(sigma_u, X_v) is deliberately dropped.  Fused with the
   // adopt phase through the next_ buffer, as in LocalMetropolisChain.
   next_.resize(static_cast<std::size_t>(n));
+  LS_AUDIT_SCOPE("LocalMetropolisTwoRule.accept");
   run_partitioned(engine_, n, [&](int /*thread*/, int begin, int end) {
-    for (int v = begin; v < end; ++v)
+    for (int v = begin; v < end; ++v) {
+      LS_AUDIT_UNIT(v);
       next_[static_cast<std::size_t>(v)] =
           lm_two_rule_accept_kernel(cm_, rng_, v, t, proposal_, x)
               ? proposal_[static_cast<std::size_t>(v)]
               : x[static_cast<std::size_t>(v)];
+      LS_AUDIT_WRITE(next_config, v, &next_[static_cast<std::size_t>(v)],
+                     sizeof(next_[0]));
+    }
   });
   std::swap(x, next_);
 }

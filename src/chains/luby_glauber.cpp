@@ -46,15 +46,25 @@ void LubyGlauberChain::step(Config& x, std::int64_t t) {
   scheduler_->prepare(t);
   selected_.resize(static_cast<std::size_t>(n));
   const auto order = cm_->order();
+  LS_AUDIT_SCOPE("LubyGlauber.step");
   run_partitioned(engine_, n, [&](int thread, int begin, int end) {
     auto& scratch = scratch_[static_cast<std::size_t>(thread)];
     for (int i = begin; i < end; ++i) {
       const int v = order[static_cast<std::size_t>(i)];
+      LS_AUDIT_UNIT(v);
       const char s = scheduler_->in_set(v) ? 1 : 0;
       selected_[static_cast<std::size_t>(v)] = s;
-      if (s != 0)
+      LS_AUDIT_WRITE(selected, v, &selected_[static_cast<std::size_t>(v)],
+                     sizeof(char));
+      if (s != 0) {
         x[static_cast<std::size_t>(v)] =
             heat_bath_kernel(*cm_, rng_, v, t, x, scratch);
+        // The in-place update is legal exactly because the selected set is
+        // independent; declaring the write lets the auditor prove it against
+        // the kernel's declared neighbor reads.
+        LS_AUDIT_WRITE(config, v, &x[static_cast<std::size_t>(v)],
+                       sizeof(x[0]));
+      }
     }
   });
 }

@@ -23,13 +23,28 @@ LubyScheduler::LubyScheduler(graph::GraphPtr g, std::uint64_t seed)
 void LubyScheduler::prepare(std::int64_t t) {
   const int n = g_->num_vertices();
   priorities_.resize(static_cast<std::size_t>(n));
+  LS_AUDIT_SCOPE("LubyScheduler.prepare");
   run_partitioned(engine_, n, [&](int /*thread*/, int begin, int end) {
-    for (int v = begin; v < end; ++v)
+    for (int v = begin; v < end; ++v) {
+      LS_AUDIT_UNIT(v);
       priorities_[static_cast<std::size_t>(v)] = luby_priority(rng_, v, t);
+      LS_AUDIT_WRITE(scheduler, v, &priorities_[static_cast<std::size_t>(v)],
+                     sizeof(priorities_[0]));
+    }
   });
 }
 
 bool LubyScheduler::in_set(int v) const {
+  // Membership reads the neighbors' priorities, all fixed in prepare's epoch;
+  // declaring the reads pins that phase ordering under the auditor.
+  LS_AUDIT_ONLY(
+      LS_AUDIT_READ(scheduler, v, &priorities_[static_cast<std::size_t>(v)],
+                    sizeof(priorities_[0]));
+      for (const int u
+           : g_->neighbors(v))
+          LS_AUDIT_READ(scheduler, u,
+                        &priorities_[static_cast<std::size_t>(u)],
+                        sizeof(priorities_[0])););
   const double pv = priorities_[static_cast<std::size_t>(v)];
   for (int u : g_->neighbors(v)) {
     // Lexicographic (priority, id) tie-break keeps the selected set a true
@@ -44,9 +59,14 @@ void LubyScheduler::select(std::int64_t t, std::vector<char>& selected) {
   const int n = g_->num_vertices();
   prepare(t);
   selected.resize(static_cast<std::size_t>(n));
+  LS_AUDIT_SCOPE("LubyScheduler.select");
   run_partitioned(engine_, n, [&](int /*thread*/, int begin, int end) {
-    for (int v = begin; v < end; ++v)
+    for (int v = begin; v < end; ++v) {
+      LS_AUDIT_UNIT(v);
       selected[static_cast<std::size_t>(v)] = in_set(v) ? 1 : 0;
+      LS_AUDIT_WRITE(selected, v, &selected[static_cast<std::size_t>(v)],
+                     sizeof(char));
+    }
   });
 }
 
@@ -66,18 +86,31 @@ SlackLubyScheduler::SlackLubyScheduler(graph::GraphPtr g,
 void SlackLubyScheduler::prepare(std::int64_t t) {
   const int n = g_->num_vertices();
   activated_.resize(static_cast<std::size_t>(n));
+  LS_AUDIT_SCOPE("SlackLubyScheduler.prepare");
   run_partitioned(engine_, n, [&](int /*thread*/, int begin, int end) {
-    for (int v = begin; v < end; ++v)
+    for (int v = begin; v < end; ++v) {
+      LS_AUDIT_UNIT(v);
       activated_[static_cast<std::size_t>(v)] =
           rng_.u01(util::RngDomain::luby_priority,
                    static_cast<std::uint64_t>(v),
                    static_cast<std::uint64_t>(t)) < p_
               ? 1
               : 0;
+      LS_AUDIT_WRITE(scheduler, v, &activated_[static_cast<std::size_t>(v)],
+                     sizeof(activated_[0]));
+    }
   });
 }
 
 bool SlackLubyScheduler::in_set(int v) const {
+  LS_AUDIT_ONLY(
+      LS_AUDIT_READ(scheduler, v, &activated_[static_cast<std::size_t>(v)],
+                    sizeof(activated_[0]));
+      for (const int u
+           : g_->neighbors(v))
+          LS_AUDIT_READ(scheduler, u,
+                        &activated_[static_cast<std::size_t>(u)],
+                        sizeof(activated_[0])););
   if (activated_[static_cast<std::size_t>(v)] == 0) return false;
   for (int u : g_->neighbors(v))
     if (activated_[static_cast<std::size_t>(u)] != 0) return false;

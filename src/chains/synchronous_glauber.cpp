@@ -30,12 +30,16 @@ void SynchronousGlauberChain::set_engine(ParallelEngine* engine) {
 void SynchronousGlauberChain::step(Config& x, std::int64_t t) {
   next_.resize(x.size());
   const auto order = cm_->order();
+  LS_AUDIT_SCOPE("SynchronousGlauber.step");
   run_partitioned(engine_, cm_->n(), [&](int thread, int begin, int end) {
     auto& scratch = scratch_[static_cast<std::size_t>(thread)];
     for (int i = begin; i < end; ++i) {
       const int v = order[static_cast<std::size_t>(i)];
+      LS_AUDIT_UNIT(v);
       next_[static_cast<std::size_t>(v)] =
           heat_bath_kernel(*cm_, rng_, v, t, x, scratch);
+      LS_AUDIT_WRITE(next_config, v, &next_[static_cast<std::size_t>(v)],
+                     sizeof(next_[0]));
     }
   });
   std::swap(x, next_);

@@ -1,0 +1,159 @@
+#include "chains/write_audit.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <sstream>
+
+namespace lsample::chains::audit {
+
+const char* region_name(Region r) noexcept {
+  switch (r) {
+    case Region::config: return "config";
+    case Region::next_config: return "next_config";
+    case Region::proposal: return "proposal";
+    case Region::selected: return "selected";
+    case Region::scheduler: return "scheduler";
+    case Region::arena_words: return "arena_words";
+    case Region::arena_meta: return "arena_meta";
+    case Region::halo: return "halo";
+    case Region::program_state: return "program_state";
+    case Region::other: return "other";
+  }
+  return "?";
+}
+
+#if defined(LSAMPLE_AUDIT)
+
+namespace detail {
+thread_local Buffer* tl_buf = nullptr;
+thread_local std::int64_t tl_unit = -1;
+thread_local const char* tl_label = "";
+}  // namespace detail
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+std::atomic<std::uint64_t> g_epochs{0};
+std::atomic<std::uint64_t> g_writes{0};
+std::atomic<std::uint64_t> g_reads{0};
+
+[[noreturn]] void throw_conflict(const char* label, const char* kind,
+                                 const Entry& a, const Entry& b) {
+  // a is the read (or second write), b the conflicting write.
+  std::ostringstream os;
+  os << "determinism audit [" << (label != nullptr && *label != '\0'
+                                      ? label
+                                      : "unlabeled epoch")
+     << "]: " << kind << ": unit " << a.unit << ' '
+     << (a.is_write ? "wrote" : "read") << ' ' << region_name(a.region) << '['
+     << a.index << "] while unit " << b.unit << " wrote "
+     << region_name(b.region) << '[' << b.index
+     << "] in the same barrier epoch";
+  if (!a.is_write)
+    os << " — reads of shared state must resolve to the previous epoch's "
+          "snapshot";
+  else
+    os << " — write sets of parallel units must be pairwise disjoint";
+  throw AuditError(os.str());
+}
+
+}  // namespace
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+Totals totals() noexcept {
+  return {g_epochs.load(std::memory_order_relaxed),
+          g_writes.load(std::memory_order_relaxed),
+          g_reads.load(std::memory_order_relaxed)};
+}
+
+void reset_totals() noexcept {
+  g_epochs.store(0, std::memory_order_relaxed);
+  g_writes.store(0, std::memory_order_relaxed);
+  g_reads.store(0, std::memory_order_relaxed);
+}
+
+const char* current_label() noexcept { return detail::tl_label; }
+
+EpochContext::EpochContext(int num_threads)
+    : buffers_(static_cast<std::size_t>(num_threads)) {}
+
+void EpochContext::begin() noexcept { label_ = detail::tl_label; }
+
+void EpochContext::abandon() noexcept {
+  for (auto& b : buffers_) b.entries.clear();
+}
+
+void EpochContext::check_and_clear() {
+  writes_.clear();
+  reads_.clear();
+  for (auto& b : buffers_) {
+    for (const Entry& e : b.entries) (e.is_write ? writes_ : reads_).push_back(e);
+    b.entries.clear();
+  }
+  g_epochs.fetch_add(1, std::memory_order_relaxed);
+  g_writes.fetch_add(writes_.size(), std::memory_order_relaxed);
+  g_reads.fetch_add(reads_.size(), std::memory_order_relaxed);
+  if (writes_.empty()) return;  // reads of stable state can never conflict
+
+  // The verdict must be a pure function of the SET of declared accesses, so
+  // sort the merged (schedule-ordered) entries into a canonical order first.
+  const auto canon = [](const Entry& x, const Entry& y) {
+    if (x.addr != y.addr) return x.addr < y.addr;
+    if (x.unit != y.unit) return x.unit < y.unit;
+    return x.bytes < y.bytes;
+  };
+  std::sort(writes_.begin(), writes_.end(), canon);
+
+  // (1) write/write disjointness: sweep the sorted ranges, carrying the
+  // interval with the furthest end seen so far.  Any range starting inside
+  // the carried interval under a different unit is a conflict.
+  {
+    const Entry* cur = &writes_.front();
+    std::uintptr_t cur_end = cur->addr + cur->bytes;
+    for (std::size_t i = 1; i < writes_.size(); ++i) {
+      const Entry& w = writes_[i];
+      if (w.addr < cur_end && w.unit != cur->unit)
+        throw_conflict(label_, "write/write overlap", w, *cur);
+      if (w.addr + w.bytes >= cur_end) {
+        cur = &w;
+        cur_end = w.addr + w.bytes;
+      }
+    }
+  }
+
+  // (2) read/write conflicts: for each read, look for a write range of a
+  // DIFFERENT unit overlapping it.  pmax_[i] = max end over writes_[0..i]
+  // turns "does any earlier-starting write reach into this read?" into one
+  // comparison; only actual overlaps walk backwards (same-unit overlaps are
+  // legal and skipped — a unit may re-read its own writes).
+  pmax_.resize(writes_.size());
+  std::uintptr_t run = 0;
+  for (std::size_t i = 0; i < writes_.size(); ++i) {
+    run = std::max(run, writes_[i].addr + writes_[i].bytes);
+    pmax_[i] = run;
+  }
+  for (const Entry& r : reads_) {
+    // First write starting at or beyond the read's end: candidates are
+    // strictly before it.
+    auto it = std::lower_bound(
+        writes_.begin(), writes_.end(), r.addr + r.bytes,
+        [](const Entry& w, std::uintptr_t end) { return w.addr < end; });
+    if (it == writes_.begin()) continue;
+    std::size_t j = static_cast<std::size_t>(it - writes_.begin());
+    while (j-- > 0) {
+      if (pmax_[j] <= r.addr) break;  // nothing at or before j reaches r
+      const Entry& w = writes_[j];
+      if (w.addr + w.bytes > r.addr && w.unit != r.unit)
+        throw_conflict(label_, "read of concurrently written state", r, w);
+    }
+  }
+}
+
+#endif  // LSAMPLE_AUDIT
+
+}  // namespace lsample::chains::audit

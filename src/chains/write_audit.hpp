@@ -1,0 +1,268 @@
+// Write-set determinism auditor (opt-in, compiled in via -DLSAMPLE_AUDIT).
+//
+// The whole library rests on one contract: every parallel unit of work (one
+// vertex update, one replica, one halo frame) writes only the slots it owns
+// and reads shared state only as of the previous barrier epoch, so that a
+// trajectory is a pure function of (model, seed, options) at any thread
+// count.  ThreadSanitizer can only see a violation of that contract if the
+// schedule happens to interleave the racing accesses; this auditor checks the
+// LOGICAL ownership discipline instead, so a violation fails on every run,
+// deterministically, with the exact region/slot/units named.
+//
+// Model.  An *epoch* is one parallel region — one ParallelEngine::parallel_for
+// (or engine-less run_partitioned) call, or one explicitly scoped phase such
+// as the sharded runtime's halo exchange.  Within an epoch, instrumented code
+// declares
+//   LS_AUDIT_UNIT(i)                     — the current parallel unit of work
+//   LS_AUDIT_WRITE(region, index, p, n)  — this unit writes [p, p+n)
+//   LS_AUDIT_READ(region, index, p, n)   — this unit reads  [p, p+n)
+// At the closing barrier the auditor verifies
+//   (1) write/write: byte ranges written by different units are pairwise
+//       disjoint (two units writing one slot would make the result depend on
+//       the chunk-to-thread schedule), and
+//   (2) read/write: no unit reads a byte range another unit wrote in the SAME
+//       epoch (reads must resolve to the previous epoch's snapshot; a
+//       same-epoch foreign write makes the read schedule-dependent).
+// A unit may freely re-write and re-read its own slots: its chunk runs
+// sequentially.  Violations throw AuditError naming the phase label, the
+// region and slot index, and the offending units.
+//
+// Cost.  With LSAMPLE_AUDIT undefined every macro below expands to ((void)0)
+// and no auditor symbol is referenced — the instrumented build is
+// token-for-token the uninstrumented one (bench guard (i) additionally holds
+// the measured throughput to the committed baseline).  With LSAMPLE_AUDIT
+// defined but auditing disabled at runtime (the default), engine dispatch
+// skips the epoch hooks after one relaxed atomic load and records nothing.
+//
+// Recording is wait-free: each engine thread appends to its own buffer; the
+// dispatching thread merges and verifies after the completion barrier, while
+// workers are quiescent.  The verdict is a pure function of the SET of
+// declared accesses — independent of chunk-to-thread assignment — so an
+// audited run either always passes or always fails for a given (model, seed,
+// options).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace lsample::chains::audit {
+
+/// Logical state regions, used only to render readable reports ("config[17]"
+/// instead of a raw address).  Ownership is checked on byte ranges, so two
+/// regions that alias the same memory are still checked correctly.
+enum class Region : std::uint8_t {
+  config,         ///< the chain configuration x
+  next_config,    ///< a double-buffered next configuration
+  proposal,       ///< LocalMetropolis proposal vector
+  selected,       ///< Luby-step membership marks
+  scheduler,      ///< scheduler state (priorities / activation marks)
+  arena_words,    ///< LOCAL message arena payload words
+  arena_meta,     ///< LOCAL message arena slot metadata
+  halo,           ///< sharded halo frame scatter targets
+  program_state,  ///< node-program per-vertex state
+  other,
+};
+
+[[nodiscard]] const char* region_name(Region r) noexcept;
+
+/// Thrown by the closing-barrier check when two units' declared accesses
+/// conflict.  Deliberately a std::logic_error: an ownership violation is a
+/// bug in the library, never a user-input problem.
+class AuditError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Aggregate recording counters, for tests to assert the instrumentation is
+/// actually live (a mutation test that passes because nothing was recorded
+/// would be vacuous).
+struct Totals {
+  std::uint64_t epochs = 0;  ///< epochs checked at a closing barrier
+  std::uint64_t writes = 0;  ///< write declarations merged
+  std::uint64_t reads = 0;   ///< read declarations merged
+};
+
+#if defined(LSAMPLE_AUDIT)
+
+/// One declared access.  POD so per-thread buffers are plain vectors.
+struct Entry {
+  std::uintptr_t addr;
+  std::uint32_t bytes;
+  std::int64_t unit;
+  std::int64_t index;
+  Region region;
+  bool is_write;
+};
+
+struct Buffer {
+  std::vector<Entry> entries;
+};
+
+namespace detail {
+extern thread_local Buffer* tl_buf;
+extern thread_local std::int64_t tl_unit;
+extern thread_local const char* tl_label;
+}  // namespace detail
+
+/// Runtime switch (process-global).  Off by default even in audited builds;
+/// tests and the bench guard turn it on around the phases they check.
+[[nodiscard]] bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+[[nodiscard]] constexpr bool compiled_in() noexcept { return true; }
+
+[[nodiscard]] Totals totals() noexcept;
+void reset_totals() noexcept;
+
+/// Label of the phase currently being audited (for reports); stacked by
+/// ScopedLabel in the chains' step functions.
+[[nodiscard]] const char* current_label() noexcept;
+
+inline void set_unit(std::int64_t unit) noexcept { detail::tl_unit = unit; }
+
+inline void on_access(Region r, std::int64_t index, const void* p,
+                      std::size_t bytes, bool is_write) noexcept {
+  if (Buffer* b = detail::tl_buf; b != nullptr)
+    b->entries.push_back({reinterpret_cast<std::uintptr_t>(p),
+                          static_cast<std::uint32_t>(bytes), detail::tl_unit,
+                          index, r, is_write});
+}
+
+inline void on_write(Region r, std::int64_t index, const void* p,
+                     std::size_t bytes) noexcept {
+  on_access(r, index, p, bytes, true);
+}
+
+inline void on_read(Region r, std::int64_t index, const void* p,
+                    std::size_t bytes) noexcept {
+  on_access(r, index, p, bytes, false);
+}
+
+/// Names the phase for violation reports while in scope ("LubyGlauber.step").
+class ScopedLabel {
+ public:
+  explicit ScopedLabel(const char* label) noexcept : prev_(detail::tl_label) {
+    detail::tl_label = label;
+  }
+  ~ScopedLabel() { detail::tl_label = prev_; }
+  ScopedLabel(const ScopedLabel&) = delete;
+  ScopedLabel& operator=(const ScopedLabel&) = delete;
+
+ private:
+  const char* prev_;
+};
+
+/// Per-thread recording buffers for one parallel region plus the closing
+/// check.  The ParallelEngine owns one (lazily) and re-begins it per audited
+/// dispatch; engine-less sequential regions use a stack-local context.
+class EpochContext {
+ public:
+  explicit EpochContext(int num_threads);
+
+  /// Arms the context for a new epoch (captures the current phase label).
+  void begin() noexcept;
+  [[nodiscard]] Buffer* buffer(int thread) noexcept {
+    return &buffers_[static_cast<std::size_t>(thread)];
+  }
+  /// Discards recorded entries without checking (the region threw).
+  void abandon() noexcept;
+  /// Merges all buffers, verifies the two invariants, clears for reuse.
+  /// Throws AuditError on a violation.
+  void check_and_clear();
+
+ private:
+  std::vector<Buffer> buffers_;
+  const char* label_ = "";
+  std::vector<Entry> writes_;       // merge scratch, reused across epochs
+  std::vector<Entry> reads_;        // merge scratch, reused across epochs
+  std::vector<std::uintptr_t> pmax_;  // prefix max of write range ends
+};
+
+/// Installs a buffer as the calling thread's recording target while in scope.
+class BufferScope {
+ public:
+  explicit BufferScope(Buffer* b) noexcept : prev_(detail::tl_buf) {
+    detail::tl_buf = b;
+  }
+  ~BufferScope() { detail::tl_buf = prev_; }
+  BufferScope(const BufferScope&) = delete;
+  BufferScope& operator=(const BufferScope&) = delete;
+
+ private:
+  Buffer* prev_;
+};
+
+/// An explicitly scoped single-threaded epoch, for phases that are not a
+/// parallel_for (the sharded runtime's halo gather/scatter).  Call check()
+/// at the end of the phase; destruction without check() abandons the epoch
+/// (exception unwind must not turn into a second throw).
+class SequentialEpoch {
+ public:
+  SequentialEpoch() : ctx_(1), scope_(detail::tl_buf) {
+    ctx_.begin();
+    detail::tl_buf = ctx_.buffer(0);
+  }
+  ~SequentialEpoch() {
+    detail::tl_buf = scope_;
+    if (!checked_) ctx_.abandon();
+  }
+  SequentialEpoch(const SequentialEpoch&) = delete;
+  SequentialEpoch& operator=(const SequentialEpoch&) = delete;
+
+  /// Closes the epoch and verifies it; throws AuditError on a violation.
+  void check() {
+    checked_ = true;
+    detail::tl_buf = scope_;
+    ctx_.check_and_clear();
+  }
+
+ private:
+  EpochContext ctx_;
+  Buffer* scope_;  // the enclosing epoch's buffer, restored on exit
+  bool checked_ = false;
+};
+
+#else  // !defined(LSAMPLE_AUDIT) — every hook folds to nothing
+
+[[nodiscard]] constexpr bool enabled() noexcept { return false; }
+inline void set_enabled(bool) noexcept {}
+[[nodiscard]] constexpr bool compiled_in() noexcept { return false; }
+[[nodiscard]] inline Totals totals() noexcept { return {}; }
+inline void reset_totals() noexcept {}
+
+#endif  // LSAMPLE_AUDIT
+
+}  // namespace lsample::chains::audit
+
+// Instrumentation macros: active only in audited builds, so the default
+// build carries zero overhead — not even a branch.  `region` is an
+// audit::Region enumerator name; `index` is the logical slot used in
+// reports; `p`/`n` give the written/read byte range.
+#if defined(LSAMPLE_AUDIT)
+#define LS_AUDIT_UNIT(u) \
+  ::lsample::chains::audit::set_unit(static_cast<std::int64_t>(u))
+#define LS_AUDIT_WRITE(region, index, p, n)                     \
+  ::lsample::chains::audit::on_write(                           \
+      ::lsample::chains::audit::Region::region,                 \
+      static_cast<std::int64_t>(index), (p), (n))
+#define LS_AUDIT_READ(region, index, p, n)                      \
+  ::lsample::chains::audit::on_read(                            \
+      ::lsample::chains::audit::Region::region,                 \
+      static_cast<std::int64_t>(index), (p), (n))
+#define LS_AUDIT_SCOPE(label) \
+  ::lsample::chains::audit::ScopedLabel ls_audit_scoped_label_(label)
+// Wraps a statement block that exists only to feed the auditor (e.g. a loop
+// declaring neighbor reads); compiled out entirely in unaudited builds.
+#define LS_AUDIT_ONLY(...)                                   \
+  do {                                                       \
+    if (::lsample::chains::audit::enabled()) { __VA_ARGS__ } \
+  } while (false)
+#else
+#define LS_AUDIT_UNIT(u) ((void)0)
+#define LS_AUDIT_WRITE(region, index, p, n) ((void)0)
+#define LS_AUDIT_READ(region, index, p, n) ((void)0)
+#define LS_AUDIT_SCOPE(label) ((void)0)
+#define LS_AUDIT_ONLY(...) ((void)0)
+#endif

@@ -136,6 +136,9 @@ void Network::run_vertex_list(int thread, std::span<const int> vertices) {
         static_cast<std::size_t>(off_[static_cast<std::size_t>(v) + 1]);
     // Owned slots are consecutive in the local arena, so translate once.
     const std::size_t base = out_local(begin);
+    LS_AUDIT_UNIT(v);
+    LS_AUDIT_ONLY(for (std::size_t s = 0; s < end - begin; ++s) LS_AUDIT_WRITE(
+        arena_meta, base + s, &next_meta_[base + s], sizeof(SlotMeta)););
     for (std::size_t s = 0; s < end - begin; ++s) next_meta_[base + s] = {};
   }
   if (NodeProgramTable* table = table_ptr(); table != nullptr) {
@@ -172,6 +175,7 @@ void Network::run_round() {
                                 .subspan(static_cast<std::size_t>(begin),
                                          static_cast<std::size_t>(end - begin)));
   };
+  LS_AUDIT_SCOPE("Network.run_round");
   chains::run_partitioned(engine_, n, job);
   finish_round();
 }

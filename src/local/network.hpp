@@ -55,6 +55,7 @@
 #include <string>
 #include <vector>
 
+#include "chains/write_audit.hpp"
 #include "graph/graph.hpp"
 #include "local/message_stats.hpp"
 #include "mrf/mrf.hpp"
@@ -363,6 +364,13 @@ inline void NodeContext::send(int port, std::span<const std::uint64_t> words,
       static_cast<std::size_t>(net.off_[static_cast<std::size_t>(id_)] + port));
   std::uint64_t* dst =
       net.next_words_.data() + slot * static_cast<std::size_t>(net.cap_);
+  // The sending node is the parallel unit: a slot written by two nodes means
+  // the slot translation (or the vertex partition) aliased two senders.
+  LS_AUDIT_UNIT(id_);
+  LS_AUDIT_WRITE(arena_words, slot, dst,
+                 words.size() * sizeof(std::uint64_t));
+  LS_AUDIT_WRITE(arena_meta, slot, &net.next_meta_[slot],
+                 sizeof(Network::SlotMeta));
   for (std::size_t i = 0; i < words.size(); ++i) dst[i] = words[i];
   net.next_meta_[slot] = {static_cast<std::int32_t>(words.size()), bits};
   auto& ws = net.worker_stats_[static_cast<std::size_t>(thread_)];
@@ -389,10 +397,16 @@ inline void NodeContext::broadcast(std::span<const std::uint64_t> words,
   std::uint64_t* dst = net.next_words_.data() + base * cap;
   const auto meta =
       Network::SlotMeta{static_cast<std::int32_t>(words.size()), bits};
+  LS_AUDIT_UNIT(id_);
   for (int port = 0; port < deg; ++port) {
+    const std::size_t slot = base + static_cast<std::size_t>(port);
+    LS_AUDIT_WRITE(arena_words, slot, dst,
+                   words.size() * sizeof(std::uint64_t));
+    LS_AUDIT_WRITE(arena_meta, slot, &net.next_meta_[slot],
+                   sizeof(Network::SlotMeta));
     for (std::size_t i = 0; i < words.size(); ++i) dst[i] = words[i];
     dst += cap;
-    net.next_meta_[base + static_cast<std::size_t>(port)] = meta;
+    net.next_meta_[slot] = meta;
   }
   auto& ws = net.worker_stats_[static_cast<std::size_t>(thread_)];
   ws.messages += deg;
@@ -405,6 +419,18 @@ inline std::span<const std::uint64_t> NodeContext::received(int port) const {
   const std::size_t slot =
       net.in_local(static_cast<std::size_t>(net.mirror_[static_cast<std::size_t>(
           net.off_[static_cast<std::size_t>(id_)] + port)]));
+  // Receives must resolve to the previous round's buffer; declaring the read
+  // catches any same-epoch write into the readable buffer (e.g. a halo
+  // scatter overlapping an owned slot).
+  LS_AUDIT_ONLY(
+      ::lsample::chains::audit::set_unit(static_cast<std::int64_t>(id_));
+      LS_AUDIT_READ(arena_meta, slot, &net.cur_meta_[slot],
+                    sizeof(Network::SlotMeta));
+      LS_AUDIT_READ(arena_words, slot,
+                    net.cur_words_.data() +
+                        slot * static_cast<std::size_t>(net.cap_),
+                    static_cast<std::size_t>(net.cap_) *
+                        sizeof(std::uint64_t)););
   const auto meta = net.cur_meta_[slot];
   if (meta.words < 0) return {};
   return {net.cur_words_.data() + slot * static_cast<std::size_t>(net.cap_),

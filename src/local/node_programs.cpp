@@ -77,6 +77,9 @@ void LubyGlauberTable::run_nodes(Network& net, int thread,
     NodeContext ctx = net.context(v, thread);
     const int base = off[static_cast<std::size_t>(v)];
     const int deg = off[static_cast<std::size_t>(v) + 1] - base;
+    LS_AUDIT_UNIT(v);
+    LS_AUDIT_WRITE(program_state, v, &x_[static_cast<std::size_t>(v)],
+                   sizeof(x_[0]));
 
     if (r >= 1) {
       // Complete Markov-chain step t = r-1 using last round's messages.
@@ -158,6 +161,11 @@ void LocalMetropolisTable::run_nodes(Network& net, int thread,
     NodeContext ctx = net.context(v, thread);
     const int base = off[static_cast<std::size_t>(v)];
     const int deg = off[static_cast<std::size_t>(v) + 1] - base;
+    LS_AUDIT_UNIT(v);
+    LS_AUDIT_WRITE(program_state, v, &x_[static_cast<std::size_t>(v)],
+                   sizeof(x_[0]));
+    LS_AUDIT_WRITE(program_state, v, &pending_[static_cast<std::size_t>(v)],
+                   sizeof(pending_[0]));
     const int xv = x_[static_cast<std::size_t>(v)];
 
     if (r >= 1) {

@@ -252,11 +252,20 @@ void ShardAccess::gather_halo(const ShardPlan& plan, int shard,
   const auto cap = static_cast<std::size_t>(net.cap_);
   for (int t = 0; t < S; ++t) {
     if (t == shard) continue;
+    // One halo frame (ordered shard pair) is one audit unit: gathers read
+    // the sender's owned slots, scatters write the receiver's halo slots,
+    // and any aliasing between the two shows up at the epoch check.
+    LS_AUDIT_UNIT(static_cast<std::int64_t>(shard) * S + t);
     auto& buf = bufs[static_cast<std::size_t>(t)];
     buf.clear();
     for (const int p : plan.send_slots[static_cast<std::size_t>(shard)]
                                       [static_cast<std::size_t>(t)]) {
       const std::size_t lp = net.out_local(static_cast<std::size_t>(p));
+      LS_AUDIT_ONLY(
+          LS_AUDIT_READ(arena_meta, lp, &net.next_meta_[lp],
+                        sizeof(Network::SlotMeta));
+          LS_AUDIT_READ(arena_words, lp, net.next_words_.data() + lp * cap,
+                        cap * sizeof(std::uint64_t)););
       const auto meta = net.next_meta_[lp];
       wire::put<std::int32_t>(buf, meta.words);
       wire::put<std::int32_t>(buf, meta.bits);
@@ -283,6 +292,7 @@ void ShardAccess::scatter_halo(
   const auto cap = static_cast<std::size_t>(net.cap_);
   for (int s = 0; s < S; ++s) {
     if (s == shard) continue;
+    LS_AUDIT_UNIT(static_cast<std::int64_t>(s) * S + shard);
     wire::Reader reader(bufs[static_cast<std::size_t>(s)]);
     for (const int p : plan.send_slots[static_cast<std::size_t>(s)]
                                       [static_cast<std::size_t>(shard)]) {
@@ -291,6 +301,11 @@ void ShardAccess::scatter_halo(
       LS_REQUIRE(words <= net.cap_,
                  "halo frame exceeds this arena's message capacity");
       const std::size_t lp = net.in_local(static_cast<std::size_t>(p));
+      LS_AUDIT_WRITE(halo, lp, &net.next_meta_[lp],
+                     sizeof(Network::SlotMeta));
+      LS_AUDIT_ONLY(if (words > 0) LS_AUDIT_WRITE(
+          halo, lp, net.next_words_.data() + lp * cap,
+          static_cast<std::size_t>(words) * sizeof(std::uint64_t)););
       net.next_meta_[lp] = {words, bits};
       if (words > 0)
         reader.take(net.next_words_.data() + lp * cap,
@@ -386,22 +401,40 @@ class InProcessTransport final : public Transport {
     chains::run_partitioned(engine_, total, job);
 
     if (S > 1) {
-      for (int s = 0; s < S; ++s)
-        ShardAccess::gather_halo(plan, s, shards_[static_cast<std::size_t>(s)],
-                                 send_[static_cast<std::size_t>(s)],
-                                 &net.halo_);
-      // The in-process "wire" is a buffer swap; byte accounting above is
-      // what a real transport would serialize.
-      for (int t = 0; t < S; ++t)
+      const auto exchange = [&] {
         for (int s = 0; s < S; ++s)
-          if (s != t)
-            recv_[static_cast<std::size_t>(t)][static_cast<std::size_t>(s)]
-                .swap(send_[static_cast<std::size_t>(s)]
-                           [static_cast<std::size_t>(t)]);
-      for (int t = 0; t < S; ++t)
-        ShardAccess::scatter_halo(plan, t,
-                                  shards_[static_cast<std::size_t>(t)],
-                                  recv_[static_cast<std::size_t>(t)]);
+          ShardAccess::gather_halo(plan, s,
+                                   shards_[static_cast<std::size_t>(s)],
+                                   send_[static_cast<std::size_t>(s)],
+                                   &net.halo_);
+        // The in-process "wire" is a buffer swap; byte accounting above is
+        // what a real transport would serialize.
+        for (int t = 0; t < S; ++t)
+          for (int s = 0; s < S; ++s)
+            if (s != t)
+              recv_[static_cast<std::size_t>(t)][static_cast<std::size_t>(s)]
+                  .swap(send_[static_cast<std::size_t>(s)]
+                             [static_cast<std::size_t>(t)]);
+        for (int t = 0; t < S; ++t)
+          ShardAccess::scatter_halo(plan, t,
+                                    shards_[static_cast<std::size_t>(t)],
+                                    recv_[static_cast<std::size_t>(t)]);
+      };
+#if defined(LSAMPLE_AUDIT)
+      if (chains::audit::enabled()) {
+        // The whole exchange is one barrier epoch: gathers read owned
+        // slots, scatters write halo slots, and the closing check proves
+        // the two never alias in any shard's arena.
+        LS_AUDIT_SCOPE("ShardedNetwork.halo_exchange");
+        chains::audit::SequentialEpoch epoch;
+        exchange();
+        epoch.check();
+      } else {
+        exchange();
+      }
+#else
+      exchange();
+#endif
     }
     for (auto& shard : shards_) ShardAccess::finish_round(shard);
   }

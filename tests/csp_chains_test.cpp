@@ -78,7 +78,7 @@ TEST_P(CspStationaritySuite, LocalMetropolisIsReversible) {
 
 INSTANTIATE_TEST_SUITE_P(AllCsps, CspStationaritySuite,
                          ::testing::ValuesIn(csp_cases()),
-                         [](const auto& info) { return info.param.name; });
+                         [](const auto& test_info) { return test_info.param.name; });
 
 // The CSP LocalMetropolis on a binary-constraint embedding must have the
 // *identical* transition matrix as the MRF LocalMetropolis — the 2^k - 1

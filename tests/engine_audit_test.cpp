@@ -1,0 +1,323 @@
+// The write-set determinism auditor (chains/write_audit.hpp): clean chains,
+// networks, and sharded runs pass with a non-vacuous access record; audited
+// trajectories are bit-identical to unaudited ones; and seeded ownership
+// violations — an out-of-slot write, a same-epoch foreign read, and a
+// non-independent scheduler — are caught DETERMINISTICALLY, with the
+// offending units, region, and slot named in the error.  Mutation tests run
+// sequentially as well as under an engine: the verdict is a pure function of
+// the declared access set, so a violation fails at ANY thread count (the
+// property TSan cannot give).  In unaudited builds everything here skips
+// except the no-op contract test.
+#include "chains/write_audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chains/engine.hpp"
+#include "chains/init.hpp"
+#include "chains/local_metropolis.hpp"
+#include "chains/luby_glauber.hpp"
+#include "chains/schedulers.hpp"
+#include "chains/synchronous_glauber.hpp"
+#include "graph/generators.hpp"
+#include "local/node_programs.hpp"
+#include "local/sharding.hpp"
+#include "mrf/models.hpp"
+
+namespace lsample::chains {
+namespace {
+
+#define SKIP_UNLESS_AUDITED()                                       \
+  do {                                                              \
+    if (!audit::compiled_in())                                      \
+      GTEST_SKIP() << "build with -DLSAMPLE_AUDIT=ON to run this"; \
+  } while (false)
+
+/// Turns auditing on for one test and restores the off default afterwards.
+class AuditGuard {
+ public:
+  AuditGuard() {
+    audit::reset_totals();
+    audit::set_enabled(true);
+  }
+  ~AuditGuard() { audit::set_enabled(false); }
+};
+
+mrf::Config run_steps(Chain& chain, mrf::Config x, int steps) {
+  for (int t = 0; t < steps; ++t) chain.step(x, t);
+  return x;
+}
+
+TEST(EngineAudit, UnauditedBuildHooksFoldToNothing) {
+  if (audit::compiled_in()) GTEST_SKIP() << "audited build";
+  audit::set_enabled(true);  // must be a no-op
+  EXPECT_FALSE(audit::enabled());
+  EXPECT_EQ(audit::totals().epochs, 0u);
+  EXPECT_EQ(audit::totals().writes, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Clean runs: every chain passes the audit, and the record is non-vacuous
+// (a checker that records nothing would "pass" every mutation too).
+// ---------------------------------------------------------------------------
+
+TEST(EngineAudit, CleanChainsPassWithNonVacuousRecord) {
+  SKIP_UNLESS_AUDITED();
+  const mrf::Mrf m = mrf::make_proper_coloring(graph::make_torus(6, 6), 10);
+  const mrf::Config x0 = greedy_feasible_config(m);
+  for (int threads : {1, 3}) {
+    ParallelEngine engine(threads);
+    const auto check = [&](Chain& chain) {
+      AuditGuard guard;
+      chain.set_engine(&engine);
+      EXPECT_NO_THROW(run_steps(chain, x0, 8));
+      const audit::Totals totals = audit::totals();
+      EXPECT_GT(totals.epochs, 0u) << "no epoch reached a closing check";
+      EXPECT_GT(totals.writes, 0u) << "no write was ever declared";
+      EXPECT_GT(totals.reads, 0u) << "no read was ever declared";
+    };
+    LubyGlauberChain luby(m, 11);
+    check(luby);
+    SynchronousGlauberChain sync(m, 12);
+    check(sync);
+    LocalMetropolisChain lm(m, 13);
+    check(lm);
+    LubyGlauberChain slack(
+        m, 14, std::make_unique<SlackLubyScheduler>(m.graph_ptr(), 0.2, 14));
+    check(slack);
+  }
+}
+
+TEST(EngineAudit, EngineLessSequentialRunsAreAuditedToo) {
+  SKIP_UNLESS_AUDITED();
+  const mrf::Mrf m = mrf::make_proper_coloring(graph::make_torus(5, 5), 9);
+  const mrf::Config x0 = greedy_feasible_config(m);
+  AuditGuard guard;
+  LubyGlauberChain chain(m, 21);  // no engine: run_partitioned(nullptr, ...)
+  EXPECT_NO_THROW(run_steps(chain, x0, 6));
+  EXPECT_GT(audit::totals().epochs, 0u);
+  EXPECT_GT(audit::totals().writes, 0u);
+}
+
+TEST(EngineAudit, AuditedTrajectoryBitIdenticalToUnaudited) {
+  SKIP_UNLESS_AUDITED();
+  const mrf::Mrf m = mrf::make_proper_coloring(graph::make_torus(6, 6), 10);
+  const mrf::Config x0 = greedy_feasible_config(m);
+  const int steps = 12;
+  for (int threads : {1, 3}) {
+    ParallelEngine engine(threads);
+
+    LubyGlauberChain plain(m, 33);
+    plain.set_engine(&engine);
+    const mrf::Config unaudited = run_steps(plain, x0, steps);
+
+    LubyGlauberChain instrumented(m, 33);
+    instrumented.set_engine(&engine);
+    mrf::Config audited;
+    {
+      AuditGuard guard;
+      audited = run_steps(instrumented, x0, steps);
+    }
+    EXPECT_EQ(audited, unaudited) << "threads=" << threads;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Seeded mutation: an out-of-slot write.  Unit 7 claims slot 8 on top of its
+// own — the write/write check must name both units and the slot, and must do
+// so at every thread count including 1 (the verdict depends only on the
+// declared set).
+// ---------------------------------------------------------------------------
+
+void job_with_out_of_slot_write(std::vector<int>& data, int thread_begin,
+                                int end) {
+  for (int i = thread_begin; i < end; ++i) {
+    LS_AUDIT_UNIT(i);
+    data[static_cast<std::size_t>(i)] = i;
+    LS_AUDIT_WRITE(config, i, &data[static_cast<std::size_t>(i)], sizeof(int));
+    if (i == 7) {
+      // The seeded bug: unit 7 also writes its neighbor's slot.  The store
+      // itself only happens on the sequential paths (a real cross-thread
+      // store would be an actual data race under TSan); the DECLARATION is
+      // what the auditor judges, and it is identical on every path.
+      LS_AUDIT_WRITE(config, 8, &data[8], sizeof(int));
+    }
+  }
+}
+
+TEST(EngineAudit, OutOfSlotWriteIsCaughtAndNamed) {
+  SKIP_UNLESS_AUDITED();
+  for (int threads : {1, 2, 3}) {
+    ParallelEngine engine(threads);
+    std::vector<int> data(64, 0);
+    AuditGuard guard;
+    LS_AUDIT_SCOPE("mutation.out_of_slot");
+    try {
+      engine.parallel_for(64, [&](int /*thread*/, int begin, int end) {
+        job_with_out_of_slot_write(data, begin, end);
+      });
+      FAIL() << "out-of-slot write not caught at threads=" << threads;
+    } catch (const audit::AuditError& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("mutation.out_of_slot"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("write/write overlap"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("unit 7"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("unit 8"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("config[8]"), std::string::npos) << msg;
+    }
+  }
+}
+
+TEST(EngineAudit, OutOfSlotWriteIsCaughtOnTheEngineLessPath) {
+  SKIP_UNLESS_AUDITED();
+  std::vector<int> data(64, 0);
+  AuditGuard guard;
+  LS_AUDIT_SCOPE("mutation.out_of_slot");
+  EXPECT_THROW(run_partitioned(nullptr, 64,
+                               [&](int /*thread*/, int begin, int end) {
+                                 job_with_out_of_slot_write(data, begin, end);
+                               }),
+               audit::AuditError);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded mutation: a same-epoch foreign read.  Unit 5 reads slot 6 while
+// unit 6 writes it — legal only across a barrier, so the read/write check
+// must fire and name the reader, the writer, and the slot.
+// ---------------------------------------------------------------------------
+
+TEST(EngineAudit, SameEpochForeignReadIsCaughtAndNamed) {
+  SKIP_UNLESS_AUDITED();
+  for (int threads : {1, 3}) {
+    ParallelEngine engine(threads);
+    std::vector<int> data(32, 0);
+    AuditGuard guard;
+    LS_AUDIT_SCOPE("mutation.foreign_read");
+    try {
+      engine.parallel_for(32, [&](int /*thread*/, int begin, int end) {
+        for (int i = begin; i < end; ++i) {
+          LS_AUDIT_UNIT(i);
+          data[static_cast<std::size_t>(i)] = i;
+          LS_AUDIT_WRITE(config, i, &data[static_cast<std::size_t>(i)],
+                         sizeof(int));
+          if (i == 5) LS_AUDIT_READ(config, 6, &data[6], sizeof(int));
+        }
+      });
+      FAIL() << "foreign read not caught at threads=" << threads;
+    } catch (const audit::AuditError& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("read of concurrently written state"),
+                std::string::npos)
+          << msg;
+      EXPECT_NE(msg.find("unit 5"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("unit 6"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("config[6]"), std::string::npos) << msg;
+    }
+  }
+}
+
+TEST(EngineAudit, OwnSlotRereadsAndRewritesAreLegal) {
+  SKIP_UNLESS_AUDITED();
+  ParallelEngine engine(3);
+  std::vector<int> data(32, 0);
+  AuditGuard guard;
+  EXPECT_NO_THROW(
+      engine.parallel_for(32, [&](int /*thread*/, int begin, int end) {
+        for (int i = begin; i < end; ++i) {
+          LS_AUDIT_UNIT(i);
+          // A unit may write, re-read, and re-write its own slot freely: its
+          // chunk runs sequentially.
+          data[static_cast<std::size_t>(i)] = i;
+          LS_AUDIT_WRITE(config, i, &data[static_cast<std::size_t>(i)],
+                         sizeof(int));
+          LS_AUDIT_READ(config, i, &data[static_cast<std::size_t>(i)],
+                        sizeof(int));
+          data[static_cast<std::size_t>(i)] += 1;
+          LS_AUDIT_WRITE(config, i, &data[static_cast<std::size_t>(i)],
+                         sizeof(int));
+        }
+      }));
+}
+
+// ---------------------------------------------------------------------------
+// Seeded mutation: a scheduler whose "independent set" is not independent.
+// LubyGlauber's in-place parallel resample is legal exactly because no two
+// adjacent vertices update in one step; selecting everything makes adjacent
+// units write config[v] while their neighbors' kernels read it.
+// ---------------------------------------------------------------------------
+
+class EverythingScheduler final : public IndependentSetScheduler {
+ public:
+  void select(std::int64_t /*t*/, std::vector<char>& selected) override {
+    selected.assign(selected.size(), 1);
+  }
+  void prepare(std::int64_t /*t*/) override {}
+  [[nodiscard]] bool in_set(int /*v*/) const override { return true; }
+  [[nodiscard]] double gamma_lower_bound() const noexcept override {
+    return 1.0;
+  }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "everything";
+  }
+};
+
+TEST(EngineAudit, NonIndependentSchedulerIsCaught) {
+  SKIP_UNLESS_AUDITED();
+  const mrf::Mrf m = mrf::make_proper_coloring(graph::make_path(8), 4);
+  const mrf::Config x0 = greedy_feasible_config(m);
+  AuditGuard guard;
+  LubyGlauberChain chain(m, 5, std::make_unique<EverythingScheduler>());
+  mrf::Config x = x0;
+  try {
+    chain.step(x, 0);
+    FAIL() << "non-independent selected set not caught";
+  } catch (const audit::AuditError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("LubyGlauber.step"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("config["), std::string::npos) << msg;
+  }
+  // The reference scheduler on the same model passes under the same audit.
+  LubyGlauberChain good(m, 5);
+  mrf::Config y = x0;
+  EXPECT_NO_THROW(good.step(y, 0));
+}
+
+// ---------------------------------------------------------------------------
+// LOCAL runtime: network rounds and the sharded halo exchange run clean
+// under the audit, with arena ownership actually recorded.
+// ---------------------------------------------------------------------------
+
+TEST(EngineAudit, NetworkRoundsRunCleanUnderAudit) {
+  SKIP_UNLESS_AUDITED();
+  const mrf::Mrf m = mrf::make_proper_coloring(graph::make_torus(5, 5), 9);
+  const mrf::Config x0 = greedy_feasible_config(m);
+  for (int threads : {1, 3}) {
+    ParallelEngine engine(threads);
+    local::Network net = local::make_luby_glauber_network(m, x0, 17);
+    net.set_engine(&engine);
+    AuditGuard guard;
+    EXPECT_NO_THROW(net.run_rounds(5));
+    EXPECT_GT(audit::totals().writes, 0u) << "arena writes not recorded";
+    EXPECT_GT(audit::totals().reads, 0u) << "arena reads not recorded";
+  }
+}
+
+TEST(EngineAudit, ShardedHaloExchangeRunsCleanUnderAudit) {
+  SKIP_UNLESS_AUDITED();
+  const mrf::Mrf m = mrf::make_proper_coloring(graph::make_torus(6, 6), 10);
+  const mrf::Config x0 = greedy_feasible_config(m);
+  local::ShardedNetwork::Options opt;
+  opt.partition.num_shards = 3;
+  local::ShardedNetwork net =
+      local::make_sharded_luby_glauber_network(m, x0, 7, std::move(opt));
+  AuditGuard guard;
+  EXPECT_NO_THROW(net.run_rounds(5));
+  EXPECT_GT(audit::totals().epochs, 0u);
+  EXPECT_GT(audit::totals().writes, 0u);
+}
+
+}  // namespace
+}  // namespace lsample::chains

@@ -52,7 +52,7 @@ std::vector<GeneratorCase> make_cases() {
 
 INSTANTIATE_TEST_SUITE_P(AllGenerators, GeneratorSuite,
                          ::testing::ValuesIn(make_cases()),
-                         [](const auto& info) { return info.param.name; });
+                         [](const auto& test_info) { return test_info.param.name; });
 
 TEST(RandomRegular, ProducesSimpleRegularGraph) {
   util::Rng rng(11);

@@ -124,7 +124,7 @@ std::vector<EquivCase> equivalence_cases() {
 
 INSTANTIATE_TEST_SUITE_P(Models, SimulatorEquivalenceSuite,
                          ::testing::ValuesIn(equivalence_cases()),
-                         [](const auto& info) { return info.param.name; });
+                         [](const auto& test_info) { return test_info.param.name; });
 
 // Full-configuration chi-square: LocalMetropolis on a 3-path with q=4 must
 // produce every proper coloring with equal frequency (the strongest

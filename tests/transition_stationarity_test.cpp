@@ -133,7 +133,7 @@ TEST_P(StationaritySuite, FeasibleRegionIsClosedAndAperiodic) {
 
 INSTANTIATE_TEST_SUITE_P(AllModels, StationaritySuite,
                          ::testing::ValuesIn(model_cases()),
-                         [](const auto& info) { return info.param.name; });
+                         [](const auto& test_info) { return test_info.param.name; });
 
 // The paper remarks that the third filter rule "looks redundant" but is
 // required for reversibility.  Dropping it must break stationarity.

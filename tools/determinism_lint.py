@@ -1,0 +1,277 @@
+#!/usr/bin/env python3
+"""Repo-specific determinism lint for the lsample library.
+
+Greps src/ for the invariant violations this repository has actually shipped
+or almost shipped, each a way for a trajectory to stop being a pure function
+of (model, seed, options):
+
+  additive-seed        seed arithmetic like `seed + r` / `seed_ + trial`
+                       outside chains::replica_seed (PR 3's stream-collision
+                       bug: nearby base seeds overlap replica streams)
+  banned-call          std::random_device / rand( / srand( / time( /
+                       std::chrono::*::now — nondeterminism sources that must
+                       never feed library state
+  unordered-iteration  any unordered_map/unordered_set in src/chains, local,
+                       csp, or mrf: iteration order is implementation-defined,
+                       so results would depend on the standard library
+  float-accumulation   `float` in exact-tier arithmetic modules (chains, mrf,
+                       csp, local, core): Tier::exact promises bit-identical
+                       kernels, which single-precision accumulation breaks
+  naked-throw          `throw <expr>` where LS_REQUIRE / LS_ASSERT (or a
+                       named, allowlisted error type) is the convention
+
+Zero-noise contract: the unmutated tree lints clean; audited exceptions live
+in tools/determinism_lint_allowlist.txt, one per line as
+
+  <check-id> <path-suffix> <line-substring>
+
+A finding is suppressed when a rule's check matches, the finding's path ends
+with the suffix, and the offending line contains the substring.
+
+Usage:
+  determinism_lint.py [--root REPO] [--allowlist FILE]   lint src/
+  determinism_lint.py --self-test                        run fixture suite
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+SRC_EXTENSIONS = {".hpp", ".cpp", ".h", ".cc"}
+
+# Modules whose containers must iterate in a deterministic order (they hold
+# chain / network / CSP state touched inside rounds).
+ORDERED_MODULES = ("chains", "local", "csp", "mrf")
+
+# Modules on the Tier::exact arithmetic path (kernels and the model views
+# they read); double precision only.
+EXACT_MODULES = ("chains", "mrf", "csp", "local", "core")
+
+
+class Finding:
+    def __init__(self, check: str, path: Path, lineno: int, line: str,
+                 message: str) -> None:
+        self.check = check
+        self.path = path
+        self.lineno = lineno
+        self.line = line.strip()
+        self.message = message
+
+    def __str__(self) -> str:
+        return (f"{self.path}:{self.lineno}: [{self.check}] {self.message}\n"
+                f"    {self.line}")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line structure
+    so line numbers survive.  A lexer-grade pass is overkill for lint: this
+    handles //, /* */, "..." and '...' including escapes."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            if j < 0:
+                break
+            out.append("\n")
+            i = j + 1
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            if j < 0:
+                j = n
+            out.append("".join(ch if ch == "\n" else " "
+                               for ch in text[i:j + 2]))
+            i = j + 2
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote:
+                    break
+                j += 1
+            out.append(quote + " " * max(0, j - i - 1) + quote)
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+# --- check implementations -------------------------------------------------
+
+ADDITIVE_SEED = re.compile(
+    r"\b\w*seed\w*\s*\+\s*\w|\w\s*\+\s*\w*seed\w*\b", re.IGNORECASE)
+
+BANNED_CALLS = [
+    (re.compile(r"std\s*::\s*random_device"), "std::random_device"),
+    (re.compile(r"(?<![\w:.])s?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"(?<![\w:.])time\s*\("), "time()"),
+    (re.compile(r"std\s*::\s*chrono\s*::[\w:]*\bnow\s*\("),
+     "std::chrono::*::now()"),
+]
+
+UNORDERED = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\b")
+
+FLOAT_DECL = re.compile(r"\bfloat\b")
+
+# `throw expr;` — but not a bare rethrow (`throw;`).
+NAKED_THROW = re.compile(r"\bthrow\s+[^;\s]")
+
+
+def module_of(path: Path, root: Path) -> str:
+    try:
+        rel = path.relative_to(root)
+    except ValueError:
+        rel = path
+    parts = rel.parts
+    if len(parts) >= 2 and parts[0] == "src":
+        return parts[1]
+    return parts[0] if parts else ""
+
+
+def lint_file(path: Path, root: Path) -> list[Finding]:
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    code = strip_comments_and_strings(raw)
+    raw_lines = raw.splitlines()
+    findings: list[Finding] = []
+    module = module_of(path, root)
+
+    def add(check: str, lineno: int, message: str) -> None:
+        src = raw_lines[lineno - 1] if lineno - 1 < len(raw_lines) else ""
+        findings.append(Finding(check, path, lineno, src, message))
+
+    for lineno, line in enumerate(code.splitlines(), start=1):
+        if ADDITIVE_SEED.search(line):
+            add("additive-seed", lineno,
+                "additive seed arithmetic; derive replica/trial streams via "
+                "chains::replica_seed (mix64), never seed + k")
+        for pattern, name in BANNED_CALLS:
+            if pattern.search(line):
+                add("banned-call", lineno,
+                    f"{name} is a nondeterminism source; library state must "
+                    "be a pure function of (model, seed, options)")
+        if module in ORDERED_MODULES and UNORDERED.search(line):
+            add("unordered-iteration", lineno,
+                "unordered containers have implementation-defined iteration "
+                "order; use a vector/map keyed by vertex or slot id")
+        if module in EXACT_MODULES and FLOAT_DECL.search(line):
+            add("float-accumulation", lineno,
+                "single-precision arithmetic in a Tier::exact module; exact "
+                "kernels promise bit-identical double-precision results")
+        if NAKED_THROW.search(line):
+            add("naked-throw", lineno,
+                "naked throw; use LS_REQUIRE/LS_ASSERT (util/require.hpp) or "
+                "allowlist a named error type")
+    return findings
+
+
+# --- allowlist -------------------------------------------------------------
+
+def load_allowlist(path: Path) -> list[tuple[str, str, str]]:
+    rules: list[tuple[str, str, str]] = []
+    if not path.exists():
+        return rules
+    for raw in path.read_text(encoding="utf-8").splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split(None, 2)
+        if len(parts) != 3:
+            print(f"{path}: malformed allowlist line: {raw!r}",
+                  file=sys.stderr)
+            sys.exit(2)
+        rules.append((parts[0], parts[1], parts[2]))
+    return rules
+
+
+def allowed(finding: Finding,
+            rules: list[tuple[str, str, str]]) -> bool:
+    posix = finding.path.as_posix()
+    return any(check == finding.check and posix.endswith(suffix)
+               and substring in finding.line
+               for check, suffix, substring in rules)
+
+
+# --- drivers ---------------------------------------------------------------
+
+def lint_tree(root: Path, allowlist: Path) -> int:
+    src = root / "src"
+    if not src.is_dir():
+        print(f"error: {src} is not a directory", file=sys.stderr)
+        return 2
+    rules = load_allowlist(allowlist)
+    findings: list[Finding] = []
+    for path in sorted(src.rglob("*")):
+        if path.suffix in SRC_EXTENSIONS and path.is_file():
+            findings.extend(f for f in lint_file(path, root)
+                            if not allowed(f, rules))
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"\ndeterminism lint: {len(findings)} finding(s)",
+              file=sys.stderr)
+        return 1
+    print("determinism lint: clean")
+    return 0
+
+
+def self_test(root: Path) -> int:
+    """Lint the fixture tree and require exactly the expected findings —
+    the lint's own mutation test.  Each bad fixture carries `LINT:<check>`
+    markers on the lines that must be flagged; clean fixtures carry none."""
+    testdata = root / "tools" / "testdata"
+    if not testdata.is_dir():
+        print(f"error: {testdata} missing", file=sys.stderr)
+        return 2
+    failures = 0
+    for path in sorted(testdata.rglob("*")):
+        if path.suffix not in SRC_EXTENSIONS or not path.is_file():
+            continue
+        expected: set[tuple[int, str]] = set()
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            for mark in re.findall(r"LINT:([\w-]+)", line):
+                expected.add((lineno, mark))
+        actual = {(f.lineno, f.check) for f in lint_file(path, testdata)}
+        for miss in sorted(expected - actual):
+            print(f"MISSED  {path}:{miss[0]} expected [{miss[1]}]")
+            failures += 1
+        for extra in sorted(actual - expected):
+            print(f"SPURIOUS {path}:{extra[0]} flagged [{extra[1]}]")
+            failures += 1
+    if failures:
+        print(f"\nself-test: {failures} mismatch(es)", file=sys.stderr)
+        return 1
+    print("self-test: all fixtures behave as expected")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", type=Path, default=Path(__file__).parent.parent,
+                        help="repository root (default: tools/..)")
+    parser.add_argument("--allowlist", type=Path, default=None,
+                        help="allowlist file (default: tools/"
+                             "determinism_lint_allowlist.txt under --root)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="lint tools/testdata fixtures against their "
+                             "LINT:<check> markers")
+    args = parser.parse_args()
+    root = args.root.resolve()
+    if args.self_test:
+        return self_test(root)
+    allowlist = (args.allowlist if args.allowlist is not None
+                 else root / "tools" / "determinism_lint_allowlist.txt")
+    return lint_tree(root, allowlist)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

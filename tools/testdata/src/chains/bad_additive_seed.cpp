@@ -1,0 +1,26 @@
+// Fixture: PR 3's shipped bug, reintroduced — replica streams derived by
+// ADDING the replica index to the base seed, so seeds 41 and 42 share all
+// but one stream.  Every flagged line carries a LINT:<check> marker; the
+// self-test asserts the lint reports exactly these lines.
+#include <cstdint>
+#include <vector>
+
+namespace lsample::chains {
+
+struct BadReplicaFleet {
+  std::uint64_t seed_ = 0;
+
+  std::uint64_t stream_for(std::uint64_t r) const {
+    return seed_ + r;  // LINT:additive-seed
+  }
+
+  std::uint64_t stream_for_trial(int trial) const {
+    return seed_ + static_cast<std::uint64_t>(trial);  // LINT:additive-seed
+  }
+
+  std::uint64_t offset_stream(std::uint64_t base_seed) const {
+    return 17 + base_seed;  // LINT:additive-seed
+  }
+};
+
+}  // namespace lsample::chains

@@ -1,0 +1,22 @@
+// Fixture: a chain iterating an unordered_map — iteration order is
+// implementation-defined, so the update order (and with it the trajectory)
+// would depend on the standard library build.
+#include <cstdint>
+#include <unordered_map>  // LINT:unordered-iteration
+#include <unordered_set>  // LINT:unordered-iteration
+#include <vector>
+
+namespace lsample::chains {
+
+struct BadSparseChain {
+  std::unordered_map<int, int> spins_;     // LINT:unordered-iteration
+  std::unordered_set<int> active_;         // LINT:unordered-iteration
+
+  void step(std::int64_t /*t*/) {
+    for (auto& [v, spin] : spins_) spin = resample(v, spin);
+  }
+
+  static int resample(int v, int spin) { return (v + spin) % 3; }
+};
+
+}  // namespace lsample::chains

@@ -1,0 +1,45 @@
+// Fixture: the patterns the lint must NOT flag — mix64-style seed
+// derivation, ordered containers, double accumulation, comments and strings
+// that merely mention the banned spellings, and an increment that contains
+// "+ trial" textually but adds nothing to a seed.
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lsample::chains {
+
+inline std::uint64_t mix64(std::uint64_t z) {
+  z ^= z >> 33;
+  z *= 0xff51afd7ed558ccdULL;
+  return z ^ (z >> 29);
+}
+
+// Correct stream derivation: replica_seed(base, r) = mix64(mix64(base ^ c) ^ r)
+// — never seed + r (that spelling, quoted here, stays comment-only).
+inline std::uint64_t good_replica_seed(std::uint64_t base, std::uint64_t r) {
+  return mix64(mix64(base ^ 0xd1b54a32d192ed03ULL) ^ r);
+}
+
+struct CleanChain {
+  std::map<int, int> spins_;       // ordered: fine
+  std::vector<double> weights_;
+
+  double sum_weights() const {
+    double acc = 0.0;  // double accumulation: fine in exact modules
+    for (const double w : weights_) acc += w;
+    return acc;
+  }
+
+  int run_trials(int trials) {
+    int done = 0;
+    for (int trial = 0; trial < trials; ++trial) ++done;
+    return done;
+  }
+
+  std::string describe() const {
+    return "uses time( and rand( and seed + r only inside this string";
+  }
+};
+
+}  // namespace lsample::chains

@@ -1,0 +1,41 @@
+// Fixture: banned nondeterminism sources and float accumulation in an
+// exact-tier module — each makes a "deterministic" kernel depend on wall
+// clock, process entropy, or precision mode.
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <vector>
+
+namespace lsample::mrf {
+
+struct BadKernel {
+  std::uint64_t entropy_seed() {
+    std::random_device rd;  // LINT:banned-call
+    return rd();
+  }
+
+  std::uint64_t clock_seed() {
+    return static_cast<std::uint64_t>(time(nullptr));  // LINT:banned-call
+  }
+
+  std::uint64_t chrono_seed() {
+    return static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now()  // LINT:banned-call
+            .time_since_epoch()
+            .count());
+  }
+
+  int c_library_draw() {
+    return rand();  // LINT:banned-call
+  }
+
+  double sum_weights(const std::vector<double>& w) {
+    float acc = 0.0f;  // LINT:float-accumulation
+    for (const double x : w) acc += static_cast<float>(x);  // LINT:float-accumulation
+    return acc;
+  }
+};
+
+}  // namespace lsample::mrf

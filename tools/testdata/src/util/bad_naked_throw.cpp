@@ -1,0 +1,19 @@
+// Fixture: a naked throw where LS_REQUIRE/LS_ASSERT is the convention (plus
+// a legal bare rethrow, which must NOT be flagged).
+#include <stdexcept>
+
+namespace lsample::util {
+
+inline void check_positive(int n) {
+  if (n <= 0) throw std::invalid_argument("n must be positive");  // LINT:naked-throw
+}
+
+inline void rethrow_current() {
+  try {
+    check_positive(0);
+  } catch (...) {
+    throw;  // bare rethrow is fine
+  }
+}
+
+}  // namespace lsample::util
